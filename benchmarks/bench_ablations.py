@@ -1,0 +1,97 @@
+"""Ablations: the design choices DESIGN.md calls out, measured.
+
+* look-up cache (Alg. 2) on vs off;
+* delete-path PLI short-circuits (Section IV-B) on vs off;
+* index quota (Alg. 4's delta) sweep.
+
+Full sweeps: ``repro-bench ablation_cache ablation_pli ablation_quota``.
+"""
+
+import pytest
+
+from conftest import delete_setup, insert_setup
+from repro.core.deletes import DeletesHandler
+from repro.core.inserts import InsertsHandler, _LookupCache
+from repro.core.swan import SwanProfiler
+from repro.datasets.workload import delete_batch_ids
+
+
+class _ColdCache(_LookupCache):
+    """A cache that never remembers anything (ablation)."""
+
+    def largest_subset(self, mask):
+        return 0, None
+
+    def store(self, mask, entry):
+        pass
+
+
+class _UncachedInserts(InsertsHandler):
+    def _retrieve_ids(self, muc_mask, new_rows, cache, stats):
+        return super()._retrieve_ids(muc_mask, new_rows, _ColdCache(), stats)
+
+
+class _BluntDeletes(DeletesHandler):
+    """Always runs the complete PLI intersection (ablation)."""
+
+    def _is_still_non_unique(self, mask, deleted, clustered, stats):
+        stats.complete_checks += 1
+        return self._has_surviving_duplicate(mask, deleted)
+
+
+@pytest.mark.parametrize("cached", [True, False], ids=["cache", "no-cache"])
+def test_lookup_cache_ablation(benchmark, cached):
+    initial, batch, mucs, mnucs = insert_setup("ncvoter")
+
+    def setup():
+        profiler = SwanProfiler(initial.copy(), mucs, mnucs, maintain_plis=False)
+        if not cached:
+            profiler._inserts = _UncachedInserts(
+                profiler.relation,
+                profiler._repository,
+                profiler._index_pool,
+                profiler._sparse,
+            )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "short_circuits", [True, False], ids=["short-circuits", "complete-checks"]
+)
+def test_pli_short_circuit_ablation(benchmark, short_circuits):
+    relation, mucs, mnucs = delete_setup("ncvoter")
+    doomed = delete_batch_ids(relation, 0.01, seed=3)
+
+    def setup():
+        profiler = SwanProfiler(relation.copy(), mucs, mnucs)
+        if not short_circuits:
+            profiler._deletes = _BluntDeletes(
+                profiler.relation, profiler._repository, profiler._plis
+            )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_deletes(doomed)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("quota", [None, 10, 20], ids=["minimal", "quota10", "quota20"])
+def test_index_quota_ablation(benchmark, quota):
+    initial, batch, mucs, mnucs = insert_setup("ncvoter")
+
+    def setup():
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=quota, maintain_plis=False
+        )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

@@ -1,0 +1,60 @@
+"""Benchmarks for the extension modules (beyond the paper's figures).
+
+* TANE-style FD discovery (capped LHS) on the dataset stand-ins;
+* unary IND discovery;
+* approximate unique discovery at several budgets;
+* the once-per-batch agree-set precomputation used by SWAN's inserts.
+"""
+
+import pytest
+
+from conftest import ROWS, SEED, _GENERATORS
+from repro.core.inserts import batch_agree_antichain
+from repro.fd.tane import discover_fds
+from repro.ind.unary import discover_unary_inds
+from repro.profiling.approximate import discover_approximate_uniques
+
+_CACHE: dict = {}
+
+
+def small_relation(dataset: str, n_columns: int = 12):
+    key = (dataset, n_columns)
+    if key not in _CACHE:
+        _CACHE[key] = _GENERATORS[dataset](max(200, ROWS // 2), n_columns)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("dataset", ["ncvoter", "tpch"])
+def test_fd_discovery(benchmark, dataset):
+    relation = small_relation(dataset)
+    benchmark.pedantic(
+        lambda: discover_fds(relation, max_lhs=2), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("dataset", ["ncvoter", "uniprot"])
+def test_unary_ind_discovery(benchmark, dataset):
+    relation = small_relation(dataset, n_columns=20)
+    benchmark.pedantic(
+        lambda: discover_unary_inds(relation), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("budget", [0, 2, 8])
+def test_approximate_unique_discovery(benchmark, budget):
+    relation = small_relation("tpch", n_columns=12)
+    benchmark.pedantic(
+        lambda: discover_approximate_uniques(relation, budget),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_batch_agree_antichain(benchmark):
+    relation = small_relation("ncvoter", n_columns=20)
+    rows = list(relation.iter_rows())[:100]
+    benchmark.pedantic(
+        lambda: batch_agree_antichain(rows, relation.n_columns),
+        rounds=3,
+        iterations=1,
+    )

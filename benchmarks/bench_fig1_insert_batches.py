@@ -1,0 +1,83 @@
+"""Fig. 1: insert batches on small initial datasets (a: NCVoter,
+b: Uniprot, c: TPC-H with DBMS-X).
+
+Measures the per-batch cost of each system: DUCC re-profiles the whole
+grown dataset, GORDIAN-INC extends its live prefix tree and rediscovers
+seeded with the old maximal non-uniques, SWAN runs its inserts handler,
+and DBMS-X (Fig. 1c only) validates the batch against the declared
+constraints. Full sweeps: ``repro-bench fig1a fig1b fig1c``.
+"""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+
+from conftest import insert_setup
+from repro.baselines.dbms import DbmsConstraintChecker
+from repro.baselines.ducc import discover_ducc
+from repro.baselines.gordian_inc import GordianInc
+from repro.core.swan import SwanProfiler
+
+DATASETS = ["ncvoter", "uniprot", "tpch"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_swan_insert_batch(benchmark, dataset):
+    initial, batch, mucs, mnucs = insert_setup(dataset)
+
+    def setup():
+        quota = 8 if dataset == "tpch" else 20
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=quota, maintain_plis=False
+        )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_gordian_inc_insert_batch(benchmark, dataset):
+    initial, batch, __, mnucs = insert_setup(dataset)
+
+    def setup():
+        return (GordianInc(initial, mnucs, deadline_s=120.0),), {}
+
+    def run(gordian):
+        try:
+            return gordian.handle_inserts(batch)
+        except BudgetExceededError:
+            pytest.skip("GORDIAN-INC exceeded its budget (see EXPERIMENTS.md)")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ducc_full_reprofile(benchmark, dataset):
+    initial, batch, __, ___ = insert_setup(dataset)
+
+    def setup():
+        grown = initial.copy()
+        grown.insert_many(batch)
+        return (grown,), {}
+
+    def run(grown):
+        return discover_ducc(grown)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+def test_dbms_x_constraint_validation(benchmark):
+    """Fig. 1c's extra system: per-tuple validation of all declared
+    minimal uniques on TPC-H."""
+    initial, batch, mucs, __ = insert_setup("tpch")
+
+    def setup():
+        return (DbmsConstraintChecker(initial, mucs),), {}
+
+    def run(checker):
+        return checker.insert_batch(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

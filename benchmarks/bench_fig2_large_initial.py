@@ -1,0 +1,63 @@
+"""Fig. 2: insert batches on *larger* initial datasets.
+
+Same systems as Fig. 1 at 4x the default initial size; the paper's
+headline here is that SWAN's cost depends on the batch, not the initial
+dataset -- visible as SWAN's time barely moving between Fig. 1 and
+Fig. 2 benches while DUCC's quadruples. Full sweeps: ``repro-bench
+fig2a fig2b fig2c``.
+"""
+
+import pytest
+
+from conftest import ROWS, SEED, _GENERATORS
+from repro.baselines.ducc import discover_ducc
+from repro.core.swan import SwanProfiler
+from repro.datasets.workload import split_initial_and_inserts
+
+DATASETS = ["ncvoter", "uniprot", "tpch"]
+SCALE_UP = 4
+_CACHE: dict = {}
+
+
+def large_setup(dataset: str):
+    if dataset not in _CACHE:
+        initial_rows = ROWS * SCALE_UP
+        total = initial_rows + int(initial_rows * 0.12)
+        cols = 20 if dataset != "tpch" else 16
+        relation = _GENERATORS[dataset](total, cols)
+        workload = split_initial_and_inserts(relation, initial_rows, [0.10], seed=SEED)
+        mucs, mnucs = discover_ducc(workload.initial)
+        _CACHE[dataset] = (workload.initial, workload.insert_batches[0], mucs, mnucs)
+    return _CACHE[dataset]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_swan_insert_batch_large_initial(benchmark, dataset):
+    initial, batch, mucs, mnucs = large_setup(dataset)
+
+    def setup():
+        quota = 8 if dataset == "tpch" else 20
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=quota, maintain_plis=False
+        )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ducc_full_reprofile_large_initial(benchmark, dataset):
+    initial, batch, __, ___ = large_setup(dataset)
+
+    def setup():
+        grown = initial.copy()
+        grown.insert_many(batch)
+        return (grown,), {}
+
+    def run(grown):
+        return discover_ducc(grown)
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Fig. 3: inserts while scaling the number of columns (NCVoter).
+
+SWAN's per-batch cost as the schema widens; the paper shows SWAN more
+than an order of magnitude ahead at every width, with the baselines
+failing to finish at 70 columns. Full sweep: ``repro-bench fig3``.
+"""
+
+import pytest
+
+from conftest import ROWS, SEED
+from repro.baselines.ducc import discover_ducc
+from repro.core.swan import SwanProfiler
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.workload import split_initial_and_inserts
+
+COLUMNS = [10, 20, 30]
+_CACHE: dict = {}
+
+
+def column_setup(n_columns: int):
+    if n_columns not in _CACHE:
+        total = ROWS + int(ROWS * 0.12)
+        relation = ncvoter_relation(total, n_columns, seed=SEED)
+        workload = split_initial_and_inserts(relation, ROWS, [0.10], seed=SEED)
+        mucs, mnucs = discover_ducc(workload.initial)
+        _CACHE[n_columns] = (
+            workload.initial,
+            workload.insert_batches[0],
+            mucs,
+            mnucs,
+        )
+    return _CACHE[n_columns]
+
+
+@pytest.mark.parametrize("n_columns", COLUMNS)
+def test_swan_insert_scaling_columns(benchmark, n_columns):
+    initial, batch, mucs, mnucs = column_setup(n_columns)
+
+    def setup():
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=20, maintain_plis=False
+        )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n_columns", COLUMNS[:2])
+def test_ducc_insert_scaling_columns(benchmark, n_columns):
+    initial, batch, __, ___ = column_setup(n_columns)
+
+    def setup():
+        grown = initial.copy()
+        grown.insert_many(batch)
+        return (grown,), {}
+
+    def run(grown):
+        return discover_ducc(grown)
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Fig. 4: index analysis -- Index All vs SWAN minimal vs SWAN (quota).
+
+Same insert batch pushed through three SWAN variants that differ only
+in Algorithm 3/4's output: the minimal cover, the quota-extended cover,
+and an index on every column. The paper's finding: the quota-extended
+set beats the minimal set, while indexing everything backfires on large
+batches. Full sweeps: ``repro-bench fig4a fig4b fig4c``.
+"""
+
+import pytest
+
+from conftest import insert_setup
+from repro.core.swan import SwanProfiler
+
+DATASETS = ["ncvoter", "uniprot", "tpch"]
+
+
+def _variant(initial, mucs, mnucs, variant: str, n_columns: int) -> SwanProfiler:
+    if variant == "minimal":
+        return SwanProfiler(initial.copy(), mucs, mnucs, maintain_plis=False)
+    if variant == "quota":
+        return SwanProfiler(
+            initial.copy(), mucs, mnucs,
+            index_quota=n_columns // 2, maintain_plis=False,
+        )
+    return SwanProfiler(
+        initial.copy(), mucs, mnucs,
+        index_columns=list(range(n_columns)), maintain_plis=False,
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("variant", ["minimal", "quota", "index_all"])
+def test_index_variants(benchmark, dataset, variant):
+    initial, batch, mucs, mnucs = insert_setup(dataset)
+    n_columns = initial.n_columns
+
+    def setup():
+        return (_variant(initial, mucs, mnucs, variant, n_columns),), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(batch)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

@@ -1,0 +1,61 @@
+"""Fig. 5: SWAN as a holistic approach on growing TPC-H increments.
+
+DUCC re-profiles initial+increment; SWAN processes only the increment
+on top of an existing profile. The paper's claim: SWAN wins at every
+increment size, letting DUCC+SWAN profile datasets DUCC alone cannot.
+Full sweep: ``repro-bench fig5``.
+"""
+
+import pytest
+
+from conftest import SEED, _GENERATORS
+from repro.baselines.ducc import discover_ducc
+from repro.core.swan import SwanProfiler
+from repro.datasets.workload import split_initial_and_inserts
+
+INITIAL_ROWS = 1000
+INCREMENTS = [0.2, 0.6, 1.0]
+_CACHE: dict = {}
+
+
+def holistic_setup():
+    if "data" not in _CACHE:
+        total = INITIAL_ROWS + int(INITIAL_ROWS * 1.02)
+        relation = _GENERATORS["tpch"](total, 16)
+        workload = split_initial_and_inserts(relation, INITIAL_ROWS, [1.0], seed=SEED)
+        mucs, mnucs = discover_ducc(workload.initial)
+        _CACHE["data"] = (workload.initial, workload.insert_batches[0], mucs, mnucs)
+    return _CACHE["data"]
+
+
+@pytest.mark.parametrize("increment", INCREMENTS)
+def test_swan_increment(benchmark, increment):
+    initial, all_inserts, mucs, mnucs = holistic_setup()
+    chunk = all_inserts[: int(INITIAL_ROWS * increment)]
+
+    def setup():
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=8, maintain_plis=False
+        )
+        return (profiler,), {}
+
+    def run(profiler):
+        return profiler.handle_inserts(chunk)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("increment", INCREMENTS)
+def test_ducc_holistic(benchmark, increment):
+    initial, all_inserts, __, ___ = holistic_setup()
+    chunk = all_inserts[: int(INITIAL_ROWS * increment)]
+
+    def setup():
+        grown = initial.copy()
+        grown.insert_many(chunk)
+        return (grown,), {}
+
+    def run(grown):
+        return discover_ducc(grown)
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Fig. 6: end-to-end holistic profiling while scaling columns.
+
+Unlike every other benchmark, SWAN's time here *includes* the static
+bootstrap (DUCC on the sample) and index construction, because the
+figure compares complete profiling strategies: DUCC on everything vs
+DUCC on a sample + SWAN on the rest. Full sweep: ``repro-bench fig6``.
+"""
+
+import pytest
+
+from conftest import SEED
+from repro.baselines.ducc import discover_ducc
+from repro.core.swan import SwanProfiler
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.storage.relation import Relation
+
+TOTAL_ROWS = 1100
+COLUMNS = [10, 20]
+_CACHE: dict = {}
+
+
+def rows_for(n_columns: int):
+    if n_columns not in _CACHE:
+        relation = ncvoter_relation(TOTAL_ROWS, n_columns, seed=SEED)
+        _CACHE[n_columns] = (relation.schema, list(relation.iter_rows()))
+    return _CACHE[n_columns]
+
+
+@pytest.mark.parametrize("n_columns", COLUMNS)
+@pytest.mark.parametrize("sample", [1000, 100])
+def test_swan_end_to_end(benchmark, n_columns, sample):
+    schema, rows = rows_for(n_columns)
+
+    def run():
+        initial = Relation.from_rows(schema, rows[:sample])
+        profiler = SwanProfiler.profile(initial, algorithm="ducc", maintain_plis=False)
+        return profiler.handle_inserts(rows[sample:])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n_columns", COLUMNS)
+def test_ducc_end_to_end(benchmark, n_columns):
+    schema, rows = rows_for(n_columns)
+
+    def run():
+        return discover_ducc(Relation.from_rows(schema, rows))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+"""Fig. 7: delete batches (a: NCVoter, b: Uniprot, c: TPC-H).
+
+Measures the per-batch cost of each system on a 1% delete batch (the
+paper calls <= 1% the realistic regime): DUCC re-profiles the shrunken
+dataset, DUCC-INC rediscovers seeded with the old minimal uniques,
+GORDIAN-INC removes the tuples from its tree and rediscovers unseeded,
+SWAN runs its deletes handler over the maintained PLIs. Full sweeps:
+``repro-bench fig7a fig7b fig7c``.
+"""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+
+from conftest import delete_setup
+from repro.baselines.ducc import discover_ducc
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.gordian_inc import GordianInc
+from repro.core.swan import SwanProfiler
+from repro.datasets.workload import delete_batch_ids
+
+DATASETS = ["ncvoter", "uniprot", "tpch"]
+DELETE_FRACTION = 0.01
+
+
+def _doomed(relation):
+    return delete_batch_ids(relation, DELETE_FRACTION, seed=3)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_swan_delete_batch(benchmark, dataset):
+    relation, mucs, mnucs = delete_setup(dataset)
+    doomed = _doomed(relation)
+
+    def setup():
+        return (SwanProfiler(relation.copy(), mucs, mnucs),), {}
+
+    def run(profiler):
+        return profiler.handle_deletes(doomed)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ducc_inc_delete_batch(benchmark, dataset):
+    relation, mucs, __ = delete_setup(dataset)
+    doomed = _doomed(relation)
+
+    def setup():
+        return (DuccInc(relation.copy(), mucs),), {}
+
+    def run(ducc_inc):
+        return ducc_inc.handle_deletes(doomed)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_gordian_inc_delete_batch(benchmark, dataset):
+    relation, __, mnucs = delete_setup(dataset)
+    doomed = _doomed(relation)
+    doomed_rows = [relation.row(tuple_id) for tuple_id in doomed]
+
+    def setup():
+        return (GordianInc(relation, mnucs, deadline_s=120.0),), {}
+
+    def run(gordian):
+        try:
+            return gordian.handle_deletes(doomed_rows)
+        except BudgetExceededError:
+            pytest.skip("GORDIAN-INC exceeded its budget (see EXPERIMENTS.md)")
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ducc_full_reprofile_after_delete(benchmark, dataset):
+    relation, __, ___ = delete_setup(dataset)
+    doomed = _doomed(relation)
+
+    def setup():
+        shrunk = relation.copy()
+        shrunk.delete_many(doomed)
+        return (shrunk,), {}
+
+    def run(shrunk):
+        return discover_ducc(shrunk)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

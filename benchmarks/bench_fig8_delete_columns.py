@@ -1,0 +1,53 @@
+"""Fig. 8: 1% deletes while scaling the number of columns (NCVoter).
+
+The paper: SWAN finishes in seconds at every width (more than an order
+of magnitude ahead), while GORDIAN-INC never finishes the widest
+configurations. Full sweep: ``repro-bench fig8``.
+"""
+
+import pytest
+
+from conftest import ROWS, SEED
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.ducc import discover_ducc
+from repro.core.swan import SwanProfiler
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.workload import delete_batch_ids
+
+COLUMNS = [10, 20, 30]
+_CACHE: dict = {}
+
+
+def column_setup(n_columns: int):
+    if n_columns not in _CACHE:
+        relation = ncvoter_relation(ROWS, n_columns, seed=SEED)
+        mucs, mnucs = discover_ducc(relation)
+        doomed = delete_batch_ids(relation, 0.01, seed=SEED)
+        _CACHE[n_columns] = (relation, mucs, mnucs, doomed)
+    return _CACHE[n_columns]
+
+
+@pytest.mark.parametrize("n_columns", COLUMNS)
+def test_swan_delete_scaling_columns(benchmark, n_columns):
+    relation, mucs, mnucs, doomed = column_setup(n_columns)
+
+    def setup():
+        return (SwanProfiler(relation.copy(), mucs, mnucs),), {}
+
+    def run(profiler):
+        return profiler.handle_deletes(doomed)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n_columns", COLUMNS[:2])
+def test_ducc_inc_delete_scaling_columns(benchmark, n_columns):
+    relation, mucs, __, doomed = column_setup(n_columns)
+
+    def setup():
+        return (DuccInc(relation.copy(), mucs),), {}
+
+    def run(ducc_inc):
+        return ducc_inc.handle_deletes(doomed)
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)

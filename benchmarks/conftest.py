@@ -1,0 +1,67 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_figX_*.py`` file measures the per-batch work of every
+system in the corresponding paper figure, at a reduced default scale so
+``pytest benchmarks/ --benchmark-only`` completes on a laptop. The
+``repro-bench`` CLI runs the same experiments as full sweeps and prints
+the paper-style series; EXPERIMENTS.md records those results.
+
+Environment knobs:
+
+* ``REPRO_BENCH_ROWS``  -- initial rows per dataset (default 800)
+* ``REPRO_BENCH_COLS``  -- columns for NCVoter/Uniprot (default 20)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines.ducc import discover_ducc
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.tpch import lineitem_relation
+from repro.datasets.uniprot import uniprot_relation
+from repro.datasets.workload import split_initial_and_inserts
+
+ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "800"))
+COLS = int(os.environ.get("REPRO_BENCH_COLS", "20"))
+SEED = 7
+
+_GENERATORS = {
+    "ncvoter": lambda rows, cols: ncvoter_relation(rows, cols, seed=SEED),
+    "uniprot": lambda rows, cols: uniprot_relation(rows, cols, seed=SEED),
+    "tpch": lambda rows, cols: lineitem_relation(rows, min(cols, 16), seed=SEED),
+}
+
+_CACHE: dict = {}
+
+
+def insert_setup(dataset: str, batch_fraction: float = 0.10):
+    """(initial relation, batch, mucs, mnucs) for an insert benchmark,
+    generated and profiled once per session."""
+    key = ("insert", dataset, batch_fraction)
+    if key not in _CACHE:
+        total = ROWS + int(ROWS * (batch_fraction + 0.02))
+        relation = _GENERATORS[dataset](total, COLS)
+        workload = split_initial_and_inserts(
+            relation, ROWS, [batch_fraction], seed=SEED
+        )
+        mucs, mnucs = discover_ducc(workload.initial)
+        _CACHE[key] = (workload.initial, workload.insert_batches[0], mucs, mnucs)
+    return _CACHE[key]
+
+
+def delete_setup(dataset: str):
+    """(relation, mucs, mnucs) for a delete benchmark."""
+    key = ("delete", dataset)
+    if key not in _CACHE:
+        relation = _GENERATORS[dataset](ROWS, COLS)
+        mucs, mnucs = discover_ducc(relation)
+        _CACHE[key] = (relation, mucs, mnucs)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def bench_rows() -> int:
+    return ROWS

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Near-key (approximate unique) discovery for data cleaning.
+
+A column that is unique except for a handful of rows is usually a dirty
+key, not a non-key. This example plants three duplicate registration
+numbers into an otherwise key-like column and shows how
+
+* exact discovery (budget 0) rejects the column,
+* approximate discovery (budget 3) recovers it as a near-key, and
+* the profiler's ``approximation_degree`` quantifies exactly how dirty
+  a watched key is.
+
+Run:  python examples/near_keys.py
+"""
+
+import random
+
+from repro import Relation, Schema, SwanProfiler
+from repro.profiling.approximate import discover_approximate_uniques
+
+
+def main() -> None:
+    rng = random.Random(5)
+    schema = Schema(["reg_num", "name", "office"])
+    rows = [
+        (f"r{i:04d}", f"name{rng.randrange(60)}", f"office{rng.randrange(5)}")
+        for i in range(400)
+    ]
+    # A bad ETL run duplicated three registration numbers.
+    for victim in (17, 118, 301):
+        dirty = list(rows[victim])
+        dirty[1] = f"name{rng.randrange(60)}"
+        rows.append(tuple(dirty))
+    relation = Relation.from_rows(schema, rows)
+    reg_mask = schema.mask(["reg_num"])
+
+    exact_mucs, __ = discover_approximate_uniques(relation, 0)
+    print(f"exact minimal uniques: "
+          f"{[str(schema.combination(m)) for m in exact_mucs]}")
+    assert reg_mask not in exact_mucs, "reg_num is (exactly) not a key"
+
+    near_mucs, __ = discover_approximate_uniques(relation, 3)
+    print(f"3-approximate minimal uniques: "
+          f"{[str(schema.combination(m)) for m in near_mucs]}")
+    assert reg_mask in near_mucs
+    print("-> reg_num is a near-key: it would be unique after removing "
+          "3 rows\n")
+
+    profiler = SwanProfiler.profile(relation, algorithm="ducc")
+    degree = profiler.approximation_degree(["reg_num"])
+    print(f"approximation degree of reg_num: {degree} (the planted dirt)")
+    assert degree == 3
+
+    # Clean the duplicates through the incremental path and re-check.
+    doomed = [400, 401, 402]
+    profiler.handle_deletes(doomed)
+    print(f"after deleting the 3 dirty rows: reg_num unique? "
+          f"{profiler.is_unique(['reg_num'])}")
+    assert profiler.is_unique(["reg_num"])
+
+
+if __name__ == "__main__":
+    main()

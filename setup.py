@@ -1,0 +1,8 @@
+"""Legacy setup shim: this offline environment ships setuptools without
+the ``wheel`` package, so editable installs go through
+``pip install -e . --no-build-isolation --no-use-pep517`` which needs a
+``setup.py``. All real metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""SWAN: detecting unique column combinations on dynamic data.
+
+A complete, from-scratch reproduction of *"Detecting Unique Column
+Combinations on Dynamic Data"* (Abedjan, Quiané-Ruiz, Naumann; ICDE
+2014): the SWAN incremental profiler, the GORDIAN / DUCC / HCA baseline
+discovery systems and their incremental adaptations, the storage
+substrates they share (relations, value indexes, PLIs, sparse indexes),
+synthetic stand-ins for the paper's datasets, and a benchmark harness
+regenerating every figure of the evaluation.
+
+Quickstart::
+
+    from repro import Relation, Schema, SwanProfiler
+
+    schema = Schema(["Name", "Phone", "Age"])
+    relation = Relation.from_rows(schema, [
+        ("Lee", "345", "20"),
+        ("Payne", "245", "30"),
+        ("Lee", "234", "30"),
+    ])
+    profiler = SwanProfiler.profile(relation)
+    profiler.minimal_uniques()       # [{Phone}, {Name, Age}]
+    profiler.handle_inserts([("Payne", "245", "31")])
+    profiler.minimal_uniques()       # [{Name, Age}, {Phone, Age}]
+"""
+
+from repro.core.monitor import UniqueConstraintMonitor
+from repro.core.repository import Profile
+from repro.core.swan import SwanProfiler
+from repro.lattice.combination import ColumnCombination
+from repro.profiling.discovery import available_algorithms, discover
+from repro.profiling.summary import ProfileSummary, summarize
+from repro.profiling.verify import verify_profile
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "ColumnCombination",
+    "Profile",
+    "ProfileSummary",
+    "Relation",
+    "Schema",
+    "SwanProfiler",
+    "UniqueConstraintMonitor",
+    "available_algorithms",
+    "discover",
+    "summarize",
+    "verify_profile",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Baseline systems the paper compares SWAN against.
+
+* :mod:`repro.baselines.bruteforce` -- exact oracle via pairwise agree
+  sets (test ground truth).
+* :mod:`repro.baselines.gordian` -- GORDIAN [Sismanis et al., VLDB'06]:
+  prefix-tree (trie) based maximal non-unique discovery, best-effort
+  reimplementation as in the paper.
+* :mod:`repro.baselines.gordian_inc` -- GORDIAN-INC: the paper's
+  incremental adaptation (trie insert/delete + seeded rediscovery).
+* :mod:`repro.baselines.ducc` -- DUCC [Heise et al., PVLDB'13]:
+  random-walk lattice traversal over PLIs with hole detection.
+* :mod:`repro.baselines.ducc_inc` -- DUCC-INC: the paper's adaptation
+  for deletes (search space pruned above the old minimal uniques).
+* :mod:`repro.baselines.hca` -- HCA [Abedjan & Naumann, CIKM'11]:
+  levelwise bottom-up discovery with cardinality-based pruning.
+* :mod:`repro.baselines.dbms` -- the DBMS-X simulation: per-constraint
+  validation of inserts, no discovery (paper Fig. 1c footnote).
+"""
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.baselines.ducc import Ducc, discover_ducc
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.gordian import Gordian, discover_gordian
+from repro.baselines.gordian_inc import GordianInc
+from repro.baselines.hca import discover_hca
+
+__all__ = [
+    "Ducc",
+    "DuccInc",
+    "Gordian",
+    "GordianInc",
+    "discover_bruteforce",
+    "discover_ducc",
+    "discover_gordian",
+    "discover_hca",
+]

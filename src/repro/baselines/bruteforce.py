@@ -1,0 +1,67 @@
+"""Brute-force discovery oracles.
+
+Two exact strategies, both used as ground truth in tests:
+
+* :func:`discover_bruteforce` -- pairwise agree sets. The maximal
+  non-uniques of a relation are exactly the maximal agree sets over all
+  tuple pairs, and the minimal uniques follow by transversal duality.
+  Quadratic in rows, linear in columns: the right oracle shape for
+  small-to-medium test relations with many columns.
+* :func:`discover_lattice_scan` -- classify every one of the 2^n
+  combinations by scanning. Exponential in columns; used only to
+  cross-check the agree-set oracle itself on tiny inputs.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.combination import full_mask, maximize
+from repro.lattice.transversal import mucs_from_mnucs
+from repro.profiling.verify import agree_set
+from repro.storage.relation import Relation
+
+
+def discover_bruteforce(relation: Relation) -> tuple[list[int], list[int]]:
+    """Exact (MUCS, MNUCS) via pairwise agree sets."""
+    rows = list(relation.iter_rows())
+    n_columns = relation.n_columns
+    if len(rows) < 2:
+        # With at most one tuple even the empty combination is unique.
+        return [0], []
+    agree_sets: set[int] = set()
+    universe = full_mask(n_columns)
+    for left_index, left in enumerate(rows):
+        for right in rows[left_index + 1 :]:
+            mask = agree_set(left, right)
+            agree_sets.add(mask)
+            if mask == universe:
+                # Two identical rows: nothing can be unique.
+                return [], [universe]
+    mnucs = maximize(agree_sets)
+    mucs = mucs_from_mnucs(mnucs, n_columns)
+    return mucs, mnucs
+
+
+def discover_lattice_scan(relation: Relation) -> tuple[list[int], list[int]]:
+    """Exact (MUCS, MNUCS) by classifying all 2^n combinations."""
+    n_columns = relation.n_columns
+    if n_columns > 20:
+        raise ValueError("lattice scan is exponential; use <= 20 columns")
+    universe = full_mask(n_columns)
+    unique: dict[int, bool] = {}
+    for mask in range(universe + 1):
+        unique[mask] = not relation.duplicate_exists(mask)
+    mucs = [
+        mask
+        for mask in range(universe + 1)
+        if unique[mask]
+        and all(not unique[mask & ~(1 << bit)] for bit in range(n_columns) if mask >> bit & 1)
+    ]
+    mnucs = [
+        mask
+        for mask in range(universe + 1)
+        if not unique[mask]
+        and all(
+            unique[mask | (1 << bit)] for bit in range(n_columns) if not mask >> bit & 1
+        )
+    ]
+    return sorted(mucs), sorted(mnucs)

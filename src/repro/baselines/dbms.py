@@ -1,0 +1,101 @@
+"""DBMS-X simulation: constraint validation without discovery.
+
+The paper's Fig. 1c includes a commercial DBMS that "only checks whether
+new tuples violate the predefined set of 268 minimal uniques, i.e.,
+DBMS-X does not discover new constraints" (footnote 2). This module
+reproduces that system's *behaviour*: one multi-column hash index per
+declared unique constraint, every inserted tuple validated against all
+of them, and the statement aborted (rolled back) on the first violation
+-- the standard INSERT-under-UNIQUE-constraint semantics.
+
+It intentionally does *not* find new uniques or maintain non-uniques;
+benchmarks time its per-batch validation cost against SWAN's full
+discovery cost, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.lattice.combination import columns_of
+from repro.storage.relation import Relation
+
+Row = tuple[Hashable, ...]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one insert batch against the declared constraints."""
+
+    accepted: int = 0
+    rejected: int = 0
+    violations: list[tuple[int, int]] = field(default_factory=list)
+    """(row position in batch, violated constraint mask) pairs."""
+
+
+class DbmsConstraintChecker:
+    """Per-constraint hash indexes validating every inserted tuple."""
+
+    def __init__(self, relation: Relation, constraints: Sequence[int]) -> None:
+        """Declare ``constraints`` (unique column masks) on ``relation``
+        and build their indexes, as a DBMS does on ALTER TABLE ADD
+        UNIQUE."""
+        self._constraints = [
+            (mask, columns_of(mask)) for mask in constraints if mask
+        ]
+        self._indexes: dict[int, set[Row]] = {mask: set() for mask, _ in self._constraints}
+        for row in relation.iter_rows():
+            for mask, indices in self._constraints:
+                self._indexes[mask].add(tuple(row[index] for index in indices))
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._constraints)
+
+    def insert_batch(
+        self,
+        rows: Sequence[Sequence[Hashable]],
+        enforce: bool = True,
+    ) -> ValidationReport:
+        """Validate (and index) a batch tuple by tuple.
+
+        With ``enforce=True`` a violating tuple is rejected and leaves
+        no trace (per-statement rollback); with ``enforce=False`` the
+        batch is appended without any checks -- the paper's "no
+        constraints defined" mode that needed only 120 ms.
+        """
+        report = ValidationReport()
+        for position, raw_row in enumerate(rows):
+            row = tuple(raw_row)
+            if not enforce:
+                report.accepted += 1
+                continue
+            projections: list[tuple[int, Row]] = []
+            violated: int | None = None
+            for mask, indices in self._constraints:
+                key = tuple(row[index] for index in indices)
+                if key in self._indexes[mask]:
+                    violated = mask
+                    break
+                projections.append((mask, key))
+            if violated is None:
+                for mask, key in projections:
+                    self._indexes[mask].add(key)
+                report.accepted += 1
+            else:
+                report.rejected += 1
+                report.violations.append((position, violated))
+        if not enforce:
+            return report
+        return report
+
+    def delete_batch(self, rows: Sequence[Sequence[Hashable]]) -> None:
+        """Drop index entries for deleted tuples (constraint upkeep)."""
+        for raw_row in rows:
+            row = tuple(raw_row)
+            for mask, indices in self._constraints:
+                self._indexes[mask].discard(tuple(row[index] for index in indices))
+
+    def __repr__(self) -> str:
+        return f"DbmsConstraintChecker(constraints={len(self._constraints)})"

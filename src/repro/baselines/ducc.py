@@ -1,0 +1,244 @@
+"""DUCC: random-walk unique discovery over PLIs (Heise et al., PVLDB'13).
+
+DUCC walks the column-combination lattice: from a non-unique node it
+climbs to a random unclassified superset, from a unique node it descends
+to a random unclassified subset, so the walk oscillates around the
+unique/non-unique border where the minimal uniques and maximal
+non-uniques live. Combinations are classified by intersecting position
+list indexes, reusing the parent's PLI along the walk. Pruning uses the
+same UGraph/NUGraph implication logic as SWAN's delete path: supersets
+of known uniques and subsets of known non-uniques are classified for
+free.
+
+Completeness comes from *hole detection* through the transversal
+duality: at any point, the minimal combinations not contained in any
+discovered maximal non-unique are exactly the minimal-unique candidates
+implied by the current border. Candidates that are not yet classified
+(or turn out non-unique) are holes the walk has missed; they seed
+further walks. When every candidate verifies as unique, the border is
+exact (proof in DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterable
+
+from repro.errors import BudgetExceededError
+
+from repro.lattice.combination import (
+    full_mask,
+    immediate_subsets,
+    immediate_supersets,
+    iter_bits,
+)
+from repro.lattice.graphs import CombinationGraph
+from repro.lattice.transversal import mucs_from_mnucs
+from repro.storage.fastpli import ArrayPli
+from repro.storage.relation import Relation
+
+
+class Ducc:
+    """One discovery run over a fixed relation instance."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        seed: int = 0,
+        known_uniques: Iterable[int] = (),
+        known_non_uniques: Iterable[int] = (),
+        pli_cache_size: int = 65536,
+        deadline_s: float | None = None,
+    ) -> None:
+        """``known_uniques`` / ``known_non_uniques`` pre-populate the
+        pruning graph; DUCC-INC passes the pre-delete minimal uniques
+        here to cut the lattice above them out of the search space.
+        ``deadline_s`` is a cooperative wall-clock budget for the whole
+        run, polled every few thousand classifications; blowing it
+        raises :class:`~repro.errors.BudgetExceededError` (the paper's
+        10-hour aborts, programmatically).
+        """
+        self._deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        self._deadline_s = deadline_s
+        self._relation = relation
+        self._rng = random.Random(seed)
+        self._n_columns = relation.n_columns
+        self._universe = full_mask(self._n_columns)
+        self._graph = CombinationGraph()
+        # Memo of settled classifications. Implication queries against
+        # the antichain graphs are the walk's hottest operation; once a
+        # mask's class is known it can never change (the graphs only
+        # grow), so every node pays for at most one graph query.
+        self._known: dict[int, bool] = {}
+        self._column_plis: dict[int, ArrayPli] = {}
+        self._pli_cache: dict[int, ArrayPli] = {}
+        self._pli_cache_size = pli_cache_size
+        self.intersections = 0
+        self.nodes_classified = 0
+        for mask in known_uniques:
+            self._graph.add_unique(mask)
+            self._known[mask] = True
+        for mask in known_non_uniques:
+            self._graph.add_non_unique(mask)
+            self._known[mask] = False
+
+    # ------------------------------------------------------------------
+    # Classification via PLIs
+    # ------------------------------------------------------------------
+    def _column_pli(self, column: int) -> ArrayPli:
+        pli = self._column_plis.get(column)
+        if pli is None:
+            pli = ArrayPli.for_column(self._relation, column)
+            self._column_plis[column] = pli
+        return pli
+
+    def _pli_of(self, mask: int) -> ArrayPli:
+        cached = self._pli_cache.get(mask)
+        if cached is not None:
+            return cached
+        columns = list(iter_bits(mask))
+        if not columns:
+            return ArrayPli.single_cluster(
+                list(self._relation.iter_ids()), self._relation.next_tuple_id
+            )
+        # Grow from a cached immediate subset (typically the walk
+        # parent): k dict probes instead of a cache scan.
+        best_mask, best_pli = 0, None
+        for column in columns:
+            subset = mask & ~(1 << column)
+            cached_pli = self._pli_cache.get(subset)
+            if cached_pli is not None:
+                best_mask, best_pli = subset, cached_pli
+                break
+        remaining = sorted(
+            iter_bits(mask & ~best_mask),
+            key=lambda column: self._column_pli(column).n_entries(),
+        )
+        if best_pli is None:
+            current = self._column_pli(remaining[0])
+            remaining = remaining[1:]
+        else:
+            current = best_pli
+        for column in remaining:
+            if not current.has_duplicates:
+                break
+            current = current.intersect(self._column_pli(column))
+            self.intersections += 1
+        if len(self._pli_cache) >= self._pli_cache_size:
+            self._pli_cache.clear()
+        self._pli_cache[mask] = current
+        return current
+
+    def classify(self, mask: int) -> bool:
+        """True iff ``mask`` is unique; records the result for pruning."""
+        known = self._known.get(mask)
+        if known is not None:
+            return known
+        implied = self._graph.classify(mask)
+        if implied is None:
+            self.nodes_classified += 1
+            if (
+                self._deadline is not None
+                and self.nodes_classified % 1024 == 0
+                and time.monotonic() > self._deadline
+            ):
+                raise BudgetExceededError(
+                    f"DUCC exceeded {self._deadline_s}s after "
+                    f"{self.nodes_classified} classifications"
+                )
+            implied = not self._pli_of(mask).has_duplicates
+            if implied:
+                self._graph.add_unique(mask)
+            else:
+                self._graph.add_non_unique(mask)
+        self._known[mask] = implied
+        return implied
+
+    # ------------------------------------------------------------------
+    # Random walk
+    # ------------------------------------------------------------------
+    def _unvisited_neighbours(self, mask: int, upward: bool) -> list[int]:
+        """Neighbours whose class is not yet *settled*.
+
+        Implication against the graph is deliberately not queried here:
+        an implied-but-unvisited neighbour is returned, visited, and
+        settled by one cheap graph query inside :meth:`classify` --
+        much cheaper than querying the graph for all neighbours on
+        every enumeration.
+        """
+        neighbours = (
+            immediate_supersets(mask, self._universe)
+            if upward
+            else immediate_subsets(mask)
+        )
+        known = self._known
+        return [neighbour for neighbour in neighbours if neighbour not in known]
+
+    def _random_walk(self, seed_mask: int) -> None:
+        trace: list[int] = [seed_mask]
+        while trace:
+            node = trace[-1]
+            known = self._known.get(node)
+            if known is None:
+                implied = self._graph.classify(node)
+                if implied is not None:
+                    # Implied nodes are walls: settle them with the one
+                    # graph query just spent and retreat -- their whole
+                    # region is already covered by a recorded border
+                    # element, and completeness is guaranteed by the
+                    # hole-detection fixpoint, not by walk coverage.
+                    self._known[node] = implied
+                    trace.pop()
+                    continue
+                unique = self.classify(node)
+            else:
+                unique = known
+            candidates = self._unvisited_neighbours(node, upward=not unique)
+            if candidates:
+                trace.append(self._rng.choice(candidates))
+            else:
+                trace.pop()
+
+    # ------------------------------------------------------------------
+    # Full discovery with hole detection
+    # ------------------------------------------------------------------
+    def run(self) -> tuple[list[int], list[int]]:
+        """Discover the exact (MUCS, MNUCS) of the relation."""
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise BudgetExceededError(
+                f"DUCC budget of {self._deadline_s}s already spent"
+            )
+        if len(self._relation) < 2:
+            return [0], []
+        # Seed with the single columns (DUCC starts bottom-up).
+        for column in range(self._n_columns):
+            self.classify(1 << column)
+        seeds = [
+            1 << column
+            for column in range(self._n_columns)
+            if not self.classify(1 << column)
+        ]
+        while True:
+            for seed_mask in seeds:
+                self._random_walk(seed_mask)
+            border = self._graph.maximal_non_uniques()
+            candidates = mucs_from_mnucs(border, self._n_columns)
+            holes = [
+                candidate for candidate in candidates if not self.classify(candidate)
+            ]
+            if not holes:
+                return candidates, border
+            seeds = holes
+
+    def maximal_non_uniques(self) -> list[int]:
+        return self._graph.maximal_non_uniques()
+
+
+def discover_ducc(
+    relation: Relation, seed: int = 0, deadline_s: float | None = None
+) -> tuple[list[int], list[int]]:
+    """Static discovery entry point (registered as ``"ducc"``)."""
+    return Ducc(relation, seed=seed, deadline_s=deadline_s).run()

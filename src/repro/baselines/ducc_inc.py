@@ -1,0 +1,53 @@
+"""DUCC-INC: the paper's adaptation of DUCC for delete batches.
+
+Section V-A: "We adapted the original DUCC to deal with deletes by
+providing it with previously discovered minimal uniques, removing the
+subset graph above those uniques from the search space." Deletes cannot
+invalidate a unique, so the old minimal uniques stay correct upper
+bounds; DUCC only has to find the border *beneath* them.
+
+The same adaptation cannot work for inserts: a-priori knowledge of
+uniques that have become stale sends the bottom-up random walk into
+infinite loops (as the paper reports), so :class:`DuccInc` exposes
+deletes only -- inserts fall back to a full DUCC run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.baselines.ducc import Ducc
+from repro.storage.relation import Relation
+
+
+class DuccInc:
+    """Delete-batch rediscovery seeded with the old minimal uniques."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        mucs: Sequence[int],
+        deadline_s: float | None = None,
+    ) -> None:
+        """``relation`` is the live relation DUCC-INC re-profiles after
+        each delete batch; ``mucs`` the pre-batch minimal uniques.
+        ``deadline_s`` bounds each rediscovery run."""
+        self._relation = relation
+        self._mucs = list(mucs)
+        self._deadline_s = deadline_s
+
+    def handle_deletes(self, tuple_ids: Iterable[int]) -> tuple[list[int], list[int]]:
+        """Apply the deletes to the relation and re-profile.
+
+        The old minimal uniques are injected as known uniques, pruning
+        the lattice above them exactly as the paper describes.
+        """
+        for tuple_id in tuple_ids:
+            self._relation.delete(tuple_id)
+        mucs, mnucs = Ducc(
+            self._relation,
+            known_uniques=self._mucs,
+            deadline_s=self._deadline_s,
+        ).run()
+        self._mucs = mucs
+        return mucs, mnucs

@@ -1,0 +1,68 @@
+"""GORDIAN-INC: the paper's incremental adaptation of GORDIAN.
+
+Following Section V-A: GORDIAN keeps its prefix tree alive between
+batches. For *inserts* it is handed the previously discovered maximal
+non-uniques (inserts cannot invalidate a non-unique), adds the new
+tuples to the tree and re-runs the seeded traversal plus the MNUC->MUC
+conversion. For *deletes* the old maximal non-uniques may no longer
+hold, so after removing the tuples from the tree the traversal restarts
+unseeded.
+
+The paper measures only the incremental work (tree maintenance +
+rediscovery), never the initial tree construction; this class mirrors
+that by building the tree once in the constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.baselines.gordian import Gordian, PrefixTree
+from repro.storage.relation import Relation
+
+Row = tuple[Hashable, ...]
+
+
+class GordianInc:
+    """A long-lived GORDIAN instance processing insert/delete batches."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        mnucs: Sequence[int],
+        deadline_s: float | None = None,
+    ) -> None:
+        """``mnucs``: the maximal non-uniques of the initial relation
+        (from any holistic run), handed over as in the paper.
+        ``deadline_s`` bounds each rediscovery run (see
+        :class:`~repro.baselines.gordian.Gordian`)."""
+        tree = PrefixTree(relation.n_columns)
+        tree.insert_batch(relation.iter_rows())
+        self._gordian = Gordian(tree, deadline_s=deadline_s)
+        self._mnucs = list(mnucs)
+
+    @property
+    def tree(self) -> PrefixTree:
+        return self._gordian.tree
+
+    def handle_inserts(
+        self, rows: Sequence[Sequence[Hashable]]
+    ) -> tuple[list[int], list[int]]:
+        """Add a batch to the tree; rediscover seeded with old MNUCS."""
+        self.tree.insert_batch(rows)
+        mucs, mnucs = self._gordian.run(seeds=self._mnucs)
+        self._mnucs = mnucs
+        return mucs, mnucs
+
+    def handle_deletes(
+        self, rows: Sequence[Sequence[Hashable]]
+    ) -> tuple[list[int], list[int]]:
+        """Remove a batch from the tree; rediscover without seeds.
+
+        GORDIAN-INC "cannot use the previously discovered maximal
+        non-uniques, as they may not be correct after the delete".
+        """
+        self.tree.remove_batch(rows)
+        mucs, mnucs = self._gordian.run()
+        self._mnucs = mnucs
+        return mucs, mnucs

@@ -1,0 +1,13 @@
+"""Benchmark harness regenerating every figure of the paper.
+
+* :mod:`repro.bench.harness` -- timing, per-system abort budgets, and
+  paper-style result tables.
+* :mod:`repro.bench.figures` -- one experiment definition per figure
+  (Fig. 1a .. Fig. 8) plus the ablations DESIGN.md calls out.
+* :mod:`repro.bench.cli` -- the ``repro-bench`` command line.
+"""
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.harness import BenchConfig, ResultTable
+
+__all__ = ["FIGURES", "BenchConfig", "ResultTable", "run_figure"]

@@ -1,0 +1,103 @@
+"""ASCII charts for benchmark series.
+
+The paper plots every experiment as log-scale execution-time series;
+``repro-bench --chart`` renders the same shape in the terminal so the
+orders-of-magnitude gaps are visible without leaving the shell::
+
+    fig7a: NCVoter deletes                    (log10 seconds)
+      31.62 |  D                D
+      10.00 |  G   D  G    D  G    G
+       3.16 |  I       I
+       1.00 |          S   I  S S  I S
+       0.31 |  S
+            +---------------------------
+               1%    5%    10%   20%
+      S=Swan  D=Ducc  I=Ducc-Inc  G=Gordian-Inc
+
+Aborted points render as the system letter on the top border row.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import ResultTable
+
+_HEIGHT = 12
+
+
+def _letter_for(system: str, taken: dict[str, str]) -> str:
+    for candidate in system.replace("-", " ").split():
+        letter = candidate[0].upper()
+        if letter not in taken.values():
+            return letter
+    for letter in system.upper():
+        if letter.isalnum() and letter not in taken.values():
+            return letter
+    return "?"
+
+
+def render_chart(table: ResultTable, height: int = _HEIGHT) -> str:
+    """A log-scale scatter of one figure's series."""
+    letters: dict[str, str] = {}
+    for system in table.systems:
+        letters[system] = _letter_for(system, letters)
+
+    values = [
+        cell.seconds
+        for cell in table.cells.values()
+        if cell.seconds is not None and cell.seconds > 0
+    ]
+    if not values:
+        return f"{table.figure}: no data"
+    low = math.floor(math.log10(min(values)) * 2) / 2
+    high = math.ceil(math.log10(max(values)) * 2) / 2
+    if high <= low:
+        high = low + 0.5
+    step = (high - low) / (height - 1)
+
+    # Column layout: one slot per (x, system) pair, grouped by x.
+    slot_width = 2
+    group_gap = 2
+    n_systems = len(table.systems)
+    group_width = n_systems * slot_width + group_gap
+
+    def column_of(x_index: int, system_index: int) -> int:
+        return x_index * group_width + system_index * slot_width
+
+    width = len(table.x_values) * group_width
+    rows = [[" "] * width for _ in range(height)]
+    aborted_row = [" "] * width
+    for x_index, x in enumerate(table.x_values):
+        for system_index, system in enumerate(table.systems):
+            cell = table.cells.get((system, x))
+            if cell is None:
+                continue
+            column = column_of(x_index, system_index)
+            if cell.aborted or cell.seconds is None:
+                if cell.aborted:
+                    aborted_row[column] = letters[system]
+                continue
+            level = (math.log10(max(cell.seconds, 10 ** low)) - low) / step
+            row = height - 1 - min(height - 1, max(0, round(level)))
+            rows[row][column] = letters[system]
+
+    lines = [f"{table.figure}: {table.title}  (log10 seconds)"]
+    if any(mark != " " for mark in aborted_row):
+        lines.append("   aborted |" + "".join(aborted_row))
+    for row_index, row in enumerate(rows):
+        level_value = 10 ** (high - row_index * step)
+        label = f"{level_value:10.2f}" if level_value < 1000 else f"{level_value:10.0f}"
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = [" "] * width
+    for x_index, x in enumerate(table.x_values):
+        text = str(x)[: group_width - 1]
+        start = x_index * group_width
+        x_axis[start : start + len(text)] = list(text)
+    lines.append(" " * 12 + "".join(x_axis))
+    legend = "  ".join(
+        f"{letters[system]}={system}" for system in table.systems
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""``repro-bench``: regenerate the paper's figures from the command line.
+
+Examples::
+
+    repro-bench fig1a                    # one figure at default scale
+    repro-bench fig7a fig7b --scale 2    # larger datasets
+    repro-bench all --timeout 30         # everything, tight budget
+    repro-bench --list                   # available experiment names
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Sequence
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.harness import BenchConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the SWAN paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help="figure names (e.g. fig1a fig7c), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier over the scaled defaults (default 1.0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-system per-point budget in seconds; a system exceeding "
+        "it is aborted for the rest of the sweep (default 60)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the cross-system MUCS agreement check",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also append raw measurements to a CSV file",
+    )
+    parser.add_argument(
+        "--markdown", metavar="PATH", default=None,
+        help="also write a markdown report (EXPERIMENTS.md style)",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="render each figure as a log-scale ASCII chart too",
+    )
+    parser.add_argument(
+        "--replay", metavar="CSV", default=None,
+        help="re-render tables (and --chart/--markdown) from a recorded "
+        "measurements CSV instead of running experiments",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE_CSV", "CANDIDATE_CSV"),
+        default=None,
+        help="diff two recorded runs and report >=1.5x slowdowns",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.compare:
+        from repro.bench.replay import compare_runs
+
+        findings = compare_runs(args.compare[0], args.compare[1])
+        if not findings:
+            print("no regressions at the 1.5x threshold")
+            return 0
+        print(f"{len(findings)} regression(s):")
+        for finding in findings:
+            print(f"  {finding.render()}")
+        return 1
+    if args.replay:
+        from repro.bench.replay import load_measurements
+
+        tables = load_measurements(args.replay)
+        for table in tables:
+            print(table.render())
+            if args.chart:
+                from repro.bench.chart import render_chart
+
+                print()
+                print(render_chart(table))
+            print()
+        if args.markdown:
+            from repro.bench.report import render_report
+
+            with open(args.markdown, "w") as handle:
+                handle.write(
+                    render_report(tables, "Replayed results", f"source: {args.replay}")
+                )
+            print(f"markdown report written to {args.markdown}")
+        return 0
+    if args.list or not args.figures:
+        print("available experiments:")
+        for name in sorted(FIGURES):
+            print(f"  {name}")
+        return 0
+    names = sorted(FIGURES) if args.figures == ["all"] else args.figures
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}; use --list")
+    config = BenchConfig(
+        scale=args.scale,
+        timeout_s=args.timeout,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    csv_rows: list[list[str]] = []
+    tables = []
+    for name in names:
+        table = run_figure(name, config)
+        tables.append(table)
+        print(table.render())
+        if args.chart:
+            from repro.bench.chart import render_chart
+
+            print()
+            print(render_chart(table))
+        print()
+        rows = table.to_csv_rows()
+        csv_rows.extend(rows[1:] if csv_rows else rows)
+    if args.csv:
+        with open(args.csv, "a", newline="") as handle:
+            csv.writer(handle).writerows(csv_rows)
+        print(f"raw measurements appended to {args.csv}")
+    if args.markdown:
+        from repro.bench.report import render_report
+
+        preamble = (
+            f"Configuration: scale={config.scale}, timeout={config.timeout_s}s, "
+            f"seed={config.seed}."
+        )
+        with open(args.markdown, "w") as handle:
+            handle.write(render_report(tables, "Measured results", preamble))
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,740 @@
+"""Experiment definitions: one runner per figure of the paper.
+
+Every runner rebuilds the paper's setup at a scaled size (see
+DESIGN.md section 4 for the mapping), replays the same batches through
+every system, verifies that all systems that completed report identical
+minimal uniques, and returns a :class:`~repro.bench.harness.ResultTable`
+whose rows are the series the paper plots.
+
+What is timed mirrors the paper exactly:
+
+* DUCC -- a full static re-profile of the changed dataset;
+* DUCC-INC -- deletes applied + rediscovery seeded with the old MUCS;
+* GORDIAN-INC -- batch applied to the live prefix tree + seeded
+  (inserts) or unseeded (deletes) rediscovery; the initial tree build
+  is *not* timed, matching the paper's adaptation;
+* SWAN -- ``handle_inserts`` / ``handle_deletes`` only; the initial
+  profile and indexes exist already (except Fig. 6, which times SWAN
+  end-to-end: static bootstrap + index build + increment, as the paper
+  does for the holistic comparison);
+* DBMS-X -- constraint validation of the batch against the declared
+  minimal uniques (Fig. 1c only).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.baselines.dbms import DbmsConstraintChecker
+from repro.baselines.ducc import Ducc, discover_ducc
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.gordian_inc import GordianInc
+from repro.bench.harness import BenchConfig, Measurement, ResultTable, SystemRunner
+from repro.core.swan import SwanProfiler
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.tpch import lineitem_relation
+from repro.datasets.uniprot import uniprot_relation
+from repro.datasets.workload import delete_batch_ids, split_initial_and_inserts
+from repro.storage.relation import Relation
+
+BATCH_FRACTIONS = [0.01, 0.05, 0.10, 0.20]
+DELETE_FRACTIONS = [0.01, 0.05, 0.10, 0.20]
+COLUMN_SWEEP = [10, 20, 30, 40, 50, 60]
+
+# Paper row counts -> scaled defaults (BenchConfig.scale multiplies).
+SMALL_ROWS = 1000       # paper: 100k
+LARGE_NCVOTER = 4000    # paper: 5M
+LARGE_UNIPROT = 2000    # paper: 400k
+LARGE_TPCH = 6000       # paper: 5M
+HOLISTIC_ROWS = 3000    # paper: 5M (Fig. 5)
+
+DatasetBuilder = Callable[[int, int, int], Relation]
+
+_DATASETS: dict[str, DatasetBuilder] = {
+    "ncvoter": ncvoter_relation,
+    "uniprot": uniprot_relation,
+    "tpch": lineitem_relation,
+}
+
+
+def _generate(
+    dataset: str, n_rows: int, n_columns: int, seed: int
+) -> Relation:
+    return _DATASETS[dataset](n_rows, n_columns, seed)
+
+
+def _check_agreement(
+    table: ResultTable, x: object, profiles: dict[str, Sequence[int]]
+) -> None:
+    """All systems that completed a point must report the same MUCS."""
+    reference: tuple[str, Sequence[int]] | None = None
+    for system, mucs in profiles.items():
+        if reference is None:
+            reference = (system, mucs)
+            continue
+        if list(mucs) != list(reference[1]):
+            table.notes.append(
+                f"DISAGREEMENT at {x}: {system} vs {reference[0]} "
+                f"({len(mucs)} vs {len(reference[1])} MUCS)"
+            )
+
+
+# ----------------------------------------------------------------------
+# Figures 1 and 2: insert batches (small and large initial datasets)
+# ----------------------------------------------------------------------
+def _insert_batches_figure(
+    figure: str,
+    title: str,
+    dataset: str,
+    base_rows: int,
+    n_columns: int,
+    config: BenchConfig,
+    include_dbms: bool = False,
+    quota: int = 20,
+) -> ResultTable:
+    initial_rows = config.rows(base_rows)
+    table = ResultTable(
+        figure, title, x_label="batch_size", x_values=[], systems=[]
+    )
+    total = initial_rows + int(initial_rows * (sum(BATCH_FRACTIONS) + 0.05))
+    relation = _generate(dataset, total, n_columns, config.seed)
+    workload = split_initial_and_inserts(
+        relation, initial_rows, BATCH_FRACTIONS, seed=config.seed
+    )
+    initial = workload.initial
+    mucs, mnucs = discover_ducc(initial)
+    table.notes.append(
+        f"{dataset}: initial={initial_rows} rows x {n_columns} cols, "
+        f"|MUCS|={len(mucs)}, |MNUCS|={len(mnucs)}"
+    )
+
+    ducc = SystemRunner("Ducc", config)
+    gordian = SystemRunner("Gordian-Inc", config)
+    swan = SystemRunner("Swan", config)
+    dbms = SystemRunner("DBMS-X", config) if include_dbms else None
+
+    gordian_inc = GordianInc(initial, mnucs, deadline_s=config.timeout_s)
+    profiler = SwanProfiler(
+        initial.copy(), mucs, mnucs, index_quota=quota, maintain_plis=False
+    )
+    checker = DbmsConstraintChecker(initial, mucs) if include_dbms else None
+    cumulative = initial.copy()
+
+    for fraction, batch in zip(BATCH_FRACTIONS, workload.insert_batches):
+        label = f"{int(fraction * 100)}%"
+        profiles: dict[str, Sequence[int]] = {}
+
+        cumulative.insert_many(batch)
+        measurement, ducc_result = ducc.measure(
+            label, lambda: discover_ducc(cumulative, deadline_s=config.timeout_s)
+        )
+        table.record(measurement)
+        if ducc_result is not None:
+            profiles["Ducc"] = ducc_result[0]
+
+        measurement, gordian_result = gordian.measure(
+            label, lambda: gordian_inc.handle_inserts(batch)
+        )
+        table.record(measurement)
+        if gordian_result is not None:
+            profiles["Gordian-Inc"] = gordian_result[0]
+
+        measurement, swan_result = swan.measure(
+            label, lambda: profiler.handle_inserts(batch)
+        )
+        table.record(measurement)
+        if swan_result is not None:
+            profiles["Swan"] = list(swan_result.mucs)
+
+        if dbms is not None and checker is not None:
+            measurement, _ = dbms.measure(
+                label, lambda: checker.insert_batch(batch)
+            )
+            table.record(measurement)
+
+        if config.verify:
+            _check_agreement(table, label, profiles)
+    return table
+
+
+def fig1a(config: BenchConfig) -> ResultTable:
+    return _insert_batches_figure(
+        "fig1a", "NCVoter inserts, small initial dataset",
+        "ncvoter", SMALL_ROWS, 40, config,
+    )
+
+
+def fig1b(config: BenchConfig) -> ResultTable:
+    return _insert_batches_figure(
+        "fig1b", "Uniprot inserts, small initial dataset",
+        "uniprot", SMALL_ROWS, 40, config,
+    )
+
+
+def fig1c(config: BenchConfig) -> ResultTable:
+    return _insert_batches_figure(
+        "fig1c", "TPC-H inserts, small initial dataset (with DBMS-X)",
+        "tpch", SMALL_ROWS, 16, config, include_dbms=True, quota=8,
+    )
+
+
+def fig2a(config: BenchConfig) -> ResultTable:
+    return _insert_batches_figure(
+        "fig2a", "NCVoter inserts, large initial dataset",
+        "ncvoter", LARGE_NCVOTER, 40, config,
+    )
+
+
+def fig2b(config: BenchConfig) -> ResultTable:
+    return _insert_batches_figure(
+        "fig2b", "Uniprot inserts, large initial dataset",
+        "uniprot", LARGE_UNIPROT, 40, config,
+    )
+
+
+def fig2c(config: BenchConfig) -> ResultTable:
+    return _insert_batches_figure(
+        "fig2c", "TPC-H inserts, large initial dataset",
+        "tpch", LARGE_TPCH, 16, config, quota=8,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: scaling the number of columns (inserts)
+# ----------------------------------------------------------------------
+def fig3(config: BenchConfig) -> ResultTable:
+    initial_rows = config.rows(SMALL_ROWS)
+    batch_fraction = 0.10
+    table = ResultTable(
+        "fig3",
+        "NCVoter inserts while scaling the number of columns",
+        x_label="columns",
+    )
+    ducc = SystemRunner("Ducc", config)
+    gordian = SystemRunner("Gordian-Inc", config)
+    swan = SystemRunner("Swan", config)
+    for n_columns in COLUMN_SWEEP:
+        total = initial_rows + int(initial_rows * (batch_fraction + 0.02))
+        relation = _generate("ncvoter", total, n_columns, config.seed)
+        workload = split_initial_and_inserts(
+            relation, initial_rows, [batch_fraction], seed=config.seed
+        )
+        initial, batch = workload.initial, workload.insert_batches[0]
+        mucs, mnucs = discover_ducc(initial)
+        profiles: dict[str, Sequence[int]] = {}
+
+        cumulative = initial.copy()
+        cumulative.insert_many(batch)
+        measurement, result = ducc.measure(
+            n_columns,
+            lambda: discover_ducc(cumulative, deadline_s=config.timeout_s),
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc"] = result[0]
+
+        gordian_inc = GordianInc(initial, mnucs, deadline_s=config.timeout_s)
+        measurement, result = gordian.measure(
+            n_columns, lambda: gordian_inc.handle_inserts(batch)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Gordian-Inc"] = result[0]
+
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=20, maintain_plis=False
+        )
+        measurement, result = swan.measure(
+            n_columns, lambda: profiler.handle_inserts(batch)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Swan"] = list(result.mucs)
+
+        if config.verify:
+            _check_agreement(table, n_columns, profiles)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 4: index analysis (Index All vs SWAN minimal vs SWAN)
+# ----------------------------------------------------------------------
+def _index_analysis_figure(
+    figure: str,
+    title: str,
+    dataset: str,
+    base_rows: int,
+    n_columns: int,
+    quota: int,
+    config: BenchConfig,
+) -> ResultTable:
+    initial_rows = config.rows(base_rows)
+    table = ResultTable(figure, title, x_label="batch_size")
+    total = initial_rows + int(initial_rows * (sum(BATCH_FRACTIONS) + 0.05))
+    relation = _generate(dataset, total, n_columns, config.seed)
+    workload = split_initial_and_inserts(
+        relation, initial_rows, BATCH_FRACTIONS, seed=config.seed
+    )
+    initial = workload.initial
+    mucs, mnucs = discover_ducc(initial)
+
+    variants: dict[str, SwanProfiler] = {
+        "Index All": SwanProfiler(
+            initial.copy(), mucs, mnucs,
+            index_columns=list(range(n_columns)), maintain_plis=False,
+        ),
+        "Swan minimal": SwanProfiler(
+            initial.copy(), mucs, mnucs, maintain_plis=False,
+        ),
+        "Swan": SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=quota, maintain_plis=False,
+        ),
+    }
+    table.notes.append(
+        "indexes used: "
+        + ", ".join(
+            f"{name}={len(profiler.indexed_columns)}"
+            for name, profiler in variants.items()
+        )
+    )
+    runners = {name: SystemRunner(name, config) for name in variants}
+    for fraction, batch in zip(BATCH_FRACTIONS, workload.insert_batches):
+        label = f"{int(fraction * 100)}%"
+        profiles: dict[str, Sequence[int]] = {}
+        for name, profiler in variants.items():
+            measurement, result = runners[name].measure(
+                label, lambda p=profiler: p.handle_inserts(batch)
+            )
+            table.record(measurement)
+            if result is not None:
+                profiles[name] = list(result.mucs)
+        if config.verify:
+            _check_agreement(table, label, profiles)
+    return table
+
+
+def fig4a(config: BenchConfig) -> ResultTable:
+    return _index_analysis_figure(
+        "fig4a", "NCVoter index analysis", "ncvoter", LARGE_NCVOTER, 40, 20, config
+    )
+
+
+def fig4b(config: BenchConfig) -> ResultTable:
+    return _index_analysis_figure(
+        "fig4b", "Uniprot index analysis", "uniprot", LARGE_UNIPROT, 40, 20, config
+    )
+
+
+def fig4c(config: BenchConfig) -> ResultTable:
+    return _index_analysis_figure(
+        "fig4c", "TPC-H index analysis", "tpch", LARGE_TPCH, 16, 8, config
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: SWAN as a holistic approach (growing increments)
+# ----------------------------------------------------------------------
+def fig5(config: BenchConfig) -> ResultTable:
+    initial_rows = config.rows(HOLISTIC_ROWS)
+    fractions = [round(0.1 * step, 1) for step in range(1, 11)]
+    table = ResultTable(
+        "fig5",
+        "TPC-H: holistic DUCC vs SWAN on growing increments",
+        x_label="increment",
+    )
+    total = initial_rows + int(initial_rows * 1.02)
+    relation = _generate("tpch", total, 16, config.seed)
+    workload = split_initial_and_inserts(
+        relation, initial_rows, [1.0], seed=config.seed
+    )
+    initial = workload.initial
+    all_inserts = workload.insert_batches[0]
+    mucs, mnucs = discover_ducc(initial)
+    ducc = SystemRunner("Ducc", config)
+    swan = SystemRunner("Swan", config)
+    for fraction in fractions:
+        label = f"{int(fraction * 100)}%"
+        chunk = all_inserts[: int(round(fraction * initial_rows))]
+        profiles: dict[str, Sequence[int]] = {}
+
+        combined = initial.copy()
+        combined.insert_many(chunk)
+        measurement, result = ducc.measure(
+            label, lambda: discover_ducc(combined, deadline_s=config.timeout_s)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc"] = result[0]
+
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=8, maintain_plis=False
+        )
+        measurement, result = swan.measure(
+            label, lambda: profiler.handle_inserts(chunk)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Swan"] = list(result.mucs)
+
+        if config.verify:
+            _check_agreement(table, label, profiles)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 6: holistic SWAN end-to-end while scaling columns
+# ----------------------------------------------------------------------
+def fig6(config: BenchConfig) -> ResultTable:
+    total_rows = config.rows(SMALL_ROWS) + config.rows(SMALL_ROWS) // 10
+    big_sample = config.rows(SMALL_ROWS)
+    small_sample = config.rows(SMALL_ROWS) // 10
+    table = ResultTable(
+        "fig6",
+        "NCVoter: end-to-end holistic profiling (static run + index "
+        "build + increment) while scaling columns",
+        x_label="columns",
+    )
+    ducc = SystemRunner("Ducc", config)
+    swan_big = SystemRunner(f"Swan {big_sample} sample", config)
+    swan_small = SystemRunner(f"Swan {small_sample} sample", config)
+    for n_columns in COLUMN_SWEEP:
+        relation = _generate("ncvoter", total_rows, n_columns, config.seed)
+        rows = list(relation.iter_rows())
+        profiles: dict[str, Sequence[int]] = {}
+
+        full = Relation.from_rows(relation.schema, rows)
+        measurement, result = ducc.measure(
+            n_columns, lambda: discover_ducc(full, deadline_s=config.timeout_s)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc"] = result[0]
+
+        def swan_end_to_end(sample_size: int):
+            initial = Relation.from_rows(relation.schema, rows[:sample_size])
+            profiler = SwanProfiler.profile(
+                initial, algorithm="ducc", index_quota=20, maintain_plis=False
+            )
+            return profiler.handle_inserts(rows[sample_size:])
+
+        measurement, result = swan_big.measure(
+            n_columns, lambda: swan_end_to_end(big_sample)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles[swan_big.name] = list(result.mucs)
+
+        measurement, result = swan_small.measure(
+            n_columns, lambda: swan_end_to_end(small_sample)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles[swan_small.name] = list(result.mucs)
+
+        if config.verify:
+            _check_agreement(table, n_columns, profiles)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figures 7 and 8: deletes
+# ----------------------------------------------------------------------
+def _delete_figure(
+    figure: str,
+    title: str,
+    dataset: str,
+    base_rows: int,
+    n_columns: int,
+    config: BenchConfig,
+) -> ResultTable:
+    initial_rows = config.rows(base_rows)
+    table = ResultTable(figure, title, x_label="deletes")
+    relation = _generate(dataset, initial_rows, n_columns, config.seed)
+    mucs, mnucs = discover_ducc(relation)
+    table.notes.append(
+        f"{dataset}: initial={initial_rows} rows x {n_columns} cols, "
+        f"|MUCS|={len(mucs)}, |MNUCS|={len(mnucs)}"
+    )
+    ducc = SystemRunner("Ducc", config)
+    ducc_inc = SystemRunner("Ducc-Inc", config)
+    gordian = SystemRunner("Gordian-Inc", config)
+    swan = SystemRunner("Swan", config)
+    for fraction in DELETE_FRACTIONS:
+        label = f"{int(fraction * 100)}%"
+        doomed = delete_batch_ids(relation, fraction, seed=config.seed)
+        doomed_rows = [relation.row(tuple_id) for tuple_id in doomed]
+        profiles: dict[str, Sequence[int]] = {}
+
+        shrunk = relation.copy()
+        shrunk.delete_many(doomed)
+        measurement, result = ducc.measure(
+            label, lambda: discover_ducc(shrunk, deadline_s=config.timeout_s)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc"] = result[0]
+
+        inc_relation = relation.copy()
+        inc = DuccInc(inc_relation, mucs, deadline_s=config.timeout_s)
+        measurement, result = ducc_inc.measure(
+            label, lambda: inc.handle_deletes(doomed)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc-Inc"] = result[0]
+
+        gordian_inc = GordianInc(relation, mnucs, deadline_s=config.timeout_s)
+        measurement, result = gordian.measure(
+            label, lambda: gordian_inc.handle_deletes(doomed_rows)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Gordian-Inc"] = result[0]
+
+        profiler = SwanProfiler(relation.copy(), mucs, mnucs)
+        measurement, result = swan.measure(
+            label, lambda: profiler.handle_deletes(doomed)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Swan"] = list(result.mucs)
+
+        if config.verify:
+            _check_agreement(table, label, profiles)
+    return table
+
+
+def fig7a(config: BenchConfig) -> ResultTable:
+    return _delete_figure(
+        "fig7a", "NCVoter deletes", "ncvoter", LARGE_NCVOTER, 40, config
+    )
+
+
+def fig7b(config: BenchConfig) -> ResultTable:
+    return _delete_figure(
+        "fig7b", "Uniprot deletes", "uniprot", LARGE_UNIPROT, 40, config
+    )
+
+
+def fig7c(config: BenchConfig) -> ResultTable:
+    return _delete_figure(
+        "fig7c", "TPC-H deletes", "tpch", LARGE_TPCH, 16, config
+    )
+
+
+def fig8(config: BenchConfig) -> ResultTable:
+    initial_rows = config.rows(SMALL_ROWS)
+    fraction = 0.01
+    table = ResultTable(
+        "fig8",
+        "NCVoter deletes while scaling the number of columns",
+        x_label="columns",
+    )
+    ducc = SystemRunner("Ducc", config)
+    ducc_inc = SystemRunner("Ducc-Inc", config)
+    gordian = SystemRunner("Gordian-Inc", config)
+    swan = SystemRunner("Swan", config)
+    for n_columns in COLUMN_SWEEP:
+        relation = _generate("ncvoter", initial_rows, n_columns, config.seed)
+        mucs, mnucs = discover_ducc(relation)
+        doomed = delete_batch_ids(relation, fraction, seed=config.seed)
+        doomed_rows = [relation.row(tuple_id) for tuple_id in doomed]
+        profiles: dict[str, Sequence[int]] = {}
+
+        shrunk = relation.copy()
+        shrunk.delete_many(doomed)
+        measurement, result = ducc.measure(
+            n_columns,
+            lambda: discover_ducc(shrunk, deadline_s=config.timeout_s),
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc"] = result[0]
+
+        inc_relation = relation.copy()
+        inc = DuccInc(inc_relation, mucs, deadline_s=config.timeout_s)
+        measurement, result = ducc_inc.measure(
+            n_columns, lambda: inc.handle_deletes(doomed)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Ducc-Inc"] = result[0]
+
+        gordian_inc = GordianInc(relation, mnucs, deadline_s=config.timeout_s)
+        measurement, result = gordian.measure(
+            n_columns, lambda: gordian_inc.handle_deletes(doomed_rows)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Gordian-Inc"] = result[0]
+
+        profiler = SwanProfiler(relation.copy(), mucs, mnucs)
+        measurement, result = swan.measure(
+            n_columns, lambda: profiler.handle_deletes(doomed)
+        )
+        table.record(measurement)
+        if result is not None:
+            profiles["Swan"] = list(result.mucs)
+
+        if config.verify:
+            _check_agreement(table, n_columns, profiles)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices beyond the paper's figures)
+# ----------------------------------------------------------------------
+def ablation_quota(config: BenchConfig) -> ResultTable:
+    """Sweep the additional-index quota (Algorithm 4's delta)."""
+    initial_rows = config.rows(SMALL_ROWS)
+    table = ResultTable(
+        "ablation_quota",
+        "NCVoter: insert cost vs index quota (delta sweep)",
+        x_label="quota",
+    )
+    total = initial_rows + int(initial_rows * 0.12)
+    relation = _generate("ncvoter", total, 40, config.seed)
+    workload = split_initial_and_inserts(
+        relation, initial_rows, [0.10], seed=config.seed
+    )
+    initial, batch = workload.initial, workload.insert_batches[0]
+    mucs, mnucs = discover_ducc(initial)
+    for quota in [None, 12, 16, 20, 28, 40]:
+        profiler = SwanProfiler(
+            initial.copy(), mucs, mnucs, index_quota=quota, maintain_plis=False
+        )
+        runner = SystemRunner(f"indexes={len(profiler.indexed_columns)}", config)
+        label = "minimal" if quota is None else str(quota)
+        measurement, _ = runner.measure(label, lambda: profiler.handle_inserts(batch))
+        table.record(Measurement("Swan", label, measurement.seconds))
+        table.notes.append(
+            f"quota={label}: {len(profiler.indexed_columns)} index columns, "
+            f"{profiler.last_insert_stats.tuples_retrieved} tuples retrieved"
+        )
+    return table
+
+
+def ablation_pli_shortcircuits(config: BenchConfig) -> ResultTable:
+    """Delete-path short-circuits (Section IV-B) on vs off."""
+    from repro.core.deletes import DeletesHandler
+
+    initial_rows = config.rows(SMALL_ROWS)
+    table = ResultTable(
+        "ablation_pli",
+        "NCVoter deletes: PLI short-circuits on vs off",
+        x_label="deletes",
+    )
+    relation = _generate("ncvoter", initial_rows, 40, config.seed)
+    mucs, mnucs = discover_ducc(relation)
+    for fraction in DELETE_FRACTIONS:
+        label = f"{int(fraction * 100)}%"
+        doomed = delete_batch_ids(relation, fraction, seed=config.seed)
+
+        swan = SwanProfiler(relation.copy(), mucs, mnucs)
+        runner = SystemRunner("Swan", config)
+        measurement, _ = runner.measure(label, lambda: swan.handle_deletes(doomed))
+        table.record(measurement)
+
+        class _NoShortCircuit(DeletesHandler):
+            def _is_still_non_unique(self, mask, deleted, clustered, stats):
+                stats.complete_checks += 1
+                return self._has_surviving_duplicate(mask, deleted)
+
+        blunt = SwanProfiler(relation.copy(), mucs, mnucs)
+        blunt._deletes = _NoShortCircuit(blunt.relation, blunt._repository, blunt._plis)
+        runner = SystemRunner("Swan (no short-circuits)", config)
+        measurement, _ = runner.measure(label, lambda: blunt.handle_deletes(doomed))
+        table.record(measurement)
+    return table
+
+
+def ablation_lookup_cache(config: BenchConfig) -> ResultTable:
+    """Alg. 2's look-up cache on vs off (shared index columns)."""
+    from repro.core.inserts import InsertsHandler, _LookupCache
+
+    initial_rows = config.rows(LARGE_NCVOTER)
+    table = ResultTable(
+        "ablation_cache",
+        "NCVoter inserts: look-up cache on vs off",
+        x_label="batch_size",
+    )
+    total = initial_rows + int(initial_rows * (sum(BATCH_FRACTIONS) + 0.05))
+    relation = _generate("ncvoter", total, 40, config.seed)
+    workload = split_initial_and_inserts(
+        relation, initial_rows, BATCH_FRACTIONS, seed=config.seed
+    )
+    initial = workload.initial
+    mucs, mnucs = discover_ducc(initial)
+
+    class _ColdCache(_LookupCache):
+        def largest_subset(self, mask):
+            return 0, None
+
+        def store(self, mask, entry):
+            pass
+
+    class _UncachedHandler(InsertsHandler):
+        def handle(self, new_rows):
+            return super().handle(new_rows)
+
+        def _retrieve_ids(self, muc_mask, new_rows, cache, stats):
+            return super()._retrieve_ids(muc_mask, new_rows, _ColdCache(), stats)
+
+    cached = SwanProfiler(
+        initial.copy(), mucs, mnucs, index_quota=20, maintain_plis=False
+    )
+    uncached = SwanProfiler(
+        initial.copy(), mucs, mnucs, index_quota=20, maintain_plis=False
+    )
+    uncached._inserts = _UncachedHandler(
+        uncached.relation, uncached._repository, uncached._index_pool, uncached._sparse
+    )
+    cached_runner = SystemRunner("Swan (cache)", config)
+    uncached_runner = SystemRunner("Swan (no cache)", config)
+    for fraction, batch in zip(BATCH_FRACTIONS, workload.insert_batches):
+        label = f"{int(fraction * 100)}%"
+        measurement, _ = cached_runner.measure(
+            label, lambda: cached.handle_inserts(batch)
+        )
+        table.record(measurement)
+        measurement, _ = uncached_runner.measure(
+            label, lambda: uncached.handle_inserts(batch)
+        )
+        table.record(measurement)
+    return table
+
+
+FIGURES: dict[str, Callable[[BenchConfig], ResultTable]] = {
+    "fig1a": fig1a,
+    "fig1b": fig1b,
+    "fig1c": fig1c,
+    "fig2a": fig2a,
+    "fig2b": fig2b,
+    "fig2c": fig2c,
+    "fig3": fig3,
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig4c": fig4c,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7a": fig7a,
+    "fig7b": fig7b,
+    "fig7c": fig7c,
+    "fig8": fig8,
+    "ablation_quota": ablation_quota,
+    "ablation_pli": ablation_pli_shortcircuits,
+    "ablation_cache": ablation_lookup_cache,
+}
+
+
+def run_figure(figure: str, config: BenchConfig | None = None) -> ResultTable:
+    """Run one experiment by figure name (see :data:`FIGURES`)."""
+    if config is None:
+        config = BenchConfig.from_env()
+    try:
+        runner = FIGURES[figure]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure!r}; available: {sorted(FIGURES)}"
+        ) from None
+    return runner(config)

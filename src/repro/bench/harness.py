@@ -1,0 +1,192 @@
+"""Benchmark harness: timing, abort budgets, result tables.
+
+The paper reports every experiment as "execution time (s)" series over a
+swept parameter, one series per system, and *aborts* systems that run
+past a wall-clock budget (GORDIAN-INC was cut off at 10 hours several
+times). This harness mirrors that: each (system, x) point is timed
+once, a system that exceeds ``BenchConfig.timeout_s`` at some x is
+marked aborted and skipped for all larger x of the same figure, and the
+result renders as the same rows the paper plots.
+
+Scaled sizes: pure Python is orders of magnitude slower than the
+authors' Java testbed, so figure definitions scale the paper's row
+counts down by default. ``BenchConfig.scale`` multiplies them back up
+(``--scale 10`` on the CLI, ``REPRO_BENCH_SCALE=10`` for pytest runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by every figure runner."""
+
+    scale: float = 1.0
+    timeout_s: float = 60.0
+    seed: int = 7
+    verify: bool = True
+    """Cross-check that all systems report identical MUCS per point."""
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        return cls(
+            scale=float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+            timeout_s=float(os.environ.get("REPRO_BENCH_TIMEOUT", "60.0")),
+            seed=int(os.environ.get("REPRO_BENCH_SEED", "7")),
+            verify=os.environ.get("REPRO_BENCH_VERIFY", "1") != "0",
+        )
+
+    def rows(self, base: int) -> int:
+        """A paper row count scaled to this configuration."""
+        return max(50, int(base * self.scale))
+
+
+@dataclass
+class Measurement:
+    """One (system, x) cell of a figure."""
+
+    system: str
+    x: object
+    seconds: float | None
+    aborted: bool = False
+    note: str = ""
+
+    def render(self) -> str:
+        if self.aborted:
+            return "aborted"
+        if self.seconds is None:
+            return "-"
+        return f"{self.seconds:.3f}"
+
+
+@dataclass
+class ResultTable:
+    """All measurements of one figure, renderable like the paper plots."""
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: list = field(default_factory=list)
+    systems: list[str] = field(default_factory=list)
+    cells: dict[tuple[str, object], Measurement] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def record(self, measurement: Measurement) -> None:
+        if measurement.system not in self.systems:
+            self.systems.append(measurement.system)
+        if measurement.x not in self.x_values:
+            self.x_values.append(measurement.x)
+        self.cells[(measurement.system, measurement.x)] = measurement
+
+    def seconds(self, system: str, x: object) -> float | None:
+        cell = self.cells.get((system, x))
+        return None if cell is None or cell.aborted else cell.seconds
+
+    def speedup(self, slow: str, fast: str, x: object) -> float | None:
+        """How many times faster ``fast`` is than ``slow`` at ``x``."""
+        slow_s, fast_s = self.seconds(slow, x), self.seconds(fast, x)
+        if slow_s is None or fast_s is None or fast_s == 0:
+            return None
+        return slow_s / fast_s
+
+    def render(self) -> str:
+        """A fixed-width table: one row per x, one column per system."""
+        header = [self.x_label] + self.systems
+        rows = [header]
+        for x in self.x_values:
+            row = [str(x)]
+            for system in self.systems:
+                cell = self.cells.get((system, x))
+                row.append(cell.render() if cell else "-")
+            rows.append(row)
+        widths = [
+            max(len(row[column]) for row in rows) for column in range(len(header))
+        ]
+        lines = [f"== {self.figure}: {self.title} (execution time in s) =="]
+        for index, row in enumerate(rows):
+            lines.append(
+                "  ".join(value.rjust(width) for value, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv_rows(self) -> list[list[str]]:
+        """Rows in sweep order (x outer, system inner) so replaying a
+        CSV reconstructs the original series order."""
+        rows = [["figure", "x", "system", "seconds", "aborted"]]
+        for x in self.x_values:
+            for system in self.systems:
+                cell = self.cells.get((system, x))
+                if cell is None:
+                    continue
+                rows.append(
+                    [
+                        self.figure,
+                        str(x),
+                        system,
+                        "" if cell.seconds is None else f"{cell.seconds:.6f}",
+                        "1" if cell.aborted else "0",
+                    ]
+                )
+        return rows
+
+
+class SystemRunner:
+    """Times one system across a figure's sweep, honouring the budget.
+
+    Once a point exceeds the budget the system is aborted for the rest
+    of the sweep (monotone sweeps only get more expensive), mirroring
+    the paper's 10-hour cut-offs.
+    """
+
+    def __init__(self, name: str, config: BenchConfig) -> None:
+        self.name = name
+        self._config = config
+        self._aborted = False
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    def measure(self, x: object, call: Callable[[], object]) -> tuple[Measurement, object]:
+        """Run ``call`` once; returns the measurement and its result.
+
+        A call raising :class:`~repro.errors.BudgetExceededError` (the
+        cooperative deadline baked into GORDIAN / DUCC) is recorded as
+        an aborted point and retires the system for the sweep.
+        """
+        from repro.errors import BudgetExceededError
+
+        if self._aborted:
+            return Measurement(self.name, x, None, aborted=True), None
+        started = time.perf_counter()
+        try:
+            result = call()
+        except BudgetExceededError as exc:
+            self._aborted = True
+            return (
+                Measurement(self.name, x, None, aborted=True, note=str(exc)),
+                None,
+            )
+        elapsed = time.perf_counter() - started
+        if elapsed > self._config.timeout_s:
+            self._aborted = True
+            return (
+                Measurement(
+                    self.name,
+                    x,
+                    elapsed,
+                    aborted=False,
+                    note="over budget; later points skipped",
+                ),
+                result,
+            )
+        return Measurement(self.name, x, elapsed), result

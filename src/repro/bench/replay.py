@@ -1,0 +1,133 @@
+"""Replay and compare recorded benchmark measurements.
+
+``repro-bench`` writes raw measurements to CSV; this module turns such
+files back into :class:`~repro.bench.harness.ResultTable` objects so
+tables and charts can be re-rendered without re-measuring
+(``repro-bench --replay measurements.csv --chart``), and diffs two
+recordings to flag regressions between library versions
+(:func:`compare_runs`).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+
+from repro.bench.harness import Measurement, ResultTable
+from repro.bench.figures import FIGURES
+
+
+def load_measurements(path: str) -> list[ResultTable]:
+    """Rebuild one ResultTable per figure from a measurements CSV."""
+    tables: dict[str, ResultTable] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"figure", "x", "system", "seconds", "aborted"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path} is not a repro-bench measurements CSV "
+                f"(columns {reader.fieldnames})"
+            )
+        for row in reader:
+            figure = row["figure"]
+            table = tables.get(figure)
+            if table is None:
+                table = ResultTable(figure, figure, x_label="x")
+                tables[figure] = table
+            seconds = float(row["seconds"]) if row["seconds"] else None
+            table.record(
+                Measurement(
+                    system=row["system"],
+                    x=row["x"],
+                    seconds=seconds,
+                    aborted=row["aborted"] == "1",
+                )
+            )
+    for table in tables.values():
+        _restore_sweep_order(table)
+    ordered = sorted(
+        tables.values(),
+        key=lambda table: (
+            list(FIGURES).index(table.figure)
+            if table.figure in FIGURES
+            else len(FIGURES),
+            table.figure,
+        ),
+    )
+    return ordered
+
+
+def _restore_sweep_order(table: ResultTable) -> None:
+    """Sort x values numerically when they all look numeric.
+
+    Older recordings were written in string-sorted order ('1%', '10%',
+    '20%', '5%'); sweeps are always numeric, so a numeric key restores
+    them. Non-numeric labels keep their encounter order.
+    """
+
+    def numeric_key(x: object) -> float | None:
+        text = str(x).rstrip("%")
+        try:
+            return float(text)
+        except ValueError:
+            return None
+
+    keys = [numeric_key(x) for x in table.x_values]
+    if all(key is not None for key in keys):
+        table.x_values.sort(key=numeric_key)
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One (figure, system, x) point that changed materially."""
+
+    figure: str
+    system: str
+    x: str
+    before: float | None
+    after: float | None
+    ratio: float | None
+
+    def render(self) -> str:
+        if self.before is None or self.after is None:
+            change = "appeared/disappeared"
+        else:
+            change = f"{self.before:.3f}s -> {self.after:.3f}s ({self.ratio:.2f}x)"
+        return f"{self.figure} {self.system} @ {self.x}: {change}"
+
+
+def compare_runs(
+    baseline_path: str,
+    candidate_path: str,
+    threshold: float = 1.5,
+) -> list[RegressionFinding]:
+    """Points where the candidate run is ``threshold``x slower (or a
+    point appeared/disappeared). Speed-ups are not reported."""
+    baseline = {
+        (table.figure, system, str(x)): table.seconds(system, x)
+        for table in load_measurements(baseline_path)
+        for (system, x) in table.cells
+    }
+    candidate = {
+        (table.figure, system, str(x)): table.seconds(system, x)
+        for table in load_measurements(candidate_path)
+        for (system, x) in table.cells
+    }
+    findings: list[RegressionFinding] = []
+    for key in sorted(set(baseline) | set(candidate)):
+        before = baseline.get(key)
+        after = candidate.get(key)
+        figure, system, x = key
+        if (before is None) != (after is None):
+            findings.append(
+                RegressionFinding(figure, system, x, before, after, None)
+            )
+            continue
+        if before is None or after is None or before == 0:
+            continue
+        ratio = after / before
+        if ratio >= threshold:
+            findings.append(
+                RegressionFinding(figure, system, x, before, after, ratio)
+            )
+    return findings

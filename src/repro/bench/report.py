@@ -1,0 +1,89 @@
+"""Markdown reporting for benchmark runs.
+
+``repro-bench --markdown experiments.md`` (and the EXPERIMENTS.md
+pipeline) turn :class:`~repro.bench.harness.ResultTable` objects into
+the per-figure sections of the experiment log: a markdown table of the
+measured series plus the headline speed-ups the paper quotes for that
+figure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ResultTable
+
+# The comparison the paper headlines per figure: (slow, fast) pairs
+# whose ratio we quote alongside the table.
+_HEADLINES: dict[str, list[tuple[str, str]]] = {
+    "fig1a": [("Ducc", "Swan"), ("Gordian-Inc", "Swan")],
+    "fig1b": [("Ducc", "Swan"), ("Gordian-Inc", "Swan")],
+    "fig1c": [("Ducc", "Swan"), ("Gordian-Inc", "Swan"), ("DBMS-X", "Swan")],
+    "fig2a": [("Ducc", "Swan"), ("Gordian-Inc", "Swan")],
+    "fig2b": [("Ducc", "Swan"), ("Gordian-Inc", "Swan")],
+    "fig2c": [("Ducc", "Swan"), ("Gordian-Inc", "Swan")],
+    "fig3": [("Ducc", "Swan"), ("Gordian-Inc", "Swan")],
+    "fig5": [("Ducc", "Swan")],
+    "fig7a": [("Ducc", "Swan"), ("Ducc-Inc", "Swan")],
+    "fig7b": [("Ducc", "Swan"), ("Ducc-Inc", "Swan")],
+    "fig7c": [("Ducc", "Swan"), ("Ducc-Inc", "Swan")],
+    "fig8": [("Ducc", "Swan"), ("Ducc-Inc", "Swan")],
+}
+
+
+def table_to_markdown(table: ResultTable) -> str:
+    """One figure as a markdown section."""
+    lines = [f"### {table.figure}: {table.title}", ""]
+    header = [table.x_label, *table.systems]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for x in table.x_values:
+        row = [str(x)]
+        for system in table.systems:
+            cell = table.cells.get((system, x))
+            if cell is None:
+                row.append("–")
+            elif cell.aborted:
+                row.append("aborted")
+            else:
+                row.append(f"{cell.seconds:.3f} s")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    for note in table.notes:
+        lines.append(f"*{note}*  ")
+    speedups = speedup_summary(table)
+    if speedups:
+        lines.append("")
+        lines.extend(f"- {line}" for line in speedups)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def speedup_summary(table: ResultTable) -> list[str]:
+    """Headline speed-up lines for one figure."""
+    lines: list[str] = []
+    for slow, fast in _HEADLINES.get(table.figure, []):
+        ratios = [
+            (x, table.speedup(slow, fast, x))
+            for x in table.x_values
+        ]
+        ratios = [(x, ratio) for x, ratio in ratios if ratio is not None]
+        if not ratios:
+            continue
+        best_x, best = max(ratios, key=lambda item: item[1])
+        worst_x, worst = min(ratios, key=lambda item: item[1])
+        lines.append(
+            f"{fast} vs {slow}: {worst:.1f}x (at {worst_x}) to "
+            f"{best:.1f}x (at {best_x}) faster"
+        )
+    return lines
+
+
+def render_report(tables: Sequence[ResultTable], title: str, preamble: str = "") -> str:
+    """A full markdown report over several figures."""
+    parts = [f"## {title}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    for table in tables:
+        parts.append(table_to_markdown(table))
+    return "\n".join(parts)

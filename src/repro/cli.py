@@ -1,0 +1,201 @@
+"""``repro-profile``: profile a CSV file from the command line.
+
+Examples::
+
+    repro-profile data.csv                       # discover MUCS/MNUCS
+    repro-profile data.csv --algorithm gordian   # pick the engine
+    repro-profile data.csv --verify              # re-check the result
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.profiling.discovery import available_algorithms, discover
+from repro.profiling.verify import verify_profile
+from repro.storage.relation import Relation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Discover unique / non-unique column combinations in a CSV file.",
+    )
+    parser.add_argument("csv_path", help="input CSV file with a header row")
+    parser.add_argument(
+        "--algorithm",
+        default="ducc",
+        choices=available_algorithms(),
+        help="discovery engine (default: ducc)",
+    )
+    parser.add_argument(
+        "--delimiter", default=",", help="CSV delimiter (default ',')"
+    )
+    parser.add_argument(
+        "--columns", type=int, default=None,
+        help="profile only the first N columns",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="re-check every reported combination against the data",
+    )
+    parser.add_argument(
+        "--max-print", type=int, default=50,
+        help="print at most this many combinations per set (default 50)",
+    )
+    parser.add_argument(
+        "--save-profile", metavar="PATH", default=None,
+        help="save the discovered profile as JSON (re-attachable later)",
+    )
+    parser.add_argument(
+        "--fds", type=int, metavar="MAX_LHS", default=None,
+        help="also discover minimal functional dependencies with at "
+        "most MAX_LHS left-hand-side columns",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print the full profiling report (column statistics, keys, "
+        "FDs and INDs) instead of the plain MUCS/MNUCS listing",
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="after profiling, keep reading CSV rows (no header) from "
+        "stdin as insert batches and report profile changes per batch",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=100,
+        help="rows per batch in --follow mode (default 100)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    relation = Relation.from_csv(args.csv_path, delimiter=args.delimiter)
+    if args.columns is not None:
+        relation = relation.restrict_columns(args.columns)
+    print(
+        f"profiling {args.csv_path}: {len(relation)} rows x "
+        f"{relation.n_columns} columns with {args.algorithm}"
+    )
+    if args.summary:
+        from repro.profiling.summary import summarize
+
+        summary = summarize(
+            relation,
+            algorithm=args.algorithm,
+            with_fds=args.fds,
+            with_inds=True,
+        )
+        print()
+        print(summary.render(max_items=args.max_print))
+        if args.save_profile:
+            from repro.core.repository import Profile
+            from repro.profiling.persistence import dump_profile
+
+            dump_profile(
+                relation.schema,
+                Profile.from_masks(summary.mucs, summary.mnucs),
+                args.save_profile,
+            )
+            print(f"\nprofile saved to {args.save_profile}")
+        return 0
+    started = time.perf_counter()
+    mucs, mnucs = discover(relation, args.algorithm)
+    elapsed = time.perf_counter() - started
+    schema = relation.schema
+    print(f"done in {elapsed:.2f}s: {len(mucs)} minimal uniques, "
+          f"{len(mnucs)} maximal non-uniques")
+    print("\nminimal uniques:")
+    for mask in mucs[: args.max_print]:
+        print(f"  {schema.combination(mask)}")
+    if len(mucs) > args.max_print:
+        print(f"  ... and {len(mucs) - args.max_print} more")
+    print("\nmaximal non-uniques:")
+    for mask in mnucs[: args.max_print]:
+        print(f"  {schema.combination(mask)}")
+    if len(mnucs) > args.max_print:
+        print(f"  ... and {len(mnucs) - args.max_print} more")
+    if args.verify:
+        verify_profile(relation, mucs, mnucs, exhaustive=True)
+        print("\nverification passed: the profile is exact")
+    if args.save_profile:
+        from repro.core.repository import Profile
+        from repro.profiling.persistence import dump_profile
+
+        dump_profile(schema, Profile.from_masks(mucs, mnucs), args.save_profile)
+        print(f"profile saved to {args.save_profile}")
+    if args.fds is not None:
+        from repro.fd import discover_fds
+
+        started = time.perf_counter()
+        fds = discover_fds(relation, max_lhs=args.fds)
+        print(
+            f"\n{len(fds)} minimal functional dependencies "
+            f"(LHS <= {args.fds}) in {time.perf_counter() - started:.2f}s:"
+        )
+        for fd in fds[: args.max_print]:
+            print(f"  {fd.named(schema)}")
+        if len(fds) > args.max_print:
+            print(f"  ... and {len(fds) - args.max_print} more")
+    if args.follow:
+        return _follow(relation, mucs, mnucs, args)
+    return 0
+
+
+def _follow(relation, mucs, mnucs, args) -> int:
+    """Stream insert batches from stdin through SWAN (--follow mode)."""
+    import csv as csv_module
+    import sys as sys_module
+
+    from repro.core.swan import SwanProfiler
+
+    schema = relation.schema
+    profiler = SwanProfiler(relation, mucs, mnucs, maintain_plis=False)
+    print(
+        f"\nfollowing stdin: CSV rows with {len(schema)} fields, "
+        f"batches of {args.batch_size} (EOF to stop)"
+    )
+    reader = csv_module.reader(sys_module.stdin)
+    batch: list[tuple] = []
+    batch_number = 0
+
+    def flush() -> None:
+        nonlocal batch, batch_number
+        if not batch:
+            return
+        batch_number += 1
+        before = profiler.snapshot()
+        started = time.perf_counter()
+        after = profiler.handle_inserts(batch)
+        elapsed = time.perf_counter() - started
+        gained = len(set(after.mucs) - set(before.mucs))
+        lost = len(set(before.mucs) - set(after.mucs))
+        print(
+            f"batch {batch_number}: {len(batch)} rows in {elapsed * 1000:.1f} ms; "
+            f"minimal uniques {len(before.mucs)} -> {len(after.mucs)} "
+            f"(+{gained}/-{lost})"
+        )
+        batch = []
+
+    for row in reader:
+        if len(row) != len(schema):
+            print(f"skipping row with {len(row)} fields", file=sys_module.stderr)
+            continue
+        batch.append(tuple(row))
+        if len(batch) >= args.batch_size:
+            flush()
+    flush()
+    print(
+        f"done: {len(relation)} rows total, "
+        f"{len(profiler.minimal_uniques())} minimal uniques"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

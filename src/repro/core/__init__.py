@@ -1,0 +1,30 @@
+"""SWAN: incremental unique / non-unique discovery (the paper's core).
+
+* :mod:`repro.core.repository` -- the MUCS/MNUCS profile repository.
+* :mod:`repro.core.index_selection` -- Algorithms 3 and 4 (which columns
+  to index).
+* :mod:`repro.core.duplicates` -- the duplicate manager of the insert
+  workflow.
+* :mod:`repro.core.inserts` -- the Inserts Handler (Algorithms 1, 2, 5).
+* :mod:`repro.core.deletes` -- the Deletes Handler (Algorithm 6).
+* :mod:`repro.core.swan` -- the :class:`SwanProfiler` facade tying the
+  pieces to a live relation.
+"""
+
+from repro.core.index_selection import (
+    add_additional_index_attributes,
+    select_index_attributes,
+)
+from repro.core.monitor import EventKind, MonitorEvent, UniqueConstraintMonitor
+from repro.core.repository import Profile
+from repro.core.swan import SwanProfiler
+
+__all__ = [
+    "EventKind",
+    "MonitorEvent",
+    "Profile",
+    "SwanProfiler",
+    "UniqueConstraintMonitor",
+    "add_additional_index_attributes",
+    "select_index_attributes",
+]

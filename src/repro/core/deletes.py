@@ -1,0 +1,323 @@
+"""The Deletes Handler: Algorithm 6 of the paper.
+
+Deletes can only *create* uniqueness, so the handler starts from the
+maximal non-uniques. For each MNUC it decides cheaply whether the batch
+could have destroyed its last duplicate (Section IV-B short-circuits),
+and only for MNUCs that actually turned unique does it descend into the
+subset lattice -- classifying combinations against PLIs, pruning with
+the UGraph/NUGraph structures -- to find the new minimal uniques and
+maximal non-uniques.
+
+Check order for one maximal non-unique N against a delete batch D
+(cheapest first; each step is exact, never a heuristic):
+
+1. *Unaffected*: if no deleted tuple was clustered (pre-delete) in
+   every column of N, no duplicate pair of N involved a deleted tuple;
+   N stays non-unique.
+2. *Restricted intersection*: intersect only the position lists that
+   contained deleted tuples. An empty result means the duplicates of N
+   never involved D; still non-unique.
+3. *Survivors*: if some restricted cluster keeps >= 2 non-deleted
+   members, that duplicate pair survives; still non-unique.
+4. *Complete check*: intersect the full (pre-delete) column PLIs and
+   look for a cluster with >= 2 surviving members.
+
+The handler, like the inserts handler, does not mutate storage; the
+facade captures the deleted rows, calls :meth:`handle`, then applies
+the batch to the relation, value indexes and PLIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.repository import ProfileRepository
+from repro.lattice.combination import iter_bits
+from repro.lattice.graphs import CombinationGraph
+from repro.lattice.transversal import mucs_from_mnucs
+from repro.storage.fastpli import ArrayPli
+from repro.storage.pli import PositionListIndex
+from repro.storage.relation import Relation
+
+Row = tuple[Hashable, ...]
+
+
+@dataclass
+class DeleteStats:
+    """Observable work done by one delete batch."""
+
+    batch_size: int = 0
+    mnucs_checked: int = 0
+    unaffected_short_circuits: int = 0
+    restricted_short_circuits: int = 0
+    survivor_short_circuits: int = 0
+    complete_checks: int = 0
+    turned_mnucs: int = 0
+    lattice_checks: int = 0
+
+
+@dataclass
+class DeleteOutcome:
+    """New profile plus the work statistics of the batch."""
+
+    mucs: list[int]
+    mnucs: list[int]
+    stats: DeleteStats
+
+
+def _survivor_pair(pli: PositionListIndex, deleted: set[int]) -> bool:
+    """True iff some position list keeps >= 2 non-deleted members."""
+    for cluster in pli.clusters():
+        survivors = 0
+        for tuple_id in cluster:
+            if tuple_id not in deleted:
+                survivors += 1
+                if survivors >= 2:
+                    return True
+    return False
+
+
+class DeletesHandler:
+    """Computes the post-delete profile for batches of removed tuples."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        repository: ProfileRepository,
+        column_plis: dict[int, PositionListIndex],
+    ) -> None:
+        self._relation = relation
+        self._repository = repository
+        self._plis = column_plis
+
+    # ------------------------------------------------------------------
+    # Section IV-B: checking one non-unique
+    # ------------------------------------------------------------------
+    def _is_still_non_unique(
+        self,
+        mask: int,
+        deleted: set[int],
+        clustered_deleted: dict[int, set[int]],
+        stats: DeleteStats,
+    ) -> bool:
+        columns = list(iter_bits(mask))
+        if not columns:
+            # The empty combination (every single column unique) stays
+            # non-unique exactly while two tuples survive.
+            return self._has_surviving_duplicate(0, deleted)
+        # (1) A deleted tuple can only affect N when it is clustered in
+        # *every* column of N pre-delete.
+        affecting = deleted
+        for column in columns:
+            affecting = affecting & clustered_deleted.get(column, set())
+            if not affecting:
+                stats.unaffected_short_circuits += 1
+                return True
+
+        # (2) + (3) Restricted intersection over position lists that
+        # contained affecting tuples.
+        columns.sort(key=lambda column: self._plis[column].n_entries())
+        first = self._plis[columns[0]]
+        restricted = PositionListIndex.from_clusters(
+            first.clusters_containing(affecting)
+        )
+        for column in columns[1:]:
+            if not restricted.has_duplicates:
+                break
+            restricted = restricted.intersect(self._plis[column])
+        if not restricted.has_duplicates:
+            stats.restricted_short_circuits += 1
+            return True
+        if _survivor_pair(restricted, deleted):
+            stats.survivor_short_circuits += 1
+            return True
+
+        # (4) Complete PLI of N (pre-delete), checking for survivors.
+        stats.complete_checks += 1
+        return self._has_surviving_duplicate(mask, deleted)
+
+    def _has_surviving_duplicate(self, mask: int, deleted: set[int]) -> bool:
+        """Exact post-delete non-uniqueness via full PLI intersection.
+
+        Intersects cheapest-first with early exits: an intermediate PLI
+        without a surviving pair settles the answer (subsets of
+        non-uniques...), checked only while the PLI is small enough for
+        the scan to pay for itself.
+        """
+        columns = sorted(iter_bits(mask), key=lambda c: self._plis[c].n_entries())
+        if not columns:
+            survivors = sum(
+                1 for tuple_id in self._relation.iter_ids() if tuple_id not in deleted
+            )
+            return survivors >= 2
+        current = self._plis[columns[0]]
+        for column in columns[1:]:
+            if not current.has_duplicates:
+                return False
+            if current.n_entries() <= 2 * len(deleted) and not _survivor_pair(
+                current, deleted
+            ):
+                return False
+            current = current.intersect(self._plis[column])
+        return _survivor_pair(current, deleted)
+
+    # ------------------------------------------------------------------
+    # Algorithm 6: the full delete workflow
+    # ------------------------------------------------------------------
+    def handle(self, deleted_rows: Mapping[int, Row]) -> DeleteOutcome:
+        """Compute the profile of (relation \\ deleted rows).
+
+        ``deleted_rows`` maps the deleted tuple IDs to their rows; the
+        relation and PLIs must still contain them (pre-delete state).
+        """
+        stats = DeleteStats(batch_size=len(deleted_rows))
+        old_mucs = self._repository.mucs
+        old_mnucs = self._repository.mnucs
+        if not deleted_rows:
+            return DeleteOutcome(list(old_mucs), list(old_mnucs), stats)
+
+        deleted = set(deleted_rows)
+        clustered_deleted = {
+            column: {
+                tuple_id for tuple_id in deleted if pli.cluster_of(tuple_id) is not None
+            }
+            for column, pli in self._plis.items()
+        }
+
+        graph = CombinationGraph()
+        for muc_mask in old_mucs:
+            graph.add_unique(muc_mask)
+
+        # Post-delete per-column partitions in array form: the lattice
+        # descent below turned MNUCs classifies combinations by the
+        # thousand, so intersections must run vectorized; the deletions
+        # are applied once while converting from the maintained PLIs.
+        post_columns: dict[int, ArrayPli] = {}
+        post_cache: dict[int, ArrayPli] = {}
+        capacity = self._relation.next_tuple_id
+        live_after = [
+            tuple_id
+            for tuple_id in self._relation.iter_ids()
+            if tuple_id not in deleted
+        ]
+
+        def post_column(column: int) -> ArrayPli:
+            pli = post_columns.get(column)
+            if pli is None:
+                ids: list[int] = []
+                labels: list[int] = []
+                label = 0
+                for cluster in self._plis[column].clusters():
+                    members = [t for t in cluster if t not in deleted]
+                    if len(members) >= 2:
+                        ids.extend(members)
+                        labels.extend([label] * len(members))
+                        label += 1
+                pli = ArrayPli(
+                    np.asarray(ids, dtype=np.int64),
+                    np.asarray(labels, dtype=np.int64),
+                    capacity,
+                )
+                post_columns[column] = pli
+            return pli
+
+        def post_pli(mask: int) -> ArrayPli:
+            cached = post_cache.get(mask)
+            if cached is not None:
+                return cached
+            columns = list(iter_bits(mask))
+            if not columns:
+                return ArrayPli.single_cluster(live_after, capacity)
+            current = None
+            for column in columns:
+                parent = post_cache.get(mask & ~(1 << column))
+                if parent is not None:
+                    current = parent.intersect(post_column(column))
+                    break
+            if current is None:
+                columns.sort(key=lambda c: post_column(c).n_entries())
+                current = post_column(columns[0])
+                for column in columns[1:]:
+                    if not current.has_duplicates:
+                        break
+                    current = current.intersect(post_column(column))
+            post_cache[mask] = current
+            return current
+
+        classification: dict[int, bool] = {}
+
+        def classify(mask: int) -> bool:
+            known = classification.get(mask)
+            if known is not None:
+                return known
+            implied = graph.classify(mask)
+            if implied is None:
+                stats.lattice_checks += 1
+                implied = not post_pli(mask).has_duplicates
+                if implied:
+                    graph.add_unique(mask)
+                else:
+                    graph.add_non_unique(mask)
+            classification[mask] = implied
+            return implied
+
+        for mnuc_mask in old_mnucs:
+            stats.mnucs_checked += 1
+            if self._is_still_non_unique(mnuc_mask, deleted, clustered_deleted, stats):
+                graph.add_non_unique(mnuc_mask)
+                classification[mnuc_mask] = False
+            else:
+                stats.turned_mnucs += 1
+                graph.add_unique(mnuc_mask)
+                classification[mnuc_mask] = True
+
+        # Duality fixpoint (same argument as DUCC's hole detection,
+        # DESIGN.md section 2): the minimal combinations not contained
+        # in any currently-known maximal non-unique are exactly the
+        # minimal-unique candidates that border implies. Candidates
+        # that verify non-unique are holes; each is *ascended* to a
+        # genuinely maximal non-unique before the next round --
+        # recording the hole itself would flood the border with
+        # incomparable mid-lattice non-uniques and make the dualization
+        # diverge (DUCC's random walk performs this ascent implicitly).
+        # When every candidate verifies unique, the border and its dual
+        # are the exact new MNUCS and MUCS. Walking the subset lattice
+        # below each turned MNUC instead would be exponential whenever
+        # the new boundary sits far below it.
+        n_columns = self._relation.n_columns
+        universe = (1 << n_columns) - 1
+
+        def ascend_to_maximal(mask: int) -> None:
+            current = mask
+            climbing = True
+            while climbing:
+                climbing = False
+                for column in iter_bits(universe & ~current):
+                    candidate = current | (1 << column)
+                    if not classify(candidate):
+                        current = candidate
+                        climbing = True
+                        break
+
+        while True:
+            border = graph.maximal_non_uniques()
+            candidates = mucs_from_mnucs(border, n_columns)
+            holes = [
+                candidate for candidate in candidates if not classify(candidate)
+            ]
+            if not holes:
+                return DeleteOutcome(
+                    mucs=candidates,
+                    mnucs=border,
+                    stats=stats,
+                )
+            for hole in holes:
+                ascend_to_maximal(hole)
+
+
+def capture_rows(relation: Relation, tuple_ids: Iterable[int]) -> dict[int, Row]:
+    """Snapshot rows (pre-delete) for the handler and index maintenance."""
+    return {tuple_id: relation.row(tuple_id) for tuple_id in tuple_ids}

@@ -1,0 +1,132 @@
+"""Duplicate manager: grouping candidate tuples per minimal unique.
+
+Algorithm 1 (line 7) hands the retrieved old tuples plus the inserted
+tuples to a *duplicate manager* that partitions them into duplicate
+groups per minimal unique: tuples sharing the same value combination on
+that minimal unique. Tuples fetched because they matched an insert only
+on the *indexed subset* of the minimal unique ("partial duplicates")
+fall out here, because grouping keys on the full projection (Alg. 5,
+``removePartialDuplicates``).
+
+Each surviving group witnesses that its minimal unique broke. The
+group's *duplicate pairs* and their agree sets feed the exact
+new-uniques computation (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.lattice.combination import columns_of
+from repro.profiling.verify import agree_set
+
+Row = tuple[Hashable, ...]
+
+
+def projector(indices: tuple[int, ...]) -> Callable[[Sequence], tuple]:
+    """A C-speed projection ``row -> tuple of row[i] for i in indices``.
+
+    ``operator.itemgetter`` returns a bare value for a single index, so
+    the arity-1 case is wrapped to keep tuple keys uniform.
+    """
+    if not indices:
+        return lambda row: ()
+    if len(indices) == 1:
+        getter = itemgetter(indices[0])
+        return lambda row: (getter(row),)
+    return itemgetter(*indices)
+
+
+class DuplicateGroup:
+    """Tuples (old and inserted) sharing one projection on one MUC."""
+
+    __slots__ = ("key", "members")
+
+    def __init__(self, key: Row, members: list[tuple[int, Row]]) -> None:
+        self.key = key
+        self.members = members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def agree_sets(self) -> set[int]:
+        """Agree sets of every tuple pair in the group.
+
+        Deduplicated: identical rows collapse to one representative with
+        a remembered multiplicity, so a group of k copies of the same
+        tuple costs O(k) rather than O(k^2).
+        """
+        distinct: dict[Row, int] = {}
+        for _, row in self.members:
+            distinct[row] = distinct.get(row, 0) + 1
+        rows = list(distinct)
+        result: set[int] = set()
+        full = (1 << len(rows[0])) - 1 if rows else 0
+        if any(count >= 2 for count in distinct.values()):
+            result.add(full)
+        for left_index, left in enumerate(rows):
+            for right in rows[left_index + 1 :]:
+                result.add(agree_set(left, right))
+        return result
+
+    def __repr__(self) -> str:
+        return f"DuplicateGroup(key={self.key!r}, size={len(self.members)})"
+
+
+class DuplicateManager:
+    """Groups retrieved and inserted tuples by minimal-unique projection."""
+
+    __slots__ = ("_old_rows", "_new_rows")
+
+    def __init__(
+        self,
+        old_rows: Mapping[int, Row],
+        new_rows: Mapping[int, Row],
+    ) -> None:
+        self._old_rows = dict(old_rows)
+        self._new_rows = dict(new_rows)
+
+    @property
+    def retrieved_count(self) -> int:
+        """Number of old tuples fetched from the initial dataset."""
+        return len(self._old_rows)
+
+    def groups_for(
+        self,
+        muc_mask: int,
+        candidate_old_ids: Iterable[int],
+    ) -> list[DuplicateGroup]:
+        """Duplicate groups of one minimal unique.
+
+        ``candidate_old_ids`` are the IDs Algorithm 2 retrieved for this
+        minimal unique. A group is kept when it has >= 2 members; since
+        the minimal unique held on the old data, every group contains at
+        most one old tuple, and any group of size >= 2 contains at least
+        one insert -- i.e. every kept group is a genuine new violation.
+        """
+        project = projector(columns_of(muc_mask))
+        buckets: dict[Row, list[tuple[int, Row]]] = {}
+        for tuple_id, row in self._new_rows.items():
+            buckets.setdefault(project(row), []).append((tuple_id, row))
+        old_rows = self._old_rows
+        buckets_get = buckets.get
+        for tuple_id in candidate_old_ids:
+            row = old_rows.get(tuple_id)
+            if row is None:  # pragma: no cover - defensive
+                continue
+            bucket = buckets_get(project(row))
+            if bucket is not None:
+                bucket.append((tuple_id, row))
+        return [
+            DuplicateGroup(key, members)
+            for key, members in buckets.items()
+            if len(members) >= 2
+        ]
+
+
+def batch_rows(rows: Sequence[Sequence[Hashable]], first_id: int) -> dict[int, Row]:
+    """Assign consecutive IDs starting at ``first_id`` to a batch."""
+    return {
+        first_id + offset: tuple(row) for offset, row in enumerate(rows)
+    }

@@ -1,0 +1,201 @@
+"""Index selection: which columns SWAN indexes (Algorithms 3 and 4).
+
+Indexing every column is too expensive and multi-column indexes die as
+soon as a minimal unique is invalidated, so SWAN indexes a *small set of
+single columns* such that every minimal unique is covered by at least
+one index (Section III-C), then optionally spends a quota of additional
+columns to shrink the candidate-tuple sets retrieved for the least
+selective indexes (Section III-D).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.lattice.combination import iter_bits, popcount
+from repro.profiling.stats import ColumnStatistics, muc_column_frequencies
+
+
+def select_index_attributes(
+    mucs: Sequence[int],
+    n_columns: int,
+    tie_break: Sequence[int] | None = None,
+) -> list[int]:
+    """Algorithm 3: greedy minimum column cover of the minimal uniques.
+
+    Repeatedly index the column occurring in the most still-uncovered
+    minimal uniques, until every minimal unique contains at least one
+    indexed column. ``tie_break`` optionally orders equally frequent
+    columns (the facade passes descending cardinality, matching the
+    paper's observation that frequency correlates with selectivity).
+
+    Minimal uniques that are the empty combination cannot be covered and
+    are ignored (they only occur on relations with < 2 rows).
+    """
+    remaining = [mask for mask in mucs if mask]
+    rank = {column: position for position, column in enumerate(tie_break or [])}
+    chosen: list[int] = []
+    while remaining:
+        frequencies = muc_column_frequencies(remaining, n_columns)
+        best = max(
+            range(n_columns),
+            key=lambda column: (
+                frequencies[column],
+                -rank.get(column, column),
+            ),
+        )
+        if frequencies[best] == 0:  # pragma: no cover - defensive
+            break
+        chosen.append(best)
+        best_bit = 1 << best
+        remaining = [mask for mask in remaining if not mask & best_bit]
+    return chosen
+
+
+def add_additional_index_attributes(
+    mucs: Sequence[int],
+    n_columns: int,
+    initial: Sequence[int],
+    quota: int,
+    stats: ColumnStatistics,
+) -> list[int]:
+    """Algorithm 4: spend the remaining quota on extra index columns.
+
+    For each already-indexed column C, compute the cheapest set of extra
+    columns K_C that would cover, *without using C*, every minimal
+    unique whose only indexed column is C (so look-ups on C can always
+    be intersected with a second index). Then pick the feasible bundle
+    of such covers -- total indexed columns staying within ``quota`` --
+    whose covered columns have the lowest combined selectivity, since
+    unselective indexes retrieve the most tuples and benefit most from
+    intersection (Section III-D).
+
+    Returns the full index column list (initial plus additions).
+    """
+    indexed = list(initial)
+    if quota <= len(indexed):
+        return indexed
+    indexed_mask = 0
+    for column in indexed:
+        indexed_mask |= 1 << column
+
+    covering: dict[int, list[int]] = {}
+    for column in indexed:
+        column_bit = 1 << column
+        containing = [
+            mask & ~column_bit
+            for mask in mucs
+            if mask & indexed_mask == column_bit and mask & ~column_bit
+        ]
+        if not containing:
+            continue
+        cover = select_index_attributes(containing, n_columns, stats.frequency_order())
+        if len(set(indexed) | set(cover)) <= quota:
+            covering[column] = cover
+
+    solutions: list[tuple[tuple[int, ...], frozenset[int]]] = []
+    keys = sorted(covering)
+    for size in range(1, len(keys) + 1):
+        for combo in combinations(keys, size):
+            union: set[int] = set()
+            for column in combo:
+                union |= set(covering[column])
+            if len(set(indexed) | union) <= quota:
+                solutions.append((combo, frozenset(union)))
+    if not solutions:
+        return indexed
+
+    # removeRedundantCombinations: a solution is redundant when another
+    # covers a superset of its columns at no extra index cost.
+    filtered: list[tuple[tuple[int, ...], frozenset[int]]] = []
+    for combo, columns in solutions:
+        dominated = any(
+            set(combo) < set(other_combo) and other_columns <= columns
+            for other_combo, other_columns in solutions
+        )
+        if not dominated:
+            filtered.append((combo, columns))
+
+    def combo_selectivity(combo: tuple[int, ...]) -> float:
+        return stats.combined_selectivity(combo)
+
+    best_combo, best_columns = min(
+        filtered, key=lambda item: (combo_selectivity(item[0]), -len(item[0]))
+    )
+    del best_combo
+    return indexed + sorted(best_columns - set(indexed))
+
+
+def covering_indexes(mask: int, indexed_columns: Iterable[int]) -> list[int]:
+    """Indexed columns that are members of ``mask`` (look-up order).
+
+    Order matters for Algorithm 2's cache reuse: most selective first
+    would shrink intermediate results fastest, but stable ascending
+    order maximizes cache hits across minimal uniques sharing prefixes;
+    we use ascending column order, matching the accumulated-CC caching.
+    """
+    return sorted(column for column in indexed_columns if mask >> column & 1)
+
+
+def coverage_report(mucs: Sequence[int], indexed_columns: Iterable[int]) -> dict[str, float]:
+    """Diagnostics: how well the chosen indexes cover the minimal uniques."""
+    indexed_mask = 0
+    for column in indexed_columns:
+        indexed_mask |= 1 << column
+    total = len(mucs)
+    covered = sum(1 for mask in mucs if mask & indexed_mask)
+    fully = sum(1 for mask in mucs if mask and mask & indexed_mask == mask)
+    average_cover = (
+        sum(popcount(mask & indexed_mask) for mask in mucs) / total if total else 0.0
+    )
+    return {
+        "mucs": float(total),
+        "covered": float(covered),
+        "fully_covered": float(fully),
+        "mean_indexed_columns_per_muc": average_cover,
+        "indexed_columns": float(popcount(indexed_mask)),
+    }
+
+
+def columns_as_mask(columns: Iterable[int]) -> int:
+    mask = 0
+    for column in columns:
+        mask |= 1 << column
+    return mask
+
+
+def uncovered_part(mask: int, indexed_columns: Iterable[int]) -> int:
+    """The columns of ``mask`` no index covers (verified on the values)."""
+    remainder = mask
+    for column in indexed_columns:
+        remainder &= ~(1 << column)
+    return remainder
+
+
+def iter_index_order(
+    mask: int,
+    indexed_columns: Iterable[int],
+    stats: ColumnStatistics | None = None,
+) -> list[int]:
+    """Covering indexes ordered most-selective-first when stats exist."""
+    columns = covering_indexes(mask, indexed_columns)
+    if stats is None:
+        return columns
+    return sorted(columns, key=lambda column: -stats.selectivity(column))
+
+
+def frequency_table(mucs: Sequence[int], n_columns: int) -> list[tuple[int, int]]:
+    """(column, frequency) pairs, most frequent first -- for reporting."""
+    frequencies = muc_column_frequencies(mucs, n_columns)
+    order = sorted(range(n_columns), key=lambda column: (-frequencies[column], column))
+    return [(column, frequencies[column]) for column in order if frequencies[column]]
+
+
+def _all_single_columns(n_columns: int) -> list[int]:
+    return list(range(n_columns))
+
+
+def index_all_columns(n_columns: int) -> list[int]:
+    """The 'Index All' strategy of the paper's index analysis (Fig. 4)."""
+    return _all_single_columns(n_columns)

@@ -1,0 +1,155 @@
+"""Data-quality monitoring on top of the incremental profiler.
+
+The paper's motivating use case (Section I): organizations watch the
+keys of critical datasets and want to learn *immediately* when a batch
+of changes silently breaks one, without re-profiling. This module packs
+that pattern into a small API::
+
+    monitor = UniqueConstraintMonitor(profiler)
+    monitor.watch(["voter_reg_num"], label="registration number")
+    events = monitor.apply_inserts(batch)
+    for event in events:
+        if event.kind is EventKind.KEY_BROKEN:
+            page_someone(event)
+
+Events are emitted on every transition of a watched combination
+(broken / restored) and whenever the global profile changes shape
+(new minimal uniques appearing or vanishing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.repository import Profile
+from repro.core.swan import SwanProfiler
+
+
+class EventKind(enum.Enum):
+    """What a monitoring event reports."""
+
+    KEY_BROKEN = "key_broken"
+    KEY_RESTORED = "key_restored"
+    PROFILE_CHANGED = "profile_changed"
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One observation produced while applying a batch."""
+
+    kind: EventKind
+    batch_number: int
+    label: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"[batch {self.batch_number}] {self.kind.value}: {self.label}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class _WatchedKey:
+    label: str
+    columns: tuple[str, ...]
+    mask: int
+    holds: bool
+
+
+@dataclass
+class UniqueConstraintMonitor:
+    """Watches column combinations across insert/delete batches."""
+
+    profiler: SwanProfiler
+    history: list[MonitorEvent] = field(default_factory=list)
+    _watched: list[_WatchedKey] = field(default_factory=list)
+    _batch_number: int = 0
+
+    def watch(self, columns: Sequence[str | int], label: str | None = None) -> None:
+        """Start watching a column combination for uniqueness."""
+        schema = self.profiler.relation.schema
+        mask = schema.mask(columns)
+        resolved = schema.combination(mask).names
+        self._watched.append(
+            _WatchedKey(
+                label=label or "{" + ", ".join(resolved) + "}",
+                columns=resolved,
+                mask=mask,
+                holds=self.profiler.is_unique(resolved),
+            )
+        )
+
+    def watched_labels(self) -> list[str]:
+        return [key.label for key in self._watched]
+
+    def apply_inserts(self, rows: Sequence[Sequence[Hashable]]) -> list[MonitorEvent]:
+        """Apply an insert batch and report transitions."""
+        before = self.profiler.snapshot()
+        self.profiler.handle_inserts(rows)
+        return self._diff(before)
+
+    def apply_deletes(self, tuple_ids: Iterable[int]) -> list[MonitorEvent]:
+        """Apply a delete batch and report transitions."""
+        before = self.profiler.snapshot()
+        self.profiler.handle_deletes(tuple_ids)
+        return self._diff(before)
+
+    def _diff(self, before: Profile) -> list[MonitorEvent]:
+        self._batch_number += 1
+        after = self.profiler.snapshot()
+        events: list[MonitorEvent] = []
+        for key in self._watched:
+            holds_now = self.profiler.is_unique(key.columns)
+            if key.holds and not holds_now:
+                detail = "duplicate value combination introduced"
+                try:
+                    degree = self.profiler.approximation_degree(key.columns)
+                    detail = (
+                        f"{degree} row{'s' if degree != 1 else ''} now "
+                        "violate the key"
+                    )
+                except Exception:
+                    pass  # insert-only profilers have no PLIs
+                events.append(
+                    MonitorEvent(
+                        EventKind.KEY_BROKEN,
+                        self._batch_number,
+                        key.label,
+                        detail=detail,
+                    )
+                )
+            elif not key.holds and holds_now:
+                events.append(
+                    MonitorEvent(
+                        EventKind.KEY_RESTORED,
+                        self._batch_number,
+                        key.label,
+                        detail="duplicates removed",
+                    )
+                )
+            key.holds = holds_now
+        if before.mucs != after.mucs:
+            from repro.profiling.diff import diff_profiles
+
+            diff = diff_profiles(before, after)
+            detail = (
+                f"+{len(diff.gained_mucs)} / -{len(diff.lost_mucs)} "
+                f"(now {len(after.mucs)})"
+            )
+            if diff.weakened:
+                detail += f"; {len(diff.weakened)} weakened"
+            if diff.strengthened:
+                detail += f"; {len(diff.strengthened)} strengthened"
+            events.append(
+                MonitorEvent(
+                    EventKind.PROFILE_CHANGED,
+                    self._batch_number,
+                    "minimal uniques",
+                    detail=detail,
+                )
+            )
+        self.history.extend(events)
+        return events

@@ -1,0 +1,101 @@
+"""The profile repository: current MUCS and MNUCS of one relation.
+
+SWAN's handlers read the current sets, compute the new ones, and commit
+them back here. The repository enforces the structural invariants
+(both sets are antichains; no combination is in both closures) and
+offers schema-aware views for the public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import InconsistentProfileError
+from repro.lattice.antichain import MaximalAntichain, MinimalAntichain, sorted_masks
+from repro.lattice.combination import ColumnCombination, is_subset
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class Profile:
+    """An immutable (MUCS, MNUCS) snapshot, in canonical order."""
+
+    mucs: tuple[int, ...]
+    mnucs: tuple[int, ...]
+
+    @classmethod
+    def from_masks(cls, mucs: Iterable[int], mnucs: Iterable[int]) -> "Profile":
+        return cls(tuple(sorted_masks(mucs)), tuple(sorted_masks(mnucs)))
+
+    def named(self, schema: Schema) -> tuple[list[ColumnCombination], list[ColumnCombination]]:
+        """Schema-resolved views of both sets."""
+        return (
+            [schema.combination(mask) for mask in self.mucs],
+            [schema.combination(mask) for mask in self.mnucs],
+        )
+
+    def __str__(self) -> str:
+        return f"Profile(|MUCS|={len(self.mucs)}, |MNUCS|={len(self.mnucs)})"
+
+
+class ProfileRepository:
+    """Mutable holder of the current profile with invariant checks."""
+
+    __slots__ = ("_mucs", "_mnucs")
+
+    def __init__(self, mucs: Iterable[int], mnucs: Iterable[int]) -> None:
+        self._mucs = MinimalAntichain()
+        self._mnucs = MaximalAntichain()
+        self.replace(mucs, mnucs)
+
+    def replace(self, mucs: Iterable[int], mnucs: Iterable[int]) -> None:
+        """Install a new profile after validating its structure."""
+        muc_list = list(mucs)
+        mnuc_list = list(mnucs)
+        new_mucs = MinimalAntichain()
+        for mask in muc_list:
+            new_mucs.add(mask)
+        if len(new_mucs) != len(set(muc_list)):
+            raise InconsistentProfileError("MUCS is not an antichain")
+        new_mnucs = MaximalAntichain()
+        for mask in mnuc_list:
+            new_mnucs.add(mask)
+        if len(new_mnucs) != len(set(mnuc_list)):
+            raise InconsistentProfileError("MNUCS is not an antichain")
+        for muc in new_mucs:
+            for mnuc in new_mnucs:
+                if is_subset(muc, mnuc):
+                    raise InconsistentProfileError(
+                        f"MUC {muc:#x} is contained in MNUC {mnuc:#x}"
+                    )
+        self._mucs = new_mucs
+        self._mnucs = new_mnucs
+
+    @property
+    def mucs(self) -> list[int]:
+        """Current minimal uniques, canonical order."""
+        return sorted_masks(self._mucs)
+
+    @property
+    def mnucs(self) -> list[int]:
+        """Current maximal non-uniques, canonical order."""
+        return sorted_masks(self._mnucs)
+
+    def snapshot(self) -> Profile:
+        return Profile.from_masks(self._mucs, self._mnucs)
+
+    def is_unique(self, mask: int) -> bool:
+        """True iff ``mask`` contains a current minimal unique."""
+        return self._mucs.contains_subset_of(mask)
+
+    def is_non_unique(self, mask: int) -> bool:
+        """True iff ``mask`` is contained in a current maximal non-unique.
+
+        When the profile is complete (MUCS/MNUCS duals), this is the
+        exact complement of :meth:`is_unique`.
+        """
+        return self._mnucs.contains_superset_of(mask)
+
+    def __repr__(self) -> str:
+        return f"ProfileRepository(|MUCS|={len(self._mucs)}, |MNUCS|={len(self._mnucs)})"

@@ -1,0 +1,321 @@
+"""The SWAN profiler facade.
+
+:class:`SwanProfiler` owns a live relation together with every data
+structure SWAN maintains (paper Section II-B):
+
+* the profile repository (current MUCS and MNUCS),
+* the value indexes on the selected cover columns (insert path),
+* one position list index per column (delete path),
+* the sparse index over the tuple store (candidate retrieval).
+
+The initial profile comes from any holistic algorithm (GORDIAN, DUCC,
+HCA, brute force); :meth:`SwanProfiler.profile` bootstraps everything in
+one call. After that, :meth:`handle_inserts` / :meth:`handle_deletes`
+keep the profile exact under arbitrary batches.
+
+Usage::
+
+    profiler = SwanProfiler.profile(relation)          # static bootstrap
+    profiler.handle_inserts([("Payne", "245", "31")])  # batch of inserts
+    profiler.handle_deletes([0])                       # batch of deletes
+    profiler.minimal_uniques()                         # named combinations
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.deletes import DeletesHandler, DeleteStats, capture_rows
+from repro.core.index_selection import (
+    add_additional_index_attributes,
+    select_index_attributes,
+)
+from repro.core.inserts import InsertsHandler, InsertStats
+from repro.core.repository import Profile, ProfileRepository
+from repro.errors import ProfileStateError
+from repro.lattice.combination import ColumnCombination
+from repro.profiling.stats import ColumnStatistics, column_statistics
+from repro.storage.pli import PositionListIndex
+from repro.storage.relation import Relation
+from repro.storage.sparse_index import SparseIndex, sparse_index_for_relation
+from repro.storage.table_file import TableFile
+from repro.storage.value_index import IndexPool
+
+Row = tuple[Hashable, ...]
+
+DiscoveryAlgorithm = Callable[[Relation], tuple[list[int], list[int]]]
+
+
+class SwanProfiler:
+    """Incremental unique/non-unique discovery over one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        mucs: Iterable[int],
+        mnucs: Iterable[int],
+        index_quota: int | None = None,
+        index_columns: Sequence[int] | None = None,
+        sparse_index: SparseIndex | None = None,
+        table_file: "TableFile | None" = None,
+        maintain_plis: bool = True,
+    ) -> None:
+        """Wire SWAN around an existing relation and profile.
+
+        ``index_columns`` overrides index selection entirely (used by
+        the Fig. 4 index-analysis variants); otherwise Algorithm 3 picks
+        the minimal cover and, when ``index_quota`` is given, Algorithm
+        4 spends the remaining quota on additional indexes.
+        ``table_file`` plugs in a disk-resident tuple store: candidate
+        tuples are fetched through its byte-offset sparse index and
+        accepted insert batches are appended to it, mirroring the
+        paper's on-disk initial dataset. ``maintain_plis=False`` skips
+        building the per-column PLIs; the profiler then supports
+        inserts only (insert-only deployments avoid the PLI build cost;
+        Fig. 1/2 setups use this).
+        """
+        self._relation = relation
+        self._repository = ProfileRepository(mucs, mnucs)
+        self._stats = column_statistics(relation)
+        if index_columns is None:
+            index_columns = self._select_indexes(index_quota)
+        self._index_quota = index_quota
+        self._index_pool = IndexPool.build(relation, index_columns)
+        self._table_file = table_file
+        if sparse_index is not None:
+            self._sparse = sparse_index
+        elif table_file is not None:
+            self._sparse = table_file.sparse_index(shared=True)
+        else:
+            self._sparse = sparse_index_for_relation(relation)
+        self._plis: dict[int, PositionListIndex] = {}
+        if maintain_plis:
+            self._plis = {
+                column: PositionListIndex.for_column(relation, column)
+                for column in range(relation.n_columns)
+            }
+        self._inserts = InsertsHandler(
+            relation, self._repository, self._index_pool, self._sparse
+        )
+        self._deletes = (
+            DeletesHandler(relation, self._repository, self._plis)
+            if maintain_plis
+            else None
+        )
+        self.last_insert_stats: InsertStats | None = None
+        self.last_delete_stats: DeleteStats | None = None
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    @classmethod
+    def profile(
+        cls,
+        relation: Relation,
+        algorithm: DiscoveryAlgorithm | str = "ducc",
+        index_quota: int | None = None,
+        index_columns: Sequence[int] | None = None,
+        maintain_plis: bool = True,
+    ) -> "SwanProfiler":
+        """Run a holistic discovery over ``relation`` and wire SWAN up.
+
+        ``algorithm`` may be a name understood by
+        :func:`repro.profiling.discovery.discover` or any callable
+        returning ``(mucs, mnucs)`` masks.
+        """
+        if callable(algorithm):
+            mucs, mnucs = algorithm(relation)
+        else:
+            from repro.profiling.discovery import discover
+
+            mucs, mnucs = discover(relation, algorithm)
+        return cls(
+            relation,
+            mucs,
+            mnucs,
+            index_quota=index_quota,
+            index_columns=index_columns,
+            maintain_plis=maintain_plis,
+        )
+
+    def _select_indexes(self, quota: int | None) -> list[int]:
+        mucs = self._repository.mucs
+        minimal = select_index_attributes(
+            mucs, self._relation.n_columns, self._stats.frequency_order()
+        )
+        if quota is None:
+            return minimal
+        return add_additional_index_attributes(
+            mucs, self._relation.n_columns, minimal, quota, self._stats
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    @property
+    def column_stats(self) -> ColumnStatistics:
+        return self._stats
+
+    @property
+    def indexed_columns(self) -> frozenset[int]:
+        """The columns currently holding a value index."""
+        return self._index_pool.columns
+
+    def snapshot(self) -> Profile:
+        """The current (MUCS, MNUCS) profile."""
+        return self._repository.snapshot()
+
+    def minimal_uniques(self) -> list[ColumnCombination]:
+        """Current minimal uniques with resolved column names."""
+        schema = self._relation.schema
+        return [schema.combination(mask) for mask in self._repository.mucs]
+
+    def maximal_non_uniques(self) -> list[ColumnCombination]:
+        """Current maximal non-uniques with resolved column names."""
+        schema = self._relation.schema
+        return [schema.combination(mask) for mask in self._repository.mnucs]
+
+    def is_unique(self, columns: Iterable[str | int]) -> bool:
+        """Does the given column set currently hold unique values?"""
+        return self._repository.is_unique(self._relation.schema.mask(columns))
+
+    def approximation_degree(self, columns: Iterable[str | int]) -> int:
+        """How many rows must be removed for ``columns`` to be unique.
+
+        0 means the combination is unique right now; small positive
+        values flag *near-keys* (usually dirty keys worth fixing).
+        Requires the maintained PLIs (``maintain_plis=True``).
+        """
+        if not self._plis:
+            raise ProfileStateError(
+                "approximation_degree needs the per-column PLIs; this "
+                "profiler was built with maintain_plis=False"
+            )
+        from repro.storage.pli import pli_for_combination
+
+        mask = self._relation.schema.mask(columns)
+        pli = pli_for_combination(self._relation, mask, self._plis)
+        return pli.n_entries() - pli.n_clusters()
+
+    # ------------------------------------------------------------------
+    # Dynamic workloads
+    # ------------------------------------------------------------------
+    def preview_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
+        """The profile the relation *would* have after ``rows`` -- a
+        dry run that commits nothing (the inserts handler never mutates
+        storage, so this is exactly the analysis phase of
+        :meth:`handle_inserts`)."""
+        from repro.errors import ArityError
+
+        arity = self._relation.n_columns
+        for position, row in enumerate(rows):
+            if len(row) != arity:
+                raise ArityError(
+                    f"batch row {position} has {len(row)} values, "
+                    f"schema has {arity} columns"
+                )
+        first_id = self._relation.next_tuple_id
+        new_rows = {
+            first_id + offset: tuple(row) for offset, row in enumerate(rows)
+        }
+        outcome = self._inserts.handle(new_rows)
+        return Profile.from_masks(outcome.mucs, outcome.mnucs)
+
+    def preview_deletes(self, tuple_ids: Iterable[int]) -> Profile:
+        """The profile after deleting ``tuple_ids`` -- a dry run."""
+        if self._deletes is None:
+            raise ProfileStateError(
+                "this profiler was built with maintain_plis=False and "
+                "supports inserts only"
+            )
+        outcome = self._deletes.handle(capture_rows(self._relation, tuple_ids))
+        return Profile.from_masks(outcome.mucs, outcome.mnucs)
+
+    def handle_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
+        """Apply a batch of inserts and return the updated profile.
+
+        The whole batch is validated up front: a malformed row rejects
+        the batch before anything is analysed or stored, so a failed
+        call never leaves the profiler half-updated.
+        """
+        from repro.errors import ArityError
+
+        arity = self._relation.n_columns
+        for position, row in enumerate(rows):
+            if len(row) != arity:
+                raise ArityError(
+                    f"batch row {position} has {len(row)} values, "
+                    f"schema has {arity} columns"
+                )
+        first_id = self._relation.next_tuple_id
+        new_rows = {
+            first_id + offset: tuple(row) for offset, row in enumerate(rows)
+        }
+        outcome = self._inserts.handle(new_rows)
+        self.last_insert_stats = outcome.stats
+        # Commit: storage first, then the derived structures, so index
+        # probes during *this* call saw only old tuples (Section III-D:
+        # inserts never require new indexes, only index maintenance).
+        inserted_ids = self._relation.insert_many(rows)
+        self._index_pool.register_inserts(self._relation, inserted_ids)
+        for column, pli in self._plis.items():
+            for tuple_id in inserted_ids:
+                pli.add(self._relation.value(tuple_id, column), tuple_id)
+        if self._table_file is not None:
+            self._table_file.append_batch(
+                (tuple_id, self._relation.row(tuple_id)) for tuple_id in inserted_ids
+            )
+        else:
+            for tuple_id in inserted_ids:
+                self._sparse.register(tuple_id, tuple_id)
+        self._repository.replace(outcome.mucs, outcome.mnucs)
+        return self._repository.snapshot()
+
+    def handle_deletes(self, tuple_ids: Iterable[int]) -> Profile:
+        """Apply a batch of deletes and return the updated profile."""
+        if self._deletes is None:
+            raise ProfileStateError(
+                "this profiler was built with maintain_plis=False and "
+                "supports inserts only"
+            )
+        deleted_rows = capture_rows(self._relation, tuple_ids)
+        outcome = self._deletes.handle(deleted_rows)
+        self.last_delete_stats = outcome.stats
+        for tuple_id, row in deleted_rows.items():
+            self._relation.delete(tuple_id)
+            for column, pli in self._plis.items():
+                pli.remove(row[column], tuple_id)
+        self._index_pool.register_deletes(deleted_rows)
+        self._sparse.forget(deleted_rows)
+        self._repository.replace(outcome.mucs, outcome.mnucs)
+        # Deletes can shrink minimal uniques below the indexed cover
+        # (Section III-D: "our index selection approach should be
+        # applied again"); extend the cover if a new MUC escaped it.
+        self._ensure_index_cover()
+        return self._repository.snapshot()
+
+    def _ensure_index_cover(self) -> None:
+        indexed = self._index_pool.columns
+        uncovered = [
+            mask
+            for mask in self._repository.mucs
+            if mask and not any(mask >> column & 1 for column in indexed)
+        ]
+        if not uncovered:
+            return
+        for column in select_index_attributes(
+            uncovered, self._relation.n_columns, self._stats.frequency_order()
+        ):
+            self._index_pool.ensure(self._relation, column)
+
+    def __repr__(self) -> str:
+        profile = self._repository.snapshot()
+        return (
+            f"SwanProfiler(rows={len(self._relation)}, "
+            f"|MUCS|={len(profile.mucs)}, |MNUCS|={len(profile.mnucs)}, "
+            f"indexes={sorted(self._index_pool.columns)})"
+        )

@@ -1,0 +1,32 @@
+"""Dataset generators and workload builders for the experiments.
+
+The paper evaluates on two real datasets (NCVoter, Uniprot) and the
+TPC-H lineitem relation. The real files are not redistributable, so
+this package generates synthetic stand-ins that preserve the properties
+the experiments exercise (DESIGN.md section 5): per-column distinct
+counts following a Zipfian distribution (as the paper states for all
+its datasets), a mix of key-like and low-cardinality columns (NCVoter),
+a duplicate-heavy regime (Uniprot), and dbgen's lineitem semantics
+(TPC-H).
+"""
+
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.synthetic import ColumnSpec, generate_relation
+from repro.datasets.tpch import lineitem_relation
+from repro.datasets.uniprot import uniprot_relation
+from repro.datasets.workload import (
+    DynamicWorkload,
+    delete_batch_ids,
+    split_initial_and_inserts,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "DynamicWorkload",
+    "delete_batch_ids",
+    "generate_relation",
+    "lineitem_relation",
+    "ncvoter_relation",
+    "split_initial_and_inserts",
+    "uniprot_relation",
+]

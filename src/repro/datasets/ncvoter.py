@@ -1,0 +1,134 @@
+"""NCVoter-like synthetic dataset.
+
+The real North Carolina Voter Registration file (7.5M rows, 94 columns)
+is not redistributable; this generator reproduces its *profile shape*
+rather than its bytes:
+
+* a few near-key identifiers (registration number, NCID, phone);
+* a handful of substantial person/address attributes (names, zip,
+  registration date, precinct) whose combinations form the minimal
+  uniques;
+* functional dependencies a voter file carries (code -> description,
+  zip -> city/county, county -> municipality);
+* and -- crucial for a realistic minimal-unique structure -- a long
+  tail of *dominated* columns: status flags, mail-address lines and
+  codes where one value (often the empty string or a default) covers
+  95%+ of the rows. Such columns almost never discriminate duplicate
+  pairs, so they stay out of the minimal uniques, exactly as in the
+  real file. Making them uniform-random instead would manufacture
+  hundreds of thousands of artificial minimal uniques.
+
+The paper's experiments use the first 40 columns; the substantial mix
+lives in the leading columns here too. No single column is an exact
+key, so minimal uniques are genuine multi-column combinations.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import ColumnSpec, generate_relation
+from repro.storage.relation import Relation
+
+N_COLUMNS = 94
+
+_LEADING_SPECS = [
+    ColumnSpec("voter_reg_num", 0.995, skew=0.2),
+    ColumnSpec("ncid", 0.99, skew=0.2, derived_from="voter_reg_num"),
+    ColumnSpec("last_name", 0.06, skew=1.1),
+    ColumnSpec("first_name", 0.02, skew=1.6, dominant=0.08),
+    ColumnSpec("middle_name", 0.015, skew=1.2, dominant=0.70),
+    ColumnSpec("phone_num", 0.85, skew=0.3),
+    # Residence geography: zip drives city, county, precinct and (via
+    # county) every district column; desc/abbrv pairs are exact renames.
+    ColumnSpec("zip_code", 0.30, skew=1.0),
+    ColumnSpec("res_city_desc", 0.30, skew=1.0, derived_from="zip_code"),
+    ColumnSpec("county_id", 0.05, skew=0.8, derived_from="zip_code"),
+    ColumnSpec("county_desc", 0.05, skew=0.8, derived_from="county_id"),
+    ColumnSpec("state_cd", 1, skew=0.0),
+    ColumnSpec("full_street_addr", 0.55, skew=0.8, derived_from="voter_reg_num"),
+    ColumnSpec("mail_addr1", 0.55, skew=0.8, derived_from="full_street_addr"),
+    # Mail fields are empty for most voters in the real file.
+    ColumnSpec("mail_city", 0.30, skew=1.1, derived_from="res_city_desc", dominant=0.90),
+    ColumnSpec("mail_zipcode", 0.30, skew=1.0, derived_from="zip_code", dominant=0.90),
+    ColumnSpec("birth_age", 90, skew=0.6),
+    ColumnSpec("birth_year", 90, skew=0.6, derived_from="birth_age"),
+    ColumnSpec("age_group", 8, skew=0.7, derived_from="birth_age", dominant=0.70),
+    ColumnSpec("registr_dt", 0.04, skew=0.8),
+    # Precincts nest inside the residence geography: a function of zip.
+    ColumnSpec("precinct_abbrv", 0.30, skew=1.0, derived_from="zip_code"),
+    ColumnSpec("precinct_desc", 0.30, skew=1.0, derived_from="precinct_abbrv"),
+    ColumnSpec("munic_abbrv", 0.05, skew=1.0, derived_from="county_id"),
+    # Dominated flag / code columns: one value covers nearly all rows
+    # (empty strings, default codes), as in the real voter file.
+    ColumnSpec("status_cd", 4, skew=1.3, dominant=0.95),
+    ColumnSpec("voter_status_desc", 4, skew=1.3, dominant=0.95),
+    ColumnSpec("reason_cd", 15, skew=1.2, dominant=0.95),
+    ColumnSpec("drivers_lic", 2, skew=0.4, dominant=0.94),
+    ColumnSpec("race_code", 7, skew=1.2, dominant=0.90),
+    ColumnSpec("ethnic_code", 3, skew=1.0, dominant=0.93),
+    ColumnSpec("party_cd", 5, skew=1.1, dominant=0.85),
+    ColumnSpec("gender_code", 3, skew=0.5, dominant=0.85),
+    ColumnSpec("absent_ind", 2, skew=0.5, dominant=0.97),
+    ColumnSpec("name_prefx_cd", 6, skew=1.4, dominant=0.985),
+    ColumnSpec("name_suffix_lbl", 8, skew=1.4, dominant=0.96),
+    ColumnSpec("birth_place", 60, skew=1.2, dominant=0.93),
+    ColumnSpec("confidential_ind", 2, skew=0.3, dominant=0.995),
+    ColumnSpec("load_dt", 4, skew=0.5, dominant=0.95),
+    ColumnSpec("cancellation_dt", 50, skew=1.0, dominant=0.985),
+    ColumnSpec("registr_src", 12, skew=1.2, dominant=0.95),
+    ColumnSpec("mail_addr2", 0.02, skew=1.0, dominant=0.97),
+    ColumnSpec("mail_addr3", 0.005, skew=1.0, dominant=0.99),
+]
+
+_DISTRICT_KINDS = [
+    ("ward", 90),
+    ("cong_dist", 13),
+    ("super_court", 50),
+    ("judic_dist", 40),
+    ("nc_senate", 50),
+    ("nc_house", 120),
+    ("fire_dist", 35),
+    ("water_dist", 25),
+    ("school_dist", 115),
+    ("rescue_dist", 20),
+    ("sanit_dist", 12),
+    ("township", 60),
+    ("city_sch", 18),
+]
+
+
+def _tail_specs() -> list[ColumnSpec]:
+    """District columns 41..94: functions of residence location, with
+    the sparser district types dominated by 'not applicable'."""
+    specs: list[ColumnSpec] = []
+    position = 0
+    while len(_LEADING_SPECS) + len(specs) < N_COLUMNS:
+        kind, cardinality = _DISTRICT_KINDS[position % len(_DISTRICT_KINDS)]
+        suffix = "_abbrv" if position % 2 else "_desc"
+        # District membership is sparse in the real file: most voters
+        # lie outside any given special district, so the 'not
+        # applicable' value dominates every district column.
+        dominant = 0.97 + (position % 3) * 0.01
+        specs.append(
+            ColumnSpec(
+                f"{kind}{position // len(_DISTRICT_KINDS)}{suffix}",
+                cardinality,
+                skew=1.0 + (position % 5) * 0.1,
+                derived_from="county_id",
+                dominant=dominant,
+            )
+        )
+        position += 1
+    return specs
+
+
+def ncvoter_specs(n_columns: int = 40) -> list[ColumnSpec]:
+    """The first ``n_columns`` column specs (<= 94)."""
+    if not 1 <= n_columns <= N_COLUMNS:
+        raise ValueError(f"NCVoter has up to {N_COLUMNS} columns, got {n_columns}")
+    all_specs = _LEADING_SPECS + _tail_specs()
+    return all_specs[:n_columns]
+
+
+def ncvoter_relation(n_rows: int, n_columns: int = 40, seed: int = 0) -> Relation:
+    """Generate an NCVoter-like relation (first ``n_columns`` columns)."""
+    return generate_relation(ncvoter_specs(n_columns), n_rows, seed=seed)

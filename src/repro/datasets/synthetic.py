@@ -1,0 +1,202 @@
+"""Synthetic relation generator with Zipfian value frequencies.
+
+Each column is described by a :class:`ColumnSpec` giving its target
+cardinality (absolute, or as a fraction of the row count) and a Zipf
+skew for how often each distinct value appears. The paper notes that
+"for all datasets the number of unique values per column approximately
+follows a Zipfian distribution" -- the NCVoter/Uniprot stand-ins draw
+their *cardinality profiles* from a Zipfian series too.
+
+All cell values are strings (``"{prefix}{i}"``) so relations round-trip
+losslessly through the CSV-backed :class:`~repro.storage.table_file.TableFile`.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Recipe for one synthetic column.
+
+    ``cardinality`` >= 1 is an absolute distinct count; < 1.0 is a
+    fraction of the row count (so specs scale with the dataset).
+    ``skew`` is the Zipf exponent of the value-frequency distribution
+    (0 = uniform; ~1 = classic Zipf head-heavy).
+
+    ``derived_from`` names another column this one functionally depends
+    on: each cell becomes a deterministic function of the parent cell
+    (folded to ``cardinality`` distinct values). Real tables are full of
+    such dependencies (code -> description, id -> name).
+
+    ``dominant`` is the fraction of rows holding the single most common
+    value (on top of the Zipf skew). Real wide tables are full of
+    columns dominated by one value -- empty mail-address lines, 'N'
+    flags, default codes -- and such columns almost never participate
+    in minimal uniques. Without this, dozens of independent
+    low-cardinality columns combine into combinatorially many minimal
+    uniques that no real dataset exhibits.
+    """
+
+    name: str
+    cardinality: float
+    skew: float = 1.0
+    dtype: str = "str"
+    derived_from: str | None = None
+    dominant: float = 0.0
+
+    def resolved_cardinality(self, n_rows: int) -> int:
+        if self.cardinality >= 1.0:
+            target = int(self.cardinality)
+        else:
+            target = int(round(self.cardinality * n_rows))
+        return max(1, min(target, max(n_rows, 1)))
+
+
+class ZipfSampler:
+    """Draws value indices 0..n-1 with P(i) proportional to 1/(i+1)^skew."""
+
+    __slots__ = ("_cumulative", "_total")
+
+    def __init__(self, n_values: int, skew: float) -> None:
+        weights = [1.0 / (rank + 1.0) ** skew for rank in range(n_values)]
+        self._cumulative = list(accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        point = rng.random() * self._total
+        return bisect_right(self._cumulative, point)
+
+
+def generate_column(
+    spec: ColumnSpec, n_rows: int, rng: random.Random, prefix: str
+) -> list[str]:
+    """One column's values honouring cardinality and skew.
+
+    Every one of the ``cardinality`` distinct values appears at least
+    once (so measured cardinality matches the spec), the remaining rows
+    are Zipf draws, and the column is shuffled so value positions are
+    independent across columns.
+    """
+    cardinality = spec.resolved_cardinality(n_rows)
+    values = [f"{prefix}{index}" for index in range(cardinality)]
+    cells = list(values[:n_rows])
+    remaining = n_rows - len(cells)
+    if remaining > 0:
+        sampler = ZipfSampler(cardinality, spec.skew) if spec.skew > 0 else None
+
+        def draw() -> str:
+            if spec.dominant and rng.random() < spec.dominant:
+                return values[0]
+            if sampler is None:
+                return values[rng.randrange(cardinality)]
+            return values[sampler.sample(rng)]
+
+        cells.extend(draw() for _ in range(remaining))
+    rng.shuffle(cells)
+    return cells
+
+
+def derive_column(
+    spec: ColumnSpec, parent: list[str], n_rows: int, prefix: str
+) -> list[str]:
+    """A column functionally dependent on ``parent``.
+
+    Each distinct parent value maps (via a seeded hash) to one of the
+    ``cardinality`` child values, so parent -> child is a true FD. When
+    the requested cardinality is at least the parent's distinct count,
+    the mapping is an injective rename -- an exact bijection (think
+    code -> description), which keeps the child from spawning *extra*
+    minimal uniques beyond the parent's.
+    """
+    cardinality = spec.resolved_cardinality(n_rows)
+    parent_distinct = len(set(parent))
+    rename = cardinality >= parent_distinct and not spec.dominant
+    mapping: dict[str, str] = {}
+    cells: list[str] = []
+    for value in parent:
+        child = mapping.get(value)
+        if child is None:
+            if rename:
+                child = f"{prefix}{len(mapping)}"
+            else:
+                rng = random.Random(f"{prefix}|{value}")
+                if spec.dominant and rng.random() < spec.dominant:
+                    bucket = 0
+                else:
+                    bucket = rng.randrange(cardinality)
+                child = f"{prefix}{bucket}"
+            mapping[value] = child
+        cells.append(child)
+    return cells
+
+
+def generate_relation(
+    specs: list[ColumnSpec],
+    n_rows: int,
+    seed: int = 0,
+) -> Relation:
+    """Materialize a relation from column specs, deterministically.
+
+    Base columns are generated independently; derived columns are
+    computed from their (already generated) parents, so ``derived_from``
+    may only reference a column that appears earlier in ``specs``.
+    """
+    schema = Schema([Column(spec.name, spec.dtype) for spec in specs])
+    columns: list[list[str]] = []
+    by_name: dict[str, list[str]] = {}
+    for position, spec in enumerate(specs):
+        prefix = f"c{position}_"
+        if spec.derived_from is not None:
+            parent = by_name.get(spec.derived_from)
+            if parent is None:
+                raise ValueError(
+                    f"column {spec.name!r} derives from {spec.derived_from!r}, "
+                    "which does not precede it"
+                )
+            cells = derive_column(spec, parent, n_rows, prefix)
+        else:
+            rng = random.Random(f"{seed}|{position}|{spec.name}")
+            cells = generate_column(spec, n_rows, rng, prefix=prefix)
+        columns.append(cells)
+        by_name[spec.name] = cells
+    rows = zip(*columns) if columns else iter(())
+    return Relation.from_rows(schema, rows)
+
+
+def zipfian_cardinality_profile(
+    n_columns: int,
+    n_key_like: int,
+    max_fraction: float,
+    min_cardinality: int,
+    seed: int = 0,
+) -> list[float]:
+    """Per-column cardinalities following a Zipfian series.
+
+    The first ``n_key_like`` columns get near-row-count cardinality
+    fractions; the rest decay as 1/rank down to ``min_cardinality``
+    absolute values, shuffled so key-like and categorical columns
+    interleave like a real table.
+    """
+    fractions: list[float] = []
+    for rank in range(n_columns):
+        if rank < n_key_like:
+            fractions.append(max_fraction)
+        else:
+            decayed = max_fraction / (rank - n_key_like + 2)
+            fractions.append(decayed)
+    rng = random.Random(seed)
+    tail = fractions[n_key_like:]
+    rng.shuffle(tail)
+    fractions[n_key_like:] = tail
+    return [
+        fraction if fraction * 1000 >= min_cardinality else float(min_cardinality)
+        for fraction in fractions
+    ]

@@ -1,0 +1,184 @@
+"""TPC-H lineitem generator (dbgen semantics, configurable scale).
+
+Implements the ``lineitem`` population rules of the TPC-H specification
+closely enough for profiling workloads: each order carries 1-7 line
+items numbered 1..k, part/supplier keys are uniform draws, quantities,
+discounts and taxes come from the spec's discrete ranges, prices derive
+from the part key, and the three dates are chained (ship -> commit ->
+receipt) within the 1992-1998 window. ``(l_orderkey, l_linenumber)`` is
+the relation's key, exactly as in TPC-H.
+
+All 16 columns are emitted as strings (consistent with the other
+generators and the CSV-backed table store).
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, timedelta
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+
+LINEITEM_COLUMNS = [
+    "l_orderkey",
+    "l_partkey",
+    "l_suppkey",
+    "l_linenumber",
+    "l_quantity",
+    "l_extendedprice",
+    "l_discount",
+    "l_tax",
+    "l_returnflag",
+    "l_linestatus",
+    "l_shipdate",
+    "l_commitdate",
+    "l_receiptdate",
+    "l_shipinstruct",
+    "l_shipmode",
+    "l_comment",
+]
+
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_SHIP_MODE = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+    "packages", "requests", "accounts", "instructions", "foxes", "pending",
+    "ironic", "express", "regular", "final", "bold", "silent", "even", "idle",
+]
+_EPOCH = date(1992, 1, 1)
+_SHIP_WINDOW_DAYS = (date(1998, 8, 2) - _EPOCH).days
+
+
+def lineitem_schema() -> Schema:
+    return Schema([Column(name, "str") for name in LINEITEM_COLUMNS])
+
+
+def _part_retail_price(part_key: int) -> float:
+    # TPC-H: p_retailprice = (90000 + (partkey/10 % 20001) + 100*(partkey % 1000)) / 100
+    return (90000 + (part_key // 10) % 20001 + 100 * (part_key % 1000)) / 100.0
+
+
+def lineitem_rows(n_rows: int, seed: int = 0):
+    """Yield lineitem rows until ``n_rows`` have been produced."""
+    rng = random.Random(seed)
+    # Scale the key spaces with the target size, mirroring dbgen ratios
+    # (SF-1: 1.5M orders, 200k parts, 10k suppliers, ~6M lineitems).
+    n_parts = max(200, n_rows // 30)
+    n_suppliers = max(10, n_rows // 600)
+    produced = 0
+    order_key = 0
+    while produced < n_rows:
+        order_key += 1
+        n_lines = rng.randint(1, 7)
+        for line_number in range(1, n_lines + 1):
+            if produced == n_rows:
+                return
+            part_key = rng.randint(1, n_parts)
+            supp_key = rng.randint(1, n_suppliers)
+            quantity = rng.randint(1, 50)
+            extended_price = round(quantity * _part_retail_price(part_key), 2)
+            discount = rng.randint(0, 10) / 100.0
+            tax = rng.randint(0, 8) / 100.0
+            ship_days = rng.randint(0, _SHIP_WINDOW_DAYS)
+            ship_date = _EPOCH + timedelta(days=ship_days)
+            commit_date = ship_date + timedelta(days=rng.randint(-60, 60))
+            receipt_date = ship_date + timedelta(days=rng.randint(1, 30))
+            if ship_date <= date(1995, 6, 17):
+                return_flag = rng.choice(["R", "A"])
+                line_status = "F"
+            else:
+                return_flag = "N"
+                line_status = "O"
+            comment = " ".join(
+                rng.choice(_COMMENT_WORDS) for _ in range(rng.randint(2, 5))
+            )
+            yield (
+                str(order_key),
+                str(part_key),
+                str(supp_key),
+                str(line_number),
+                str(quantity),
+                f"{extended_price:.2f}",
+                f"{discount:.2f}",
+                f"{tax:.2f}",
+                return_flag,
+                line_status,
+                ship_date.isoformat(),
+                commit_date.isoformat(),
+                receipt_date.isoformat(),
+                rng.choice(_SHIP_INSTRUCT),
+                rng.choice(_SHIP_MODE),
+                comment,
+            )
+            produced += 1
+
+
+def lineitem_relation(n_rows: int, n_columns: int = 16, seed: int = 0) -> Relation:
+    """Generate a lineitem relation (optionally a column prefix)."""
+    if not 1 <= n_columns <= 16:
+        raise ValueError(f"lineitem has 16 columns, got {n_columns}")
+    relation = Relation.from_rows(lineitem_schema(), lineitem_rows(n_rows, seed))
+    if n_columns < 16:
+        relation = relation.restrict_columns(n_columns)
+    return relation
+
+
+ORDERS_COLUMNS = [
+    "o_orderkey",
+    "o_custkey",
+    "o_orderstatus",
+    "o_totalprice",
+    "o_orderdate",
+    "o_orderpriority",
+    "o_clerk",
+    "o_shippriority",
+    "o_comment",
+]
+
+_ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+
+def orders_schema() -> Schema:
+    return Schema([Column(name, "str") for name in ORDERS_COLUMNS])
+
+
+def tpch_tables(n_lineitem_rows: int, seed: int = 0) -> tuple[Relation, Relation]:
+    """Generate consistent (lineitem, orders) relations.
+
+    Every ``l_orderkey`` in lineitem references an ``o_orderkey`` in
+    orders -- the referential integrity dbgen guarantees and the
+    foreign-key discovery example rediscovers from the data alone.
+    Order attributes derive from the same seeded stream so the pair is
+    deterministic.
+    """
+    lineitem = Relation.from_rows(
+        lineitem_schema(), lineitem_rows(n_lineitem_rows, seed)
+    )
+    key_column = LINEITEM_COLUMNS.index("l_orderkey")
+    date_column = LINEITEM_COLUMNS.index("l_shipdate")
+    order_keys: dict[str, str] = {}
+    for row in lineitem.iter_rows():
+        earliest = order_keys.get(row[key_column])
+        if earliest is None or row[date_column] < earliest:
+            order_keys[row[key_column]] = row[date_column]
+    rng = random.Random(f"orders|{seed}")
+    n_customers = max(10, n_lineitem_rows // 40)
+    rows = []
+    for order_key in sorted(order_keys, key=int):
+        ship_date = date.fromisoformat(order_keys[order_key])
+        order_date = ship_date - timedelta(days=rng.randint(1, 121))
+        rows.append(
+            (
+                order_key,
+                str(rng.randint(1, n_customers)),
+                rng.choice(["O", "F", "P"]),
+                f"{rng.uniform(850.0, 555000.0):.2f}",
+                order_date.isoformat(),
+                rng.choice(_ORDER_PRIORITIES),
+                f"Clerk#{rng.randint(1, max(2, n_customers // 3)):09d}",
+                "0",
+                " ".join(rng.choice(_COMMENT_WORDS) for _ in range(rng.randint(2, 4))),
+            )
+        )
+    return lineitem, Relation.from_rows(orders_schema(), rows)

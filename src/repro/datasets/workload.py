@@ -1,0 +1,113 @@
+"""Dynamic-data workload builders for the experiments.
+
+The paper's experiments all share one shape: generate a dataset, hold
+out part of it as the *initial* relation, and replay the remainder as
+insert batches (or sample live tuples as delete batches). This module
+packages those splits deterministically so every system in a comparison
+sees the exact same tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.errors import WorkloadError
+from repro.storage.relation import Relation
+
+Row = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class DynamicWorkload:
+    """An initial relation plus the batches to replay against it."""
+
+    initial: Relation
+    insert_batches: tuple[tuple[Row, ...], ...]
+
+    @property
+    def n_inserts(self) -> int:
+        return sum(len(batch) for batch in self.insert_batches)
+
+
+def split_initial_and_inserts(
+    relation: Relation,
+    initial_rows: int,
+    batch_fractions: Sequence[float],
+    seed: int = 0,
+) -> DynamicWorkload:
+    """Split a generated relation into initial data plus insert batches.
+
+    ``batch_fractions`` are relative to ``initial_rows`` (the paper's
+    "batch size in relation to initial dataset size", e.g.
+    ``[0.01, 0.05, 0.10, 0.20]``); batches are disjoint and drawn in
+    order from the shuffled held-out rows.
+    """
+    rows = list(relation.iter_rows())
+    needed = initial_rows + sum(
+        int(round(fraction * initial_rows)) for fraction in batch_fractions
+    )
+    if needed > len(rows):
+        raise WorkloadError(
+            f"workload needs {needed} rows but the relation has {len(rows)}"
+        )
+    rng = random.Random(seed)
+    rng.shuffle(rows)
+    initial = Relation.from_rows(relation.schema, rows[:initial_rows])
+    batches: list[tuple[Row, ...]] = []
+    cursor = initial_rows
+    for fraction in batch_fractions:
+        size = int(round(fraction * initial_rows))
+        batches.append(tuple(rows[cursor : cursor + size]))
+        cursor += size
+    return DynamicWorkload(initial=initial, insert_batches=tuple(batches))
+
+
+def delete_batch_ids(
+    relation: Relation,
+    fraction: float,
+    seed: int = 0,
+) -> list[int]:
+    """A deterministic sample of live tuple IDs to delete.
+
+    ``fraction`` is relative to the current live row count (the paper's
+    "amount of deleted tuples in %").
+    """
+    if not 0 <= fraction <= 1:
+        raise WorkloadError(f"delete fraction must be in [0, 1], got {fraction}")
+    live = list(relation.iter_ids())
+    size = int(round(fraction * len(live)))
+    rng = random.Random(seed)
+    return sorted(rng.sample(live, size))
+
+
+def interleaved_workload(
+    relation: Relation,
+    initial_rows: int,
+    n_operations: int,
+    insert_probability: float = 0.5,
+    batch_size: int = 10,
+    seed: int = 0,
+) -> tuple[Relation, list[tuple[str, object]]]:
+    """A mixed insert/delete script for integration tests and examples.
+
+    Returns the initial relation and a list of operations, each either
+    ``("insert", rows)`` or ``("delete", fraction)``; the caller decides
+    which live IDs a delete fraction resolves to at replay time.
+    """
+    rows = list(relation.iter_rows())
+    if initial_rows > len(rows):
+        raise WorkloadError("initial_rows exceeds relation size")
+    rng = random.Random(seed)
+    rng.shuffle(rows)
+    initial = Relation.from_rows(relation.schema, rows[:initial_rows])
+    pending = rows[initial_rows:]
+    operations: list[tuple[str, object]] = []
+    for _ in range(n_operations):
+        if pending and rng.random() < insert_probability:
+            batch, pending = pending[:batch_size], pending[batch_size:]
+            operations.append(("insert", tuple(batch)))
+        else:
+            operations.append(("delete", batch_size))
+    return initial, operations

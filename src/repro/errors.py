@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the profiler with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a column reference does not resolve."""
+
+
+class UnknownColumnError(SchemaError):
+    """A column name or index does not exist in the schema."""
+
+    def __init__(self, column: object, available: object = None) -> None:
+        message = f"unknown column: {column!r}"
+        if available is not None:
+            message += f" (available: {available!r})"
+        super().__init__(message)
+        self.column = column
+
+
+class TupleIdError(ReproError):
+    """A tuple ID does not exist (or was already deleted)."""
+
+
+class ArityError(ReproError):
+    """A tuple's arity does not match the relation's schema."""
+
+
+class ProfileStateError(ReproError):
+    """The profiler was used in an invalid order.
+
+    For example, calling :meth:`SwanProfiler.handle_inserts` before the
+    initial profile was computed.
+    """
+
+
+class InconsistentProfileError(ReproError):
+    """A repository sanity check failed (MUCS/MNUCS not antichains, ...)."""
+
+
+class AlgorithmError(ReproError):
+    """A discovery algorithm violated one of its internal invariants."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload specification is invalid."""
+
+
+class BudgetExceededError(ReproError):
+    """A discovery run exceeded its cooperative time budget.
+
+    The benchmark harness hands long-running baselines a deadline;
+    they poll it periodically and raise this instead of running
+    unbounded (the paper's equivalent: aborting GORDIAN-INC after 10
+    hours)."""

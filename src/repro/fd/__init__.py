@@ -1,0 +1,21 @@
+"""Functional dependency discovery on the shared PLI substrate.
+
+Unique discovery and FD discovery are siblings: the paper leverages the
+same position-list-index partitions TANE introduced ([4], [9]), and
+notes that "one can leverage uniques for the discovery of functional
+and inclusion dependencies". This package provides:
+
+* :mod:`repro.fd.tane` -- levelwise discovery of all minimal,
+  non-trivial functional dependencies via partition refinement
+  (TANE-style), reusing :class:`~repro.storage.fastpli.ArrayPli`;
+* :mod:`repro.fd.oracle` -- a brute-force oracle for tests.
+
+FDs connect back to unique discovery two ways (both tested): every
+unique column combination functionally determines every column, and a
+valid FD X -> A makes any unique of the form U ∪ {A} with X ⊆ U
+non-minimal.
+"""
+
+from repro.fd.tane import FunctionalDependency, discover_fds
+
+__all__ = ["FunctionalDependency", "discover_fds"]

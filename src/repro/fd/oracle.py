@@ -1,0 +1,35 @@
+"""Brute-force FD oracle for tests: check every (LHS, RHS) pair."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.fd.tane import FunctionalDependency, holds
+from repro.lattice.combination import is_subset
+from repro.storage.relation import Relation
+
+
+def discover_fds_bruteforce(relation: Relation) -> list[FunctionalDependency]:
+    """All minimal non-trivial FDs by testing every candidate directly."""
+    n_columns = relation.n_columns
+    if len(relation) == 0 or n_columns < 2:
+        return []
+    valid: dict[int, list[int]] = {rhs: [] for rhs in range(n_columns)}
+    for rhs in range(n_columns):
+        others = [column for column in range(n_columns) if column != rhs]
+        for size in range(0, n_columns):
+            for columns in combinations(others, size):
+                lhs = 0
+                for column in columns:
+                    lhs |= 1 << column
+                if any(is_subset(smaller, lhs) for smaller in valid[rhs]):
+                    continue
+                if holds(relation, lhs, rhs):
+                    valid[rhs].append(lhs)
+    found = [
+        FunctionalDependency(lhs, rhs)
+        for rhs, lhs_list in valid.items()
+        for lhs in lhs_list
+    ]
+    found.sort()
+    return found

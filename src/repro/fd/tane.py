@@ -1,0 +1,179 @@
+"""Levelwise functional dependency discovery (TANE-style).
+
+Finds all *minimal, non-trivial* functional dependencies X -> A of a
+relation instance: X does not contain A, no proper subset of X
+determines A, and two tuples agreeing on X always agree on A.
+
+The validity test is TANE's partition refinement ([4], [9]): with
+|pi_X| the number of equivalence classes of the projection on X
+(counting singletons),
+
+    X -> A   <=>   |pi_X| == |pi_{X ∪ {A}}|
+
+computed from stripped partitions (:class:`ArrayPli`) as
+``classes = n_rows - entries + clusters``.
+
+The search ascends the lattice levelwise. Pruning:
+
+* **minimality** -- a candidate LHS containing an already-found LHS for
+  the same RHS cannot be minimal; found LHSes live in one
+  :class:`MinimalAntichain` per RHS attribute, so the check is a
+  bitmap query;
+* **keys** -- a superkey X determines everything; the minimal FDs with
+  X ⊆ LHS are exactly those whose LHS is a minimal unique, which are
+  reported directly and need no expansion;
+* **level cap** -- ``max_lhs`` bounds the LHS size for wide relations
+  (the full exponential search is exact and is what tests use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.lattice.antichain import MinimalAntichain
+from repro.lattice.combination import columns_of, iter_bits
+from repro.storage.fastpli import ArrayPli
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A minimal, non-trivial FD: the ``lhs`` columns determine ``rhs``."""
+
+    lhs: int
+    rhs: int
+
+    def named(self, schema: Schema) -> str:
+        lhs_names = ", ".join(
+            schema.names[column] for column in columns_of(self.lhs)
+        )
+        return f"[{lhs_names}] -> {schema.names[self.rhs]}"
+
+    def __lt__(self, other: "FunctionalDependency") -> bool:
+        return (bin(self.lhs).count("1"), self.lhs, self.rhs) < (
+            bin(other.lhs).count("1"),
+            other.lhs,
+            other.rhs,
+        )
+
+
+class _PartitionCache:
+    """Equivalence-class counts |pi_X| via cached ArrayPli intersection."""
+
+    def __init__(self, relation: Relation) -> None:
+        self._relation = relation
+        self._n_rows = len(relation)
+        self._column_plis = [
+            ArrayPli.for_column(relation, column)
+            for column in range(relation.n_columns)
+        ]
+        self._plis: dict[int, ArrayPli] = {
+            1 << column: pli for column, pli in enumerate(self._column_plis)
+        }
+        self._classes: dict[int, int] = {}
+
+    def pli(self, mask: int) -> ArrayPli:
+        cached = self._plis.get(mask)
+        if cached is not None:
+            return cached
+        # Extend from any immediate subset already computed (levelwise
+        # processing guarantees one exists).
+        for column in iter_bits(mask):
+            parent = self._plis.get(mask & ~(1 << column))
+            if parent is not None:
+                result = parent.intersect(self._column_plis[column])
+                self._plis[mask] = result
+                return result
+        columns = list(iter_bits(mask))
+        result = self._column_plis[columns[0]]
+        for column in columns[1:]:
+            result = result.intersect(self._column_plis[column])
+        self._plis[mask] = result
+        return result
+
+    def classes(self, mask: int) -> int:
+        """|pi_X| counting singleton classes."""
+        if mask == 0:
+            return 1 if self._n_rows else 0
+        cached = self._classes.get(mask)
+        if cached is None:
+            pli = self.pli(mask)
+            cached = self._n_rows - pli.n_entries() + pli.n_clusters()
+            self._classes[mask] = cached
+        return cached
+
+    def is_key(self, mask: int) -> bool:
+        return self.classes(mask) == self._n_rows
+
+
+def discover_fds(
+    relation: Relation,
+    max_lhs: int | None = None,
+) -> list[FunctionalDependency]:
+    """All minimal non-trivial FDs with LHS size <= ``max_lhs``.
+
+    With ``max_lhs=None`` the search is exhaustive (exact); relations
+    with many columns should pass a cap, as FD discovery is exponential
+    in the worst case (TANE's well-known behaviour).
+    """
+    n_columns = relation.n_columns
+    n_rows = len(relation)
+    if n_rows == 0 or n_columns < 2:
+        return []
+    cap = n_columns - 1 if max_lhs is None else min(max_lhs, n_columns - 1)
+    partitions = _PartitionCache(relation)
+    found: list[FunctionalDependency] = []
+    minimal_lhs: dict[int, MinimalAntichain] = {
+        rhs: MinimalAntichain() for rhs in range(n_columns)
+    }
+
+    # Level 0: constant columns are determined by the empty set.
+    for rhs in range(n_columns):
+        if partitions.classes(1 << rhs) == 1:
+            found.append(FunctionalDependency(0, rhs))
+            minimal_lhs[rhs].add(0)
+
+    level = 1
+    while level <= cap:
+        for columns in combinations(range(n_columns), level):
+            lhs = 0
+            for column in columns:
+                lhs |= 1 << column
+            remaining = [
+                rhs
+                for rhs in range(n_columns)
+                if not lhs >> rhs & 1
+                and not minimal_lhs[rhs].contains_subset_of(lhs)
+            ]
+            if not remaining:
+                continue
+            lhs_classes = partitions.classes(lhs)
+            if lhs_classes == n_rows:
+                # X is a (super)key: it determines every column. The FD
+                # is minimal only when no smaller LHS works, which the
+                # `remaining` filter already established.
+                for rhs in remaining:
+                    found.append(FunctionalDependency(lhs, rhs))
+                    minimal_lhs[rhs].add(lhs)
+                continue
+            for rhs in remaining:
+                if partitions.classes(lhs | (1 << rhs)) == lhs_classes:
+                    found.append(FunctionalDependency(lhs, rhs))
+                    minimal_lhs[rhs].add(lhs)
+        level += 1
+    found.sort()
+    return found
+
+
+def holds(relation: Relation, lhs: int, rhs: int) -> bool:
+    """Definitional FD check by direct grouping (oracle-grade)."""
+    witness: dict[tuple, object] = {}
+    lhs_columns = columns_of(lhs)
+    for row in relation.iter_rows():
+        key = tuple(row[column] for column in lhs_columns)
+        value = row[rhs]
+        if witness.setdefault(key, value) != value:
+            return False
+    return True

@@ -1,0 +1,35 @@
+"""Inclusion dependency discovery.
+
+The paper's related work ([20], [21]) ties unique discovery to
+inclusion dependency (IND) discovery: a foreign-key relationship is an
+IND whose right-hand side is unique. This package implements:
+
+* :mod:`repro.ind.unary` -- all unary INDs (value-set containment)
+  via a single inverted pass over distinct values;
+* :func:`repro.ind.unary.foreign_key_candidates` -- INDs whose RHS is
+  a (discovered) unique column: the classic key/FK pairing -- plus
+  :func:`repro.ind.unary.rank_foreign_keys` coverage ranking to push
+  accidental small-domain INDs to the bottom;
+* :mod:`repro.ind.nary` -- n-ary INDs lifted levelwise from the unary
+  ones (de Marchi's MIND apriori property).
+"""
+
+from repro.ind.nary import (
+    NaryInclusionDependency,
+    discover_nary_inds,
+    holds_nary,
+)
+from repro.ind.unary import (
+    InclusionDependency,
+    discover_unary_inds,
+    foreign_key_candidates,
+)
+
+__all__ = [
+    "InclusionDependency",
+    "NaryInclusionDependency",
+    "discover_nary_inds",
+    "discover_unary_inds",
+    "foreign_key_candidates",
+    "holds_nary",
+]

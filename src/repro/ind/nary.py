@@ -1,0 +1,141 @@
+"""N-ary inclusion dependency discovery (MIND-style levelwise).
+
+An n-ary IND ``R[A1..An] ⊆ S[B1..Bn]`` holds when every tuple's
+projection on (A1..An) occurs as some tuple's projection on (B1..Bn).
+De Marchi's MIND algorithm ([20]) lifts unary INDs levelwise: an n-ary
+candidate can only hold if **every** (n-1)-ary sub-IND (dropping the
+same position on both sides) holds -- the apriori property that prunes
+the quadratic-in-columns, exponential-in-arity candidate space down to
+what the data supports.
+
+Conventions (standard in the IND literature):
+
+* positions pair off: A_i maps to B_i;
+* no repeated columns within one side;
+* i-th left column may equal i-th right column only across relations
+  (within one relation such positions would make the IND partially
+  trivial, so candidates with A_i == B_i are excluded there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ind.unary import discover_unary_inds
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class NaryInclusionDependency:
+    """``lhs_relation[lhs] ⊆ rhs_relation[rhs]``, positionally paired."""
+
+    lhs_relation: str
+    lhs: tuple[int, ...]
+    rhs_relation: str
+    rhs: tuple[int, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.lhs)
+
+    def named(self, lhs_schema: Schema, rhs_schema: Schema | None = None) -> str:
+        rhs_schema = rhs_schema or lhs_schema
+        left = ", ".join(lhs_schema.names[column] for column in self.lhs)
+        right = ", ".join(rhs_schema.names[column] for column in self.rhs)
+        return f"{self.lhs_relation}[{left}] ⊆ {self.rhs_relation}[{right}]"
+
+    def sub_inds(self):
+        """The (n-1)-ary INDs obtained by dropping one position."""
+        for drop in range(self.arity):
+            yield NaryInclusionDependency(
+                self.lhs_relation,
+                self.lhs[:drop] + self.lhs[drop + 1 :],
+                self.rhs_relation,
+                self.rhs[:drop] + self.rhs[drop + 1 :],
+            )
+
+
+def _projections(relation: Relation, columns: tuple[int, ...]) -> set:
+    return {
+        tuple(row[column] for column in columns)
+        for row in relation.iter_rows()
+    }
+
+
+def holds_nary(
+    lhs_relation: Relation,
+    lhs: tuple[int, ...],
+    rhs_relation: Relation,
+    rhs: tuple[int, ...],
+) -> bool:
+    """Definitional containment check of one n-ary IND."""
+    if len(lhs_relation) == 0:
+        return True
+    return _projections(lhs_relation, lhs) <= _projections(rhs_relation, rhs)
+
+
+def discover_nary_inds(
+    relation: Relation,
+    other: Relation | None = None,
+    max_arity: int = 3,
+    name: str = "R",
+    other_name: str = "S",
+) -> list[NaryInclusionDependency]:
+    """All valid INDs up to ``max_arity``, levelwise from the unary ones.
+
+    Within one relation, candidates with any position mapping a column
+    to itself are excluded (partially trivial). Results are *maximal
+    sets of facts*, not maximal INDs: every valid IND up to the arity
+    cap is reported (the standard MIND output), sorted by arity.
+    """
+    target = other if other is not None else relation
+    target_name = other_name if other is not None else name
+    same_relation = other is None
+
+    unary = [
+        NaryInclusionDependency(name, (ind.lhs,), target_name, (ind.rhs,))
+        for ind in discover_unary_inds(relation, other, name, other_name)
+    ]
+    results: list[NaryInclusionDependency] = list(unary)
+    current = set(unary)
+    arity = 2
+    while current and arity <= max_arity:
+        candidates: set[NaryInclusionDependency] = set()
+        ordered = sorted(
+            current, key=lambda ind: (ind.lhs, ind.rhs)
+        )
+        for left in ordered:
+            for right in ordered:
+                # Join: extend `left` by `right`'s last position; for
+                # arity 2 this pairs any two unary INDs, beyond that
+                # the shared prefix must match (apriori join).
+                if left.lhs[:-1] != right.lhs[:-1] or left.rhs[:-1] != right.rhs[:-1]:
+                    continue
+                new_lhs_col = right.lhs[-1]
+                new_rhs_col = right.rhs[-1]
+                if left.lhs[-1] >= new_lhs_col:
+                    continue  # canonical order on LHS avoids duplicates
+                if new_lhs_col in left.lhs or new_rhs_col in left.rhs:
+                    continue  # no repeated columns on either side
+                candidate = NaryInclusionDependency(
+                    name,
+                    left.lhs + (new_lhs_col,),
+                    target_name,
+                    left.rhs + (new_rhs_col,),
+                )
+                if same_relation and any(
+                    l == r for l, r in zip(candidate.lhs, candidate.rhs)
+                ):
+                    continue
+                if all(sub in current or sub.arity == 0 for sub in candidate.sub_inds()):
+                    candidates.add(candidate)
+        validated = {
+            candidate
+            for candidate in candidates
+            if holds_nary(relation, candidate.lhs, target, candidate.rhs)
+        }
+        results.extend(sorted(validated, key=lambda ind: (ind.lhs, ind.rhs)))
+        current = validated
+        arity += 1
+    return results

@@ -1,0 +1,145 @@
+"""Unary inclusion dependency discovery (de Marchi-style).
+
+A unary IND ``R.A ⊆ S.B`` holds when every value appearing in column A
+also appears in column B. Enumerating all unary INDs by pairwise
+containment tests is O(columns²) scans; the standard trick ([20])
+inverts the data once: for every distinct *value*, collect the set of
+columns containing it; A ⊆ B can only hold if B appears in every such
+column set that contains A -- so each IND candidate set shrinks by
+intersection while streaming values, one pass total.
+
+Foreign-key candidates then follow the paper's observation that uniques
+resemble keys: an IND whose right-hand side is a unique column pairs a
+would-be foreign key with a would-be primary key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """A unary IND: every value of ``lhs`` occurs in ``rhs``.
+
+    Column references carry a relation tag so INDs across two relations
+    render unambiguously.
+    """
+
+    lhs_relation: str
+    lhs: int
+    rhs_relation: str
+    rhs: int
+
+    def named(self, lhs_schema: Schema, rhs_schema: Schema | None = None) -> str:
+        rhs_schema = rhs_schema or lhs_schema
+        return (
+            f"{self.lhs_relation}.{lhs_schema.names[self.lhs]} ⊆ "
+            f"{self.rhs_relation}.{rhs_schema.names[self.rhs]}"
+        )
+
+    def __lt__(self, other: "InclusionDependency") -> bool:
+        return (self.lhs_relation, self.lhs, other.rhs_relation, self.rhs) < (
+            other.lhs_relation,
+            other.lhs,
+            other.rhs_relation,
+            other.rhs,
+        )
+
+
+def _distinct_values(relation: Relation, column: int) -> set:
+    return {value for _, value in relation.column_values(column)}
+
+
+def discover_unary_inds(
+    relation: Relation,
+    other: Relation | None = None,
+    name: str = "R",
+    other_name: str = "S",
+) -> list[InclusionDependency]:
+    """All unary INDs within ``relation`` (or from it into ``other``).
+
+    Empty columns are excluded as LHS (an empty column is vacuously
+    included everywhere, which drowns the result in noise); trivial
+    self-inclusions A ⊆ A are excluded too.
+    """
+    target = other if other is not None else relation
+    target_name = other_name if other is not None else name
+
+    # Invert: value -> set of target columns containing it.
+    containing: dict[object, set[int]] = {}
+    for column in range(target.n_columns):
+        for value in _distinct_values(target, column):
+            containing.setdefault(value, set()).add(column)
+
+    results: list[InclusionDependency] = []
+    all_targets = frozenset(range(target.n_columns))
+    for column in range(relation.n_columns):
+        values = _distinct_values(relation, column)
+        if not values:
+            continue
+        candidates = set(all_targets)
+        for value in values:
+            candidates &= containing.get(value, frozenset())
+            if not candidates:
+                break
+        for rhs in sorted(candidates):
+            if other is None and rhs == column:
+                continue
+            results.append(
+                InclusionDependency(name, column, target_name, rhs)
+            )
+    results.sort()
+    return results
+
+
+def foreign_key_candidates(
+    fact: Relation,
+    dimension: Relation | None = None,
+    unique_columns: set[int] | None = None,
+    fact_name: str = "R",
+    dimension_name: str = "S",
+) -> list[InclusionDependency]:
+    """INDs into unique columns: the key / foreign-key pairing.
+
+    ``unique_columns`` restricts the right-hand sides; by default the
+    dimension's single-column uniques are computed on the fly (the
+    "uniques resemble candidate keys" bridge of the paper's
+    introduction).
+    """
+    target = dimension if dimension is not None else fact
+    if unique_columns is None:
+        unique_columns = {
+            column
+            for column in range(target.n_columns)
+            if target.cardinality(column) == len(target)
+        }
+    inds = discover_unary_inds(
+        fact, dimension, name=fact_name, other_name=dimension_name
+    )
+    return [ind for ind in inds if ind.rhs in unique_columns]
+
+
+def rank_foreign_keys(
+    fact: Relation,
+    dimension: Relation,
+    candidates: list[InclusionDependency],
+) -> list[tuple[InclusionDependency, float]]:
+    """Order FK candidates by *coverage* of the referenced key.
+
+    Small integer domains produce accidental INDs (a line-number column
+    is "included" in any dense key); a genuine foreign key references a
+    large share of the key's values. Coverage = |distinct LHS values| /
+    |distinct RHS values|, descending.
+    """
+    scored = []
+    for ind in candidates:
+        lhs_distinct = fact.cardinality(ind.lhs)
+        rhs_distinct = dimension.cardinality(ind.rhs)
+        coverage = lhs_distinct / rhs_distinct if rhs_distinct else 0.0
+        scored.append((ind, coverage))
+    scored.sort(key=lambda item: -item[1])
+    return scored

@@ -1,0 +1,58 @@
+"""Column-combination lattice machinery.
+
+A column combination is represented internally as an ``int`` bitmask over
+column indices (bit *i* set means column *i* is a member). The helpers in
+:mod:`repro.lattice.combination` operate on these raw masks; the
+:class:`~repro.lattice.combination.ColumnCombination` wrapper adds column
+names for the public API.
+
+The subset lattice of a relation's columns is the search space of unique
+discovery. This package provides:
+
+* :mod:`repro.lattice.combination` -- bitmask operations and the public
+  :class:`ColumnCombination` value type.
+* :mod:`repro.lattice.antichain` -- containers maintaining *minimal* or
+  *maximal* antichains under insertion (used for MUCS / MNUCS).
+* :mod:`repro.lattice.graphs` -- the UGraph / NUGraph pruning indexes from
+  the paper's delete workflow (Section IV).
+* :mod:`repro.lattice.transversal` -- minimal hitting sets (hypergraph
+  transversals) and the MUCS <-> MNUCS duality.
+* :mod:`repro.lattice.enumeration` -- candidate generation utilities.
+"""
+
+from repro.lattice.antichain import MaximalAntichain, MinimalAntichain
+from repro.lattice.combination import (
+    ColumnCombination,
+    bits_of,
+    columns_of,
+    is_proper_subset,
+    is_subset,
+    iter_bits,
+    mask_of,
+    popcount,
+)
+from repro.lattice.graphs import CombinationGraph
+from repro.lattice.transversal import (
+    complement_all,
+    minimal_hitting_sets,
+    mnucs_from_mucs,
+    mucs_from_mnucs,
+)
+
+__all__ = [
+    "ColumnCombination",
+    "CombinationGraph",
+    "MaximalAntichain",
+    "MinimalAntichain",
+    "bits_of",
+    "columns_of",
+    "complement_all",
+    "is_proper_subset",
+    "is_subset",
+    "iter_bits",
+    "mask_of",
+    "minimal_hitting_sets",
+    "mnucs_from_mucs",
+    "mucs_from_mnucs",
+    "popcount",
+]

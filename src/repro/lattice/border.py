@@ -1,0 +1,89 @@
+"""Generic border discovery for monotone column-combination predicates.
+
+Uniqueness is *upward-closed*: supersets of uniques are unique. Every
+discovery problem in this repository -- exact uniques, post-delete
+re-profiling, approximate uniques -- reduces to finding the border of
+such a predicate: the minimal satisfying combinations and the maximal
+violating ones.
+
+:func:`discover_border` finds that border exactly for any upward-closed
+predicate, using the duality fixpoint proven in DESIGN.md §2:
+
+1. the minimal combinations not contained in any known-violating
+   maximal element are the candidates the current border implies;
+2. candidates that violate the predicate are holes; each is *ascended*
+   to a maximal violating combination (recording un-ascended holes
+   floods the border with incomparable mid-lattice elements and makes
+   the dualization diverge);
+3. when every candidate satisfies the predicate, candidates and the
+   violating border are exactly the minimal-true / maximal-false sets.
+
+The predicate is consulted through a memo and the UGraph/NUGraph
+implication structures, so it is evaluated at most once per
+combination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.lattice.combination import iter_bits
+from repro.lattice.graphs import CombinationGraph
+from repro.lattice.transversal import mucs_from_mnucs
+
+
+def discover_border(
+    n_columns: int,
+    predicate: Callable[[int], bool],
+    known_true: Iterable[int] = (),
+    known_false: Iterable[int] = (),
+) -> tuple[list[int], list[int]]:
+    """(minimal satisfying, maximal violating) sets of a monotone predicate.
+
+    ``predicate(mask)`` must be upward-closed (true for every superset
+    of a true mask); ``known_true`` / ``known_false`` seed the pruning
+    structures (e.g. a stale profile), which must of course be
+    consistent with the predicate.
+    """
+    universe = (1 << n_columns) - 1
+    graph = CombinationGraph()
+    for mask in known_true:
+        graph.add_unique(mask)
+    for mask in known_false:
+        graph.add_non_unique(mask)
+
+    memo: dict[int, bool] = {}
+
+    def classify(mask: int) -> bool:
+        known = memo.get(mask)
+        if known is not None:
+            return known
+        implied = graph.classify(mask)
+        if implied is None:
+            implied = bool(predicate(mask))
+            if implied:
+                graph.add_unique(mask)
+            else:
+                graph.add_non_unique(mask)
+        memo[mask] = implied
+        return implied
+
+    def ascend_to_maximal(mask: int) -> None:
+        current = mask
+        climbing = True
+        while climbing:
+            climbing = False
+            for column in iter_bits(universe & ~current):
+                if not classify(current | (1 << column)):
+                    current |= 1 << column
+                    climbing = True
+                    break
+
+    while True:
+        border = graph.maximal_non_uniques()
+        candidates = mucs_from_mnucs(border, n_columns)
+        holes = [candidate for candidate in candidates if not classify(candidate)]
+        if not holes:
+            return candidates, border
+        for hole in holes:
+            ascend_to_maximal(hole)

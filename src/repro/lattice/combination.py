@@ -1,0 +1,223 @@
+"""Bitmask representation of column combinations.
+
+Discovery algorithms spend most of their time asking subset/superset
+questions about sets of column indices. Representing a combination as an
+``int`` bitmask makes those questions single machine operations::
+
+    K1 subset of K2      <=>  K1 & ~K2 == 0  <=>  K1 | K2 == K2
+    K1 intersects K2     <=>  K1 & K2 != 0
+    add column i         <=>  K | (1 << i)
+
+The module-level functions operate on raw masks and are what the
+algorithm internals use. :class:`ColumnCombination` wraps a mask together
+with the schema's column names for the public API; it is hashable,
+ordered, and iterable over column names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+def mask_of(columns: Iterable[int]) -> int:
+    """Build a bitmask from an iterable of column indices.
+
+    >>> mask_of([0, 2])
+    5
+    """
+    mask = 0
+    for index in columns:
+        if index < 0:
+            raise ValueError(f"column index must be non-negative, got {index}")
+        mask |= 1 << index
+    return mask
+
+
+def columns_of(mask: int) -> tuple[int, ...]:
+    """Return the sorted column indices present in ``mask``.
+
+    >>> columns_of(5)
+    (0, 2)
+    """
+    return tuple(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of columns in the combination."""
+    return mask.bit_count()
+
+
+def is_subset(inner: int, outer: int) -> bool:
+    """True iff every column of ``inner`` is also in ``outer``."""
+    return inner | outer == outer
+
+
+def is_proper_subset(inner: int, outer: int) -> bool:
+    """True iff ``inner`` is a subset of ``outer`` and not equal to it."""
+    return inner != outer and inner | outer == outer
+
+
+def full_mask(n_columns: int) -> int:
+    """Mask with all of the first ``n_columns`` columns set."""
+    if n_columns < 0:
+        raise ValueError("n_columns must be non-negative")
+    return (1 << n_columns) - 1
+
+
+def immediate_supersets(mask: int, universe: int) -> Iterator[int]:
+    """Yield all masks obtained by adding one column from ``universe``."""
+    for bit_index in iter_bits(universe & ~mask):
+        yield mask | (1 << bit_index)
+
+
+def immediate_subsets(mask: int) -> Iterator[int]:
+    """Yield all masks obtained by removing one column."""
+    for bit_index in iter_bits(mask):
+        yield mask & ~(1 << bit_index)
+
+
+def minimize(masks: Iterable[int]) -> list[int]:
+    """Return the minimal elements (no other element is a proper subset).
+
+    Runs in O(k^2) subset tests over the k input masks, after sorting by
+    popcount so each candidate is only compared against already-accepted
+    smaller masks.
+    """
+    accepted: list[int] = []
+    seen: set[int] = set()
+    for mask in sorted(masks, key=popcount):
+        if mask in seen:
+            continue
+        if any(is_subset(small, mask) for small in accepted):
+            continue
+        accepted.append(mask)
+        seen.add(mask)
+    return accepted
+
+
+def maximize(masks: Iterable[int]) -> list[int]:
+    """Return the maximal elements (no other element is a proper superset)."""
+    accepted: list[int] = []
+    seen: set[int] = set()
+    for mask in sorted(masks, key=popcount, reverse=True):
+        if mask in seen:
+            continue
+        if any(is_subset(mask, big) for big in accepted):
+            continue
+        accepted.append(mask)
+        seen.add(mask)
+    return accepted
+
+
+class ColumnCombination:
+    """An immutable set of columns of one relation, with readable names.
+
+    Instances compare and hash by their bitmask, so they can be mixed
+    freely in sets and dicts regardless of how they were constructed.
+    Ordering is by (size, mask) which gives a stable, lattice-friendly
+    sort order for reporting.
+    """
+
+    __slots__ = ("_mask", "_names")
+
+    def __init__(self, mask: int, names: Sequence[str]) -> None:
+        if mask < 0:
+            raise ValueError("mask must be non-negative")
+        if mask >> len(names):
+            raise ValueError(
+                f"mask {mask:#x} references columns beyond the {len(names)} named ones"
+            )
+        self._mask = mask
+        self._names = tuple(names)
+
+    @classmethod
+    def of(cls, columns: Iterable[str], names: Sequence[str]) -> "ColumnCombination":
+        """Build a combination from column *names* resolved against ``names``."""
+        position = {name: index for index, name in enumerate(names)}
+        mask = 0
+        for column in columns:
+            if column not in position:
+                from repro.errors import UnknownColumnError
+
+                raise UnknownColumnError(column, list(names))
+            mask |= 1 << position[column]
+        return cls(mask, names)
+
+    @property
+    def mask(self) -> int:
+        """The raw bitmask (bit *i* set means column *i* is a member)."""
+        return self._mask
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """Sorted member column indices."""
+        return columns_of(self._mask)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Member column names in schema order."""
+        return tuple(self._names[index] for index in iter_bits(self._mask))
+
+    def __len__(self) -> int:
+        return popcount(self._mask)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __contains__(self, column: object) -> bool:
+        if isinstance(column, int):
+            return bool(self._mask >> column & 1)
+        if isinstance(column, str):
+            try:
+                index = self._names.index(column)
+            except ValueError:
+                return False
+            return bool(self._mask >> index & 1)
+        return False
+
+    def issubset(self, other: "ColumnCombination") -> bool:
+        return is_subset(self._mask, other._mask)
+
+    def issuperset(self, other: "ColumnCombination") -> bool:
+        return is_subset(other._mask, self._mask)
+
+    def union(self, other: "ColumnCombination") -> "ColumnCombination":
+        return ColumnCombination(self._mask | other._mask, self._names)
+
+    def intersection(self, other: "ColumnCombination") -> "ColumnCombination":
+        return ColumnCombination(self._mask & other._mask, self._names)
+
+    def difference(self, other: "ColumnCombination") -> "ColumnCombination":
+        return ColumnCombination(self._mask & ~other._mask, self._names)
+
+    def with_column(self, index: int) -> "ColumnCombination":
+        return ColumnCombination(self._mask | (1 << index), self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnCombination):
+            return self._mask == other._mask
+        return NotImplemented
+
+    def __lt__(self, other: "ColumnCombination") -> bool:
+        return (len(self), self._mask) < (len(other), other._mask)
+
+    def __hash__(self) -> int:
+        return hash(self._mask)
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(self.names) + "}"
+
+
+def bits_of(combination: "ColumnCombination | int") -> int:
+    """Accept either a raw mask or a :class:`ColumnCombination`."""
+    if isinstance(combination, ColumnCombination):
+        return combination.mask
+    return int(combination)

@@ -1,0 +1,101 @@
+"""Candidate generation utilities over the column-combination lattice.
+
+Used by the levelwise baseline (HCA) and by tests that need to walk
+lattice neighbourhoods explicitly. All functions operate on bitmasks
+(see :mod:`repro.lattice.combination`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+from repro.lattice.combination import (
+    full_mask,
+    immediate_subsets,
+    is_subset,
+    iter_bits,
+    popcount,
+)
+
+
+def level(n_columns: int, size: int) -> Iterator[int]:
+    """All combinations of exactly ``size`` of the first ``n_columns``."""
+    for columns in combinations(range(n_columns), size):
+        mask = 0
+        for index in columns:
+            mask |= 1 << index
+        yield mask
+
+
+def apriori_gen(previous_level: Sequence[int], size: int) -> list[int]:
+    """Levelwise candidate generation (Mannila & Toivonen).
+
+    Join pairs of ``size - 1``-masks sharing ``size - 2`` columns, then
+    prune candidates with an immediate subset missing from
+    ``previous_level``. The input must be the complete set of *relevant*
+    masks of size ``size - 1`` (e.g. the non-uniques of that level, since
+    a minimal unique of size k has only non-unique subsets).
+    """
+    if size < 2:
+        raise ValueError("apriori_gen needs size >= 2")
+    previous = set(previous_level)
+    candidates: set[int] = set()
+    ordered = sorted(previous_level)
+    for left_index, left in enumerate(ordered):
+        for right in ordered[left_index + 1 :]:
+            joined = left | right
+            if popcount(joined) != size:
+                continue
+            candidates.add(joined)
+    pruned = [
+        candidate
+        for candidate in candidates
+        if all(subset in previous for subset in immediate_subsets(candidate))
+    ]
+    pruned.sort()
+    return pruned
+
+
+def downset(masks: Iterable[int]) -> set[int]:
+    """All subsets of all given masks (including the empty mask).
+
+    Exponential; only sensible on small masks (test oracles).
+    """
+    closed: set[int] = set()
+    stack = list(masks)
+    while stack:
+        mask = stack.pop()
+        if mask in closed:
+            continue
+        closed.add(mask)
+        stack.extend(immediate_subsets(mask))
+    closed.add(0)
+    return closed
+
+
+def upset(masks: Iterable[int], n_columns: int) -> set[int]:
+    """All supersets (within ``n_columns``) of all given masks.
+
+    Exponential; only sensible on small universes (test oracles).
+    """
+    universe = full_mask(n_columns)
+    closed: set[int] = set()
+    stack = list(masks)
+    while stack:
+        mask = stack.pop()
+        if mask in closed:
+            continue
+        closed.add(mask)
+        for bit_index in iter_bits(universe & ~mask):
+            stack.append(mask | (1 << bit_index))
+    return closed
+
+
+def is_antichain(masks: Sequence[int]) -> bool:
+    """True iff no mask is a proper subset of another."""
+    for left_index, left in enumerate(masks):
+        for right in masks[left_index + 1 :]:
+            if is_subset(left, right) or is_subset(right, left):
+                return False
+    return True

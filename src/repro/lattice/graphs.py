@@ -1,0 +1,98 @@
+"""UGraph / NUGraph: classification indexes for lattice traversals.
+
+Section IV of the paper stores intermediate unique / non-unique
+discoveries in two graph structures so that redundant combinations are
+pruned "immediately as soon as a new minimal unique or maximal
+non-unique is discovered":
+
+* **UGraph** holds combinations known to be *unique*. A combination K is
+  implied unique when UGraph contains a subset of K (supersets of
+  uniques are unique).
+* **NUGraph** holds combinations known to be *non-unique*. K is implied
+  non-unique when NUGraph contains a superset of K (subsets of
+  non-uniques are non-unique).
+
+Because a dominated entry never adds pruning power (a unique superset of
+a stored unique answers no query its subset cannot), each graph only
+needs the minimal (resp. maximal) antichain of what was added --
+which also makes ``minimal_uniques`` / ``maximal_non_uniques`` free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lattice.antichain import MaximalAntichain, MinimalAntichain, sorted_masks
+
+
+class CombinationGraph:
+    """Joint UGraph + NUGraph with consistency checking.
+
+    The same combination must never be recorded both unique and
+    non-unique; :meth:`add_unique` / :meth:`add_non_unique` raise
+    :class:`~repro.errors.InconsistentProfileError` if a caller tries.
+    """
+
+    __slots__ = ("_uniques", "_non_uniques")
+
+    def __init__(
+        self,
+        uniques: Iterable[int] = (),
+        non_uniques: Iterable[int] = (),
+    ) -> None:
+        self._uniques = MinimalAntichain()
+        self._non_uniques = MaximalAntichain()
+        for mask in uniques:
+            self.add_unique(mask)
+        for mask in non_uniques:
+            self.add_non_unique(mask)
+
+    def add_unique(self, mask: int) -> None:
+        """Record that ``mask`` is unique."""
+        if self.implies_non_unique(mask):
+            from repro.errors import InconsistentProfileError
+
+            raise InconsistentProfileError(
+                f"combination {mask:#x} recorded unique but implied non-unique"
+            )
+        self._uniques.add(mask)
+
+    def add_non_unique(self, mask: int) -> None:
+        """Record that ``mask`` is non-unique."""
+        if self.implies_unique(mask):
+            from repro.errors import InconsistentProfileError
+
+            raise InconsistentProfileError(
+                f"combination {mask:#x} recorded non-unique but implied unique"
+            )
+        self._non_uniques.add(mask)
+
+    def implies_unique(self, mask: int) -> bool:
+        """True iff a recorded unique is a subset of ``mask``."""
+        return self._uniques.contains_subset_of(mask)
+
+    def implies_non_unique(self, mask: int) -> bool:
+        """True iff a recorded non-unique is a superset of ``mask``."""
+        return self._non_uniques.contains_superset_of(mask)
+
+    def classify(self, mask: int) -> bool | None:
+        """Return True (unique), False (non-unique) or None (unknown)."""
+        if self.implies_unique(mask):
+            return True
+        if self.implies_non_unique(mask):
+            return False
+        return None
+
+    def minimal_uniques(self) -> list[int]:
+        """Minimal antichain of all recorded uniques, in canonical order."""
+        return sorted_masks(self._uniques)
+
+    def maximal_non_uniques(self) -> list[int]:
+        """Maximal antichain of all recorded non-uniques, canonical order."""
+        return sorted_masks(self._non_uniques)
+
+    def __repr__(self) -> str:
+        return (
+            f"CombinationGraph(uniques={len(self._uniques)}, "
+            f"non_uniques={len(self._non_uniques)})"
+        )

@@ -1,0 +1,171 @@
+"""Minimal hitting sets (hypergraph transversals) and the UCC duality.
+
+A column combination K is non-unique exactly when it contains no minimal
+unique; equivalently, when the *complement* of K intersects ("hits")
+every minimal unique. Hence:
+
+* MNUCS = { complement(T) : T a minimal transversal of MUCS }
+* MUCS  = minimal transversals of { complement(N) : N in MNUCS }
+
+This duality is what GORDIAN uses to convert its discovered maximal
+non-uniques into minimal uniques, what DUCC uses to detect unvisited
+"holes" in the lattice, and what SWAN's insert path uses to turn the
+agree sets of duplicate pairs into the new minimal uniques (DESIGN.md
+section 2).
+
+The enumeration algorithm is a depth-first branch-and-bound over
+bitmasks with the *critical-edge* pruning of MMCS (Murakami & Uno):
+every chosen vertex must stay critical (be the sole chosen hitter of
+some edge), which guarantees that only minimal transversals are emitted.
+Branches partition on the first chosen vertex of the selected uncovered
+edge, so every minimal transversal is emitted exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.lattice.combination import full_mask, iter_bits, minimize, popcount
+
+
+def complement_all(masks: Iterable[int], n_columns: int) -> list[int]:
+    """Complement every mask within the first ``n_columns`` columns."""
+    universe = full_mask(n_columns)
+    return [universe & ~mask for mask in masks]
+
+
+def minimal_hitting_sets(
+    edges: Sequence[int],
+    universe: int | None = None,
+) -> list[int]:
+    """Enumerate all minimal hitting sets of the given edge masks.
+
+    A *hitting set* is a vertex set intersecting every edge; minimal
+    means no proper subset is a hitting set. Returns masks in canonical
+    (size, value) order.
+
+    * no edges      -> ``[0]``   (the empty set hits everything vacuously)
+    * an empty edge -> ``[]``    (nothing can hit the empty edge)
+
+    ``universe`` restricts the vertices that may be used; by default it
+    is the union of all edges.
+    """
+    reduced = minimize(edge for edge in edges)
+    if not reduced:
+        return [0]
+    if 0 in reduced:
+        return []
+    edge_union = 0
+    for edge in reduced:
+        edge_union |= edge
+    candidates = edge_union if universe is None else (universe & edge_union)
+
+    results: list[int] = []
+    n_edges = len(reduced)
+
+    def recurse(
+        chosen: int,
+        cand: int,
+        crit: dict[int, set[int]],
+        uncovered: frozenset[int],
+    ) -> None:
+        if not uncovered:
+            results.append(chosen)
+            return
+        # Branch on the uncovered edge with fewest available vertices.
+        best_edge = -1
+        best_verts = 0
+        best_count = 1 << 62
+        for edge_index in uncovered:
+            verts = reduced[edge_index] & cand
+            count = popcount(verts)
+            if count == 0:
+                return  # dead branch: this edge can never be hit
+            if count < best_count:
+                best_edge, best_verts, best_count = edge_index, verts, count
+                if count == 1:
+                    break
+        del best_edge
+        local_cand = cand
+        for vertex in iter_bits(best_verts):
+            vertex_bit = 1 << vertex
+            local_cand &= ~vertex_bit
+            # Edges newly covered by this vertex are exactly its critical
+            # edges; previously-chosen vertices lose any critical edge
+            # that also contains it.
+            newly_covered = {
+                edge_index
+                for edge_index in uncovered
+                if reduced[edge_index] & vertex_bit
+            }
+            new_crit: dict[int, set[int]] = {vertex: newly_covered}
+            still_minimal = True
+            for other, critical in crit.items():
+                remaining = {
+                    edge_index
+                    for edge_index in critical
+                    if not reduced[edge_index] & vertex_bit
+                }
+                if not remaining:
+                    still_minimal = False
+                    break
+                new_crit[other] = remaining
+            if still_minimal:
+                recurse(
+                    chosen | vertex_bit,
+                    local_cand,
+                    new_crit,
+                    uncovered - newly_covered,
+                )
+
+    recurse(0, candidates, {}, frozenset(range(n_edges)))
+    results.sort(key=lambda mask: (popcount(mask), mask))
+    return results
+
+
+def mnucs_from_mucs(mucs: Iterable[int], n_columns: int) -> list[int]:
+    """Exact maximal non-uniques implied by a set of minimal uniques.
+
+    ``mucs`` must be the complete set of minimal uniques of some
+    relation over ``n_columns`` columns; the result is its complete set
+    of maximal non-uniques, in canonical order.
+    """
+    universe = full_mask(n_columns)
+    transversals = minimal_hitting_sets(list(mucs), universe)
+    complements = [universe & ~transversal for transversal in transversals]
+    complements.sort(key=lambda mask: (popcount(mask), mask))
+    return complements
+
+
+def mucs_from_mnucs(mnucs: Iterable[int], n_columns: int) -> list[int]:
+    """Exact minimal uniques implied by a set of maximal non-uniques.
+
+    This is GORDIAN's final conversion step: K is unique iff it is not a
+    subset of any maximal non-unique, i.e. iff it hits every MNUC
+    complement.
+    """
+    universe = full_mask(n_columns)
+    edges = [universe & ~mask for mask in mnucs]
+    return minimal_hitting_sets(edges, universe)
+
+
+def minimal_unique_supersets(
+    base: int,
+    agree_sets: Iterable[int],
+    n_columns: int,
+) -> Iterator[int]:
+    """Minimal unique supersets of ``base`` given its duplicate pairs.
+
+    ``agree_sets`` are the agree-set masks of all duplicate pairs that
+    coincide on ``base`` (each is a superset of ``base``). A superset
+    K of ``base`` is unique iff no pair agrees on all of K, i.e. iff
+    K hits the complement of every agree set. The minimal such K are
+    ``base`` plus each minimal hitting set of those complements,
+    restricted to columns outside ``base``.
+
+    This is the exact core of the paper's Algorithm 5 (DESIGN.md §2).
+    """
+    universe = full_mask(n_columns)
+    edges = [universe & ~agree for agree in agree_sets]
+    for transversal in minimal_hitting_sets(edges, universe & ~base):
+        yield base | transversal

@@ -1,0 +1,30 @@
+"""Profiling primitives shared by SWAN and the baseline systems.
+
+* :mod:`repro.profiling.verify` -- definitional uniqueness checks and
+  agree-set computation.
+* :mod:`repro.profiling.stats` -- column cardinalities and selectivities
+  (drives the paper's index-selection formulas).
+* :mod:`repro.profiling.discovery` -- the unified static-discovery entry
+  point ``discover(relation, algorithm=...)``.
+"""
+
+from repro.profiling.approximate import discover_approximate_uniques
+from repro.profiling.diff import diff_profiles
+from repro.profiling.discovery import discover
+from repro.profiling.persistence import dump_profile, load_profile
+from repro.profiling.stats import column_statistics
+from repro.profiling.summary import summarize
+from repro.profiling.verify import agree_set, is_unique, verify_profile
+
+__all__ = [
+    "agree_set",
+    "column_statistics",
+    "diff_profiles",
+    "discover",
+    "discover_approximate_uniques",
+    "dump_profile",
+    "is_unique",
+    "load_profile",
+    "summarize",
+    "verify_profile",
+]

@@ -1,0 +1,88 @@
+"""Approximate unique column combinations (near-keys).
+
+A combination K is *k-approximately unique* when deleting at most ``k``
+tuples makes it unique; equivalently, when its position list index
+satisfies ``sum(len(cluster) - 1) <= k`` (remove all but one member of
+every duplicate group). Near-keys are a data-quality staple -- a column
+that is unique except for three legacy rows is usually a dirty key, not
+a non-key -- and the paper's monitoring motivation ("recognize and
+rectify potential problems as soon as possible") is exactly about
+spotting them.
+
+Approximate uniqueness is upward-closed in K (intersecting partitions
+never increases the removal count), so the generic border search of
+:mod:`repro.lattice.border` applies unchanged: we discover the
+*minimal k-approximate uniques* and *maximal non-k-approximate*
+combinations exactly.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.border import discover_border
+from repro.lattice.combination import iter_bits
+from repro.storage.fastpli import ArrayPli
+from repro.storage.relation import Relation
+
+
+def removal_count(pli: ArrayPli) -> int:
+    """Tuples that must be removed to make the partition duplicate-free."""
+    return pli.n_entries() - pli.n_clusters()
+
+
+class ApproximateUniqueFinder:
+    """Discovery of minimal k-approximate uniques over one relation."""
+
+    def __init__(self, relation: Relation) -> None:
+        self._relation = relation
+        self._columns = [
+            ArrayPli.for_column(relation, column)
+            for column in range(relation.n_columns)
+        ]
+        self._cache: dict[int, ArrayPli] = {
+            1 << column: pli for column, pli in enumerate(self._columns)
+        }
+
+    def _pli(self, mask: int) -> ArrayPli:
+        cached = self._cache.get(mask)
+        if cached is not None:
+            return cached
+        current = None
+        for column in iter_bits(mask):
+            parent = self._cache.get(mask & ~(1 << column))
+            if parent is not None:
+                current = parent.intersect(self._columns[column])
+                break
+        if current is None:
+            columns = sorted(
+                iter_bits(mask), key=lambda c: self._columns[c].n_entries()
+            )
+            current = self._columns[columns[0]]
+            for column in columns[1:]:
+                current = current.intersect(self._columns[column])
+        self._cache[mask] = current
+        return current
+
+    def degree(self, mask: int) -> int:
+        """Removals needed to make ``mask`` unique (0 = already unique)."""
+        if mask == 0:
+            return max(0, len(self._relation) - 1)
+        return removal_count(self._pli(mask))
+
+    def discover(self, budget: int) -> tuple[list[int], list[int]]:
+        """(minimal k-approximate uniques, maximal violators) for
+        ``k = budget``; ``budget=0`` degenerates to exact discovery."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        if len(self._relation) < 2:
+            return [0], []
+        return discover_border(
+            self._relation.n_columns,
+            lambda mask: self.degree(mask) <= budget,
+        )
+
+
+def discover_approximate_uniques(
+    relation: Relation, budget: int
+) -> tuple[list[int], list[int]]:
+    """Convenience wrapper around :class:`ApproximateUniqueFinder`."""
+    return ApproximateUniqueFinder(relation).discover(budget)

@@ -1,0 +1,93 @@
+"""Profile diffs: what changed between two (MUCS, MNUCS) snapshots.
+
+Monitoring and auditing both boil down to "what did this batch do to
+my keys?"; :func:`diff_profiles` answers it structurally:
+
+* which minimal uniques appeared / vanished,
+* which of the vanished ones were *weakened* (a superset is now the
+  minimal unique -- the old key gained duplicates) vs *strengthened*
+  (a subset suffices now),
+* the same for maximal non-uniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.repository import Profile
+from repro.lattice.combination import is_subset
+from repro.storage.schema import Schema
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Structured difference between two profiles."""
+
+    gained_mucs: tuple[int, ...]
+    lost_mucs: tuple[int, ...]
+    weakened: tuple[tuple[int, int], ...] = field(default=())
+    """(old MUC, new superset MUC) pairs: the old key broke."""
+    strengthened: tuple[tuple[int, int], ...] = field(default=())
+    """(old MUC, new subset MUC) pairs: a smaller key now suffices."""
+    gained_mnucs: tuple[int, ...] = field(default=())
+    lost_mnucs: tuple[int, ...] = field(default=())
+
+    @property
+    def unchanged(self) -> bool:
+        return not (self.gained_mucs or self.lost_mucs)
+
+    def render(self, schema: Schema) -> str:
+        """A human-readable change report."""
+        if self.unchanged:
+            return "profile unchanged"
+        lines: list[str] = []
+        weakened_old = {old for old, _ in self.weakened}
+        strengthened_old = {old for old, _ in self.strengthened}
+        for old, new in self.weakened:
+            lines.append(
+                f"key weakened: {schema.combination(old)} -> "
+                f"{schema.combination(new)}"
+            )
+        for old, new in self.strengthened:
+            lines.append(
+                f"key strengthened: {schema.combination(old)} -> "
+                f"{schema.combination(new)}"
+            )
+        explained_new = {new for _, new in self.weakened} | {
+            new for _, new in self.strengthened
+        }
+        for mask in self.gained_mucs:
+            if mask not in explained_new:
+                lines.append(f"new key: {schema.combination(mask)}")
+        for mask in self.lost_mucs:
+            if mask not in weakened_old and mask not in strengthened_old:
+                lines.append(f"lost key: {schema.combination(mask)}")
+        return "\n".join(lines)
+
+
+def diff_profiles(before: Profile, after: Profile) -> ProfileDiff:
+    """Structural diff of two profiles of the same schema."""
+    before_mucs = set(before.mucs)
+    after_mucs = set(after.mucs)
+    gained = tuple(sorted(after_mucs - before_mucs))
+    lost = tuple(sorted(before_mucs - after_mucs))
+    weakened: list[tuple[int, int]] = []
+    strengthened: list[tuple[int, int]] = []
+    for old in lost:
+        supersets = [new for new in gained if is_subset(old, new)]
+        if supersets:
+            weakened.append((old, min(supersets, key=lambda m: (bin(m).count("1"), m))))
+            continue
+        subsets = [new for new in gained if is_subset(new, old)]
+        if subsets:
+            strengthened.append(
+                (old, min(subsets, key=lambda m: (bin(m).count("1"), m)))
+            )
+    return ProfileDiff(
+        gained_mucs=gained,
+        lost_mucs=lost,
+        weakened=tuple(weakened),
+        strengthened=tuple(strengthened),
+        gained_mnucs=tuple(sorted(set(after.mnucs) - set(before.mnucs))),
+        lost_mnucs=tuple(sorted(set(before.mnucs) - set(after.mnucs))),
+    )

@@ -1,0 +1,49 @@
+"""Unified static discovery entry point.
+
+``discover(relation, "ducc")`` runs any registered holistic algorithm
+and returns ``(mucs, mnucs)`` as bitmask lists in canonical order. The
+registry is the single place benchmarks and the CLI resolve algorithm
+names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AlgorithmError
+from repro.profiling.verify import sort_profile
+from repro.storage.relation import Relation
+
+Discovery = Callable[[Relation], tuple[list[int], list[int]]]
+
+
+def _registry() -> dict[str, Discovery]:
+    from repro.baselines.bruteforce import discover_bruteforce
+    from repro.baselines.ducc import discover_ducc
+    from repro.baselines.gordian import discover_gordian
+    from repro.baselines.hca import discover_hca
+
+    return {
+        "bruteforce": discover_bruteforce,
+        "ducc": discover_ducc,
+        "gordian": discover_gordian,
+        "hca": discover_hca,
+    }
+
+
+def available_algorithms() -> list[str]:
+    """Names accepted by :func:`discover`."""
+    return sorted(_registry())
+
+
+def discover(relation: Relation, algorithm: str = "ducc") -> tuple[list[int], list[int]]:
+    """Run a holistic discovery; returns (MUCS, MNUCS) masks."""
+    registry = _registry()
+    try:
+        runner = registry[algorithm]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(registry)}"
+        ) from None
+    mucs, mnucs = runner(relation)
+    return sort_profile(mucs), sort_profile(mnucs)

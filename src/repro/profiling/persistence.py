@@ -1,0 +1,90 @@
+"""Saving and loading profiles.
+
+A profile (MUCS + MNUCS + the schema it refers to) is the artifact a
+profiling run produces; deployments persist it so the next process can
+re-attach SWAN without a holistic re-run (only the indexes are rebuilt,
+which is linear). The format is plain JSON with column *names*, so a
+profile survives column reordering as long as names are stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.repository import Profile
+from repro.errors import ProfileStateError
+from repro.lattice.combination import columns_of, mask_of
+from repro.storage.schema import Schema
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoredProfile:
+    """A profile together with the column names it was computed for."""
+
+    columns: tuple[str, ...]
+    profile: Profile
+
+    def masks_for(self, schema: Schema) -> tuple[list[int], list[int]]:
+        """Re-resolve the stored combinations against ``schema``.
+
+        Raises :class:`~repro.errors.ProfileStateError` when the schema
+        lacks one of the stored columns.
+        """
+        position: dict[str, int] = {}
+        for name in self.columns:
+            try:
+                position[name] = schema.index_of(name)
+            except Exception as exc:
+                raise ProfileStateError(
+                    f"stored profile references column {name!r} missing "
+                    "from the target schema"
+                ) from exc
+
+        def remap(masks: Iterable[int]) -> list[int]:
+            return [
+                mask_of(position[self.columns[index]] for index in columns_of(mask))
+                for mask in masks
+            ]
+
+        return remap(self.profile.mucs), remap(self.profile.mnucs)
+
+
+def dump_profile(schema: Schema, profile: Profile, path: str) -> None:
+    """Write a profile as JSON (column-name based, version-tagged)."""
+    names = list(schema.names)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "columns": names,
+        "mucs": [[names[c] for c in columns_of(mask)] for mask in profile.mucs],
+        "mnucs": [[names[c] for c in columns_of(mask)] for mask in profile.mnucs],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_profile(path: str) -> StoredProfile:
+    """Read a profile written by :func:`dump_profile`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ProfileStateError(
+            f"unsupported profile format version {version!r} in {path}"
+        )
+    columns = tuple(payload["columns"])
+    position = {name: index for index, name in enumerate(columns)}
+
+    def masks(key: str) -> list[int]:
+        return [
+            mask_of(position[name] for name in combination)
+            for combination in payload[key]
+        ]
+
+    return StoredProfile(
+        columns=columns,
+        profile=Profile.from_masks(masks("mucs"), masks("mnucs")),
+    )

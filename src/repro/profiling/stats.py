@@ -1,0 +1,78 @@
+"""Column statistics: cardinalities and the paper's selectivity model.
+
+Section III-D defines the selectivity of an index column as
+``s(C) = cardinality(C) / |r|`` and combines several columns with the
+union-probability formula
+
+``s(C1..Ck) = 1 - (1 - s(C1)) * (1 - s(C2)) * ... * (1 - s(Ck))``
+
+These drive Algorithm 4's choice among candidate index extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.lattice.combination import iter_bits
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Immutable snapshot of per-column statistics of one relation."""
+
+    row_count: int
+    cardinalities: tuple[int, ...]
+
+    def selectivity(self, column: int) -> float:
+        """Distinct-value fraction of one column; key columns give 1.0."""
+        if self.row_count == 0:
+            return 0.0
+        return self.cardinalities[column] / self.row_count
+
+    def combined_selectivity(self, columns: Iterable[int]) -> float:
+        """Union-probability selectivity of a set of columns."""
+        miss_probability = 1.0
+        for column in columns:
+            miss_probability *= 1.0 - self.selectivity(column)
+        return 1.0 - miss_probability
+
+    def combined_selectivity_mask(self, mask: int) -> float:
+        return self.combined_selectivity(iter_bits(mask))
+
+    def frequency_order(self) -> list[int]:
+        """Columns ordered by descending cardinality (ties by index)."""
+        return sorted(
+            range(len(self.cardinalities)),
+            key=lambda column: (-self.cardinalities[column], column),
+        )
+
+
+def column_statistics(relation: Relation, columns: Sequence[int] | None = None) -> ColumnStatistics:
+    """Compute cardinalities in one pass per column.
+
+    ``columns`` restricts the computation; unrequested columns report
+    cardinality 0 (they never participate in index selection then).
+    """
+    wanted = range(relation.n_columns) if columns is None else columns
+    cardinalities = [0] * relation.n_columns
+    for column in wanted:
+        cardinalities[column] = relation.cardinality(column)
+    return ColumnStatistics(
+        row_count=len(relation), cardinalities=tuple(cardinalities)
+    )
+
+
+def muc_column_frequencies(mucs: Iterable[int], n_columns: int) -> list[int]:
+    """How many of the given MUCS contain each column.
+
+    The paper observes this frequency correlates with selectivity
+    ("columns with many distinct values occur in many minimal uniques")
+    and uses it to drive the greedy index choice of Algorithm 3.
+    """
+    frequencies = [0] * n_columns
+    for mask in mucs:
+        for column in iter_bits(mask):
+            frequencies[column] += 1
+    return frequencies

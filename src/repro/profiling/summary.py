@@ -1,0 +1,144 @@
+"""One-stop dataset profiling: everything this library can discover.
+
+``summarize(relation)`` bundles the individual engines into the report
+a data-profiling user actually wants: per-column statistics, candidate
+keys (minimal uniques), maximal non-uniques, and optionally minimal
+functional dependencies and unary inclusion dependencies. The result
+renders as a readable text report and serializes to a plain dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lattice.combination import columns_of, popcount
+from repro.profiling.discovery import discover
+from repro.profiling.stats import ColumnStatistics, column_statistics
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@dataclass
+class ProfileSummary:
+    """The combined metadata of one relation."""
+
+    schema: Schema
+    n_rows: int
+    stats: ColumnStatistics
+    mucs: list[int]
+    mnucs: list[int]
+    fds: list = field(default_factory=list)
+    inds: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def candidate_keys(self, max_size: int | None = None) -> list[tuple[str, ...]]:
+        """Minimal uniques as name tuples, smallest first."""
+        masks = self.mucs
+        if max_size is not None:
+            masks = [mask for mask in masks if popcount(mask) <= max_size]
+        return [
+            tuple(self.schema.names[column] for column in columns_of(mask))
+            for mask in masks
+        ]
+
+    def key_like_columns(self, threshold: float = 0.95) -> list[str]:
+        """Columns whose selectivity reaches ``threshold``."""
+        return [
+            self.schema.names[column]
+            for column in range(len(self.schema))
+            if self.stats.selectivity(column) >= threshold
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        names = self.schema.names
+        return {
+            "rows": self.n_rows,
+            "columns": [
+                {
+                    "name": names[column],
+                    "distinct": self.stats.cardinalities[column],
+                    "selectivity": round(self.stats.selectivity(column), 6),
+                }
+                for column in range(len(names))
+            ],
+            "minimal_uniques": [
+                [names[c] for c in columns_of(mask)] for mask in self.mucs
+            ],
+            "maximal_non_uniques": [
+                [names[c] for c in columns_of(mask)] for mask in self.mnucs
+            ],
+            "functional_dependencies": [fd.named(self.schema) for fd in self.fds],
+            "inclusion_dependencies": [
+                ind.named(self.schema) for ind in self.inds
+            ],
+        }
+
+    def render(self, max_items: int = 15) -> str:
+        """A terminal-friendly report."""
+        names = self.schema.names
+        lines = [
+            f"profile of {self.n_rows} rows x {len(names)} columns",
+            "",
+            "columns (distinct / selectivity):",
+        ]
+        for column, name in enumerate(names):
+            lines.append(
+                f"  {name:<24} {self.stats.cardinalities[column]:>8}  "
+                f"{self.stats.selectivity(column):6.3f}"
+            )
+        lines.append("")
+        lines.append(f"candidate keys ({len(self.mucs)} minimal uniques):")
+        for key in self.candidate_keys()[:max_items]:
+            lines.append("  {" + ", ".join(key) + "}")
+        if len(self.mucs) > max_items:
+            lines.append(f"  ... and {len(self.mucs) - max_items} more")
+        lines.append("")
+        lines.append(f"maximal non-uniques: {len(self.mnucs)}")
+        if self.fds:
+            lines.append("")
+            lines.append(f"minimal functional dependencies ({len(self.fds)}):")
+            for fd in self.fds[:max_items]:
+                lines.append(f"  {fd.named(self.schema)}")
+            if len(self.fds) > max_items:
+                lines.append(f"  ... and {len(self.fds) - max_items} more")
+        if self.inds:
+            lines.append("")
+            lines.append(f"unary inclusion dependencies ({len(self.inds)}):")
+            for ind in self.inds[:max_items]:
+                lines.append(f"  {ind.named(self.schema)}")
+            if len(self.inds) > max_items:
+                lines.append(f"  ... and {len(self.inds) - max_items} more")
+        return "\n".join(lines)
+
+
+def summarize(
+    relation: Relation,
+    algorithm: str = "ducc",
+    with_fds: int | None = None,
+    with_inds: bool = False,
+) -> ProfileSummary:
+    """Profile ``relation`` end to end.
+
+    ``with_fds`` enables FD discovery with the given LHS-size cap;
+    ``with_inds`` enables unary IND discovery within the relation.
+    """
+    mucs, mnucs = discover(relation, algorithm)
+    summary = ProfileSummary(
+        schema=relation.schema,
+        n_rows=len(relation),
+        stats=column_statistics(relation),
+        mucs=mucs,
+        mnucs=mnucs,
+    )
+    if with_fds is not None:
+        from repro.fd import discover_fds
+
+        summary.fds = discover_fds(relation, max_lhs=with_fds)
+    if with_inds:
+        from repro.ind import discover_unary_inds
+
+        summary.inds = discover_unary_inds(relation)
+    return summary

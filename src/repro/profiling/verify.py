@@ -1,0 +1,120 @@
+"""Definitional uniqueness verification and agree sets.
+
+These are the ground-truth operations (Definitions 1-4 of the paper)
+that algorithms must agree with. They scan the relation, so they are
+used for initial profiling bootstraps, test oracles, and the final
+verification pass -- never inside SWAN's incremental hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import InconsistentProfileError
+from repro.lattice.combination import (
+    full_mask,
+    immediate_subsets,
+    immediate_supersets,
+    popcount,
+)
+from repro.storage.relation import Relation
+
+Row = tuple[Hashable, ...]
+
+
+def is_unique(relation: Relation, mask: int) -> bool:
+    """Definition 1: no two live tuples agree on the masked projection."""
+    return not relation.duplicate_exists(mask)
+
+
+def is_non_unique(relation: Relation, mask: int) -> bool:
+    """Definition 2: at least one duplicate value combination exists."""
+    return relation.duplicate_exists(mask)
+
+
+def agree_set(left: Sequence[Hashable], right: Sequence[Hashable]) -> int:
+    """Bitmask of the columns on which two rows agree.
+
+    A pair of tuples is a duplicate on K exactly when K is a subset of
+    their agree set -- the pivot fact behind SWAN's insert handling
+    (DESIGN.md section 2).
+    """
+    mask = 0
+    bit = 1
+    for left_value, right_value in zip(left, right):
+        if left_value == right_value:
+            mask |= bit
+        bit <<= 1
+    return mask
+
+
+def pairwise_agree_sets(rows: Iterable[Sequence[Hashable]]) -> set[int]:
+    """Agree sets of all row pairs (quadratic; oracle/small inputs only)."""
+    materialized = [tuple(row) for row in rows]
+    result: set[int] = set()
+    for left_index, left in enumerate(materialized):
+        for right in materialized[left_index + 1 :]:
+            result.add(agree_set(left, right))
+    return result
+
+
+def is_minimal_unique(relation: Relation, mask: int) -> bool:
+    """Definition 3: unique, and every immediate subset is non-unique."""
+    if not is_unique(relation, mask):
+        return False
+    return all(
+        relation.duplicate_exists(subset) for subset in immediate_subsets(mask)
+    )
+
+
+def is_maximal_non_unique(relation: Relation, mask: int) -> bool:
+    """Definition 4: non-unique, and every immediate superset is unique."""
+    if not relation.duplicate_exists(mask):
+        return False
+    universe = full_mask(relation.n_columns)
+    return all(
+        not relation.duplicate_exists(superset)
+        for superset in immediate_supersets(mask, universe)
+    )
+
+
+def verify_profile(
+    relation: Relation,
+    mucs: Iterable[int],
+    mnucs: Iterable[int],
+    exhaustive: bool = False,
+) -> None:
+    """Assert that (mucs, mnucs) is a correct profile of ``relation``.
+
+    Checks Definitions 3 and 4 for every reported combination. With
+    ``exhaustive=True`` additionally cross-checks completeness through
+    the transversal duality (DESIGN.md invariant 4), which catches
+    *missing* combinations as well. Raises
+    :class:`~repro.errors.InconsistentProfileError` on any violation.
+    """
+    muc_list = sorted(set(mucs))
+    mnuc_list = sorted(set(mnucs))
+    for mask in muc_list:
+        if not is_minimal_unique(relation, mask):
+            raise InconsistentProfileError(
+                f"reported MUC {mask:#x} is not a minimal unique"
+            )
+    for mask in mnuc_list:
+        if not is_maximal_non_unique(relation, mask):
+            raise InconsistentProfileError(
+                f"reported MNUC {mask:#x} is not a maximal non-unique"
+            )
+    if exhaustive:
+        from repro.lattice.transversal import mnucs_from_mucs
+
+        expected_mnucs = mnucs_from_mucs(muc_list, relation.n_columns)
+        if sorted(expected_mnucs) != mnuc_list:
+            raise InconsistentProfileError(
+                "MUCS and MNUCS are not duals: the profile is incomplete "
+                f"({len(mnuc_list)} MNUCS reported, {len(expected_mnucs)} implied)"
+            )
+
+
+def sort_profile(masks: Iterable[int]) -> list[int]:
+    """Canonical (size, value) report order used across the library."""
+    return sorted(set(masks), key=lambda mask: (popcount(mask), mask))

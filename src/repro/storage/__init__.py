@@ -1,0 +1,31 @@
+"""Storage substrate: relations, indexes, and position list indexes.
+
+This package is the "database" underneath the profiler:
+
+* :mod:`repro.storage.schema` -- column metadata and name resolution.
+* :mod:`repro.storage.relation` -- an in-memory columnar relation with
+  stable tuple IDs, batch inserts, and tombstone deletes.
+* :mod:`repro.storage.value_index` -- single-column inverted indexes
+  (value -> tuple IDs), the structure SWAN's insert path probes.
+* :mod:`repro.storage.pli` -- position list indexes (PLIs), the
+  structure SWAN's delete path and DUCC intersect.
+* :mod:`repro.storage.sparse_index` -- tuple ID -> byte offset map with
+  mixed random/sequential retrieval.
+* :mod:`repro.storage.table_file` -- CSV-backed tables for the
+  disk-resident initial dataset.
+"""
+
+from repro.storage.pli import PositionListIndex
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+from repro.storage.sparse_index import SparseIndex
+from repro.storage.value_index import ValueIndex
+
+__all__ = [
+    "Column",
+    "PositionListIndex",
+    "Relation",
+    "Schema",
+    "SparseIndex",
+    "ValueIndex",
+]

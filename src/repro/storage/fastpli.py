@@ -1,0 +1,153 @@
+"""Array-backed position list indexes for bulk lattice traversal.
+
+DUCC classifies tens of thousands of column combinations per run, each
+via PLI intersection; the pointer-based
+:class:`~repro.storage.pli.PositionListIndex` pays Python-level cost
+per tuple, which dominates the whole benchmark suite. This module keeps
+the same semantics in flat numpy arrays:
+
+* ``ids``    -- the clustered tuple IDs (only tuples in groups >= 2),
+* ``labels`` -- the cluster label of each entry of ``ids``,
+* ``dense``  -- (built on demand) label per tuple ID, -1 when
+  unclustered, enabling O(1) vectorized membership probes.
+
+Intersection is a sort over combined (left label, right label) keys --
+all C-speed. Equivalence with the reference PLI is property-tested
+(``tests/properties/test_prop_fastpli.py``).
+
+Only the *static* engines (DUCC, DUCC-INC) use this class; SWAN's
+delete handler needs the reference PLI's incremental add/remove and
+cluster bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+import numpy as np
+
+from repro.storage.relation import Relation
+
+
+class ArrayPli:
+    """An immutable PLI over a fixed tuple-ID space."""
+
+    __slots__ = ("ids", "labels", "capacity", "_dense", "_span")
+
+    def __init__(self, ids: np.ndarray, labels: np.ndarray, capacity: int) -> None:
+        self.ids = ids
+        self.labels = labels
+        self.capacity = capacity
+        self._dense: np.ndarray | None = None
+        self._span = int(labels.max()) + 1 if labels.size else 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_column(cls, relation: Relation, column: int) -> "ArrayPli":
+        """Build from one column's live values."""
+        groups: dict[Hashable, list[int]] = {}
+        for tuple_id, value in relation.column_values(column):
+            groups.setdefault(value, []).append(tuple_id)
+        ids: list[int] = []
+        labels: list[int] = []
+        label = 0
+        for members in groups.values():
+            if len(members) >= 2:
+                ids.extend(members)
+                labels.extend([label] * len(members))
+                label += 1
+        return cls(
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(labels, dtype=np.int64),
+            relation.next_tuple_id,
+        )
+
+    @classmethod
+    def single_cluster(cls, tuple_ids: list[int], capacity: int) -> "ArrayPli":
+        """The PLI of the empty combination (all tuples together)."""
+        if len(tuple_ids) < 2:
+            return cls(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), capacity
+            )
+        ids = np.asarray(tuple_ids, dtype=np.int64)
+        return cls(ids, np.zeros(len(tuple_ids), dtype=np.int64), capacity)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def has_duplicates(self) -> bool:
+        return self.ids.size > 0
+
+    def n_entries(self) -> int:
+        return int(self.ids.size)
+
+    def n_clusters(self) -> int:
+        return int(np.unique(self.labels).size) if self.labels.size else 0
+
+    @property
+    def dense(self) -> np.ndarray:
+        """Label per tuple ID (-1 = unclustered), built lazily.
+
+        Callers that keep many derived PLIs alive should prefer keeping
+        ``dense`` only on the (few, reused) single-column PLIs; see
+        :meth:`intersect`.
+        """
+        if self._dense is None:
+            dense = np.full(self.capacity, -1, dtype=np.int64)
+            if self.ids.size:
+                dense[self.ids] = self.labels
+            self._dense = dense
+        return self._dense
+
+    def clusters(self) -> Iterator[frozenset[int]]:
+        """Materialize the position lists (reporting / tests only)."""
+        if not self.ids.size:
+            return
+        order = np.argsort(self.labels, kind="stable")
+        ids = self.ids[order]
+        labels = self.labels[order]
+        boundaries = np.flatnonzero(np.r_[True, labels[1:] != labels[:-1], True])
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            yield frozenset(int(tuple_id) for tuple_id in ids[start:stop])
+
+    # ------------------------------------------------------------------
+    # Intersection
+    # ------------------------------------------------------------------
+    def intersect(self, other: "ArrayPli") -> "ArrayPli":
+        """The PLI of the combined combination.
+
+        Probes ``other``'s dense map with this PLI's entries, so call
+        it as ``derived.intersect(column_pli)``: the dense map is then
+        cached on the long-lived column PLI, never on throwaways.
+        """
+        if not self.ids.size or not other.ids.size:
+            return ArrayPli(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                self.capacity,
+            )
+        partner = other.dense[self.ids]
+        keep = partner >= 0
+        ids = self.ids[keep]
+        if ids.size < 2:
+            return ArrayPli(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                self.capacity,
+            )
+        keys = self.labels[keep] * np.int64(other._span) + partner[keep]
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        ids = ids[order]
+        new_group = np.r_[True, keys[1:] != keys[:-1]]
+        labels = np.cumsum(new_group) - 1
+        boundaries = np.flatnonzero(np.r_[new_group, True])
+        sizes = np.diff(boundaries)
+        in_real_group = np.repeat(sizes >= 2, sizes)
+        return ArrayPli(ids[in_real_group], labels[in_real_group], self.capacity)
+
+    def __repr__(self) -> str:
+        return f"ArrayPli(entries={self.ids.size}, clusters={self.n_clusters()})"

@@ -1,0 +1,258 @@
+"""Position list indexes (PLIs).
+
+A PLI for a column combination K is the list of *position lists*: groups
+of tuple IDs sharing the same value combination on K, keeping only
+groups of size >= 2 (paper Section IV-B, following TANE / DUCC). A
+combination is non-unique exactly when its PLI is non-empty.
+
+The PLI of K1 ∪ K2 is the *intersection* of the PLIs of K1 and K2,
+computed with the standard probe-table method: tuples clustered together
+in both inputs stay together.
+
+Single-column PLIs built with ``track_values=True`` are fully dynamic:
+inserts and deletes maintain them incrementally (SWAN keeps one per
+column so the delete handler never rescans the relation). Derived
+(intersected) PLIs are throwaway values and do not track values.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.lattice.combination import iter_bits
+from repro.storage.relation import Relation
+
+
+class PositionListIndex:
+    """Groups of tuple IDs with equal projections, groups of size >= 2."""
+
+    __slots__ = ("_clusters", "_membership", "_next_cluster", "_cluster_by_value", "_singletons")
+
+    def __init__(self, track_values: bool = False) -> None:
+        self._clusters: dict[int, set[int]] = {}
+        self._membership: dict[int, int] = {}
+        self._next_cluster = 0
+        self._cluster_by_value: dict[Hashable, int] | None = (
+            {} if track_values else None
+        )
+        self._singletons: dict[Hashable, int] | None = {} if track_values else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_column(
+        cls, relation: Relation, column: int, track_values: bool = True
+    ) -> "PositionListIndex":
+        """Build the PLI of one column over the live tuples."""
+        pli = cls(track_values=track_values)
+        if track_values:
+            for tuple_id, value in relation.column_values(column):
+                pli.add(value, tuple_id)
+        else:
+            groups: dict[Hashable, list[int]] = {}
+            for tuple_id, value in relation.column_values(column):
+                groups.setdefault(value, []).append(tuple_id)
+            for ids in groups.values():
+                if len(ids) >= 2:
+                    pli._new_cluster(ids)
+        return pli
+
+    @classmethod
+    def for_mask(cls, relation: Relation, mask: int) -> "PositionListIndex":
+        """Build the PLI of a column combination by direct grouping."""
+        pli = cls()
+        for ids in relation.group_duplicates(mask).values():
+            pli._new_cluster(ids)
+        return pli
+
+    @classmethod
+    def from_clusters(cls, clusters: Iterable[Iterable[int]]) -> "PositionListIndex":
+        pli = cls()
+        for ids in clusters:
+            materialized = list(ids)
+            if len(materialized) >= 2:
+                pli._new_cluster(materialized)
+        return pli
+
+    def _new_cluster(self, ids: Iterable[int]) -> int:
+        cluster_id = self._next_cluster
+        self._next_cluster += 1
+        members = set(ids)
+        self._clusters[cluster_id] = members
+        for tuple_id in members:
+            self._membership[tuple_id] = cluster_id
+        return cluster_id
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (value-tracking PLIs only)
+    # ------------------------------------------------------------------
+    def add(self, value: Hashable, tuple_id: int) -> None:
+        """Register an inserted tuple's value (track_values mode)."""
+        if self._cluster_by_value is None or self._singletons is None:
+            raise ValueError("this PLI does not track values; rebuild instead")
+        cluster_id = self._cluster_by_value.get(value)
+        if cluster_id is not None:
+            self._clusters[cluster_id].add(tuple_id)
+            self._membership[tuple_id] = cluster_id
+            return
+        partner = self._singletons.pop(value, None)
+        if partner is None:
+            self._singletons[value] = tuple_id
+            return
+        new_cluster = self._new_cluster((partner, tuple_id))
+        self._cluster_by_value[value] = new_cluster
+
+    def remove(self, value: Hashable, tuple_id: int) -> None:
+        """Unregister a deleted tuple's value (track_values mode).
+
+        When a position list shrinks to one member it is dropped (the
+        paper: "if the removal of an ID from a PL changes its
+        cardinality to 1, the PL can be omitted") -- but the surviving
+        member is remembered as a singleton so later inserts of the same
+        value re-create the list.
+        """
+        if self._cluster_by_value is None or self._singletons is None:
+            raise ValueError("this PLI does not track values; rebuild instead")
+        cluster_id = self._membership.pop(tuple_id, None)
+        if cluster_id is None:
+            if self._singletons.get(value) == tuple_id:
+                del self._singletons[value]
+            return
+        cluster = self._clusters[cluster_id]
+        cluster.discard(tuple_id)
+        if len(cluster) == 1:
+            survivor = next(iter(cluster))
+            del self._membership[survivor]
+            del self._clusters[cluster_id]
+            del self._cluster_by_value[value]
+            self._singletons[value] = survivor
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def has_duplicates(self) -> bool:
+        """Non-empty PLI <=> the combination is non-unique."""
+        return bool(self._clusters)
+
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    def n_entries(self) -> int:
+        """Total IDs across all position lists."""
+        return len(self._membership)
+
+    def cluster_of(self, tuple_id: int) -> int | None:
+        """The cluster ID containing ``tuple_id``, or None if unclustered."""
+        return self._membership.get(tuple_id)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._membership
+
+    def clusters(self) -> Iterator[frozenset[int]]:
+        for members in self._clusters.values():
+            yield frozenset(members)
+
+    def clusters_containing(self, tuple_ids: Iterable[int]) -> list[frozenset[int]]:
+        """The distinct position lists touching any of ``tuple_ids``."""
+        seen: set[int] = set()
+        result: list[frozenset[int]] = []
+        for tuple_id in tuple_ids:
+            cluster_id = self._membership.get(tuple_id)
+            if cluster_id is not None and cluster_id not in seen:
+                seen.add(cluster_id)
+                result.append(frozenset(self._clusters[cluster_id]))
+        return result
+
+    # ------------------------------------------------------------------
+    # Intersection
+    # ------------------------------------------------------------------
+    def intersect(self, other: "PositionListIndex") -> "PositionListIndex":
+        """The PLI of the union of both combinations (probe method)."""
+        smaller, larger = (
+            (self, other) if self.n_entries() <= other.n_entries() else (other, self)
+        )
+        result = PositionListIndex()
+        for members in smaller._clusters.values():
+            subgroups: dict[int, list[int]] = {}
+            for tuple_id in members:
+                partner = larger._membership.get(tuple_id)
+                if partner is not None:
+                    subgroups.setdefault(partner, []).append(tuple_id)
+            for ids in subgroups.values():
+                if len(ids) >= 2:
+                    result._new_cluster(ids)
+        return result
+
+    def intersect_restricted(
+        self, other: "PositionListIndex", tuple_ids: Iterable[int]
+    ) -> "PositionListIndex":
+        """Intersection restricted to clusters touching ``tuple_ids``.
+
+        The short-circuit of Section IV-B: when checking whether a batch
+        of deletes destroyed a non-unique, only position lists that
+        contained deleted tuples matter.
+        """
+        relevant = self.clusters_containing(tuple_ids)
+        result = PositionListIndex()
+        for members in relevant:
+            subgroups: dict[int, list[int]] = {}
+            for tuple_id in members:
+                partner = other._membership.get(tuple_id)
+                if partner is not None:
+                    subgroups.setdefault(partner, []).append(tuple_id)
+            for ids in subgroups.values():
+                if len(ids) >= 2:
+                    result._new_cluster(ids)
+        return result
+
+    def remove_ids(self, tuple_ids: Iterable[int]) -> None:
+        """Drop IDs (derived PLIs; value-tracking ones use :meth:`remove`)."""
+        for tuple_id in tuple_ids:
+            cluster_id = self._membership.pop(tuple_id, None)
+            if cluster_id is None:
+                continue
+            cluster = self._clusters[cluster_id]
+            cluster.discard(tuple_id)
+            if len(cluster) <= 1:
+                for survivor in cluster:
+                    del self._membership[survivor]
+                del self._clusters[cluster_id]
+
+    def copy(self) -> "PositionListIndex":
+        clone = PositionListIndex()
+        for members in self._clusters.values():
+            clone._new_cluster(members)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PositionListIndex(clusters={len(self._clusters)}, "
+            f"entries={len(self._membership)})"
+        )
+
+
+def pli_for_combination(
+    relation: Relation,
+    mask: int,
+    column_plis: dict[int, PositionListIndex],
+) -> PositionListIndex:
+    """Cross-intersect per-column PLIs to obtain the PLI of ``mask``.
+
+    Intersections are ordered smallest-first, which keeps intermediate
+    results small; an intermediate empty PLI short-circuits.
+    """
+    columns = sorted(iter_bits(mask), key=lambda c: column_plis[c].n_entries())
+    if not columns:
+        # The empty combination clusters every pair of live tuples.
+        ids = list(relation.iter_ids())
+        return PositionListIndex.from_clusters([ids] if len(ids) >= 2 else [])
+    current = column_plis[columns[0]]
+    for column in columns[1:]:
+        if not current.has_duplicates:
+            break
+        current = current.intersect(column_plis[column])
+    if len(columns) == 1:
+        current = current.copy()
+    return current

@@ -1,0 +1,246 @@
+"""In-memory columnar relation with stable tuple IDs.
+
+The relation is the shared substrate of every algorithm in this
+repository (SWAN, GORDIAN, DUCC, brute force, the DBMS-X simulation),
+so all systems pay the same storage costs and runtime comparisons stay
+meaningful.
+
+Storage model
+-------------
+* Column-major: ``_columns[c][p]`` is the value of column ``c`` at row
+  position ``p``.
+* A tuple ID equals its row position; IDs are append-only and never
+  reused.
+* Deletes are tombstones (``_live[p] = False``); periodically a caller
+  can :meth:`compact` into a fresh relation if desired.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.errors import ArityError, TupleIdError
+from repro.lattice.combination import columns_of
+from repro.storage.schema import Schema
+
+Row = tuple[Hashable, ...]
+
+
+class Relation:
+    """A mutable relational instance over a fixed :class:`Schema`."""
+
+    __slots__ = ("_schema", "_columns", "_live", "_live_count")
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._columns: list[list[Hashable]] = [[] for _ in range(len(schema))]
+        self._live: list[bool] = []
+        self._live_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence[Hashable]]) -> "Relation":
+        relation = cls(schema)
+        relation.insert_many(rows)
+        return relation
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str,
+        schema: Schema | None = None,
+        delimiter: str = ",",
+    ) -> "Relation":
+        """Load a relation from a CSV file with a header row.
+
+        When ``schema`` is given, the header must match its names; when
+        omitted, the header defines a fresh all-string schema.
+        """
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            header = next(reader)
+            if schema is None:
+                schema = Schema(header)
+            elif list(schema.names) != header:
+                raise ArityError(
+                    f"CSV header {header!r} does not match schema {list(schema.names)!r}"
+                )
+            return cls.from_rows(schema, (tuple(row) for row in reader))
+
+    def to_csv(self, path: str, delimiter: str = ",") -> None:
+        """Write the live rows (with a header) to ``path``."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle, delimiter=delimiter)
+            writer.writerow(self._schema.names)
+            for tuple_id in self.iter_ids():
+                writer.writerow(self.row(tuple_id))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Hashable]) -> int:
+        """Append one tuple; returns its tuple ID."""
+        if len(row) != len(self._schema):
+            raise ArityError(
+                f"row has {len(row)} values, schema has {len(self._schema)} columns"
+            )
+        for column_store, value in zip(self._columns, row):
+            column_store.append(value)
+        self._live.append(True)
+        self._live_count += 1
+        return len(self._live) - 1
+
+    def insert_many(self, rows: Iterable[Sequence[Hashable]]) -> list[int]:
+        """Append a batch of tuples; returns their tuple IDs."""
+        return [self.insert(row) for row in rows]
+
+    def delete(self, tuple_id: int) -> Row:
+        """Tombstone one tuple; returns the removed row."""
+        self._check_live(tuple_id)
+        self._live[tuple_id] = False
+        self._live_count -= 1
+        return tuple(column[tuple_id] for column in self._columns)
+
+    def delete_many(self, tuple_ids: Iterable[int]) -> list[Row]:
+        """Tombstone a batch of tuples; returns the removed rows."""
+        return [self.delete(tuple_id) for tuple_id in tuple_ids]
+
+    def compact(self) -> "Relation":
+        """A fresh relation containing only the live rows (new IDs)."""
+        return Relation.from_rows(self._schema, self.iter_rows())
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._schema)
+
+    @property
+    def next_tuple_id(self) -> int:
+        """The ID the next inserted tuple will receive."""
+        return len(self._live)
+
+    def __len__(self) -> int:
+        """Number of *live* tuples."""
+        return self._live_count
+
+    def is_live(self, tuple_id: int) -> bool:
+        return 0 <= tuple_id < len(self._live) and self._live[tuple_id]
+
+    def _check_live(self, tuple_id: int) -> None:
+        if not 0 <= tuple_id < len(self._live):
+            raise TupleIdError(f"tuple ID {tuple_id} does not exist")
+        if not self._live[tuple_id]:
+            raise TupleIdError(f"tuple ID {tuple_id} was deleted")
+
+    def row(self, tuple_id: int) -> Row:
+        """The full live tuple with the given ID."""
+        self._check_live(tuple_id)
+        return tuple(column[tuple_id] for column in self._columns)
+
+    def value(self, tuple_id: int, column: int) -> Hashable:
+        """One cell of a live tuple."""
+        self._check_live(tuple_id)
+        return self._columns[column][tuple_id]
+
+    def project(self, tuple_id: int, mask: int) -> Row:
+        """The live tuple's values on the masked columns (schema order)."""
+        self._check_live(tuple_id)
+        return tuple(self._columns[index][tuple_id] for index in columns_of(mask))
+
+    def project_row(self, row: Sequence[Hashable], mask: int) -> Row:
+        """Project an out-of-relation row (e.g. a pending insert)."""
+        return tuple(row[index] for index in columns_of(mask))
+
+    def iter_ids(self) -> Iterator[int]:
+        """Live tuple IDs in insertion order."""
+        for tuple_id, live in enumerate(self._live):
+            if live:
+                yield tuple_id
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Live tuples in insertion order."""
+        for tuple_id in self.iter_ids():
+            yield tuple(column[tuple_id] for column in self._columns)
+
+    def iter_items(self) -> Iterator[tuple[int, Row]]:
+        """(tuple ID, row) pairs for live tuples."""
+        for tuple_id in self.iter_ids():
+            yield tuple_id, tuple(column[tuple_id] for column in self._columns)
+
+    def column_values(self, column: int) -> Iterator[tuple[int, Hashable]]:
+        """(tuple ID, value) pairs of one column over live tuples."""
+        store = self._columns[column]
+        for tuple_id, live in enumerate(self._live):
+            if live:
+                yield tuple_id, store[tuple_id]
+
+    def cardinality(self, column: int) -> int:
+        """Number of distinct live values in one column."""
+        return len({value for _, value in self.column_values(column)})
+
+    def duplicate_exists(self, mask: int) -> bool:
+        """True iff two live tuples agree on the masked projection.
+
+        This is the definitional (hash-based, single-scan) uniqueness
+        test; algorithms use their own indexes, tests use this.
+        """
+        seen: set[Row] = set()
+        indices = columns_of(mask)
+        for tuple_id in self.iter_ids():
+            key = tuple(self._columns[index][tuple_id] for index in indices)
+            if key in seen:
+                return True
+            seen.add(key)
+        return False
+
+    def group_duplicates(self, mask: int) -> dict[Row, list[int]]:
+        """Projection value -> tuple IDs, keeping only groups of size >= 2."""
+        groups: dict[Row, list[int]] = {}
+        indices = columns_of(mask)
+        for tuple_id in self.iter_ids():
+            key = tuple(self._columns[index][tuple_id] for index in indices)
+            groups.setdefault(key, []).append(tuple_id)
+        return {key: ids for key, ids in groups.items() if len(ids) >= 2}
+
+    def restrict_columns(self, n_columns: int) -> "Relation":
+        """A copy with only the first ``n_columns`` columns (fresh IDs).
+
+        Used by the column-scaling experiments (paper Figs. 3, 6, 8).
+        """
+        projected = Relation(self._schema.prefix(n_columns))
+        for tuple_id in self.iter_ids():
+            projected.insert(tuple(self._columns[c][tuple_id] for c in range(n_columns)))
+        return projected
+
+    def copy(self) -> "Relation":
+        """A deep copy preserving tuple IDs and tombstones."""
+        clone = Relation(self._schema)
+        clone._columns = [list(column) for column in self._columns]
+        clone._live = list(self._live)
+        clone._live_count = self._live_count
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({len(self._schema)} columns, {self._live_count} live rows, "
+            f"{len(self._live) - self._live_count} tombstones)"
+        )
+
+
+def transform_rows(
+    relation: Relation,
+    transform: Callable[[Row], Row],
+) -> Relation:
+    """A fresh relation with ``transform`` applied to each live row."""
+    return Relation.from_rows(
+        relation.schema, (transform(row) for row in relation.iter_rows())
+    )

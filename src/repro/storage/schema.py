@@ -1,0 +1,126 @@
+"""Schemas: ordered, named columns of a relation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.lattice.combination import ColumnCombination, mask_of
+
+
+@dataclass(frozen=True)
+class Column:
+    """Metadata for one column.
+
+    ``dtype`` is informational (generators tag columns ``str`` / ``int``
+    / ``float`` / ``date``); the storage layer treats all values as
+    opaque hashables.
+    """
+
+    name: str
+    dtype: str = "str"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+
+class Schema:
+    """An ordered list of uniquely named columns."""
+
+    __slots__ = ("_columns", "_positions")
+
+    def __init__(self, columns: Iterable[Column | str]) -> None:
+        resolved = [
+            column if isinstance(column, Column) else Column(column)
+            for column in columns
+        ]
+        names = [column.name for column in resolved]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        self._columns: tuple[Column, ...] = tuple(resolved)
+        self._positions: dict[str, int] = {
+            column.name: index for index, column in enumerate(resolved)
+        }
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self._columns)
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __getitem__(self, index: int) -> Column:
+        return self._columns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._columns == other._columns
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def index_of(self, column: str | int) -> int:
+        """Resolve a column name or index to an index."""
+        if isinstance(column, int):
+            if not 0 <= column < len(self._columns):
+                raise UnknownColumnError(column, len(self._columns))
+            return column
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise UnknownColumnError(column, list(self.names)) from None
+
+    def mask(self, columns: Iterable[str | int]) -> int:
+        """Bitmask of a collection of column names/indices."""
+        return mask_of(self.index_of(column) for column in columns)
+
+    def combination(self, mask_or_columns: int | Iterable[str | int]) -> ColumnCombination:
+        """Wrap a mask (or collection of columns) with this schema's names."""
+        if isinstance(mask_or_columns, int):
+            return ColumnCombination(mask_or_columns, self.names)
+        return ColumnCombination(self.mask(mask_or_columns), self.names)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema([self._columns[self.index_of(name)] for name in names])
+
+    def prefix(self, n_columns: int) -> "Schema":
+        """A new schema with only the first ``n_columns`` columns."""
+        if not 0 < n_columns <= len(self._columns):
+            raise SchemaError(
+                f"cannot take {n_columns}-column prefix of {len(self._columns)}-column schema"
+            )
+        return Schema(self._columns[:n_columns])
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.names)!r})"
+
+
+def schema_of(names: Sequence[str]) -> Schema:
+    """Convenience constructor used throughout tests and examples."""
+    return Schema([Column(name) for name in names])
+
+
+@dataclass
+class SchemaStats:
+    """Per-column statistics computed by :mod:`repro.profiling.stats`."""
+
+    cardinalities: list[int] = field(default_factory=list)
+    row_count: int = 0
+
+    def selectivity(self, column: int) -> float:
+        """Distinct-value fraction of a column (paper Section III-D)."""
+        if self.row_count == 0:
+            return 0.0
+        return self.cardinalities[column] / self.row_count

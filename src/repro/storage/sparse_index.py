@@ -1,0 +1,128 @@
+"""Sparse index: tuple ID -> byte offset, with mixed-mode retrieval.
+
+SWAN's insert workflow collects the union of all candidate tuple IDs and
+then "retrieves in one run all relevant tuples by a mix of random
+accesses and sequential scans of the initial dataset" (paper Section
+III-A, Alg. 1 line 6). This module implements that retrieval policy over
+any storage that can (a) seek to a tuple by offset and (b) scan tuples
+sequentially from an offset.
+
+The policy: sort the requested IDs; whenever the gap between two
+consecutive requested tuples is at most ``scan_gap`` tuples, keep
+scanning sequentially instead of issuing a new random seek. The
+:class:`RetrievalStats` it returns make the random/sequential mix
+observable (used by the index-analysis benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+Row = tuple[Hashable, ...]
+
+
+@dataclass
+class RetrievalStats:
+    """Bookkeeping of one :meth:`SparseIndex.retrieve_tuples` run."""
+
+    requested: int = 0
+    random_seeks: int = 0
+    tuples_scanned: int = 0
+
+    def merge(self, other: "RetrievalStats") -> None:
+        self.requested += other.requested
+        self.random_seeks += other.random_seeks
+        self.tuples_scanned += other.tuples_scanned
+
+
+@dataclass
+class SparseIndex:
+    """Maps tuple IDs to byte offsets in an underlying tuple store.
+
+    ``seek_read`` returns the (tuple ID, row) found at a byte offset and
+    the offset of the *next* tuple, so the index can continue reading
+    sequentially. The in-memory and CSV-backed stores both provide it
+    (:mod:`repro.storage.table_file`).
+    """
+
+    seek_read: Callable[[int], tuple[int, Row, int]]
+    offsets: dict[int, int] = field(default_factory=dict)
+    scan_gap: int = 16
+
+    def register(self, tuple_id: int, offset: int) -> None:
+        self.offsets[tuple_id] = offset
+
+    def forget(self, tuple_ids: Iterable[int]) -> None:
+        for tuple_id in tuple_ids:
+            self.offsets.pop(tuple_id, None)
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def retrieve_tuples(
+        self, tuple_ids: Iterable[int]
+    ) -> tuple[dict[int, Row], RetrievalStats]:
+        """Fetch the rows for ``tuple_ids`` with the mixed-mode policy."""
+        wanted = sorted(set(tuple_ids))
+        stats = RetrievalStats(requested=len(wanted))
+        rows: dict[int, Row] = {}
+        position = -1  # tuple ID the cursor is about to read, -1 = nowhere
+        next_offset = -1
+        for target in wanted:
+            gap = target - position
+            if position < 0 or gap < 0 or gap > self.scan_gap:
+                next_offset = self.offsets[target]
+                stats.random_seeks += 1
+                position = target
+            # Scan forward (possibly over unrequested tuples) to target.
+            while True:
+                found_id, row, next_offset = self.seek_read(next_offset)
+                stats.tuples_scanned += 1
+                position = found_id + 1
+                if found_id == target:
+                    rows[target] = row
+                    break
+                if found_id > target:  # pragma: no cover - defensive
+                    raise KeyError(f"tuple {target} missing from store")
+        return rows, stats
+
+
+def build_in_memory_store(
+    rows: Sequence[Row],
+) -> tuple[Callable[[int], tuple[int, Row, int]], dict[int, int]]:
+    """An in-memory 'file' of tuples: offset == tuple ID.
+
+    Returns the ``seek_read`` callable and the offsets map, ready to
+    construct a :class:`SparseIndex`. Used when the initial dataset is
+    kept in memory but SWAN's retrieval accounting should still apply.
+    """
+    store = list(rows)
+
+    def seek_read(offset: int) -> tuple[int, Row, int]:
+        return offset, store[offset], offset + 1
+
+    offsets = {tuple_id: tuple_id for tuple_id in range(len(store))}
+    return seek_read, offsets
+
+
+def sparse_index_for_relation(relation) -> SparseIndex:
+    """A sparse index over a live :class:`~repro.storage.relation.Relation`.
+
+    The relation acts as the tuple store; the 'offset' is the tuple ID
+    itself and tombstoned IDs are skipped during sequential scans. This
+    is the default store used by :class:`~repro.core.swan.SwanProfiler`
+    unless a file-backed table is supplied.
+    """
+
+    def seek_read(offset: int) -> tuple[int, Row, int]:
+        position = offset
+        while not relation.is_live(position):
+            position += 1
+        row = relation.row(position)
+        return position, row, position + 1
+
+    index = SparseIndex(seek_read=seek_read)
+    for tuple_id in relation.iter_ids():
+        index.register(tuple_id, tuple_id)
+    return index

@@ -1,0 +1,100 @@
+"""CSV-backed tuple store with byte offsets for the sparse index.
+
+The paper keeps the initial dataset on disk and fetches only the few
+candidate tuples the value indexes point at, via a sparse index mapping
+tuple ID -> byte offset (Section III-A). :class:`TableFile` provides
+that store: one tuple per line, prefixed with its tuple ID, written once
+when the initial dataset is sealed and appended to after each accepted
+insert batch.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import TupleIdError
+from repro.storage.relation import Relation
+from repro.storage.sparse_index import SparseIndex
+
+Row = tuple[Hashable, ...]
+
+
+class TableFile:
+    """An append-only on-disk tuple store addressed by byte offset.
+
+    Values are serialized with ``csv`` (all cells become strings). A
+    relation whose cells are not all strings will round-trip through
+    ``str``; the provided dataset generators emit string cells for
+    exactly this reason.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle = open(path, "a+", newline="")
+        self._offsets: dict[int, int] = {}
+
+    @classmethod
+    def create(cls, path: str, relation: Relation) -> "TableFile":
+        """Write all live tuples of ``relation`` to a fresh file."""
+        if os.path.exists(path):
+            os.remove(path)
+        table = cls(path)
+        table.append_batch(relation.iter_items())
+        return table
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append_batch(self, items: Iterable[tuple[int, Sequence[Hashable]]]) -> None:
+        """Append (tuple ID, row) pairs, recording their offsets."""
+        self._handle.seek(0, os.SEEK_END)
+        for tuple_id, row in items:
+            offset = self._handle.tell()
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow([tuple_id, *row])
+            self._handle.write(buffer.getvalue())
+            self._offsets[tuple_id] = offset
+        self._handle.flush()
+
+    def seek_read(self, offset: int) -> tuple[int, Row, int]:
+        """Read the tuple at ``offset``; also return the next offset."""
+        self._handle.seek(offset)
+        line = self._handle.readline()
+        if not line:
+            raise TupleIdError(f"no tuple at offset {offset} in {self._path}")
+        next_offset = self._handle.tell()
+        cells = next(csv.reader([line]))
+        return int(cells[0]), tuple(cells[1:]), next_offset
+
+    def sparse_index(self, scan_gap: int = 16, shared: bool = False) -> SparseIndex:
+        """A sparse index over this file's recorded offsets.
+
+        With ``shared=True`` the index aliases this table's offset map,
+        so offsets recorded by later :meth:`append_batch` calls are
+        visible without re-building -- the mode
+        :class:`~repro.core.swan.SwanProfiler` uses when it owns the
+        table.
+        """
+        offsets = self._offsets if shared else dict(self._offsets)
+        return SparseIndex(
+            seek_read=self.seek_read,
+            offsets=offsets,
+            scan_gap=scan_gap,
+        )
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TableFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"TableFile({self._path!r}, tuples={len(self._offsets)})"

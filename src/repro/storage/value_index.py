@@ -1,0 +1,147 @@
+"""Single-column inverted indexes: value -> tuple IDs.
+
+These are the indexes SWAN's insert path probes (paper Section III-B/C):
+for a batch of inserted tuples and a minimal unique U, the IDs of old
+tuples that *might* duplicate an insert on U are found by looking up the
+inserts' values in the indexes covering U and intersecting the results.
+
+The index stores every value (including currently-singleton ones),
+because after future inserts a singleton value may gain partners.
+Deletes are applied eagerly; empty postings are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.storage.relation import Relation
+
+
+class ValueIndex:
+    """Inverted index over one column of a relation."""
+
+    __slots__ = ("_column", "_postings")
+
+    def __init__(self, column: int) -> None:
+        self._column = column
+        self._postings: dict[Hashable, set[int]] = {}
+
+    @classmethod
+    def build(cls, relation: Relation, column: int) -> "ValueIndex":
+        """Index every live tuple of ``relation`` on ``column``."""
+        index = cls(column)
+        for tuple_id, value in relation.column_values(column):
+            index.add(value, tuple_id)
+        return index
+
+    @property
+    def column(self) -> int:
+        """The indexed column's position in the schema."""
+        return self._column
+
+    def add(self, value: Hashable, tuple_id: int) -> None:
+        """Register one (value, tuple ID) pair.
+
+        Appending to an existing posting or creating a new key-value
+        pair, exactly as the paper describes index maintenance after
+        inserts (Section III-D).
+        """
+        self._postings.setdefault(value, set()).add(tuple_id)
+
+    def remove(self, value: Hashable, tuple_id: int) -> None:
+        """Drop one (value, tuple ID) pair if present."""
+        posting = self._postings.get(value)
+        if posting is None:
+            return
+        posting.discard(tuple_id)
+        if not posting:
+            del self._postings[value]
+
+    def lookup(self, value: Hashable) -> frozenset[int]:
+        """Tuple IDs whose column value equals ``value``."""
+        posting = self._postings.get(value)
+        return frozenset(posting) if posting else frozenset()
+
+    def lookup_many(self, values: Iterable[Hashable]) -> set[int]:
+        """Union of postings over distinct ``values`` (one pass)."""
+        result: set[int] = set()
+        for value in set(values):
+            posting = self._postings.get(value)
+            if posting:
+                result |= posting
+        return result
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._postings
+
+    def __len__(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._postings)
+
+    def n_entries(self) -> int:
+        """Total number of (value, tuple ID) pairs."""
+        return sum(len(posting) for posting in self._postings.values())
+
+    def iter_values(self) -> Iterator[Hashable]:
+        return iter(self._postings)
+
+    def __repr__(self) -> str:
+        return f"ValueIndex(column={self._column}, values={len(self._postings)})"
+
+
+class IndexPool:
+    """The set of value indexes SWAN maintains, keyed by column.
+
+    Provides the bulk-maintenance entry points the handlers call after
+    each accepted batch.
+    """
+
+    __slots__ = ("_indexes",)
+
+    def __init__(self, indexes: Iterable[ValueIndex] = ()) -> None:
+        self._indexes: dict[int, ValueIndex] = {}
+        for index in indexes:
+            self._indexes[index.column] = index
+
+    @classmethod
+    def build(cls, relation: Relation, columns: Iterable[int]) -> "IndexPool":
+        return cls(ValueIndex.build(relation, column) for column in sorted(set(columns)))
+
+    @property
+    def columns(self) -> frozenset[int]:
+        """The indexed columns."""
+        return frozenset(self._indexes)
+
+    def __contains__(self, column: int) -> bool:
+        return column in self._indexes
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def get(self, column: int) -> ValueIndex:
+        return self._indexes[column]
+
+    def add_index(self, index: ValueIndex) -> None:
+        self._indexes[index.column] = index
+
+    def ensure(self, relation: Relation, column: int) -> ValueIndex:
+        """Return the index on ``column``, building it if absent."""
+        if column not in self._indexes:
+            self._indexes[column] = ValueIndex.build(relation, column)
+        return self._indexes[column]
+
+    def register_inserts(self, relation: Relation, tuple_ids: Iterable[int]) -> None:
+        """Index a batch of freshly inserted tuples."""
+        ids = list(tuple_ids)
+        for column, index in self._indexes.items():
+            for tuple_id in ids:
+                index.add(relation.value(tuple_id, column), tuple_id)
+
+    def register_deletes(self, rows_by_id: dict[int, tuple]) -> None:
+        """Unindex deleted tuples, given their pre-delete rows."""
+        for column, index in self._indexes.items():
+            for tuple_id, row in rows_by_id.items():
+                index.remove(row[column], tuple_id)
+
+    def __repr__(self) -> str:
+        return f"IndexPool(columns={sorted(self._indexes)})"

@@ -1,0 +1,54 @@
+"""Unit tests for the brute-force oracles (and their mutual agreement)."""
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce, discover_lattice_scan
+from repro.profiling.verify import verify_profile
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from tests.conftest import random_relation
+
+
+class TestEdgeCases:
+    def test_empty_relation(self):
+        relation = Relation(Schema(["a", "b"]))
+        assert discover_bruteforce(relation) == ([0], [])
+
+    def test_single_row(self):
+        relation = Relation.from_rows(Schema(["a"]), [("x",)])
+        assert discover_bruteforce(relation) == ([0], [])
+
+    def test_identical_rows(self):
+        relation = Relation.from_rows(Schema(["a", "b"]), [("x", "y"), ("x", "y")])
+        mucs, mnucs = discover_bruteforce(relation)
+        assert mucs == []
+        assert mnucs == [0b11]
+
+    def test_all_columns_unique(self):
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [("1", "x"), ("2", "y"), ("3", "z")]
+        )
+        mucs, mnucs = discover_bruteforce(relation)
+        assert sorted(mucs) == [0b01, 0b10]
+        assert mnucs == [0]
+
+    def test_lattice_scan_rejects_wide_relations(self):
+        relation = Relation(Schema([f"c{i}" for i in range(21)]))
+        with pytest.raises(ValueError):
+            discover_lattice_scan(relation)
+
+
+class TestOraclesAgree:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_agree_sets_vs_lattice_scan(self, seed):
+        relation = random_relation(seed)
+        by_pairs = discover_bruteforce(relation)
+        by_scan = discover_lattice_scan(relation)
+        assert sorted(by_pairs[0]) == sorted(by_scan[0])
+        assert sorted(by_pairs[1]) == sorted(by_scan[1])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_profile_verifies(self, seed):
+        relation = random_relation(500 + seed)
+        mucs, mnucs = discover_bruteforce(relation)
+        verify_profile(relation, mucs, mnucs, exhaustive=True)

@@ -1,0 +1,73 @@
+"""Cooperative deadline behaviour of the long-running baselines."""
+
+import pytest
+
+from repro.baselines.ducc import Ducc, discover_ducc
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.gordian import Gordian
+from repro.baselines.gordian_inc import GordianInc
+from repro.bench.harness import BenchConfig, SystemRunner
+from repro.errors import BudgetExceededError
+from tests.conftest import random_relation
+
+
+class TestDuccDeadline:
+    def test_zero_budget_raises(self):
+        relation = random_relation(0, n_columns=6, n_rows=40, domain=3)
+        with pytest.raises(BudgetExceededError):
+            # A deadline in the past triggers on the first poll; the
+            # poll interval is 1024 classifications, so use a relation
+            # complex enough to reach it.
+            Ducc(relation, deadline_s=-1.0, pli_cache_size=16).run()
+
+    def test_generous_budget_completes(self):
+        relation = random_relation(1, n_columns=4, n_rows=20, domain=3)
+        mucs, mnucs = discover_ducc(relation, deadline_s=600.0)
+        reference = discover_ducc(relation)
+        assert (sorted(mucs), sorted(mnucs)) == (
+            sorted(reference[0]),
+            sorted(reference[1]),
+        )
+
+    def test_ducc_inc_propagates_deadline(self):
+        relation = random_relation(2, n_columns=6, n_rows=40, domain=3)
+        from repro.baselines.bruteforce import discover_bruteforce
+
+        mucs, __ = discover_bruteforce(relation)
+        inc = DuccInc(relation, mucs, deadline_s=-1.0)
+        with pytest.raises(BudgetExceededError):
+            inc.handle_deletes(list(relation.iter_ids())[:5])
+
+
+class TestGordianDeadline:
+    def test_zero_budget_raises(self):
+        relation = random_relation(3, n_columns=7, n_rows=60, domain=2)
+        gordian = Gordian.from_relation(relation)
+        gordian._deadline_s = -1.0
+        with pytest.raises(BudgetExceededError):
+            gordian.maximal_non_uniques()
+
+    def test_gordian_inc_propagates_deadline(self):
+        relation = random_relation(4, n_columns=7, n_rows=60, domain=2)
+        from repro.baselines.bruteforce import discover_bruteforce
+
+        __, mnucs = discover_bruteforce(relation)
+        inc = GordianInc(relation, mnucs, deadline_s=-1.0)
+        with pytest.raises(BudgetExceededError):
+            inc.handle_deletes([relation.row(0)])
+
+
+class TestHarnessIntegration:
+    def test_budget_exception_becomes_aborted_point(self):
+        runner = SystemRunner("sys", BenchConfig(timeout_s=60))
+
+        def blow_up():
+            raise BudgetExceededError("too slow")
+
+        measurement, result = runner.measure("x", blow_up)
+        assert measurement.aborted
+        assert result is None
+        assert runner.aborted
+        # subsequent points stay aborted without re-running
+        measurement, __ = runner.measure("y", lambda: 1)
+        assert measurement.aborted

@@ -1,0 +1,85 @@
+"""Structured GORDIAN cases that stress specific traversal paths."""
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.baselines.gordian import Gordian, discover_gordian
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+def profile_of(rows, n_columns):
+    schema = Schema([f"c{i}" for i in range(n_columns)])
+    return Relation.from_rows(schema, rows)
+
+
+class TestTraversalShapes:
+    def test_duplicates_only_in_skip_branches(self):
+        """Duplicates visible only after projecting the first column
+        away: the skip branch must find them."""
+        relation = profile_of(
+            [("1", "x", "y"), ("2", "x", "y"), ("3", "z", "w")], 3
+        )
+        mucs, mnucs = discover_gordian(relation)
+        expected = discover_bruteforce(relation)
+        assert sorted(mucs) == sorted(expected[0])
+        assert sorted(mnucs) == sorted(expected[1])
+        # the pair duplicates exactly on {c1, c2}
+        assert 0b110 in mnucs
+
+    def test_duplicates_along_full_prefix(self):
+        """Fully identical prefixes exercise deep follow chains."""
+        relation = profile_of(
+            [("a", "b", "1"), ("a", "b", "2"), ("a", "b", "3")], 3
+        )
+        mucs, mnucs = discover_gordian(relation)
+        assert mucs == [0b100]  # only the last column distinguishes
+        assert 0b011 in mnucs
+
+    def test_interleaved_groups(self):
+        """Two duplicate groups sharing values across branches."""
+        relation = profile_of(
+            [
+                ("a", "1"), ("b", "1"), ("a", "2"), ("b", "2"),
+            ],
+            2,
+        )
+        mucs, mnucs = discover_gordian(relation)
+        expected = discover_bruteforce(relation)
+        assert sorted(mucs) == sorted(expected[0])
+        assert sorted(mnucs) == sorted(expected[1])
+
+    def test_seed_with_universe_short_circuits(self):
+        """Seeding with the full column set prunes the whole traversal
+        (used by GORDIAN-INC when duplicates of everything existed)."""
+        relation = profile_of([("a", "b"), ("a", "b"), ("c", "d")], 2)
+        gordian = Gordian.from_relation(relation)
+        mnucs = gordian.maximal_non_uniques(seeds=[0b11])
+        assert mnucs == [0b11]
+        assert gordian.nodes_visited <= 2
+
+    def test_counts_memoized_across_branches(self):
+        relation = profile_of(
+            [(str(i % 3), str(i % 2), str(i)) for i in range(12)], 3
+        )
+        gordian = Gordian.from_relation(relation)
+        first = gordian.maximal_non_uniques()
+        second = gordian.maximal_non_uniques()
+        assert first == second  # rerunning on a static tree is stable
+
+
+class TestValueEdgeCases:
+    def test_values_colliding_across_columns(self):
+        """The same string in different columns must not confuse the
+        per-level grouping."""
+        relation = profile_of(
+            [("x", "x"), ("x", "y"), ("y", "x")], 2
+        )
+        expected = discover_bruteforce(relation)
+        got = discover_gordian(relation)
+        assert sorted(got[0]) == sorted(expected[0])
+        assert sorted(got[1]) == sorted(expected[1])
+
+    def test_single_column_relation(self):
+        relation = profile_of([("a",), ("a",), ("b",)], 1)
+        mucs, mnucs = discover_gordian(relation)
+        assert mucs == []
+        assert mnucs == [0b1]

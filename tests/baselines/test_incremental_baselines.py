@@ -1,0 +1,134 @@
+"""Unit tests for GORDIAN-INC and DUCC-INC."""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.gordian_inc import GordianInc
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from tests.conftest import random_relation, random_rows
+
+
+class TestGordianInc:
+    def test_insert_batch_exact(self):
+        for seed in range(10):
+            relation = random_relation(seed, n_columns=4, n_rows=15, domain=3)
+            mucs, mnucs = discover_bruteforce(relation)
+            inc = GordianInc(relation, mnucs)
+            batch = random_rows(seed + 1000, 4, 4, 3)
+            got = inc.handle_inserts(batch)
+            relation.insert_many(batch)
+            expected = discover_bruteforce(relation)
+            assert sorted(got[0]) == sorted(expected[0])
+            assert sorted(got[1]) == sorted(expected[1])
+
+    def test_delete_batch_exact(self):
+        for seed in range(10):
+            relation = random_relation(seed, n_columns=4, n_rows=15, domain=3)
+            mucs, mnucs = discover_bruteforce(relation)
+            inc = GordianInc(relation, mnucs)
+            rng = random.Random(seed)
+            doomed = rng.sample(list(relation.iter_ids()), 3)
+            doomed_rows = [relation.row(tuple_id) for tuple_id in doomed]
+            got = inc.handle_deletes(doomed_rows)
+            relation.delete_many(doomed)
+            expected = discover_bruteforce(relation)
+            assert sorted(got[0]) == sorted(expected[0])
+            assert sorted(got[1]) == sorted(expected[1])
+
+    def test_consecutive_batches_reuse_tree(self):
+        relation = random_relation(7, n_columns=3, n_rows=10, domain=3)
+        mucs, mnucs = discover_bruteforce(relation)
+        inc = GordianInc(relation, mnucs)
+        tree = inc.tree
+        batch_one = random_rows(1, 3, 2, 3)
+        batch_two = random_rows(2, 3, 2, 3)
+        inc.handle_inserts(batch_one)
+        inc.handle_inserts(batch_two)
+        assert inc.tree is tree
+        assert len(tree) == 14
+
+
+class TestDuccInc:
+    def test_delete_batch_exact(self):
+        for seed in range(10):
+            relation = random_relation(200 + seed, n_columns=4, n_rows=16, domain=3)
+            mucs, __ = discover_bruteforce(relation)
+            rng = random.Random(seed)
+            doomed = rng.sample(list(relation.iter_ids()), 4)
+            inc = DuccInc(relation, mucs)
+            got = inc.handle_deletes(doomed)
+            expected = discover_bruteforce(relation)
+            assert sorted(got[0]) == sorted(expected[0])
+            assert sorted(got[1]) == sorted(expected[1])
+
+    def test_applies_deletes_to_relation(self):
+        relation = random_relation(1, n_columns=3, n_rows=10, domain=3)
+        mucs, __ = discover_bruteforce(relation)
+        inc = DuccInc(relation, mucs)
+        inc.handle_deletes([0, 1])
+        assert len(relation) == 8
+
+    def test_sequential_delete_batches(self):
+        relation = random_relation(2, n_columns=3, n_rows=12, domain=3)
+        mucs, __ = discover_bruteforce(relation)
+        inc = DuccInc(relation, mucs)
+        inc.handle_deletes([0])
+        got = inc.handle_deletes([1, 2])
+        expected = discover_bruteforce(relation)
+        assert sorted(got[0]) == sorted(expected[0])
+
+
+class TestDbmsChecker:
+    def test_accepts_and_rejects(self):
+        from repro.baselines.dbms import DbmsConstraintChecker
+
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [("1", "x"), ("2", "y")])
+        checker = DbmsConstraintChecker(relation, [0b01])
+        report = checker.insert_batch([("3", "z"), ("1", "w"), ("4", "v")])
+        assert report.accepted == 2
+        assert report.rejected == 1
+        assert report.violations == [(1, 0b01)]
+
+    def test_rejected_tuple_leaves_no_trace(self):
+        from repro.baselines.dbms import DbmsConstraintChecker
+
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [("1", "x")])
+        checker = DbmsConstraintChecker(relation, [0b01, 0b10])
+        # violates the second constraint (b='x'), so its 'a' projection
+        # must not linger in the first constraint's index
+        report = checker.insert_batch([("9", "x")])
+        assert report.rejected == 1
+        report = checker.insert_batch([("9", "new")])
+        assert report.accepted == 1
+
+    def test_enforce_false_skips_validation(self):
+        from repro.baselines.dbms import DbmsConstraintChecker
+
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("1",)])
+        checker = DbmsConstraintChecker(relation, [0b1])
+        report = checker.insert_batch([("1",), ("1",)], enforce=False)
+        assert report.accepted == 2
+
+    def test_delete_batch_unindexes(self):
+        from repro.baselines.dbms import DbmsConstraintChecker
+
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("1",)])
+        checker = DbmsConstraintChecker(relation, [0b1])
+        checker.delete_batch([("1",)])
+        assert checker.insert_batch([("1",)]).accepted == 1
+
+    def test_empty_constraint_ignored(self):
+        from repro.baselines.dbms import DbmsConstraintChecker
+
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("1",)])
+        checker = DbmsConstraintChecker(relation, [0])
+        assert checker.n_constraints == 0

@@ -1,0 +1,109 @@
+"""Cross-validation: GORDIAN, DUCC and HCA against the oracle."""
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.baselines.ducc import Ducc, discover_ducc
+from repro.baselines.gordian import Gordian, PrefixTree, discover_gordian
+from repro.baselines.hca import discover_hca
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from tests.conftest import random_relation
+
+ALGORITHMS = {
+    "gordian": discover_gordian,
+    "ducc": discover_ducc,
+    "hca": discover_hca,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_relations(self, name, seed):
+        relation = random_relation(seed)
+        expected = discover_bruteforce(relation)
+        got = ALGORITHMS[name](relation)
+        assert sorted(got[0]) == sorted(expected[0]), name
+        assert sorted(got[1]) == sorted(expected[1]), name
+
+    def test_single_row(self, name):
+        relation = Relation.from_rows(Schema(["a", "b"]), [("x", "y")])
+        assert ALGORITHMS[name](relation) == ([0], [])
+
+    def test_identical_rows(self, name):
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [("x", "y"), ("x", "y"), ("x", "y")]
+        )
+        mucs, mnucs = ALGORITHMS[name](relation)
+        assert mucs == []
+        assert mnucs == [0b11]
+
+    def test_key_column(self, name):
+        relation = Relation.from_rows(
+            Schema(["id", "v"]), [("1", "x"), ("2", "x"), ("3", "x")]
+        )
+        mucs, mnucs = ALGORITHMS[name](relation)
+        assert sorted(mucs) == [0b01]
+        assert sorted(mnucs) == [0b10]
+
+
+class TestPrefixTree:
+    def test_insert_and_len(self):
+        tree = PrefixTree(2)
+        tree.insert(("a", "b"))
+        tree.insert(("a", "b"))
+        tree.insert(("a", "c"))
+        assert len(tree) == 3
+
+    def test_remove_decrements_and_prunes(self):
+        tree = PrefixTree(2)
+        tree.insert(("a", "b"))
+        tree.insert(("a", "b"))
+        tree.remove(("a", "b"))
+        assert len(tree) == 1
+        tree.remove(("a", "b"))
+        assert len(tree) == 0
+        assert tree.root == {}
+
+    def test_remove_missing_raises(self):
+        tree = PrefixTree(2)
+        tree.insert(("a", "b"))
+        with pytest.raises(KeyError):
+            tree.remove(("a", "z"))
+
+    def test_needs_a_column(self):
+        with pytest.raises(ValueError):
+            PrefixTree(0)
+
+
+class TestGordianSeeds:
+    def test_seeded_traversal_matches_unseeded(self):
+        for seed in range(5):
+            relation = random_relation(seed, n_columns=5, n_rows=20, domain=3)
+            gordian = Gordian.from_relation(relation)
+            plain = gordian.maximal_non_uniques()
+            seeded = gordian.maximal_non_uniques(seeds=plain)
+            assert sorted(seeded) == sorted(plain)
+
+
+class TestDuccInternals:
+    def test_known_uniques_prune_lattice(self):
+        relation = random_relation(3, n_columns=5, n_rows=25, domain=3)
+        expected = discover_bruteforce(relation)
+        ducc = Ducc(relation, known_uniques=expected[0])
+        got = ducc.run()
+        assert sorted(got[0]) == sorted(expected[0])
+        assert sorted(got[1]) == sorted(expected[1])
+
+    def test_deterministic_given_seed(self):
+        relation = random_relation(4, n_columns=5, n_rows=25, domain=3)
+        first = Ducc(relation, seed=42).run()
+        second = Ducc(relation, seed=42).run()
+        assert first == second
+
+    def test_counters_move(self):
+        relation = random_relation(5, n_columns=4, n_rows=20, domain=3)
+        ducc = Ducc(relation)
+        ducc.run()
+        assert ducc.nodes_classified > 0

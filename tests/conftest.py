@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def persons_schema() -> Schema:
+    """The schema of the paper's Table I example."""
+    return Schema(["Name", "Phone", "Age"])
+
+
+@pytest.fixture
+def persons_relation(persons_schema: Schema) -> Relation:
+    """The paper's Table I instance (without the pending insert)."""
+    return Relation.from_rows(
+        persons_schema,
+        [
+            ("Lee", "345", "20"),
+            ("Payne", "245", "30"),
+            ("Lee", "234", "30"),
+        ],
+    )
+
+
+def random_relation(
+    seed: int,
+    n_columns: int | None = None,
+    n_rows: int | None = None,
+    domain: int | None = None,
+) -> Relation:
+    """A small random relation for oracle-based comparisons."""
+    rng = random.Random(seed)
+    n_columns = n_columns if n_columns is not None else rng.randint(2, 7)
+    n_rows = n_rows if n_rows is not None else rng.randint(2, 30)
+    domain = domain if domain is not None else rng.randint(2, 5)
+    schema = Schema([f"c{index}" for index in range(n_columns)])
+    rows = [
+        tuple(str(rng.randrange(domain)) for _ in range(n_columns))
+        for _ in range(n_rows)
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def random_rows(seed: int, n_columns: int, n_rows: int, domain: int) -> list[tuple]:
+    rng = random.Random(seed)
+    return [
+        tuple(str(rng.randrange(domain)) for _ in range(n_columns))
+        for _ in range(n_rows)
+    ]

@@ -1,0 +1,118 @@
+"""Unit tests for the deletes handler (Algorithm 6)."""
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.deletes import DeletesHandler, capture_rows
+from repro.core.repository import ProfileRepository
+from repro.core.swan import SwanProfiler
+from repro.storage.pli import PositionListIndex
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+def build_handler(relation, mucs, mnucs):
+    repository = ProfileRepository(mucs, mnucs)
+    plis = {
+        column: PositionListIndex.for_column(relation, column)
+        for column in range(relation.n_columns)
+    }
+    return DeletesHandler(relation, repository, plis)
+
+
+@pytest.fixture
+def persons():
+    schema = Schema(["Name", "Phone", "Age"])
+    return Relation.from_rows(
+        schema,
+        [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+    )
+
+
+class TestHandle:
+    def test_empty_batch_is_noop(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100])
+        outcome = handler.handle({})
+        assert outcome.mucs == [0b010, 0b101]
+        assert outcome.stats.batch_size == 0
+
+    def test_delete_turning_mnucs(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100])
+        outcome = handler.handle(capture_rows(persons, [2]))
+        assert sorted(outcome.mucs) == [0b001, 0b010, 0b100]
+        assert outcome.mnucs == [0]
+        assert outcome.stats.turned_mnucs == 2
+
+    def test_unaffected_delete_short_circuits(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(
+            schema, [("x", "1"), ("x", "2"), ("y", "3"), ("z", "4")]
+        )
+        # MUCS: {b}; MNUCS: {a}
+        handler = build_handler(relation, [0b10], [0b01])
+        # tuple 3 ('z') holds a unique value in column a: deleting it
+        # cannot affect the duplicates of {a}.
+        outcome = handler.handle(capture_rows(relation, [3]))
+        assert outcome.mucs == [0b10]
+        assert outcome.mnucs == [0b01]
+        assert outcome.stats.unaffected_short_circuits == 1
+        assert outcome.stats.turned_mnucs == 0
+
+    def test_survivor_short_circuit(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(
+            schema, [("x", "1"), ("x", "2"), ("x", "3"), ("y", "4")]
+        )
+        handler = build_handler(relation, [0b10], [0b01])
+        # deleting one of three 'x' tuples leaves a surviving pair
+        outcome = handler.handle(capture_rows(relation, [0]))
+        assert outcome.mucs == [0b10]
+        assert outcome.mnucs == [0b01]
+        assert outcome.stats.survivor_short_circuits == 1
+
+    def test_delete_whole_duplicate_group(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(
+            schema, [("x", "1"), ("x", "2"), ("y", "3")]
+        )
+        handler = build_handler(relation, [0b10], [0b01])
+        outcome = handler.handle(capture_rows(relation, [0, 1]))
+        # only ('y','3') remains: with a single live tuple even the
+        # empty combination is unique, and nothing is non-unique
+        assert outcome.mucs == [0]
+        assert outcome.mnucs == []
+
+    def test_new_muc_below_old_muc_demotes_it(self):
+        """Deleting can make a subset of an old MUC unique, so the old
+        MUC stops being minimal."""
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(
+            schema, [("x", "1"), ("x", "2"), ("y", "1")]
+        )
+        # MUCS: {a,b}; MNUCS: {a}, {b}
+        handler = build_handler(relation, [0b11], [0b01, 0b10])
+        outcome = handler.handle(capture_rows(relation, [1]))
+        # rows: (x,1), (y,1): a unique, b non-unique
+        assert outcome.mucs == [0b01]
+        assert outcome.mnucs == [0b10]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_deletes(self, seed):
+        import random
+
+        rng = random.Random(100 + seed)
+        schema = Schema([f"c{i}" for i in range(4)])
+        rows = [
+            tuple(str(rng.randrange(3)) for _ in range(4))
+            for _ in range(rng.randint(4, 18))
+        ]
+        relation = Relation.from_rows(schema, rows)
+        profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+        live = list(relation.iter_ids())
+        doomed = rng.sample(live, rng.randint(1, len(live) - 2))
+        profile = profiler.handle_deletes(doomed)
+        expected_mucs, expected_mnucs = discover_bruteforce(relation)
+        assert sorted(profile.mucs) == sorted(expected_mucs)
+        assert sorted(profile.mnucs) == sorted(expected_mnucs)

@@ -1,0 +1,66 @@
+"""Unit tests for the duplicate manager and duplicate groups."""
+
+from repro.core.duplicates import DuplicateGroup, DuplicateManager, batch_rows
+
+
+class TestDuplicateManager:
+    def test_groups_by_full_projection(self):
+        old = {0: ("a", "1", "x"), 1: ("b", "2", "y")}
+        new = {10: ("a", "1", "z"), 11: ("c", "3", "w")}
+        manager = DuplicateManager(old, new)
+        groups = manager.groups_for(0b011, candidate_old_ids=[0, 1])
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.key == ("a", "1")
+        assert {tid for tid, _ in group.members} == {0, 10}
+
+    def test_partial_duplicates_dropped(self):
+        # tuple 0 agrees with the insert only on column 0, not column 1
+        old = {0: ("a", "9", "x")}
+        new = {10: ("a", "1", "z")}
+        manager = DuplicateManager(old, new)
+        assert manager.groups_for(0b011, [0]) == []
+
+    def test_intra_batch_duplicates_found_without_candidates(self):
+        new = {10: ("a", "1", "x"), 11: ("a", "1", "y")}
+        manager = DuplicateManager({}, new)
+        groups = manager.groups_for(0b011, [])
+        assert len(groups) == 1
+        assert {tid for tid, _ in groups[0].members} == {10, 11}
+
+    def test_unaffected_muc_has_no_groups(self):
+        old = {0: ("a", "1", "x")}
+        new = {10: ("b", "2", "y")}
+        manager = DuplicateManager(old, new)
+        assert manager.groups_for(0b011, [0]) == []
+
+    def test_retrieved_count(self):
+        manager = DuplicateManager({0: ("a",)}, {1: ("b",)})
+        assert manager.retrieved_count == 1
+
+
+class TestAgreeSets:
+    def test_pairwise_agree_sets(self):
+        group = DuplicateGroup(
+            ("a",),
+            [(0, ("a", "1", "x")), (10, ("a", "1", "y")), (11, ("a", "2", "x"))],
+        )
+        # pairs: (0,10) agree on cols 0,1; (0,11) agree on 0,2; (10,11) on 0
+        assert group.agree_sets() == {0b011, 0b101, 0b001}
+
+    def test_identical_rows_collapse(self):
+        group = DuplicateGroup(
+            ("a",), [(0, ("a", "1")), (10, ("a", "1")), (11, ("a", "1"))]
+        )
+        assert group.agree_sets() == {0b11}
+
+    def test_mixed_identical_and_different(self):
+        group = DuplicateGroup(
+            ("a",), [(0, ("a", "1")), (10, ("a", "1")), (11, ("a", "2"))]
+        )
+        assert group.agree_sets() == {0b11, 0b01}
+
+
+def test_batch_rows_assigns_sequential_ids():
+    rows = batch_rows([("a",), ("b",)], first_id=5)
+    assert rows == {5: ("a",), 6: ("b",)}

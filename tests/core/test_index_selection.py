@@ -1,0 +1,110 @@
+"""Unit tests for Algorithms 3 and 4 (index selection)."""
+
+from repro.core.index_selection import (
+    add_additional_index_attributes,
+    coverage_report,
+    covering_indexes,
+    select_index_attributes,
+    uncovered_part,
+)
+from repro.profiling.stats import ColumnStatistics
+
+
+def stats_for(cardinalities: list[int], rows: int) -> ColumnStatistics:
+    return ColumnStatistics(row_count=rows, cardinalities=tuple(cardinalities))
+
+
+class TestSelectIndexAttributes:
+    def test_single_muc(self):
+        assert select_index_attributes([0b011], 2) in ([0], [1])
+
+    def test_most_frequent_column_wins(self):
+        # column 0 appears in all three minimal uniques
+        mucs = [0b001, 0b011, 0b101]
+        assert select_index_attributes(mucs, 3) == [0]
+
+    def test_greedy_cover_multiple_rounds(self):
+        # paper's Section III-D example: {A,B}, {A,C}, {A,D}, {C,D}
+        mucs = [0b0011, 0b0101, 0b1001, 0b1100]
+        chosen = select_index_attributes(mucs, 4)
+        # A covers the first three; then C or D covers {C,D}
+        assert chosen[0] == 0
+        assert len(chosen) == 2
+        assert chosen[1] in (2, 3)
+
+    def test_every_muc_covered(self):
+        mucs = [0b0011, 0b1100, 0b0110]
+        chosen = select_index_attributes(mucs, 4)
+        chosen_mask = sum(1 << column for column in chosen)
+        assert all(mask & chosen_mask for mask in mucs)
+
+    def test_tie_break_prefers_ranked_column(self):
+        # both columns appear once; rank column 1 first
+        mucs = [0b001, 0b010]
+        assert select_index_attributes(mucs, 2, tie_break=[1, 0]) == [1, 0]
+
+    def test_empty_muc_ignored(self):
+        assert select_index_attributes([0], 3) == []
+
+    def test_no_mucs(self):
+        assert select_index_attributes([], 3) == []
+
+
+class TestAdditionalIndexes:
+    def test_paper_example_prefers_d_over_b(self):
+        """Section III-D: with MUCS {A,B}, {A,C}, {A,D}, {C,D} and
+        initial indexes {A, C}, the extra quota should go to D (which
+        lets T(I_C) be reduced), not B."""
+        mucs = [0b0011, 0b0101, 0b1001, 0b1100]
+        initial = [0, 2]
+        stats = stats_for([90, 50, 40, 60], 100)
+        chosen = add_additional_index_attributes(mucs, 4, initial, quota=3, stats=stats)
+        assert set(chosen) == {0, 2, 3}
+
+    def test_quota_already_spent(self):
+        mucs = [0b011]
+        stats = stats_for([10, 10], 100)
+        assert add_additional_index_attributes(mucs, 2, [0], quota=1, stats=stats) == [0]
+
+    def test_no_feasible_extension(self):
+        # covering the only singly-covered MUC costs more than the quota
+        mucs = [0b111001]  # needs 0 plus cover of {3,4,5}\{0}
+        stats = stats_for([10] * 6, 100)
+        chosen = add_additional_index_attributes(mucs, 6, [0], quota=1, stats=stats)
+        assert chosen == [0]
+
+    def test_fully_covered_mucs_need_nothing(self):
+        # every MUC contains >= 2 indexed columns already
+        mucs = [0b011]
+        stats = stats_for([10, 10], 100)
+        chosen = add_additional_index_attributes(mucs, 2, [0, 1], quota=2, stats=stats)
+        assert chosen == [0, 1]
+
+
+class TestHelpers:
+    def test_covering_indexes(self):
+        assert covering_indexes(0b1011, [0, 2, 3]) == [0, 3]
+
+    def test_uncovered_part(self):
+        assert uncovered_part(0b1011, [0, 3]) == 0b0010
+
+    def test_coverage_report(self):
+        report = coverage_report([0b011, 0b100], [0])
+        assert report["mucs"] == 2.0
+        assert report["covered"] == 1.0
+        assert report["indexed_columns"] == 1.0
+
+
+class TestSelectivityModel:
+    def test_selectivity(self):
+        stats = stats_for([100, 50], 100)
+        assert stats.selectivity(0) == 1.0
+        assert stats.selectivity(1) == 0.5
+
+    def test_combined_selectivity_union_probability(self):
+        stats = stats_for([50, 50], 100)
+        assert abs(stats.combined_selectivity([0, 1]) - 0.75) < 1e-12
+
+    def test_empty_relation(self):
+        stats = stats_for([], 0)
+        assert stats.combined_selectivity([]) == 0.0

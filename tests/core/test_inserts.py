@@ -1,0 +1,134 @@
+"""Unit tests for the inserts handler (Algorithms 1, 2, 5)."""
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.inserts import InsertsHandler, _LookupCache
+from repro.core.repository import ProfileRepository
+from repro.core.swan import SwanProfiler
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.sparse_index import sparse_index_for_relation
+from repro.storage.value_index import IndexPool
+
+
+def build_handler(relation, mucs, mnucs, indexed_columns):
+    repository = ProfileRepository(mucs, mnucs)
+    pool = IndexPool.build(relation, indexed_columns)
+    sparse = sparse_index_for_relation(relation)
+    return InsertsHandler(relation, repository, pool, sparse)
+
+
+@pytest.fixture
+def persons():
+    schema = Schema(["Name", "Phone", "Age"])
+    return Relation.from_rows(
+        schema,
+        [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+    )
+
+
+class TestHandle:
+    def test_empty_batch_is_noop(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [1])
+        outcome = handler.handle({})
+        assert outcome.mucs == [0b010, 0b101]
+        assert outcome.stats.batch_size == 0
+
+    def test_non_breaking_insert_keeps_profile(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [1, 0])
+        outcome = handler.handle({3: ("New", "999", "55")})
+        assert sorted(outcome.mucs) == [0b010, 0b101]
+        assert outcome.stats.broken_mucs == 0
+
+    def test_breaking_insert_finds_new_mucs(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [1, 0])
+        outcome = handler.handle({3: ("Payne", "245", "31")})
+        assert sorted(outcome.mucs) == [0b101, 0b110]  # {Name,Age}, {Phone,Age}
+        assert sorted(outcome.mnucs) == [0b011, 0b100]  # {Name,Phone}, {Age}
+        assert outcome.stats.broken_mucs == 1
+
+    def test_duplicate_only_within_batch(self, persons):
+        """Two identical inserts that match nothing old still break
+        every minimal unique."""
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [1, 0])
+        outcome = handler.handle({3: ("A", "9", "9"), 4: ("A", "9", "9")})
+        # the two fresh tuples are fully identical: nothing is unique
+        assert outcome.mucs == []
+        assert outcome.mnucs == [0b111]
+
+    def test_partial_index_cover_is_exact(self, persons):
+        """Only column Phone indexed: the MUC {Name, Age} has no index
+        and must fall back; {Phone} uses the index; result stays
+        correct."""
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [1])
+        outcome = handler.handle({3: ("Payne", "245", "31")})
+        assert sorted(outcome.mucs) == [0b101, 0b110]
+        assert outcome.stats.fallback_scans == 1
+
+    def test_no_indexes_at_all_fallback(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [])
+        outcome = handler.handle({3: ("Payne", "245", "31")})
+        assert sorted(outcome.mucs) == [0b101, 0b110]
+        assert outcome.stats.fallback_scans == 2
+
+    def test_stats_count_retrievals(self, persons):
+        handler = build_handler(persons, [0b010, 0b101], [0b001, 0b100], [0, 1, 2])
+        outcome = handler.handle({3: ("Payne", "245", "31")})
+        assert outcome.stats.tuples_retrieved >= 1
+        assert outcome.stats.index_lookups >= 2
+
+
+class TestLookupCache:
+    def test_largest_subset_selection(self):
+        cache = _LookupCache()
+        cache.store(0b001, {1: frozenset({5})})
+        cache.store(0b011, {1: frozenset({5})})
+        key, entry = cache.largest_subset(0b111)
+        assert key == 0b011
+        assert entry == {1: frozenset({5})}
+
+    def test_no_subset(self):
+        cache = _LookupCache()
+        cache.store(0b100, {})
+        key, entry = cache.largest_subset(0b011)
+        assert key == 0 and entry is None
+
+    def test_cache_hit_short_circuits_empty(self):
+        """An empty cached result for a column subset answers every
+        other minimal unique containing those columns."""
+        schema = Schema(["Name", "Phone", "Age"])
+        relation = Relation.from_rows(
+            schema, [("A", "1", "10"), ("B", "1", "20"), ("B", "2", "20")]
+        )
+        # MUCS {Name,Phone}, {Phone,Age} share the indexed Phone column.
+        handler = build_handler(relation, [0b011, 0b110], [0b101], [1])
+        outcome = handler.handle({3: ("X", "777", "31")})
+        # Phone probed once; the cached empty result answers the second
+        # minimal unique without another look-up round.
+        assert outcome.stats.index_lookups == 1
+        assert outcome.stats.cache_hits >= 1
+        assert sorted(outcome.mucs) == [0b011, 0b110]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_batches(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        schema = Schema([f"c{i}" for i in range(4)])
+        rows = [
+            tuple(str(rng.randrange(3)) for _ in range(4))
+            for _ in range(rng.randint(3, 15))
+        ]
+        relation = Relation.from_rows(schema, rows)
+        profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+        batch = [
+            tuple(str(rng.randrange(3)) for _ in range(4))
+            for _ in range(rng.randint(1, 5))
+        ]
+        profile = profiler.handle_inserts(batch)
+        expected_mucs, expected_mnucs = discover_bruteforce(relation)
+        assert sorted(profile.mucs) == sorted(expected_mucs)
+        assert sorted(profile.mnucs) == sorted(expected_mnucs)

@@ -1,0 +1,59 @@
+"""Unit tests for the unique-constraint monitor."""
+
+import pytest
+
+from repro.core.monitor import EventKind, UniqueConstraintMonitor
+from repro.core.swan import SwanProfiler
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def monitor():
+    schema = Schema(["Name", "Phone", "Age"])
+    relation = Relation.from_rows(
+        schema,
+        [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+    )
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    return UniqueConstraintMonitor(profiler)
+
+
+class TestWatching:
+    def test_key_broken_event(self, monitor):
+        monitor.watch(["Phone"])
+        events = monitor.apply_inserts([("Payne", "245", "31")])
+        kinds = [event.kind for event in events]
+        assert EventKind.KEY_BROKEN in kinds
+        assert EventKind.PROFILE_CHANGED in kinds
+
+    def test_key_restored_event(self, monitor):
+        monitor.watch(["Name"], label="name key")
+        # Name is initially non-unique; deleting tuple 2 restores it.
+        events = monitor.apply_deletes([2])
+        restored = [e for e in events if e.kind is EventKind.KEY_RESTORED]
+        assert len(restored) == 1
+        assert restored[0].label == "name key"
+
+    def test_quiet_batch_emits_nothing_for_keys(self, monitor):
+        monitor.watch(["Phone"])
+        events = monitor.apply_inserts([("New", "999", "77")])
+        assert all(event.kind is not EventKind.KEY_BROKEN for event in events)
+
+    def test_history_accumulates(self, monitor):
+        monitor.watch(["Phone"])
+        monitor.apply_inserts([("Payne", "245", "31")])
+        monitor.apply_deletes([2])
+        assert len(monitor.history) >= 2
+        assert monitor.history[0].batch_number == 1
+
+    def test_watch_by_index_and_labels(self, monitor):
+        monitor.watch([1])
+        assert monitor.watched_labels() == ["{Phone}"]
+
+    def test_event_str(self, monitor):
+        monitor.watch(["Phone"])
+        events = monitor.apply_inserts([("Payne", "245", "31")])
+        text = str(events[0])
+        assert "batch 1" in text
+        assert "key_broken" in text

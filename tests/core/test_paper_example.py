@@ -1,0 +1,76 @@
+"""The paper's running example (Table I), reproduced exactly.
+
+Section I walks the Persons relation through one insert and one delete;
+these tests assert SWAN (and all static engines) produce precisely the
+combinations the paper names.
+"""
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.profiling.discovery import available_algorithms, discover
+
+
+def names(schema, masks):
+    return {schema.combination(mask).names for mask in masks}
+
+
+class TestStaticProfile:
+    @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+    def test_initial_profile(self, persons_relation, algorithm):
+        mucs, mnucs = discover(persons_relation, algorithm)
+        schema = persons_relation.schema
+        assert names(schema, mucs) == {("Phone",), ("Name", "Age")}
+        assert names(schema, mnucs) == {("Name",), ("Age",)}
+
+
+class TestInsertCase:
+    def test_insert_payne(self, persons_relation):
+        """Case (1): inserting (Payne, 245, 31) breaks {Phone}; the new
+        minimal unique is {Age, Phone} and {Name, Phone} becomes a
+        maximal non-unique subsuming {Name}."""
+        profiler = SwanProfiler.profile(persons_relation, algorithm="bruteforce")
+        profile = profiler.handle_inserts([("Payne", "245", "31")])
+        schema = persons_relation.schema
+        assert names(schema, profile.mucs) == {("Name", "Age"), ("Phone", "Age")}
+        assert names(schema, profile.mnucs) == {("Age",), ("Name", "Phone")}
+
+    def test_insert_stats_report_broken_muc(self, persons_relation):
+        profiler = SwanProfiler.profile(persons_relation, algorithm="bruteforce")
+        profiler.handle_inserts([("Payne", "245", "31")])
+        stats = profiler.last_insert_stats
+        assert stats.batch_size == 1
+        assert stats.broken_mucs == 1
+        assert stats.duplicate_groups >= 1
+
+
+class TestDeleteCase:
+    def test_delete_first_lee(self, persons_relation):
+        """Case (2): deleting (Lee, 234, 30) from the original relation
+        turns the maximal non-uniques {Name} and {Age} into uniques, so
+        every single column is a minimal unique."""
+        profiler = SwanProfiler.profile(persons_relation, algorithm="bruteforce")
+        profile = profiler.handle_deletes([2])
+        schema = persons_relation.schema
+        assert names(schema, profile.mucs) == {("Name",), ("Phone",), ("Age",)}
+        # with all singles unique, only the empty combination is non-unique
+        assert names(schema, profile.mnucs) == {()}
+
+    def test_insert_then_delete_sequence(self, persons_relation):
+        """The full narrative: insert (Payne, 245, 31), then delete the
+        original (Lee, 234, 30)."""
+        profiler = SwanProfiler.profile(persons_relation, algorithm="bruteforce")
+        profiler.handle_inserts([("Payne", "245", "31")])
+        profile = profiler.handle_deletes([2])
+        schema = persons_relation.schema
+        # remaining: (Lee,345,20), (Payne,245,30), (Payne,245,31)
+        assert names(schema, profile.mucs) == {("Age",)}
+        assert names(schema, profile.mnucs) == {("Name", "Phone")}
+
+    def test_delete_stats(self, persons_relation):
+        profiler = SwanProfiler.profile(persons_relation, algorithm="bruteforce")
+        profiler.handle_deletes([2])
+        stats = profiler.last_delete_stats
+        assert stats.batch_size == 1
+        assert stats.mnucs_checked == 2
+        assert stats.turned_mnucs == 2

@@ -1,0 +1,63 @@
+"""Unit tests for the dry-run preview APIs."""
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.errors import ProfileStateError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def profiler():
+    schema = Schema(["Name", "Phone", "Age"])
+    relation = Relation.from_rows(
+        schema,
+        [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+    )
+    return SwanProfiler.profile(relation, algorithm="bruteforce")
+
+
+class TestPreviewInserts:
+    def test_preview_matches_handle(self, profiler):
+        batch = [("Payne", "245", "31")]
+        previewed = profiler.preview_inserts(batch)
+        assert previewed == profiler.handle_inserts(batch)
+
+    def test_preview_commits_nothing(self, profiler):
+        before = profiler.snapshot()
+        rows_before = len(profiler.relation)
+        profiler.preview_inserts([("Payne", "245", "31")])
+        assert profiler.snapshot() == before
+        assert len(profiler.relation) == rows_before
+        # indexes untouched: a later real insert still detects the dup
+        profile = profiler.handle_inserts([("Payne", "245", "31")])
+        assert 0b010 not in profile.mucs  # {Phone} broken exactly once
+
+    def test_preview_then_different_batch(self, profiler):
+        profiler.preview_inserts([("X", "999", "1")])
+        profile = profiler.handle_inserts([("Payne", "245", "31")])
+        names = {
+            profiler.relation.schema.combination(mask).names
+            for mask in profile.mucs
+        }
+        assert names == {("Name", "Age"), ("Phone", "Age")}
+
+
+class TestPreviewDeletes:
+    def test_preview_matches_handle(self, profiler):
+        previewed = profiler.preview_deletes([2])
+        assert previewed == profiler.handle_deletes([2])
+
+    def test_preview_commits_nothing(self, profiler):
+        before = profiler.snapshot()
+        profiler.preview_deletes([2])
+        assert profiler.snapshot() == before
+        assert profiler.relation.is_live(2)
+
+    def test_requires_plis(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("1",), ("2",)])
+        profiler = SwanProfiler(relation, [0b1], [0], maintain_plis=False)
+        with pytest.raises(ProfileStateError):
+            profiler.preview_deletes([0])

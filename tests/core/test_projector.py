@@ -1,0 +1,23 @@
+"""Unit tests for the C-speed projection helper."""
+
+from repro.core.duplicates import projector
+
+
+class TestProjector:
+    def test_empty(self):
+        assert projector(())(("a", "b")) == ()
+
+    def test_single_index_returns_tuple(self):
+        assert projector((1,))(("a", "b", "c")) == ("b",)
+
+    def test_multi_index(self):
+        assert projector((0, 2))(("a", "b", "c")) == ("a", "c")
+
+    def test_order_preserved(self):
+        assert projector((2, 0))(("a", "b", "c")) == ("c", "a")
+
+    def test_keys_are_hashable(self):
+        bucket = {}
+        project = projector((0, 1))
+        bucket[project(("x", "y", "z"))] = 1
+        assert bucket[("x", "y")] == 1

@@ -1,0 +1,60 @@
+"""Unit tests for the profile repository."""
+
+import pytest
+
+from repro.core.repository import Profile, ProfileRepository
+from repro.errors import InconsistentProfileError
+from repro.storage.schema import Schema
+
+
+class TestProfile:
+    def test_from_masks_canonical_order(self):
+        profile = Profile.from_masks([0b110, 0b001], [0b010])
+        assert profile.mucs == (0b001, 0b110)
+        assert profile.mnucs == (0b010,)
+
+    def test_named_views(self):
+        schema = Schema(["a", "b", "c"])
+        profile = Profile.from_masks([0b001], [0b110])
+        mucs, mnucs = profile.named(schema)
+        assert [combo.names for combo in mucs] == [("a",)]
+        assert [combo.names for combo in mnucs] == [("b", "c")]
+
+    def test_str(self):
+        profile = Profile.from_masks([0b1], [])
+        assert "MUCS|=1" in str(profile)
+
+
+class TestRepository:
+    def test_basic_queries(self):
+        repo = ProfileRepository([0b001, 0b110], [0b010, 0b100])
+        assert repo.is_unique(0b001)
+        assert repo.is_unique(0b011)
+        assert not repo.is_unique(0b010)
+        assert repo.is_non_unique(0b010)
+        assert repo.is_non_unique(0)
+        assert not repo.is_non_unique(0b011)
+
+    def test_rejects_non_antichain_mucs(self):
+        with pytest.raises(InconsistentProfileError):
+            ProfileRepository([0b001, 0b011], [])
+
+    def test_rejects_non_antichain_mnucs(self):
+        with pytest.raises(InconsistentProfileError):
+            ProfileRepository([], [0b001, 0b011])
+
+    def test_rejects_muc_inside_mnuc(self):
+        with pytest.raises(InconsistentProfileError):
+            ProfileRepository([0b001], [0b011])
+
+    def test_replace_swaps_profile(self):
+        repo = ProfileRepository([0b001], [0b110])
+        repo.replace([0b010], [0b101])
+        assert repo.mucs == [0b010]
+        assert repo.mnucs == [0b101]
+
+    def test_snapshot_is_immutable_view(self):
+        repo = ProfileRepository([0b001], [0b110])
+        snapshot = repo.snapshot()
+        repo.replace([0b010], [0b101])
+        assert snapshot.mucs == (0b001,)

@@ -1,0 +1,150 @@
+"""Unit tests for the SwanProfiler facade."""
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.errors import ProfileStateError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def persons():
+    schema = Schema(["Name", "Phone", "Age"])
+    return Relation.from_rows(
+        schema,
+        [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+    )
+
+
+class TestBootstrap:
+    def test_profile_with_algorithm_name(self, persons):
+        profiler = SwanProfiler.profile(persons, algorithm="gordian")
+        assert {combo.names for combo in profiler.minimal_uniques()} == {
+            ("Phone",),
+            ("Name", "Age"),
+        }
+
+    def test_profile_with_callable(self, persons):
+        from repro.baselines.bruteforce import discover_bruteforce
+
+        profiler = SwanProfiler.profile(persons, algorithm=discover_bruteforce)
+        assert len(profiler.minimal_uniques()) == 2
+
+    def test_explicit_profile(self, persons):
+        profiler = SwanProfiler(persons, [0b010, 0b101], [0b001, 0b100])
+        assert profiler.is_unique(["Phone"])
+        assert not profiler.is_unique(["Name"])
+        assert profiler.is_unique(["Name", "Age"])
+
+    def test_index_columns_override(self, persons):
+        profiler = SwanProfiler(
+            persons, [0b010, 0b101], [0b001, 0b100], index_columns=[0, 1, 2]
+        )
+        assert profiler.indexed_columns == {0, 1, 2}
+
+    def test_default_indexes_cover_all_mucs(self, persons):
+        profiler = SwanProfiler(persons, [0b010, 0b101], [0b001, 0b100])
+        indexed = profiler.indexed_columns
+        for mask in (0b010, 0b101):
+            assert any(mask >> column & 1 for column in indexed)
+
+
+class TestInsertOnlyMode:
+    def test_deletes_rejected_without_plis(self, persons):
+        profiler = SwanProfiler(
+            persons, [0b010, 0b101], [0b001, 0b100], maintain_plis=False
+        )
+        profiler.handle_inserts([("New", "1", "2")])
+        with pytest.raises(ProfileStateError):
+            profiler.handle_deletes([0])
+
+
+class TestIndexMaintenance:
+    def test_inserts_update_indexes(self, persons):
+        profiler = SwanProfiler(persons, [0b010, 0b101], [0b001, 0b100])
+        profiler.handle_inserts([("Kim", "111", "40")])
+        # a second batch duplicating the first must see it via indexes
+        profile = profiler.handle_inserts([("Kim", "111", "40")])
+        assert not profiler.is_unique(["Phone"])
+        assert 0b010 not in profile.mucs
+
+    def test_delete_triggers_cover_extension(self):
+        """After deletes create a brand-new single-column MUC outside
+        the current cover, the facade must index it."""
+        schema = Schema(["a", "b", "c"])
+        relation = Relation.from_rows(
+            schema,
+            [("x", "1", "p"), ("x", "2", "p"), ("y", "3", "q"), ("z", "3", "q")],
+        )
+        profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+        # delete to make column a unique (it was non-unique)
+        profiler.handle_deletes([1])
+        for mask in profiler.snapshot().mucs:
+            assert any(mask >> column & 1 for column in profiler.indexed_columns)
+
+    def test_mixed_workload_stays_exact(self, persons):
+        from repro.baselines.bruteforce import discover_bruteforce
+
+        profiler = SwanProfiler.profile(persons, algorithm="bruteforce")
+        profiler.handle_inserts([("Payne", "245", "31"), ("Zed", "000", "99")])
+        profiler.handle_deletes([1, 3])
+        profiler.handle_inserts([("Lee", "345", "20")])
+        expected = discover_bruteforce(persons)
+        snapshot = profiler.snapshot()
+        assert list(snapshot.mucs) == sorted(expected[0])
+        assert list(snapshot.mnucs) == sorted(expected[1])
+
+
+class TestBatchValidation:
+    def test_malformed_batch_rejected_atomically(self, persons):
+        from repro.errors import ArityError
+
+        profiler = SwanProfiler.profile(persons, algorithm="bruteforce")
+        before = profiler.snapshot()
+        rows_before = len(profiler.relation)
+        with pytest.raises(ArityError, match="batch row 1"):
+            profiler.handle_inserts([("A", "1", "2"), ("short",)])
+        # nothing was applied: relation, profile and indexes untouched
+        assert len(profiler.relation) == rows_before
+        assert profiler.snapshot() == before
+        profile = profiler.handle_inserts([("Payne", "245", "31")])
+        assert 0b010 not in profile.mucs  # behaves as from a clean state
+
+
+class TestApproximationDegree:
+    def test_degree_of_unique_and_dirty_keys(self, persons):
+        profiler = SwanProfiler.profile(persons, algorithm="bruteforce")
+        assert profiler.approximation_degree(["Phone"]) == 0
+        assert profiler.approximation_degree(["Name"]) == 1  # Lee twice
+
+    def test_degree_tracks_incremental_changes(self, persons):
+        profiler = SwanProfiler.profile(persons, algorithm="bruteforce")
+        profiler.handle_inserts([("Payne", "245", "31")])
+        assert profiler.approximation_degree(["Phone"]) == 1
+        profiler.handle_deletes([1])
+        assert profiler.approximation_degree(["Phone"]) == 0
+
+    def test_requires_plis(self, persons):
+        profiler = SwanProfiler(
+            persons, [0b010, 0b101], [0b001, 0b100], maintain_plis=False
+        )
+        with pytest.raises(ProfileStateError):
+            profiler.approximation_degree(["Phone"])
+
+
+class TestIntrospection:
+    def test_snapshot_and_named_views(self, persons):
+        profiler = SwanProfiler(persons, [0b010, 0b101], [0b001, 0b100])
+        snapshot = profiler.snapshot()
+        assert snapshot.mucs == (0b010, 0b101)
+        assert [c.names for c in profiler.maximal_non_uniques()] == [
+            ("Name",),
+            ("Age",),
+        ]
+
+    def test_repr(self, persons):
+        profiler = SwanProfiler(persons, [0b010, 0b101], [0b001, 0b100])
+        text = repr(profiler)
+        assert "rows=3" in text
+        assert "MUCS|=2" in text

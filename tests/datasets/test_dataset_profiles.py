@@ -1,0 +1,117 @@
+"""Profile-shape tests for the NCVoter / Uniprot / TPC-H stand-ins."""
+
+import pytest
+
+from repro.datasets.ncvoter import ncvoter_relation, ncvoter_specs
+from repro.datasets.tpch import LINEITEM_COLUMNS, lineitem_relation
+from repro.datasets.uniprot import uniprot_relation, uniprot_specs
+
+
+class TestNcvoter:
+    def test_column_counts(self):
+        assert len(ncvoter_specs(94)) == 94
+        assert len(ncvoter_specs(40)) == 40
+        with pytest.raises(ValueError):
+            ncvoter_specs(95)
+
+    def test_unique_names(self):
+        names = [spec.name for spec in ncvoter_specs(94)]
+        assert len(set(names)) == 94
+
+    def test_no_single_column_key(self):
+        relation = ncvoter_relation(1000, 40, seed=0)
+        assert all(
+            relation.cardinality(column) < len(relation)
+            for column in range(relation.n_columns)
+        )
+
+    def test_deterministic(self):
+        one = ncvoter_relation(200, 10, seed=5)
+        two = ncvoter_relation(200, 10, seed=5)
+        assert list(one.iter_rows()) == list(two.iter_rows())
+
+    def test_functional_dependency_county_desc(self):
+        relation = ncvoter_relation(500, 40, seed=0)
+        county = relation.schema.index_of("county_id")
+        desc = relation.schema.index_of("county_desc")
+        mapping = {}
+        for row in relation.iter_rows():
+            assert mapping.setdefault(row[county], row[desc]) == row[desc]
+
+    def test_dominated_flag_column(self):
+        relation = ncvoter_relation(1000, 40, seed=0)
+        column = relation.schema.index_of("absent_ind")
+        values = [row[column] for row in relation.iter_rows()]
+        top = max(values.count(value) for value in set(values))
+        assert top > 900
+
+
+class TestUniprot:
+    def test_column_counts(self):
+        assert len(uniprot_specs(223)) == 223
+        names = [spec.name for spec in uniprot_specs(223)]
+        assert len(set(names)) == 223
+
+    def test_duplicate_heavy_regime(self):
+        """Uniprot must be more duplicate-dense than NCVoter: lower
+        mean column selectivity over the first 40 columns."""
+        uniprot = uniprot_relation(1000, 40, seed=0)
+        ncvoter = ncvoter_relation(1000, 40, seed=0)
+
+        def mean_selectivity(relation):
+            return sum(
+                relation.cardinality(column) / len(relation)
+                for column in range(relation.n_columns)
+            ) / relation.n_columns
+
+        assert mean_selectivity(uniprot) < mean_selectivity(ncvoter)
+
+    def test_entry_name_depends_on_accession(self):
+        relation = uniprot_relation(300, 5, seed=0)
+        accession = relation.schema.index_of("accession")
+        entry = relation.schema.index_of("entry_name")
+        mapping = {}
+        for row in relation.iter_rows():
+            assert mapping.setdefault(row[accession], row[entry]) == row[entry]
+
+
+class TestTpch:
+    def test_schema(self):
+        relation = lineitem_relation(100)
+        assert relation.schema.names == tuple(LINEITEM_COLUMNS)
+        assert len(relation) == 100
+
+    def test_orderkey_linenumber_is_key(self):
+        relation = lineitem_relation(2000, seed=3)
+        mask = relation.schema.mask(["l_orderkey", "l_linenumber"])
+        assert not relation.duplicate_exists(mask)
+
+    def test_orderkey_alone_is_not_key(self):
+        relation = lineitem_relation(2000, seed=3)
+        mask = relation.schema.mask(["l_orderkey"])
+        assert relation.duplicate_exists(mask)
+
+    def test_linenumbers_within_range(self):
+        relation = lineitem_relation(500, seed=1)
+        column = relation.schema.index_of("l_linenumber")
+        values = {int(row[column]) for row in relation.iter_rows()}
+        assert values <= set(range(1, 8))
+
+    def test_returnflag_consistent_with_shipdate(self):
+        relation = lineitem_relation(500, seed=2)
+        flag_col = relation.schema.index_of("l_returnflag")
+        date_col = relation.schema.index_of("l_shipdate")
+        for row in relation.iter_rows():
+            if row[date_col] > "1995-06-17":
+                assert row[flag_col] == "N"
+
+    def test_column_prefix(self):
+        relation = lineitem_relation(100, n_columns=4, seed=0)
+        assert relation.n_columns == 4
+        with pytest.raises(ValueError):
+            lineitem_relation(10, n_columns=17)
+
+    def test_deterministic(self):
+        one = lineitem_relation(150, seed=9)
+        two = lineitem_relation(150, seed=9)
+        assert list(one.iter_rows()) == list(two.iter_rows())

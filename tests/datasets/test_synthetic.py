@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic dataset generator."""
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import (
+    ColumnSpec,
+    ZipfSampler,
+    derive_column,
+    generate_column,
+    generate_relation,
+)
+
+
+class TestColumnSpec:
+    def test_fractional_cardinality(self):
+        spec = ColumnSpec("c", 0.5)
+        assert spec.resolved_cardinality(100) == 50
+
+    def test_absolute_cardinality(self):
+        spec = ColumnSpec("c", 30)
+        assert spec.resolved_cardinality(100) == 30
+
+    def test_cardinality_capped_by_rows(self):
+        spec = ColumnSpec("c", 500)
+        assert spec.resolved_cardinality(100) == 100
+
+    def test_minimum_one(self):
+        spec = ColumnSpec("c", 0.0001)
+        assert spec.resolved_cardinality(100) == 1
+
+
+class TestZipfSampler:
+    def test_head_heavier_than_tail(self):
+        rng = random.Random(0)
+        sampler = ZipfSampler(50, skew=1.2)
+        draws = [sampler.sample(rng) for _ in range(5000)]
+        head = sum(1 for draw in draws if draw == 0)
+        tail = sum(1 for draw in draws if draw == 49)
+        assert head > tail * 3
+
+    def test_all_indices_in_range(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(10, skew=1.0)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(1000))
+
+
+class TestGenerateColumn:
+    def test_exact_cardinality(self):
+        spec = ColumnSpec("c", 20, skew=1.0)
+        cells = generate_column(spec, 500, random.Random(0), "v_")
+        assert len(cells) == 500
+        assert len(set(cells)) == 20
+
+    def test_dominant_fraction(self):
+        spec = ColumnSpec("c", 10, skew=0.5, dominant=0.9)
+        cells = generate_column(spec, 2000, random.Random(0), "v_")
+        top = max(cells.count(value) for value in set(cells))
+        assert top > 1600
+
+    def test_uniform_when_skew_zero(self):
+        spec = ColumnSpec("c", 4, skew=0.0)
+        cells = generate_column(spec, 4000, random.Random(0), "v_")
+        counts = sorted(cells.count(f"v_{i}") for i in range(4))
+        assert counts[0] > 700  # roughly uniform
+
+
+class TestDeriveColumn:
+    def test_functional_dependency_holds(self):
+        parent = [f"p{i % 7}" for i in range(100)]
+        spec = ColumnSpec("child", 3, derived_from="parent")
+        child = derive_column(spec, parent, 100, "c_")
+        mapping = {}
+        for parent_value, child_value in zip(parent, child):
+            assert mapping.setdefault(parent_value, child_value) == child_value
+
+    def test_cardinality_bounded(self):
+        parent = [f"p{i % 50}" for i in range(200)]
+        spec = ColumnSpec("child", 5, derived_from="parent")
+        child = derive_column(spec, parent, 200, "c_")
+        assert len(set(child)) <= 5
+
+    def test_dominant_folds_to_first_value(self):
+        parent = [f"p{i}" for i in range(1000)]
+        spec = ColumnSpec("child", 100, derived_from="parent", dominant=0.95)
+        child = derive_column(spec, parent, 1000, "c_")
+        assert child.count("c_0") > 850
+
+
+class TestGenerateRelation:
+    def test_deterministic(self):
+        specs = [ColumnSpec("a", 0.5), ColumnSpec("b", 5)]
+        one = generate_relation(specs, 50, seed=3)
+        two = generate_relation(specs, 50, seed=3)
+        assert list(one.iter_rows()) == list(two.iter_rows())
+
+    def test_different_seeds_differ(self):
+        specs = [ColumnSpec("a", 0.9)]
+        one = generate_relation(specs, 50, seed=1)
+        two = generate_relation(specs, 50, seed=2)
+        assert list(one.iter_rows()) != list(two.iter_rows())
+
+    def test_derived_requires_preceding_parent(self):
+        specs = [ColumnSpec("child", 3, derived_from="parent")]
+        with pytest.raises(ValueError, match="does not precede"):
+            generate_relation(specs, 10)
+
+    def test_schema_names(self):
+        specs = [ColumnSpec("a", 2), ColumnSpec("b", 2, derived_from="a")]
+        relation = generate_relation(specs, 10)
+        assert relation.schema.names == ("a", "b")
+        assert len(relation) == 10

@@ -1,0 +1,73 @@
+"""Tests for the consistent (lineitem, orders) TPC-H pair."""
+
+import pytest
+
+from repro.datasets.tpch import ORDERS_COLUMNS, tpch_tables
+from repro.ind.unary import (
+    discover_unary_inds,
+    foreign_key_candidates,
+    rank_foreign_keys,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return tpch_tables(600, seed=4)
+
+
+class TestOrders:
+    def test_schema(self, tables):
+        __, orders = tables
+        assert orders.schema.names == tuple(ORDERS_COLUMNS)
+
+    def test_orderkey_is_key(self, tables):
+        __, orders = tables
+        assert not orders.duplicate_exists(orders.schema.mask(["o_orderkey"]))
+
+    def test_one_order_per_lineitem_orderkey(self, tables):
+        lineitem, orders = tables
+        lineitem_keys = {
+            value for _, value in lineitem.column_values(
+                lineitem.schema.index_of("l_orderkey")
+            )
+        }
+        order_keys = {
+            value for _, value in orders.column_values(
+                orders.schema.index_of("o_orderkey")
+            )
+        }
+        assert lineitem_keys == order_keys
+
+    def test_orderdate_precedes_shipdate(self, tables):
+        lineitem, orders = tables
+        order_date = {
+            row[0]: row[4] for row in orders.iter_rows()
+        }
+        ship_col = lineitem.schema.index_of("l_shipdate")
+        key_col = lineitem.schema.index_of("l_orderkey")
+        for row in lineitem.iter_rows():
+            assert order_date[row[key_col]] < row[ship_col]
+
+    def test_deterministic(self):
+        first = tpch_tables(200, seed=9)
+        second = tpch_tables(200, seed=9)
+        assert list(first[1].iter_rows()) == list(second[1].iter_rows())
+
+
+class TestForeignKeyDiscovery:
+    def test_referential_integrity_discovered(self, tables):
+        lineitem, orders = tables
+        inds = discover_unary_inds(lineitem, orders)
+        key_col = lineitem.schema.index_of("l_orderkey")
+        order_col = orders.schema.index_of("o_orderkey")
+        assert any(
+            ind.lhs == key_col and ind.rhs == order_col for ind in inds
+        )
+
+    def test_true_fk_ranks_first(self, tables):
+        lineitem, orders = tables
+        candidates = foreign_key_candidates(lineitem, orders)
+        ranked = rank_foreign_keys(lineitem, orders, candidates)
+        best, coverage = ranked[0]
+        assert lineitem.schema.names[best.lhs] == "l_orderkey"
+        assert coverage == 1.0

@@ -1,0 +1,80 @@
+"""Unit tests for workload builders."""
+
+import pytest
+
+from repro.datasets.workload import (
+    delete_batch_ids,
+    interleaved_workload,
+    split_initial_and_inserts,
+)
+from repro.errors import WorkloadError
+from tests.conftest import random_relation
+
+
+class TestSplitInitialAndInserts:
+    def test_sizes(self):
+        relation = random_relation(0, n_columns=3, n_rows=100, domain=5)
+        workload = split_initial_and_inserts(relation, 50, [0.1, 0.2], seed=1)
+        assert len(workload.initial) == 50
+        assert [len(batch) for batch in workload.insert_batches] == [5, 10]
+        assert workload.n_inserts == 15
+
+    def test_batches_disjoint_from_initial(self):
+        relation = random_relation(1, n_columns=2, n_rows=60, domain=50)
+        workload = split_initial_and_inserts(relation, 30, [0.5], seed=2)
+        combined = list(workload.initial.iter_rows()) + list(
+            workload.insert_batches[0]
+        )
+        original = sorted(relation.iter_rows())
+        assert sorted(combined) == sorted(original[: len(combined)]) or len(
+            combined
+        ) == 45
+
+    def test_deterministic(self):
+        relation = random_relation(2, n_columns=3, n_rows=80, domain=5)
+        one = split_initial_and_inserts(relation, 40, [0.2], seed=9)
+        two = split_initial_and_inserts(relation, 40, [0.2], seed=9)
+        assert list(one.initial.iter_rows()) == list(two.initial.iter_rows())
+        assert one.insert_batches == two.insert_batches
+
+    def test_insufficient_rows_rejected(self):
+        relation = random_relation(3, n_columns=2, n_rows=20, domain=5)
+        with pytest.raises(WorkloadError):
+            split_initial_and_inserts(relation, 18, [0.5])
+
+
+class TestDeleteBatchIds:
+    def test_fraction_of_live_rows(self):
+        relation = random_relation(4, n_columns=2, n_rows=100, domain=5)
+        doomed = delete_batch_ids(relation, 0.1, seed=0)
+        assert len(doomed) == 10
+        assert all(relation.is_live(tuple_id) for tuple_id in doomed)
+        assert doomed == sorted(doomed)
+
+    def test_respects_tombstones(self):
+        relation = random_relation(5, n_columns=2, n_rows=50, domain=5)
+        relation.delete_many(range(25))
+        doomed = delete_batch_ids(relation, 0.2, seed=0)
+        assert len(doomed) == 5
+        assert all(tuple_id >= 25 for tuple_id in doomed)
+
+    def test_invalid_fraction(self):
+        relation = random_relation(6, n_columns=2, n_rows=10, domain=5)
+        with pytest.raises(WorkloadError):
+            delete_batch_ids(relation, 1.5)
+
+
+class TestInterleavedWorkload:
+    def test_script_shape(self):
+        relation = random_relation(7, n_columns=3, n_rows=100, domain=5)
+        initial, operations = interleaved_workload(
+            relation, 40, n_operations=10, seed=3
+        )
+        assert len(initial) == 40
+        assert len(operations) == 10
+        assert all(kind in ("insert", "delete") for kind, _ in operations)
+
+    def test_initial_too_large(self):
+        relation = random_relation(8, n_columns=2, n_rows=10, domain=5)
+        with pytest.raises(WorkloadError):
+            interleaved_workload(relation, 20, n_operations=1)

@@ -1,0 +1,57 @@
+"""FD discovery against the dataset generators' planted dependencies."""
+
+import pytest
+
+from repro.fd.tane import FunctionalDependency, discover_fds
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.tpch import lineitem_relation
+from repro.datasets.uniprot import uniprot_relation
+
+
+class TestPlantedDependencies:
+    def test_ncvoter_geography_chain(self):
+        relation = ncvoter_relation(500, n_columns=12, seed=2)
+        schema = relation.schema
+        fds = discover_fds(relation, max_lhs=1)
+        found = {(fd.lhs, fd.rhs) for fd in fds}
+        zip_col = schema.index_of("zip_code")
+        city = schema.index_of("res_city_desc")
+        county = schema.index_of("county_id")
+        assert (1 << zip_col, city) in found
+        assert (1 << zip_col, county) in found
+
+    def test_uniprot_entry_name_from_accession(self):
+        relation = uniprot_relation(400, n_columns=6, seed=2)
+        schema = relation.schema
+        fds = discover_fds(relation, max_lhs=1)
+        accession = schema.index_of("accession")
+        entry = schema.index_of("entry_name")
+        assert FunctionalDependency(1 << accession, entry) in fds
+
+    def test_tpch_constant_derivations(self):
+        """l_extendedprice is a function of quantity and part key."""
+        relation = lineitem_relation(600, seed=2)
+        schema = relation.schema
+        lhs = schema.mask(["l_quantity", "l_partkey"])
+        from repro.fd.tane import holds
+
+        assert holds(relation, lhs, schema.index_of("l_extendedprice"))
+
+    def test_keys_determine_everything(self):
+        relation = lineitem_relation(400, seed=3)
+        schema = relation.schema
+        key = schema.mask(["l_orderkey", "l_linenumber"])
+        from repro.fd.tane import holds
+
+        for rhs in range(relation.n_columns):
+            if not key >> rhs & 1:
+                assert holds(relation, key, rhs)
+
+
+class TestCapBehaviour:
+    @pytest.mark.parametrize("cap", [0, 1, 2])
+    def test_caps_nest(self, cap):
+        relation = ncvoter_relation(300, n_columns=8, seed=5)
+        capped = set(discover_fds(relation, max_lhs=cap))
+        wider = set(discover_fds(relation, max_lhs=cap + 1))
+        assert capped <= wider

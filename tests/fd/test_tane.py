@@ -1,0 +1,120 @@
+"""Unit and oracle tests for FD discovery."""
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.fd.oracle import discover_fds_bruteforce
+from repro.fd.tane import FunctionalDependency, discover_fds, holds
+from repro.lattice.combination import is_subset
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from tests.conftest import random_relation
+
+
+@pytest.fixture
+def classic():
+    """zip -> city holds; city -> zip does not."""
+    schema = Schema(["zip", "city", "name"])
+    return Relation.from_rows(
+        schema,
+        [
+            ("10115", "Berlin", "a"),
+            ("10115", "Berlin", "b"),
+            ("20095", "Hamburg", "c"),
+            ("21073", "Hamburg", "d"),
+        ],
+    )
+
+
+class TestHolds:
+    def test_valid_fd(self, classic):
+        assert holds(classic, 0b001, 1)  # zip -> city
+
+    def test_invalid_fd(self, classic):
+        assert not holds(classic, 0b010, 0)  # city -> zip
+
+    def test_empty_lhs_constant_column(self):
+        relation = Relation.from_rows(Schema(["a", "b"]), [("x", "1"), ("x", "2")])
+        assert holds(relation, 0, 0)
+        assert not holds(relation, 0, 1)
+
+
+class TestDiscoverFds:
+    def test_classic_example(self, classic):
+        fds = discover_fds(classic)
+        assert FunctionalDependency(0b001, 1) in fds  # zip -> city
+        assert FunctionalDependency(0b010, 0) not in fds
+        # name is a key here: it determines zip and city minimally
+        assert FunctionalDependency(0b100, 0) in fds
+        assert FunctionalDependency(0b100, 1) in fds
+
+    def test_constant_column_determined_by_empty_set(self):
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [("x", "1"), ("x", "2"), ("x", "3")]
+        )
+        fds = discover_fds(relation)
+        assert FunctionalDependency(0, 0) in fds
+        # and nothing else reports 'a' as RHS (minimality)
+        assert [fd for fd in fds if fd.rhs == 0] == [FunctionalDependency(0, 0)]
+
+    def test_no_trivial_fds(self, classic):
+        assert all(not fd.lhs >> fd.rhs & 1 for fd in discover_fds(classic))
+
+    def test_minimality(self, classic):
+        fds = discover_fds(classic)
+        by_rhs: dict[int, list[int]] = {}
+        for fd in fds:
+            by_rhs.setdefault(fd.rhs, []).append(fd.lhs)
+        for lhs_list in by_rhs.values():
+            for left_index, left in enumerate(lhs_list):
+                for right in lhs_list[left_index + 1 :]:
+                    assert not is_subset(left, right)
+                    assert not is_subset(right, left)
+
+    def test_max_lhs_cap(self, classic):
+        capped = discover_fds(classic, max_lhs=1)
+        assert all(bin(fd.lhs).count("1") <= 1 for fd in capped)
+
+    def test_named_rendering(self, classic):
+        fd = FunctionalDependency(0b001, 1)
+        assert fd.named(classic.schema) == "[zip] -> city"
+
+    def test_empty_and_single_column_relations(self):
+        assert discover_fds(Relation(Schema(["a", "b"]))) == []
+        single = Relation.from_rows(Schema(["a"]), [("x",)])
+        assert discover_fds(single) == []
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_relations(self, seed):
+        relation = random_relation(seed, n_columns=4)
+        assert discover_fds(relation) == discover_fds_bruteforce(relation)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_wider_relations(self, seed):
+        relation = random_relation(300 + seed, n_columns=5, n_rows=20, domain=3)
+        assert discover_fds(relation) == discover_fds_bruteforce(relation)
+
+
+class TestUccFdConnection:
+    """The bridges DESIGN.md / the paper call out."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_unique_determines_everything(self, seed):
+        relation = random_relation(seed, n_columns=4, n_rows=15, domain=3)
+        mucs, __ = discover_bruteforce(relation)
+        for muc in mucs:
+            for rhs in range(relation.n_columns):
+                if not muc >> rhs & 1:
+                    assert holds(relation, muc, rhs)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minimal_fd_lhs_never_contains_unique(self, seed):
+        """A minimal FD's LHS cannot strictly contain a unique: the
+        unique alone would already determine the RHS."""
+        relation = random_relation(50 + seed, n_columns=4, n_rows=15, domain=3)
+        mucs, __ = discover_bruteforce(relation)
+        for fd in discover_fds(relation):
+            for muc in mucs:
+                assert not (is_subset(muc, fd.lhs) and muc != fd.lhs)

@@ -1,0 +1,123 @@
+"""Unit and oracle tests for n-ary inclusion dependency discovery."""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.ind.nary import (
+    NaryInclusionDependency,
+    discover_nary_inds,
+    holds_nary,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def orders_and_customers():
+    customers = Relation.from_rows(
+        Schema(["customer_id", "region", "name"]),
+        [("c1", "eu", "ada"), ("c2", "us", "bob"), ("c3", "eu", "cyd")],
+    )
+    orders = Relation.from_rows(
+        Schema(["order_id", "cust_ref", "cust_region"]),
+        [("o1", "c1", "eu"), ("o2", "c3", "eu"), ("o3", "c1", "eu")],
+    )
+    return orders, customers
+
+
+class TestHoldsNary:
+    def test_binary_containment(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        assert holds_nary(orders, (1, 2), customers, (0, 1))
+
+    def test_binary_violation_despite_unary_validity(self):
+        """The classic case: both unary INDs hold but the pairing does
+        not."""
+        left = Relation.from_rows(Schema(["a", "b"]), [("1", "y")])
+        right = Relation.from_rows(
+            Schema(["c", "d"]), [("1", "x"), ("2", "y")]
+        )
+        assert holds_nary(left, (0,), right, (0,))
+        assert holds_nary(left, (1,), right, (1,))
+        assert not holds_nary(left, (0, 1), right, (0, 1))
+
+    def test_empty_lhs_relation(self):
+        left = Relation(Schema(["a"]))
+        right = Relation.from_rows(Schema(["b"]), [("x",)])
+        assert holds_nary(left, (0,), right, (0,))
+
+
+class TestDiscovery:
+    def test_finds_binary_fk(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        inds = discover_nary_inds(
+            orders, customers, max_arity=2,
+            name="orders", other_name="customers",
+        )
+        assert (
+            NaryInclusionDependency("orders", (1, 2), "customers", (0, 1)) in inds
+        )
+
+    def test_named_rendering(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        ind = NaryInclusionDependency("orders", (1, 2), "customers", (0, 1))
+        assert (
+            ind.named(orders.schema, customers.schema)
+            == "orders[cust_ref, cust_region] ⊆ customers[customer_id, region]"
+        )
+
+    def test_no_self_position_within_one_relation(self):
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [("x", "x"), ("y", "y")]
+        )
+        inds = discover_nary_inds(relation, max_arity=2)
+        assert all(
+            all(l != r for l, r in zip(ind.lhs, ind.rhs)) for ind in inds
+        )
+
+    def test_against_bruteforce(self):
+        """Levelwise discovery equals checking all positional pairings."""
+        for seed in range(8):
+            rng = random.Random(seed)
+            left = Relation.from_rows(
+                Schema(["a", "b", "c"]),
+                [
+                    tuple(str(rng.randrange(3)) for _ in range(3))
+                    for _ in range(rng.randint(1, 10))
+                ],
+            )
+            right = Relation.from_rows(
+                Schema(["x", "y", "z"]),
+                [
+                    tuple(str(rng.randrange(3)) for _ in range(3))
+                    for _ in range(rng.randint(1, 10))
+                ],
+            )
+            got = {
+                (ind.lhs, ind.rhs)
+                for ind in discover_nary_inds(left, right, max_arity=3)
+            }
+            expected = set()
+            columns = range(3)
+            for arity in (1, 2, 3):
+                from itertools import combinations
+
+                for lhs in combinations(columns, arity):
+                    for rhs in permutations(columns, arity):
+                        if holds_nary(left, lhs, right, rhs):
+                            expected.add((lhs, rhs))
+            assert got == expected, seed
+
+    def test_arity_cap(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        inds = discover_nary_inds(orders, customers, max_arity=1)
+        assert all(ind.arity == 1 for ind in inds)
+
+    def test_sub_inds(self):
+        ind = NaryInclusionDependency("R", (0, 2, 3), "S", (1, 4, 5))
+        subs = list(ind.sub_inds())
+        assert NaryInclusionDependency("R", (2, 3), "S", (4, 5)) in subs
+        assert NaryInclusionDependency("R", (0, 3), "S", (1, 5)) in subs
+        assert NaryInclusionDependency("R", (0, 2), "S", (1, 4)) in subs

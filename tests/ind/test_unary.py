@@ -1,0 +1,124 @@
+"""Unit and oracle tests for unary inclusion dependency discovery."""
+
+import random
+
+import pytest
+
+from repro.ind.unary import (
+    InclusionDependency,
+    discover_unary_inds,
+    foreign_key_candidates,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def orders_and_customers():
+    customers = Relation.from_rows(
+        Schema(["customer_id", "name"]),
+        [("c1", "ada"), ("c2", "bob"), ("c3", "cyd")],
+    )
+    orders = Relation.from_rows(
+        Schema(["order_id", "customer_ref"]),
+        [("o1", "c1"), ("o2", "c1"), ("o3", "c3")],
+    )
+    return orders, customers
+
+
+class TestWithinOneRelation:
+    def test_simple_containment(self):
+        relation = Relation.from_rows(
+            Schema(["narrow", "wide"]),
+            [("a", "a"), ("a", "b"), ("b", "c")],
+        )
+        inds = discover_unary_inds(relation)
+        assert InclusionDependency("R", 0, "R", 1) in inds
+        assert InclusionDependency("R", 1, "R", 0) not in inds
+
+    def test_equal_value_sets_give_both_directions(self):
+        relation = Relation.from_rows(
+            Schema(["a", "b"]), [("x", "y"), ("y", "x")]
+        )
+        inds = discover_unary_inds(relation)
+        assert InclusionDependency("R", 0, "R", 1) in inds
+        assert InclusionDependency("R", 1, "R", 0) in inds
+
+    def test_no_trivial_self_inclusion(self):
+        relation = Relation.from_rows(Schema(["a"]), [("x",)])
+        assert discover_unary_inds(relation) == []
+
+    def test_empty_column_not_lhs(self):
+        relation = Relation(Schema(["a", "b"]))
+        assert discover_unary_inds(relation) == []
+
+
+class TestAcrossRelations:
+    def test_foreign_key_shape(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        inds = discover_unary_inds(
+            orders, customers, name="orders", other_name="customers"
+        )
+        assert (
+            InclusionDependency("orders", 1, "customers", 0) in inds
+        )  # customer_ref ⊆ customer_id
+
+    def test_named_rendering(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        ind = InclusionDependency("orders", 1, "customers", 0)
+        assert (
+            ind.named(orders.schema, customers.schema)
+            == "orders.customer_ref ⊆ customers.customer_id"
+        )
+
+    def test_against_bruteforce(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            left = Relation.from_rows(
+                Schema(["a", "b", "c"]),
+                [
+                    tuple(str(rng.randrange(4)) for _ in range(3))
+                    for _ in range(rng.randint(1, 15))
+                ],
+            )
+            right = Relation.from_rows(
+                Schema(["x", "y"]),
+                [
+                    tuple(str(rng.randrange(4)) for _ in range(2))
+                    for _ in range(rng.randint(1, 15))
+                ],
+            )
+            got = discover_unary_inds(left, right)
+            for lhs in range(3):
+                lhs_values = {v for _, v in left.column_values(lhs)}
+                for rhs in range(2):
+                    rhs_values = {v for _, v in right.column_values(rhs)}
+                    expected = bool(lhs_values) and lhs_values <= rhs_values
+                    assert (
+                        InclusionDependency("R", lhs, "S", rhs) in got
+                    ) == expected, (seed, lhs, rhs)
+
+
+class TestForeignKeyCandidates:
+    def test_detects_fk(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        candidates = foreign_key_candidates(
+            orders, customers, fact_name="orders", dimension_name="customers"
+        )
+        assert any(
+            ind.lhs == 1 and ind.rhs == 0 for ind in candidates
+        )
+
+    def test_non_unique_rhs_excluded(self):
+        fact = Relation.from_rows(Schema(["ref"]), [("x",)])
+        dim = Relation.from_rows(
+            Schema(["dup"]), [("x",), ("x",)]
+        )
+        assert foreign_key_candidates(fact, dim) == []
+
+    def test_explicit_unique_columns(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        candidates = foreign_key_candidates(
+            orders, customers, unique_columns={1}
+        )
+        assert candidates == []  # 'name' does not contain the refs

@@ -1,0 +1,89 @@
+"""Unit/integration tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.harness import (
+    BenchConfig,
+    Measurement,
+    ResultTable,
+    SystemRunner,
+)
+
+
+class TestResultTable:
+    def test_record_and_render(self):
+        table = ResultTable("figX", "demo", x_label="batch")
+        table.record(Measurement("Swan", "1%", 0.5))
+        table.record(Measurement("Ducc", "1%", 5.0))
+        table.record(Measurement("Ducc", "5%", None, aborted=True))
+        text = table.render()
+        assert "figX" in text
+        assert "0.500" in text
+        assert "aborted" in text
+
+    def test_speedup(self):
+        table = ResultTable("figX", "demo", x_label="batch")
+        table.record(Measurement("Swan", "1%", 0.5))
+        table.record(Measurement("Ducc", "1%", 5.0))
+        assert table.speedup("Ducc", "Swan", "1%") == pytest.approx(10.0)
+        assert table.speedup("Ducc", "Swan", "9%") is None
+
+    def test_csv_rows(self):
+        table = ResultTable("figX", "demo", x_label="batch")
+        table.record(Measurement("Swan", "1%", 0.25))
+        rows = table.to_csv_rows()
+        assert rows[0] == ["figure", "x", "system", "seconds", "aborted"]
+        assert rows[1][:3] == ["figX", "1%", "Swan"]
+
+
+class TestSystemRunner:
+    def test_measures_and_returns_result(self):
+        runner = SystemRunner("sys", BenchConfig(timeout_s=10))
+        measurement, result = runner.measure("x", lambda: 42)
+        assert result == 42
+        assert measurement.seconds is not None
+        assert not measurement.aborted
+
+    def test_aborts_after_budget_blown(self):
+        runner = SystemRunner("sys", BenchConfig(timeout_s=0.0))
+        first, result = runner.measure("x1", lambda: "slow")
+        assert result == "slow"
+        assert not first.aborted  # the blown point itself is reported
+        second, result = runner.measure("x2", lambda: "never")
+        assert second.aborted
+        assert result is None
+
+
+class TestBenchConfig:
+    def test_rows_scaling(self):
+        assert BenchConfig(scale=2.0).rows(100) == 200
+        assert BenchConfig(scale=0.001).rows(100) == 50  # floor
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3.0")
+        monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "9")
+        config = BenchConfig.from_env()
+        assert config.scale == 3.0
+        assert config.timeout_s == 9.0
+
+
+class TestFigureRegistry:
+    def test_all_paper_figures_present(self):
+        expected = {
+            "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig2c",
+            "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6",
+            "fig7a", "fig7b", "fig7c", "fig8",
+        }
+        assert expected <= set(FIGURES)
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    @pytest.mark.parametrize("figure", ["fig1c", "fig7c"])
+    def test_tiny_run_has_no_disagreements(self, figure):
+        config = BenchConfig(scale=0.04, timeout_s=30.0, seed=5)
+        table = run_figure(figure, config)
+        assert not any("DISAGREEMENT" in note for note in table.notes)
+        assert table.seconds("Swan", table.x_values[0]) is not None

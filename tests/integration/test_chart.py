@@ -1,0 +1,56 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.bench.chart import render_chart
+from repro.bench.harness import Measurement, ResultTable
+
+
+def demo_table() -> ResultTable:
+    table = ResultTable("figX", "demo", x_label="batch")
+    table.record(Measurement("Swan", "1%", 0.05))
+    table.record(Measurement("Ducc", "1%", 5.0))
+    table.record(Measurement("Swan", "5%", 0.2))
+    table.record(Measurement("Ducc", "5%", None, aborted=True))
+    return table
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self):
+        text = render_chart(demo_table())
+        assert text.startswith("figX: demo")
+        assert "S=Swan" in text
+        assert "D=Ducc" in text
+
+    def test_orders_of_magnitude_separate_rows(self):
+        lines = render_chart(demo_table()).splitlines()
+        swan_rows = [i for i, line in enumerate(lines) if "S" in line.split("|")[-1]]
+        ducc_rows = [
+            i
+            for i, line in enumerate(lines)
+            if "|" in line and "D" in line.split("|")[-1] and "aborted" not in line
+        ]
+        assert min(ducc_rows) < min(swan_rows)  # Ducc plots higher (slower)
+
+    def test_aborted_points_on_aborted_row(self):
+        text = render_chart(demo_table())
+        aborted_lines = [line for line in text.splitlines() if "aborted" in line]
+        assert len(aborted_lines) == 1
+        assert "D" in aborted_lines[0]
+
+    def test_x_axis_labels_present(self):
+        text = render_chart(demo_table())
+        assert "1%" in text
+        assert "5%" in text
+
+    def test_empty_table(self):
+        table = ResultTable("figY", "empty", x_label="x")
+        assert "no data" in render_chart(table)
+
+    def test_distinct_letters_for_similar_names(self):
+        table = ResultTable("figZ", "letters", x_label="x")
+        table.record(Measurement("Ducc", 1, 1.0))
+        table.record(Measurement("Ducc-Inc", 1, 2.0))
+        table.record(Measurement("DBMS-X", 1, 3.0))
+        text = render_chart(table)
+        legend = text.splitlines()[-1]
+        letters = [entry.split("=")[0] for entry in legend.split()]
+        assert len(set(letters)) == 3

@@ -1,0 +1,103 @@
+"""Integration tests for the two command-line interfaces."""
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.cli import main as profile_main
+from tests.conftest import random_relation
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    relation = random_relation(3, n_columns=4, n_rows=30, domain=4)
+    path = str(tmp_path / "data.csv")
+    relation.to_csv(path)
+    return path
+
+
+class TestProfileCli:
+    def test_profiles_csv(self, csv_path, capsys):
+        assert profile_main([csv_path, "--algorithm", "bruteforce"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal uniques" in out
+        assert "maximal non-uniques" in out
+
+    def test_verify_flag(self, csv_path, capsys):
+        assert profile_main([csv_path, "--verify"]) == 0
+        assert "verification passed" in capsys.readouterr().out
+
+    def test_columns_restriction(self, csv_path, capsys):
+        assert profile_main([csv_path, "--columns", "2"]) == 0
+        assert "x 2 columns" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self, csv_path):
+        with pytest.raises(SystemExit):
+            profile_main([csv_path, "--algorithm", "nope"])
+
+    def test_max_print_truncates(self, csv_path, capsys):
+        assert profile_main([csv_path, "--max-print", "1"]) == 0
+        assert "more" in capsys.readouterr().out
+
+    def test_save_profile(self, csv_path, capsys, tmp_path):
+        from repro.profiling.persistence import load_profile
+
+        out = str(tmp_path / "profile.json")
+        assert profile_main([csv_path, "--save-profile", out]) == 0
+        stored = load_profile(out)
+        assert stored.profile.mucs or stored.profile.mnucs
+
+    def test_fd_flag(self, csv_path, capsys):
+        assert profile_main([csv_path, "--fds", "2"]) == 0
+        assert "functional dependencies" in capsys.readouterr().out
+
+    def test_summary_flag(self, csv_path, capsys):
+        assert profile_main([csv_path, "--summary", "--fds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "columns (distinct / selectivity):" in out
+        assert "candidate keys" in out
+
+    def test_summary_with_save(self, csv_path, capsys, tmp_path):
+        from repro.profiling.persistence import load_profile
+
+        out = str(tmp_path / "p.json")
+        assert profile_main([csv_path, "--summary", "--save-profile", out]) == 0
+        assert load_profile(out).columns
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out
+        assert "fig8" in out
+
+    def test_no_args_lists(self, capsys):
+        assert bench_main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            bench_main(["nope"])
+
+    def test_tiny_figure_run(self, capsys, tmp_path):
+        csv_out = str(tmp_path / "results.csv")
+        md_out = str(tmp_path / "report.md")
+        code = bench_main(
+            [
+                "fig1c", "--scale", "0.05", "--timeout", "30",
+                "--csv", csv_out, "--markdown", md_out,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig1c" in out
+        assert "Swan" in out
+        assert "DISAGREEMENT" not in out
+        with open(csv_out) as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0].startswith("figure,")
+        assert len(lines) > 4
+        with open(md_out) as handle:
+            report = handle.read()
+        assert "### fig1c" in report
+        assert "| batch_size |" in report

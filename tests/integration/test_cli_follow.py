@@ -1,0 +1,56 @@
+"""Integration test for repro-profile --follow (stdin streaming)."""
+
+import subprocess
+import sys
+
+from tests.conftest import random_relation, random_rows
+
+
+def test_follow_mode_streams_batches(tmp_path):
+    relation = random_relation(31, n_columns=3, n_rows=40, domain=5)
+    csv_path = str(tmp_path / "initial.csv")
+    relation.to_csv(csv_path)
+    stream_rows = random_rows(32, 3, 25, 5)
+    stdin_text = "\n".join(",".join(row) for row in stream_rows) + "\n"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            csv_path,
+            "--algorithm",
+            "bruteforce",
+            "--follow",
+            "--batch-size",
+            "10",
+        ],
+        input=stdin_text,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-1500:]
+    out = completed.stdout
+    assert "batch 1: 10 rows" in out
+    assert "batch 2: 10 rows" in out
+    assert "batch 3: 5 rows" in out  # trailing partial batch
+    assert "done: 65 rows total" in out
+
+
+def test_follow_skips_malformed_rows(tmp_path):
+    relation = random_relation(33, n_columns=3, n_rows=10, domain=4)
+    csv_path = str(tmp_path / "initial.csv")
+    relation.to_csv(csv_path)
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", csv_path,
+            "--algorithm", "bruteforce", "--follow", "--batch-size", "2",
+        ],
+        input="1,2\n0,1,2\n3,4,5\n",
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0
+    assert "skipping row with 2 fields" in completed.stderr
+    assert "batch 1: 2 rows" in completed.stdout

@@ -1,0 +1,88 @@
+"""Integration: every engine agrees on every dataset generator.
+
+DESIGN.md invariant 9: brute force, GORDIAN, DUCC and HCA must report
+identical profiles; the incremental systems must land on the same
+profile after identical batches.
+"""
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.baselines.ducc import discover_ducc
+from repro.baselines.ducc_inc import DuccInc
+from repro.baselines.gordian import discover_gordian
+from repro.baselines.gordian_inc import GordianInc
+from repro.baselines.hca import discover_hca
+from repro.core.swan import SwanProfiler
+from repro.datasets.ncvoter import ncvoter_relation
+from repro.datasets.tpch import lineitem_relation
+from repro.datasets.uniprot import uniprot_relation
+from repro.datasets.workload import delete_batch_ids, split_initial_and_inserts
+
+GENERATORS = {
+    "ncvoter": lambda: ncvoter_relation(300, 12, seed=11),
+    "uniprot": lambda: uniprot_relation(300, 12, seed=11),
+    "tpch": lambda: lineitem_relation(300, 12, seed=11),
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(GENERATORS))
+class TestStaticAgreement:
+    def test_all_engines_agree(self, dataset):
+        relation = GENERATORS[dataset]()
+        reference = discover_bruteforce(relation)
+        for engine in (discover_ducc, discover_gordian, discover_hca):
+            got = engine(relation)
+            assert sorted(got[0]) == sorted(reference[0]), engine.__name__
+            assert sorted(got[1]) == sorted(reference[1]), engine.__name__
+
+
+@pytest.mark.parametrize("dataset", sorted(GENERATORS))
+class TestDynamicAgreement:
+    def test_insert_batch_all_systems(self, dataset):
+        relation = GENERATORS[dataset]()
+        workload = split_initial_and_inserts(relation, 200, [0.1], seed=3)
+        initial, batch = workload.initial, workload.insert_batches[0]
+        mucs, mnucs = discover_bruteforce(initial)
+
+        swan = SwanProfiler(initial.copy(), mucs, mnucs, maintain_plis=False)
+        swan_profile = swan.handle_inserts(batch)
+
+        gordian = GordianInc(initial, mnucs)
+        gordian_mucs, gordian_mnucs = gordian.handle_inserts(batch)
+
+        combined = initial.copy()
+        combined.insert_many(batch)
+        reference = discover_bruteforce(combined)
+
+        assert sorted(swan_profile.mucs) == sorted(reference[0])
+        assert sorted(swan_profile.mnucs) == sorted(reference[1])
+        assert sorted(gordian_mucs) == sorted(reference[0])
+        assert sorted(gordian_mnucs) == sorted(reference[1])
+
+    def test_delete_batch_all_systems(self, dataset):
+        relation = GENERATORS[dataset]()
+        mucs, mnucs = discover_bruteforce(relation)
+        doomed = delete_batch_ids(relation, 0.05, seed=4)
+        doomed_rows = [relation.row(tuple_id) for tuple_id in doomed]
+
+        swan = SwanProfiler(relation.copy(), mucs, mnucs)
+        swan_profile = swan.handle_deletes(doomed)
+
+        gordian = GordianInc(relation, mnucs)
+        gordian_mucs, gordian_mnucs = gordian.handle_deletes(doomed_rows)
+
+        ducc_relation = relation.copy()
+        ducc = DuccInc(ducc_relation, mucs)
+        ducc_mucs, ducc_mnucs = ducc.handle_deletes(doomed)
+
+        shrunk = relation.copy()
+        shrunk.delete_many(doomed)
+        reference = discover_bruteforce(shrunk)
+
+        assert sorted(swan_profile.mucs) == sorted(reference[0])
+        assert sorted(swan_profile.mnucs) == sorted(reference[1])
+        assert sorted(gordian_mucs) == sorted(reference[0])
+        assert sorted(gordian_mnucs) == sorted(reference[1])
+        assert sorted(ducc_mucs) == sorted(reference[0])
+        assert sorted(ducc_mnucs) == sorted(reference[1])

@@ -1,0 +1,92 @@
+"""Integration: SWAN stays exact under long mixed workloads.
+
+This is the library's central correctness claim (DESIGN.md invariants
+5-7): after any sequence of insert and delete batches, SWAN's profile
+equals a static re-profile of the live relation.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+def run_mixed_workload(seed: int, steps: int, index_quota=None) -> None:
+    rng = random.Random(seed)
+    n_columns = rng.randint(2, 6)
+    domain = rng.randint(2, 5)
+    schema = Schema([f"c{index}" for index in range(n_columns)])
+    rows = [
+        tuple(str(rng.randrange(domain)) for _ in range(n_columns))
+        for _ in range(rng.randint(2, 25))
+    ]
+    relation = Relation.from_rows(schema, rows)
+    profiler = SwanProfiler.profile(
+        relation, algorithm="bruteforce", index_quota=index_quota
+    )
+    for _ in range(steps):
+        if rng.random() < 0.55:
+            batch = [
+                tuple(str(rng.randrange(domain)) for _ in range(n_columns))
+                for _ in range(rng.randint(1, 4))
+            ]
+            profiler.handle_inserts(batch)
+        else:
+            live = list(relation.iter_ids())
+            if len(live) <= 2:
+                continue
+            doomed = rng.sample(live, rng.randint(1, min(3, len(live) - 2)))
+            profiler.handle_deletes(doomed)
+        expected_mucs, expected_mnucs = discover_bruteforce(relation)
+        snapshot = profiler.snapshot()
+        assert sorted(snapshot.mucs) == sorted(expected_mucs)
+        assert sorted(snapshot.mnucs) == sorted(expected_mnucs)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_mixed_workload_matches_oracle(seed):
+    run_mixed_workload(seed, steps=8)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_mixed_workload_with_quota_indexes(seed):
+    run_mixed_workload(100 + seed, steps=6, index_quota=6)
+
+
+def test_insert_then_delete_roundtrip():
+    """Inserting a batch and deleting exactly those tuples restores the
+    original profile (DESIGN.md invariant 7)."""
+    rng = random.Random(7)
+    schema = Schema(["a", "b", "c"])
+    rows = [
+        tuple(str(rng.randrange(3)) for _ in range(3)) for _ in range(15)
+    ]
+    relation = Relation.from_rows(schema, rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    before = profiler.snapshot()
+    first_id = relation.next_tuple_id
+    batch = [tuple(str(rng.randrange(3)) for _ in range(3)) for _ in range(5)]
+    profiler.handle_inserts(batch)
+    profiler.handle_deletes(range(first_id, first_id + len(batch)))
+    after = profiler.snapshot()
+    assert after.mucs == before.mucs
+    assert after.mnucs == before.mnucs
+
+
+def test_grow_then_shrink_to_empty_profile():
+    """Deleting everything but one tuple leaves the empty-combination
+    profile; growing again recovers."""
+    schema = Schema(["a", "b"])
+    relation = Relation.from_rows(schema, [("1", "x"), ("2", "x"), ("1", "y")])
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    profiler.handle_deletes([0, 1])
+    assert profiler.snapshot().mucs == (0,)
+    assert profiler.snapshot().mnucs == ()
+    profiler.handle_inserts([("1", "y"), ("3", "z")])
+    expected = discover_bruteforce(relation)
+    assert sorted(profiler.snapshot().mucs) == sorted(expected[0])
+    assert sorted(profiler.snapshot().mnucs) == sorted(expected[1])

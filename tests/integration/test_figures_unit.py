@@ -1,0 +1,35 @@
+"""Unit-level tests for the figure runners' plumbing."""
+
+from repro.bench.figures import _check_agreement, _generate
+from repro.bench.harness import ResultTable
+
+
+class TestCheckAgreement:
+    def test_agreeing_systems_add_no_note(self):
+        table = ResultTable("figT", "t", x_label="x")
+        _check_agreement(table, "1%", {"A": [1, 2], "B": [1, 2]})
+        assert table.notes == []
+
+    def test_disagreement_noted(self):
+        table = ResultTable("figT", "t", x_label="x")
+        _check_agreement(table, "1%", {"A": [1, 2], "B": [1, 3]})
+        assert len(table.notes) == 1
+        assert "DISAGREEMENT" in table.notes[0]
+
+    def test_single_system_trivially_agrees(self):
+        table = ResultTable("figT", "t", x_label="x")
+        _check_agreement(table, "1%", {"A": [1]})
+        assert table.notes == []
+
+
+class TestGenerate:
+    def test_dataset_dispatch(self):
+        for dataset in ("ncvoter", "uniprot", "tpch"):
+            relation = _generate(dataset, 50, 10, seed=1)
+            assert len(relation) == 50
+            assert relation.n_columns == 10
+
+    def test_deterministic_per_seed(self):
+        one = _generate("ncvoter", 40, 8, seed=5)
+        two = _generate("ncvoter", 40, 8, seed=5)
+        assert list(one.iter_rows()) == list(two.iter_rows())

@@ -1,0 +1,56 @@
+"""Integration: SWAN over a disk-resident initial dataset.
+
+The paper keeps the initial dataset on disk and fetches candidate
+tuples through the sparse index; these tests exercise that full path
+via :class:`~repro.storage.table_file.TableFile`, including offset
+maintenance across multiple accepted batches.
+"""
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.storage.table_file import TableFile
+from tests.conftest import random_relation, random_rows
+
+
+def test_insert_batches_against_file_store(tmp_path):
+    relation = random_relation(42, n_columns=4, n_rows=30, domain=4)
+    path = str(tmp_path / "initial.dat")
+    with TableFile.create(path, relation) as table:
+        mucs, mnucs = discover_bruteforce(relation)
+        profiler = SwanProfiler(
+            relation, mucs, mnucs, table_file=table, maintain_plis=False
+        )
+        for seed in (43, 44, 45):
+            batch = random_rows(seed, 4, 6, 4)
+            profile = profiler.handle_inserts(batch)
+            expected = discover_bruteforce(relation)
+            assert sorted(profile.mucs) == sorted(expected[0])
+            assert sorted(profile.mnucs) == sorted(expected[1])
+
+
+def test_mixed_workload_against_file_store(tmp_path):
+    relation = random_relation(50, n_columns=3, n_rows=25, domain=3)
+    path = str(tmp_path / "initial.dat")
+    with TableFile.create(path, relation) as table:
+        mucs, mnucs = discover_bruteforce(relation)
+        profiler = SwanProfiler(relation, mucs, mnucs, table_file=table)
+        profiler.handle_inserts(random_rows(51, 3, 5, 3))
+        profiler.handle_deletes([0, 2, 26])
+        profiler.handle_inserts(random_rows(52, 3, 5, 3))
+        expected = discover_bruteforce(relation)
+        snapshot = profiler.snapshot()
+        assert sorted(snapshot.mucs) == sorted(expected[0])
+        assert sorted(snapshot.mnucs) == sorted(expected[1])
+
+
+def test_file_store_retrieval_stats(tmp_path):
+    relation = random_relation(7, n_columns=3, n_rows=50, domain=3)
+    path = str(tmp_path / "initial.dat")
+    with TableFile.create(path, relation) as table:
+        mucs, mnucs = discover_bruteforce(relation)
+        profiler = SwanProfiler(
+            relation, mucs, mnucs, table_file=table, maintain_plis=False
+        )
+        profiler.handle_inserts(random_rows(8, 3, 10, 3))
+        stats = profiler.last_insert_stats
+        assert stats.retrieval.requested == stats.tuples_retrieved

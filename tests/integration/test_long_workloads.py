@@ -1,0 +1,90 @@
+"""Long mixed workloads: SWAN's state never drifts.
+
+These run a hundred mixed operations through one profiler instance and
+check the full profile against a static oracle at checkpoints -- the
+kind of soak test that catches slow state corruption (stale index
+entries, PLI leaks, sparse-index drift) that single-batch tests miss.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+def test_hundred_operation_soak(seed):
+    rng = random.Random(seed)
+    n_columns = 5
+    schema = Schema([f"c{i}" for i in range(n_columns)])
+    rows = [
+        tuple(str(rng.randrange(4)) for _ in range(n_columns)) for _ in range(30)
+    ]
+    relation = Relation.from_rows(schema, rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce", index_quota=4)
+    for step in range(100):
+        live = list(relation.iter_ids())
+        if rng.random() < 0.6 or len(live) <= 3:
+            batch = [
+                tuple(str(rng.randrange(4)) for _ in range(n_columns))
+                for _ in range(rng.randint(1, 3))
+            ]
+            profiler.handle_inserts(batch)
+        else:
+            doomed = rng.sample(live, rng.randint(1, min(4, len(live) - 2)))
+            profiler.handle_deletes(doomed)
+        if step % 10 == 9:
+            expected = discover_bruteforce(relation)
+            snapshot = profiler.snapshot()
+            assert sorted(snapshot.mucs) == sorted(expected[0]), step
+            assert sorted(snapshot.mnucs) == sorted(expected[1]), step
+
+
+def test_index_pool_stays_consistent_after_churn():
+    """Value indexes must reflect exactly the live tuples after many
+    insert/delete rounds."""
+    rng = random.Random(3)
+    schema = Schema(["a", "b", "c"])
+    rows = [tuple(str(rng.randrange(5)) for _ in range(3)) for _ in range(20)]
+    relation = Relation.from_rows(schema, rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    for _ in range(30):
+        live = list(relation.iter_ids())
+        if rng.random() < 0.5:
+            profiler.handle_inserts(
+                [tuple(str(rng.randrange(5)) for _ in range(3))]
+            )
+        elif len(live) > 3:
+            profiler.handle_deletes([rng.choice(live)])
+    for column in profiler.indexed_columns:
+        index = profiler._index_pool.get(column)
+        expected: dict = {}
+        for tuple_id, value in relation.column_values(column):
+            expected.setdefault(value, set()).add(tuple_id)
+        for value, ids in expected.items():
+            assert index.lookup(value) == ids
+        assert index.n_entries() == sum(len(ids) for ids in expected.values())
+
+
+def test_pli_pool_stays_consistent_after_churn():
+    """Maintained per-column PLIs must equal freshly built ones."""
+    from repro.storage.pli import PositionListIndex
+
+    rng = random.Random(9)
+    schema = Schema(["a", "b"])
+    rows = [tuple(str(rng.randrange(3)) for _ in range(2)) for _ in range(15)]
+    relation = Relation.from_rows(schema, rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    for _ in range(40):
+        live = list(relation.iter_ids())
+        if rng.random() < 0.5:
+            profiler.handle_inserts([tuple(str(rng.randrange(3)) for _ in range(2))])
+        elif len(live) > 3:
+            profiler.handle_deletes(rng.sample(live, rng.randint(1, 2)))
+    for column, maintained in profiler._plis.items():
+        rebuilt = PositionListIndex.for_column(relation, column)
+        assert set(maintained.clusters()) == set(rebuilt.clusters()), column

@@ -1,0 +1,109 @@
+"""Tests for replaying and comparing recorded benchmark runs."""
+
+import csv
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.replay import compare_runs, load_measurements
+
+
+def write_csv(path, rows):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "x", "system", "seconds", "aborted"])
+        writer.writerows(rows)
+
+
+@pytest.fixture
+def recorded(tmp_path):
+    path = str(tmp_path / "baseline.csv")
+    write_csv(
+        path,
+        [
+            ["fig1a", "1%", "Swan", "0.100000", "0"],
+            ["fig1a", "1%", "Ducc", "4.000000", "0"],
+            ["fig1a", "5%", "Swan", "0.200000", "0"],
+            ["fig1a", "5%", "Gordian-Inc", "", "1"],
+            ["fig7a", "1%", "Swan", "0.050000", "0"],
+        ],
+    )
+    return path
+
+
+class TestLoadMeasurements:
+    def test_rebuilds_tables(self, recorded):
+        tables = load_measurements(recorded)
+        assert [table.figure for table in tables] == ["fig1a", "fig7a"]
+        fig1a = tables[0]
+        assert fig1a.seconds("Swan", "1%") == pytest.approx(0.1)
+        assert fig1a.seconds("Gordian-Inc", "5%") is None
+        assert fig1a.cells[("Gordian-Inc", "5%")].aborted
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = str(tmp_path / "other.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_measurements(path)
+
+    def test_speedups_recoverable(self, recorded):
+        table = load_measurements(recorded)[0]
+        assert table.speedup("Ducc", "Swan", "1%") == pytest.approx(40.0)
+
+
+class TestCompareRuns:
+    def test_flags_slowdowns_only(self, recorded, tmp_path):
+        candidate = str(tmp_path / "candidate.csv")
+        write_csv(
+            candidate,
+            [
+                ["fig1a", "1%", "Swan", "0.300000", "0"],   # 3x slower
+                ["fig1a", "1%", "Ducc", "2.000000", "0"],   # faster: ignored
+                ["fig1a", "5%", "Swan", "0.210000", "0"],   # within threshold
+                ["fig7a", "1%", "Swan", "0.050000", "0"],
+            ],
+        )
+        findings = compare_runs(recorded, candidate)
+        rendered = [finding.render() for finding in findings]
+        assert any("fig1a Swan @ 1%" in line and "3.00x" in line for line in rendered)
+        assert not any("Ducc" in line for line in rendered)
+        # the aborted baseline point vanished from the candidate
+        assert any("Gordian-Inc" in line for line in rendered) is False
+
+    def test_appearing_point_reported(self, recorded, tmp_path):
+        candidate = str(tmp_path / "candidate.csv")
+        write_csv(candidate, [["fig1a", "1%", "NewSys", "1.000000", "0"]])
+        findings = compare_runs(recorded, candidate)
+        assert any(finding.system == "NewSys" for finding in findings)
+
+
+class TestCliIntegration:
+    def test_replay_renders(self, recorded, capsys):
+        assert bench_main(["--replay", recorded, "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out
+        assert "S=Swan" in out
+
+    def test_replay_markdown(self, recorded, capsys, tmp_path):
+        md = str(tmp_path / "replayed.md")
+        assert bench_main(["--replay", recorded, "--markdown", md]) == 0
+        with open(md) as handle:
+            assert "### fig1a" in handle.read()
+
+    def test_compare_exit_codes(self, recorded, tmp_path, capsys):
+        same = str(tmp_path / "same.csv")
+        write_csv(
+            same,
+            [
+                ["fig1a", "1%", "Swan", "0.100000", "0"],
+                ["fig1a", "1%", "Ducc", "4.000000", "0"],
+                ["fig1a", "5%", "Swan", "0.200000", "0"],
+                ["fig1a", "5%", "Gordian-Inc", "", "1"],
+                ["fig7a", "1%", "Swan", "0.050000", "0"],
+            ],
+        )
+        assert bench_main(["--compare", recorded, same]) == 0
+        slower = str(tmp_path / "slower.csv")
+        write_csv(slower, [["fig1a", "1%", "Swan", "9.000000", "0"]])
+        assert bench_main(["--compare", recorded, slower]) == 1

@@ -1,0 +1,55 @@
+"""Unit tests for the markdown benchmark report writer."""
+
+from repro.bench.harness import Measurement, ResultTable
+from repro.bench.report import render_report, speedup_summary, table_to_markdown
+
+
+def demo_table() -> ResultTable:
+    table = ResultTable("fig1a", "demo figure", x_label="batch")
+    table.record(Measurement("Ducc", "1%", 4.0))
+    table.record(Measurement("Gordian-Inc", "1%", 8.0))
+    table.record(Measurement("Swan", "1%", 0.5))
+    table.record(Measurement("Ducc", "5%", 5.0))
+    table.record(Measurement("Gordian-Inc", "5%", None, aborted=True))
+    table.record(Measurement("Swan", "5%", 1.0))
+    table.notes.append("demo note")
+    return table
+
+
+class TestTableToMarkdown:
+    def test_structure(self):
+        text = table_to_markdown(demo_table())
+        assert text.startswith("### fig1a")
+        assert "| batch | Ducc | Gordian-Inc | Swan |" in text
+        assert "0.500 s" in text
+        assert "aborted" in text
+        assert "*demo note*" in text
+
+    def test_speedups_included(self):
+        text = table_to_markdown(demo_table())
+        assert "Swan vs Ducc" in text
+
+
+class TestSpeedupSummary:
+    def test_ranges(self):
+        lines = speedup_summary(demo_table())
+        ducc_line = next(line for line in lines if "Ducc:" in line)
+        assert "5.0x" in ducc_line  # 5.0 / 1.0 at 5%
+        assert "8.0x" in ducc_line  # 4.0 / 0.5 at 1%
+
+    def test_aborted_points_skipped(self):
+        lines = speedup_summary(demo_table())
+        gordian_line = next(line for line in lines if "Gordian" in line)
+        # only the 1% point has both systems: a single ratio
+        assert "16.0x" in gordian_line
+
+    def test_unknown_figure_has_no_headlines(self):
+        table = ResultTable("figZZ", "x", x_label="x")
+        assert speedup_summary(table) == []
+
+
+def test_render_report_joins_tables():
+    text = render_report([demo_table()], "Results", preamble="config line")
+    assert text.startswith("## Results")
+    assert "config line" in text
+    assert "### fig1a" in text

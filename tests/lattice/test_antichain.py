@@ -1,0 +1,107 @@
+"""Unit tests for the minimal / maximal antichain containers."""
+
+import random
+
+from repro.lattice.antichain import MaximalAntichain, MinimalAntichain, sorted_masks
+from repro.lattice.combination import is_subset, maximize, minimize
+
+
+class TestMinimalAntichain:
+    def test_add_keeps_minimal(self):
+        chain = MinimalAntichain()
+        assert chain.add(0b011)
+        assert not chain.add(0b111)  # superset: rejected
+        assert chain.add(0b001)  # subset: evicts 0b011
+        assert chain.masks() == {0b001}
+
+    def test_add_same_twice(self):
+        chain = MinimalAntichain()
+        assert chain.add(0b010)
+        assert chain.add(0b010)
+        assert len(chain) == 1
+
+    def test_incomparable_members_coexist(self):
+        chain = MinimalAntichain([0b001, 0b010, 0b100])
+        assert len(chain) == 3
+
+    def test_contains_subset_of(self):
+        chain = MinimalAntichain([0b011])
+        assert chain.contains_subset_of(0b011)
+        assert chain.contains_subset_of(0b111)
+        assert not chain.contains_subset_of(0b001)
+        assert not chain.contains_subset_of(0b100)
+
+    def test_empty_mask_member(self):
+        chain = MinimalAntichain([0])
+        assert chain.contains_subset_of(0)
+        assert chain.contains_subset_of(0b101)
+        assert chain.masks() == {0}
+        assert not chain.add(0b1)
+
+    def test_supersets_and_subsets_queries(self):
+        chain = MinimalAntichain([0b001, 0b110])
+        assert sorted(chain.supersets_of(0b001)) == [0b001]
+        assert chain.supersets_of(0b010) == [0b110]
+        assert chain.supersets_of(0b1000) == []
+        assert sorted(chain.subsets_of(0b111)) == [0b001, 0b110]
+
+    def test_discard(self):
+        chain = MinimalAntichain([0b001])
+        assert chain.discard(0b001)
+        assert not chain.discard(0b001)
+        assert len(chain) == 0
+        assert not chain.contains_subset_of(0b111)
+
+
+class TestMaximalAntichain:
+    def test_add_keeps_maximal(self):
+        chain = MaximalAntichain()
+        assert chain.add(0b011)
+        assert not chain.add(0b001)  # subset: rejected
+        assert chain.add(0b111)  # superset: evicts 0b011
+        assert chain.masks() == {0b111}
+
+    def test_contains_superset_of(self):
+        chain = MaximalAntichain([0b011])
+        assert chain.contains_superset_of(0b001)
+        assert chain.contains_superset_of(0b011)
+        assert chain.contains_superset_of(0)
+        assert not chain.contains_superset_of(0b100)
+
+    def test_empty_query_on_empty_chain(self):
+        chain = MaximalAntichain()
+        assert not chain.contains_superset_of(0)
+        assert not chain.contains_subset_of(0b1)
+
+
+class TestAgainstReference:
+    """The containers must agree with the pure minimize()/maximize()."""
+
+    def test_random_streams(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            masks = [rng.randrange(1 << 8) for _ in range(60)]
+            minimal = MinimalAntichain()
+            maximal = MaximalAntichain()
+            for mask in masks:
+                minimal.add(mask)
+                maximal.add(mask)
+            assert sorted(minimal.masks()) == sorted(minimize(masks))
+            assert sorted(maximal.masks()) == sorted(maximize(masks))
+
+    def test_random_queries(self):
+        for seed in range(20):
+            rng = random.Random(100 + seed)
+            members = [rng.randrange(1, 1 << 8) for _ in range(25)]
+            minimal = MinimalAntichain(members)
+            snapshot = minimal.masks()
+            for _ in range(50):
+                probe = rng.randrange(1 << 8)
+                expected_sub = any(is_subset(m, probe) for m in snapshot)
+                expected_super = any(is_subset(probe, m) for m in snapshot)
+                assert minimal.contains_subset_of(probe) == expected_sub
+                assert minimal.contains_superset_of(probe) == expected_super
+
+
+def test_sorted_masks_order():
+    assert sorted_masks([0b111, 0b1, 0b10, 0b11]) == [0b1, 0b10, 0b11, 0b111]

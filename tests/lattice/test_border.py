@@ -1,0 +1,70 @@
+"""Unit tests for the generic border search (beyond the property tests
+in tests/profiling/test_approximate.py)."""
+
+import random
+
+from repro.lattice.border import discover_border
+from repro.lattice.combination import is_subset
+from repro.lattice.enumeration import is_antichain
+
+
+def brute_border(n_columns, predicate):
+    status = {mask: predicate(mask) for mask in range(1 << n_columns)}
+    minimal = sorted(
+        mask
+        for mask, good in status.items()
+        if good
+        and all(
+            not status[mask & ~(1 << bit)]
+            for bit in range(n_columns)
+            if mask >> bit & 1
+        )
+    )
+    maximal = sorted(
+        mask
+        for mask, good in status.items()
+        if not good
+        and all(
+            status[mask | (1 << bit)]
+            for bit in range(n_columns)
+            if not mask >> bit & 1
+        )
+    )
+    return minimal, maximal
+
+
+def random_monotone_predicate(seed, n_columns):
+    """An upward-closed predicate from random minimal generators."""
+    rng = random.Random(seed)
+    generators = [
+        rng.randrange(1, 1 << n_columns) for _ in range(rng.randint(1, 6))
+    ]
+
+    def predicate(mask: int) -> bool:
+        return any(is_subset(generator, mask) for generator in generators)
+
+    return predicate
+
+
+class TestAgainstBruteforce:
+    def test_random_monotone_predicates(self):
+        for seed in range(25):
+            n_columns = 6
+            predicate = random_monotone_predicate(seed, n_columns)
+            minimal, maximal = discover_border(n_columns, predicate)
+            expected = brute_border(n_columns, predicate)
+            assert sorted(minimal) == expected[0], seed
+            assert sorted(maximal) == expected[1], seed
+            assert is_antichain(minimal)
+            assert is_antichain(maximal)
+
+    def test_predicate_called_at_most_once_per_mask(self):
+        calls: dict[int, int] = {}
+        predicate = random_monotone_predicate(3, 6)
+
+        def counted(mask: int) -> bool:
+            calls[mask] = calls.get(mask, 0) + 1
+            return predicate(mask)
+
+        discover_border(6, counted)
+        assert all(count == 1 for count in calls.values())

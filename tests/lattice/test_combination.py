@@ -1,0 +1,136 @@
+"""Unit tests for bitmask column-combination operations."""
+
+import pytest
+
+from repro.errors import UnknownColumnError
+from repro.lattice.combination import (
+    ColumnCombination,
+    columns_of,
+    full_mask,
+    immediate_subsets,
+    immediate_supersets,
+    is_proper_subset,
+    is_subset,
+    iter_bits,
+    mask_of,
+    maximize,
+    minimize,
+    popcount,
+)
+
+NAMES = ["a", "b", "c", "d"]
+
+
+class TestMaskOps:
+    def test_mask_of_roundtrip(self):
+        assert mask_of([0, 2]) == 0b101
+        assert columns_of(0b101) == (0, 2)
+        assert columns_of(0) == ()
+
+    def test_mask_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_subset_relations(self):
+        assert is_subset(0b001, 0b011)
+        assert is_subset(0b011, 0b011)
+        assert not is_subset(0b100, 0b011)
+        assert is_proper_subset(0b001, 0b011)
+        assert not is_proper_subset(0b011, 0b011)
+
+    def test_empty_is_subset_of_everything(self):
+        assert is_subset(0, 0)
+        assert is_subset(0, 0b111)
+
+    def test_full_mask(self):
+        assert full_mask(0) == 0
+        assert full_mask(3) == 0b111
+        with pytest.raises(ValueError):
+            full_mask(-1)
+
+    def test_immediate_neighbours(self):
+        assert sorted(immediate_supersets(0b001, 0b111)) == [0b011, 0b101]
+        assert sorted(immediate_subsets(0b011)) == [0b001, 0b010]
+        assert list(immediate_subsets(0)) == []
+
+    def test_minimize(self):
+        assert sorted(minimize([0b111, 0b011, 0b100, 0b011])) == [0b011, 0b100]
+
+    def test_minimize_keeps_incomparable(self):
+        masks = [0b001, 0b010, 0b100]
+        assert sorted(minimize(masks)) == masks
+
+    def test_maximize(self):
+        assert sorted(maximize([0b001, 0b011, 0b100, 0b011])) == [0b011, 0b100]
+
+    def test_minimize_empty_mask_dominates(self):
+        assert minimize([0b101, 0, 0b1]) == [0]
+
+
+class TestColumnCombination:
+    def test_of_names(self):
+        combo = ColumnCombination.of(["a", "c"], NAMES)
+        assert combo.mask == 0b101
+        assert combo.names == ("a", "c")
+        assert combo.indices == (0, 2)
+
+    def test_of_unknown_name(self):
+        with pytest.raises(UnknownColumnError):
+            ColumnCombination.of(["z"], NAMES)
+
+    def test_mask_beyond_names_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnCombination(0b10000, NAMES)
+
+    def test_membership(self):
+        combo = ColumnCombination(0b101, NAMES)
+        assert "a" in combo
+        assert 2 in combo
+        assert "b" not in combo
+        assert 3 not in combo
+        assert object() not in combo
+
+    def test_set_algebra(self):
+        left = ColumnCombination(0b011, NAMES)
+        right = ColumnCombination(0b110, NAMES)
+        assert left.union(right).mask == 0b111
+        assert left.intersection(right).mask == 0b010
+        assert left.difference(right).mask == 0b001
+        assert left.with_column(3).mask == 0b1011
+
+    def test_subset_predicates(self):
+        small = ColumnCombination(0b001, NAMES)
+        big = ColumnCombination(0b011, NAMES)
+        assert small.issubset(big)
+        assert big.issuperset(small)
+        assert not big.issubset(small)
+
+    def test_equality_and_hash_by_mask(self):
+        one = ColumnCombination(0b011, NAMES)
+        two = ColumnCombination.of(["a", "b"], NAMES)
+        assert one == two
+        assert hash(one) == hash(two)
+        assert len({one, two}) == 1
+
+    def test_ordering_by_size_then_mask(self):
+        combos = [
+            ColumnCombination(0b110, NAMES),
+            ColumnCombination(0b001, NAMES),
+            ColumnCombination(0b011, NAMES),
+        ]
+        assert sorted(combos) == [combos[1], combos[2], combos[0]]
+
+    def test_iteration_and_len(self):
+        combo = ColumnCombination(0b101, NAMES)
+        assert list(combo) == ["a", "c"]
+        assert len(combo) == 2
+
+    def test_repr_uses_names(self):
+        assert repr(ColumnCombination(0b101, NAMES)) == "{a, c}"

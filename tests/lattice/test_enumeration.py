@@ -1,0 +1,65 @@
+"""Unit tests for lattice enumeration utilities."""
+
+import pytest
+
+from repro.lattice.enumeration import (
+    apriori_gen,
+    downset,
+    is_antichain,
+    level,
+    upset,
+)
+
+
+class TestLevel:
+    def test_level_counts(self):
+        assert len(list(level(5, 2))) == 10
+        assert list(level(3, 0)) == [0]
+        assert sorted(level(3, 3)) == [0b111]
+
+    def test_level_masks_have_right_size(self):
+        assert all(mask.bit_count() == 2 for mask in level(6, 2))
+
+
+class TestAprioriGen:
+    def test_joins_and_prunes(self):
+        # non-uniques of level 1: {a}, {b}, {c}
+        candidates = apriori_gen([0b001, 0b010, 0b100], 2)
+        assert sorted(candidates) == [0b011, 0b101, 0b110]
+
+    def test_prunes_candidates_with_missing_subset(self):
+        # {a,b} and {a,c} join to {a,b,c}, but {b,c} is missing
+        candidates = apriori_gen([0b011, 0b101], 3)
+        assert candidates == []
+
+    def test_complete_previous_level(self):
+        candidates = apriori_gen([0b011, 0b101, 0b110], 3)
+        assert candidates == [0b111]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            apriori_gen([0b1], 1)
+
+
+class TestClosures:
+    def test_downset(self):
+        assert downset([0b011]) == {0b000, 0b001, 0b010, 0b011}
+
+    def test_downset_always_contains_empty(self):
+        assert downset([]) == {0}
+
+    def test_upset(self):
+        assert upset([0b10], 2) == {0b10, 0b11}
+
+    def test_upset_of_empty_mask_is_everything(self):
+        assert upset([0], 2) == {0b00, 0b01, 0b10, 0b11}
+
+
+class TestIsAntichain:
+    def test_positive(self):
+        assert is_antichain([0b011, 0b101, 0b110])
+        assert is_antichain([])
+
+    def test_negative(self):
+        assert not is_antichain([0b001, 0b011])
+        assert not is_antichain([0b011, 0b001])

@@ -1,0 +1,50 @@
+"""Unit tests for the UGraph/NUGraph classification index."""
+
+import pytest
+
+from repro.errors import InconsistentProfileError
+from repro.lattice.graphs import CombinationGraph
+
+
+class TestClassification:
+    def test_empty_graph_knows_nothing(self):
+        graph = CombinationGraph()
+        assert graph.classify(0b101) is None
+
+    def test_unique_implies_supersets(self):
+        graph = CombinationGraph(uniques=[0b001])
+        assert graph.implies_unique(0b001)
+        assert graph.implies_unique(0b011)
+        assert not graph.implies_unique(0b010)
+        assert graph.classify(0b101) is True
+
+    def test_non_unique_implies_subsets(self):
+        graph = CombinationGraph(non_uniques=[0b011])
+        assert graph.implies_non_unique(0b011)
+        assert graph.implies_non_unique(0b001)
+        assert graph.implies_non_unique(0)
+        assert not graph.implies_non_unique(0b111)
+        assert graph.classify(0b010) is False
+
+    def test_conflicting_unique_rejected(self):
+        graph = CombinationGraph(non_uniques=[0b011])
+        with pytest.raises(InconsistentProfileError):
+            graph.add_unique(0b001)
+
+    def test_conflicting_non_unique_rejected(self):
+        graph = CombinationGraph(uniques=[0b001])
+        with pytest.raises(InconsistentProfileError):
+            graph.add_non_unique(0b011)
+
+    def test_border_extraction(self):
+        graph = CombinationGraph()
+        graph.add_unique(0b111)
+        graph.add_unique(0b011)
+        graph.add_non_unique(0b001)
+        graph.add_non_unique(0b100)
+        assert graph.minimal_uniques() == [0b011]
+        assert graph.maximal_non_uniques() == [0b001, 0b100]
+
+    def test_repr(self):
+        graph = CombinationGraph(uniques=[0b1], non_uniques=[0b10])
+        assert "uniques=1" in repr(graph)

@@ -1,0 +1,142 @@
+"""Unit tests for minimal hitting sets and the MUCS <-> MNUCS duality."""
+
+import random
+from itertools import combinations
+
+from repro.lattice.combination import full_mask, is_subset, mask_of
+from repro.lattice.transversal import (
+    minimal_hitting_sets,
+    minimal_unique_supersets,
+    mnucs_from_mucs,
+    mucs_from_mnucs,
+)
+
+
+def brute_force_hitting_sets(edges: list[int], n_vertices: int) -> list[int]:
+    """Reference implementation: scan all 2^n vertex sets."""
+    hitting = [
+        mask
+        for mask in range(1 << n_vertices)
+        if all(mask & edge for edge in edges)
+    ]
+    minimal = [
+        mask
+        for mask in hitting
+        if not any(other != mask and is_subset(other, mask) for other in hitting)
+    ]
+    return sorted(minimal)
+
+
+class TestMinimalHittingSets:
+    def test_no_edges(self):
+        assert minimal_hitting_sets([]) == [0]
+
+    def test_empty_edge_unhittable(self):
+        assert minimal_hitting_sets([0b101, 0]) == []
+
+    def test_single_edge(self):
+        assert sorted(minimal_hitting_sets([0b101])) == [0b001, 0b100]
+
+    def test_classic_example(self):
+        # edges {a,b}, {b,c}: minimal transversals {b}, {a,c}
+        edges = [mask_of([0, 1]), mask_of([1, 2])]
+        assert sorted(minimal_hitting_sets(edges)) == [0b010, 0b101]
+
+    def test_duplicate_and_superset_edges_ignored(self):
+        assert minimal_hitting_sets([0b01, 0b01, 0b11]) == [0b01]
+
+    def test_universe_restriction(self):
+        # Without vertex 1, edge {0,1} must be hit through vertex 0.
+        edges = [0b011, 0b110]
+        result = minimal_hitting_sets(edges, universe=0b101)
+        assert result == [0b101]
+
+    def test_universe_making_unhittable(self):
+        assert minimal_hitting_sets([0b010], universe=0b101) == []
+
+    def test_against_bruteforce_random(self):
+        for seed in range(40):
+            rng = random.Random(seed)
+            n_vertices = rng.randint(1, 8)
+            edges = [
+                rng.randrange(1, 1 << n_vertices)
+                for _ in range(rng.randint(1, 10))
+            ]
+            expected = brute_force_hitting_sets(edges, n_vertices)
+            assert sorted(minimal_hitting_sets(edges)) == expected, (seed, edges)
+
+    def test_output_is_exact_cover_free(self):
+        # every result hits every edge and is minimal
+        edges = [0b0111, 0b1100, 0b1010]
+        for result in minimal_hitting_sets(edges):
+            assert all(result & edge for edge in edges)
+            for bit in range(4):
+                smaller = result & ~(1 << bit)
+                if smaller != result:
+                    assert not all(smaller & edge for edge in edges)
+
+
+class TestDuality:
+    def test_simple_roundtrip(self):
+        mucs = [0b001, 0b110]
+        mnucs = mnucs_from_mucs(mucs, 3)
+        assert sorted(mucs_from_mnucs(mnucs, 3)) == sorted(mucs)
+
+    def test_paper_example(self):
+        # Table I: MUCS {Phone}, {Name, Age} with columns (Name, Phone, Age)
+        mucs = [0b010, 0b101]
+        assert sorted(mnucs_from_mucs(mucs, 3)) == [0b001, 0b100]
+
+    def test_no_mucs_means_everything_non_unique(self):
+        assert mnucs_from_mucs([], 3) == [0b111]
+
+    def test_empty_combination_unique(self):
+        # <= 1 row: the empty combination is the only MUC, nothing is
+        # non-unique.
+        assert mnucs_from_mucs([0], 3) == []
+        assert mucs_from_mnucs([], 3) == [0]
+
+    def test_roundtrip_random_antichains(self):
+        for seed in range(30):
+            rng = random.Random(seed)
+            n_columns = rng.randint(1, 7)
+            universe = full_mask(n_columns)
+            raw = {rng.randrange(1, universe + 1) for _ in range(rng.randint(1, 8))}
+            mucs = sorted(
+                mask
+                for mask in raw
+                if not any(other != mask and is_subset(other, mask) for other in raw)
+            )
+            mnucs = mnucs_from_mucs(mucs, n_columns)
+            assert sorted(mucs_from_mnucs(mnucs, n_columns)) == mucs
+            # every MNUC contains no MUC; every non-member superset does
+            for mnuc in mnucs:
+                assert not any(is_subset(muc, mnuc) for muc in mucs)
+
+
+class TestMinimalUniqueSupersets:
+    def test_example(self):
+        # base {0}, pairs agreeing on {0,1} and {0,2} within 4 columns:
+        # a unique superset must escape both agree sets.
+        result = sorted(minimal_unique_supersets(0b0001, [0b0011, 0b0101], 4))
+        # adding column 3 escapes both; adding columns 1 and 2 together
+        # escapes the other pair's agree set each.
+        assert result == [0b0111, 0b1001]
+
+    def test_identical_tuples_kill_all_supersets(self):
+        assert list(minimal_unique_supersets(0b01, [0b11], 2)) == []
+
+    def test_exhaustive_check(self):
+        base = 0b001
+        agree_sets = [0b011, 0b101, 0b111 & 0b011]
+        results = set(minimal_unique_supersets(base, agree_sets, 3))
+        for mask in range(8):
+            if not is_subset(base, mask):
+                continue
+            unique = all(not is_subset(mask, agree) for agree in agree_sets)
+            minimal = unique and all(
+                any(is_subset(mask & ~(1 << bit), agree) for agree in agree_sets)
+                for bit in range(3)
+                if (mask >> bit & 1) and not (base >> bit & 1)
+            )
+            assert (mask in results) == (unique and minimal), mask

@@ -1,0 +1,172 @@
+"""Unit and oracle tests for approximate unique discovery."""
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.lattice.combination import columns_of, is_subset
+from repro.profiling.approximate import (
+    ApproximateUniqueFinder,
+    discover_approximate_uniques,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from tests.conftest import random_relation
+
+
+def brute_degree(relation: Relation, mask: int) -> int:
+    """Oracle: rows to remove = sum over duplicate groups of size-1."""
+    groups: dict[tuple, int] = {}
+    indices = columns_of(mask)
+    for row in relation.iter_rows():
+        key = tuple(row[index] for index in indices)
+        groups[key] = groups.get(key, 0) + 1
+    return sum(count - 1 for count in groups.values())
+
+
+def brute_border(relation: Relation, budget: int) -> tuple[list[int], list[int]]:
+    n_columns = relation.n_columns
+    status = {
+        mask: brute_degree(relation, mask) <= budget
+        for mask in range(1 << n_columns)
+    }
+    minimal = [
+        mask
+        for mask, good in status.items()
+        if good
+        and all(
+            not status[mask & ~(1 << bit)]
+            for bit in range(n_columns)
+            if mask >> bit & 1
+        )
+    ]
+    maximal = [
+        mask
+        for mask, good in status.items()
+        if not good
+        and all(
+            status[mask | (1 << bit)]
+            for bit in range(n_columns)
+            if not mask >> bit & 1
+        )
+    ]
+    return sorted(minimal), sorted(maximal)
+
+
+@pytest.fixture
+def dirty_key_relation():
+    """'id' is unique except for one duplicated legacy row."""
+    schema = Schema(["id", "v"])
+    return Relation.from_rows(
+        schema,
+        [("1", "a"), ("2", "b"), ("3", "c"), ("3", "d"), ("4", "e")],
+    )
+
+
+class TestDegree:
+    def test_degree_counts_removals(self, dirty_key_relation):
+        finder = ApproximateUniqueFinder(dirty_key_relation)
+        assert finder.degree(0b01) == 1  # one row to drop
+        assert finder.degree(0b10) == 0  # v is unique
+        assert finder.degree(0b11) == 0
+
+    def test_degree_empty_mask(self, dirty_key_relation):
+        finder = ApproximateUniqueFinder(dirty_key_relation)
+        assert finder.degree(0) == 4  # keep one of five rows
+
+    def test_degree_matches_oracle_random(self):
+        for seed in range(10):
+            relation = random_relation(seed, n_columns=4)
+            finder = ApproximateUniqueFinder(relation)
+            for mask in range(1, 16):
+                assert finder.degree(mask) == brute_degree(relation, mask)
+
+
+class TestDiscovery:
+    def test_dirty_key_found_with_budget(self, dirty_key_relation):
+        exact, __ = discover_approximate_uniques(dirty_key_relation, 0)
+        relaxed, __ = discover_approximate_uniques(dirty_key_relation, 1)
+        assert 0b01 not in exact
+        assert 0b01 in relaxed
+
+    def test_budget_zero_equals_exact_discovery(self):
+        for seed in range(8):
+            relation = random_relation(seed, n_columns=4)
+            approx_mucs, approx_mnucs = discover_approximate_uniques(relation, 0)
+            exact_mucs, exact_mnucs = discover_bruteforce(relation)
+            assert sorted(approx_mucs) == sorted(exact_mucs)
+            assert sorted(approx_mnucs) == sorted(exact_mnucs)
+
+    @pytest.mark.parametrize("budget", [1, 2, 4])
+    def test_against_bruteforce(self, budget):
+        for seed in range(8):
+            relation = random_relation(100 + seed, n_columns=4)
+            got = discover_approximate_uniques(relation, budget)
+            expected = brute_border(relation, budget)
+            assert sorted(got[0]) == expected[0], (seed, budget)
+            assert sorted(got[1]) == expected[1], (seed, budget)
+
+    def test_budget_monotone(self):
+        """A larger budget never loses an approximate unique: every
+        k-approx unique contains a (k+1)-approx minimal one."""
+        relation = random_relation(3, n_columns=4, n_rows=25, domain=3)
+        tight, __ = discover_approximate_uniques(relation, 1)
+        loose, __ = discover_approximate_uniques(relation, 3)
+        for mask in tight:
+            assert any(is_subset(member, mask) for member in loose)
+
+    def test_negative_budget_rejected(self, dirty_key_relation):
+        with pytest.raises(ValueError):
+            discover_approximate_uniques(dirty_key_relation, -1)
+
+    def test_tiny_relation(self):
+        relation = Relation.from_rows(Schema(["a"]), [("x",)])
+        assert discover_approximate_uniques(relation, 0) == ([0], [])
+
+
+class TestBorderHelperIsGeneric:
+    def test_arbitrary_monotone_predicate(self):
+        """discover_border works for any upward-closed predicate."""
+        from repro.lattice.border import discover_border
+
+        # predicate: mask covers at least 3 of 5 columns
+        minimal, maximal = discover_border(
+            5, lambda mask: bin(mask).count("1") >= 3
+        )
+        assert all(bin(mask).count("1") == 3 for mask in minimal)
+        assert len(minimal) == len(list(combinations(range(5), 3)))
+        assert all(bin(mask).count("1") == 2 for mask in maximal)
+
+    def test_seeded_knowledge(self):
+        from repro.lattice.border import discover_border
+
+        calls: list[int] = []
+
+        def predicate(mask: int) -> bool:
+            calls.append(mask)
+            return bin(mask).count("1") >= 2
+
+        minimal, __ = discover_border(
+            3,
+            predicate,
+            known_true=[0b011, 0b101, 0b110],
+            known_false=[0b001, 0b010, 0b100],
+        )
+        assert sorted(minimal) == [0b011, 0b101, 0b110]
+        assert calls == []  # fully answered by the seeds
+
+    def test_always_true_predicate(self):
+        from repro.lattice.border import discover_border
+
+        minimal, maximal = discover_border(3, lambda mask: True)
+        assert minimal == [0]
+        assert maximal == []
+
+    def test_always_false_predicate(self):
+        from repro.lattice.border import discover_border
+
+        minimal, maximal = discover_border(3, lambda mask: False)
+        assert minimal == []
+        assert maximal == [0b111]

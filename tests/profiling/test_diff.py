@@ -1,0 +1,64 @@
+"""Unit tests for profile diffs."""
+
+from repro.core.repository import Profile
+from repro.core.swan import SwanProfiler
+from repro.profiling.diff import diff_profiles
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+class TestDiffProfiles:
+    def test_unchanged(self):
+        profile = Profile.from_masks([0b01], [0b10])
+        diff = diff_profiles(profile, profile)
+        assert diff.unchanged
+        assert diff.render(Schema(["a", "b"])) == "profile unchanged"
+
+    def test_weakened_key(self):
+        before = Profile.from_masks([0b010], [0b101])
+        after = Profile.from_masks([0b110], [0b101])
+        diff = diff_profiles(before, after)
+        assert diff.weakened == ((0b010, 0b110),)
+        assert diff.strengthened == ()
+        text = diff.render(Schema(["a", "b", "c"]))
+        assert "key weakened: {b} -> {b, c}" in text
+
+    def test_strengthened_key(self):
+        before = Profile.from_masks([0b011], [])
+        after = Profile.from_masks([0b001], [])
+        diff = diff_profiles(before, after)
+        assert diff.strengthened == ((0b011, 0b001),)
+        assert "key strengthened" in diff.render(Schema(["a", "b"]))
+
+    def test_unrelated_gain_and_loss(self):
+        before = Profile.from_masks([0b001], [])
+        after = Profile.from_masks([0b010], [])
+        diff = diff_profiles(before, after)
+        assert diff.weakened == () and diff.strengthened == ()
+        text = diff.render(Schema(["a", "b"]))
+        assert "new key: {b}" in text
+        assert "lost key: {a}" in text
+
+    def test_mnuc_tracking(self):
+        before = Profile.from_masks([0b100], [0b011])
+        after = Profile.from_masks([0b100], [0b001, 0b010])
+        diff = diff_profiles(before, after)
+        assert diff.lost_mnucs == (0b011,)
+        assert diff.gained_mnucs == (0b001, 0b010)
+
+
+class TestWithSwan:
+    def test_paper_example_diff(self):
+        schema = Schema(["Name", "Phone", "Age"])
+        relation = Relation.from_rows(
+            schema,
+            [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+        )
+        profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+        before = profiler.snapshot()
+        after = profiler.handle_inserts([("Payne", "245", "31")])
+        diff = diff_profiles(before, after)
+        # {Phone} weakened to {Phone, Age}
+        assert diff.weakened == ((0b010, 0b110),)
+        text = diff.render(schema)
+        assert "key weakened: {Phone} -> {Phone, Age}" in text

@@ -1,0 +1,81 @@
+"""Unit tests for profile persistence."""
+
+import json
+
+import pytest
+
+from repro.core.repository import Profile
+from repro.core.swan import SwanProfiler
+from repro.errors import ProfileStateError
+from repro.profiling.persistence import dump_profile, load_profile
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["Name", "Phone", "Age"])
+
+
+@pytest.fixture
+def profile():
+    return Profile.from_masks([0b010, 0b101], [0b001, 0b100])
+
+
+class TestRoundtrip:
+    def test_dump_and_load(self, schema, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        dump_profile(schema, profile, path)
+        stored = load_profile(path)
+        assert stored.columns == schema.names
+        assert stored.profile == profile
+
+    def test_masks_for_same_schema(self, schema, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        dump_profile(schema, profile, path)
+        mucs, mnucs = load_profile(path).masks_for(schema)
+        assert sorted(mucs) == [0b010, 0b101]
+        assert sorted(mnucs) == [0b001, 0b100]
+
+    def test_masks_for_reordered_schema(self, schema, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        dump_profile(schema, profile, path)
+        reordered = Schema(["Age", "Name", "Phone"])
+        mucs, __ = load_profile(path).masks_for(reordered)
+        # {Phone} -> bit 2; {Name, Age} -> bits 1 and 0
+        assert sorted(mucs) == [0b011, 0b100]
+
+    def test_missing_column_rejected(self, schema, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        dump_profile(schema, profile, path)
+        with pytest.raises(ProfileStateError, match="missing"):
+            load_profile(path).masks_for(Schema(["Name", "Phone"]))
+
+    def test_version_check(self, schema, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        dump_profile(schema, profile, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["format_version"] = 99
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ProfileStateError, match="version"):
+            load_profile(path)
+
+
+class TestReattach:
+    def test_swan_restarts_from_stored_profile(self, tmp_path):
+        schema = Schema(["Name", "Phone", "Age"])
+        relation = Relation.from_rows(
+            schema,
+            [("Lee", "345", "20"), ("Payne", "245", "30"), ("Lee", "234", "30")],
+        )
+        first = SwanProfiler.profile(relation, algorithm="bruteforce")
+        path = str(tmp_path / "profile.json")
+        dump_profile(schema, first.snapshot(), path)
+
+        mucs, mnucs = load_profile(path).masks_for(schema)
+        second = SwanProfiler(relation, mucs, mnucs)
+        profile = second.handle_inserts([("Payne", "245", "31")])
+        names = {schema.combination(mask).names for mask in profile.mucs}
+        assert names == {("Name", "Age"), ("Phone", "Age")}

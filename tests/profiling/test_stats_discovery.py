@@ -1,0 +1,64 @@
+"""Unit tests for column statistics and the discovery registry."""
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.profiling.discovery import available_algorithms, discover
+from repro.profiling.stats import column_statistics, muc_column_frequencies
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["a", "b"])
+    return Relation.from_rows(
+        schema, [("1", "x"), ("2", "x"), ("3", "y"), ("4", "y")]
+    )
+
+
+class TestColumnStatistics:
+    def test_cardinalities(self, relation):
+        stats = column_statistics(relation)
+        assert stats.row_count == 4
+        assert stats.cardinalities == (4, 2)
+
+    def test_selectivity(self, relation):
+        stats = column_statistics(relation)
+        assert stats.selectivity(0) == 1.0
+        assert stats.selectivity(1) == 0.5
+
+    def test_restricted_columns(self, relation):
+        stats = column_statistics(relation, columns=[1])
+        assert stats.cardinalities == (0, 2)
+
+    def test_frequency_order(self, relation):
+        stats = column_statistics(relation)
+        assert stats.frequency_order() == [0, 1]
+
+    def test_empty_relation(self):
+        relation = Relation(Schema(["a"]))
+        stats = column_statistics(relation)
+        assert stats.selectivity(0) == 0.0
+
+
+class TestMucColumnFrequencies:
+    def test_counts(self):
+        assert muc_column_frequencies([0b011, 0b010], 3) == [1, 2, 0]
+
+    def test_empty(self):
+        assert muc_column_frequencies([], 2) == [0, 0]
+
+
+class TestDiscoveryRegistry:
+    def test_available(self):
+        assert set(available_algorithms()) >= {"bruteforce", "ducc", "gordian", "hca"}
+
+    def test_unknown_algorithm(self, relation):
+        with pytest.raises(AlgorithmError):
+            discover(relation, "nope")
+
+    def test_canonical_order(self, relation):
+        mucs, mnucs = discover(relation, "bruteforce")
+        assert mucs == sorted(mucs, key=lambda m: (bin(m).count("1"), m))
+        assert mnucs == sorted(mnucs, key=lambda m: (bin(m).count("1"), m))

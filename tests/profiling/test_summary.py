@@ -1,0 +1,85 @@
+"""Unit tests for the combined profiling summary."""
+
+import json
+
+import pytest
+
+from repro.profiling.summary import summarize
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["id", "code", "label", "flag"])
+    return Relation.from_rows(
+        schema,
+        [
+            ("1", "a", "alpha", "y"),
+            ("2", "a", "alpha", "y"),
+            ("3", "b", "beta", "y"),
+            ("4", "b", "beta", "n"),
+        ],
+    )
+
+
+class TestSummarize:
+    def test_basic_profile(self, relation):
+        summary = summarize(relation, algorithm="bruteforce")
+        assert summary.n_rows == 4
+        assert ("id",) in summary.candidate_keys()
+        assert summary.stats.cardinalities[0] == 4
+
+    def test_key_like_columns(self, relation):
+        summary = summarize(relation, algorithm="bruteforce")
+        assert summary.key_like_columns() == ["id"]
+        assert "code" in summary.key_like_columns(threshold=0.5)
+
+    def test_candidate_keys_size_filter(self, relation):
+        summary = summarize(relation, algorithm="bruteforce")
+        singles = summary.candidate_keys(max_size=1)
+        assert singles == [("id",)]
+
+    def test_with_fds(self, relation):
+        summary = summarize(relation, algorithm="bruteforce", with_fds=1)
+        rendered = [fd.named(relation.schema) for fd in summary.fds]
+        assert "[code] -> label" in rendered
+
+    def test_with_inds(self):
+        schema = Schema(["narrow", "wide"])
+        rel = Relation.from_rows(
+            schema, [("a", "a"), ("a", "b"), ("b", "c")]
+        )
+        summary = summarize(rel, algorithm="bruteforce", with_inds=True)
+        rendered = [ind.named(schema) for ind in summary.inds]
+        assert "R.narrow ⊆ R.wide" in rendered
+
+    def test_to_dict_is_json_ready(self, relation):
+        summary = summarize(
+            relation, algorithm="bruteforce", with_fds=1, with_inds=True
+        )
+        payload = json.dumps(summary.to_dict())
+        decoded = json.loads(payload)
+        assert decoded["rows"] == 4
+        assert ["id"] in decoded["minimal_uniques"]
+        assert decoded["columns"][0]["name"] == "id"
+
+    def test_render_sections(self, relation):
+        summary = summarize(
+            relation, algorithm="bruteforce", with_fds=1, with_inds=True
+        )
+        text = summary.render()
+        assert "candidate keys" in text
+        assert "functional dependencies" in text
+        assert "{id}" in text
+
+    def test_render_truncation(self):
+        schema = Schema(["a", "b", "c"])
+        rel = Relation.from_rows(
+            schema,
+            [("1", "x", "p"), ("2", "y", "p"), ("3", "x", "q"), ("3", "y", "r")],
+        )
+        summary = summarize(rel, algorithm="bruteforce")
+        assert len(summary.mucs) > 1
+        text = summary.render(max_items=1)
+        assert "more" in text

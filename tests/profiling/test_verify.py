@@ -1,0 +1,83 @@
+"""Unit tests for uniqueness verification and agree sets."""
+
+import pytest
+
+from repro.errors import InconsistentProfileError
+from repro.profiling.verify import (
+    agree_set,
+    is_maximal_non_unique,
+    is_minimal_unique,
+    is_non_unique,
+    is_unique,
+    pairwise_agree_sets,
+    sort_profile,
+    verify_profile,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["a", "b", "c"])
+    return Relation.from_rows(
+        schema,
+        [("x", "1", "p"), ("y", "1", "q"), ("x", "2", "q")],
+    )
+
+
+class TestUniquenessChecks:
+    def test_is_unique(self, relation):
+        assert is_unique(relation, 0b011)  # (a,b) pairs distinct
+        assert not is_unique(relation, 0b001)
+        assert is_non_unique(relation, 0b010)
+
+    def test_empty_combination(self, relation):
+        assert not is_unique(relation, 0)
+
+    def test_is_minimal_unique(self, relation):
+        assert is_minimal_unique(relation, 0b011)
+        assert not is_minimal_unique(relation, 0b111)  # not minimal
+        assert not is_minimal_unique(relation, 0b001)  # not unique
+
+    def test_is_maximal_non_unique(self, relation):
+        assert is_maximal_non_unique(relation, 0b001)
+        assert not is_maximal_non_unique(relation, 0b011)
+
+
+class TestAgreeSets:
+    def test_agree_set(self):
+        assert agree_set(("x", "1", "p"), ("x", "2", "p")) == 0b101
+        assert agree_set(("a", "b"), ("c", "d")) == 0
+        assert agree_set(("a",), ("a",)) == 0b1
+
+    def test_pairwise(self):
+        rows = [("x", "1"), ("x", "2"), ("y", "1")]
+        assert pairwise_agree_sets(rows) == {0b01, 0b10, 0b00}
+
+
+class TestVerifyProfile:
+    def test_accepts_correct_profile(self, relation):
+        verify_profile(relation, [0b011, 0b101, 0b110], [0b001, 0b010, 0b100],
+                       exhaustive=True)
+
+    def test_rejects_bogus_muc(self, relation):
+        with pytest.raises(InconsistentProfileError, match="MUC"):
+            verify_profile(relation, [0b001], [])
+
+    def test_rejects_bogus_mnuc(self, relation):
+        with pytest.raises(InconsistentProfileError, match="MNUC"):
+            verify_profile(relation, [], [0b011])
+
+    def test_exhaustive_catches_missing_mnucs(self, relation):
+        with pytest.raises(InconsistentProfileError, match="duals"):
+            verify_profile(
+                relation, [0b011, 0b101, 0b110], [0b001], exhaustive=True
+            )
+
+    def test_non_exhaustive_tolerates_missing(self, relation):
+        verify_profile(relation, [0b011], [0b001])
+
+
+def test_sort_profile_dedupes_and_orders():
+    assert sort_profile([0b100, 0b011, 0b100, 0b1]) == [0b001, 0b100, 0b011]

@@ -1,0 +1,77 @@
+"""Property test: antichain bitmap slots survive add/discard churn.
+
+The vertical-bitmap antichain recycles member slots through a free
+list; stale bits would silently corrupt every implication query in the
+library. This drives random add/discard sequences against a reference
+implementation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.antichain import MaximalAntichain, MinimalAntichain
+from repro.lattice.combination import is_subset, maximize, minimize
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "discard"]),
+        st.integers(min_value=0, max_value=(1 << 8) - 1),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+class _ReferenceMinimal:
+    def __init__(self):
+        self.members: set[int] = set()
+
+    def add(self, mask):
+        if any(is_subset(member, mask) for member in self.members):
+            return
+        self.members = {m for m in self.members if not is_subset(mask, m)}
+        self.members.add(mask)
+
+    def discard(self, mask):
+        self.members.discard(mask)
+
+
+@given(operations, st.integers(min_value=0, max_value=(1 << 8) - 1))
+@settings(max_examples=150)
+def test_minimal_antichain_under_churn(ops, probe):
+    container = MinimalAntichain()
+    reference = _ReferenceMinimal()
+    for action, mask in ops:
+        if action == "add":
+            container.add(mask)
+            reference.add(mask)
+        else:
+            container.discard(mask)
+            reference.discard(mask)
+        assert container.masks() == frozenset(reference.members)
+    members = reference.members
+    assert container.contains_subset_of(probe) == any(
+        is_subset(member, probe) for member in members
+    )
+    assert container.contains_superset_of(probe) == any(
+        is_subset(probe, member) for member in members
+    )
+    assert sorted(container.supersets_of(probe)) == sorted(
+        member for member in members if is_subset(probe, member)
+    )
+    assert sorted(container.subsets_of(probe)) == sorted(
+        member for member in members if is_subset(member, probe)
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 8) - 1), max_size=60))
+@settings(max_examples=100)
+def test_interleaved_containers_stay_independent(masks):
+    """Two containers fed the same stream never share state."""
+    minimal = MinimalAntichain()
+    maximal = MaximalAntichain()
+    for mask in masks:
+        minimal.add(mask)
+        maximal.add(mask)
+    assert sorted(minimal.masks()) == sorted(minimize(masks))
+    assert sorted(maximal.masks()) == sorted(maximize(masks))

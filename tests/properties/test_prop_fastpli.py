@@ -1,0 +1,79 @@
+"""Property-based equivalence: ArrayPli == reference PositionListIndex."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.combination import iter_bits
+from repro.storage.fastpli import ArrayPli
+from repro.storage.pli import PositionListIndex, pli_for_combination
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+N_COLUMNS = 4
+
+rows_strategy = st.lists(
+    st.tuples(*([st.integers(min_value=0, max_value=3)] * N_COLUMNS)).map(
+        lambda row: tuple(str(value) for value in row)
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def build_relation(rows):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    return Relation.from_rows(schema, rows)
+
+
+def array_pli_for_mask(relation, mask):
+    columns = list(iter_bits(mask))
+    current = ArrayPli.for_column(relation, columns[0])
+    for column in columns[1:]:
+        current = current.intersect(ArrayPli.for_column(relation, column))
+    return current
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=(1 << N_COLUMNS) - 1))
+@settings(max_examples=120)
+def test_array_pli_matches_reference(rows, mask):
+    relation = build_relation(rows)
+    reference = set(PositionListIndex.for_mask(relation, mask).clusters())
+    fast = set(array_pli_for_mask(relation, mask).clusters())
+    assert fast == reference
+
+
+@given(rows_strategy)
+@settings(max_examples=60)
+def test_array_pli_column_build_matches_reference(rows):
+    relation = build_relation(rows)
+    for column in range(N_COLUMNS):
+        reference = PositionListIndex.for_column(relation, column)
+        fast = ArrayPli.for_column(relation, column)
+        assert set(fast.clusters()) == set(reference.clusters())
+        assert fast.has_duplicates == reference.has_duplicates
+        assert fast.n_entries() == reference.n_entries()
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=(1 << N_COLUMNS) - 1))
+@settings(max_examples=60)
+def test_intersection_order_is_irrelevant(rows, mask):
+    relation = build_relation(rows)
+    plis = {
+        column: PositionListIndex.for_column(relation, column)
+        for column in range(N_COLUMNS)
+    }
+    reference = set(pli_for_combination(relation, mask, plis).clusters())
+    columns = list(iter_bits(mask))
+    current = ArrayPli.for_column(relation, columns[-1])
+    for column in reversed(columns[:-1]):
+        current = current.intersect(ArrayPli.for_column(relation, column))
+    assert set(current.clusters()) == reference
+
+
+def test_single_cluster_and_empty():
+    empty = ArrayPli.single_cluster([5], capacity=10)
+    assert not empty.has_duplicates
+    assert list(empty.clusters()) == []
+    full = ArrayPli.single_cluster([1, 4, 7], capacity=10)
+    assert full.has_duplicates
+    assert list(full.clusters()) == [frozenset({1, 4, 7})]

@@ -1,0 +1,63 @@
+"""Property: SWAN's insert handler is exact under ANY index choice.
+
+The value indexes are a performance structure; correctness must never
+depend on which columns are indexed (full cover, partial cover, or no
+indexes at all -- the fallback scan). This drives random batches
+through profilers with randomly chosen index columns and compares
+against the oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+N_COLUMNS = 4
+
+row_strategy = st.tuples(
+    *([st.integers(min_value=0, max_value=2)] * N_COLUMNS)
+).map(lambda row: tuple(str(value) for value in row))
+
+
+@given(
+    st.lists(row_strategy, min_size=2, max_size=15),
+    st.lists(row_strategy, min_size=1, max_size=4),
+    st.sets(st.integers(min_value=0, max_value=N_COLUMNS - 1), max_size=N_COLUMNS),
+)
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_any_index_subset_is_exact(rows, batch, index_columns):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    relation = Relation.from_rows(schema, rows)
+    mucs, mnucs = discover_bruteforce(relation)
+    profiler = SwanProfiler(
+        relation,
+        mucs,
+        mnucs,
+        index_columns=sorted(index_columns),
+        maintain_plis=False,
+    )
+    profile = profiler.handle_inserts(batch)
+    expected_mucs, expected_mnucs = discover_bruteforce(relation)
+    assert sorted(profile.mucs) == sorted(expected_mucs)
+    assert sorted(profile.mnucs) == sorted(expected_mnucs)
+
+
+@given(
+    st.lists(row_strategy, min_size=2, max_size=15),
+    st.lists(row_strategy, min_size=1, max_size=4),
+    st.integers(min_value=0, max_value=N_COLUMNS),
+)
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_any_quota_is_exact(rows, batch, quota):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    relation = Relation.from_rows(schema, rows)
+    mucs, mnucs = discover_bruteforce(relation)
+    profiler = SwanProfiler(
+        relation, mucs, mnucs, index_quota=quota or None, maintain_plis=False
+    )
+    profile = profiler.handle_inserts(batch)
+    expected_mucs, __ = discover_bruteforce(relation)
+    assert sorted(profile.mucs) == sorted(expected_mucs)

@@ -1,0 +1,82 @@
+"""Property-based tests for the lattice machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.antichain import MaximalAntichain, MinimalAntichain
+from repro.lattice.combination import (
+    columns_of,
+    is_subset,
+    mask_of,
+    maximize,
+    minimize,
+    popcount,
+)
+from repro.lattice.enumeration import is_antichain
+
+masks = st.integers(min_value=0, max_value=(1 << 10) - 1)
+mask_lists = st.lists(masks, min_size=0, max_size=40)
+
+
+@given(masks)
+def test_mask_roundtrip(mask):
+    assert mask_of(columns_of(mask)) == mask
+    assert popcount(mask) == len(columns_of(mask))
+
+
+@given(masks, masks)
+def test_subset_consistency(left, right):
+    assert is_subset(left, right) == (set(columns_of(left)) <= set(columns_of(right)))
+
+
+@given(mask_lists)
+def test_minimize_is_minimal_antichain(masks_in):
+    result = minimize(masks_in)
+    assert is_antichain(result)
+    # every input is dominated by some output
+    for mask in masks_in:
+        assert any(is_subset(member, mask) for member in result)
+    # every output was an input
+    assert set(result) <= set(masks_in)
+
+
+@given(mask_lists)
+def test_maximize_is_maximal_antichain(masks_in):
+    result = maximize(masks_in)
+    assert is_antichain(result)
+    for mask in masks_in:
+        assert any(is_subset(mask, member) for member in result)
+    assert set(result) <= set(masks_in)
+
+
+@given(mask_lists)
+@settings(max_examples=60)
+def test_minimal_antichain_container_matches_minimize(masks_in):
+    container = MinimalAntichain()
+    for mask in masks_in:
+        container.add(mask)
+    assert sorted(container.masks()) == sorted(minimize(masks_in))
+
+
+@given(mask_lists)
+@settings(max_examples=60)
+def test_maximal_antichain_container_matches_maximize(masks_in):
+    container = MaximalAntichain()
+    for mask in masks_in:
+        container.add(mask)
+    assert sorted(container.masks()) == sorted(maximize(masks_in))
+
+
+@given(mask_lists, masks)
+@settings(max_examples=60)
+def test_antichain_queries_match_definition(masks_in, probe):
+    container = MinimalAntichain()
+    for mask in masks_in:
+        container.add(mask)
+    members = container.masks()
+    assert container.contains_subset_of(probe) == any(
+        is_subset(member, probe) for member in members
+    )
+    assert container.contains_superset_of(probe) == any(
+        is_subset(probe, member) for member in members
+    )

@@ -1,0 +1,70 @@
+"""Property-based tests for position list indexes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.pli import PositionListIndex, pli_for_combination
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+N_COLUMNS = 4
+
+rows_strategy = st.lists(
+    st.tuples(*([st.integers(min_value=0, max_value=3)] * N_COLUMNS)).map(
+        lambda row: tuple(str(value) for value in row)
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_relation(rows):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    return Relation.from_rows(schema, rows)
+
+
+@given(rows_strategy, st.integers(min_value=1, max_value=(1 << N_COLUMNS) - 1))
+@settings(max_examples=120)
+def test_intersection_equals_direct_grouping(rows, mask):
+    """DESIGN.md invariant 8: PLI intersection == direct grouping."""
+    relation = build_relation(rows)
+    plis = {
+        column: PositionListIndex.for_column(relation, column)
+        for column in range(N_COLUMNS)
+    }
+    direct = set(PositionListIndex.for_mask(relation, mask).clusters())
+    derived = set(pli_for_combination(relation, mask, plis).clusters())
+    assert derived == direct
+
+
+@given(rows_strategy)
+@settings(max_examples=80)
+def test_pli_entries_are_only_duplicates(rows):
+    relation = build_relation(rows)
+    for column in range(N_COLUMNS):
+        pli = PositionListIndex.for_column(relation, column)
+        for cluster in pli.clusters():
+            assert len(cluster) >= 2
+            values = {relation.value(tuple_id, column) for tuple_id in cluster}
+            assert len(values) == 1
+
+
+@given(rows_strategy, st.data())
+@settings(max_examples=80)
+def test_dynamic_maintenance_matches_rebuild(rows, data):
+    """Applying random add/remove sequences to a tracked PLI keeps it
+    identical to a freshly built one."""
+    relation = build_relation(rows)
+    column = 0
+    pli = PositionListIndex.for_column(relation, column)
+    live = list(relation.iter_ids())
+    n_removals = data.draw(
+        st.integers(min_value=0, max_value=len(live))
+    )
+    doomed = live[:n_removals]
+    for tuple_id in doomed:
+        value = relation.value(tuple_id, column)
+        pli.remove(value, tuple_id)
+        relation.delete(tuple_id)
+    rebuilt = PositionListIndex.for_column(relation, column)
+    assert set(pli.clusters()) == set(rebuilt.clusters())

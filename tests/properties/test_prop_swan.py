@@ -1,0 +1,65 @@
+"""Property-based end-to-end tests: SWAN == static oracle, always."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.profiling.verify import verify_profile
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+N_COLUMNS = 4
+
+row_strategy = st.tuples(
+    *([st.integers(min_value=0, max_value=2)] * N_COLUMNS)
+).map(lambda row: tuple(str(value) for value in row))
+
+relation_rows = st.lists(row_strategy, min_size=2, max_size=20)
+batch_rows = st.lists(row_strategy, min_size=1, max_size=5)
+
+
+def build_relation(rows):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    return Relation.from_rows(schema, rows)
+
+
+@given(relation_rows, batch_rows)
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_inserts_match_oracle(rows, batch):
+    relation = build_relation(rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    profile = profiler.handle_inserts(batch)
+    expected_mucs, expected_mnucs = discover_bruteforce(relation)
+    assert sorted(profile.mucs) == sorted(expected_mucs)
+    assert sorted(profile.mnucs) == sorted(expected_mnucs)
+
+
+@given(relation_rows, st.data())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_deletes_match_oracle(rows, data):
+    relation = build_relation(rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    live = list(relation.iter_ids())
+    count = data.draw(st.integers(min_value=1, max_value=len(live)))
+    doomed = data.draw(
+        st.lists(
+            st.sampled_from(live), min_size=count, max_size=count, unique=True
+        )
+    )
+    profile = profiler.handle_deletes(doomed)
+    expected_mucs, expected_mnucs = discover_bruteforce(relation)
+    assert sorted(profile.mucs) == sorted(expected_mucs)
+    assert sorted(profile.mnucs) == sorted(expected_mnucs)
+
+
+@given(relation_rows, batch_rows)
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_profile_always_verifies(rows, batch):
+    """Whatever the workload, the reported profile satisfies the
+    definitional checks and the duality (DESIGN.md invariants 1-4)."""
+    relation = build_relation(rows)
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    profiler.handle_inserts(batch)
+    snapshot = profiler.snapshot()
+    verify_profile(relation, snapshot.mucs, snapshot.mnucs, exhaustive=True)

@@ -1,0 +1,77 @@
+"""Property-based tests for minimal hitting sets and the UCC duality."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.combination import is_subset
+from repro.lattice.enumeration import is_antichain
+from repro.lattice.transversal import (
+    minimal_hitting_sets,
+    mnucs_from_mucs,
+    mucs_from_mnucs,
+)
+
+N_VERTICES = 7
+edges_strategy = st.lists(
+    st.integers(min_value=1, max_value=(1 << N_VERTICES) - 1),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(edges_strategy)
+@settings(max_examples=120)
+def test_hitting_sets_hit_everything_and_are_minimal(edges):
+    results = minimal_hitting_sets(edges)
+    assert is_antichain(results)
+    for result in results:
+        assert all(result & edge for edge in edges)
+        for bit in range(N_VERTICES):
+            smaller = result & ~(1 << bit)
+            if smaller != result:
+                assert not all(smaller & edge for edge in edges)
+
+
+@given(edges_strategy)
+@settings(max_examples=120)
+def test_hitting_sets_complete(edges):
+    """Every hitting set contains a reported minimal one."""
+    results = minimal_hitting_sets(edges)
+    for candidate in range(1 << N_VERTICES):
+        if all(candidate & edge for edge in edges):
+            assert any(is_subset(result, candidate) for result in results)
+
+
+@st.composite
+def antichains(draw):
+    raw = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=(1 << N_VERTICES) - 1),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return [
+        mask
+        for mask in set(raw)
+        if not any(other != mask and is_subset(other, mask) for other in raw)
+    ]
+
+
+@given(antichains())
+@settings(max_examples=120)
+def test_duality_roundtrip(mucs):
+    mnucs = mnucs_from_mucs(mucs, N_VERTICES)
+    assert is_antichain(mnucs)
+    assert sorted(mucs_from_mnucs(mnucs, N_VERTICES)) == sorted(mucs)
+
+
+@given(antichains())
+@settings(max_examples=120)
+def test_duality_semantics(mucs):
+    """K subset of some MNUC <=> K contains no MUC."""
+    mnucs = mnucs_from_mucs(mucs, N_VERTICES)
+    for mask in range(1 << N_VERTICES):
+        covered = any(is_subset(mask, mnuc) for mnuc in mnucs)
+        contains_muc = any(is_subset(muc, mask) for muc in mucs)
+        assert covered == (not contains_muc)

@@ -1,0 +1,79 @@
+"""Unit tests for the array-backed PLI."""
+
+import numpy as np
+
+from repro.storage.fastpli import ArrayPli
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+def build(rows):
+    return Relation.from_rows(Schema(["a", "b"]), rows)
+
+
+class TestConstruction:
+    def test_for_column(self):
+        relation = build([("x", "1"), ("x", "2"), ("y", "3")])
+        pli = ArrayPli.for_column(relation, 0)
+        assert pli.has_duplicates
+        assert pli.n_entries() == 2
+        assert pli.n_clusters() == 1
+        assert list(pli.clusters()) == [frozenset({0, 1})]
+
+    def test_for_column_skips_tombstones(self):
+        relation = build([("x", "1"), ("x", "2"), ("x", "3")])
+        relation.delete(1)
+        pli = ArrayPli.for_column(relation, 0)
+        assert list(pli.clusters()) == [frozenset({0, 2})]
+
+    def test_unique_column(self):
+        relation = build([("x", "1"), ("y", "2")])
+        pli = ArrayPli.for_column(relation, 0)
+        assert not pli.has_duplicates
+        assert pli.n_clusters() == 0
+
+
+class TestDense:
+    def test_dense_roundtrip(self):
+        relation = build([("x", "1"), ("x", "2"), ("y", "3"), ("y", "4")])
+        pli = ArrayPli.for_column(relation, 0)
+        dense = pli.dense
+        assert dense.shape == (4,)
+        assert dense[0] == dense[1]
+        assert dense[2] == dense[3]
+        assert dense[0] != dense[2]
+
+    def test_dense_cached(self):
+        relation = build([("x", "1"), ("x", "2")])
+        pli = ArrayPli.for_column(relation, 0)
+        assert pli.dense is pli.dense
+
+
+class TestIntersect:
+    def test_basic(self):
+        relation = build(
+            [("x", "1"), ("x", "1"), ("x", "2"), ("y", "1"), ("y", "1")]
+        )
+        left = ArrayPli.for_column(relation, 0)
+        right = ArrayPli.for_column(relation, 1)
+        result = left.intersect(right)
+        assert set(result.clusters()) == {frozenset({0, 1}), frozenset({3, 4})}
+
+    def test_empty_result(self):
+        relation = build([("x", "1"), ("x", "2"), ("y", "3"), ("y", "4")])
+        left = ArrayPli.for_column(relation, 0)
+        right = ArrayPli.for_column(relation, 1)
+        assert not left.intersect(right).has_duplicates
+
+    def test_intersect_with_empty(self):
+        relation = build([("x", "1"), ("x", "2")])
+        left = ArrayPli.for_column(relation, 0)
+        empty = ArrayPli(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 2
+        )
+        assert not left.intersect(empty).has_duplicates
+        assert not empty.intersect(left).has_duplicates
+
+    def test_repr(self):
+        relation = build([("x", "1"), ("x", "2")])
+        assert "entries=2" in repr(ArrayPli.for_column(relation, 0))

@@ -1,0 +1,157 @@
+"""Unit tests for position list indexes."""
+
+import random
+
+import pytest
+
+from repro.storage.pli import PositionListIndex, pli_for_combination
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["a", "b", "c"])
+    return Relation.from_rows(
+        schema,
+        [
+            ("x", "1", "p"),
+            ("x", "1", "q"),
+            ("y", "2", "p"),
+            ("x", "2", "q"),
+            ("z", "3", "p"),
+        ],
+    )
+
+
+def clusters_of(pli: PositionListIndex) -> set[frozenset[int]]:
+    return set(pli.clusters())
+
+
+class TestConstruction:
+    def test_for_column_keeps_only_duplicates(self, relation):
+        pli = PositionListIndex.for_column(relation, 0)
+        assert clusters_of(pli) == {frozenset({0, 1, 3})}
+        assert pli.has_duplicates
+        assert pli.n_entries() == 3
+
+    def test_for_column_unique_column(self, relation):
+        relation.delete(1)
+        relation.delete(3)
+        pli = PositionListIndex.for_column(relation, 0)
+        assert not pli.has_duplicates
+
+    def test_for_mask_matches_direct_grouping(self, relation):
+        pli = PositionListIndex.for_mask(relation, 0b011)
+        assert clusters_of(pli) == {frozenset({0, 1})}
+
+    def test_from_clusters_drops_singletons(self):
+        pli = PositionListIndex.from_clusters([[1], [2, 3]])
+        assert clusters_of(pli) == {frozenset({2, 3})}
+
+
+class TestMembership:
+    def test_cluster_of(self, relation):
+        pli = PositionListIndex.for_column(relation, 0)
+        assert pli.cluster_of(0) == pli.cluster_of(1) == pli.cluster_of(3)
+        assert pli.cluster_of(2) is None
+        assert 0 in pli
+        assert 2 not in pli
+
+    def test_clusters_containing(self, relation):
+        pli = PositionListIndex.for_column(relation, 1)
+        touching = pli.clusters_containing([0, 2, 4, 99])
+        assert set(touching) == {frozenset({0, 1}), frozenset({2, 3})}
+
+
+class TestDynamicMaintenance:
+    def test_add_creates_cluster_from_singleton(self):
+        pli = PositionListIndex(track_values=True)
+        pli.add("v", 1)
+        assert not pli.has_duplicates
+        pli.add("v", 2)
+        assert clusters_of(pli) == {frozenset({1, 2})}
+        pli.add("v", 3)
+        assert clusters_of(pli) == {frozenset({1, 2, 3})}
+
+    def test_remove_shrinks_and_remembers_singleton(self):
+        pli = PositionListIndex(track_values=True)
+        for tuple_id in (1, 2):
+            pli.add("v", tuple_id)
+        pli.remove("v", 1)
+        assert not pli.has_duplicates
+        # the surviving member must be recoverable on re-insert
+        pli.add("v", 5)
+        assert clusters_of(pli) == {frozenset({2, 5})}
+
+    def test_remove_unknown_is_noop(self):
+        pli = PositionListIndex(track_values=True)
+        pli.add("v", 1)
+        pli.remove("w", 9)
+        pli.remove("v", 1)
+        assert not pli.has_duplicates
+
+    def test_untracked_pli_rejects_add(self):
+        pli = PositionListIndex()
+        with pytest.raises(ValueError):
+            pli.add("v", 1)
+        with pytest.raises(ValueError):
+            pli.remove("v", 1)
+
+
+class TestIntersection:
+    def test_intersect_equals_direct(self, relation):
+        left = PositionListIndex.for_column(relation, 0)
+        right = PositionListIndex.for_column(relation, 1)
+        direct = PositionListIndex.for_mask(relation, 0b011)
+        assert clusters_of(left.intersect(right)) == clusters_of(direct)
+
+    def test_intersect_random(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            schema = Schema(["a", "b", "c"])
+            rows = [
+                tuple(str(rng.randrange(3)) for _ in range(3)) for _ in range(40)
+            ]
+            relation = Relation.from_rows(schema, rows)
+            plis = {
+                column: PositionListIndex.for_column(relation, column)
+                for column in range(3)
+            }
+            for mask in range(1, 8):
+                expected = clusters_of(PositionListIndex.for_mask(relation, mask))
+                got = clusters_of(pli_for_combination(relation, mask, plis))
+                assert got == expected, (seed, mask)
+
+    def test_intersect_restricted(self, relation):
+        left = PositionListIndex.for_column(relation, 0)
+        right = PositionListIndex.for_column(relation, 1)
+        # restrict to clusters containing tuple 3: cluster {0,1,3} in a
+        restricted = left.intersect_restricted(right, [3])
+        assert clusters_of(restricted) == {frozenset({0, 1})}
+        # restricting to an untouched tuple gives nothing
+        assert not left.intersect_restricted(right, [4]).has_duplicates
+
+    def test_empty_mask_pli(self, relation):
+        pli = pli_for_combination(relation, 0, {})
+        assert clusters_of(pli) == {frozenset({0, 1, 2, 3, 4})}
+
+
+class TestRemoveIds:
+    def test_remove_ids_drops_small_clusters(self, relation):
+        pli = PositionListIndex.for_column(relation, 0)
+        pli.remove_ids([0, 1])
+        assert not pli.has_duplicates
+        assert pli.n_entries() == 0
+
+    def test_remove_ids_partial(self, relation):
+        pli = PositionListIndex.for_column(relation, 0)
+        pli.remove_ids([0])
+        assert clusters_of(pli) == {frozenset({1, 3})}
+
+    def test_copy_is_independent(self, relation):
+        pli = PositionListIndex.for_column(relation, 0)
+        clone = pli.copy()
+        clone.remove_ids([0, 1, 3])
+        assert pli.has_duplicates
+        assert not clone.has_duplicates

@@ -1,0 +1,141 @@
+"""Unit tests for the columnar relation."""
+
+import pytest
+
+from repro.errors import ArityError, TupleIdError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(["a", "b", "c"])
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation.from_rows(
+        schema,
+        [("1", "x", "p"), ("2", "y", "p"), ("3", "x", "q")],
+    )
+
+
+class TestInserts:
+    def test_ids_are_sequential(self, schema):
+        relation = Relation(schema)
+        assert relation.insert(("1", "2", "3")) == 0
+        assert relation.insert(("4", "5", "6")) == 1
+        assert relation.next_tuple_id == 2
+
+    def test_wrong_arity_rejected(self, schema):
+        relation = Relation(schema)
+        with pytest.raises(ArityError):
+            relation.insert(("only", "two"))
+
+    def test_insert_many(self, relation):
+        ids = relation.insert_many([("4", "z", "r"), ("5", "w", "s")])
+        assert ids == [3, 4]
+        assert len(relation) == 5
+
+
+class TestDeletes:
+    def test_delete_returns_row(self, relation):
+        assert relation.delete(1) == ("2", "y", "p")
+        assert len(relation) == 2
+        assert not relation.is_live(1)
+
+    def test_delete_twice_fails(self, relation):
+        relation.delete(1)
+        with pytest.raises(TupleIdError):
+            relation.delete(1)
+
+    def test_delete_unknown_fails(self, relation):
+        with pytest.raises(TupleIdError):
+            relation.delete(99)
+
+    def test_ids_not_reused_after_delete(self, relation):
+        relation.delete(2)
+        assert relation.insert(("9", "9", "9")) == 3
+
+    def test_iteration_skips_tombstones(self, relation):
+        relation.delete(1)
+        assert list(relation.iter_ids()) == [0, 2]
+        assert list(relation.iter_rows()) == [("1", "x", "p"), ("3", "x", "q")]
+        assert [tid for tid, _ in relation.iter_items()] == [0, 2]
+
+    def test_compact_renumbers(self, relation):
+        relation.delete(0)
+        compacted = relation.compact()
+        assert list(compacted.iter_ids()) == [0, 1]
+        assert len(compacted) == 2
+
+
+class TestAccess:
+    def test_row_and_value(self, relation):
+        assert relation.row(2) == ("3", "x", "q")
+        assert relation.value(2, 1) == "x"
+
+    def test_row_of_deleted_fails(self, relation):
+        relation.delete(0)
+        with pytest.raises(TupleIdError):
+            relation.row(0)
+
+    def test_project(self, relation):
+        assert relation.project(0, 0b101) == ("1", "p")
+        assert relation.project(0, 0) == ()
+
+    def test_project_row(self, relation):
+        assert relation.project_row(("9", "8", "7"), 0b110) == ("8", "7")
+
+    def test_column_values(self, relation):
+        assert list(relation.column_values(1)) == [(0, "x"), (1, "y"), (2, "x")]
+
+    def test_cardinality(self, relation):
+        assert relation.cardinality(1) == 2
+        relation.delete(1)
+        assert relation.cardinality(1) == 1
+
+
+class TestDuplicates:
+    def test_duplicate_exists(self, relation):
+        assert relation.duplicate_exists(0b010)  # column b has two 'x'
+        assert not relation.duplicate_exists(0b001)
+        assert relation.duplicate_exists(0)  # empty projection, >1 row
+
+    def test_group_duplicates(self, relation):
+        groups = relation.group_duplicates(0b010)
+        assert groups == {("x",): [0, 2]}
+
+    def test_group_duplicates_respects_deletes(self, relation):
+        relation.delete(2)
+        assert relation.group_duplicates(0b010) == {}
+
+
+class TestCopyAndRestrict:
+    def test_copy_preserves_tombstones(self, relation):
+        relation.delete(1)
+        clone = relation.copy()
+        assert list(clone.iter_ids()) == [0, 2]
+        clone.insert(("9", "9", "9"))
+        assert len(relation) == 2  # original unaffected
+
+    def test_restrict_columns(self, relation):
+        narrow = relation.restrict_columns(2)
+        assert narrow.schema.names == ("a", "b")
+        assert list(narrow.iter_rows()) == [("1", "x"), ("2", "y"), ("3", "x")]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, relation, tmp_path):
+        path = str(tmp_path / "data.csv")
+        relation.delete(1)
+        relation.to_csv(path)
+        loaded = Relation.from_csv(path)
+        assert loaded.schema.names == relation.schema.names
+        assert list(loaded.iter_rows()) == list(relation.iter_rows())
+
+    def test_header_mismatch_rejected(self, relation, tmp_path):
+        path = str(tmp_path / "data.csv")
+        relation.to_csv(path)
+        with pytest.raises(ArityError):
+            Relation.from_csv(path, schema=Schema(["x", "y", "z"]))

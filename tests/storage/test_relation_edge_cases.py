@@ -1,0 +1,88 @@
+"""Edge-case and robustness tests for the storage layer."""
+
+import pytest
+
+from repro.storage.relation import Relation, transform_rows
+from repro.storage.schema import Schema
+
+
+class TestUnusualValues:
+    def test_unicode_and_control_characters(self, tmp_path):
+        schema = Schema(["a", "b"])
+        rows = [
+            ("héllo wörld", "x"),
+            ("tab\there", "y"),
+            ("newline\nvalue", "z"),
+            ("", "empty-left"),
+        ]
+        relation = Relation.from_rows(schema, rows)
+        path = str(tmp_path / "weird.csv")
+        relation.to_csv(path)
+        loaded = Relation.from_csv(path)
+        assert list(loaded.iter_rows()) == rows
+
+    def test_empty_string_is_a_value(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("",), ("",), ("x",)])
+        assert relation.duplicate_exists(0b1)
+        assert relation.cardinality(0) == 2
+
+    def test_none_values_are_hashable_cells(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [(None, 1), (None, 2)])
+        assert relation.duplicate_exists(0b01)
+        assert not relation.duplicate_exists(0b10)
+
+    def test_mixed_type_cells(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [(1,), ("1",)])
+        # int 1 and str "1" are distinct values
+        assert not relation.duplicate_exists(0b1)
+
+
+class TestDeleteReinsertCycles:
+    def test_profile_relevant_state_after_churn(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [("x", "1"), ("y", "2")])
+        for round_number in range(5):
+            tuple_id = relation.insert((f"v{round_number}", "9"))
+            relation.delete(tuple_id)
+        assert len(relation) == 2
+        assert relation.next_tuple_id == 7
+        assert list(relation.iter_ids()) == [0, 1]
+
+    def test_delete_everything_then_rebuild(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("x",), ("y",)])
+        relation.delete_many([0, 1])
+        assert len(relation) == 0
+        assert list(relation.iter_rows()) == []
+        relation.insert(("z",))
+        assert list(relation.iter_ids()) == [2]
+
+
+class TestTransformRows:
+    def test_transform(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [("x", "1"), ("y", "2")])
+        upper = transform_rows(relation, lambda row: (row[0].upper(), row[1]))
+        assert list(upper.iter_rows()) == [("X", "1"), ("Y", "2")]
+        # original untouched
+        assert list(relation.iter_rows())[0] == ("x", "1")
+
+
+class TestWideRelations:
+    def test_many_columns(self):
+        n_columns = 80
+        schema = Schema([f"c{i}" for i in range(n_columns)])
+        rows = [tuple(str((r * 7 + c) % 5) for c in range(n_columns)) for r in range(20)]
+        relation = Relation.from_rows(schema, rows)
+        assert relation.n_columns == n_columns
+        wide_mask = (1 << n_columns) - 1
+        assert relation.project(0, wide_mask) == rows[0]
+
+    def test_restrict_columns_bounds(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_rows(schema, [("1", "2")])
+        with pytest.raises(Exception):
+            relation.restrict_columns(3)

@@ -1,0 +1,64 @@
+"""Unit tests for schemas and column resolution."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.storage.schema import Column, Schema, schema_of
+
+
+class TestColumn:
+    def test_defaults(self):
+        column = Column("name")
+        assert column.dtype == "str"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+
+class TestSchema:
+    def test_from_strings(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "a"])
+
+    def test_index_of_name_and_int(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.index_of("b") == 1
+        assert schema.index_of(2) == 2
+
+    def test_index_of_unknown(self):
+        schema = Schema(["a"])
+        with pytest.raises(UnknownColumnError):
+            schema.index_of("z")
+        with pytest.raises(UnknownColumnError):
+            schema.index_of(5)
+
+    def test_mask_mixed_references(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.mask(["a", 2]) == 0b101
+
+    def test_combination_from_mask_and_columns(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.combination(0b110).names == ("b", "c")
+        assert schema.combination(["c", "a"]).names == ("a", "c")
+
+    def test_project_and_prefix(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project(["c", "a"]).names == ("c", "a")
+        assert schema.prefix(2).names == ("a", "b")
+        with pytest.raises(SchemaError):
+            schema.prefix(0)
+        with pytest.raises(SchemaError):
+            schema.prefix(4)
+
+    def test_equality_and_iteration(self):
+        one = Schema(["a", "b"])
+        two = schema_of(["a", "b"])
+        assert one == two
+        assert [column.name for column in one] == ["a", "b"]
+        assert one[1].name == "b"

@@ -1,0 +1,71 @@
+"""Unit tests for the sparse index's mixed-mode retrieval."""
+
+import pytest
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.sparse_index import (
+    SparseIndex,
+    build_in_memory_store,
+    sparse_index_for_relation,
+)
+
+
+@pytest.fixture
+def store():
+    rows = [(str(i), str(i * 2)) for i in range(100)]
+    seek_read, offsets = build_in_memory_store(rows)
+    return SparseIndex(seek_read=seek_read, offsets=offsets, scan_gap=4)
+
+
+class TestRetrieval:
+    def test_fetches_requested_rows(self, store):
+        rows, stats = store.retrieve_tuples([5, 50, 7])
+        assert rows == {5: ("5", "10"), 7: ("7", "14"), 50: ("50", "100")}
+        assert stats.requested == 3
+
+    def test_deduplicates_requests(self, store):
+        rows, stats = store.retrieve_tuples([3, 3, 3])
+        assert rows == {3: ("3", "6")}
+        assert stats.requested == 1
+
+    def test_sequential_scan_for_close_ids(self, store):
+        __, stats = store.retrieve_tuples([10, 12, 14])
+        # gaps of 2 are within scan_gap=4: one seek, then scanning
+        assert stats.random_seeks == 1
+        assert stats.tuples_scanned == 5  # 10, 11, 12, 13, 14
+
+    def test_random_seeks_for_far_ids(self, store):
+        __, stats = store.retrieve_tuples([0, 50, 99])
+        assert stats.random_seeks == 3
+        assert stats.tuples_scanned == 3
+
+    def test_empty_request(self, store):
+        rows, stats = store.retrieve_tuples([])
+        assert rows == {}
+        assert stats.random_seeks == 0
+
+    def test_unknown_id_raises(self, store):
+        store.forget([5])
+        with pytest.raises(KeyError):
+            store.retrieve_tuples([5])
+
+
+class TestRelationBacked:
+    def test_skips_tombstones_in_scan(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [(str(i),) for i in range(10)])
+        index = sparse_index_for_relation(relation)
+        relation.delete(3)
+        index.forget([3])
+        rows, __ = index.retrieve_tuples([2, 4])
+        assert rows == {2: ("2",), 4: ("4",)}
+
+    def test_register_new_inserts(self):
+        schema = Schema(["a"])
+        relation = Relation.from_rows(schema, [("0",)])
+        index = sparse_index_for_relation(relation)
+        new_id = relation.insert(("1",))
+        index.register(new_id, new_id)
+        rows, __ = index.retrieve_tuples([new_id])
+        assert rows == {new_id: ("1",)}

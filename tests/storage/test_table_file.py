@@ -1,0 +1,56 @@
+"""Unit tests for the CSV-backed tuple store."""
+
+import pytest
+
+from repro.errors import TupleIdError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.table_file import TableFile
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["a", "b"])
+    return Relation.from_rows(
+        schema, [("x", "1"), ("y,comma", "2"), ('quo"te', "3")]
+    )
+
+
+class TestTableFile:
+    def test_create_and_seek_read(self, relation, tmp_path):
+        path = str(tmp_path / "table.dat")
+        with TableFile.create(path, relation) as table:
+            index = table.sparse_index()
+            rows, __ = index.retrieve_tuples([0, 1, 2])
+            assert rows[0] == ("x", "1")
+            assert rows[1] == ("y,comma", "2")
+            assert rows[2] == ('quo"te', "3")
+
+    def test_append_batch(self, relation, tmp_path):
+        path = str(tmp_path / "table.dat")
+        with TableFile.create(path, relation) as table:
+            table.append_batch([(3, ("z", "4"))])
+            index = table.sparse_index()
+            rows, __ = index.retrieve_tuples([3])
+            assert rows[3] == ("z", "4")
+
+    def test_sequential_read_across_tuples(self, relation, tmp_path):
+        path = str(tmp_path / "table.dat")
+        with TableFile.create(path, relation) as table:
+            index = table.sparse_index(scan_gap=10)
+            rows, stats = index.retrieve_tuples([0, 2])
+            assert stats.random_seeks == 1
+            assert rows[2] == ('quo"te', "3")
+
+    def test_bad_offset(self, relation, tmp_path):
+        path = str(tmp_path / "table.dat")
+        with TableFile.create(path, relation) as table:
+            with pytest.raises(TupleIdError):
+                table.seek_read(10_000)
+
+    def test_create_overwrites_existing(self, relation, tmp_path):
+        path = str(tmp_path / "table.dat")
+        TableFile.create(path, relation).close()
+        with TableFile.create(path, relation) as table:
+            index = table.sparse_index()
+            assert len(index) == 3

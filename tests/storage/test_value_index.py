@@ -1,0 +1,73 @@
+"""Unit tests for value indexes and the index pool."""
+
+import pytest
+
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.value_index import IndexPool, ValueIndex
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["a", "b"])
+    return Relation.from_rows(
+        schema, [("x", "1"), ("y", "2"), ("x", "3")]
+    )
+
+
+class TestValueIndex:
+    def test_build_and_lookup(self, relation):
+        index = ValueIndex.build(relation, 0)
+        assert index.lookup("x") == {0, 2}
+        assert index.lookup("y") == {1}
+        assert index.lookup("z") == frozenset()
+        assert index.column == 0
+
+    def test_add_and_remove(self):
+        index = ValueIndex(0)
+        index.add("v", 7)
+        index.add("v", 8)
+        index.remove("v", 7)
+        assert index.lookup("v") == {8}
+        index.remove("v", 8)
+        assert "v" not in index
+        index.remove("v", 8)  # idempotent
+
+    def test_lookup_many_unions_distinct_values(self, relation):
+        index = ValueIndex.build(relation, 0)
+        assert index.lookup_many(["x", "y", "x"]) == {0, 1, 2}
+
+    def test_counters(self, relation):
+        index = ValueIndex.build(relation, 0)
+        assert len(index) == 2
+        assert index.n_entries() == 3
+        assert sorted(index.iter_values()) == ["x", "y"]
+
+
+class TestIndexPool:
+    def test_build_selected_columns(self, relation):
+        pool = IndexPool.build(relation, [1])
+        assert pool.columns == {1}
+        assert 1 in pool
+        assert 0 not in pool
+        assert pool.get(1).lookup("2") == {1}
+
+    def test_ensure_builds_lazily(self, relation):
+        pool = IndexPool.build(relation, [])
+        index = pool.ensure(relation, 0)
+        assert index.lookup("x") == {0, 2}
+        assert pool.ensure(relation, 0) is index
+
+    def test_register_inserts(self, relation):
+        pool = IndexPool.build(relation, [0])
+        tuple_id = relation.insert(("x", "9"))
+        pool.register_inserts(relation, [tuple_id])
+        assert pool.get(0).lookup("x") == {0, 2, tuple_id}
+
+    def test_register_deletes(self, relation):
+        pool = IndexPool.build(relation, [0, 1])
+        row = relation.row(0)
+        relation.delete(0)
+        pool.register_deletes({0: row})
+        assert pool.get(0).lookup("x") == {2}
+        assert pool.get(1).lookup("1") == frozenset()

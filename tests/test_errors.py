@@ -1,0 +1,50 @@
+"""The exception hierarchy contract: one catchable base class."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError,
+    errors.UnknownColumnError,
+    errors.TupleIdError,
+    errors.ArityError,
+    errors.ProfileStateError,
+    errors.InconsistentProfileError,
+    errors.AlgorithmError,
+    errors.WorkloadError,
+    errors.BudgetExceededError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_unknown_column_message():
+    error = errors.UnknownColumnError("ghost", ["a", "b"])
+    assert "ghost" in str(error)
+    assert "'a'" in str(error)
+    assert error.column == "ghost"
+
+
+def test_unknown_column_without_available():
+    assert "ghost" in str(errors.UnknownColumnError("ghost"))
+
+
+def test_library_never_raises_bare_exceptions():
+    """Spot-check: representative misuse raises ReproError subclasses."""
+    from repro.storage.relation import Relation
+    from repro.storage.schema import Schema
+
+    relation = Relation(Schema(["a"]))
+    with pytest.raises(errors.ReproError):
+        relation.delete(0)
+    with pytest.raises(errors.ReproError):
+        relation.insert(("x", "y"))
+    with pytest.raises(errors.ReproError):
+        Schema(["a", "a"])
+    with pytest.raises(errors.ReproError):
+        Schema(["a"]).index_of("zz")

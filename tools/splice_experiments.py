@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Splice a generated benchmark report into EXPERIMENTS.md.
+
+Usage: python tools/splice_experiments.py bench_results/report.md
+
+Replaces the block between the MEASURED RESULTS markers with the
+report's figure sections, keeping the hand-written analysis around it.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+START = "<!-- MEASURED RESULTS START -->"
+END = "<!-- MEASURED RESULTS END -->"
+
+
+def main() -> int:
+    report_path = Path(sys.argv[1] if len(sys.argv) > 1 else "bench_results/report.md")
+    experiments_path = Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+    report = report_path.read_text()
+    experiments = experiments_path.read_text()
+    if START not in experiments or END not in experiments:
+        raise SystemExit("EXPERIMENTS.md is missing the splice markers")
+    spliced = re.sub(
+        re.escape(START) + r".*?" + re.escape(END),
+        START + "\n\n" + report.strip() + "\n\n" + END,
+        experiments,
+        flags=re.DOTALL,
+    )
+    experiments_path.write_text(spliced)
+    print(f"spliced {report_path} into {experiments_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
