@@ -1,0 +1,75 @@
+"""Service recovery: snapshot + changelog replay vs holistic re-run.
+
+The service layer's pitch is that a restart costs a snapshot load plus
+an incremental replay of the committed changelog suffix instead of a
+full holistic re-profiling of the dataset.  These benchmarks measure
+both restart paths over the same durable state directory, at several
+replay-suffix lengths.
+
+Run with ``pytest benchmarks/bench_recovery.py --benchmark-only``.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from conftest import insert_setup
+from repro.baselines.ducc import discover_ducc
+from repro.service.recovery import recover
+from repro.service.server import CHANGELOG_NAME, ProfilingService, ServiceConfig
+
+SUFFIX_BATCHES = [1, 8, 32]
+BATCH_ROWS = 5
+_CACHE: dict = {}
+
+
+def state_dir_with_suffix(n_batches):
+    """A durable state dir: seq-0 snapshot + ``n_batches`` committed
+    insert records that recovery must replay."""
+    if n_batches not in _CACHE:
+        initial, batch, _, __ = insert_setup("ncvoter")
+        data_dir = tempfile.mkdtemp(prefix=f"bench-recovery-{n_batches}-")
+        service = ProfilingService(
+            data_dir,
+            config=ServiceConfig(snapshot_every=0, status_every=0, fsync=False),
+        )
+        service.start(initial=initial.copy())
+        for index in range(n_batches):
+            rows = batch[index * BATCH_ROWS : (index + 1) * BATCH_ROWS]
+            service.apply_insert_batch(rows)
+        # crash: abandon without the final stop() snapshot
+        grown = service.profiler.relation.copy()
+        _CACHE[n_batches] = (data_dir, grown)
+    return _CACHE[n_batches]
+
+
+@pytest.mark.parametrize("n_batches", SUFFIX_BATCHES)
+def test_recover_snapshot_replay(benchmark, n_batches):
+    data_dir, _ = state_dir_with_suffix(n_batches)
+    snapshots_dir = os.path.join(data_dir, "snapshots")
+    log_path = os.path.join(data_dir, CHANGELOG_NAME)
+
+    def run():
+        from repro.service.snapshots import SnapshotManager
+
+        return recover(SnapshotManager(snapshots_dir), log_path)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.replayed_records == n_batches
+
+
+@pytest.mark.parametrize("n_batches", SUFFIX_BATCHES)
+def test_holistic_rerun(benchmark, n_batches):
+    _, grown = state_dir_with_suffix(n_batches)
+
+    def run():
+        return discover_ducc(grown)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def teardown_module(module):
+    for data_dir, _ in _CACHE.values():
+        shutil.rmtree(data_dir, ignore_errors=True)

@@ -31,6 +31,7 @@ from repro.lattice.combination import ColumnCombination
 from repro.profiling.discovery import available_algorithms, discover
 from repro.profiling.summary import ProfileSummary, summarize
 from repro.profiling.verify import verify_profile
+from repro.service import ProfilingService, ServiceConfig, recover
 from repro.storage.relation import Relation
 from repro.storage.schema import Column, Schema
 
@@ -41,12 +42,15 @@ __all__ = [
     "ColumnCombination",
     "Profile",
     "ProfileSummary",
+    "ProfilingService",
     "Relation",
     "Schema",
+    "ServiceConfig",
     "SwanProfiler",
     "UniqueConstraintMonitor",
     "available_algorithms",
     "discover",
+    "recover",
     "summarize",
     "verify_profile",
     "__version__",

@@ -85,6 +85,10 @@ class UniqueConstraintMonitor:
     def watched_labels(self) -> list[str]:
         return [key.label for key in self._watched]
 
+    def watched_columns(self) -> list[tuple[str, ...]]:
+        """The resolved column-name tuples currently being watched."""
+        return [key.columns for key in self._watched]
+
     def apply_inserts(self, rows: Sequence[Sequence[Hashable]]) -> list[MonitorEvent]:
         """Apply an insert batch and report transitions."""
         before = self.profiler.snapshot()

@@ -54,6 +54,28 @@ class WorkloadError(ReproError):
     """A benchmark workload specification is invalid."""
 
 
+class ChangelogCorruptionError(ReproError):
+    """A write-ahead changelog file failed validation.
+
+    Raised when a record frame's checksum does not match, sequence
+    numbers are non-contiguous, or the file header is damaged. A torn
+    *tail* (the writer died mid-append) is expected after a crash and
+    handled by truncation; this error means damage a reader refused to
+    skip over.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not re-attach a profiler.
+
+    Raised when every snapshot fails validation (or none exists) and no
+    holistic fallback was provided, so the service state cannot be
+    reconstructed. Individual snapshot load failures surface as this
+    error too; the recovery path catches them and falls back to older
+    snapshots before giving up.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A discovery run exceeded its cooperative time budget.
 

@@ -1,0 +1,59 @@
+"""Durable change-log + crash-recoverable profiling service.
+
+One-shot profiling loses everything when the process dies: every batch
+applied through :class:`~repro.core.swan.SwanProfiler` after the initial
+discovery exists only in memory. This package turns the profiler into a
+long-running, restartable service:
+
+* :mod:`repro.service.changelog` -- a write-ahead log of insert/delete
+  batches (append-only, fsync-on-commit, checksum-framed records).
+* :mod:`repro.service.snapshots` -- periodic durable snapshots of the
+  relation + profile, atomically renamed, with retention.
+* :mod:`repro.service.recovery` -- re-attach a profiler from the newest
+  valid snapshot and replay the changelog suffix.
+* :mod:`repro.service.server` -- the service loop: pull batches from a
+  source, commit log-then-apply-then-ack, snapshot on cadence.
+* :mod:`repro.service.metrics` -- counters / gauges / latency
+  histograms exposed via ``stats()`` and a JSON status file.
+
+Usage::
+
+    from repro.service import ProfilingService, ServiceConfig
+
+    service = ProfilingService("state/", config=ServiceConfig())
+    service.start(initial=relation)          # profile-or-recover
+    service.apply_insert_batch(rows)         # logged, applied, durable
+    service.stop()                           # snapshot + clean shutdown
+
+    # after a crash, the same two lines recover instead of re-profiling:
+    service = ProfilingService("state/")
+    service.start()
+"""
+
+from repro.service.changelog import Changelog, ChangelogRecord, read_records
+from repro.service.metrics import MetricsRegistry
+from repro.service.recovery import RecoveryResult, recover
+from repro.service.server import (
+    Batch,
+    ProfilingService,
+    ServiceConfig,
+    SpoolDirectorySource,
+    StdinCSVSource,
+)
+from repro.service.snapshots import Snapshot, SnapshotManager
+
+__all__ = [
+    "Batch",
+    "Changelog",
+    "ChangelogRecord",
+    "MetricsRegistry",
+    "ProfilingService",
+    "RecoveryResult",
+    "ServiceConfig",
+    "Snapshot",
+    "SnapshotManager",
+    "SpoolDirectorySource",
+    "StdinCSVSource",
+    "read_records",
+    "recover",
+]

@@ -1,0 +1,306 @@
+"""The write-ahead change log.
+
+Every batch the service accepts is framed, checksummed and fsynced to
+an append-only log *before* it touches the profiler (log-then-apply).
+A record is *committed* once its bytes are durable; after a crash the
+log's committed prefix is exactly the sequence of batches the service
+acknowledged, so replaying it over the last snapshot reproduces the
+in-memory state byte for byte.
+
+File layout (little-endian): an 8-byte magic, a u64 *base sequence
+number* (the sequence the log starts after -- 0 for a virgin log,
+``S`` for a log rotated under a snapshot covering ``S``), then record
+frames::
+
+    [u32 payload length][u32 CRC-32][u64 sequence number][payload]
+
+* The CRC covers the sequence number and the payload, so a corrupted
+  header is detected as reliably as a corrupted body.
+* The payload is UTF-8 JSON: ``{"kind": "insert", "rows": [...]}`` or
+  ``{"kind": "delete", "ids": [...]}``.
+* Sequence numbers start at base+1 and are strictly contiguous; a gap
+  or regression means the file was tampered with or mis-assembled.
+
+Torn writes (the process died mid-append) leave an incomplete or
+checksum-invalid frame at the *tail*; :meth:`Changelog.open` truncates
+it so new appends extend the committed prefix. Invalid bytes *before*
+the tail cannot be skipped -- frame boundaries are gone -- so readers
+raise :class:`~repro.errors.ChangelogCorruptionError` in strict mode
+and stop at the damage otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Sequence
+
+from repro.errors import ChangelogCorruptionError
+
+MAGIC = b"SWANLOG2"
+_BASE = struct.Struct("<Q")  # base sequence number (file header)
+_HEADER = struct.Struct("<IIQ")  # payload length, crc32, sequence number
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ChangelogRecord:
+    """One committed batch: a sequence number plus its operation.
+
+    ``tokens`` optionally names the source deliveries (e.g. spool
+    files) folded into this record, so a batch redelivered after a
+    crash-between-apply-and-ack can be recognised as already committed
+    and skipped.
+    """
+
+    seq: int
+    kind: str
+    rows: tuple[tuple[Hashable, ...], ...] = ()
+    tuple_ids: tuple[int, ...] = ()
+    tokens: tuple[str, ...] = ()
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows) if self.kind == INSERT else len(self.tuple_ids)
+
+    def to_payload(self) -> bytes:
+        if self.kind == INSERT:
+            body = {"kind": INSERT, "rows": [list(row) for row in self.rows]}
+        else:
+            body = {"kind": DELETE, "ids": list(self.tuple_ids)}
+        if self.tokens:
+            body["tokens"] = list(self.tokens)
+        return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, seq: int, payload: bytes) -> "ChangelogRecord":
+        try:
+            body = json.loads(payload.decode("utf-8"))
+            kind = body["kind"]
+            tokens = tuple(str(t) for t in body.get("tokens", []))
+            if kind == INSERT:
+                return cls(
+                    seq,
+                    INSERT,
+                    rows=tuple(tuple(row) for row in body["rows"]),
+                    tokens=tokens,
+                )
+            if kind == DELETE:
+                return cls(
+                    seq,
+                    DELETE,
+                    tuple_ids=tuple(int(i) for i in body["ids"]),
+                    tokens=tokens,
+                )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ChangelogCorruptionError(
+                f"record {seq}: undecodable payload ({exc})"
+            ) from exc
+        raise ChangelogCorruptionError(f"record {seq}: unknown kind {kind!r}")
+
+
+def _crc(seq: int, payload: bytes) -> int:
+    return zlib.crc32(struct.pack("<Q", seq) + payload)
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """What a pass over a changelog file found."""
+
+    records: tuple[ChangelogRecord, ...]
+    valid_bytes: int
+    torn_bytes: int
+    error: str | None
+    base_seq: int = 0
+
+    @property
+    def last_seq(self) -> int:
+        return self.records[-1].seq if self.records else self.base_seq
+
+
+def scan_file(path: str) -> ScanResult:
+    """Read every committed record, stopping at the first invalid frame.
+
+    Never raises on damage -- the damage is *described* so callers can
+    decide (the writer truncates a torn tail, strict readers raise).
+    """
+    records: list[ChangelogRecord] = []
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return ScanResult((), 0, 0, None)
+    if not data:
+        return ScanResult((), 0, 0, None)
+    if not data.startswith(MAGIC):
+        return ScanResult((), 0, len(data), "bad magic header")
+    if len(data) < len(MAGIC) + _BASE.size:
+        return ScanResult((), 0, len(data), "incomplete file header")
+    (base_seq,) = _BASE.unpack_from(data, len(MAGIC))
+    offset = len(MAGIC) + _BASE.size
+    error: str | None = None
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            error = "incomplete record header"
+            break
+        length, crc, seq = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if start + length > len(data):
+            error = f"record {seq}: payload truncated"
+            break
+        payload = data[start : start + length]
+        if _crc(seq, payload) != crc:
+            error = f"record {seq}: checksum mismatch"
+            break
+        expected = (records[-1].seq if records else base_seq) + 1
+        if seq != expected:
+            error = f"sequence gap: expected {expected}, found {seq}"
+            break
+        records.append(ChangelogRecord.from_payload(seq, payload))
+        offset = start + length
+    return ScanResult(
+        tuple(records), offset, len(data) - offset, error, base_seq=base_seq
+    )
+
+
+def read_records(
+    path: str, after: int = 0, strict: bool = False
+) -> Iterator[ChangelogRecord]:
+    """Committed records with ``seq > after``, in order.
+
+    ``strict=True`` raises :class:`ChangelogCorruptionError` if the file
+    holds *any* invalid bytes; otherwise iteration stops cleanly at the
+    damage (the torn-tail case every crash produces).
+    """
+    scan = scan_file(path)
+    if strict and scan.error is not None:
+        raise ChangelogCorruptionError(f"{path}: {scan.error}")
+    for record in scan.records:
+        if record.seq > after:
+            yield record
+
+
+class Changelog:
+    """Append-only writer (and reader) over one changelog file."""
+
+    def __init__(self, path: str, fsync: bool = True, base_seq: int = 0) -> None:
+        """Open (creating if needed) a changelog for appending.
+
+        ``base_seq`` seeds the sequence counter of a *new* file; for an
+        existing file the on-disk header wins.
+        """
+        self._path = path
+        self._fsync = fsync
+        scan = scan_file(path)
+        self._last_seq = scan.last_seq
+        self.recovered_torn_bytes = scan.torn_bytes
+        fresh = not os.path.exists(path)
+        self._handle = open(path, "ab")
+        if fresh or os.path.getsize(path) == 0:
+            self._handle.write(MAGIC + _BASE.pack(base_seq))
+            self._last_seq = base_seq
+            self._commit()
+        elif scan.torn_bytes:
+            # A previous writer died mid-append: drop the torn tail so
+            # the next record extends the committed prefix.
+            self._handle.truncate(scan.valid_bytes)
+            self._handle.seek(0, os.SEEK_END)
+            if scan.valid_bytes == 0:
+                self._handle.write(MAGIC + _BASE.pack(base_seq))
+                self._last_seq = base_seq
+            self._commit()
+
+    @classmethod
+    def open(cls, path: str, fsync: bool = True) -> "Changelog":
+        return cls(path, fsync=fsync)
+
+    @classmethod
+    def ensure_at(cls, path: str, seq: int, fsync: bool = True) -> "Changelog":
+        """Open for appending after state sequence ``seq``.
+
+        If the committed log ends *before* ``seq`` -- its tail was lost
+        but a snapshot already covers those records -- appending to it
+        would hand out sequence numbers a snapshot claims to cover, and
+        a later recovery would silently skip them. Instead the stale
+        log is archived (``<path>.stale``) and a fresh one based at
+        ``seq`` takes its place.
+        """
+        log = cls(path, fsync=fsync)
+        if log.last_seq >= seq:
+            return log
+        log.close()
+        os.replace(path, path + ".stale")
+        return cls(path, fsync=fsync, base_seq=seq)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest committed record (0 if none)."""
+        return self._last_seq
+
+    def append(self, record_kind: str, **fields: object) -> ChangelogRecord:
+        """Frame, write and fsync one batch; returns the committed record.
+
+        ``append("insert", rows=...)`` or ``append("delete", tuple_ids=...)``.
+        """
+        record = ChangelogRecord(self._last_seq + 1, record_kind, **fields)  # type: ignore[arg-type]
+        self.append_record(record)
+        return record
+
+    def append_record(self, record: ChangelogRecord) -> None:
+        if record.seq != self._last_seq + 1:
+            raise ChangelogCorruptionError(
+                f"non-contiguous append: last committed seq is "
+                f"{self._last_seq}, record has {record.seq}"
+            )
+        payload = record.to_payload()
+        frame = _HEADER.pack(len(payload), _crc(record.seq, payload), record.seq)
+        self._handle.write(frame + payload)
+        self._commit()
+        self._last_seq = record.seq
+
+    def append_inserts(
+        self, rows: Sequence[Sequence[Hashable]], tokens: Sequence[str] = ()
+    ) -> ChangelogRecord:
+        return self.append(
+            INSERT, rows=tuple(tuple(row) for row in rows), tokens=tuple(tokens)
+        )
+
+    def append_deletes(
+        self, tuple_ids: Sequence[int], tokens: Sequence[str] = ()
+    ) -> ChangelogRecord:
+        return self.append(
+            DELETE, tuple_ids=tuple(tuple_ids), tokens=tuple(tokens)
+        )
+
+    def records(self, after: int = 0) -> Iterator[ChangelogRecord]:
+        """Committed records with ``seq > after`` (reads from disk)."""
+        self._handle.flush()
+        return read_records(self._path, after=after)
+
+    def _commit(self) -> None:
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "Changelog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Changelog({self._path!r}, last_seq={self._last_seq})"

@@ -1,0 +1,163 @@
+"""Observability for the profiling service.
+
+Plain in-process metrics -- no external dependency -- in the three
+classic shapes:
+
+* :class:`Counter` -- monotonically increasing totals (batches applied,
+  rows in/out, MUC churn).
+* :class:`Gauge` -- point-in-time values (live rows, snapshot size,
+  changelog sequence number).
+* :class:`Histogram` -- latency / size distributions with count, sum,
+  min/mean/max and p50/p95/p99 summaries (apply latency, fsync time,
+  replay time).
+
+A :class:`MetricsRegistry` owns them by name, renders everything as one
+JSON-able dict via :meth:`MetricsRegistry.to_dict`, and can publish it
+as a status file with an atomic write-then-rename so scrapers never see
+a partial document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_RESERVOIR_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A distribution with percentile summaries.
+
+    Observations are kept in a bounded reservoir: past the cap the
+    reservoir is decimated (every other sample dropped) and subsequent
+    samples recorded at the reduced rate, keeping memory constant while
+    preserving the shape of the distribution. ``count`` and ``sum`` are
+    always exact.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_samples", "_stride", "_skip")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self._skip += 1
+        if self._skip >= self._stride:
+            self._skip = 0
+            self._samples.append(value)
+            if len(self._samples) >= _RESERVOIR_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) over the reservoir; 0 if empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "mean": self.sum / self.count,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters / gauges / histograms plus status-file export."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Record a code block's wall time into histogram ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - started)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def write_status(self, path: str, extra: dict[str, object] | None = None) -> None:
+        """Atomically publish the current metrics as a JSON status file."""
+        document = {"updated_unix": time.time(), **(extra or {}), **self.to_dict()}
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

@@ -1,0 +1,129 @@
+"""Crash recovery: snapshot + changelog suffix -> live profiler.
+
+The recovery invariant (tested property): for any crash point after a
+committed changelog record, ``recover()`` rebuilds exactly the
+MUCS/MNUCS -- and relation contents -- an uninterrupted run would have
+after applying that record. The procedure:
+
+1. Walk snapshots newest -> oldest. For each, validate it (checksums),
+   rebuild the relation with original tuple IDs, re-resolve the stored
+   profile against the schema by column name, and wire up a fresh
+   :class:`~repro.core.swan.SwanProfiler`.
+2. Replay every committed changelog record with ``seq`` greater than
+   the snapshot's through the normal insert/delete handlers. A torn
+   tail (crash mid-append) is discarded -- those bytes were never
+   acknowledged.
+3. If a snapshot fails validation, fall back to the next older one.
+   If *every* snapshot is unusable, fall back to a caller-provided
+   holistic re-run (re-profile the initial dataset, replay the whole
+   changelog), else raise :class:`~repro.errors.RecoveryError`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.swan import SwanProfiler
+from repro.errors import RecoveryError
+from repro.service.changelog import DELETE, INSERT, ChangelogRecord, scan_file
+from repro.service.snapshots import SnapshotManager
+from repro.storage.relation import Relation
+
+
+@dataclass
+class RecoveryResult:
+    """How a profiler was brought back, and at what cost."""
+
+    profiler: SwanProfiler
+    snapshot_seq: int | None
+    last_seq: int
+    replayed_records: int
+    replayed_rows: int
+    torn_bytes_discarded: int
+    elapsed_s: float
+    watches: tuple[tuple[str, ...], ...] = ()
+    recent_tokens: tuple[str, ...] = ()
+    skipped_snapshots: list[str] = field(default_factory=list)
+
+    @property
+    def source(self) -> str:
+        return "holistic" if self.snapshot_seq is None else "snapshot+replay"
+
+
+def replay_records(
+    profiler: SwanProfiler, records: list[ChangelogRecord]
+) -> tuple[int, int]:
+    """Apply committed records in order; returns (records, rows) applied."""
+    rows_applied = 0
+    for record in records:
+        if record.kind == INSERT:
+            profiler.handle_inserts(record.rows)
+        elif record.kind == DELETE:
+            profiler.handle_deletes(record.tuple_ids)
+        else:  # pragma: no cover - scan_file already rejects these
+            raise RecoveryError(f"record {record.seq}: unknown kind {record.kind!r}")
+        rows_applied += record.n_rows
+    return len(records), rows_applied
+
+
+def recover(
+    snapshots: SnapshotManager,
+    changelog_path: str,
+    holistic_fallback: Callable[[], tuple[Relation, list[int], list[int]]]
+    | None = None,
+    index_quota: int | None = None,
+) -> RecoveryResult:
+    """Re-attach a :class:`SwanProfiler` from durable state.
+
+    ``holistic_fallback`` -- called only when no snapshot is usable --
+    must return ``(initial_relation, mucs, mnucs)`` for changelog
+    sequence 0 (i.e. the profiled initial dataset); the whole changelog
+    is then replayed over it.
+    """
+    started = time.perf_counter()
+    scan = scan_file(changelog_path)
+    skipped: list[str] = []
+    for seq in reversed(snapshots.list_seqs()):
+        try:
+            snapshot = snapshots.load(seq)
+        except RecoveryError as exc:
+            skipped.append(str(exc))
+            continue
+        relation = snapshot.build_relation()
+        mucs, mnucs = snapshot.stored_profile.masks_for(relation.schema)
+        profiler = SwanProfiler(relation, mucs, mnucs, index_quota=index_quota)
+        suffix = [record for record in scan.records if record.seq > seq]
+        n_records, n_rows = replay_records(profiler, suffix)
+        return RecoveryResult(
+            profiler=profiler,
+            snapshot_seq=seq,
+            last_seq=scan.last_seq if suffix else seq,
+            replayed_records=n_records,
+            replayed_rows=n_rows,
+            torn_bytes_discarded=scan.torn_bytes,
+            elapsed_s=time.perf_counter() - started,
+            watches=snapshot.watches,
+            recent_tokens=snapshot.recent_tokens,
+            skipped_snapshots=skipped,
+        )
+    if holistic_fallback is None:
+        detail = "; ".join(skipped) if skipped else "no snapshots found"
+        raise RecoveryError(
+            f"no usable snapshot under {snapshots.directory!r} and no "
+            f"holistic fallback provided ({detail})"
+        )
+    relation, mucs, mnucs = holistic_fallback()
+    profiler = SwanProfiler(relation, mucs, mnucs, index_quota=index_quota)
+    n_records, n_rows = replay_records(profiler, list(scan.records))
+    return RecoveryResult(
+        profiler=profiler,
+        snapshot_seq=None,
+        last_seq=scan.last_seq,
+        replayed_records=n_records,
+        replayed_rows=n_rows,
+        torn_bytes_discarded=scan.torn_bytes,
+        elapsed_s=time.perf_counter() - started,
+        skipped_snapshots=skipped,
+    )

@@ -1,0 +1,654 @@
+"""The long-running profiling service loop.
+
+:class:`ProfilingService` owns a state directory::
+
+    <data_dir>/changelog.wal     -- write-ahead log (changelog.py)
+    <data_dir>/snapshots/        -- durable snapshots (snapshots.py)
+    <data_dir>/status.json       -- periodically published metrics
+
+and runs the paper's deployment story end to end: profile the initial
+dataset once (or recover from durable state after a crash), then keep
+the MUCS/MNUCS exact while batches of inserts and deletes stream in.
+
+Commit protocol, per batch: **log, then apply, then ack**. The batch is
+framed + fsynced into the changelog first; only then does it go through
+:class:`~repro.core.monitor.UniqueConstraintMonitor` (so watched-key
+events fire), and only after the in-memory apply succeeds is the source
+asked to acknowledge (delete/archive the spool file). A crash between
+log and apply is harmless -- recovery replays the committed record; a
+crash between apply and ack redelivers a batch whose record is already
+committed, which the service detects and skips (acks without
+re-applying are idempotent).
+
+Batch sources are pluggable: anything iterable that yields
+:class:`Batch` works. Two ship here:
+
+* :class:`SpoolDirectorySource` -- a spool directory of JSON batch
+  files, processed in name order and archived on ack (the restartable
+  production shape).
+* :class:`StdinCSVSource` -- CSV rows from a stream as insert batches,
+  with ``!delete,<id>,...`` directive lines for deletes (the pipe-y
+  demo shape the old ``--follow`` flag offered, now durable).
+
+Small batches are coalesced before commit: consecutive same-kind
+batches merge until ``coalesce_rows`` is reached or the source has
+nothing ready, amortising fsync + analysis cost under trickle traffic.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterator, Sequence, TextIO
+
+from repro.core.monitor import MonitorEvent, UniqueConstraintMonitor
+from repro.core.repository import Profile
+from repro.core.swan import SwanProfiler
+from repro.errors import ProfileStateError, WorkloadError
+from repro.service.changelog import DELETE, INSERT, Changelog
+from repro.service.metrics import MetricsRegistry
+from repro.service.recovery import RecoveryResult, recover
+from repro.service.snapshots import SnapshotManager
+from repro.storage.relation import Relation
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+Row = tuple[Hashable, ...]
+
+CHANGELOG_NAME = "changelog.wal"
+SNAPSHOT_DIR = "snapshots"
+STATUS_NAME = "status.json"
+LOCK_NAME = "lock"
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One incoming unit of change, before coalescing."""
+
+    kind: str  # changelog.INSERT or changelog.DELETE
+    rows: tuple[Row, ...] = ()
+    tuple_ids: tuple[int, ...] = ()
+    token: object = None  # opaque ack handle for the source
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows) if self.kind == INSERT else len(self.tuple_ids)
+
+
+class SpoolDirectorySource:
+    """Reads batch files from a spool directory, in name order.
+
+    Each file is JSON: ``{"kind": "insert", "rows": [[...], ...]}`` or
+    ``{"kind": "delete", "ids": [...]}``. Acknowledged files move to a
+    ``done/`` subdirectory (or are deleted with ``archive=False``), so
+    a crashed service re-reads exactly the unacknowledged files on
+    restart. Producers should write-then-rename into the spool so the
+    service never reads a half-written file.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        archive: bool = True,
+        poll_interval: float | None = None,
+    ) -> None:
+        self._directory = directory
+        self._archive = archive
+        self._poll_interval = poll_interval
+        self._yielded: set[str] = set()
+        self._stop = False
+        os.makedirs(directory, exist_ok=True)
+        if archive:
+            os.makedirs(os.path.join(directory, "done"), exist_ok=True)
+
+    def _pending(self) -> list[str]:
+        return sorted(
+            name
+            for name in os.listdir(self._directory)
+            if name.endswith(".json")
+            and not name.startswith(".")
+            and os.path.isfile(os.path.join(self._directory, name))
+        )
+
+    def has_ready(self) -> bool:
+        return any(name not in self._yielded for name in self._pending())
+
+    def request_stop(self) -> None:
+        """Make the iterator end after its current poll (e.g. SIGTERM)."""
+        self._stop = True
+
+    def __iter__(self) -> Iterator[Batch]:
+        while not self._stop:
+            pending = self._pending()
+            # Acked files left the directory; forget them so the
+            # yielded-set stays bounded by the spool size.
+            self._yielded.intersection_update(pending)
+            fresh = [name for name in pending if name not in self._yielded]
+            if not fresh:
+                if self._poll_interval is None:
+                    return
+                time.sleep(self._poll_interval)
+                continue
+            for name in fresh:
+                self._yielded.add(name)
+                yield self._parse(name)
+
+    def _parse(self, name: str) -> Batch:
+        path = os.path.join(self._directory, name)
+        try:
+            with open(path) as handle:
+                body = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            raise WorkloadError(
+                f"spool file {path} is not a valid batch: {exc}"
+            ) from exc
+        if not isinstance(body, dict):
+            raise WorkloadError(
+                f"spool file {path} is not a valid batch: expected a JSON "
+                f"object, got {type(body).__name__}"
+            )
+        kind = body.get("kind")
+        if kind == INSERT:
+            return Batch(
+                INSERT,
+                rows=tuple(tuple(row) for row in body["rows"]),
+                token=name,
+            )
+        if kind == DELETE:
+            return Batch(
+                DELETE,
+                tuple_ids=tuple(int(i) for i in body["ids"]),
+                token=name,
+            )
+        raise WorkloadError(f"spool file {path}: unknown batch kind {kind!r}")
+
+    def ack(self, batch: Batch) -> None:
+        if not isinstance(batch.token, str):
+            return
+        path = os.path.join(self._directory, batch.token)
+        if not os.path.exists(path):
+            return
+        if self._archive:
+            os.replace(path, os.path.join(self._directory, "done", batch.token))
+        else:
+            os.remove(path)
+
+    @staticmethod
+    def write_batch(directory: str, name: str, batch_body: dict) -> str:
+        """Producer helper: atomically drop one batch file in the spool."""
+        os.makedirs(directory, exist_ok=True)
+        final = os.path.join(directory, name)
+        tmp = os.path.join(directory, f".{name}.tmp")
+        with open(tmp, "w") as handle:
+            json.dump(batch_body, handle)
+        os.replace(tmp, final)
+        return final
+
+
+class StdinCSVSource:
+    """CSV rows from a text stream, chunked into insert batches.
+
+    A line starting with ``!delete,`` is a directive: the remaining
+    cells are tuple IDs forming a delete batch (it also flushes any
+    accumulated insert rows first, preserving order). Rows whose arity
+    does not match ``n_columns`` are counted and skipped.
+    """
+
+    def __init__(
+        self, stream: TextIO, n_columns: int, batch_size: int = 100
+    ) -> None:
+        if batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1, got {batch_size}")
+        self._stream = stream
+        self._n_columns = n_columns
+        self._batch_size = batch_size
+        self.skipped_rows = 0
+
+    def has_ready(self) -> bool:
+        return False  # a pipe has no cheap peek; coalescing is per-chunk
+
+    def ack(self, batch: Batch) -> None:  # pipes cannot redeliver
+        return
+
+    def __iter__(self) -> Iterator[Batch]:
+        pending: list[Row] = []
+        for cells in csv.reader(self._stream):
+            if not cells:
+                continue
+            if cells[0] == "!delete":
+                if pending:
+                    yield Batch(INSERT, rows=tuple(pending))
+                    pending = []
+                yield Batch(DELETE, tuple_ids=tuple(int(i) for i in cells[1:]))
+                continue
+            if len(cells) != self._n_columns:
+                self.skipped_rows += 1
+                continue
+            pending.append(tuple(cells))
+            if len(pending) >= self._batch_size:
+                yield Batch(INSERT, rows=tuple(pending))
+                pending = []
+        if pending:
+            yield Batch(INSERT, rows=tuple(pending))
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`ProfilingService`."""
+
+    snapshot_every: int = 16  # batches between snapshots (0 = only at stop)
+    retain_snapshots: int = 3
+    status_every: int = 8  # batches between status-file writes
+    coalesce_rows: int = 500  # merge ready same-kind batches up to this
+    fsync: bool = True  # changelog durability (off only for tests/bench)
+    index_quota: int | None = None
+    algorithm: str = "ducc"
+    watches: tuple[tuple[str, ...], ...] = ()
+
+
+class ProfilingService:
+    """Crash-recoverable incremental profiling over a state directory."""
+
+    def __init__(self, data_dir: str, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.data_dir = data_dir
+        os.makedirs(data_dir, exist_ok=True)
+        self.metrics = MetricsRegistry()
+        self.snapshots = SnapshotManager(
+            os.path.join(data_dir, SNAPSHOT_DIR),
+            retain=self.config.retain_snapshots,
+        )
+        self._changelog_path = os.path.join(data_dir, CHANGELOG_NAME)
+        self._status_path = os.path.join(data_dir, STATUS_NAME)
+        self._changelog: Changelog | None = None
+        self.monitor: UniqueConstraintMonitor | None = None
+        self.last_recovery: RecoveryResult | None = None
+        self._batches_since_snapshot = 0
+        self._batches_since_status = 0
+        self._event_sinks: list[Callable[[MonitorEvent], None]] = []
+        self._committed_tokens: set[str] = set()
+        self._recent_tokens: deque[str] = deque(maxlen=256)
+        self._lock_path = os.path.join(data_dir, LOCK_NAME)
+        self._lock_handle: TextIO | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self.monitor is not None
+
+    @property
+    def profiler(self) -> SwanProfiler:
+        if self.monitor is None:
+            raise ProfileStateError("service not started; call start() first")
+        return self.monitor.profiler
+
+    def has_state(self) -> bool:
+        """Is there durable state to recover from?"""
+        return bool(self.snapshots.list_seqs()) or os.path.exists(
+            self._changelog_path
+        )
+
+    def start(
+        self,
+        initial: Relation | None = None,
+        holistic_fallback: Callable[[], tuple[Relation, list[int], list[int]]]
+        | None = None,
+    ) -> "ProfilingService":
+        """Profile-or-recover: the only correct way to bring the service up.
+
+        With durable state present, recovery wins and ``initial`` is
+        ignored (the snapshot already contains those rows *plus* every
+        committed batch). On first boot, ``initial`` is profiled with
+        the configured algorithm and immediately snapshotted at
+        sequence 0, so a crash one record later already has a base to
+        replay against.
+        """
+        if self.started:
+            raise ProfileStateError("service already started")
+        self._acquire_lock()
+        try:
+            return self._start_locked(initial, holistic_fallback)
+        except BaseException:
+            self._release_lock()
+            raise
+
+    def _start_locked(
+        self,
+        initial: Relation | None,
+        holistic_fallback: Callable[[], tuple[Relation, list[int], list[int]]]
+        | None,
+    ) -> "ProfilingService":
+        if self.has_state():
+            with self.metrics.time("recovery_seconds"):
+                result = recover(
+                    self.snapshots,
+                    self._changelog_path,
+                    holistic_fallback=holistic_fallback,
+                    index_quota=self.config.index_quota,
+                )
+            self.last_recovery = result
+            profiler = result.profiler
+            watches = result.watches or self.config.watches
+            self.metrics.counter("recoveries").inc()
+            self.metrics.counter("replayed_records").inc(result.replayed_records)
+            self.metrics.counter("replayed_rows").inc(result.replayed_rows)
+            if result.torn_bytes_discarded:
+                self.metrics.counter("torn_writes_discarded").inc()
+        elif initial is not None:
+            with self.metrics.time("bootstrap_profile_seconds"):
+                profiler = SwanProfiler.profile(
+                    initial,
+                    algorithm=self.config.algorithm,
+                    index_quota=self.config.index_quota,
+                )
+            watches = self.config.watches
+        else:
+            raise ProfileStateError(
+                f"no durable state under {self.data_dir!r} and no initial "
+                "relation to profile"
+            )
+        state_seq = self.last_recovery.last_seq if self.last_recovery else 0
+        self._changelog = Changelog.ensure_at(
+            self._changelog_path, state_seq, fsync=self.config.fsync
+        )
+        if self.last_recovery is not None:
+            self._committed_tokens.update(self.last_recovery.recent_tokens)
+            self._recent_tokens.extend(self.last_recovery.recent_tokens)
+        for record in self._changelog.records():
+            self._committed_tokens.update(record.tokens)
+            self._recent_tokens.extend(record.tokens)
+        self.monitor = UniqueConstraintMonitor(profiler)
+        for watch in watches:
+            self.monitor.watch(list(watch))
+        if not self.snapshots.list_seqs():
+            self._take_snapshot()  # sequence-0 base for the first recovery
+        self._refresh_gauges()
+        self.write_status()
+        return self
+
+    def stop(self) -> None:
+        """Snapshot, publish status, release file handles."""
+        if self.monitor is not None:
+            self._take_snapshot()
+            self.write_status()
+        if self._changelog is not None:
+            self._changelog.close()
+            self._changelog = None
+        self.monitor = None
+        self._release_lock()
+
+    def _acquire_lock(self) -> None:
+        """Take the exclusive per-directory writer lock.
+
+        Two services appending to one changelog interleave frames (the
+        scan detects and discards the damage, but committed batches
+        could land after a stale tail). The advisory ``flock`` makes
+        the second ``start()`` fail fast instead; the kernel drops it
+        automatically on any exit, including ``kill -9``.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        handle = open(self._lock_path, "a+")
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.seek(0)
+            owner = handle.read().strip()
+            handle.close()
+            raise ProfileStateError(
+                f"data directory {self.data_dir!r} is locked by another "
+                "running service" + (f" (pid {owner})" if owner else "")
+            ) from None
+        handle.seek(0)
+        handle.truncate()
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is None or fcntl is None:
+            return
+        try:
+            fcntl.flock(self._lock_handle, fcntl.LOCK_UN)
+        finally:
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    def __enter__(self) -> "ProfilingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Applying batches
+    # ------------------------------------------------------------------
+    def on_event(self, sink: Callable[[MonitorEvent], None]) -> None:
+        """Register a callback for monitor events (key broken, ...)."""
+        self._event_sinks.append(sink)
+
+    def apply_insert_batch(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
+        return self.apply_batch(
+            Batch(INSERT, rows=tuple(tuple(row) for row in rows))
+        )
+
+    def apply_delete_batch(self, tuple_ids: Sequence[int]) -> Profile:
+        return self.apply_batch(Batch(DELETE, tuple_ids=tuple(tuple_ids)))
+
+    def apply_batch(self, batch: Batch) -> Profile:
+        """Commit one batch: log, apply, then bookkeeping (ack is the
+        caller's -- :meth:`serve` acks after this returns)."""
+        if self.monitor is None or self._changelog is None:
+            raise ProfileStateError("service not started; call start() first")
+        if batch.kind not in (INSERT, DELETE):
+            raise WorkloadError(f"unknown batch kind {batch.kind!r}")
+        before = self.monitor.profiler.snapshot()
+        tokens = [t for t in _split_tokens(batch.token) if isinstance(t, str)]
+        with self.metrics.time("fsync_seconds"):
+            if batch.kind == INSERT:
+                self._changelog.append_inserts(batch.rows, tokens=tokens)
+            else:
+                self._changelog.append_deletes(batch.tuple_ids, tokens=tokens)
+        self._committed_tokens.update(tokens)
+        self._recent_tokens.extend(tokens)
+        with self.metrics.time("apply_seconds"):
+            if batch.kind == INSERT:
+                events = self.monitor.apply_inserts(batch.rows)
+                self.metrics.counter("rows_inserted").inc(len(batch.rows))
+            else:
+                events = self.monitor.apply_deletes(batch.tuple_ids)
+                self.metrics.counter("rows_deleted").inc(len(batch.tuple_ids))
+        after = self.monitor.profiler.snapshot()
+        churn = len(set(after.mucs) ^ set(before.mucs))
+        self.metrics.counter("batches_applied").inc()
+        self.metrics.counter("muc_churn").inc(churn)
+        self.metrics.counter("monitor_events").inc(len(events))
+        for event in events:
+            for sink in self._event_sinks:
+                sink(event)
+        self._refresh_gauges()
+        self._batches_since_snapshot += 1
+        self._batches_since_status += 1
+        if (
+            self.config.snapshot_every
+            and self._batches_since_snapshot >= self.config.snapshot_every
+        ):
+            self._take_snapshot()
+        if (
+            self.config.status_every
+            and self._batches_since_status >= self.config.status_every
+        ):
+            self.write_status()
+        return after
+
+    def serve(
+        self,
+        source,
+        max_batches: int | None = None,
+    ) -> int:
+        """Drain a batch source through the commit protocol.
+
+        Returns the number of batches applied. ``max_batches`` bounds
+        the loop for tests and drain-once runs; ``None`` runs until the
+        source is exhausted.
+        """
+        applied = 0
+        for batch in self._coalesced(self._deduplicated(source), ready_source=source):
+            self.apply_batch(batch)
+            self._ack(source, batch)
+            applied += 1
+            if max_batches is not None and applied >= max_batches:
+                break
+        return applied
+
+    def _deduplicated(self, source) -> Iterator[Batch]:
+        """Skip (and ack) batches whose record is already committed.
+
+        A crash between apply and ack leaves the spool file in place;
+        on restart the source redelivers it, but its token is in a
+        committed changelog record, so re-applying would double-count.
+        """
+        for batch in source:
+            tokens = [
+                t for t in _split_tokens(batch.token) if isinstance(t, str)
+            ]
+            if tokens and all(t in self._committed_tokens for t in tokens):
+                self.metrics.counter("batches_redelivered").inc()
+                self._ack(source, batch)
+                continue
+            yield batch
+
+    def _coalesced(self, source, ready_source=None) -> Iterator[Batch]:
+        """Merge consecutive same-kind *ready* batches up to the cap."""
+        has_ready = getattr(
+            ready_source if ready_source is not None else source,
+            "has_ready",
+            lambda: False,
+        )
+        iterator = iter(source)
+        for batch in iterator:
+            while (
+                batch.n_rows < self.config.coalesce_rows
+                and has_ready()
+            ):
+                try:
+                    peeked = next(iterator)
+                except StopIteration:
+                    break
+                if peeked.kind != batch.kind:
+                    yield batch
+                    batch = peeked
+                    continue
+                self.metrics.counter("batches_coalesced").inc()
+                if batch.kind == INSERT:
+                    batch = Batch(
+                        INSERT,
+                        rows=batch.rows + peeked.rows,
+                        token=_merge_tokens(batch.token, peeked.token),
+                    )
+                else:
+                    batch = Batch(
+                        DELETE,
+                        tuple_ids=batch.tuple_ids + peeked.tuple_ids,
+                        token=_merge_tokens(batch.token, peeked.token),
+                    )
+            yield batch
+
+    def _ack(self, source, batch: Batch) -> None:
+        ack = getattr(source, "ack", None)
+        if ack is None:
+            return
+        for token in _split_tokens(batch.token):
+            ack(Batch(batch.kind, token=token))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """The current metrics plus service identity, JSON-able."""
+        return {
+            "data_dir": self.data_dir,
+            "last_seq": self._changelog.last_seq if self._changelog else None,
+            "snapshots": self.snapshots.list_seqs(),
+            "recovered": self.last_recovery.source if self.last_recovery else None,
+            **self.metrics.to_dict(),
+        }
+
+    def write_status(self) -> None:
+        if self.monitor is None:
+            return
+        self.metrics.write_status(
+            self._status_path,
+            extra={
+                "data_dir": self.data_dir,
+                "last_seq": self._changelog.last_seq if self._changelog else 0,
+                "snapshots": self.snapshots.list_seqs(),
+                "watched": self.monitor.watched_labels(),
+            },
+        )
+
+    def _refresh_gauges(self) -> None:
+        if self.monitor is None:
+            return
+        profiler = self.monitor.profiler
+        profile = profiler.snapshot()
+        self.metrics.gauge("live_rows").set(len(profiler.relation))
+        self.metrics.gauge("n_mucs").set(len(profile.mucs))
+        self.metrics.gauge("n_mnucs").set(len(profile.mnucs))
+        if self._changelog is not None:
+            self.metrics.gauge("changelog_seq").set(self._changelog.last_seq)
+            if os.path.exists(self._changelog_path):
+                self.metrics.gauge("changelog_bytes").set(
+                    os.path.getsize(self._changelog_path)
+                )
+
+    def _take_snapshot(self) -> None:
+        if self.monitor is None:
+            return
+        profiler = self.monitor.profiler
+        seq = self._changelog.last_seq if self._changelog is not None else 0
+        with self.metrics.time("snapshot_seconds"):
+            path = self.snapshots.save(
+                profiler.relation,
+                profiler.snapshot(),
+                seq,
+                watches=[key for key in self._watch_columns()],
+                recent_tokens=list(self._recent_tokens),
+            )
+        self.metrics.counter("snapshots_taken").inc()
+        size = sum(
+            os.path.getsize(os.path.join(path, name))
+            for name in os.listdir(path)
+        )
+        self.metrics.gauge("snapshot_bytes").set(size)
+        self._batches_since_snapshot = 0
+
+    def _watch_columns(self) -> list[tuple[str, ...]]:
+        assert self.monitor is not None
+        return self.monitor.watched_columns()
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "stopped"
+        return f"ProfilingService({self.data_dir!r}, {state})"
+
+
+def _merge_tokens(left: object, right: object) -> object:
+    tokens = _split_tokens(left) + _split_tokens(right)
+    return tuple(tokens) if tokens else None
+
+
+def _split_tokens(token: object) -> list[object]:
+    if token is None:
+        return []
+    if isinstance(token, tuple):
+        return list(token)
+    return [token]

@@ -1,0 +1,267 @@
+"""Durable snapshots of the live relation + profile.
+
+A snapshot bounds recovery time: instead of replaying the whole
+changelog over the initial dataset, recovery starts from the newest
+snapshot and replays only the suffix. Each snapshot is a directory
+
+    snapshot-<seq padded to 20 digits>/
+        profile.json    -- the exact repro.profiling.persistence format
+        rows.csv        -- live tuples, one per line: tuple_id,cells...
+        meta.json       -- seq, next_tuple_id, row checksum, watches
+
+written to a hidden temp directory first and published with a single
+``os.rename`` -- a crash mid-write leaves a temp directory the manager
+ignores (and sweeps), never a half-visible snapshot. ``meta.json``
+carries a SHA-256 over ``rows.csv`` so bit rot is detected at load
+time, and the changelog sequence number the snapshot covers, so
+recovery knows where replay starts.
+
+Retention keeps the newest K snapshots; older ones are deleted after a
+new snapshot is durably published, so there is never a moment with
+fewer than K fallbacks on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.repository import Profile
+from repro.errors import RecoveryError
+from repro.profiling.persistence import StoredProfile, dump_profile, load_profile
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+META_VERSION = 1
+_PREFIX = "snapshot-"
+_TMP_PREFIX = ".tmp-snapshot-"
+
+Row = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One loaded (and checksum-validated) snapshot."""
+
+    seq: int
+    stored_profile: StoredProfile
+    rows: tuple[tuple[int, Row], ...] = field(repr=False)
+    next_tuple_id: int
+    watches: tuple[tuple[str, ...], ...] = ()
+    recent_tokens: tuple[str, ...] = ()
+
+    def build_relation(self) -> Relation:
+        """Rebuild a relation with the snapshot's exact tuple IDs.
+
+        Tuple IDs are row positions, so gaps left by deleted tuples are
+        re-created as tombstones: a placeholder row is inserted at each
+        missing position and immediately deleted. Replayed delete
+        batches then resolve against the same IDs the live run used,
+        and ``next_tuple_id`` matches, so replayed inserts are assigned
+        the same IDs too.
+        """
+        schema = Schema(list(self.stored_profile.columns))
+        relation = Relation(schema)
+        placeholder = ("",) * len(schema)
+        live = dict(self.rows)
+        tombstones = []
+        for tuple_id in range(self.next_tuple_id):
+            row = live.get(tuple_id)
+            if row is None:
+                relation.insert(placeholder)
+                tombstones.append(tuple_id)
+            else:
+                relation.insert(row)
+        for tuple_id in tombstones:
+            relation.delete(tuple_id)
+        return relation
+
+
+class SnapshotManager:
+    """Writes, lists, loads and prunes snapshots in one directory."""
+
+    def __init__(self, directory: str, retain: int = 3) -> None:
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self._directory = directory
+        self._retain = retain
+        os.makedirs(directory, exist_ok=True)
+        self._sweep_temp()
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        relation: Relation,
+        profile: Profile,
+        seq: int,
+        watches: Sequence[Sequence[str]] = (),
+        recent_tokens: Sequence[str] = (),
+    ) -> str:
+        """Durably publish a snapshot covering changelog sequence ``seq``."""
+        final = os.path.join(self._directory, f"{_PREFIX}{seq:020d}")
+        tmp = os.path.join(self._directory, f"{_TMP_PREFIX}{seq:020d}")
+        if os.path.exists(tmp):
+            shutil.rmtree(tmp)
+        os.makedirs(tmp)
+        dump_profile(relation.schema, profile, os.path.join(tmp, "profile.json"))
+        digest = self._write_rows(os.path.join(tmp, "rows.csv"), relation)
+        meta = {
+            "meta_version": META_VERSION,
+            "seq": seq,
+            "next_tuple_id": relation.next_tuple_id,
+            "n_rows": len(relation),
+            "rows_sha256": digest,
+            "watches": [list(watch) for watch in watches],
+            # Source-delivery tokens of the most recent committed
+            # records: lets a recovered service recognise redelivered
+            # batches even if the changelog was rotated away.
+            "recent_tokens": list(recent_tokens),
+        }
+        with open(os.path.join(tmp, "meta.json"), "w") as handle:
+            json.dump(meta, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if os.path.exists(final):
+            shutil.rmtree(final)
+        os.rename(tmp, final)
+        self._fsync_dir(self._directory)
+        self.prune()
+        return final
+
+    def _write_rows(self, path: str, relation: Relation) -> str:
+        digest = hashlib.sha256()
+        with open(path, "w", newline="") as handle:
+            for tuple_id, row in relation.iter_items():
+                buffer = io.StringIO()
+                csv.writer(buffer).writerow([tuple_id, *row])
+                line = buffer.getvalue()
+                digest.update(line.encode("utf-8"))
+                handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return digest.hexdigest()
+
+    @staticmethod
+    def _fsync_dir(path: str) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platforms without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Listing / loading
+    # ------------------------------------------------------------------
+    def list_seqs(self) -> list[int]:
+        """Published snapshot sequence numbers, oldest first."""
+        seqs = []
+        for name in os.listdir(self._directory):
+            if name.startswith(_PREFIX):
+                try:
+                    seqs.append(int(name[len(_PREFIX) :]))
+                except ValueError:
+                    continue
+        return sorted(seqs)
+
+    def latest_seq(self) -> int | None:
+        seqs = self.list_seqs()
+        return seqs[-1] if seqs else None
+
+    def load(self, seq: int) -> Snapshot:
+        """Load and validate one snapshot.
+
+        Raises :class:`~repro.errors.RecoveryError` on any damage --
+        missing files, checksum mismatch, undecodable content -- so the
+        recovery path can fall back to an older snapshot.
+        """
+        root = os.path.join(self._directory, f"{_PREFIX}{seq:020d}")
+        try:
+            with open(os.path.join(root, "meta.json")) as handle:
+                meta = json.load(handle)
+            if meta.get("meta_version") != META_VERSION:
+                raise RecoveryError(
+                    f"snapshot {seq}: unsupported meta version "
+                    f"{meta.get('meta_version')!r}"
+                )
+            if meta.get("seq") != seq:
+                raise RecoveryError(
+                    f"snapshot {seq}: meta declares seq {meta.get('seq')!r}"
+                )
+            stored = load_profile(os.path.join(root, "profile.json"))
+            rows, digest = self._read_rows(os.path.join(root, "rows.csv"))
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(f"snapshot {seq}: unreadable ({exc})") from exc
+        if digest != meta.get("rows_sha256"):
+            raise RecoveryError(f"snapshot {seq}: rows.csv checksum mismatch")
+        if len(rows) != meta.get("n_rows"):
+            raise RecoveryError(
+                f"snapshot {seq}: expected {meta.get('n_rows')} rows, "
+                f"found {len(rows)}"
+            )
+        return Snapshot(
+            seq=seq,
+            stored_profile=stored,
+            rows=tuple(rows),
+            next_tuple_id=int(meta["next_tuple_id"]),
+            watches=tuple(
+                tuple(watch) for watch in meta.get("watches", [])
+            ),
+            recent_tokens=tuple(
+                str(token) for token in meta.get("recent_tokens", [])
+            ),
+        )
+
+    @staticmethod
+    def _read_rows(path: str) -> tuple[list[tuple[int, Row]], str]:
+        digest = hashlib.sha256()
+        rows: list[tuple[int, Row]] = []
+        with open(path, newline="") as handle:
+            for line in handle:
+                digest.update(line.encode("utf-8"))
+                cells = next(csv.reader([line]))
+                rows.append((int(cells[0]), tuple(cells[1:])))
+        return rows, digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(self) -> list[int]:
+        """Delete all but the newest ``retain`` snapshots."""
+        seqs = self.list_seqs()
+        doomed = seqs[: -self._retain] if len(seqs) > self._retain else []
+        for seq in doomed:
+            shutil.rmtree(
+                os.path.join(self._directory, f"{_PREFIX}{seq:020d}"),
+                ignore_errors=True,
+            )
+        return doomed
+
+    def _sweep_temp(self) -> None:
+        for name in os.listdir(self._directory):
+            if name.startswith(_TMP_PREFIX):
+                shutil.rmtree(
+                    os.path.join(self._directory, name), ignore_errors=True
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotManager({self._directory!r}, "
+            f"snapshots={self.list_seqs()}, retain={self._retain})"
+        )

@@ -38,11 +38,22 @@ class TableFile:
 
     @classmethod
     def create(cls, path: str, relation: Relation) -> "TableFile":
-        """Write all live tuples of ``relation`` to a fresh file."""
+        """Write all live tuples of ``relation`` to a fresh file.
+
+        The initial dataset is fsynced once sealed, so a crash right
+        after profiling cannot lose the tuple store the sparse index
+        points into. If sealing fails partway, the handle is closed
+        rather than leaked.
+        """
         if os.path.exists(path):
             os.remove(path)
         table = cls(path)
-        table.append_batch(relation.iter_items())
+        try:
+            table.append_batch(relation.iter_items())
+            table.sync()
+        except BaseException:
+            table.close()
+            raise
         return table
 
     @property
@@ -87,8 +98,14 @@ class TableFile:
             scan_gap=scan_gap,
         )
 
+    def sync(self) -> None:
+        """Flush and fsync the underlying file."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
     def close(self) -> None:
-        self._handle.close()
+        if not self._handle.closed:
+            self._handle.close()
 
     def __enter__(self) -> "TableFile":
         return self

@@ -1,0 +1,166 @@
+"""Unit tests for the write-ahead changelog: framing, torn writes,
+corruption detection, sequence discipline, rotation."""
+
+import os
+
+import pytest
+
+from repro.errors import ChangelogCorruptionError
+from repro.service.changelog import (
+    DELETE,
+    INSERT,
+    Changelog,
+    read_records,
+    scan_file,
+)
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "changelog.wal")
+
+
+class TestAppendAndReplay:
+    def test_round_trip(self, log_path):
+        with Changelog(log_path) as log:
+            r1 = log.append_inserts([("a", "1"), ("b", "2")])
+            r2 = log.append_deletes([0], tokens=["batch-7.json"])
+            assert (r1.seq, r2.seq) == (1, 2)
+            assert log.last_seq == 2
+        records = list(read_records(log_path))
+        assert [r.seq for r in records] == [1, 2]
+        assert records[0].kind == INSERT
+        assert records[0].rows == (("a", "1"), ("b", "2"))
+        assert records[1].kind == DELETE
+        assert records[1].tuple_ids == (0,)
+        assert records[1].tokens == ("batch-7.json",)
+
+    def test_after_filter(self, log_path):
+        with Changelog(log_path) as log:
+            for i in range(5):
+                log.append_inserts([(str(i),)])
+        assert [r.seq for r in read_records(log_path, after=3)] == [4, 5]
+
+    def test_empty_file_and_missing_file(self, log_path):
+        assert list(read_records(log_path)) == []
+        open(log_path, "w").close()
+        assert list(read_records(log_path)) == []
+
+    def test_n_rows(self, log_path):
+        with Changelog(log_path) as log:
+            ins = log.append_inserts([("a",), ("b",)])
+            dele = log.append_deletes([4, 5, 6])
+        assert ins.n_rows == 2
+        assert dele.n_rows == 3
+
+    def test_reopen_continues_sequence(self, log_path):
+        with Changelog(log_path) as log:
+            log.append_inserts([("a",)])
+        with Changelog(log_path) as log:
+            assert log.last_seq == 1
+            assert log.append_inserts([("b",)]).seq == 2
+        assert [r.seq for r in read_records(log_path)] == [1, 2]
+
+
+class TestTornWrites:
+    def _write(self, log_path, n=3):
+        with Changelog(log_path) as log:
+            for i in range(n):
+                log.append_inserts([(f"row{i}", str(i))])
+        return os.path.getsize(log_path)
+
+    def test_torn_tail_is_detected_and_skipped(self, log_path):
+        size = self._write(log_path)
+        with open(log_path, "r+b") as handle:
+            handle.truncate(size - 3)
+        scan = scan_file(log_path)
+        assert [r.seq for r in scan.records] == [1, 2]
+        assert scan.torn_bytes > 0
+        assert scan.error is not None
+        # non-strict replay stops cleanly; strict raises
+        assert [r.seq for r in read_records(log_path)] == [1, 2]
+        with pytest.raises(ChangelogCorruptionError):
+            list(read_records(log_path, strict=True))
+
+    def test_reopen_truncates_torn_tail(self, log_path):
+        size = self._write(log_path)
+        with open(log_path, "r+b") as handle:
+            handle.truncate(size - 1)
+        with Changelog(log_path) as log:
+            assert log.last_seq == 2
+            assert log.recovered_torn_bytes > 0
+            log.append_inserts([("fresh", "x")])
+        scan = scan_file(log_path)
+        assert scan.error is None
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+
+    def test_every_truncation_point_yields_committed_prefix(self, log_path):
+        """Cutting the file anywhere loses at most the torn record."""
+        self._write(log_path, n=4)
+        data = open(log_path, "rb").read()
+        for cut in range(len(data) + 1):
+            with open(log_path, "wb") as handle:
+                handle.write(data[:cut])
+            scan = scan_file(log_path)
+            seqs = [r.seq for r in scan.records]
+            assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_header_only_torn(self, log_path):
+        with open(log_path, "wb") as handle:
+            handle.write(b"SWAN")  # half a magic
+        scan = scan_file(log_path)
+        assert scan.records == () and scan.error is not None
+        with Changelog(log_path) as log:  # rewrites a clean header
+            log.append_inserts([("a",)])
+        assert [r.seq for r in read_records(log_path)] == [1]
+
+
+class TestCorruption:
+    def test_flipped_byte_mid_file(self, log_path):
+        with Changelog(log_path) as log:
+            for i in range(3):
+                log.append_inserts([(f"row{i}",)])
+        data = bytearray(open(log_path, "rb").read())
+        data[30] ^= 0xFF  # inside record 1's frame
+        open(log_path, "wb").write(bytes(data))
+        with pytest.raises(ChangelogCorruptionError):
+            list(read_records(log_path, strict=True))
+        assert list(read_records(log_path)) == []
+
+    def test_bad_magic(self, log_path):
+        open(log_path, "wb").write(b"NOTALOG!" + b"\0" * 16)
+        with pytest.raises(ChangelogCorruptionError):
+            list(read_records(log_path, strict=True))
+
+    def test_non_contiguous_append_rejected(self, log_path):
+        from repro.service.changelog import ChangelogRecord
+
+        with Changelog(log_path) as log:
+            log.append_inserts([("a",)])
+            with pytest.raises(ChangelogCorruptionError):
+                log.append_record(ChangelogRecord(5, INSERT, rows=(("b",),)))
+
+
+class TestRotation:
+    def test_ensure_at_keeps_up_to_date_log(self, log_path):
+        with Changelog(log_path) as log:
+            log.append_inserts([("a",)])
+        with Changelog.ensure_at(log_path, 1) as log:
+            assert log.last_seq == 1
+        assert not os.path.exists(log_path + ".stale")
+
+    def test_ensure_at_rotates_stale_log(self, log_path):
+        with Changelog(log_path) as log:
+            log.append_inserts([("a",)])
+        # a snapshot claims seq 5 but the log only reaches 1
+        with Changelog.ensure_at(log_path, 5) as log:
+            assert log.last_seq == 5
+            assert log.append_inserts([("b",)]).seq == 6
+        assert os.path.exists(log_path + ".stale")
+        assert [r.seq for r in read_records(log_path)] == [6]
+
+    def test_fresh_log_with_base(self, log_path):
+        with Changelog(log_path, base_seq=9) as log:
+            assert log.last_seq == 9
+            log.append_inserts([("a",)])
+        assert [r.seq for r in read_records(log_path)] == [10]

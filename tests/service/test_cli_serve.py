@@ -1,0 +1,177 @@
+"""Integration tests for the ``repro-serve`` CLI.
+
+These call ``main()`` in-process (argparse + capsys) and also run one
+full first-boot -> crash -> recovery cycle through a subprocess, the
+way an operator would.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.cli import main as serve_main
+from repro.service.server import CHANGELOG_NAME, SpoolDirectorySource
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    relation = Relation.from_rows(
+        Schema(["Name", "Phone", "Age"]),
+        [
+            ("Lee", "345", "20"),
+            ("Payne", "245", "30"),
+            ("Lee", "234", "30"),
+        ],
+    )
+    path = str(tmp_path / "data.csv")
+    relation.to_csv(path)
+    return path
+
+
+class TestServeMain:
+    def test_requires_init_on_first_boot(self, tmp_path, capsys):
+        assert serve_main([str(tmp_path / "state")]) == 2
+        assert "--init" in capsys.readouterr().err
+
+    def test_first_boot_then_status(self, tmp_path, csv_path, capsys):
+        state = str(tmp_path / "state")
+        assert serve_main([state, "--init", csv_path, "--no-fsync"]) == 0
+        out = capsys.readouterr().out
+        assert "first boot" in out
+        assert "stopped: 3 rows" in out
+
+        assert serve_main([state, "--status"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["gauges"]["live_rows"] == 3
+
+    def test_status_without_state(self, tmp_path, capsys):
+        assert serve_main([str(tmp_path / "state"), "--status"]) == 1
+        assert "no status file" in capsys.readouterr().err
+
+    def test_unreadable_init_csv(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.csv")
+        assert serve_main([str(tmp_path / "state"), "--init", missing]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_poison_spool_file_reported_and_left_unacked(
+        self, tmp_path, csv_path, capsys
+    ):
+        state = str(tmp_path / "state")
+        spool = str(tmp_path / "spool")
+        os.makedirs(spool)
+        with open(os.path.join(spool, "bad.json"), "w") as handle:
+            handle.write("not json at all")
+        assert (
+            serve_main(
+                [state, "--init", csv_path, "--spool", spool, "--once", "--no-fsync"]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "is not a valid batch" in captured.err
+        # still stopped cleanly, and the bad file awaits the operator
+        assert "stopped: 3 rows" in captured.out
+        assert os.path.exists(os.path.join(spool, "bad.json"))
+
+    def test_spool_once_and_recovery(self, tmp_path, csv_path, capsys):
+        state = str(tmp_path / "state")
+        spool = str(tmp_path / "spool")
+        assert serve_main([state, "--init", csv_path, "--no-fsync"]) == 0
+        SpoolDirectorySource.write_batch(
+            spool, "b1.json", {"kind": "insert", "rows": [["Ada", "111", "9"]]}
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "b2.json", {"kind": "delete", "ids": [0]}
+        )
+        capsys.readouterr()
+        assert (
+            serve_main([state, "--spool", spool, "--once", "--no-fsync"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "recovered via snapshot+replay" in out
+        assert "applied 2 batch(es)" in out
+        assert "stopped: 3 rows" in out
+        assert sorted(os.listdir(os.path.join(spool, "done"))) == [
+            "b1.json",
+            "b2.json",
+        ]
+
+    def test_init_ignored_when_state_exists(self, tmp_path, csv_path, capsys):
+        state = str(tmp_path / "state")
+        assert serve_main([state, "--init", csv_path, "--no-fsync"]) == 0
+        capsys.readouterr()
+        assert serve_main([state, "--init", csv_path, "--no-fsync"]) == 0
+        assert "--init is ignored" in capsys.readouterr().out
+
+    def test_watch_events_printed(self, tmp_path, csv_path, capsys):
+        state = str(tmp_path / "state")
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool,
+            "b1.json",
+            {"kind": "insert", "rows": [["Payne", "245", "31"]]},
+        )
+        assert (
+            serve_main(
+                [
+                    state,
+                    "--init",
+                    csv_path,
+                    "--watch",
+                    "Phone",
+                    "--spool",
+                    spool,
+                    "--once",
+                    "--no-fsync",
+                ]
+            )
+            == 0
+        )
+        assert "{Phone}" in capsys.readouterr().out
+
+
+class TestServeSubprocess:
+    def _run(self, args, stdin=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.service.cli", *args],
+            input=stdin,
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+
+    def test_boot_crash_recover_cycle(self, tmp_path, csv_path):
+        state = str(tmp_path / "state")
+        boot = self._run([state, "--init", csv_path, "--stdin"], stdin="Ada,111,9\n")
+        assert boot.returncode == 0, boot.stderr[-2000:]
+        assert "applied 1 batch(es) from stdin" in boot.stdout
+
+        # crash simulation: tear the last changelog record in half
+        log_path = os.path.join(state, CHANGELOG_NAME)
+        more = self._run(
+            [state, "--stdin", "--no-fsync", "--snapshot-every", "0"],
+            stdin="Bob,222,8\nCal,333,7\n!delete,0\n",
+        )
+        assert more.returncode == 0, more.stderr[-2000:]
+        with open(log_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(log_path) - 7)
+
+        recovered = self._run([state, "--status"])
+        assert recovered.returncode == 0
+        restarted = self._run([state, "--stdin"], stdin="")
+        assert restarted.returncode == 0, restarted.stderr[-2000:]
+        assert "recovered via snapshot+replay" in restarted.stdout
+        assert "torn byte(s)" in restarted.stdout

@@ -1,0 +1,94 @@
+"""Unit tests for the observability layer."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == pytest.approx(5050.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert 45 <= summary["p50"] <= 55
+        assert 90 <= summary["p95"] <= 100
+        assert summary["p99"] >= summary["p95"] >= summary["p50"]
+
+    def test_histogram_empty(self):
+        assert Histogram().summary() == {"count": 0}
+        assert Histogram().percentile(50) == 0.0
+
+    def test_histogram_reservoir_stays_bounded(self):
+        hist = Histogram()
+        for value in range(20_000):
+            hist.observe(float(value))
+        assert hist.count == 20_000
+        assert len(hist._samples) < 5000
+        # exact aggregates survive decimation
+        assert hist.min == 0.0 and hist.max == 19_999.0
+        assert hist.percentile(50) == pytest.approx(10_000, rel=0.15)
+
+
+class TestRegistry:
+    def test_named_metrics_are_singletons(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_time_context(self):
+        registry = MetricsRegistry()
+        with registry.time("op_seconds"):
+            pass
+        assert registry.histogram("op_seconds").count == 1
+
+    def test_time_context_records_on_error(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.time("op_seconds"):
+                raise RuntimeError("boom")
+        assert registry.histogram("op_seconds").count == 1
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("batches").inc()
+        registry.gauge("rows").set(10)
+        registry.histogram("lat").observe(0.5)
+        doc = registry.to_dict()
+        assert doc["counters"] == {"batches": 1.0}
+        assert doc["gauges"] == {"rows": 10}
+        assert doc["histograms"]["lat"]["count"] == 1
+
+    def test_write_status_atomic_and_valid(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("batches").inc(3)
+        path = str(tmp_path / "status.json")
+        registry.write_status(path, extra={"service": "swan"})
+        assert not os.path.exists(path + ".tmp")
+        doc = json.load(open(path))
+        assert doc["service"] == "swan"
+        assert doc["counters"]["batches"] == 3
+        assert "updated_unix" in doc

@@ -1,0 +1,153 @@
+"""Recovery-path tests: snapshot + suffix replay, fallback chains."""
+
+import os
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.errors import RecoveryError
+from repro.profiling.verify import verify_profile
+from repro.service.changelog import Changelog
+from repro.service.recovery import recover
+from repro.service.snapshots import SnapshotManager
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+    ("Ada", "111", "25"),
+]
+
+
+def fresh_relation():
+    return Relation.from_rows(Schema(["Name", "Phone", "Age"]), ROWS)
+
+
+def build_state(tmp_path, snapshot_at=(0,), batches=()):
+    """Run a live profiler over ``batches``, snapshotting at the listed
+    sequence numbers; returns (snapshots, log path, live profiler)."""
+    snapshots = SnapshotManager(str(tmp_path / "snaps"))
+    log_path = str(tmp_path / "changelog.wal")
+    relation = fresh_relation()
+    profiler = SwanProfiler.profile(relation, algorithm="bruteforce")
+    with Changelog(log_path) as log:
+        if 0 in snapshot_at:
+            snapshots.save(relation, profiler.snapshot(), 0)
+        for kind, payload in batches:
+            if kind == "insert":
+                log.append_inserts(payload)
+                profiler.handle_inserts(payload)
+            else:
+                log.append_deletes(payload)
+                profiler.handle_deletes(payload)
+            if log.last_seq in snapshot_at:
+                snapshots.save(relation, profiler.snapshot(), log.last_seq)
+    return snapshots, log_path, profiler
+
+
+BATCHES = [
+    ("insert", [("Payne", "245", "31"), ("Zed", "999", "1")]),
+    ("delete", [0, 2]),
+    ("insert", [("Lee", "345", "20")]),
+]
+
+
+def assert_matches_live(result, live_profiler):
+    live = live_profiler.snapshot()
+    recovered = result.profiler.snapshot()
+    assert sorted(recovered.mucs) == sorted(live.mucs)
+    assert sorted(recovered.mnucs) == sorted(live.mnucs)
+    assert list(result.profiler.relation.iter_items()) == list(
+        live_profiler.relation.iter_items()
+    )
+    verify_profile(
+        result.profiler.relation, recovered.mucs, recovered.mnucs, exhaustive=True
+    )
+
+
+class TestHappyPath:
+    def test_replay_from_seq0_snapshot(self, tmp_path):
+        snapshots, log_path, live = build_state(tmp_path, batches=BATCHES)
+        result = recover(snapshots, log_path)
+        assert result.snapshot_seq == 0
+        assert result.replayed_records == 3
+        assert result.source == "snapshot+replay"
+        assert_matches_live(result, live)
+
+    def test_replay_from_newest_snapshot(self, tmp_path):
+        snapshots, log_path, live = build_state(
+            tmp_path, snapshot_at=(0, 2), batches=BATCHES
+        )
+        result = recover(snapshots, log_path)
+        assert result.snapshot_seq == 2
+        assert result.replayed_records == 1
+        assert_matches_live(result, live)
+
+    def test_no_suffix_to_replay(self, tmp_path):
+        snapshots, log_path, live = build_state(
+            tmp_path, snapshot_at=(0, 3), batches=BATCHES
+        )
+        result = recover(snapshots, log_path)
+        assert result.snapshot_seq == 3
+        assert result.replayed_records == 0
+        assert_matches_live(result, live)
+
+    def test_torn_tail_discarded(self, tmp_path):
+        snapshots, log_path, live = build_state(tmp_path, batches=BATCHES[:2])
+        with open(log_path, "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00partial-frame")
+        result = recover(snapshots, log_path)
+        assert result.torn_bytes_discarded > 0
+        assert result.replayed_records == 2
+        assert_matches_live(result, live)
+
+
+class TestFallbacks:
+    def _corrupt(self, snapshots, seq):
+        path = os.path.join(
+            snapshots.directory, f"snapshot-{seq:020d}", "rows.csv"
+        )
+        with open(path, "ab") as handle:
+            handle.write(b"corrupt-bytes\n")
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        snapshots, log_path, live = build_state(
+            tmp_path, snapshot_at=(0, 2), batches=BATCHES
+        )
+        self._corrupt(snapshots, 2)
+        result = recover(snapshots, log_path)
+        assert result.snapshot_seq == 0
+        assert result.replayed_records == 3
+        assert result.skipped_snapshots  # the damage is reported
+        assert_matches_live(result, live)
+
+    def test_all_corrupt_uses_holistic_fallback(self, tmp_path):
+        snapshots, log_path, live = build_state(
+            tmp_path, snapshot_at=(0, 2), batches=BATCHES
+        )
+        self._corrupt(snapshots, 0)
+        self._corrupt(snapshots, 2)
+
+        def fallback():
+            relation = fresh_relation()
+            mucs, mnucs = discover_bruteforce(relation)
+            return relation, mucs, mnucs
+
+        result = recover(snapshots, log_path, holistic_fallback=fallback)
+        assert result.source == "holistic"
+        assert result.replayed_records == 3
+        assert_matches_live(result, live)
+
+    def test_all_corrupt_without_fallback_raises(self, tmp_path):
+        snapshots, log_path, _ = build_state(tmp_path, batches=BATCHES)
+        self._corrupt(snapshots, 0)
+        with pytest.raises(RecoveryError, match="no usable snapshot"):
+            recover(snapshots, log_path)
+
+    def test_no_snapshots_without_fallback_raises(self, tmp_path):
+        snapshots = SnapshotManager(str(tmp_path / "snaps"))
+        with pytest.raises(RecoveryError, match="no snapshots found"):
+            recover(snapshots, str(tmp_path / "changelog.wal"))

@@ -1,0 +1,306 @@
+"""Service-loop tests: commit protocol, sources, coalescing,
+crash/restart, observability."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.core.monitor import EventKind
+from repro.errors import ProfileStateError
+from repro.profiling.verify import verify_profile
+from repro.service.server import (
+    Batch,
+    ProfilingService,
+    ServiceConfig,
+    SpoolDirectorySource,
+    StdinCSVSource,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def fresh_relation():
+    return Relation.from_rows(Schema(["Name", "Phone", "Age"]), ROWS)
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(algorithm="bruteforce", snapshot_every=0)
+    defaults.update(overrides)
+    return ProfilingService(
+        str(tmp_path / "state"), config=ServiceConfig(**defaults)
+    )
+
+
+class TestLifecycle:
+    def test_requires_initial_or_state(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ProfileStateError, match="no durable state"):
+            service.start()
+
+    def test_double_start_rejected(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(ProfileStateError, match="already started"):
+            service.start()
+        service.stop()
+
+    def test_profiler_requires_start(self, tmp_path):
+        with pytest.raises(ProfileStateError):
+            make_service(tmp_path).profiler
+
+    def test_bootstrap_takes_seq0_snapshot(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        assert service.snapshots.list_seqs() == [0]
+        service.stop()
+
+    def test_context_manager_stops(self, tmp_path):
+        with make_service(tmp_path).start(initial=fresh_relation()) as service:
+            service.apply_insert_batch([("Ada", "111", "9")])
+        assert not service.started
+
+    def test_second_service_on_same_dir_rejected(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(ProfileStateError, match="locked by another"):
+            make_service(tmp_path).start()
+        service.stop()
+        # the lock dies with the holder; a successor can start
+        make_service(tmp_path).start().stop()
+
+    def test_failed_start_releases_lock(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ProfileStateError, match="no durable state"):
+            service.start()
+        make_service(tmp_path).start(initial=fresh_relation()).stop()
+
+
+class TestCrashRecovery:
+    def test_crash_then_recover_matches_live(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.apply_insert_batch([("Payne", "245", "31")])
+        service.apply_delete_batch([0])
+        live = service.profiler.snapshot()
+        # crash: no stop(), no final snapshot
+        del service
+
+        recovered = make_service(tmp_path).start()
+        assert recovered.last_recovery is not None
+        assert recovered.last_recovery.replayed_records == 2
+        profile = recovered.profiler.snapshot()
+        assert sorted(profile.mucs) == sorted(live.mucs)
+        assert sorted(profile.mnucs) == sorted(live.mnucs)
+        verify_profile(
+            recovered.profiler.relation,
+            profile.mucs,
+            profile.mnucs,
+            exhaustive=True,
+        )
+        recovered.stop()
+
+    def test_clean_stop_recovers_without_replay(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.apply_insert_batch([("Payne", "245", "31")])
+        service.stop()
+        recovered = make_service(tmp_path).start()
+        assert recovered.last_recovery.replayed_records == 0
+        assert len(recovered.profiler.relation) == 4
+        recovered.stop()
+
+    def test_watch_states_survive_recovery(self, tmp_path):
+        service = make_service(tmp_path, watches=(("Phone",),)).start(
+            initial=fresh_relation()
+        )
+        assert service.monitor.watched_labels() == ["{Phone}"]
+        service.apply_insert_batch([("Payne", "245", "31")])  # breaks {Phone}
+        live_holds = [key.holds for key in service.monitor._watched]
+        del service
+
+        recovered = make_service(tmp_path).start()
+        assert recovered.monitor.watched_labels() == ["{Phone}"]
+        assert [key.holds for key in recovered.monitor._watched] == live_holds
+        # the recovered monitor keeps reporting transitions
+        recovered.apply_delete_batch([3])
+        assert any(
+            event.kind is EventKind.KEY_RESTORED
+            for event in recovered.monitor.history
+        )
+        recovered.stop()
+
+    def test_periodic_snapshots_bound_replay(self, tmp_path):
+        service = make_service(tmp_path, snapshot_every=2).start(
+            initial=fresh_relation()
+        )
+        for i in range(5):
+            service.apply_insert_batch([(f"N{i}", f"p{i}", str(i))])
+        del service
+        recovered = make_service(tmp_path, snapshot_every=2).start()
+        assert recovered.last_recovery.snapshot_seq == 4
+        assert recovered.last_recovery.replayed_records == 1
+        recovered.stop()
+
+
+class TestSpoolSource:
+    def test_drain_applies_and_acks(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "001.json", {"kind": "insert", "rows": [["Ada", "111", "9"]]}
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "002.json", {"kind": "delete", "ids": [0]}
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        applied = service.serve(SpoolDirectorySource(spool))
+        assert applied == 2
+        assert sorted(os.listdir(os.path.join(spool, "done"))) == [
+            "001.json",
+            "002.json",
+        ]
+        assert len(service.profiler.relation) == 3
+        service.stop()
+
+    def test_coalescing_merges_small_insert_batches(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        for i in range(4):
+            SpoolDirectorySource.write_batch(
+                spool,
+                f"{i:03d}.json",
+                {"kind": "insert", "rows": [[f"N{i}", f"p{i}", str(i)]]},
+            )
+        service = make_service(tmp_path, coalesce_rows=100).start(
+            initial=fresh_relation()
+        )
+        applied = service.serve(SpoolDirectorySource(spool))
+        assert applied == 1  # four files, one committed record
+        assert service.metrics.counter("batches_coalesced").value == 3
+        assert len(service.profiler.relation) == 7
+        # every source file still acked
+        assert len(os.listdir(os.path.join(spool, "done"))) == 4
+        service.stop()
+
+    def test_coalescing_respects_kind_boundary(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "001.json", {"kind": "insert", "rows": [["Ada", "111", "9"]]}
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "002.json", {"kind": "delete", "ids": [0]}
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "003.json", {"kind": "insert", "rows": [["Bob", "222", "8"]]}
+        )
+        service = make_service(tmp_path, coalesce_rows=100).start(
+            initial=fresh_relation()
+        )
+        assert service.serve(SpoolDirectorySource(spool)) == 3
+        service.stop()
+
+    def test_redelivered_batch_skipped(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "001.json", {"kind": "delete", "ids": [0]}
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        assert service.serve(SpoolDirectorySource(spool)) == 1
+        del service
+        # crash-before-ack simulation: the file reappears in the spool
+        os.replace(
+            os.path.join(spool, "done", "001.json"),
+            os.path.join(spool, "001.json"),
+        )
+        recovered = make_service(tmp_path).start()
+        assert recovered.serve(SpoolDirectorySource(spool)) == 0
+        assert recovered.metrics.counter("batches_redelivered").value == 1
+        assert not os.path.exists(os.path.join(spool, "001.json"))
+        recovered.stop()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        from repro.errors import WorkloadError
+
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(spool, "001.json", {"kind": "upsert"})
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(WorkloadError, match="unknown batch kind"):
+            service.serve(SpoolDirectorySource(spool))
+        service.stop()
+
+
+class TestStdinSource:
+    def test_rows_and_delete_directives(self, tmp_path):
+        stream = io.StringIO("Ada,111,9\nBob,222,8\n!delete,0\nCal,333,7\n")
+        source = StdinCSVSource(stream, n_columns=3, batch_size=10)
+        batches = list(source)
+        assert [b.kind for b in batches] == ["insert", "delete", "insert"]
+        assert batches[0].n_rows == 2
+        assert batches[1].tuple_ids == (0,)
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        stream = io.StringIO("Ada,111\nBob,222,8\n")
+        source = StdinCSVSource(stream, n_columns=3)
+        batches = list(source)
+        assert len(batches) == 1 and batches[0].n_rows == 1
+        assert source.skipped_rows == 1
+
+    def test_batch_size_chunks(self, tmp_path):
+        stream = io.StringIO("".join(f"N{i},p{i},{i}\n" for i in range(5)))
+        batches = list(StdinCSVSource(stream, n_columns=3, batch_size=2))
+        assert [b.n_rows for b in batches] == [2, 2, 1]
+
+    def test_served_end_to_end(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        stream = io.StringIO("Ada,111,9\n!delete,1\n")
+        assert service.serve(StdinCSVSource(stream, 3, batch_size=10)) == 2
+        assert len(service.profiler.relation) == 3
+        service.stop()
+
+
+class TestObservability:
+    def test_stats_and_status_file(self, tmp_path):
+        service = make_service(tmp_path, status_every=1).start(
+            initial=fresh_relation()
+        )
+        service.apply_insert_batch([("Ada", "111", "9")])
+        stats = service.stats()
+        assert stats["counters"]["batches_applied"] == 1
+        assert stats["counters"]["rows_inserted"] == 1
+        assert stats["gauges"]["live_rows"] == 4
+        assert stats["last_seq"] == 1
+        status = json.load(
+            open(os.path.join(service.data_dir, "status.json"))
+        )
+        assert status["counters"]["batches_applied"] == 1
+        assert status["histograms"]["fsync_seconds"]["count"] == 1
+        service.stop()
+
+    def test_event_sink_called(self, tmp_path):
+        seen = []
+        service = make_service(tmp_path, watches=(("Phone",),)).start(
+            initial=fresh_relation()
+        )
+        service.on_event(seen.append)
+        service.apply_insert_batch([("Payne", "245", "31")])
+        assert any(event.kind is EventKind.KEY_BROKEN for event in seen)
+        service.stop()
+
+    def test_muc_churn_counted(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.apply_insert_batch([("Payne", "245", "31")])
+        assert service.metrics.counter("muc_churn").value > 0
+        service.stop()
+
+
+class TestBatchValidation:
+    def test_unknown_kind_not_logged(self, tmp_path):
+        from repro.errors import WorkloadError
+
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(WorkloadError):
+            service.apply_batch(Batch("upsert"))
+        # the bad batch must not have consumed a sequence number
+        assert service.stats()["last_seq"] == 0
+        service.stop()

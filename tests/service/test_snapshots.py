@@ -1,0 +1,130 @@
+"""Unit tests for the snapshot manager: durability, validation,
+tuple-ID fidelity, retention."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.repository import Profile
+from repro.errors import RecoveryError
+from repro.service.snapshots import SnapshotManager
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(["Name", "Phone", "Age"])
+    return Relation.from_rows(
+        schema,
+        [
+            ("Lee", "345", "20"),
+            ("Payne", "245", "30"),
+            ("Lee", "234", "30"),
+        ],
+    )
+
+
+@pytest.fixture
+def profile():
+    return Profile.from_masks([0b010, 0b101], [0b011, 0b110])
+
+
+@pytest.fixture
+def manager(tmp_path):
+    return SnapshotManager(str(tmp_path / "snaps"), retain=2)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, manager, relation, profile):
+        manager.save(relation, profile, seq=7, watches=[("Phone",)])
+        snapshot = manager.load(7)
+        assert snapshot.seq == 7
+        assert snapshot.watches == (("Phone",),)
+        rebuilt = snapshot.build_relation()
+        assert list(rebuilt.iter_items()) == list(relation.iter_items())
+        assert rebuilt.next_tuple_id == relation.next_tuple_id
+        mucs, mnucs = snapshot.stored_profile.masks_for(rebuilt.schema)
+        assert sorted(mucs) == sorted(profile.mucs)
+        assert sorted(mnucs) == sorted(profile.mnucs)
+
+    def test_tombstones_preserved(self, manager, relation, profile):
+        relation.delete(1)
+        manager.save(relation, profile, seq=3)
+        rebuilt = manager.load(3).build_relation()
+        assert list(rebuilt.iter_ids()) == [0, 2]
+        assert rebuilt.next_tuple_id == 3
+        assert not rebuilt.is_live(1)
+        # replayed inserts must get the same IDs the live run handed out
+        assert rebuilt.insert(("New", "999", "1")) == 3
+
+    def test_recent_tokens_round_trip(self, manager, relation, profile):
+        manager.save(relation, profile, seq=1, recent_tokens=["a.json", "b.json"])
+        assert manager.load(1).recent_tokens == ("a.json", "b.json")
+
+    def test_latest_seq(self, manager, relation, profile):
+        assert manager.latest_seq() is None
+        manager.save(relation, profile, seq=1)
+        manager.save(relation, profile, seq=9)
+        assert manager.latest_seq() == 9
+
+
+class TestValidation:
+    def test_missing_snapshot(self, manager):
+        with pytest.raises(RecoveryError):
+            manager.load(42)
+
+    def test_rows_corruption_detected(self, manager, relation, profile):
+        path = manager.save(relation, profile, seq=1)
+        rows = os.path.join(path, "rows.csv")
+        data = open(rows, "rb").read()
+        open(rows, "wb").write(data[:-2] + b"X\n")
+        with pytest.raises(RecoveryError, match="checksum"):
+            manager.load(1)
+
+    def test_meta_corruption_detected(self, manager, relation, profile):
+        path = manager.save(relation, profile, seq=1)
+        open(os.path.join(path, "meta.json"), "w").write("{not json")
+        with pytest.raises(RecoveryError):
+            manager.load(1)
+
+    def test_profile_corruption_detected(self, manager, relation, profile):
+        path = manager.save(relation, profile, seq=1)
+        open(os.path.join(path, "profile.json"), "w").write("[]")
+        with pytest.raises(RecoveryError):
+            manager.load(1)
+
+    def test_seq_mismatch_detected(self, manager, relation, profile):
+        path = manager.save(relation, profile, seq=1)
+        meta_path = os.path.join(path, "meta.json")
+        meta = json.load(open(meta_path))
+        meta["seq"] = 99
+        json.dump(meta, open(meta_path, "w"))
+        with pytest.raises(RecoveryError, match="declares"):
+            manager.load(1)
+
+
+class TestRetentionAndAtomicity:
+    def test_prune_keeps_newest(self, manager, relation, profile):
+        for seq in (1, 2, 3, 4):
+            manager.save(relation, profile, seq=seq)
+        assert manager.list_seqs() == [3, 4]
+
+    def test_temp_dirs_swept_on_startup(self, tmp_path, relation, profile):
+        directory = str(tmp_path / "snaps")
+        manager = SnapshotManager(directory)
+        manager.save(relation, profile, seq=1)
+        # simulate a crash mid-write: a temp dir left behind
+        leftover = os.path.join(directory, ".tmp-snapshot-00000000000000000002")
+        os.makedirs(leftover)
+        open(os.path.join(leftover, "rows.csv"), "w").write("garbage")
+        fresh = SnapshotManager(directory)
+        assert not os.path.exists(leftover)
+        assert fresh.list_seqs() == [1]
+
+    def test_resave_same_seq_overwrites(self, manager, relation, profile):
+        manager.save(relation, profile, seq=5)
+        relation.insert(("New", "777", "2"))
+        manager.save(relation, profile, seq=5)
+        assert manager.load(5).next_tuple_id == 4
