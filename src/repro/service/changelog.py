@@ -48,6 +48,18 @@ INSERT = "insert"
 DELETE = "delete"
 
 
+def decode_cell(value: object) -> Hashable:
+    """JSON payload value -> row cell.
+
+    Tuple cells survive a JSON round-trip as arrays; turning arrays
+    back into tuples keeps replayed rows equal (and hashable) to what
+    the live run inserted, so recovery reproduces the exact profile.
+    """
+    if isinstance(value, list):
+        return tuple(decode_cell(item) for item in value)
+    return value  # type: ignore[return-value]
+
+
 @dataclass(frozen=True)
 class ChangelogRecord:
     """One committed batch: a sequence number plus its operation.
@@ -87,7 +99,10 @@ class ChangelogRecord:
                 return cls(
                     seq,
                     INSERT,
-                    rows=tuple(tuple(row) for row in body["rows"]),
+                    rows=tuple(
+                        tuple(decode_cell(cell) for cell in row)
+                        for row in body["rows"]
+                    ),
                     tokens=tokens,
                 )
             if kind == DELETE:

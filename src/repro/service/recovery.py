@@ -13,10 +13,15 @@ after applying that record. The procedure:
    the snapshot's through the normal insert/delete handlers. A torn
    tail (crash mid-append) is discarded -- those bytes were never
    acknowledged.
-3. If a snapshot fails validation, fall back to the next older one.
+3. If a snapshot fails validation, cannot replay (a record refuses to
+   apply), or predates the changelog's base sequence (the log was
+   rotated, so its suffix is gone), fall back to the next older one.
    If *every* snapshot is unusable, fall back to a caller-provided
    holistic re-run (re-profile the initial dataset, replay the whole
-   changelog), else raise :class:`~repro.errors.RecoveryError`.
+   changelog -- only sound while the log still starts at sequence 0),
+   else raise :class:`~repro.errors.RecoveryError`. Damage is always
+   reported (``skipped_snapshots`` or the error message), never
+   silently skipped over.
 """
 
 from __future__ import annotations
@@ -55,15 +60,34 @@ class RecoveryResult:
 def replay_records(
     profiler: SwanProfiler, records: list[ChangelogRecord]
 ) -> tuple[int, int]:
-    """Apply committed records in order; returns (records, rows) applied."""
+    """Apply committed records in order; returns (records, rows) applied.
+
+    A record that fails to apply (wrong arity, dead tuple ID, ...) is
+    surfaced as :class:`~repro.errors.RecoveryError` naming the
+    sequence number -- never as an unhandled profiler exception -- so
+    :func:`recover` can report it and try an older snapshot instead of
+    aborting with a traceback. The service validates batches before
+    committing them, so this fires only on tampered or externally
+    written logs.
+    """
     rows_applied = 0
     for record in records:
-        if record.kind == INSERT:
-            profiler.handle_inserts(record.rows)
-        elif record.kind == DELETE:
-            profiler.handle_deletes(record.tuple_ids)
-        else:  # pragma: no cover - scan_file already rejects these
-            raise RecoveryError(f"record {record.seq}: unknown kind {record.kind!r}")
+        try:
+            if record.kind == INSERT:
+                profiler.handle_inserts(record.rows)
+            elif record.kind == DELETE:
+                profiler.handle_deletes(record.tuple_ids)
+            else:  # pragma: no cover - scan_file already rejects these
+                raise RecoveryError(
+                    f"record {record.seq}: unknown kind {record.kind!r}"
+                )
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(
+                f"changelog record {record.seq} ({record.kind}, "
+                f"{record.n_rows} row(s)) failed to apply: {exc}"
+            ) from exc
         rows_applied += record.n_rows
     return len(records), rows_applied
 
@@ -86,6 +110,16 @@ def recover(
     scan = scan_file(changelog_path)
     skipped: list[str] = []
     for seq in reversed(snapshots.list_seqs()):
+        if scan.base_seq > seq:
+            # The log was rotated under a newer snapshot: records
+            # seq+1..base_seq are no longer on disk, so replaying from
+            # this snapshot would silently lose committed batches.
+            skipped.append(
+                f"snapshot {seq}: changelog starts after seq "
+                f"{scan.base_seq}, records {seq + 1}..{scan.base_seq} "
+                "were rotated away"
+            )
+            continue
         try:
             snapshot = snapshots.load(seq)
         except RecoveryError as exc:
@@ -95,7 +129,11 @@ def recover(
         mucs, mnucs = snapshot.stored_profile.masks_for(relation.schema)
         profiler = SwanProfiler(relation, mucs, mnucs, index_quota=index_quota)
         suffix = [record for record in scan.records if record.seq > seq]
-        n_records, n_rows = replay_records(profiler, suffix)
+        try:
+            n_records, n_rows = replay_records(profiler, suffix)
+        except RecoveryError as exc:
+            skipped.append(f"snapshot {seq}: {exc}")
+            continue
         return RecoveryResult(
             profiler=profiler,
             snapshot_seq=seq,
@@ -108,11 +146,20 @@ def recover(
             recent_tokens=snapshot.recent_tokens,
             skipped_snapshots=skipped,
         )
+    detail = "; ".join(skipped) if skipped else "no snapshots found"
     if holistic_fallback is None:
-        detail = "; ".join(skipped) if skipped else "no snapshots found"
         raise RecoveryError(
             f"no usable snapshot under {snapshots.directory!r} and no "
             f"holistic fallback provided ({detail})"
+        )
+    if scan.base_seq > 0:
+        # The fallback re-profiles the *initial* dataset (sequence 0),
+        # but a rotated log no longer holds records 1..base_seq, so the
+        # whole-log replay cannot reach the committed state.
+        raise RecoveryError(
+            "holistic fallback impossible: the changelog was rotated at "
+            f"seq {scan.base_seq}, records 1..{scan.base_seq} are no "
+            f"longer on disk ({detail})"
         )
     relation, mucs, mnucs = holistic_fallback()
     profiler = SwanProfiler(relation, mucs, mnucs, index_quota=index_quota)

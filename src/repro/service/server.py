@@ -155,18 +155,23 @@ class SpoolDirectorySource:
                 f"object, got {type(body).__name__}"
             )
         kind = body.get("kind")
-        if kind == INSERT:
-            return Batch(
-                INSERT,
-                rows=tuple(tuple(row) for row in body["rows"]),
-                token=name,
-            )
-        if kind == DELETE:
-            return Batch(
-                DELETE,
-                tuple_ids=tuple(int(i) for i in body["ids"]),
-                token=name,
-            )
+        try:
+            if kind == INSERT:
+                return Batch(
+                    INSERT,
+                    rows=tuple(tuple(row) for row in body["rows"]),
+                    token=name,
+                )
+            if kind == DELETE:
+                return Batch(
+                    DELETE,
+                    tuple_ids=tuple(int(i) for i in body["ids"]),
+                    token=name,
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(
+                f"spool file {path} is not a valid batch: {exc}"
+            ) from exc
         raise WorkloadError(f"spool file {path}: unknown batch kind {kind!r}")
 
     def ack(self, batch: Batch) -> None:
@@ -226,7 +231,13 @@ class StdinCSVSource:
                 if pending:
                     yield Batch(INSERT, rows=tuple(pending))
                     pending = []
-                yield Batch(DELETE, tuple_ids=tuple(int(i) for i in cells[1:]))
+                try:
+                    tuple_ids = tuple(int(i) for i in cells[1:])
+                except ValueError as exc:
+                    raise WorkloadError(
+                        f"bad !delete directive {','.join(cells)!r}: {exc}"
+                    ) from exc
+                yield Batch(DELETE, tuple_ids=tuple_ids)
                 continue
             if len(cells) != self._n_columns:
                 self.skipped_rows += 1
@@ -451,6 +462,7 @@ class ProfilingService:
             raise ProfileStateError("service not started; call start() first")
         if batch.kind not in (INSERT, DELETE):
             raise WorkloadError(f"unknown batch kind {batch.kind!r}")
+        self._validate_batch(batch)
         before = self.monitor.profiler.snapshot()
         tokens = [t for t in _split_tokens(batch.token) if isinstance(t, str)]
         with self.metrics.time("fsync_seconds"):
@@ -489,6 +501,53 @@ class ProfilingService:
         ):
             self.write_status()
         return after
+
+    def _validate_batch(self, batch: Batch) -> None:
+        """Reject a malformed batch *before* it reaches the changelog.
+
+        A committed record is replayed verbatim by every future
+        recovery, so a batch that cannot apply must never be logged --
+        one durably committed poison record would otherwise fail every
+        subsequent ``start()``. Row arity, cell types (JSON scalars or
+        tuples of them, so the framed payload round-trips losslessly)
+        and tuple-ID liveness are checked against the live profiler
+        first; a failure raises with nothing committed.
+        """
+        assert self.monitor is not None
+        relation = self.monitor.profiler.relation
+        if batch.kind == INSERT:
+            n_columns = relation.n_columns
+            for row in batch.rows:
+                if len(row) != n_columns:
+                    raise WorkloadError(
+                        f"insert row {row!r} has {len(row)} values, "
+                        f"schema has {n_columns} columns"
+                    )
+                for value in row:
+                    if not _is_loggable_cell(value):
+                        raise WorkloadError(
+                            f"insert row {row!r}: cell {value!r} "
+                            f"({type(value).__name__}) would not survive "
+                            "a changelog round-trip; use JSON scalars or "
+                            "tuples of them"
+                        )
+        else:
+            doomed: set[int] = set()
+            for tuple_id in batch.tuple_ids:
+                if isinstance(tuple_id, bool) or not isinstance(tuple_id, int):
+                    raise WorkloadError(
+                        f"delete batch: tuple ID {tuple_id!r} is not an integer"
+                    )
+                if tuple_id in doomed:
+                    raise WorkloadError(
+                        f"delete batch names tuple ID {tuple_id} twice"
+                    )
+                if not relation.is_live(tuple_id):
+                    raise WorkloadError(
+                        f"delete batch: tuple ID {tuple_id} does not exist "
+                        "or was already deleted"
+                    )
+                doomed.add(tuple_id)
 
     def serve(
         self,
@@ -639,6 +698,12 @@ class ProfilingService:
     def __repr__(self) -> str:
         state = "started" if self.started else "stopped"
         return f"ProfilingService({self.data_dir!r}, {state})"
+
+
+def _is_loggable_cell(value: object) -> bool:
+    if isinstance(value, tuple):
+        return all(_is_loggable_cell(item) for item in value)
+    return value is None or isinstance(value, (str, int, float, bool))
 
 
 def _merge_tokens(left: object, right: object) -> object:

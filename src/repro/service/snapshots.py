@@ -6,15 +6,18 @@ snapshot and replays only the suffix. Each snapshot is a directory
 
     snapshot-<seq padded to 20 digits>/
         profile.json    -- the exact repro.profiling.persistence format
-        rows.csv        -- live tuples, one per line: tuple_id,cells...
+        rows.jsonl      -- one JSON array per live tuple: [id, cells...]
         meta.json       -- seq, next_tuple_id, row checksum, watches
 
 written to a hidden temp directory first and published with a single
 ``os.rename`` -- a crash mid-write leaves a temp directory the manager
-ignores (and sweeps), never a half-visible snapshot. ``meta.json``
-carries a SHA-256 over ``rows.csv`` so bit rot is detected at load
-time, and the changelog sequence number the snapshot covers, so
-recovery knows where replay starts.
+ignores (and sweeps), never a half-visible snapshot. Rows are JSON (not
+CSV) so cell *types* survive the round-trip -- an ``int 1`` reloads as
+``int 1``, not ``"1"``, keeping recovered distinctness identical to the
+live run -- and embedded newlines are escaped, keeping the file safely
+line-framed. ``meta.json`` carries a SHA-256 over ``rows.jsonl`` so bit
+rot is detected at load time, and the changelog sequence number the
+snapshot covers, so recovery knows where replay starts.
 
 Retention keeps the newest K snapshots; older ones are deleted after a
 new snapshot is durably published, so there is never a moment with
@@ -23,9 +26,7 @@ fewer than K fallbacks on disk.
 
 from __future__ import annotations
 
-import csv
 import hashlib
-import io
 import json
 import os
 import shutil
@@ -35,12 +36,14 @@ from typing import Hashable, Sequence
 from repro.core.repository import Profile
 from repro.errors import RecoveryError
 from repro.profiling.persistence import StoredProfile, dump_profile, load_profile
+from repro.service.changelog import decode_cell
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 
-META_VERSION = 1
+META_VERSION = 2  # v2: rows.jsonl (type-preserving) replaced rows.csv
 _PREFIX = "snapshot-"
 _TMP_PREFIX = ".tmp-snapshot-"
+_ROWS_NAME = "rows.jsonl"
 
 Row = tuple[Hashable, ...]
 
@@ -116,7 +119,7 @@ class SnapshotManager:
             shutil.rmtree(tmp)
         os.makedirs(tmp)
         dump_profile(relation.schema, profile, os.path.join(tmp, "profile.json"))
-        digest = self._write_rows(os.path.join(tmp, "rows.csv"), relation)
+        digest = self._write_rows(os.path.join(tmp, _ROWS_NAME), relation)
         meta = {
             "meta_version": META_VERSION,
             "seq": seq,
@@ -142,12 +145,15 @@ class SnapshotManager:
 
     def _write_rows(self, path: str, relation: Relation) -> str:
         digest = hashlib.sha256()
-        with open(path, "w", newline="") as handle:
+        with open(path, "wb") as handle:
             for tuple_id, row in relation.iter_items():
-                buffer = io.StringIO()
-                csv.writer(buffer).writerow([tuple_id, *row])
-                line = buffer.getvalue()
-                digest.update(line.encode("utf-8"))
+                line = (
+                    json.dumps([tuple_id, *row], separators=(",", ":")).encode(
+                        "utf-8"
+                    )
+                    + b"\n"
+                )
+                digest.update(line)
                 handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
@@ -203,13 +209,15 @@ class SnapshotManager:
                     f"snapshot {seq}: meta declares seq {meta.get('seq')!r}"
                 )
             stored = load_profile(os.path.join(root, "profile.json"))
-            rows, digest = self._read_rows(os.path.join(root, "rows.csv"))
+            rows, digest = self._read_rows(os.path.join(root, _ROWS_NAME))
         except RecoveryError:
             raise
         except Exception as exc:
             raise RecoveryError(f"snapshot {seq}: unreadable ({exc})") from exc
         if digest != meta.get("rows_sha256"):
-            raise RecoveryError(f"snapshot {seq}: rows.csv checksum mismatch")
+            raise RecoveryError(
+                f"snapshot {seq}: {_ROWS_NAME} checksum mismatch"
+            )
         if len(rows) != meta.get("n_rows"):
             raise RecoveryError(
                 f"snapshot {seq}: expected {meta.get('n_rows')} rows, "
@@ -232,11 +240,16 @@ class SnapshotManager:
     def _read_rows(path: str) -> tuple[list[tuple[int, Row]], str]:
         digest = hashlib.sha256()
         rows: list[tuple[int, Row]] = []
-        with open(path, newline="") as handle:
+        with open(path, "rb") as handle:
             for line in handle:
-                digest.update(line.encode("utf-8"))
-                cells = next(csv.reader([line]))
-                rows.append((int(cells[0]), tuple(cells[1:])))
+                digest.update(line)
+                cells = json.loads(line)
+                rows.append(
+                    (
+                        int(cells[0]),
+                        tuple(decode_cell(cell) for cell in cells[1:]),
+                    )
+                )
         return rows, digest.hexdigest()
 
     # ------------------------------------------------------------------

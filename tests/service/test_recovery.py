@@ -105,13 +105,17 @@ class TestHappyPath:
         assert_matches_live(result, live)
 
 
+def corrupt_snapshot(snapshots, seq):
+    path = os.path.join(
+        snapshots.directory, f"snapshot-{seq:020d}", "rows.jsonl"
+    )
+    with open(path, "ab") as handle:
+        handle.write(b"corrupt-bytes\n")
+
+
 class TestFallbacks:
     def _corrupt(self, snapshots, seq):
-        path = os.path.join(
-            snapshots.directory, f"snapshot-{seq:020d}", "rows.csv"
-        )
-        with open(path, "ab") as handle:
-            handle.write(b"corrupt-bytes\n")
+        corrupt_snapshot(snapshots, seq)
 
     def test_corrupt_newest_falls_back_to_older(self, tmp_path):
         snapshots, log_path, live = build_state(
@@ -151,3 +155,61 @@ class TestFallbacks:
         snapshots = SnapshotManager(str(tmp_path / "snaps"))
         with pytest.raises(RecoveryError, match="no snapshots found"):
             recover(snapshots, str(tmp_path / "changelog.wal"))
+
+
+class TestPoisonRecords:
+    """A committed record that cannot apply (only possible on tampered
+    or externally written logs -- the service validates before logging)
+    must surface as RecoveryError, not an unhandled profiler error."""
+
+    def test_poison_record_reported_as_recovery_error(self, tmp_path):
+        snapshots, log_path, _ = build_state(tmp_path, batches=BATCHES[:1])
+        with Changelog(log_path) as log:
+            log.append_inserts([("only", "two")])  # wrong arity
+        with pytest.raises(RecoveryError, match="failed to apply"):
+            recover(snapshots, log_path)
+
+    def test_poison_delete_reported_as_recovery_error(self, tmp_path):
+        snapshots, log_path, _ = build_state(tmp_path, batches=BATCHES[:1])
+        with Changelog(log_path) as log:
+            log.append_deletes([999])  # no such tuple
+        with pytest.raises(RecoveryError, match="failed to apply"):
+            recover(snapshots, log_path)
+
+
+class TestRotatedChangelog:
+    """An older snapshot predating the log's base_seq cannot replay to
+    the committed state (the gap was rotated away) and must never be
+    used silently."""
+
+    def _rotated_state(self, tmp_path):
+        snapshots, log_path, live = build_state(
+            tmp_path, snapshot_at=(0, 3), batches=BATCHES
+        )
+        # simulate Changelog.ensure_at rotation under the seq-3 snapshot
+        os.remove(log_path)
+        Changelog(log_path, base_seq=3).close()
+        return snapshots, log_path, live
+
+    def test_snapshot_at_base_seq_still_recovers(self, tmp_path):
+        snapshots, log_path, live = self._rotated_state(tmp_path)
+        result = recover(snapshots, log_path)
+        assert result.snapshot_seq == 3
+        assert result.replayed_records == 0
+        assert_matches_live(result, live)
+
+    def test_stale_snapshot_not_silently_used(self, tmp_path):
+        snapshots, log_path, _ = self._rotated_state(tmp_path)
+        corrupt_snapshot(snapshots, 3)
+        with pytest.raises(RecoveryError, match="rotated away"):
+            recover(snapshots, log_path)
+
+    def test_holistic_fallback_refused_after_rotation(self, tmp_path):
+        snapshots, log_path, _ = self._rotated_state(tmp_path)
+        corrupt_snapshot(snapshots, 3)
+
+        def fallback():  # pragma: no cover - must not be called
+            raise AssertionError("holistic fallback must not run")
+
+        with pytest.raises(RecoveryError, match="holistic fallback impossible"):
+            recover(snapshots, log_path, holistic_fallback=fallback)

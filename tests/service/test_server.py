@@ -8,7 +8,7 @@ import os
 import pytest
 
 from repro.core.monitor import EventKind
-from repro.errors import ProfileStateError
+from repro.errors import ProfileStateError, WorkloadError
 from repro.profiling.verify import verify_profile
 from repro.service.server import (
     Batch,
@@ -132,6 +132,26 @@ class TestCrashRecovery:
         )
         recovered.stop()
 
+    def test_cell_types_survive_snapshot_recovery(self, tmp_path):
+        # int 1 and str "1" are distinct values; a snapshot-based
+        # recovery (clean stop -> no replay) must preserve that
+        relation = Relation.from_rows(
+            Schema(["A", "B", "C"]), [("a", "b", "c")]
+        )
+        service = make_service(tmp_path).start(initial=relation)
+        service.apply_insert_batch([(1, "1", None), (2.5, True, ("x", 3))])
+        live_items = list(service.profiler.relation.iter_items())
+        live = service.profiler.snapshot()
+        service.stop()
+
+        recovered = make_service(tmp_path).start()
+        assert recovered.last_recovery.replayed_records == 0
+        assert list(recovered.profiler.relation.iter_items()) == live_items
+        profile = recovered.profiler.snapshot()
+        assert sorted(profile.mucs) == sorted(live.mucs)
+        assert sorted(profile.mnucs) == sorted(live.mnucs)
+        recovered.stop()
+
     def test_periodic_snapshots_bound_replay(self, tmp_path):
         service = make_service(tmp_path, snapshot_every=2).start(
             initial=fresh_relation()
@@ -251,6 +271,11 @@ class TestStdinSource:
         batches = list(StdinCSVSource(stream, n_columns=3, batch_size=2))
         assert [b.n_rows for b in batches] == [2, 2, 1]
 
+    def test_bad_delete_directive_raises_workload_error(self, tmp_path):
+        stream = io.StringIO("!delete,xyz\n")
+        with pytest.raises(WorkloadError, match="!delete"):
+            list(StdinCSVSource(stream, n_columns=3))
+
     def test_served_end_to_end(self, tmp_path):
         service = make_service(tmp_path).start(initial=fresh_relation())
         stream = io.StringIO("Ada,111,9\n!delete,1\n")
@@ -296,11 +321,59 @@ class TestObservability:
 
 class TestBatchValidation:
     def test_unknown_kind_not_logged(self, tmp_path):
-        from repro.errors import WorkloadError
-
         service = make_service(tmp_path).start(initial=fresh_relation())
         with pytest.raises(WorkloadError):
             service.apply_batch(Batch("upsert"))
         # the bad batch must not have consumed a sequence number
         assert service.stats()["last_seq"] == 0
         service.stop()
+
+    def test_wrong_arity_insert_rejected_before_logging(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(WorkloadError, match="values"):
+            service.apply_insert_batch([("only", "two")])
+        assert service.stats()["last_seq"] == 0
+        service.stop()
+        # no poison record was committed: the directory stays recoverable
+        recovered = make_service(tmp_path).start()
+        assert len(recovered.profiler.relation) == 3
+        recovered.stop()
+
+    def test_bad_delete_ids_rejected_before_logging(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.apply_delete_batch([0])
+        for bad in ([0], [99], [-1], [1, 1]):
+            with pytest.raises(WorkloadError):
+                service.apply_delete_batch(bad)
+        assert service.stats()["last_seq"] == 1
+        service.stop()
+        recovered = make_service(tmp_path).start()  # replays cleanly
+        assert len(recovered.profiler.relation) == 2
+        recovered.stop()
+
+    def test_unloggable_cell_rejected(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(WorkloadError, match="round-trip"):
+            service.apply_insert_batch([("Ada", "111", {"not": "scalar"})])
+        assert service.stats()["last_seq"] == 0
+        service.stop()
+
+    def test_poison_spool_batch_commits_nothing(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "001.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        with pytest.raises(WorkloadError):
+            service.serve(SpoolDirectorySource(spool))
+        assert service.stats()["last_seq"] == 0
+        # the poison file is left unacked for the operator
+        assert os.path.exists(os.path.join(spool, "001.json"))
+        service.stop()
+        make_service(tmp_path).start().stop()  # restart recovers fine
+
+    def test_spool_batch_missing_payload_key_rejected(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(spool, "001.json", {"kind": "insert"})
+        with pytest.raises(WorkloadError, match="not a valid batch"):
+            list(SpoolDirectorySource(spool))

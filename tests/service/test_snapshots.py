@@ -70,6 +70,30 @@ class TestRoundTrip:
         assert manager.latest_seq() == 9
 
 
+class TestTypeFidelity:
+    """rows.jsonl must preserve cell *types* (int 1 vs str '1' decide
+    distinctness) and values with embedded newlines."""
+
+    def test_cell_types_survive_round_trip(self, manager, profile):
+        schema = Schema(["A", "B", "C"])
+        relation = Relation.from_rows(
+            schema,
+            [(1, "1", None), (2.5, True, ("x", 3))],
+        )
+        manager.save(relation, profile, seq=1)
+        rebuilt = manager.load(1).build_relation()
+        assert list(rebuilt.iter_items()) == list(relation.iter_items())
+
+    def test_newline_and_quote_cells_survive(self, manager, profile):
+        schema = Schema(["A", "B", "C"])
+        relation = Relation.from_rows(
+            schema, [("a\nb", "c,d", 'e"f'), ("x", "y", "z")]
+        )
+        manager.save(relation, profile, seq=1)
+        rebuilt = manager.load(1).build_relation()
+        assert list(rebuilt.iter_items()) == list(relation.iter_items())
+
+
 class TestValidation:
     def test_missing_snapshot(self, manager):
         with pytest.raises(RecoveryError):
@@ -77,9 +101,9 @@ class TestValidation:
 
     def test_rows_corruption_detected(self, manager, relation, profile):
         path = manager.save(relation, profile, seq=1)
-        rows = os.path.join(path, "rows.csv")
+        rows = os.path.join(path, "rows.jsonl")
         data = open(rows, "rb").read()
-        open(rows, "wb").write(data[:-2] + b"X\n")
+        open(rows, "wb").write(data[:-3] + b'X"]\n')
         with pytest.raises(RecoveryError, match="checksum"):
             manager.load(1)
 
@@ -118,7 +142,7 @@ class TestRetentionAndAtomicity:
         # simulate a crash mid-write: a temp dir left behind
         leftover = os.path.join(directory, ".tmp-snapshot-00000000000000000002")
         os.makedirs(leftover)
-        open(os.path.join(leftover, "rows.csv"), "w").write("garbage")
+        open(os.path.join(leftover, "rows.jsonl"), "w").write("garbage")
         fresh = SnapshotManager(directory)
         assert not os.path.exists(leftover)
         assert fresh.list_seqs() == [1]
