@@ -1,0 +1,62 @@
+"""Invariant sentinel: sampled spot-verification vs full verification.
+
+The sentinel runs *inside* the serving loop, so its cost is the price
+of catching silent profile drift. The sampled mode checks a bounded
+number of MUCs/MNUCs (Definitions 3-4 against the live relation) plus a
+bounded number of row-pair agree sets; the full mode delegates to
+``verify_profile(..., exhaustive=True)`` which scans every reported
+mask and cross-checks the transversal duality. These benchmarks price
+both against the same profiled relation so the ``sentinel_every``
+cadence can be chosen with numbers, not vibes.
+
+Run with ``pytest benchmarks/bench_sentinel.py --benchmark-only``.
+"""
+
+import pytest
+
+from conftest import insert_setup
+from repro.core.swan import SwanProfiler
+from repro.service.sentinel import InvariantSentinel
+
+DATASETS = ["ncvoter", "uniprot"]
+SAMPLE_BUDGETS = [(4, 8), (12, 24), (32, 64)]
+_CACHE: dict = {}
+
+
+def profiler_for(dataset):
+    if dataset not in _CACHE:
+        initial, _batch, mucs, mnucs = insert_setup(dataset)
+        _CACHE[dataset] = SwanProfiler(initial, list(mucs), list(mnucs))
+    return _CACHE[dataset]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize(
+    "masks,pairs", SAMPLE_BUDGETS, ids=[f"m{m}p{p}" for m, p in SAMPLE_BUDGETS]
+)
+def test_sentinel_sampled(benchmark, dataset, masks, pairs):
+    profiler = profiler_for(dataset)
+    sentinel = InvariantSentinel(
+        sample_masks=masks, sample_pairs=pairs, seed=0
+    )
+
+    def run():
+        return sentinel.check(profiler)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not report.full
+    assert report.checked_mucs <= masks or report.checked_mucs == len(
+        profiler.snapshot().mucs
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_sentinel_full(benchmark, dataset):
+    profiler = profiler_for(dataset)
+    sentinel = InvariantSentinel(seed=0)
+
+    def run():
+        return sentinel.check(profiler, full=True)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.full

@@ -76,6 +76,17 @@ class RecoveryError(ReproError):
     """
 
 
+class ServiceHealthError(ReproError):
+    """The profiling service refused an operation in its current health.
+
+    Raised when a mutating batch reaches a service whose health state
+    is READ_ONLY (the changelog append path exhausted its retries, so
+    durability cannot be guaranteed) or FAILED (the profile could not
+    be trusted or rebuilt). Queries and status remain available; a
+    restart recovers from durable state and resets health.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A discovery run exceeded its cooperative time budget.
 

@@ -1,0 +1,58 @@
+"""Deterministic fault injection for the durability stack.
+
+The profiling service promises to survive I/O faults: transient errors
+are retried, poison batches are quarantined, crashes recover from the
+changelog, and silent profile drift is caught by the invariant
+sentinel. Those promises are only worth something if faults are
+*injected systematically* rather than waited for, so this package
+provides:
+
+* :class:`FaultInjector` / :class:`FaultPlan` -- a seeded, deterministic
+  fault source that fires at **named sites** (``changelog.append.fsync``,
+  ``snapshot.publish.rename``, ...) threaded through every filesystem
+  operation of :mod:`repro.service.changelog`,
+  :mod:`repro.service.snapshots`, :mod:`repro.storage.table_file` and
+  the spool-acknowledgement path. Supported fault shapes: one-shot and
+  persistent ``OSError``, seeded intermittent errors, short writes, and
+  hard crash points (:class:`CrashPoint`).
+* :mod:`repro.faults.fsops` -- the instrumented ``open`` / ``read`` /
+  ``write`` / ``fsync`` / ``rename`` / ``unlink`` wrappers and the site
+  registry (:func:`registered_sites`).
+* :mod:`repro.faults.chaos` -- a sweep runner that injects every fault
+  shape at every registered site across a seed matrix and asserts the
+  service either retries, degrades-and-quarantines, or recovers to a
+  profile that passes :func:`repro.profiling.verify.verify_profile`
+  (``python -m repro.faults.chaos --seeds 0 1 2``).
+
+Production code pays one dictionary lookup per instrumented operation
+when no injector is active.
+"""
+
+from repro.faults.fsops import registered_sites, site_description
+from repro.faults.injector import (
+    CRASH,
+    ERROR,
+    SHORT_WRITE,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedIOError,
+    active,
+    current_injector,
+)
+
+__all__ = [
+    "CRASH",
+    "ERROR",
+    "SHORT_WRITE",
+    "CrashPoint",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedIOError",
+    "active",
+    "current_injector",
+    "registered_sites",
+    "site_description",
+]

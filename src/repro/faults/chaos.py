@@ -1,0 +1,451 @@
+"""The chaos sweep: every fault shape at every registered site.
+
+For each ``(site, mode, seed)`` triple the runner boots a small
+profiling service on a throwaway state directory, injects the fault
+while the service starts, serves batches, restarts, and serves more --
+then removes the injector, restarts cleanly, drains whatever the fault
+left behind, and verifies the final profile **exhaustively** against
+the live relation (:func:`repro.profiling.verify.verify_profile` via
+``ProfilingService.run_sentinel(full=True)``).
+
+The acceptance invariant is the one that matters for the paper's
+deployment story: whatever the fault did, the service must have either
+
+* **retried** through it (transient error, loop kept going),
+* **degraded and quarantined** (health left SERVING, evidence kept), or
+* **recovered on restart** (crash point, torn write, exhausted retries),
+
+and in every case the MUCS/MNUCS finally served must be exactly right
+-- a wrong answer at verification is a sweep failure, not an outcome.
+
+``table.*`` sites belong to the storage layer rather than the service,
+so they get their own scenario: fault the on-disk tuple store, then
+rebuild cleanly and verify every tuple round-trips by byte offset.
+
+Run it directly (CI runs one seed per matrix job)::
+
+    PYTHONPATH=src python -m repro.faults.chaos --seeds 0 1 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.faults.injector import (
+    CRASH,
+    ERROR,
+    SHORT_WRITE,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    active,
+)
+from repro.faults.fsops import registered_sites
+from repro.service.retry import RetryPolicy
+from repro.service.server import (
+    CHANGELOG_NAME,
+    ProfilingService,
+    ServiceConfig,
+    SpoolDirectorySource,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.storage.table_file import TableFile
+
+MODES = ("transient", "short_write", "intermittent", "persistent", "crash")
+
+_COLUMNS = ["Name", "Phone", "Age"]
+_INITIAL_ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+# Four spool batches; phase A serves the first two, phase B (after a
+# mid-sweep restart, so recovery paths sit inside the fault window) the
+# rest. Final live rows: 3 + 2 + 1 - 1 + 1 = 6.
+_BATCHES = [
+    ("b1.json", {"kind": "insert", "rows": [["Ada", "111", "9"], ["Bob", "222", "8"]]}),
+    ("b2.json", {"kind": "insert", "rows": [["Cal", "333", "7"]]}),
+    ("b3.json", {"kind": "delete", "ids": [0]}),
+    ("b4.json", {"kind": "insert", "rows": [["Dee", "444", "6"]]}),
+]
+_EXPECTED_ROWS = 6
+
+
+def _initial_relation() -> Relation:
+    return Relation.from_rows(Schema(list(_COLUMNS)), list(_INITIAL_ROWS))
+
+
+def _holistic_fallback():
+    from repro.baselines.bruteforce import discover_bruteforce
+
+    relation = _initial_relation()
+    mucs, mnucs = discover_bruteforce(relation)
+    return relation, list(mucs), list(mnucs)
+
+
+def _config() -> ServiceConfig:
+    return ServiceConfig(
+        algorithm="bruteforce",
+        snapshot_every=2,
+        status_every=2,
+        sentinel_every=2,
+        coalesce_rows=1,  # keep batch boundaries deterministic
+        health_reset_batches=2,
+        fsync=True,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay=0.0, multiplier=2.0, max_delay=0.0
+        ),
+    )
+
+
+def _plan_for(site: str, mode: str, seed: int) -> FaultPlan:
+    at = seed % 3 + 1  # vary which hit of the site misbehaves
+    if mode == "transient":
+        return FaultPlan.one_shot(site, ERROR, at=at, seed=seed)
+    if mode == "short_write":
+        return FaultPlan.one_shot(site, SHORT_WRITE, at=at, seed=seed)
+    if mode == "intermittent":
+        return FaultPlan.intermittent(site, probability=0.5, seed=seed)
+    if mode == "persistent":
+        return FaultPlan.persistent(site, ERROR, at=at, seed=seed)
+    if mode == "crash":
+        return FaultPlan.one_shot(site, CRASH, at=at, seed=seed)
+    raise ValueError(f"unknown chaos mode {mode!r}")
+
+
+@dataclass
+class ScenarioResult:
+    site: str
+    mode: str
+    seed: int
+    outcome: str  # not-hit | survived | recovered | crash-recovered
+    fired: int
+    detail: str = ""
+
+
+@dataclass
+class ChaosFailure(Exception):
+    site: str
+    mode: str
+    seed: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"chaos scenario failed: site={self.site} mode={self.mode} "
+            f"seed={self.seed}: {self.detail}"
+        )
+
+
+@dataclass
+class SweepReport:
+    results: list[ScenarioResult] = field(default_factory=list)
+    failures: list[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.outcome] = counts.get(result.outcome, 0) + 1
+        return counts
+
+    def never_fired_sites(self) -> list[str]:
+        fired = {r.site for r in self.results if r.fired}
+        return sorted({r.site for r in self.results} - fired)
+
+
+def _abandon(service: ProfilingService) -> None:
+    """Drop a faulted service the way a dead process would."""
+    try:
+        service.simulate_crash()
+    except OSError:  # pragma: no cover - close() noise under faults
+        pass
+
+
+def run_service_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """One service lifetime under injection, then a verified clean run."""
+    state = os.path.join(workdir, "state")
+    spool = os.path.join(workdir, "spool")
+    for name, body in _BATCHES:
+        SpoolDirectorySource.write_batch(spool, name, body)
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    crashed = False
+    first_error: str | None = None
+    with active(injector):
+        service = ProfilingService(state, config=_config(), sleep=lambda _s: None)
+        try:
+            # Phase A: first boot, serve half the spool, clean stop.
+            service.start(
+                initial=_initial_relation(),
+                holistic_fallback=_holistic_fallback,
+            )
+            service.serve(SpoolDirectorySource(spool), max_batches=2)
+            service.stop()
+            if site == "changelog.rotate.replace":
+                # Lose the changelog entirely: phase B recovers from a
+                # snapshot ahead of the (fresh, empty) log and must
+                # rotate it -- the only path through this site.
+                changelog_path = os.path.join(state, CHANGELOG_NAME)
+                if os.path.exists(changelog_path):
+                    os.remove(changelog_path)
+            # Phase B: restart (recovery paths now inside the fault
+            # window) and drain the rest. ``archive=False`` acks by
+            # unlinking, covering the other ack site.
+            service = ProfilingService(
+                state, config=_config(), sleep=lambda _s: None
+            )
+            service.start(holistic_fallback=_holistic_fallback)
+            service.serve(SpoolDirectorySource(spool, archive=False))
+            service.stop()
+        except CrashPoint as exc:
+            crashed = True
+            first_error = str(exc)
+            _abandon(service)
+        except (ReproError, OSError) as exc:
+            first_error = f"{type(exc).__name__}: {exc}"
+            _abandon(service)
+
+    # Verification: no injector, cold start, drain leftovers, exhaustive
+    # ground-truth check. A failure here means a wrong profile survived.
+    recovery = ProfilingService(state, config=_config(), sleep=lambda _s: None)
+    try:
+        recovery.start(
+            initial=_initial_relation() if not recovery.has_state() else None,
+            holistic_fallback=_holistic_fallback,
+        )
+        recovery.serve(SpoolDirectorySource(spool))
+        live_rows = len(recovery.profiler.relation)
+        if live_rows != _EXPECTED_ROWS:
+            raise ChaosFailure(
+                site, mode, seed,
+                f"expected {_EXPECTED_ROWS} live rows after recovery, "
+                f"found {live_rows} (first error: {first_error})",
+            )
+        if not recovery.run_sentinel(full=True):
+            raise ChaosFailure(
+                site, mode, seed,
+                "recovered profile failed exhaustive verification "
+                f"(first error: {first_error})",
+            )
+        recovery.stop()
+    except ChaosFailure:
+        _abandon(recovery)
+        raise
+    except (ReproError, OSError) as exc:
+        _abandon(recovery)
+        raise ChaosFailure(
+            site, mode, seed,
+            f"clean recovery run failed: {type(exc).__name__}: {exc} "
+            f"(first error: {first_error})",
+        ) from exc
+
+    if not injector.fired:
+        outcome = "not-hit"
+    elif crashed:
+        outcome = "crash-recovered"
+    elif first_error is not None:
+        outcome = "recovered"
+    else:
+        outcome = "survived"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired), detail=first_error or ""
+    )
+
+
+def run_table_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Fault the on-disk tuple store, then rebuild and verify round-trip."""
+    path = os.path.join(workdir, "table.csv")
+    relation = _initial_relation()
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    crashed = False
+    first_error: str | None = None
+    with active(injector):
+        table = None
+        try:
+            table = TableFile.create(path, relation)
+            offset = 0
+            for _ in range(len(relation)):
+                _tid, _row, offset = table.seek_read(offset)
+        except CrashPoint as exc:
+            crashed = True
+            first_error = str(exc)
+        except (ReproError, OSError) as exc:
+            first_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if table is not None:
+                table.close()
+
+    # Verification: a fresh create must fully round-trip every tuple.
+    try:
+        with TableFile.create(path, relation) as table:
+            seen = {}
+            offset = 0
+            for _ in range(len(relation)):
+                tuple_id, row, offset = table.seek_read(offset)
+                seen[tuple_id] = row
+        expected = {
+            tuple_id: tuple(str(cell) for cell in row)
+            for tuple_id, row in relation.iter_items()
+        }
+        if seen != expected:
+            raise ChaosFailure(
+                site, mode, seed,
+                f"rebuilt table round-trip mismatch: {seen!r} != "
+                f"{expected!r} (first error: {first_error})",
+            )
+    except ChaosFailure:
+        raise
+    except (ReproError, OSError) as exc:
+        raise ChaosFailure(
+            site, mode, seed,
+            f"clean table rebuild failed: {type(exc).__name__}: {exc} "
+            f"(first error: {first_error})",
+        ) from exc
+
+    if not injector.fired:
+        outcome = "not-hit"
+    elif crashed:
+        outcome = "crash-recovered"
+    elif first_error is not None:
+        outcome = "recovered"
+    else:
+        outcome = "survived"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired), detail=first_error or ""
+    )
+
+
+def run_sweep(
+    seeds: list[int],
+    sites: list[str] | None = None,
+    modes: list[str] | None = None,
+    root: str | None = None,
+    keep: bool = False,
+    verbose: bool = False,
+) -> SweepReport:
+    """Run every (site, mode, seed) scenario; never stops at a failure."""
+    sweep_sites = list(sites) if sites else list(registered_sites())
+    sweep_modes = list(modes) if modes else list(MODES)
+    unknown = set(sweep_sites) - set(registered_sites())
+    if unknown:
+        raise ValueError(f"unknown fault sites: {sorted(unknown)}")
+    report = SweepReport()
+    base = root or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(base, exist_ok=True)
+    try:
+        for site in sweep_sites:
+            runner = (
+                run_table_scenario
+                if site.startswith("table.")
+                else run_service_scenario
+            )
+            for mode in sweep_modes:
+                for seed in seeds:
+                    workdir = os.path.join(
+                        base, f"{site.replace('.', '_')}-{mode}-s{seed}"
+                    )
+                    os.makedirs(workdir, exist_ok=True)
+                    try:
+                        result = runner(site, mode, seed, workdir)
+                        report.results.append(result)
+                        if verbose:
+                            print(
+                                f"  {site:28s} {mode:12s} seed={seed} "
+                                f"-> {result.outcome}"
+                                + (
+                                    f" ({result.fired} fired)"
+                                    if result.fired
+                                    else ""
+                                )
+                            )
+                    except ChaosFailure as failure:
+                        report.failures.append(failure)
+                        print(f"FAIL: {failure}", file=sys.stderr)
+                    if not keep:
+                        shutil.rmtree(workdir, ignore_errors=True)
+    finally:
+        if not keep and root is None:
+            shutil.rmtree(base, ignore_errors=True)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.chaos",
+        description="Sweep seeded faults over every registered fault site "
+        "and verify the service never serves a wrong profile.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2],
+        help="seed matrix (default: 0 1 2)",
+    )
+    parser.add_argument(
+        "--sites", nargs="+", default=None,
+        help="restrict to these fault sites (default: all registered)",
+    )
+    parser.add_argument(
+        "--modes", nargs="+", default=None, choices=MODES,
+        help="restrict to these fault shapes (default: all)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="run scenarios under this directory instead of a temp dir",
+    )
+    parser.add_argument(
+        "--keep", action="store_true",
+        help="keep scenario state directories for forensics",
+    )
+    parser.add_argument(
+        "--list-sites", action="store_true",
+        help="print the registered fault sites and exit",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_sites:
+        from repro.faults.fsops import site_description
+
+        for site in registered_sites():
+            print(f"{site:30s} {site_description(site)}")
+        return 0
+
+    report = run_sweep(
+        args.seeds,
+        sites=args.sites,
+        modes=args.modes,
+        root=args.root,
+        keep=args.keep,
+        verbose=args.verbose,
+    )
+    counts = report.outcome_counts()
+    total = len(report.results) + len(report.failures)
+    print(
+        f"chaos sweep: {total} scenarios over {len(args.seeds)} seed(s): "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+    never = report.never_fired_sites()
+    if never:
+        print(f"note: sites never fired by any scenario: {', '.join(never)}")
+    if report.failures:
+        print(f"{len(report.failures)} FAILURE(S)", file=sys.stderr)
+        return 1
+    print("all scenarios verified: no wrong profile was ever served")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Instrumented filesystem operations and the fault-site registry.
+
+Durability-critical modules route their filesystem calls through these
+wrappers instead of calling ``open``/``os.fsync``/``os.replace``
+directly, naming the **site** each call belongs to::
+
+    fsops.write(CHANGELOG_APPEND_WRITE, handle, frame)
+    fsops.fsync(CHANGELOG_APPEND_FSYNC, handle)
+
+With no active injector (the production case) each wrapper is the bare
+operation plus one function call. Under :func:`repro.faults.active` the
+installed :class:`~repro.faults.injector.FaultInjector` sees every hit
+and may turn it into an ``OSError``, a short write, or a crash point.
+
+Sites are registered at import time via :func:`register_site`, so
+:func:`registered_sites` enumerates the complete fault surface -- the
+chaos sweep iterates exactly this list and never goes stale.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO
+
+from repro.faults.injector import current_injector
+
+_REGISTRY: dict[str, str] = {}
+
+
+def register_site(name: str, description: str) -> str:
+    """Declare a fault site; returns ``name`` for assignment at import."""
+    if name in _REGISTRY and _REGISTRY[name] != description:
+        raise ValueError(f"fault site {name!r} registered twice")
+    _REGISTRY[name] = description
+    return name
+
+
+def registered_sites() -> tuple[str, ...]:
+    """Every fault site declared by instrumented modules, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def site_description(name: str) -> str:
+    return _REGISTRY.get(name, "")
+
+
+def check(site: str) -> None:
+    """Report a hit of ``site`` to the active injector, if any."""
+    injector = current_injector()
+    if injector is not None:
+        injector.check(site)
+
+
+def open_(site: str, path: str, mode: str = "r", **kwargs) -> IO:
+    check(site)
+    return open(path, mode, **kwargs)
+
+
+def write(site: str, handle: IO, data) -> None:
+    injector = current_injector()
+    if injector is not None:
+        injector.write(site, handle, data)
+    else:
+        handle.write(data)
+
+
+def fsync(site: str, handle_or_fd: IO | int) -> None:
+    check(site)
+    fd = (
+        handle_or_fd
+        if isinstance(handle_or_fd, int)
+        else handle_or_fd.fileno()
+    )
+    os.fsync(fd)
+
+
+def replace(site: str, src: str, dst: str) -> None:
+    check(site)
+    os.replace(src, dst)
+
+
+def rename(site: str, src: str, dst: str) -> None:
+    check(site)
+    os.rename(src, dst)
+
+
+def remove(site: str, path: str) -> None:
+    check(site)
+    os.remove(path)

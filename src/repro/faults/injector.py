@@ -1,0 +1,231 @@
+"""Seeded, deterministic fault plans and the injector that executes them.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries, each
+naming a fault **site** (see :mod:`repro.faults.fsops`), a fault
+*kind*, and a firing window over that site's hit counter. A
+:class:`FaultInjector` executes the plan: instrumented code calls
+:meth:`FaultInjector.check` (or :meth:`FaultInjector.write`) at each
+site, and the injector decides -- deterministically, given the plan and
+its seed -- whether the operation fails, fails partially, or "crashes
+the process".
+
+Every decision is a pure function of the plan, the seed, and the hit
+counters, so a failing chaos scenario replays exactly from
+``(site, seed, mode)``.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import IO, Iterator, Sequence
+
+ERROR = "error"  # raise InjectedIOError, nothing written
+SHORT_WRITE = "short_write"  # write a prefix, then raise InjectedIOError
+CRASH = "crash"  # raise CrashPoint (simulated hard process death)
+
+_KINDS = (ERROR, SHORT_WRITE, CRASH)
+
+
+class InjectedIOError(OSError):
+    """An injected I/O failure (distinguishable from organic OSErrors)."""
+
+    def __init__(self, site: str, hit: int, detail: str = "") -> None:
+        message = f"injected fault at {site} (hit {hit})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(errno.EIO, message)
+        self.site = site
+        self.hit = hit
+
+
+class CrashPoint(BaseException):
+    """Simulated hard process death at a fault site.
+
+    Derives from :class:`BaseException` on purpose: production code that
+    retries transient ``OSError``s or degrades on ``Exception`` must
+    *not* be able to absorb a crash -- a real ``kill -9`` cannot be
+    caught either. Harnesses catch it explicitly, abandon the service
+    object without clean shutdown, and exercise cold recovery.
+    """
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"injected crash at {site} (hit {hit})")
+        self.site = site
+        self.hit = hit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When and how one site misbehaves.
+
+    The site's hit counter starts at 1. A spec *arms* at hit ``at`` and
+    fires on each armed hit until it has fired ``times`` times
+    (``times=None`` means forever). With ``probability`` set, an armed
+    hit fires only with that probability, drawn from the injector's
+    seeded RNG -- deterministic per seed, intermittent in shape.
+    """
+
+    site: str
+    kind: str = ERROR
+    at: int = 1
+    times: int | None = 1
+    probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 1:
+            raise ValueError(f"'at' is a 1-based hit index, got {self.at}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"'times' must be >= 1 or None, got {self.times}")
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise ValueError(
+                f"'probability' must be in (0, 1], got {self.probability}"
+            )
+
+
+class FaultPlan:
+    """An immutable set of fault specs plus the seed that resolves them."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = seed
+
+    @classmethod
+    def one_shot(
+        cls, site: str, kind: str = ERROR, at: int = 1, seed: int = 0
+    ) -> "FaultPlan":
+        """Fail exactly once, on the ``at``-th hit of ``site``."""
+        return cls([FaultSpec(site, kind=kind, at=at, times=1)], seed=seed)
+
+    @classmethod
+    def persistent(
+        cls, site: str, kind: str = ERROR, at: int = 1, seed: int = 0
+    ) -> "FaultPlan":
+        """Fail on every hit of ``site`` from the ``at``-th onward."""
+        return cls([FaultSpec(site, kind=kind, at=at, times=None)], seed=seed)
+
+    @classmethod
+    def intermittent(
+        cls, site: str, probability: float, kind: str = ERROR, seed: int = 0
+    ) -> "FaultPlan":
+        """Fail each hit of ``site`` with ``probability`` (seeded)."""
+        return cls(
+            [FaultSpec(site, kind=kind, times=None, probability=probability)],
+            seed=seed,
+        )
+
+    def specs_for(self, site: str) -> tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.site == site)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.specs)!r}, seed={self.seed})"
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against instrumented call sites.
+
+    ``hits`` counts how often each site was reached; ``fired`` logs
+    every fault actually raised as ``(site, kind, hit)`` so harnesses
+    can tell "survived the fault" apart from "never hit the site".
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.hits: dict[str, int] = {}
+        self.fired: list[tuple[str, str, int]] = []
+        self._fired_per_spec: dict[int, int] = {}
+        self._rng = random.Random(self.plan.seed)
+
+    # ------------------------------------------------------------------
+    # Decision core
+    # ------------------------------------------------------------------
+    def _due(self, site: str, hit: int) -> FaultSpec | None:
+        for index, spec in enumerate(self.plan.specs):
+            if spec.site != site or hit < spec.at:
+                continue
+            fired = self._fired_per_spec.get(index, 0)
+            if spec.times is not None and fired >= spec.times:
+                continue
+            if (
+                spec.probability is not None
+                and self._rng.random() >= spec.probability
+            ):
+                continue
+            self._fired_per_spec[index] = fired + 1
+            return spec
+        return None
+
+    def _fire(self, spec: FaultSpec, site: str, hit: int) -> None:
+        self.fired.append((site, spec.kind, hit))
+        if spec.kind == CRASH:
+            raise CrashPoint(site, hit)
+        raise InjectedIOError(site, hit)
+
+    # ------------------------------------------------------------------
+    # Instrumentation entry points
+    # ------------------------------------------------------------------
+    def check(self, site: str) -> None:
+        """Record a hit of ``site`` and fail if the plan says so."""
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        spec = self._due(site, hit)
+        if spec is not None:
+            self._fire(spec, site, hit)
+
+    def write(self, site: str, handle: IO, data) -> None:
+        """Like :meth:`check`, but a due fault may leave a short write.
+
+        ``SHORT_WRITE`` writes roughly half the payload before raising;
+        ``CRASH`` at a write site also leaves a partial write behind --
+        exactly the torn-frame artifact a real mid-write power cut
+        produces, which the changelog scanner must truncate.
+        """
+        hit = self.hits.get(site, 0) + 1
+        self.hits[site] = hit
+        spec = self._due(site, hit)
+        if spec is None:
+            handle.write(data)
+            return
+        if spec.kind in (SHORT_WRITE, CRASH) and len(data) > 1:
+            handle.write(data[: max(1, len(data) // 2)])
+        self._fire(spec, site, hit)
+
+    def fired_at(self, site: str) -> int:
+        return sum(1 for fired_site, _, _ in self.fired if fired_site == site)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.plan.seed}, "
+            f"hits={sum(self.hits.values())}, fired={len(self.fired)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The active injector (what fsops wrappers consult)
+# ----------------------------------------------------------------------
+_ACTIVE: FaultInjector | None = None
+
+
+def current_injector() -> FaultInjector | None:
+    """The injector instrumented operations currently report to."""
+    return _ACTIVE
+
+
+@contextmanager
+def active(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` as the process-wide active injector.
+
+    Nested activations restore the previous injector on exit, so
+    harnesses can layer scoped plans.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous

@@ -39,6 +39,23 @@ from dataclasses import dataclass
 from typing import Hashable, Iterator, Sequence
 
 from repro.errors import ChangelogCorruptionError
+from repro.faults import fsops
+
+SITE_SCAN_OPEN = fsops.register_site(
+    "changelog.scan.open", "open the changelog for a committed-prefix scan"
+)
+SITE_OPEN = fsops.register_site(
+    "changelog.open", "open the changelog for appending"
+)
+SITE_APPEND_WRITE = fsops.register_site(
+    "changelog.append.write", "write one framed record"
+)
+SITE_APPEND_FSYNC = fsops.register_site(
+    "changelog.append.fsync", "fsync after a record or header write"
+)
+SITE_ROTATE_REPLACE = fsops.register_site(
+    "changelog.rotate.replace", "archive a stale log before re-basing"
+)
 
 MAGIC = b"SWANLOG2"
 _BASE = struct.Struct("<Q")  # base sequence number (file header)
@@ -146,7 +163,7 @@ def scan_file(path: str) -> ScanResult:
     """
     records: list[ChangelogRecord] = []
     try:
-        with open(path, "rb") as handle:
+        with fsops.open_(SITE_SCAN_OPEN, path, "rb") as handle:
             data = handle.read()
     except FileNotFoundError:
         return ScanResult((), 0, 0, None)
@@ -215,20 +232,34 @@ class Changelog:
         self._last_seq = scan.last_seq
         self.recovered_torn_bytes = scan.torn_bytes
         fresh = not os.path.exists(path)
-        self._handle = open(path, "ab")
-        if fresh or os.path.getsize(path) == 0:
-            self._handle.write(MAGIC + _BASE.pack(base_seq))
-            self._last_seq = base_seq
-            self._commit()
-        elif scan.torn_bytes:
-            # A previous writer died mid-append: drop the torn tail so
-            # the next record extends the committed prefix.
-            self._handle.truncate(scan.valid_bytes)
-            self._handle.seek(0, os.SEEK_END)
-            if scan.valid_bytes == 0:
-                self._handle.write(MAGIC + _BASE.pack(base_seq))
+        self._handle = fsops.open_(SITE_OPEN, path, "ab")
+        self._committed_bytes = 0
+        try:
+            if fresh or os.path.getsize(path) == 0:
+                fsops.write(
+                    SITE_APPEND_WRITE, self._handle, MAGIC + _BASE.pack(base_seq)
+                )
                 self._last_seq = base_seq
-            self._commit()
+                self._commit()
+            elif scan.torn_bytes:
+                # A previous writer died mid-append: drop the torn tail
+                # so the next record extends the committed prefix.
+                self._handle.truncate(scan.valid_bytes)
+                self._handle.seek(0, os.SEEK_END)
+                if scan.valid_bytes == 0:
+                    fsops.write(
+                        SITE_APPEND_WRITE,
+                        self._handle,
+                        MAGIC + _BASE.pack(base_seq),
+                    )
+                    self._last_seq = base_seq
+                self._commit()
+            else:
+                self._handle.seek(0, os.SEEK_END)
+                self._committed_bytes = self._handle.tell()
+        except BaseException:
+            self._handle.close()
+            raise
 
     @classmethod
     def open(cls, path: str, fsync: bool = True) -> "Changelog":
@@ -249,7 +280,7 @@ class Changelog:
         if log.last_seq >= seq:
             return log
         log.close()
-        os.replace(path, path + ".stale")
+        fsops.replace(SITE_ROTATE_REPLACE, path, path + ".stale")
         return cls(path, fsync=fsync, base_seq=seq)
 
     @property
@@ -278,9 +309,23 @@ class Changelog:
             )
         payload = record.to_payload()
         frame = _HEADER.pack(len(payload), _crc(record.seq, payload), record.seq)
-        self._handle.write(frame + payload)
-        self._commit()
+        try:
+            fsops.write(SITE_APPEND_WRITE, self._handle, frame + payload)
+            self._commit()
+        except OSError:
+            # A failed append may have left a partial frame behind;
+            # roll the file back to the committed prefix so the caller
+            # can retry the append against an intact tail.
+            self._rollback_tail()
+            raise
         self._last_seq = record.seq
+
+    def _rollback_tail(self) -> None:
+        try:
+            self._handle.truncate(self._committed_bytes)
+            self._handle.seek(0, os.SEEK_END)
+        except OSError:  # pragma: no cover - the next open scans it away
+            pass
 
     def append_inserts(
         self, rows: Sequence[Sequence[Hashable]], tokens: Sequence[str] = ()
@@ -304,7 +349,8 @@ class Changelog:
     def _commit(self) -> None:
         self._handle.flush()
         if self._fsync:
-            os.fsync(self._handle.fileno())
+            fsops.fsync(SITE_APPEND_FSYNC, self._handle)
+        self._committed_bytes = self._handle.tell()
 
     def close(self) -> None:
         if not self._handle.closed:

@@ -110,7 +110,18 @@ def _print_status(data_dir: str) -> int:
         print(f"no status file at {path} (service never started?)", file=sys.stderr)
         return 1
     with open(path) as handle:
-        print(json.dumps(json.load(handle), indent=2))
+        status = json.load(handle)
+    # stdout stays machine-readable (pure JSON); the human summary of
+    # the health ladder goes to stderr.
+    print(json.dumps(status, indent=2))
+    health = status.get("health", "unknown")
+    summary = f"health: {health}"
+    dead = status.get("dead_letters", 0)
+    if dead:
+        summary += f", {dead} dead-letter entr{'y' if dead == 1 else 'ies'}"
+    if status.get("last_error"):
+        summary += f", last error: {status['last_error']}"
+    print(summary, file=sys.stderr)
     return 0
 
 
@@ -205,11 +216,30 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("\ninterrupted; taking a final snapshot")
     except ReproError as exc:
-        # e.g. a poison spool file: stop cleanly, leave it unacked for
-        # the operator, and report the failure
+        # Unrecoverable loop failure (poison batches are quarantined
+        # and never reach here; this is e.g. a FAILED health state).
         print(f"error: {exc}", file=sys.stderr)
         exit_code = 1
     finally:
+        dead = service.dead_letters.count()
+        if dead:
+            print(
+                f"warning: {dead} dead-letter entr{'y' if dead == 1 else 'ies'} "
+                f"under {service.dead_letters.directory}",
+                file=sys.stderr,
+            )
+        if service.health.state.value != "serving":
+            print(
+                f"warning: health is {service.health.state.value}"
+                + (
+                    f" ({service.health.last_error})"
+                    if service.health.last_error
+                    else ""
+                ),
+                file=sys.stderr,
+            )
+            if exit_code == 0 and not service.health.can_write:
+                exit_code = 1
         if service.started:
             summary = (
                 f"stopped: {len(service.profiler.relation)} rows, "

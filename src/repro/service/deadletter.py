@@ -1,0 +1,187 @@
+"""Dead-letter quarantine for poison batches and distrusted state.
+
+A *poison* input -- a spool file that is not valid JSON, a batch whose
+rows cannot apply -- must neither halt the service loop (one bad
+producer would stop all profiling) nor be silently dropped (the
+operator needs the evidence). The dead-letter queue is the middle
+ground: the offending artifact is moved into
+``<data_dir>/deadletter/`` together with a JSON **reason record**
+describing what happened, and the loop moves on.
+
+Every quarantined entry gets ``<name>.reason.json``::
+
+    {"name": ..., "reason": ..., "error_type": ...,
+     "tokens": [...], "quarantined_unix": ...}
+
+``tokens`` are the source-delivery tokens folded into the entry; the
+service remembers them so a *redelivery* of a quarantined batch is
+acknowledged as a no-op instead of being quarantined twice (or worse,
+applied).
+
+The same directory also receives whole quarantined *state* (changelog +
+snapshots) when the invariant sentinel detects profile divergence --
+``state-seq<N>/`` plus a reason record -- so a corrupted history is
+preserved for forensics while the service rebuilds from ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterable, Sequence
+
+_REASON_SUFFIX = ".reason.json"
+
+
+class DeadLetterQueue:
+    """One quarantine directory of poison entries with reason records."""
+
+    def __init__(self, directory: str) -> None:
+        self._directory = directory
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def _ensure(self) -> None:
+        os.makedirs(self._directory, exist_ok=True)
+
+    def _unique(self, name: str) -> str:
+        """A name not yet used by any entry or reason record."""
+        candidate = name
+        counter = 1
+        while os.path.exists(
+            os.path.join(self._directory, candidate)
+        ) or os.path.exists(
+            os.path.join(self._directory, candidate + _REASON_SUFFIX)
+        ):
+            root, ext = os.path.splitext(name)
+            candidate = f"{root}.{counter}{ext}"
+            counter += 1
+        return candidate
+
+    def _write_reason(
+        self,
+        name: str,
+        reason: str,
+        tokens: Sequence[str],
+        error_type: str | None,
+    ) -> None:
+        record = {
+            "name": name,
+            "reason": reason,
+            "error_type": error_type,
+            "tokens": list(tokens),
+            "quarantined_unix": time.time(),
+        }
+        path = os.path.join(self._directory, name + _REASON_SUFFIX)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, indent=2)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Quarantining
+    # ------------------------------------------------------------------
+    def quarantine_file(
+        self,
+        path: str,
+        reason: str,
+        tokens: Sequence[str] = (),
+        error: BaseException | None = None,
+    ) -> str:
+        """Move a poison file here; returns the quarantined path."""
+        self._ensure()
+        name = self._unique(os.path.basename(path))
+        destination = os.path.join(self._directory, name)
+        if os.path.exists(path):
+            os.replace(path, destination)
+        self._write_reason(
+            name, reason, tokens, type(error).__name__ if error else None
+        )
+        return destination
+
+    def quarantine_payload(
+        self,
+        payload: dict,
+        reason: str,
+        tokens: Sequence[str] = (),
+        error: BaseException | None = None,
+    ) -> str:
+        """Serialize an in-memory poison batch here (no source file)."""
+        self._ensure()
+        name = self._unique("batch.json")
+        destination = os.path.join(self._directory, name)
+        with open(destination, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        self._write_reason(
+            name, reason, tokens, type(error).__name__ if error else None
+        )
+        return destination
+
+    def quarantine_state(
+        self,
+        paths: Iterable[str],
+        reason: str,
+        label: str,
+        error: BaseException | None = None,
+    ) -> str:
+        """Move distrusted durable state (changelog, snapshots) here.
+
+        Every existing path in ``paths`` is moved under a
+        ``<label>/`` subdirectory; missing paths are skipped.
+        """
+        self._ensure()
+        name = self._unique(label)
+        destination = os.path.join(self._directory, name)
+        os.makedirs(destination)
+        for path in paths:
+            if os.path.exists(path):
+                os.replace(
+                    path, os.path.join(destination, os.path.basename(path))
+                )
+        self._write_reason(
+            name, reason, (), type(error).__name__ if error else None
+        )
+        return destination
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict]:
+        """Every reason record, sorted by name."""
+        if not os.path.isdir(self._directory):
+            return []
+        records = []
+        for name in sorted(os.listdir(self._directory)):
+            if not name.endswith(_REASON_SUFFIX):
+                continue
+            try:
+                with open(os.path.join(self._directory, name)) as handle:
+                    records.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):  # pragma: no cover
+                continue
+        return records
+
+    def count(self) -> int:
+        """How many entries have been quarantined."""
+        if not os.path.isdir(self._directory):
+            return 0
+        return sum(
+            1
+            for name in os.listdir(self._directory)
+            if name.endswith(_REASON_SUFFIX)
+        )
+
+    def tokens(self) -> frozenset[str]:
+        """All source-delivery tokens named by any reason record."""
+        collected: set[str] = set()
+        for record in self.entries():
+            collected.update(
+                str(token) for token in record.get("tokens", [])
+            )
+        return frozenset(collected)
+
+    def __repr__(self) -> str:
+        return f"DeadLetterQueue({self._directory!r}, entries={self.count()})"

@@ -1,0 +1,115 @@
+"""The service health-state machine.
+
+Faults are routine in a long-running service, so "up" is not a boolean.
+:class:`HealthMonitor` tracks an explicit state with a strict severity
+order::
+
+    SERVING ──▶ DEGRADED ──▶ READ_ONLY ──▶ FAILED
+       ▲            │
+       └────────────┘  (after N consecutive clean batches)
+
+* **SERVING** -- everything nominal.
+* **DEGRADED** -- the service survived trouble recently: a transient
+  I/O fault needed retries, a poison batch was quarantined, an optional
+  write (snapshot, status, ack) gave up, or the invariant sentinel
+  healed a divergence. Batches are still accepted; the state heals back
+  to SERVING after ``threshold`` consecutive clean applies.
+* **READ_ONLY** -- the changelog cannot be made durable (retries
+  exhausted on the append path). Accepting more batches would break the
+  log-then-apply contract, so mutations are rejected with
+  :class:`~repro.errors.ServiceHealthError` while queries and status
+  keep working. Cleared only by a restart.
+* **FAILED** -- the profile cannot be trusted and could not be rebuilt
+  (sentinel divergence with a failed holistic re-profile, quarantined
+  state). Terminal until a restart recovers from durable state.
+
+Transitions only ever *worsen* within a run except the
+DEGRADED→SERVING healing edge; state is published as a gauge through
+the metrics registry and as ``health`` / ``last_error`` in
+``status.json``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class HealthState(enum.Enum):
+    """Where the service sits on the serving/degraded/failed ladder."""
+
+    SERVING = "serving"
+    DEGRADED = "degraded"
+    READ_ONLY = "read_only"
+    FAILED = "failed"
+
+
+_SEVERITY = {
+    HealthState.SERVING: 0,
+    HealthState.DEGRADED: 1,
+    HealthState.READ_ONLY: 2,
+    HealthState.FAILED: 3,
+}
+
+
+@dataclass
+class HealthMonitor:
+    """Tracks the current health state and the reason for it."""
+
+    state: HealthState = HealthState.SERVING
+    last_error: str | None = None
+    transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    _clean_batches: int = 0
+
+    @property
+    def severity(self) -> int:
+        """Numeric rank (0=serving .. 3=failed), for the metrics gauge."""
+        return _SEVERITY[self.state]
+
+    @property
+    def can_write(self) -> bool:
+        """May the service accept mutating batches right now?"""
+        return self.state in (HealthState.SERVING, HealthState.DEGRADED)
+
+    def _worsen(self, target: HealthState, reason: str) -> None:
+        self.last_error = reason
+        # Any fresh fault restarts the clean-batch streak, even when
+        # the state itself does not change.
+        self._clean_batches = 0
+        if _SEVERITY[target] <= _SEVERITY[self.state]:
+            return
+        self.transitions.append((self.state.value, target.value, reason))
+        self.state = target
+        self._clean_batches = 0
+
+    def mark_degraded(self, reason: str) -> None:
+        """A survivable fault happened (retry, quarantine, lost snapshot)."""
+        self._worsen(HealthState.DEGRADED, reason)
+
+    def mark_read_only(self, reason: str) -> None:
+        """The changelog append path is broken; stop accepting writes."""
+        self._worsen(HealthState.READ_ONLY, reason)
+
+    def mark_failed(self, reason: str) -> None:
+        """The served profile cannot be trusted or rebuilt."""
+        self._worsen(HealthState.FAILED, reason)
+
+    def note_clean_batch(self, threshold: int) -> None:
+        """One batch applied with no faults; heal DEGRADED after a streak."""
+        if self.state is not HealthState.DEGRADED:
+            return
+        self._clean_batches += 1
+        if threshold and self._clean_batches >= threshold:
+            self.transitions.append(
+                (
+                    self.state.value,
+                    HealthState.SERVING.value,
+                    f"{self._clean_batches} consecutive clean batches",
+                )
+            )
+            self.state = HealthState.SERVING
+            self._clean_batches = 0
+
+    def __repr__(self) -> str:
+        suffix = f", last_error={self.last_error!r}" if self.last_error else ""
+        return f"HealthMonitor({self.state.value}{suffix})"

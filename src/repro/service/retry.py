@@ -1,0 +1,79 @@
+"""Bounded retry with exponential backoff and full jitter.
+
+Transient I/O faults (EIO from a flaky disk, EBUSY from a scanner
+holding a file, NFS hiccups) should not kill the service loop, but
+unbounded retries against a dead disk must not hang it either. The
+policy here is the classic production shape: up to ``max_attempts``
+tries, delays growing exponentially and drawn uniformly from
+``[0, cap]`` (full jitter, so a fleet of services recovering from a
+shared fault does not retry in lockstep), hard-capped at ``max_delay``.
+
+The clock is injected: callers pass ``sleep`` and ``rng`` so tests and
+the chaos harness run deterministic, zero-wall-clock retry schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a transient failure."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter delay before retry number ``attempt`` (1-based)."""
+        cap = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        return rng.uniform(0.0, cap)
+
+
+def retry_io(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy is exhausted.
+
+    Only exceptions in ``retry_on`` (transient I/O by default) are
+    retried; everything else -- including
+    :class:`~repro.faults.injector.CrashPoint`, which derives from
+    ``BaseException`` precisely so no retry loop can absorb it --
+    propagates immediately. The final failure re-raises the last
+    exception unchanged. ``on_retry(attempt, exc, delay)`` is invoked
+    before each backoff sleep so callers can count and log.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng if rng is not None else random.Random()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay_for(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,184 @@
+"""The invariant sentinel: catches silent MUCS/MNUCS drift at runtime.
+
+Incremental maintenance is only trustworthy if its invariants are
+*checked while it runs*: a bug (or bit flip) that nudges the repository
+off the true profile would otherwise serve wrong uniqueness answers
+indefinitely -- the exact risk that makes incremental dependency
+discovery hard to run unattended. The sentinel re-derives the paper's
+definitional invariants from ground truth on a sampled budget:
+
+1. **Structure** (exact, pure bit math): MUCS and MNUCS are each
+   antichains, and no MUC is a subset of any MNUC (a unique subset of a
+   non-unique set is a contradiction of Definitions 1-2).
+2. **Spot minimality/maximality** (sampled, scans the relation via
+   :mod:`repro.profiling.verify`): sampled MUCs satisfy Definition 3,
+   sampled MNUCs satisfy Definition 4.
+3. **Sampled duplicate pairs**: for random live row pairs -- and for
+   actual duplicate pairs drawn from sampled MNUC groupings -- the
+   agree set must contain no reported MUC (two rows agreeing on a
+   "unique" combination disproves it) and must be covered by some
+   reported MNUC (every agree set is non-unique by construction).
+
+A full check (``full=True``) delegates to
+:func:`repro.profiling.verify.verify_profile` with the transversal
+duality cross-check -- exhaustive, and priced in
+``benchmarks/bench_sentinel.py`` against the sampled mode.
+
+On any violation :meth:`InvariantSentinel.check` raises
+:class:`~repro.errors.InconsistentProfileError`; the service reacts by
+quarantining the durable state and holistically re-profiling (see
+``ProfilingService.run_sentinel``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.swan import SwanProfiler
+from repro.errors import InconsistentProfileError
+from repro.profiling.verify import (
+    agree_set,
+    is_maximal_non_unique,
+    is_minimal_unique,
+    verify_profile,
+)
+
+
+@dataclass(frozen=True)
+class SentinelReport:
+    """What one passing sentinel check actually looked at."""
+
+    checked_mucs: int
+    checked_mnucs: int
+    sampled_pairs: int
+    full: bool
+    elapsed_s: float
+
+
+def check_structure(mucs: list[int], mnucs: list[int]) -> None:
+    """Exact antichain + duality-consistency checks (no relation scans)."""
+    for label, masks in (("MUCS", mucs), ("MNUCS", mnucs)):
+        for i, left in enumerate(masks):
+            for right in masks[i + 1 :]:
+                meet = left & right
+                if meet == left or meet == right:
+                    raise InconsistentProfileError(
+                        f"{label} is not an antichain: {left:#x} and "
+                        f"{right:#x} are comparable"
+                    )
+    for muc in mucs:
+        for mnuc in mnucs:
+            if muc & mnuc == muc:
+                raise InconsistentProfileError(
+                    f"MUC {muc:#x} is a subset of MNUC {mnuc:#x}: a unique "
+                    "combination cannot be contained in a non-unique one"
+                )
+
+
+class InvariantSentinel:
+    """Periodic sampled verification of the live profile."""
+
+    def __init__(
+        self,
+        sample_masks: int = 12,
+        sample_pairs: int = 24,
+        seed: int = 0,
+    ) -> None:
+        self._sample_masks = sample_masks
+        self._sample_pairs = sample_pairs
+        self._rng = random.Random(seed)
+
+    def check(self, profiler: SwanProfiler, full: bool = False) -> SentinelReport:
+        """Verify the profiler's current profile against its relation.
+
+        Raises :class:`~repro.errors.InconsistentProfileError` on any
+        divergence; returns a :class:`SentinelReport` otherwise.
+        """
+        started = time.perf_counter()
+        relation = profiler.relation
+        profile = profiler.snapshot()
+        mucs = sorted(profile.mucs)
+        mnucs = sorted(profile.mnucs)
+        check_structure(mucs, mnucs)
+        if full:
+            verify_profile(relation, mucs, mnucs, exhaustive=True)
+            return SentinelReport(
+                checked_mucs=len(mucs),
+                checked_mnucs=len(mnucs),
+                sampled_pairs=0,
+                full=True,
+                elapsed_s=time.perf_counter() - started,
+            )
+        sampled_mucs = self._sample(mucs)
+        sampled_mnucs = self._sample(mnucs)
+        for mask in sampled_mucs:
+            if not is_minimal_unique(relation, mask):
+                raise InconsistentProfileError(
+                    f"reported MUC {mask:#x} is not a minimal unique of the "
+                    "live relation"
+                )
+        for mask in sampled_mnucs:
+            if not is_maximal_non_unique(relation, mask):
+                raise InconsistentProfileError(
+                    f"reported MNUC {mask:#x} is not a maximal non-unique of "
+                    "the live relation"
+                )
+        n_pairs = self._check_pairs(relation, mucs, mnucs, sampled_mnucs)
+        return SentinelReport(
+            checked_mucs=len(sampled_mucs),
+            checked_mnucs=len(sampled_mnucs),
+            sampled_pairs=n_pairs,
+            full=False,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def _sample(self, masks: list[int]) -> list[int]:
+        if len(masks) <= self._sample_masks:
+            return list(masks)
+        return self._rng.sample(masks, self._sample_masks)
+
+    def _check_pairs(
+        self,
+        relation,
+        mucs: list[int],
+        mnucs: list[int],
+        sampled_mnucs: list[int],
+    ) -> int:
+        """Spot-check agree sets of sampled (and known-duplicate) pairs."""
+        ids = list(relation.iter_ids())
+        pairs: list[tuple[int, int]] = []
+        if len(ids) >= 2:
+            for _ in range(self._sample_pairs):
+                pairs.append(tuple(self._rng.sample(ids, 2)))
+        # Known duplicate pairs: rows that actually collide on a
+        # reported MNUC exercise the interesting (agreeing) projections
+        # far better than uniform pairs on wide data.
+        for mask in sampled_mnucs:
+            groups = [
+                group
+                for group in relation.group_duplicates(mask).values()
+                if len(group) >= 2
+            ]
+            if not groups:
+                raise InconsistentProfileError(
+                    f"reported MNUC {mask:#x} has no duplicate pair in the "
+                    "live relation (it is not non-unique)"
+                )
+            group = self._rng.choice(groups)
+            pairs.append(tuple(self._rng.sample(group, 2)))
+        for left_id, right_id in pairs:
+            agree = agree_set(relation.row(left_id), relation.row(right_id))
+            for muc in mucs:
+                if muc & agree == muc:
+                    raise InconsistentProfileError(
+                        f"rows {left_id} and {right_id} agree on reported "
+                        f"MUC {muc:#x}: the combination is not unique"
+                    )
+            if mnucs and not any(agree & mnuc == agree for mnuc in mnucs):
+                raise InconsistentProfileError(
+                    f"agree set {agree:#x} of rows {left_id}/{right_id} is "
+                    "covered by no reported MNUC: the profile is incomplete"
+                )
+        return len(pairs)

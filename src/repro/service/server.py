@@ -33,6 +33,19 @@ Batch sources are pluggable: anything iterable that yields
 Small batches are coalesced before commit: consecutive same-kind
 batches merge until ``coalesce_rows`` is reached or the source has
 nothing ready, amortising fsync + analysis cost under trickle traffic.
+
+Faults are routine, not exceptional, so the loop is self-healing:
+
+* transient I/O errors on any durability path are retried with
+  exponential backoff and full jitter (:mod:`repro.service.retry`);
+* poison batches are moved to a dead-letter quarantine with a reason
+  record (:mod:`repro.service.deadletter`) and the loop continues;
+* an explicit health-state machine (:mod:`repro.service.health`)
+  tracks SERVING → DEGRADED → READ_ONLY → FAILED and is published in
+  ``status.json``;
+* an invariant sentinel (:mod:`repro.service.sentinel`) periodically
+  spot-verifies the profile against ground truth and, on divergence,
+  quarantines the durable state and holistically re-profiles.
 """
 
 from __future__ import annotations
@@ -40,20 +53,38 @@ from __future__ import annotations
 import csv
 import json
 import os
+import random
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterator, Sequence, TextIO
 
 from repro.core.monitor import MonitorEvent, UniqueConstraintMonitor
 from repro.core.repository import Profile
 from repro.core.swan import SwanProfiler
-from repro.errors import ProfileStateError, WorkloadError
+from repro.errors import (
+    InconsistentProfileError,
+    ProfileStateError,
+    ServiceHealthError,
+    WorkloadError,
+)
+from repro.faults import fsops
 from repro.service.changelog import DELETE, INSERT, Changelog
+from repro.service.deadletter import DeadLetterQueue
+from repro.service.health import HealthMonitor, HealthState
 from repro.service.metrics import MetricsRegistry
 from repro.service.recovery import RecoveryResult, recover
+from repro.service.retry import RetryPolicy, retry_io
+from repro.service.sentinel import InvariantSentinel
 from repro.service.snapshots import SnapshotManager
 from repro.storage.relation import Relation
+
+SITE_ACK_REPLACE = fsops.register_site(
+    "spool.ack.replace", "archive an acknowledged spool file to done/"
+)
+SITE_ACK_UNLINK = fsops.register_site(
+    "spool.ack.unlink", "delete an acknowledged spool file"
+)
 
 try:
     import fcntl
@@ -66,6 +97,7 @@ CHANGELOG_NAME = "changelog.wal"
 SNAPSHOT_DIR = "snapshots"
 STATUS_NAME = "status.json"
 LOCK_NAME = "lock"
+DEADLETTER_DIR = "deadletter"
 
 
 @dataclass(frozen=True)
@@ -91,6 +123,12 @@ class SpoolDirectorySource:
     a crashed service re-reads exactly the unacknowledged files on
     restart. Producers should write-then-rename into the spool so the
     service never reads a half-written file.
+
+    A file that cannot be parsed is *poison*. With ``on_poison`` unset
+    the iterator raises :class:`~repro.errors.WorkloadError` (the
+    historical fail-stop shape); the service loop instead installs a
+    handler that quarantines the file to the dead-letter directory and
+    lets iteration continue.
     """
 
     def __init__(
@@ -104,9 +142,14 @@ class SpoolDirectorySource:
         self._poll_interval = poll_interval
         self._yielded: set[str] = set()
         self._stop = False
+        self.on_poison: Callable[[str, str, WorkloadError], None] | None = None
         os.makedirs(directory, exist_ok=True)
         if archive:
             os.makedirs(os.path.join(directory, "done"), exist_ok=True)
+
+    def path_for(self, token: str) -> str:
+        """The spool path a delivery token refers to."""
+        return os.path.join(self._directory, token)
 
     def _pending(self) -> list[str]:
         return sorted(
@@ -138,7 +181,16 @@ class SpoolDirectorySource:
                 continue
             for name in fresh:
                 self._yielded.add(name)
-                yield self._parse(name)
+                try:
+                    batch = self._parse(name)
+                except WorkloadError as exc:
+                    if self.on_poison is None:
+                        raise
+                    self.on_poison(
+                        name, os.path.join(self._directory, name), exc
+                    )
+                    continue
+                yield batch
 
     def _parse(self, name: str) -> Batch:
         path = os.path.join(self._directory, name)
@@ -181,9 +233,13 @@ class SpoolDirectorySource:
         if not os.path.exists(path):
             return
         if self._archive:
-            os.replace(path, os.path.join(self._directory, "done", batch.token))
+            fsops.replace(
+                SITE_ACK_REPLACE,
+                path,
+                os.path.join(self._directory, "done", batch.token),
+            )
         else:
-            os.remove(path)
+            fsops.remove(SITE_ACK_UNLINK, path)
 
     @staticmethod
     def write_batch(directory: str, name: str, batch_body: dict) -> str:
@@ -262,12 +318,22 @@ class ServiceConfig:
     index_quota: int | None = None
     algorithm: str = "ducc"
     watches: tuple[tuple[str, ...], ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    sentinel_every: int = 64  # batches between sentinel checks (0 = off)
+    sentinel_masks: int = 12  # MUCs/MNUCs spot-verified per check
+    sentinel_pairs: int = 24  # random row pairs sampled per check
+    health_reset_batches: int = 16  # clean batches to heal DEGRADED
 
 
 class ProfilingService:
     """Crash-recoverable incremental profiling over a state directory."""
 
-    def __init__(self, data_dir: str, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        data_dir: str,
+        config: ServiceConfig | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.config = config or ServiceConfig()
         self.data_dir = data_dir
         os.makedirs(data_dir, exist_ok=True)
@@ -276,6 +342,14 @@ class ProfilingService:
             os.path.join(data_dir, SNAPSHOT_DIR),
             retain=self.config.retain_snapshots,
         )
+        self.health = HealthMonitor()
+        self.dead_letters = DeadLetterQueue(
+            os.path.join(data_dir, DEADLETTER_DIR)
+        )
+        self.sentinel = InvariantSentinel(
+            sample_masks=self.config.sentinel_masks,
+            sample_pairs=self.config.sentinel_pairs,
+        )
         self._changelog_path = os.path.join(data_dir, CHANGELOG_NAME)
         self._status_path = os.path.join(data_dir, STATUS_NAME)
         self._changelog: Changelog | None = None
@@ -283,11 +357,18 @@ class ProfilingService:
         self.last_recovery: RecoveryResult | None = None
         self._batches_since_snapshot = 0
         self._batches_since_status = 0
+        self._batches_since_sentinel = 0
         self._event_sinks: list[Callable[[MonitorEvent], None]] = []
         self._committed_tokens: set[str] = set()
+        self._quarantined_tokens: set[str] = set(self.dead_letters.tokens())
         self._recent_tokens: deque[str] = deque(maxlen=256)
         self._lock_path = os.path.join(data_dir, LOCK_NAME)
         self._lock_handle: TextIO | None = None
+        self._sleep = sleep
+        self._retry_rng = random.Random(0x5EED)
+        self._holistic_fallback: (
+            Callable[[], tuple[Relation, list[int], list[int]]] | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -325,10 +406,18 @@ class ProfilingService:
         """
         if self.started:
             raise ProfileStateError("service already started")
+        self._holistic_fallback = holistic_fallback
         self._acquire_lock()
         try:
             return self._start_locked(initial, holistic_fallback)
         except BaseException:
+            if self._changelog is not None:
+                try:
+                    self._changelog.close()
+                except OSError:
+                    pass
+                self._changelog = None
+            self.monitor = None
             self._release_lock()
             raise
 
@@ -381,18 +470,52 @@ class ProfilingService:
         for watch in watches:
             self.monitor.watch(list(watch))
         if not self.snapshots.list_seqs():
-            self._take_snapshot()  # sequence-0 base for the first recovery
+            # Sequence-0 base for the first recovery. Losing it is
+            # survivable (recovery falls back to full-changelog replay
+            # or the holistic fallback), so degrade rather than refuse
+            # to boot.
+            self._protected("snapshot", self._take_snapshot)
         self._refresh_gauges()
         self.write_status()
         return self
 
     def stop(self) -> None:
-        """Snapshot, publish status, release file handles."""
-        if self.monitor is not None:
-            self._take_snapshot()
-            self.write_status()
+        """Snapshot, publish status, release file handles.
+
+        Lock release is unconditional: whatever the final snapshot or
+        changelog close throws, the data directory must not stay locked
+        against the restart that would heal it.
+        """
+        try:
+            if (
+                self.monitor is not None
+                and self.health.state is not HealthState.FAILED
+            ):
+                self._take_snapshot()
+                self.write_status()
+        finally:
+            try:
+                if self._changelog is not None:
+                    self._changelog.close()
+                    self._changelog = None
+            finally:
+                self._changelog = None
+                self.monitor = None
+                self._release_lock()
+
+    def simulate_crash(self) -> None:
+        """Drop everything without the orderly-shutdown work (tests/chaos).
+
+        Mimics a ``kill -9`` as closely as one process can: no final
+        snapshot, no status write, handles abandoned. The flock *is*
+        released (the kernel would have done that for a real dead
+        process); durable state is left exactly as the crash found it.
+        """
         if self._changelog is not None:
-            self._changelog.close()
+            try:
+                self._changelog.close()
+            except OSError:
+                pass
             self._changelog = None
         self.monitor = None
         self._release_lock()
@@ -455,21 +578,71 @@ class ProfilingService:
     def apply_delete_batch(self, tuple_ids: Sequence[int]) -> Profile:
         return self.apply_batch(Batch(DELETE, tuple_ids=tuple(tuple_ids)))
 
+    def _retrying(self, op: str, fn: Callable[[], object]) -> object:
+        """Run one I/O operation under the configured retry policy."""
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            self.metrics.counter("io_retries").inc()
+            self.health.mark_degraded(f"{op}: {exc} (attempt {attempt})")
+
+        return retry_io(
+            fn,
+            self.config.retry,
+            sleep=self._sleep,
+            rng=self._retry_rng,
+            on_retry=on_retry,
+        )
+
+    def _protected(self, op: str, fn: Callable[[], object]) -> object | None:
+        """Best-effort I/O: retry, then degrade-and-continue on failure.
+
+        For operations the service can survive losing (a snapshot, a
+        status write, a spool ack) -- unlike the changelog append,
+        whose failure makes the service read-only.
+        """
+        try:
+            return self._retrying(op, fn)
+        except OSError as exc:
+            self.metrics.counter("io_gave_up").inc()
+            self.health.mark_degraded(f"{op} gave up: {exc}")
+            return None
+
     def apply_batch(self, batch: Batch) -> Profile:
         """Commit one batch: log, apply, then bookkeeping (ack is the
         caller's -- :meth:`serve` acks after this returns)."""
         if self.monitor is None or self._changelog is None:
             raise ProfileStateError("service not started; call start() first")
+        if not self.health.can_write:
+            raise ServiceHealthError(
+                f"service is {self.health.state.value}, refusing writes"
+                + (f": {self.health.last_error}" if self.health.last_error else "")
+            )
         if batch.kind not in (INSERT, DELETE):
             raise WorkloadError(f"unknown batch kind {batch.kind!r}")
         self._validate_batch(batch)
         before = self.monitor.profiler.snapshot()
         tokens = [t for t in _split_tokens(batch.token) if isinstance(t, str)]
-        with self.metrics.time("fsync_seconds"):
-            if batch.kind == INSERT:
-                self._changelog.append_inserts(batch.rows, tokens=tokens)
-            else:
-                self._changelog.append_deletes(batch.tuple_ids, tokens=tokens)
+        if batch.kind == INSERT:
+            append = lambda: self._changelog.append_inserts(  # noqa: E731
+                batch.rows, tokens=tokens
+            )
+        else:
+            append = lambda: self._changelog.append_deletes(  # noqa: E731
+                batch.tuple_ids, tokens=tokens
+            )
+        try:
+            with self.metrics.time("fsync_seconds"):
+                self._retrying("changelog.append", append)
+        except OSError as exc:
+            # The log could not be made durable; applying anyway would
+            # break log-then-apply, so stop accepting writes entirely.
+            self.metrics.counter("io_gave_up").inc()
+            self.health.mark_read_only(f"changelog append failed: {exc}")
+            self._refresh_gauges()
+            raise ServiceHealthError(
+                f"changelog append failed after "
+                f"{self.config.retry.max_attempts} attempts: {exc}"
+            ) from exc
         self._committed_tokens.update(tokens)
         self._recent_tokens.extend(tokens)
         with self.metrics.time("apply_seconds"):
@@ -487,19 +660,27 @@ class ProfilingService:
         for event in events:
             for sink in self._event_sinks:
                 sink(event)
+        self.health.note_clean_batch(self.config.health_reset_batches)
         self._refresh_gauges()
         self._batches_since_snapshot += 1
         self._batches_since_status += 1
+        self._batches_since_sentinel += 1
         if (
             self.config.snapshot_every
             and self._batches_since_snapshot >= self.config.snapshot_every
         ):
-            self._take_snapshot()
+            # Losing a snapshot costs replay time, not correctness.
+            self._protected("snapshot", self._take_snapshot)
         if (
             self.config.status_every
             and self._batches_since_status >= self.config.status_every
         ):
-            self.write_status()
+            self._protected("status", self.write_status)
+        if (
+            self.config.sentinel_every
+            and self._batches_since_sentinel >= self.config.sentinel_every
+        ):
+            self.run_sentinel()
         return after
 
     def _validate_batch(self, batch: Batch) -> None:
@@ -559,15 +740,88 @@ class ProfilingService:
         Returns the number of batches applied. ``max_batches`` bounds
         the loop for tests and drain-once runs; ``None`` runs until the
         source is exhausted.
+
+        The loop is self-healing: a batch that fails validation is
+        quarantined to the dead-letter directory (with a reason record)
+        and the loop continues; a source that supports ``on_poison``
+        gets unparseable files quarantined the same way. Only a health
+        transition out of a writable state stops the loop early.
         """
         applied = 0
-        for batch in self._coalesced(self._deduplicated(source), ready_source=source):
-            self.apply_batch(batch)
-            self._ack(source, batch)
-            applied += 1
-            if max_batches is not None and applied >= max_batches:
-                break
+        installed_poison = False
+        if getattr(source, "on_poison", False) is None:
+            source.on_poison = self._spool_poison
+            installed_poison = True
+        try:
+            for batch in self._coalesced(
+                self._deduplicated(source), ready_source=source
+            ):
+                if not self.health.can_write:
+                    break
+                try:
+                    self.apply_batch(batch)
+                except WorkloadError as exc:
+                    self._quarantine_batch(source, batch, exc)
+                    continue
+                except ServiceHealthError:
+                    break
+                self._protected("spool.ack", lambda: self._ack(source, batch))
+                applied += 1
+                if max_batches is not None and applied >= max_batches:
+                    break
+        finally:
+            if installed_poison:
+                source.on_poison = None
         return applied
+
+    def _spool_poison(self, name: str, path: str, exc: WorkloadError) -> None:
+        """Source hook: an unparseable spool file is poison; quarantine it."""
+        self.dead_letters.quarantine_file(
+            path, reason=str(exc), tokens=(name,), error=exc
+        )
+        self._note_quarantine((name,), str(exc))
+
+    def _quarantine_batch(
+        self, source, batch: Batch, exc: WorkloadError
+    ) -> None:
+        """A batch that failed validation must not stop the loop.
+
+        If the source can map tokens back to spool files, the files
+        themselves move to the dead-letter directory (ack then finds
+        nothing to archive); otherwise the batch payload is serialized
+        there so no evidence is lost.
+        """
+        tokens = [t for t in _split_tokens(batch.token) if isinstance(t, str)]
+        path_for = getattr(source, "path_for", None)
+        moved = False
+        if path_for is not None:
+            for token in tokens:
+                self.dead_letters.quarantine_file(
+                    path_for(token),
+                    reason=str(exc),
+                    tokens=(token,),
+                    error=exc,
+                )
+                moved = True
+        if not moved:
+            payload: dict[str, object] = {"kind": batch.kind}
+            if batch.kind == INSERT:
+                payload["rows"] = [list(row) for row in batch.rows]
+            else:
+                payload["ids"] = list(batch.tuple_ids)
+            self.dead_letters.quarantine_payload(
+                payload, reason=str(exc), tokens=tokens, error=exc
+            )
+        self._note_quarantine(tokens, str(exc))
+        # Sources whose files were moved ack into the void; others
+        # (pipes) have nothing to redeliver anyway.
+        self._protected("spool.ack", lambda: self._ack(source, batch))
+
+    def _note_quarantine(self, tokens: Sequence[str], reason: str) -> None:
+        self.metrics.counter("batches_dead_lettered").inc()
+        self._quarantined_tokens.update(tokens)
+        self.health.mark_degraded(f"batch quarantined: {reason}")
+        self._refresh_gauges()
 
     def _deduplicated(self, source) -> Iterator[Batch]:
         """Skip (and ack) batches whose record is already committed.
@@ -575,24 +829,29 @@ class ProfilingService:
         A crash between apply and ack leaves the spool file in place;
         on restart the source redelivers it, but its token is in a
         committed changelog record, so re-applying would double-count.
+        The same goes for quarantined tokens: a redelivered poison
+        batch is acked as a no-op, never quarantined twice or applied.
         """
         for batch in source:
             tokens = [
                 t for t in _split_tokens(batch.token) if isinstance(t, str)
             ]
-            if tokens and all(t in self._committed_tokens for t in tokens):
-                self.metrics.counter("batches_redelivered").inc()
-                self._ack(source, batch)
+            known = self._committed_tokens | self._quarantined_tokens
+            if tokens and all(t in known for t in tokens):
+                if any(t in self._quarantined_tokens for t in tokens):
+                    self.metrics.counter("deadletter_redelivered").inc()
+                else:
+                    self.metrics.counter("batches_redelivered").inc()
+                self._protected(
+                    "spool.ack", lambda: self._ack(source, batch)
+                )
                 continue
             yield batch
 
     def _coalesced(self, source, ready_source=None) -> Iterator[Batch]:
         """Merge consecutive same-kind *ready* batches up to the cap."""
-        has_ready = getattr(
-            ready_source if ready_source is not None else source,
-            "has_ready",
-            lambda: False,
-        )
+        origin = ready_source if ready_source is not None else source
+        has_ready = getattr(origin, "has_ready", lambda: False)
         iterator = iter(source)
         for batch in iterator:
             while (
@@ -606,6 +865,19 @@ class ProfilingService:
                 if peeked.kind != batch.kind:
                     yield batch
                     batch = peeked
+                    continue
+                # Validate the merge candidate on its own first: a
+                # poison batch must be quarantined alone, not fold into
+                # (and take down) its healthy neighbors.
+                try:
+                    if peeked.kind in (INSERT, DELETE):
+                        self._validate_batch(peeked)
+                    else:
+                        raise WorkloadError(
+                            f"unknown batch kind {peeked.kind!r}"
+                        )
+                except WorkloadError as exc:
+                    self._quarantine_batch(origin, peeked, exc)
                     continue
                 self.metrics.counter("batches_coalesced").inc()
                 if batch.kind == INSERT:
@@ -630,6 +902,94 @@ class ProfilingService:
             ack(Batch(batch.kind, token=token))
 
     # ------------------------------------------------------------------
+    # The invariant sentinel
+    # ------------------------------------------------------------------
+    def run_sentinel(self, full: bool = False) -> bool:
+        """Spot-verify the served profile against ground truth.
+
+        Returns ``True`` if the check passed. On divergence the durable
+        state is quarantined and the relation is holistically
+        re-profiled (see :meth:`_handle_sentinel_divergence`); the
+        service then serves the rebuilt -- correct -- profile, so even
+        the failure path never leaves a wrong MUCS/MNUCS answer live.
+        """
+        if self.monitor is None:
+            raise ProfileStateError("service not started; call start() first")
+        self._batches_since_sentinel = 0
+        self.metrics.counter("sentinel_checks").inc()
+        try:
+            with self.metrics.time("sentinel_seconds"):
+                self.sentinel.check(self.monitor.profiler, full=full)
+        except InconsistentProfileError as exc:
+            self._handle_sentinel_divergence(exc)
+            return False
+        return True
+
+    def _handle_sentinel_divergence(self, exc: InconsistentProfileError) -> None:
+        """The served profile is wrong: quarantine state, rebuild from truth.
+
+        The relation rows in memory *are* ground truth (every committed
+        batch went through them); it is the derived MUCS/MNUCS that
+        diverged. So: move the changelog and snapshots -- any of which
+        may embed the bad profile -- into the dead-letter directory for
+        forensics, holistically re-profile the live relation with the
+        configured algorithm, and restart the durable state at the same
+        sequence number. FAILED is reached only if the rebuild itself
+        fails; otherwise the service continues DEGRADED with a correct
+        profile.
+        """
+        self.metrics.counter("sentinel_failures").inc()
+        assert self.monitor is not None
+        seq = self._changelog.last_seq if self._changelog is not None else 0
+        watches = self.monitor.watched_columns()
+        relation = self.monitor.profiler.relation
+        if self._changelog is not None:
+            try:
+                self._changelog.close()
+            except OSError:
+                pass
+            self._changelog = None
+        self.dead_letters.quarantine_state(
+            [self._changelog_path, self.snapshots.directory],
+            reason=str(exc),
+            label=f"state-seq{seq}",
+            error=exc,
+        )
+        try:
+            with self.metrics.time("sentinel_rebuild_seconds"):
+                profiler = SwanProfiler.profile(
+                    relation,
+                    algorithm=self.config.algorithm,
+                    index_quota=self.config.index_quota,
+                )
+        except Exception as rebuild_exc:
+            self.health.mark_failed(
+                f"sentinel divergence ({exc}) and holistic re-profile "
+                f"failed: {rebuild_exc}"
+            )
+            self._refresh_gauges()
+            raise ServiceHealthError(
+                f"profile diverged and could not be rebuilt: {rebuild_exc}"
+            ) from rebuild_exc
+        self.monitor = UniqueConstraintMonitor(profiler)
+        for watch in watches:
+            self.monitor.watch(list(watch))
+        # quarantine_state moved the snapshot directory wholesale;
+        # re-instantiating re-creates it empty.
+        self.snapshots = SnapshotManager(
+            os.path.join(self.data_dir, SNAPSHOT_DIR),
+            retain=self.config.retain_snapshots,
+        )
+        self._changelog = Changelog(
+            self._changelog_path, fsync=self.config.fsync, base_seq=seq
+        )
+        self._protected("snapshot", self._take_snapshot)
+        self.metrics.counter("sentinel_rebuilds").inc()
+        self.health.mark_degraded(f"sentinel divergence healed: {exc}")
+        self._refresh_gauges()
+        self._protected("status", self.write_status)
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, object]:
@@ -639,6 +999,9 @@ class ProfilingService:
             "last_seq": self._changelog.last_seq if self._changelog else None,
             "snapshots": self.snapshots.list_seqs(),
             "recovered": self.last_recovery.source if self.last_recovery else None,
+            "health": self.health.state.value,
+            "last_error": self.health.last_error,
+            "dead_letters": self.dead_letters.count(),
             **self.metrics.to_dict(),
         }
 
@@ -652,6 +1015,9 @@ class ProfilingService:
                 "last_seq": self._changelog.last_seq if self._changelog else 0,
                 "snapshots": self.snapshots.list_seqs(),
                 "watched": self.monitor.watched_labels(),
+                "health": self.health.state.value,
+                "last_error": self.health.last_error,
+                "dead_letters": self.dead_letters.count(),
             },
         )
 
@@ -663,6 +1029,8 @@ class ProfilingService:
         self.metrics.gauge("live_rows").set(len(profiler.relation))
         self.metrics.gauge("n_mucs").set(len(profile.mucs))
         self.metrics.gauge("n_mnucs").set(len(profile.mnucs))
+        self.metrics.gauge("health_state").set(self.health.severity)
+        self.metrics.gauge("dead_letters").set(self.dead_letters.count())
         if self._changelog is not None:
             self.metrics.gauge("changelog_seq").set(self._changelog.last_seq)
             if os.path.exists(self._changelog_path):

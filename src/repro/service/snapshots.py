@@ -35,10 +35,36 @@ from typing import Hashable, Sequence
 
 from repro.core.repository import Profile
 from repro.errors import RecoveryError
+from repro.faults import fsops
 from repro.profiling.persistence import StoredProfile, dump_profile, load_profile
 from repro.service.changelog import decode_cell
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
+
+SITE_PROFILE_WRITE = fsops.register_site(
+    "snapshot.profile.write", "serialize profile.json into the temp dir"
+)
+SITE_ROWS_WRITE = fsops.register_site(
+    "snapshot.rows.write", "write one rows.jsonl line"
+)
+SITE_ROWS_FSYNC = fsops.register_site(
+    "snapshot.rows.fsync", "fsync rows.jsonl before publishing"
+)
+SITE_META_WRITE = fsops.register_site(
+    "snapshot.meta.write", "write meta.json into the temp dir"
+)
+SITE_META_FSYNC = fsops.register_site(
+    "snapshot.meta.fsync", "fsync meta.json before publishing"
+)
+SITE_PUBLISH_RENAME = fsops.register_site(
+    "snapshot.publish.rename", "atomically publish the temp dir"
+)
+SITE_DIR_FSYNC = fsops.register_site(
+    "snapshot.dir.fsync", "fsync the snapshots directory after publish"
+)
+SITE_LOAD_OPEN = fsops.register_site(
+    "snapshot.load.open", "open snapshot files while loading"
+)
 
 META_VERSION = 2  # v2: rows.jsonl (type-preserving) replaced rows.csv
 _PREFIX = "snapshot-"
@@ -118,6 +144,7 @@ class SnapshotManager:
         if os.path.exists(tmp):
             shutil.rmtree(tmp)
         os.makedirs(tmp)
+        fsops.check(SITE_PROFILE_WRITE)
         dump_profile(relation.schema, profile, os.path.join(tmp, "profile.json"))
         digest = self._write_rows(os.path.join(tmp, _ROWS_NAME), relation)
         meta = {
@@ -133,12 +160,12 @@ class SnapshotManager:
             "recent_tokens": list(recent_tokens),
         }
         with open(os.path.join(tmp, "meta.json"), "w") as handle:
-            json.dump(meta, handle, indent=2)
+            fsops.write(SITE_META_WRITE, handle, json.dumps(meta, indent=2))
             handle.flush()
-            os.fsync(handle.fileno())
+            fsops.fsync(SITE_META_FSYNC, handle)
         if os.path.exists(final):
             shutil.rmtree(final)
-        os.rename(tmp, final)
+        fsops.rename(SITE_PUBLISH_RENAME, tmp, final)
         self._fsync_dir(self._directory)
         self.prune()
         return final
@@ -154,9 +181,9 @@ class SnapshotManager:
                     + b"\n"
                 )
                 digest.update(line)
-                handle.write(line)
+                fsops.write(SITE_ROWS_WRITE, handle, line)
             handle.flush()
-            os.fsync(handle.fileno())
+            fsops.fsync(SITE_ROWS_FSYNC, handle)
         return digest.hexdigest()
 
     @staticmethod
@@ -166,7 +193,7 @@ class SnapshotManager:
         except OSError:  # pragma: no cover - platforms without dir fds
             return
         try:
-            os.fsync(fd)
+            fsops.fsync(SITE_DIR_FSYNC, fd)
         finally:
             os.close(fd)
 
@@ -197,7 +224,7 @@ class SnapshotManager:
         """
         root = os.path.join(self._directory, f"{_PREFIX}{seq:020d}")
         try:
-            with open(os.path.join(root, "meta.json")) as handle:
+            with fsops.open_(SITE_LOAD_OPEN, os.path.join(root, "meta.json")) as handle:
                 meta = json.load(handle)
             if meta.get("meta_version") != META_VERSION:
                 raise RecoveryError(
@@ -208,6 +235,7 @@ class SnapshotManager:
                 raise RecoveryError(
                     f"snapshot {seq}: meta declares seq {meta.get('seq')!r}"
                 )
+            fsops.check(SITE_LOAD_OPEN)
             stored = load_profile(os.path.join(root, "profile.json"))
             rows, digest = self._read_rows(os.path.join(root, _ROWS_NAME))
         except RecoveryError:
@@ -240,7 +268,7 @@ class SnapshotManager:
     def _read_rows(path: str) -> tuple[list[tuple[int, Row]], str]:
         digest = hashlib.sha256()
         rows: list[tuple[int, Row]] = []
-        with open(path, "rb") as handle:
+        with fsops.open_(SITE_LOAD_OPEN, path, "rb") as handle:
             for line in handle:
                 digest.update(line)
                 cells = json.loads(line)

@@ -16,8 +16,22 @@ import os
 from typing import Hashable, Iterable, Sequence
 
 from repro.errors import TupleIdError
+from repro.faults import fsops
 from repro.storage.relation import Relation
 from repro.storage.sparse_index import SparseIndex
+
+SITE_OPEN = fsops.register_site(
+    "table.open", "open the on-disk tuple store"
+)
+SITE_APPEND_WRITE = fsops.register_site(
+    "table.append.write", "append one serialized tuple"
+)
+SITE_SYNC_FSYNC = fsops.register_site(
+    "table.sync.fsync", "fsync the tuple store after sealing/appending"
+)
+SITE_SEEK_READ = fsops.register_site(
+    "table.seek_read", "random-access read of one tuple by byte offset"
+)
 
 Row = tuple[Hashable, ...]
 
@@ -33,7 +47,7 @@ class TableFile:
 
     def __init__(self, path: str) -> None:
         self._path = path
-        self._handle = open(path, "a+", newline="")
+        self._handle = fsops.open_(SITE_OPEN, path, "a+", newline="")
         self._offsets: dict[int, int] = {}
 
     @classmethod
@@ -68,12 +82,13 @@ class TableFile:
             buffer = io.StringIO()
             writer = csv.writer(buffer)
             writer.writerow([tuple_id, *row])
-            self._handle.write(buffer.getvalue())
+            fsops.write(SITE_APPEND_WRITE, self._handle, buffer.getvalue())
             self._offsets[tuple_id] = offset
         self._handle.flush()
 
     def seek_read(self, offset: int) -> tuple[int, Row, int]:
         """Read the tuple at ``offset``; also return the next offset."""
+        fsops.check(SITE_SEEK_READ)
         self._handle.seek(offset)
         line = self._handle.readline()
         if not line:
@@ -101,7 +116,7 @@ class TableFile:
     def sync(self) -> None:
         """Flush and fsync the underlying file."""
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        fsops.fsync(SITE_SYNC_FSYNC, self._handle)
 
     def close(self) -> None:
         if not self._handle.closed:

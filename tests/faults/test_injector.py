@@ -1,0 +1,198 @@
+"""Unit tests for the seeded fault injector and the fsops site registry."""
+
+import errno
+import io
+
+import pytest
+
+from repro.faults import (
+    CRASH,
+    ERROR,
+    SHORT_WRITE,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedIOError,
+    active,
+    current_injector,
+    fsops,
+    registered_sites,
+    site_description,
+)
+
+SITE = "changelog.append.write"  # registered by the changelog module
+
+
+class TestFaultSpec:
+    def test_defaults_are_one_shot_error(self):
+        spec = FaultSpec("x.y")
+        assert spec.kind == ERROR
+        assert spec.at == 1
+        assert spec.times == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("x.y", kind="flood")
+
+    def test_at_must_be_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("x.y", at=0)
+
+    def test_times_validated(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("x.y", times=0)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("x.y", probability=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("x.y", probability=1.5)
+
+
+class TestInjectorFiring:
+    def test_one_shot_fires_exactly_once_at_the_named_hit(self):
+        injector = FaultInjector(FaultPlan.one_shot("a.b", at=3))
+        injector.check("a.b")
+        injector.check("a.b")
+        with pytest.raises(InjectedIOError) as excinfo:
+            injector.check("a.b")
+        assert excinfo.value.errno == errno.EIO
+        assert excinfo.value.site == "a.b"
+        assert excinfo.value.hit == 3
+        injector.check("a.b")  # spent: fires no more
+        assert injector.fired == [("a.b", ERROR, 3)]
+        assert injector.hits["a.b"] == 4
+
+    def test_other_sites_unaffected(self):
+        injector = FaultInjector(FaultPlan.one_shot("a.b"))
+        injector.check("c.d")
+        assert injector.fired == []
+        assert injector.fired_at("a.b") == 0
+
+    def test_persistent_fires_on_every_hit(self):
+        injector = FaultInjector(FaultPlan.persistent("a.b"))
+        for _ in range(4):
+            with pytest.raises(InjectedIOError):
+                injector.check("a.b")
+        assert injector.fired_at("a.b") == 4
+
+    def test_intermittent_is_deterministic_per_seed(self):
+        def firing_pattern(seed):
+            injector = FaultInjector(
+                FaultPlan.intermittent("a.b", probability=0.5, seed=seed)
+            )
+            pattern = []
+            for _ in range(20):
+                try:
+                    injector.check("a.b")
+                    pattern.append(False)
+                except InjectedIOError:
+                    pattern.append(True)
+            return pattern
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert any(firing_pattern(7))
+        assert not all(firing_pattern(7))
+
+    def test_crash_raises_crashpoint_not_catchable_as_exception(self):
+        injector = FaultInjector(FaultPlan.one_shot("a.b", kind=CRASH))
+        with pytest.raises(BaseException) as excinfo:
+            try:
+                injector.check("a.b")
+            except Exception:  # a retry loop must NOT absorb a crash
+                pytest.fail("CrashPoint was caught as Exception")
+        assert isinstance(excinfo.value, CrashPoint)
+
+    def test_short_write_leaves_partial_payload(self):
+        injector = FaultInjector(FaultPlan.one_shot("a.b", kind=SHORT_WRITE))
+        buffer = io.BytesIO()
+        with pytest.raises(InjectedIOError):
+            injector.write("a.b", buffer, b"0123456789")
+        assert buffer.getvalue() == b"01234"  # half, then the error
+
+    def test_crash_at_write_site_also_tears_the_frame(self):
+        injector = FaultInjector(FaultPlan.one_shot("a.b", kind=CRASH))
+        buffer = io.BytesIO()
+        with pytest.raises(CrashPoint):
+            injector.write("a.b", buffer, b"abcdef")
+        assert buffer.getvalue() == b"abc"
+
+    def test_clean_write_passes_data_through(self):
+        injector = FaultInjector(FaultPlan())
+        buffer = io.BytesIO()
+        injector.write("a.b", buffer, b"payload")
+        assert buffer.getvalue() == b"payload"
+        assert injector.hits["a.b"] == 1
+
+
+class TestActiveInjector:
+    def test_active_installs_and_restores(self):
+        assert current_injector() is None
+        injector = FaultInjector(FaultPlan())
+        with active(injector) as installed:
+            assert installed is injector
+            assert current_injector() is injector
+        assert current_injector() is None
+
+    def test_nested_activations_restore_previous(self):
+        outer, inner = FaultInjector(FaultPlan()), FaultInjector(FaultPlan())
+        with active(outer):
+            with active(inner):
+                assert current_injector() is inner
+            assert current_injector() is outer
+
+    def test_restored_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with active(FaultInjector(FaultPlan())):
+                raise RuntimeError("boom")
+        assert current_injector() is None
+
+
+class TestFsops:
+    def test_registry_contains_the_durability_sites(self):
+        # Importing the service modules registers their sites.
+        import repro.service.server  # noqa: F401
+        import repro.storage.table_file  # noqa: F401
+
+        sites = registered_sites()
+        for expected in (
+            "changelog.append.write",
+            "changelog.append.fsync",
+            "snapshot.publish.rename",
+            "snapshot.rows.write",
+            "table.append.write",
+            "spool.ack.replace",
+        ):
+            assert expected in sites
+            assert site_description(expected)
+
+    def test_conflicting_reregistration_rejected(self):
+        fsops.register_site("test.dup", "same words")
+        fsops.register_site("test.dup", "same words")  # idempotent
+        with pytest.raises(ValueError, match="registered twice"):
+            fsops.register_site("test.dup", "different words")
+
+    def test_wrappers_are_bare_ops_without_injector(self, tmp_path):
+        path = str(tmp_path / "f.txt")
+        with fsops.open_("t.open", path, "w") as handle:
+            fsops.write("t.write", handle, "hello")
+            handle.flush()
+            fsops.fsync("t.fsync", handle)
+        fsops.rename("t.rename", path, path + ".2")
+        fsops.replace("t.replace", path + ".2", path)
+        fsops.remove("t.remove", path)
+        import os
+
+        assert not os.path.exists(path)
+
+    def test_wrappers_report_to_active_injector(self, tmp_path):
+        injector = FaultInjector(
+            FaultPlan([FaultSpec("t.write2", kind=ERROR, at=1)])
+        )
+        path = str(tmp_path / "f.txt")
+        with active(injector):
+            with open(path, "w") as handle:
+                with pytest.raises(InjectedIOError):
+                    fsops.write("t.write2", handle, "hello")
+        assert injector.fired_at("t.write2") == 1

@@ -63,7 +63,7 @@ class TestServeMain:
         assert serve_main([str(tmp_path / "state"), "--init", missing]) == 1
         assert "cannot read" in capsys.readouterr().err
 
-    def test_poison_spool_file_reported_and_left_unacked(
+    def test_poison_spool_file_quarantined_and_reported(
         self, tmp_path, csv_path, capsys
     ):
         state = str(tmp_path / "state")
@@ -71,17 +71,25 @@ class TestServeMain:
         os.makedirs(spool)
         with open(os.path.join(spool, "bad.json"), "w") as handle:
             handle.write("not json at all")
+        # Poison no longer fail-stops: the file is quarantined, the
+        # drain succeeds, and the degradation is reported on stderr.
         assert (
             serve_main(
                 [state, "--init", csv_path, "--spool", spool, "--once", "--no-fsync"]
             )
-            == 1
+            == 0
         )
         captured = capsys.readouterr()
-        assert "is not a valid batch" in captured.err
-        # still stopped cleanly, and the bad file awaits the operator
+        assert "1 dead-letter entry" in captured.err
+        assert "health is degraded" in captured.err
         assert "stopped: 3 rows" in captured.out
-        assert os.path.exists(os.path.join(spool, "bad.json"))
+        # the bad file moved to quarantine with a reason record
+        assert not os.path.exists(os.path.join(spool, "bad.json"))
+        deadletter = os.path.join(state, "deadletter")
+        assert os.path.exists(os.path.join(deadletter, "bad.json"))
+        with open(os.path.join(deadletter, "bad.json.reason.json")) as handle:
+            record = json.load(handle)
+        assert "is not a valid batch" in record["reason"]
 
     def test_spool_once_and_recovery(self, tmp_path, csv_path, capsys):
         state = str(tmp_path / "state")

@@ -1,0 +1,286 @@
+"""Dead-letter quarantine: unit behavior and the end-to-end poison path."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.deadletter import DeadLetterQueue
+from repro.service.health import HealthState
+from repro.service.server import (
+    ProfilingService,
+    ServiceConfig,
+    SpoolDirectorySource,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def fresh_relation():
+    return Relation.from_rows(Schema(["Name", "Phone", "Age"]), ROWS)
+
+
+def make_service(tmp_path, **overrides):
+    # coalesce_rows=1 keeps batch boundaries visible to assertions;
+    # TestCoalescedPoison exercises the merging path explicitly.
+    defaults = dict(algorithm="bruteforce", snapshot_every=0, coalesce_rows=1)
+    defaults.update(overrides)
+    return ProfilingService(
+        str(tmp_path / "state"), config=ServiceConfig(**defaults)
+    )
+
+
+class TestDeadLetterQueue:
+    def test_quarantine_file_moves_and_writes_reason(self, tmp_path):
+        queue = DeadLetterQueue(str(tmp_path / "dl"))
+        victim = tmp_path / "bad.json"
+        victim.write_text("garbage")
+        destination = queue.quarantine_file(
+            str(victim), reason="unparseable", tokens=("bad.json",),
+            error=ValueError("nope"),
+        )
+        assert not victim.exists()
+        assert os.path.exists(destination)
+        [record] = queue.entries()
+        assert record["reason"] == "unparseable"
+        assert record["error_type"] == "ValueError"
+        assert record["tokens"] == ["bad.json"]
+        assert record["quarantined_unix"] > 0
+        assert queue.count() == 1
+        assert queue.tokens() == frozenset({"bad.json"})
+
+    def test_name_collisions_get_unique_suffixes(self, tmp_path):
+        queue = DeadLetterQueue(str(tmp_path / "dl"))
+        for _ in range(3):
+            victim = tmp_path / "bad.json"
+            victim.write_text("garbage")
+            queue.quarantine_file(str(victim), reason="again")
+        assert queue.count() == 3
+        names = sorted(r["name"] for r in queue.entries())
+        assert names == ["bad.1.json", "bad.2.json", "bad.json"]
+
+    def test_quarantine_payload_serializes_batch(self, tmp_path):
+        queue = DeadLetterQueue(str(tmp_path / "dl"))
+        destination = queue.quarantine_payload(
+            {"kind": "insert", "rows": [["x"]]}, reason="bad arity",
+            tokens=("t1", "t2"),
+        )
+        with open(destination) as handle:
+            assert json.load(handle)["kind"] == "insert"
+        assert queue.tokens() == frozenset({"t1", "t2"})
+
+    def test_quarantine_state_moves_whole_trees(self, tmp_path):
+        queue = DeadLetterQueue(str(tmp_path / "dl"))
+        wal = tmp_path / "changelog.wal"
+        wal.write_bytes(b"WALDATA")
+        snaps = tmp_path / "snapshots"
+        snaps.mkdir()
+        (snaps / "snap-1").mkdir()
+        destination = queue.quarantine_state(
+            [str(wal), str(snaps), str(tmp_path / "missing")],
+            reason="sentinel divergence",
+            label="state-seq7",
+        )
+        assert not wal.exists()
+        assert not snaps.exists()
+        assert os.path.exists(os.path.join(destination, "changelog.wal"))
+        assert os.path.exists(os.path.join(destination, "snapshots", "snap-1"))
+        [record] = queue.entries()
+        assert record["name"] == "state-seq7"
+
+    def test_empty_queue(self, tmp_path):
+        queue = DeadLetterQueue(str(tmp_path / "never-created"))
+        assert queue.count() == 0
+        assert queue.entries() == []
+        assert queue.tokens() == frozenset()
+        assert not os.path.exists(queue.directory)  # lazy mkdir
+
+
+class TestPoisonBatchEndToEnd:
+    """ISSUE satellite: poison batch -> quarantine, continue, no-op redelivery."""
+
+    def test_poison_is_quarantined_and_loop_continues(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        # b1 applies; b2 is poison (bad arity); b3 must still apply.
+        SpoolDirectorySource.write_batch(
+            spool, "b1.json",
+            {"kind": "insert", "rows": [["Ada", "111", "9"]]},
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "b2.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "b3.json",
+            {"kind": "insert", "rows": [["Bob", "222", "8"]]},
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        applied = service.serve(SpoolDirectorySource(spool))
+
+        # The two good batches applied despite the poison between them.
+        assert applied == 2
+        assert len(service.profiler.relation) == 5
+
+        # The poison file moved to quarantine with a reason record.
+        assert not os.path.exists(os.path.join(spool, "b2.json"))
+        assert service.dead_letters.count() == 1
+        [record] = service.dead_letters.entries()
+        assert record["tokens"] == ["b2.json"]
+        assert "3 columns" in record["reason"]
+        assert record["error_type"] == "WorkloadError"
+
+        # Quarantining degrades health (and says why) without stopping.
+        assert service.health.state is HealthState.DEGRADED
+        assert "quarantined" in service.health.last_error
+        assert service.stats()["dead_letters"] == 1
+        service.stop()
+
+    def test_redelivery_of_quarantined_token_is_a_noop(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "bad.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        assert service.serve(SpoolDirectorySource(spool)) == 0
+        assert service.dead_letters.count() == 1
+
+        # A producer redelivers the same token: acked as a no-op, not
+        # quarantined twice, not applied.
+        SpoolDirectorySource.write_batch(
+            spool, "bad.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        assert service.serve(SpoolDirectorySource(spool)) == 0
+        assert service.dead_letters.count() == 1
+        assert len(service.profiler.relation) == 3
+        assert (
+            service.metrics.counter("deadletter_redelivered").value == 1
+        )
+        # The redelivered file was acked (archived), not left pending.
+        assert not os.path.exists(os.path.join(spool, "bad.json"))
+        service.stop()
+
+    def test_quarantined_tokens_survive_restart(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "bad.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.serve(SpoolDirectorySource(spool))
+        service.stop()
+
+        # A fresh process reloads quarantined tokens from the reason
+        # records, so redelivery is still a no-op after restart.
+        service = make_service(tmp_path).start()
+        SpoolDirectorySource.write_batch(
+            spool, "bad.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        assert service.serve(SpoolDirectorySource(spool)) == 0
+        assert service.dead_letters.count() == 1
+        assert len(service.profiler.relation) == 3
+        service.stop()
+
+    def test_unparseable_spool_file_quarantined_via_source_hook(
+        self, tmp_path
+    ):
+        spool = str(tmp_path / "spool")
+        os.makedirs(spool)
+        with open(os.path.join(spool, "junk.json"), "w") as handle:
+            handle.write("{not json")
+        SpoolDirectorySource.write_batch(
+            spool, "ok.json", {"kind": "insert", "rows": [["Ada", "111", "9"]]}
+        )
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        source = SpoolDirectorySource(spool)
+        assert service.serve(source) == 1
+        assert service.dead_letters.count() == 1
+        [record] = service.dead_letters.entries()
+        assert "not a valid batch" in record["reason"]
+        # serve() restored the source's poison hook on exit.
+        assert source.on_poison is None
+        service.stop()
+
+    def test_pipe_source_poison_payload_is_serialized(self, tmp_path):
+        # A source without path_for (stdin-shaped) still keeps evidence:
+        # the batch payload itself lands in the dead-letter directory.
+        from repro.service.server import Batch
+
+        class ListSource:
+            def __init__(self, batches):
+                self._batches = batches
+
+            def __iter__(self):
+                return iter(self._batches)
+
+            def has_ready(self):
+                return False
+
+            def ack(self, batch):
+                return
+
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        poison = Batch("insert", rows=(("too", "few"),))
+        assert service.serve(ListSource([poison])) == 0
+        assert service.dead_letters.count() == 1
+        [record] = service.dead_letters.entries()
+        assert record["name"] == "batch.json"
+        path = os.path.join(service.dead_letters.directory, "batch.json")
+        with open(path) as handle:
+            assert json.load(handle)["rows"] == [["too", "few"]]
+        service.stop()
+
+
+class TestCoalescedPoison:
+    def test_poison_between_coalescible_batches_is_cut_out(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "b1.json",
+            {"kind": "insert", "rows": [["Ada", "111", "9"]]},
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "b2.json", {"kind": "insert", "rows": [["too", "few"]]}
+        )
+        SpoolDirectorySource.write_batch(
+            spool, "b3.json",
+            {"kind": "insert", "rows": [["Bob", "222", "8"]]},
+        )
+        # Default coalescing on: b1 and b3 merge into one commit, while
+        # the poison b2 between them is quarantined alone instead of
+        # taking the whole merged batch down.
+        service = make_service(tmp_path, coalesce_rows=500).start(
+            initial=fresh_relation()
+        )
+        applied = service.serve(SpoolDirectorySource(spool))
+        assert applied == 1
+        assert len(service.profiler.relation) == 5
+        assert service.dead_letters.count() == 1
+        [record] = service.dead_letters.entries()
+        assert record["tokens"] == ["b2.json"]
+        # Both good files were acked; only the poison one moved.
+        assert sorted(os.listdir(os.path.join(spool, "done"))) == [
+            "b1.json", "b3.json",
+        ]
+        service.stop()
+
+
+class TestHealthGate:
+    def test_read_only_service_refuses_batches(self, tmp_path):
+        from repro.errors import ServiceHealthError
+
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.health.mark_read_only("simulated append exhaustion")
+        with pytest.raises(ServiceHealthError, match="read_only"):
+            service.apply_insert_batch([("Ada", "111", "9")])
+        # serve() stops immediately instead of looping.
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "b1.json", {"kind": "insert", "rows": [["Bob", "222", "8"]]}
+        )
+        assert service.serve(SpoolDirectorySource(spool)) == 0
+        # The batch was not consumed: it survives for after the restart.
+        assert os.path.exists(os.path.join(spool, "b1.json"))
+        service.stop()

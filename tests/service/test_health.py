@@ -1,0 +1,94 @@
+"""Tests for the SERVING -> DEGRADED -> READ_ONLY -> FAILED ladder."""
+
+from repro.service.health import HealthMonitor, HealthState
+
+
+class TestTransitions:
+    def test_starts_serving_and_writable(self):
+        monitor = HealthMonitor()
+        assert monitor.state is HealthState.SERVING
+        assert monitor.can_write
+        assert monitor.last_error is None
+        assert monitor.severity == 0
+
+    def test_degraded_still_accepts_writes(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("one retry")
+        assert monitor.state is HealthState.DEGRADED
+        assert monitor.can_write
+        assert monitor.last_error == "one retry"
+
+    def test_read_only_and_failed_refuse_writes(self):
+        monitor = HealthMonitor()
+        monitor.mark_read_only("append exhausted")
+        assert not monitor.can_write
+        monitor.mark_failed("profile distrusted")
+        assert monitor.state is HealthState.FAILED
+        assert not monitor.can_write
+        assert monitor.severity == 3
+
+    def test_state_only_worsens(self):
+        monitor = HealthMonitor()
+        monitor.mark_read_only("append exhausted")
+        monitor.mark_degraded("late retry")  # must not improve the state
+        assert monitor.state is HealthState.READ_ONLY
+        # ... but the reason is still recorded
+        assert monitor.last_error == "late retry"
+
+    def test_transitions_are_logged(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("retry")
+        monitor.mark_degraded("again")  # same state: no new transition
+        monitor.mark_failed("gone")
+        assert [(a, b) for a, b, _ in monitor.transitions] == [
+            ("serving", "degraded"),
+            ("degraded", "failed"),
+        ]
+        assert monitor.transitions[0][2] == "retry"
+
+
+class TestHealing:
+    def test_degraded_heals_after_clean_streak(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("hiccup")
+        monitor.note_clean_batch(threshold=3)
+        monitor.note_clean_batch(threshold=3)
+        assert monitor.state is HealthState.DEGRADED
+        monitor.note_clean_batch(threshold=3)
+        assert monitor.state is HealthState.SERVING
+
+    def test_new_fault_resets_the_streak(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("hiccup")
+        monitor.note_clean_batch(threshold=2)
+        monitor.mark_degraded("another")
+        monitor.note_clean_batch(threshold=2)
+        assert monitor.state is HealthState.DEGRADED
+        monitor.note_clean_batch(threshold=2)
+        assert monitor.state is HealthState.SERVING
+
+    def test_zero_threshold_never_heals(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("hiccup")
+        for _ in range(10):
+            monitor.note_clean_batch(threshold=0)
+        assert monitor.state is HealthState.DEGRADED
+
+    def test_read_only_does_not_heal(self):
+        monitor = HealthMonitor()
+        monitor.mark_read_only("append exhausted")
+        for _ in range(10):
+            monitor.note_clean_batch(threshold=1)
+        assert monitor.state is HealthState.READ_ONLY
+
+    def test_serving_ignores_clean_batches(self):
+        monitor = HealthMonitor()
+        monitor.note_clean_batch(threshold=1)
+        assert monitor.state is HealthState.SERVING
+        assert monitor.transitions == []
+
+    def test_healing_is_logged(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("hiccup")
+        monitor.note_clean_batch(threshold=1)
+        assert monitor.transitions[-1][:2] == ("degraded", "serving")

@@ -1,0 +1,141 @@
+"""Tests for bounded retry with exponential backoff and full jitter."""
+
+import random
+
+import pytest
+
+from repro.faults import CrashPoint
+from repro.service.retry import RetryPolicy, retry_io
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.35)
+
+        class TopRng:
+            def uniform(self, low, high):
+                return high  # jitter at the top of the window
+
+        rng = TopRng()
+        assert policy.delay_for(1, rng) == pytest.approx(0.1)
+        assert policy.delay_for(2, rng) == pytest.approx(0.2)
+        assert policy.delay_for(3, rng) == pytest.approx(0.35)  # capped
+        assert policy.delay_for(9, rng) == pytest.approx(0.35)
+
+    def test_full_jitter_spans_zero_to_cap(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0)
+        rng = random.Random(0)
+        delays = [policy.delay_for(1, rng) for _ in range(200)]
+        assert all(0.0 <= d <= 1.0 for d in delays)
+        assert min(delays) < 0.2 and max(delays) > 0.8
+
+
+class TestRetryIO:
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        assert (
+            retry_io(lambda: 42, sleep=sleeps.append, rng=random.Random(0))
+            == 42
+        )
+        assert sleeps == []
+
+    def test_retries_transient_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        sleeps = []
+        result = retry_io(
+            flaky,
+            RetryPolicy(max_attempts=4, base_delay=0.5),
+            sleep=sleeps.append,
+            rng=random.Random(1),
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert len(sleeps) == 2
+
+    def test_exhaustion_reraises_last_error(self):
+        def always_fails():
+            raise OSError("still dead")
+
+        with pytest.raises(OSError, match="still dead"):
+            retry_io(
+                always_fails,
+                RetryPolicy(max_attempts=3, base_delay=0.0),
+                sleep=lambda _d: None,
+            )
+
+    def test_on_retry_reports_attempt_error_and_delay(self):
+        calls = []
+
+        def flaky():
+            if len(calls) < 1:
+                raise OSError("once")
+            return "ok"
+
+        retry_io(
+            flaky,
+            RetryPolicy(max_attempts=2, base_delay=0.25, max_delay=0.25),
+            sleep=lambda _d: None,
+            rng=random.Random(0),
+            on_retry=lambda a, e, d: calls.append((a, str(e), d)),
+        )
+        assert len(calls) == 1
+        attempt, message, delay = calls[0]
+        assert attempt == 1
+        assert message == "once"
+        assert 0.0 <= delay <= 0.25
+
+    def test_non_retryable_exceptions_propagate_immediately(self):
+        attempts = []
+
+        def fails_differently():
+            attempts.append(1)
+            raise ValueError("not I/O")
+
+        with pytest.raises(ValueError):
+            retry_io(fails_differently, sleep=lambda _d: None)
+        assert len(attempts) == 1
+
+    def test_crash_point_is_never_retried(self):
+        attempts = []
+
+        def crashes():
+            attempts.append(1)
+            raise CrashPoint("site", 1)
+
+        with pytest.raises(CrashPoint):
+            retry_io(crashes, sleep=lambda _d: None)
+        assert len(attempts) == 1
+
+    def test_custom_retry_on(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise KeyError("transient-ish")
+            return "ok"
+
+        assert (
+            retry_io(
+                flaky,
+                RetryPolicy(max_attempts=2, base_delay=0.0),
+                sleep=lambda _d: None,
+                retry_on=(KeyError,),
+            )
+            == "ok"
+        )

@@ -1,0 +1,194 @@
+"""Invariant-sentinel tests: structure checks, sampled spot checks, and
+the quarantine-and-rebuild path on a diverged service profile."""
+
+import os
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.errors import InconsistentProfileError
+from repro.service.health import HealthState
+from repro.service.sentinel import InvariantSentinel, check_structure
+from repro.service.server import (
+    ProfilingService,
+    ServiceConfig,
+    SpoolDirectorySource,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+# Ground truth for ROWS: MUCS = {Phone}, {Name, Age}; MNUCS = {Name}, {Age}
+NAME, PHONE, AGE = 0b001, 0b010, 0b100
+
+
+def fresh_relation():
+    return Relation.from_rows(Schema(["Name", "Phone", "Age"]), ROWS)
+
+
+def fresh_profiler():
+    return SwanProfiler.profile(fresh_relation(), algorithm="bruteforce")
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(algorithm="bruteforce", snapshot_every=0, coalesce_rows=1)
+    defaults.update(overrides)
+    return ProfilingService(
+        str(tmp_path / "state"), config=ServiceConfig(**defaults)
+    )
+
+
+class TestCheckStructure:
+    def test_valid_profile_passes(self):
+        check_structure([PHONE, NAME | AGE], [NAME, AGE])
+
+    def test_comparable_mucs_rejected(self):
+        with pytest.raises(InconsistentProfileError, match="not an antichain"):
+            check_structure([NAME, NAME | AGE], [])
+
+    def test_comparable_mnucs_rejected(self):
+        with pytest.raises(InconsistentProfileError, match="not an antichain"):
+            check_structure([], [AGE, NAME | AGE])
+
+    def test_muc_inside_mnuc_rejected(self):
+        with pytest.raises(InconsistentProfileError, match="subset of MNUC"):
+            check_structure([NAME], [NAME | AGE])
+
+
+class TestSampledCheck:
+    def test_correct_profile_passes(self):
+        sentinel = InvariantSentinel()
+        report = sentinel.check(fresh_profiler())
+        assert not report.full
+        assert report.checked_mucs == 2
+        assert report.checked_mnucs == 2
+        assert report.sampled_pairs > 0
+
+    def test_full_check_delegates_to_verify_profile(self):
+        report = InvariantSentinel().check(fresh_profiler(), full=True)
+        assert report.full
+
+    def test_false_muc_detected(self):
+        profiler = fresh_profiler()
+        # {Name} has a duplicate (Lee), so claiming it unique is wrong
+        # -- but structurally valid, so only a relation scan can tell.
+        profiler._repository.replace([NAME], [])
+        with pytest.raises(InconsistentProfileError):
+            InvariantSentinel().check(profiler)
+
+    def test_false_mnuc_detected(self):
+        profiler = fresh_profiler()
+        # {Phone} is unique, so claiming it non-unique is wrong.
+        profiler._repository.replace([], [PHONE])
+        with pytest.raises(InconsistentProfileError):
+            InvariantSentinel().check(profiler)
+
+    def test_missing_mnuc_cover_detected(self):
+        profiler = fresh_profiler()
+        # Keep the true MUCS but drop {Name} from MNUCS: the agree set
+        # of the two Lee rows is then covered by no reported MNUC.
+        profiler._repository.replace([PHONE, NAME | AGE], [AGE])
+        with pytest.raises(InconsistentProfileError):
+            InvariantSentinel().check(profiler)
+
+    def test_deterministic_given_seed(self):
+        reports = [
+            InvariantSentinel(seed=5).check(fresh_profiler()).sampled_pairs
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+
+class TestServiceDivergenceHealing:
+    def _poison_profile(self, service):
+        service.profiler._repository.replace([NAME], [])
+
+    def test_divergence_quarantines_state_and_rebuilds(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        self._poison_profile(service)
+        assert service.run_sentinel() is False
+
+        # The distrusted changelog + snapshots moved to the dead-letter
+        # directory for forensics...
+        assert service.dead_letters.count() == 1
+        [record] = service.dead_letters.entries()
+        assert record["name"].startswith("state-seq")
+        quarantined = os.path.join(
+            service.dead_letters.directory, record["name"]
+        )
+        assert os.path.exists(os.path.join(quarantined, "changelog.wal"))
+        assert os.path.exists(os.path.join(quarantined, "snapshots"))
+
+        # ...and the served profile is correct again, from a holistic
+        # re-profile of the live relation.
+        assert service.run_sentinel(full=True) is True
+        assert sorted(service.profiler.snapshot().mucs) == [
+            PHONE, NAME | AGE,
+        ]
+        assert service.health.state is HealthState.DEGRADED
+        assert "sentinel divergence healed" in service.health.last_error
+        assert service.metrics.counter("sentinel_rebuilds").value == 1
+
+        # The service keeps working: new durable state was reseeded.
+        service.apply_insert_batch([("Ada", "111", "9")])
+        assert len(service.profiler.relation) == 4
+        service.stop()
+
+        # And a restart recovers from the rebuilt state.
+        recovered = make_service(tmp_path).start()
+        assert len(recovered.profiler.relation) == 4
+        assert recovered.run_sentinel(full=True) is True
+        recovered.stop()
+
+    def test_sentinel_runs_on_batch_cadence(self, tmp_path):
+        service = make_service(tmp_path, sentinel_every=2).start(
+            initial=fresh_relation()
+        )
+        spool = str(tmp_path / "spool")
+        for i, row in enumerate([["Ada", "111", "9"], ["Bob", "222", "8"]]):
+            SpoolDirectorySource.write_batch(
+                spool, f"b{i}.json", {"kind": "insert", "rows": [row]}
+            )
+        service.serve(SpoolDirectorySource(spool))
+        assert service.metrics.counter("sentinel_checks").value == 1
+        service.stop()
+
+    def test_sentinel_cadence_catches_poisoned_profile(self, tmp_path):
+        service = make_service(tmp_path, sentinel_every=1).start(
+            initial=fresh_relation()
+        )
+        self._poison_profile(service)
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "b0.json", {"kind": "insert", "rows": [["Ada", "111", "9"]]}
+        )
+        service.serve(SpoolDirectorySource(spool))
+        assert service.metrics.counter("sentinel_failures").value == 1
+        assert service.run_sentinel(full=True) is True
+        assert len(service.profiler.relation) == 4
+        service.stop()
+
+    def test_passing_sentinel_leaves_health_alone(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        assert service.run_sentinel() is True
+        assert service.health.state is HealthState.SERVING
+        assert service.dead_letters.count() == 0
+        service.stop()
+
+    def test_status_reports_health_fields(self, tmp_path):
+        import json
+
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        self._poison_profile(service)
+        service.run_sentinel()
+        service.write_status()
+        with open(os.path.join(service.data_dir, "status.json")) as handle:
+            status = json.load(handle)
+        assert status["health"] == "degraded"
+        assert "sentinel divergence healed" in status["last_error"]
+        assert status["dead_letters"] == 1
+        service.stop()

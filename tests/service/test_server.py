@@ -79,6 +79,54 @@ class TestLifecycle:
             service.start()
         make_service(tmp_path).start(initial=fresh_relation()).stop()
 
+    def test_start_failing_after_lock_releases_it(self, tmp_path):
+        # An I/O fault deep inside _start_locked (changelog open) must
+        # not leave the directory locked against the restart that
+        # would heal it.
+        from repro.faults import FaultInjector, FaultPlan, active
+
+        service = make_service(tmp_path)
+        injector = FaultInjector(FaultPlan.persistent("changelog.open"))
+        with active(injector):
+            with pytest.raises(OSError):
+                service.start(initial=fresh_relation())
+        assert service._lock_handle is None
+        # successor acquires the lock freely
+        make_service(tmp_path).start(initial=fresh_relation()).stop()
+
+    def test_stop_failing_midway_still_releases_lock(self, tmp_path):
+        # The final snapshot is best-effort (retried, then degraded),
+        # but even a changelog close that explodes must not hold the
+        # flock past stop().
+        service = make_service(tmp_path).start(initial=fresh_relation())
+
+        class ExplodingChangelog:
+            last_seq = 0
+
+            def close(self):
+                raise OSError("close failed")
+
+        service._changelog = ExplodingChangelog()
+        with pytest.raises(OSError, match="close failed"):
+            service.stop()
+        assert service._lock_handle is None
+        assert not service.started
+        make_service(tmp_path).start().stop()
+
+    def test_simulate_crash_releases_lock_without_snapshot(self, tmp_path):
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        service.apply_insert_batch([("Ada", "111", "9")])
+        seqs_before = service.snapshots.list_seqs()
+        service.simulate_crash()
+        assert service._lock_handle is None
+        assert not service.started
+        # no orderly-shutdown snapshot was taken
+        recovered = make_service(tmp_path)
+        assert recovered.snapshots.list_seqs() == seqs_before
+        recovered.start()
+        assert len(recovered.profiler.relation) == 4
+        recovered.stop()
+
 
 class TestCrashRecovery:
     def test_crash_then_recover_matches_live(self, tmp_path):
@@ -239,14 +287,22 @@ class TestSpoolSource:
         assert not os.path.exists(os.path.join(spool, "001.json"))
         recovered.stop()
 
-    def test_unknown_kind_rejected(self, tmp_path):
-        from repro.errors import WorkloadError
+    def test_unknown_kind_raises_without_poison_handler(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(spool, "001.json", {"kind": "upsert"})
+        with pytest.raises(WorkloadError, match="unknown batch kind"):
+            list(SpoolDirectorySource(spool))
 
+    def test_unknown_kind_quarantined_by_serve(self, tmp_path):
         spool = str(tmp_path / "spool")
         SpoolDirectorySource.write_batch(spool, "001.json", {"kind": "upsert"})
         service = make_service(tmp_path).start(initial=fresh_relation())
-        with pytest.raises(WorkloadError, match="unknown batch kind"):
-            service.serve(SpoolDirectorySource(spool))
+        applied = service.serve(SpoolDirectorySource(spool))
+        assert applied == 0
+        assert service.dead_letters.count() == 1
+        assert not os.path.exists(os.path.join(spool, "001.json"))
+        [record] = service.dead_letters.entries()
+        assert "unknown batch kind" in record["reason"]
         service.stop()
 
 
@@ -364,11 +420,15 @@ class TestBatchValidation:
             spool, "001.json", {"kind": "insert", "rows": [["too", "few"]]}
         )
         service = make_service(tmp_path).start(initial=fresh_relation())
-        with pytest.raises(WorkloadError):
-            service.serve(SpoolDirectorySource(spool))
+        applied = service.serve(SpoolDirectorySource(spool))
+        assert applied == 0
         assert service.stats()["last_seq"] == 0
-        # the poison file is left unacked for the operator
-        assert os.path.exists(os.path.join(spool, "001.json"))
+        # the poison file moved to quarantine with a reason record
+        assert not os.path.exists(os.path.join(spool, "001.json"))
+        assert service.dead_letters.count() == 1
+        [record] = service.dead_letters.entries()
+        assert record["tokens"] == ["001.json"]
+        assert "3 columns" in record["reason"]
         service.stop()
         make_service(tmp_path).start().stop()  # restart recovers fine
 
