@@ -1,0 +1,239 @@
+#!/usr/bin/env python
+"""Cross-batch partition cache + parallel fan-out speedup benchmark.
+
+Runs the same delete-heavy workloads through two SWAN configurations --
+the reference (``parallelism=0``, cache disabled) and the optimized one
+(worker threads + cross-batch partition cache) -- and reports per-
+scenario wall-clock times and speedups. Every batch's profile must be
+bit-identical across configurations and rounds; the script aborts
+otherwise, so a "fast but wrong" result can never be recorded.
+
+Scenarios:
+
+* ``repeated-deletes`` -- consecutive delete batches; each batch's
+  derived partitions seed the next one's checks, the cache's best case.
+* ``mixed``            -- delete batches with occasional small inserts
+  interleaved; each insert bumps the generation and invalidates the
+  cache, so this measures how quickly the cache re-earns its keep.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache_parallel.py \
+        [--rows 20000] [--rounds 3] [--parallelism 2] \
+        [--output bench_results/BENCH_cache_parallel.json] \
+        [--baseline benchmarks/baselines/bench_cache_parallel.json] \
+        [--max-regression 2.0]
+
+Exit status: 0 on success; 1 when profiles diverge or, with
+``--baseline``, when a scenario's optimized runtime regressed by more
+than ``--max-regression`` vs the committed baseline. Rounds are
+interleaved across configurations and the minimum per configuration is
+kept, so transient machine load cannot manufacture (or mask) a
+regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.swan import SwanProfiler  # noqa: E402
+from repro.datasets.ncvoter import ncvoter_relation  # noqa: E402
+from repro.datasets.workload import delete_batch_ids  # noqa: E402
+
+COLS = 20
+SEED = 7
+DELETE_FRACTION = 0.02
+
+
+def _insert_rows(count: int):
+    donor = ncvoter_relation(count, COLS, seed=SEED + 92)
+    return [donor.row(tuple_id) for tuple_id in donor.iter_ids()]
+
+
+def scenario_repeated_deletes(rows: int):
+    """8 consecutive delete batches of DELETE_FRACTION each."""
+    return [("delete", seed) for seed in range(8)]
+
+
+def scenario_mixed(rows: int):
+    """Delete-heavy traffic with small insert batches interleaved."""
+    plan = []
+    for step in range(10):
+        if step in (4, 9):
+            plan.append(("insert", step))
+        else:
+            plan.append(("delete", step))
+    return plan
+
+
+SCENARIOS = {
+    "repeated-deletes": scenario_repeated_deletes,
+    "mixed": scenario_mixed,
+}
+
+
+_DISCOVERY_CACHE: dict[int, tuple[list[int], list[int]]] = {}
+
+
+def _initial_profile(rows: int):
+    """The holistic profile of the (deterministic) initial relation.
+
+    Discovery is by far the most expensive part of a run and its result
+    is identical for every round and configuration, so it is computed
+    once per row count and replayed into each profiler.
+    """
+    if rows not in _DISCOVERY_CACHE:
+        from repro.profiling.discovery import discover
+
+        relation = ncvoter_relation(rows, COLS, seed=SEED)
+        _DISCOVERY_CACHE[rows] = discover(relation, "ducc")
+    mucs, mnucs = _DISCOVERY_CACHE[rows]
+    return lambda relation: (list(mucs), list(mnucs))
+
+
+def run_once(rows: int, plan, parallelism: int, cache_budget_bytes: int):
+    relation = ncvoter_relation(rows, COLS, seed=SEED)
+    inserts = _insert_rows(200)
+    profiler = SwanProfiler.profile(
+        relation,
+        algorithm=_initial_profile(rows),
+        parallelism=parallelism,
+        cache_budget_bytes=cache_budget_bytes,
+    )
+    profiles = []
+    cursor = 0
+    started = time.perf_counter()
+    try:
+        for action, step in plan:
+            if action == "insert":
+                batch = inserts[cursor : cursor + 40]
+                cursor += 40
+                outcome = profiler.handle_inserts(batch)
+            else:
+                doomed = delete_batch_ids(
+                    profiler.relation, DELETE_FRACTION, seed=100 + step
+                )
+                outcome = profiler.handle_deletes(doomed)
+            profiles.append((sorted(outcome.mucs), sorted(outcome.mnucs)))
+        elapsed = time.perf_counter() - started
+        return elapsed, profiles, profiler.cache_stats(), profiler.pool_stats()
+    finally:
+        profiler.close()
+
+
+def run_scenario(name: str, rows: int, rounds: int, parallelism: int, budget: int):
+    plan = SCENARIOS[name](rows)
+    configs = {
+        "baseline": dict(parallelism=0, cache_budget_bytes=0),
+        "optimized": dict(parallelism=parallelism, cache_budget_bytes=budget),
+    }
+    times = {label: [] for label in configs}
+    stats = {}
+    reference_profiles = None
+    for _ in range(rounds):
+        for label, knobs in configs.items():
+            elapsed, profiles, cache_stats, pool_stats = run_once(
+                rows, plan, **knobs
+            )
+            times[label].append(elapsed)
+            if reference_profiles is None:
+                reference_profiles = profiles
+            elif profiles != reference_profiles:
+                print(
+                    f"FATAL: {name}/{label} produced a different profile "
+                    "than the reference run",
+                    file=sys.stderr,
+                )
+                raise SystemExit(1)
+            stats[label] = {"cache": cache_stats, "pool": pool_stats}
+    best = {label: min(series) for label, series in times.items()}
+    return {
+        "plan": [f"{action}:{step}" for action, step in plan],
+        "batches": len(plan),
+        "times_s": {label: [round(t, 4) for t in series] for label, series in times.items()},
+        "best_s": {label: round(t, 4) for label, t in best.items()},
+        "speedup": round(best["baseline"] / best["optimized"], 3),
+        "profiles_identical": True,
+        "optimized_stats": stats.get("optimized"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows", type=int, default=int(os.environ.get("REPRO_BENCH_CACHE_ROWS", "20000"))
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--parallelism", type=int, default=2)
+    parser.add_argument("--cache-budget-mb", type=int, default=64)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when optimized runtime exceeds baseline * this factor",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "cache_parallel",
+        "rows": args.rows,
+        "columns": COLS,
+        "rounds": args.rounds,
+        "parallelism": args.parallelism,
+        "cache_budget_mb": args.cache_budget_mb,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": {},
+    }
+    for name in SCENARIOS:
+        print(f"== scenario: {name} (rows={args.rows}, rounds={args.rounds})")
+        result = run_scenario(
+            name,
+            args.rows,
+            args.rounds,
+            args.parallelism,
+            args.cache_budget_mb * 1024 * 1024,
+        )
+        report["scenarios"][name] = result
+        print(
+            f"   baseline {result['best_s']['baseline']:.3f}s"
+            f"  optimized {result['best_s']['optimized']:.3f}s"
+            f"  speedup {result['speedup']:.2f}x"
+        )
+
+    failed = False
+    if args.baseline and args.baseline.exists():
+        committed = json.loads(args.baseline.read_text())
+        for name, result in report["scenarios"].items():
+            reference = committed.get("scenarios", {}).get(name)
+            if reference is None:
+                continue
+            limit = reference["best_s"]["optimized"] * args.max_regression
+            if result["best_s"]["optimized"] > limit:
+                print(
+                    f"REGRESSION: {name} optimized runtime "
+                    f"{result['best_s']['optimized']:.3f}s exceeds "
+                    f"{limit:.3f}s ({args.max_regression}x committed baseline)",
+                    file=sys.stderr,
+                )
+                failed = True
+
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

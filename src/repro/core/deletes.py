@@ -19,8 +19,14 @@ Check order for one maximal non-unique N against a delete batch D
    never involved D; still non-unique.
 3. *Survivors*: if some restricted cluster keeps >= 2 non-deleted
    members, that duplicate pair survives; still non-unique.
-4. *Complete check*: intersect the full (pre-delete) column PLIs and
-   look for a cluster with >= 2 surviving members.
+4. *Complete check*: the full post-delete partition of N, shared with
+   the lattice descent through the per-batch partition workspace.
+
+All partition work runs on :class:`~repro.storage.fastpli.ArrayPli`
+(vectorized, GIL-releasing); the *pre-delete* per-column partitions
+come from the cross-batch :class:`~repro.storage.plicache.PartitionCache`
+when a previous batch already derived them, and are converted from the
+maintained pointer PLIs exactly once otherwise.
 
 The handler, like the inserts handler, does not mutate storage; the
 facade captures the deleted rows, calls :meth:`handle`, then applies
@@ -29,17 +35,19 @@ the batch to the relation, value indexes and PLIs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping
 
 import numpy as np
 
+from repro.core.parallel import FanOutPool
 from repro.core.repository import ProfileRepository
 from repro.lattice.combination import iter_bits
 from repro.lattice.graphs import CombinationGraph
 from repro.lattice.transversal import mucs_from_mnucs
 from repro.storage.fastpli import ArrayPli
 from repro.storage.pli import PositionListIndex
+from repro.storage.plicache import PartitionCache
 from repro.storage.relation import Relation
 
 Row = tuple[Hashable, ...]
@@ -61,23 +69,46 @@ class DeleteStats:
 
 @dataclass
 class DeleteOutcome:
-    """New profile plus the work statistics of the batch."""
+    """New profile plus the work statistics of the batch.
+
+    ``post_partitions`` holds the derived partitions the lattice
+    descent computed; they describe the *post-delete* state, so the
+    facade publishes them into the shared partition cache under the
+    next generation once the batch actually commits (previews discard
+    them).
+    """
 
     mucs: list[int]
     mnucs: list[int]
     stats: DeleteStats
+    post_partitions: dict[int, ArrayPli] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.post_partitions is None:
+            self.post_partitions = {}
 
 
-def _survivor_pair(pli: PositionListIndex, deleted: set[int]) -> bool:
-    """True iff some position list keeps >= 2 non-deleted members."""
-    for cluster in pli.clusters():
-        survivors = 0
-        for tuple_id in cluster:
-            if tuple_id not in deleted:
-                survivors += 1
-                if survivors >= 2:
-                    return True
-    return False
+@dataclass
+class _BatchContext:
+    """Per-batch partition workspace shared by checks and descent.
+
+    ``pre_columns`` holds the *pre-delete* per-column partitions (the
+    state the shared cache describes at the current generation);
+    ``post_cache`` accumulates every *post-delete* partition derived,
+    keyed by mask -- it becomes ``DeleteOutcome.post_partitions``.
+    Values are immutable once stored and recomputation is exact, so
+    concurrent readers during the fan-out only ever race on how much
+    work is saved, never on results.
+    """
+
+    deleted: set[int]
+    doomed: np.ndarray  # boolean over the tuple-ID space
+    generation: int
+    capacity: int
+    live_after: list[int]
+    pre_columns: dict[int, ArrayPli] = field(default_factory=dict)
+    post_columns: dict[int, ArrayPli] = field(default_factory=dict)
+    post_cache: dict[int, ArrayPli] = field(default_factory=dict)
 
 
 class DeletesHandler:
@@ -88,10 +119,116 @@ class DeletesHandler:
         relation: Relation,
         repository: ProfileRepository,
         column_plis: dict[int, PositionListIndex],
+        cache: PartitionCache | None = None,
+        pool: FanOutPool | None = None,
     ) -> None:
         self._relation = relation
         self._repository = repository
         self._plis = column_plis
+        self._cache = cache
+        self._pool = pool
+        self._ctx: _BatchContext | None = None
+
+    # ------------------------------------------------------------------
+    # Per-batch partition workspace
+    # ------------------------------------------------------------------
+    def _pre_column(self, column: int) -> ArrayPli:
+        """The pre-delete partition of one column, in array form.
+
+        Served from the cross-batch cache when the previous batch
+        published it (its post-delete state *is* this batch's pre-delete
+        state); otherwise converted from the maintained pointer PLI --
+        the only Python-level cluster scan left on the delete path, and
+        it happens at most once per column per cache lifetime.
+        """
+        ctx = self._ctx
+        assert ctx is not None
+        pli = ctx.pre_columns.get(column)
+        if pli is None:
+            mask = 1 << column
+            cached = (
+                self._cache.get(mask, ctx.generation)
+                if self._cache is not None
+                else None
+            )
+            if cached is not None:
+                pli = cached
+            else:
+                ids: list[int] = []
+                labels: list[int] = []
+                label = 0
+                for cluster in self._plis[column].clusters():
+                    ids.extend(cluster)
+                    labels.extend([label] * len(cluster))
+                    label += 1
+                pli = ArrayPli(
+                    np.asarray(ids, dtype=np.int64),
+                    np.asarray(labels, dtype=np.int64),
+                    ctx.capacity,
+                )
+            ctx.pre_columns[column] = pli
+        return pli
+
+    def _post_column(self, column: int) -> ArrayPli:
+        ctx = self._ctx
+        assert ctx is not None
+        pli = ctx.post_columns.get(column)
+        if pli is None:
+            pli = self._pre_column(column).without_ids(ctx.doomed)
+            ctx.post_columns[column] = pli
+            ctx.post_cache[1 << column] = pli
+        return pli
+
+    def _post_pli(self, mask: int) -> ArrayPli:
+        """The post-delete partition of ``mask`` (memoized per batch)."""
+        ctx = self._ctx
+        assert ctx is not None
+        cached = ctx.post_cache.get(mask)
+        if cached is not None:
+            return cached
+        columns = list(iter_bits(mask))
+        if not columns:
+            current = ArrayPli.single_cluster(ctx.live_after, ctx.capacity)
+            ctx.post_cache[mask] = current
+            return current
+        current: ArrayPli | None = None
+        if self._cache is not None:
+            # Cross-batch exact hit: filter the batch's deletes out of
+            # the partition the previous batch derived.
+            previous = self._cache.get(mask, ctx.generation)
+            if previous is not None:
+                current = previous.without_ids(ctx.doomed)
+        if current is None:
+            # Single-parent seed within this batch's descent...
+            seed_mask = 0
+            seed: ArrayPli | None = None
+            for column in columns:
+                parent_mask = mask & ~(1 << column)
+                parent = ctx.post_cache.get(parent_mask)
+                if parent is not None:
+                    seed_mask, seed = parent_mask, parent
+                    break
+            # ...generalized to the best-covered cached ancestor from
+            # previous batches when no parent is at hand.
+            if seed is None and self._cache is not None:
+                found = self._cache.best_ancestor(mask, ctx.generation)
+                if found is not None:
+                    seed_mask, previous = found
+                    seed = previous.without_ids(ctx.doomed)
+            remaining = sorted(
+                iter_bits(mask & ~seed_mask),
+                key=lambda c: self._post_column(c).n_entries(),
+            )
+            current = seed
+            if current is None:
+                current = self._post_column(remaining[0])
+                remaining = remaining[1:]
+            for column in remaining:
+                if not current.has_duplicates:
+                    break
+                current = current.intersect(self._post_column(column))
+        ctx.post_cache[mask] = current
+        return current
 
     # ------------------------------------------------------------------
     # Section IV-B: checking one non-unique
@@ -103,6 +240,8 @@ class DeletesHandler:
         clustered_deleted: dict[int, set[int]],
         stats: DeleteStats,
     ) -> bool:
+        ctx = self._ctx
+        assert ctx is not None
         columns = list(iter_bits(mask))
         if not columns:
             # The empty combination (every single column unique) stays
@@ -118,60 +257,48 @@ class DeletesHandler:
                 return True
 
         # (2) + (3) Restricted intersection over position lists that
-        # contained affecting tuples.
+        # contained affecting tuples, all vectorized on the pre-delete
+        # array partitions.
         columns.sort(key=lambda column: self._plis[column].n_entries())
-        first = self._plis[columns[0]]
-        restricted = PositionListIndex.from_clusters(
-            first.clusters_containing(affecting)
+        affecting_ids = np.fromiter(
+            affecting, dtype=np.int64, count=len(affecting)
+        )
+        restricted = self._pre_column(columns[0]).clusters_containing_ids(
+            affecting_ids
         )
         for column in columns[1:]:
             if not restricted.has_duplicates:
                 break
-            restricted = restricted.intersect(self._plis[column])
+            restricted = restricted.intersect(self._pre_column(column))
         if not restricted.has_duplicates:
             stats.restricted_short_circuits += 1
             return True
-        if _survivor_pair(restricted, deleted):
+        if restricted.without_ids(ctx.doomed).has_duplicates:
             stats.survivor_short_circuits += 1
             return True
 
-        # (4) Complete PLI of N (pre-delete), checking for survivors.
+        # (4) Complete post-delete partition of N, shared with the
+        # descent through the batch workspace.
         stats.complete_checks += 1
         return self._has_surviving_duplicate(mask, deleted)
 
     def _has_surviving_duplicate(self, mask: int, deleted: set[int]) -> bool:
-        """Exact post-delete non-uniqueness via full PLI intersection.
-
-        Intersects cheapest-first with early exits: an intermediate PLI
-        without a surviving pair settles the answer (subsets of
-        non-uniques...), checked only while the PLI is small enough for
-        the scan to pay for itself.
-        """
-        columns = sorted(iter_bits(mask), key=lambda c: self._plis[c].n_entries())
-        if not columns:
-            survivors = sum(
-                1 for tuple_id in self._relation.iter_ids() if tuple_id not in deleted
-            )
-            return survivors >= 2
-        current = self._plis[columns[0]]
-        for column in columns[1:]:
-            if not current.has_duplicates:
-                return False
-            if current.n_entries() <= 2 * len(deleted) and not _survivor_pair(
-                current, deleted
-            ):
-                return False
-            current = current.intersect(self._plis[column])
-        return _survivor_pair(current, deleted)
+        """Exact post-delete non-uniqueness of one combination."""
+        return self._post_pli(mask).has_duplicates
 
     # ------------------------------------------------------------------
     # Algorithm 6: the full delete workflow
     # ------------------------------------------------------------------
-    def handle(self, deleted_rows: Mapping[int, Row]) -> DeleteOutcome:
+    def handle(
+        self, deleted_rows: Mapping[int, Row], generation: int = 0
+    ) -> DeleteOutcome:
         """Compute the profile of (relation \\ deleted rows).
 
         ``deleted_rows`` maps the deleted tuple IDs to their rows; the
         relation and PLIs must still contain them (pre-delete state).
+        ``generation`` is the relation's applied-batch generation and
+        keys every read of the shared partition cache: only entries
+        computed for exactly this pre-delete state may seed this batch.
         """
         stats = DeleteStats(batch_size=len(deleted_rows))
         old_mucs = self._repository.mucs
@@ -191,61 +318,48 @@ class DeletesHandler:
         for muc_mask in old_mucs:
             graph.add_unique(muc_mask)
 
-        # Post-delete per-column partitions in array form: the lattice
-        # descent below turned MNUCs classifies combinations by the
-        # thousand, so intersections must run vectorized; the deletions
-        # are applied once while converting from the maintained PLIs.
-        post_columns: dict[int, ArrayPli] = {}
-        post_cache: dict[int, ArrayPli] = {}
         capacity = self._relation.next_tuple_id
         live_after = [
             tuple_id
             for tuple_id in self._relation.iter_ids()
             if tuple_id not in deleted
         ]
+        # Boolean membership of the batch over the ID space, for the
+        # vectorized filter that carries cached partitions forward.
+        doomed = np.zeros(capacity, dtype=bool)
+        if deleted:
+            doomed[np.fromiter(deleted, dtype=np.int64, count=len(deleted))] = True
+        self._ctx = _BatchContext(
+            deleted=deleted,
+            doomed=doomed,
+            generation=generation,
+            capacity=capacity,
+            live_after=live_after,
+        )
+        try:
+            return self._handle_with_context(
+                old_mucs, old_mnucs, deleted, clustered_deleted, graph, stats
+            )
+        finally:
+            self._ctx = None
 
-        def post_column(column: int) -> ArrayPli:
-            pli = post_columns.get(column)
-            if pli is None:
-                ids: list[int] = []
-                labels: list[int] = []
-                label = 0
-                for cluster in self._plis[column].clusters():
-                    members = [t for t in cluster if t not in deleted]
-                    if len(members) >= 2:
-                        ids.extend(members)
-                        labels.extend([label] * len(members))
-                        label += 1
-                pli = ArrayPli(
-                    np.asarray(ids, dtype=np.int64),
-                    np.asarray(labels, dtype=np.int64),
-                    capacity,
-                )
-                post_columns[column] = pli
-            return pli
+    def _handle_with_context(
+        self,
+        old_mucs: list[int],
+        old_mnucs: list[int],
+        deleted: set[int],
+        clustered_deleted: dict[int, set[int]],
+        graph: CombinationGraph,
+        stats: DeleteStats,
+    ) -> DeleteOutcome:
+        ctx = self._ctx
+        assert ctx is not None
 
-        def post_pli(mask: int) -> ArrayPli:
-            cached = post_cache.get(mask)
-            if cached is not None:
-                return cached
-            columns = list(iter_bits(mask))
-            if not columns:
-                return ArrayPli.single_cluster(live_after, capacity)
-            current = None
-            for column in columns:
-                parent = post_cache.get(mask & ~(1 << column))
-                if parent is not None:
-                    current = parent.intersect(post_column(column))
-                    break
-            if current is None:
-                columns.sort(key=lambda c: post_column(c).n_entries())
-                current = post_column(columns[0])
-                for column in columns[1:]:
-                    if not current.has_duplicates:
-                        break
-                    current = current.intersect(post_column(column))
-            post_cache[mask] = current
-            return current
+        # Materialize (serially) the pre-delete partitions -- and their
+        # dense probe maps -- of every column the checks will touch, so
+        # the fan-out below is a pure reader of the workspace.
+        for column in sorted({c for mask in old_mnucs for c in iter_bits(mask)}):
+            self._pre_column(column).dense
 
         classification: dict[int, bool] = {}
 
@@ -256,7 +370,7 @@ class DeletesHandler:
             implied = graph.classify(mask)
             if implied is None:
                 stats.lattice_checks += 1
-                implied = not post_pli(mask).has_duplicates
+                implied = not self._post_pli(mask).has_duplicates
                 if implied:
                     graph.add_unique(mask)
                 else:
@@ -264,9 +378,29 @@ class DeletesHandler:
             classification[mask] = implied
             return implied
 
-        for mnuc_mask in old_mnucs:
+        # Per-MNUC short-circuit checks are independent and read-only
+        # against the profile, so they fan out on the worker pool (the
+        # ArrayPli intersections release the GIL); results are folded
+        # back in ``old_mnucs`` order, which keeps the graph -- and
+        # hence the whole descent -- bit-identical to the serial path.
+        def check_one(mnuc_mask: int) -> tuple[bool, DeleteStats]:
+            local = DeleteStats()
+            still = self._is_still_non_unique(
+                mnuc_mask, deleted, clustered_deleted, local
+            )
+            return still, local
+
+        if self._pool is not None and self._pool.active:
+            checks = self._pool.map(check_one, old_mnucs)
+        else:
+            checks = [check_one(mnuc_mask) for mnuc_mask in old_mnucs]
+        for mnuc_mask, (still_non_unique, local) in zip(old_mnucs, checks):
             stats.mnucs_checked += 1
-            if self._is_still_non_unique(mnuc_mask, deleted, clustered_deleted, stats):
+            stats.unaffected_short_circuits += local.unaffected_short_circuits
+            stats.restricted_short_circuits += local.restricted_short_circuits
+            stats.survivor_short_circuits += local.survivor_short_circuits
+            stats.complete_checks += local.complete_checks
+            if still_non_unique:
                 graph.add_non_unique(mnuc_mask)
                 classification[mnuc_mask] = False
             else:
@@ -309,10 +443,17 @@ class DeletesHandler:
                 candidate for candidate in candidates if not classify(candidate)
             ]
             if not holes:
+                # Carry forward the post-delete state of every column
+                # partition this batch materialized, not only the ones
+                # the descent touched: the next batch's checks start
+                # from exactly these.
+                for column in list(ctx.pre_columns):
+                    self._post_column(column)
                 return DeleteOutcome(
                     mucs=candidates,
                     mnucs=border,
                     stats=stats,
+                    post_partitions=ctx.post_cache,
                 )
             for hole in holes:
                 ascend_to_maximal(hole)

@@ -24,12 +24,14 @@ probes only ever see old tuples.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
 import numpy as np
 
 from repro.core.duplicates import DuplicateManager
+from repro.core.parallel import FanOutPool
 from repro.core.repository import ProfileRepository
 from repro.lattice.antichain import MaximalAntichain
 from repro.lattice.combination import columns_of, maximize, minimize
@@ -108,25 +110,34 @@ class _LookupCache:
     it on every column of CC. An insert with no candidates left is
     dropped from the mapping, so an empty mapping means "no duplicates
     possible for any superset of CC".
+
+    Entries are immutable once stored and any cached entry is a valid
+    (if partial) starting point, so sharing the cache across the
+    parallel per-MUC fan-out is safe: the lock only protects the dict
+    itself, and which thread's entry wins a race never changes the
+    final candidate sets -- only how much probing is saved.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_lock")
 
     def __init__(self) -> None:
         self._entries: dict[int, dict[int, frozenset[int]]] = {}
+        self._lock = threading.Lock()
 
     def largest_subset(self, mask: int) -> tuple[int, dict[int, frozenset[int]] | None]:
         """The cached entry whose column set is the largest subset of ``mask``."""
         best_key = 0
         best: dict[int, frozenset[int]] | None = None
-        for key, entry in self._entries.items():
-            if key and key | mask == mask:
-                if best is None or key.bit_count() > best_key.bit_count():
-                    best_key, best = key, entry
+        with self._lock:
+            for key, entry in self._entries.items():
+                if key and key | mask == mask:
+                    if best is None or key.bit_count() > best_key.bit_count():
+                        best_key, best = key, entry
         return best_key, best
 
     def store(self, mask: int, entry: dict[int, frozenset[int]]) -> None:
-        self._entries[mask] = entry
+        with self._lock:
+            self._entries[mask] = entry
 
 
 class InsertsHandler:
@@ -138,11 +149,13 @@ class InsertsHandler:
         repository: ProfileRepository,
         index_pool: IndexPool,
         sparse_index: SparseIndex,
+        pool: FanOutPool | None = None,
     ) -> None:
         self._relation = relation
         self._repository = repository
         self._indexes = index_pool
         self._sparse = sparse_index
+        self._pool = pool
 
     # ------------------------------------------------------------------
     # Algorithm 2: retrieveIDs
@@ -245,11 +258,29 @@ class InsertsHandler:
                 list(new_rows.values()), self._relation.n_columns
             )
 
+        # Candidate retrieval per minimal unique is independent and
+        # read-only (indexes and relation are only mutated after the
+        # analysis), so it fans out on the worker pool. Per-task stats
+        # are merged -- and candidate sets folded -- in ``old_mucs``
+        # order so the outcome is bit-identical to the serial path.
         cache = _LookupCache()
+
+        def retrieve_one(
+            muc_mask: int,
+        ) -> tuple[dict[int, frozenset[int]], InsertStats]:
+            local = InsertStats()
+            return self._retrieve_ids(muc_mask, new_rows, cache, local), local
+
+        if self._pool is not None and self._pool.active:
+            retrievals = self._pool.map(retrieve_one, old_mucs)
+        else:
+            retrievals = [retrieve_one(muc_mask) for muc_mask in old_mucs]
         relevant_lookups: dict[int, dict[int, frozenset[int]]] = {}
         all_candidates: set[int] = set()
-        for muc_mask in old_mucs:
-            lookups = self._retrieve_ids(muc_mask, new_rows, cache, stats)
+        for muc_mask, (lookups, local) in zip(old_mucs, retrievals):
+            stats.index_lookups += local.index_lookups
+            stats.cache_hits += local.cache_hits
+            stats.fallback_scans += local.fallback_scans
             relevant_lookups[muc_mask] = lookups
             for candidates in lookups.values():
                 all_candidates |= candidates

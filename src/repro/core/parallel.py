@@ -1,0 +1,131 @@
+"""Deterministic thread fan-out for per-combination work.
+
+Both incremental handlers contain loops whose iterations are
+independent and read-only against shared state:
+
+* the insert path probes value indexes once per minimal unique
+  (Algorithm 2), and
+* the delete path short-circuit-checks every maximal non-unique
+  against the batch (Section IV-B).
+
+:class:`FanOutPool` runs such loops on a shared
+:class:`~concurrent.futures.ThreadPoolExecutor` while keeping the
+*merge order deterministic*: results come back in input order, so the
+downstream profile computation is bit-identical to the serial path.
+Threads (not processes) are the right shape here -- the hot
+ArrayPli/numpy intersections release the GIL, and the pure-Python index
+probes are memory-bound dict lookups that never pickle cheaply.
+
+``parallelism <= 1`` keeps everything on the calling thread with zero
+setup cost; the executor is created lazily on the first parallel batch
+and torn down via :meth:`close`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+# Fanning out a tiny loop costs more in scheduling than it saves; below
+# this many items the pool runs the loop inline.
+MIN_FANOUT_ITEMS = 2
+
+
+@dataclass
+class PoolStats:
+    """Observable executor behaviour, published via ``stats()``."""
+
+    tasks: int = 0  # items executed (serial or parallel)
+    fanout_batches: int = 0  # loops that actually hit the pool
+    serial_batches: int = 0  # loops that ran inline
+    fanout_tasks: int = 0  # items executed on worker threads
+
+    def utilization(self, workers: int) -> float:
+        """Mean fan-out width as a fraction of the worker count."""
+        if not self.fanout_batches or workers <= 0:
+            return 0.0
+        return self.fanout_tasks / (self.fanout_batches * workers)
+
+    def to_dict(self, workers: int) -> dict[str, float]:
+        return {
+            "workers": workers,
+            "tasks": self.tasks,
+            "fanout_batches": self.fanout_batches,
+            "serial_batches": self.serial_batches,
+            "fanout_tasks": self.fanout_tasks,
+            "utilization": round(self.utilization(workers), 4),
+        }
+
+
+class FanOutPool:
+    """Ordered map over a worker pool, inline when parallelism is off."""
+
+    def __init__(self, parallelism: int = 0) -> None:
+        """``parallelism`` is the worker-thread count; ``0`` or ``1``
+        disables fan-out entirely (the serial reference path)."""
+        self.parallelism = max(0, int(parallelism))
+        self.stats = PoolStats()
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        """Will :meth:`map` ever use worker threads?"""
+        return self.parallelism >= 2
+
+    def map(
+        self,
+        fn: Callable[[Item], Result],
+        items: Iterable[Item],
+    ) -> list[Result]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        The deterministic order is the contract that keeps parallel
+        profiles bit-identical to serial ones: callers fold the results
+        into graphs/antichains in the same sequence either way. The
+        first exception raised by any task propagates to the caller.
+        """
+        materialized: Sequence[Item] = (
+            items if isinstance(items, (list, tuple)) else list(items)
+        )
+        self.stats.tasks += len(materialized)
+        if not self.active or len(materialized) < MIN_FANOUT_ITEMS:
+            self.stats.serial_batches += 1
+            return [fn(item) for item in materialized]
+        self.stats.fanout_batches += 1
+        self.stats.fanout_tasks += len(materialized)
+        return list(self._ensure_executor().map(fn, materialized))
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.parallelism,
+                    thread_name_prefix="repro-fanout",
+                )
+            return self._executor
+
+    def stats_dict(self) -> dict[str, float]:
+        return self.stats.to_dict(self.parallelism)
+
+    def close(self) -> None:
+        """Join and release the worker threads (idempotent)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "FanOutPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "idle" if self._executor is None else "running"
+        return f"FanOutPool(parallelism={self.parallelism}, {state})"

@@ -31,11 +31,13 @@ from repro.core.index_selection import (
     select_index_attributes,
 )
 from repro.core.inserts import InsertsHandler, InsertStats
+from repro.core.parallel import FanOutPool
 from repro.core.repository import Profile, ProfileRepository
 from repro.errors import ProfileStateError
 from repro.lattice.combination import ColumnCombination
 from repro.profiling.stats import ColumnStatistics, column_statistics
 from repro.storage.pli import PositionListIndex
+from repro.storage.plicache import DEFAULT_BUDGET_BYTES, PartitionCache
 from repro.storage.relation import Relation
 from repro.storage.sparse_index import SparseIndex, sparse_index_for_relation
 from repro.storage.table_file import TableFile
@@ -59,6 +61,9 @@ class SwanProfiler:
         sparse_index: SparseIndex | None = None,
         table_file: "TableFile | None" = None,
         maintain_plis: bool = True,
+        parallelism: int = 0,
+        cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
+        partition_cache: PartitionCache | None = None,
     ) -> None:
         """Wire SWAN around an existing relation and profile.
 
@@ -73,6 +78,13 @@ class SwanProfiler:
         building the per-column PLIs; the profiler then supports
         inserts only (insert-only deployments avoid the PLI build cost;
         Fig. 1/2 setups use this).
+
+        ``parallelism`` sets the fan-out worker count for per-MUC
+        candidate retrieval and per-MNUC short-circuit checks (0/1 =
+        serial reference path; results are bit-identical either way).
+        ``cache_budget_bytes`` bounds the cross-batch partition cache
+        (``0`` disables it, ``None`` is unbounded); ``partition_cache``
+        injects an existing cache instead.
         """
         self._relation = relation
         self._repository = ProfileRepository(mucs, mnucs)
@@ -94,11 +106,26 @@ class SwanProfiler:
                 column: PositionListIndex.for_column(relation, column)
                 for column in range(relation.n_columns)
             }
+        if partition_cache is not None:
+            self._partition_cache: PartitionCache | None = partition_cache
+        elif cache_budget_bytes == 0:
+            self._partition_cache = None
+        else:
+            self._partition_cache = PartitionCache(cache_budget_bytes)
+        self._pool = FanOutPool(parallelism)
+        self._generation = 0
         self._inserts = InsertsHandler(
-            relation, self._repository, self._index_pool, self._sparse
+            relation, self._repository, self._index_pool, self._sparse,
+            pool=self._pool,
         )
         self._deletes = (
-            DeletesHandler(relation, self._repository, self._plis)
+            DeletesHandler(
+                relation,
+                self._repository,
+                self._plis,
+                cache=self._partition_cache,
+                pool=self._pool,
+            )
             if maintain_plis
             else None
         )
@@ -116,6 +143,8 @@ class SwanProfiler:
         index_quota: int | None = None,
         index_columns: Sequence[int] | None = None,
         maintain_plis: bool = True,
+        parallelism: int = 0,
+        cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
     ) -> "SwanProfiler":
         """Run a holistic discovery over ``relation`` and wire SWAN up.
 
@@ -136,6 +165,8 @@ class SwanProfiler:
             index_quota=index_quota,
             index_columns=index_columns,
             maintain_plis=maintain_plis,
+            parallelism=parallelism,
+            cache_budget_bytes=cache_budget_bytes,
         )
 
     def _select_indexes(self, quota: int | None) -> list[int]:
@@ -164,6 +195,25 @@ class SwanProfiler:
     def indexed_columns(self) -> frozenset[int]:
         """The columns currently holding a value index."""
         return self._index_pool.columns
+
+    @property
+    def generation(self) -> int:
+        """Number of applied batches; keys the partition cache."""
+        return self._generation
+
+    def cache_stats(self) -> dict[str, int]:
+        """Partition-cache counters (all zero when the cache is off)."""
+        if self._partition_cache is None:
+            return {}
+        return self._partition_cache.stats_dict()
+
+    def pool_stats(self) -> dict[str, float]:
+        """Fan-out executor counters."""
+        return self._pool.stats_dict()
+
+    def close(self) -> None:
+        """Release the fan-out worker threads (idempotent)."""
+        self._pool.close()
 
     def snapshot(self) -> Profile:
         """The current (MUCS, MNUCS) profile."""
@@ -198,7 +248,13 @@ class SwanProfiler:
         from repro.storage.pli import pli_for_combination
 
         mask = self._relation.schema.mask(columns)
-        pli = pli_for_combination(self._relation, mask, self._plis)
+        pli = pli_for_combination(
+            self._relation,
+            mask,
+            self._plis,
+            cache=self._partition_cache,
+            generation=self._generation,
+        )
         return pli.n_entries() - pli.n_clusters()
 
     # ------------------------------------------------------------------
@@ -232,7 +288,9 @@ class SwanProfiler:
                 "this profiler was built with maintain_plis=False and "
                 "supports inserts only"
             )
-        outcome = self._deletes.handle(capture_rows(self._relation, tuple_ids))
+        outcome = self._deletes.handle(
+            capture_rows(self._relation, tuple_ids), generation=self._generation
+        )
         return Profile.from_masks(outcome.mucs, outcome.mnucs)
 
     def handle_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
@@ -273,6 +331,10 @@ class SwanProfiler:
             for tuple_id in inserted_ids:
                 self._sparse.register(tuple_id, tuple_id)
         self._repository.replace(outcome.mucs, outcome.mnucs)
+        # Inserts can merge clusters, so cached partitions from earlier
+        # generations cannot be carried forward; bumping the generation
+        # lazily invalidates them (the cache never serves a stale tag).
+        self._generation += 1
         return self._repository.snapshot()
 
     def handle_deletes(self, tuple_ids: Iterable[int]) -> Profile:
@@ -283,7 +345,7 @@ class SwanProfiler:
                 "supports inserts only"
             )
         deleted_rows = capture_rows(self._relation, tuple_ids)
-        outcome = self._deletes.handle(deleted_rows)
+        outcome = self._deletes.handle(deleted_rows, generation=self._generation)
         self.last_delete_stats = outcome.stats
         for tuple_id, row in deleted_rows.items():
             self._relation.delete(tuple_id)
@@ -292,6 +354,14 @@ class SwanProfiler:
         self._index_pool.register_deletes(deleted_rows)
         self._sparse.forget(deleted_rows)
         self._repository.replace(outcome.mucs, outcome.mnucs)
+        # The descent's partitions describe the post-delete state, which
+        # is exactly the relation at the *next* generation -- publish
+        # them there so the following batch can reuse them.
+        self._generation += 1
+        if self._partition_cache is not None:
+            self._partition_cache.put_many(
+                outcome.post_partitions, self._generation
+            )
         # Deletes can shrink minimal uniques below the indexed cover
         # (Section III-D: "our index selection approach should be
         # applied again"); extend the cover if a new MUC escaped it.

@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip fsync on changelog commit (fast, NOT crash-safe)",
     )
+    parser.add_argument(
+        "--parallelism", type=int, default=0, metavar="N",
+        help="fan-out worker threads for batch analysis (default 0 = serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-budget-mb", type=int, default=64, metavar="MB",
+        help="byte budget for the cross-batch partition cache "
+        "(default 64; 0 disables the cache)",
+    )
     return parser
 
 
@@ -130,6 +140,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.status:
         return _print_status(args.data_dir)
+    if args.parallelism < 0:
+        print("error: --parallelism must be >= 0", file=sys.stderr)
+        return 2
+    if args.cache_budget_mb < 0:
+        print("error: --cache-budget-mb must be >= 0", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         snapshot_every=args.snapshot_every,
         retain_snapshots=args.retain,
@@ -140,6 +156,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             tuple(col.strip() for col in spec.split(",") if col.strip())
             for spec in args.watch
         ),
+        parallelism=args.parallelism,
+        cache_budget_bytes=args.cache_budget_mb * 1024 * 1024,
     )
     service = ProfilingService(args.data_dir, config=config)
     service.on_event(lambda event: print(f"  {event}"))

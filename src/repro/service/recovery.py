@@ -32,6 +32,7 @@ from typing import Callable
 
 from repro.core.swan import SwanProfiler
 from repro.errors import RecoveryError
+from repro.storage.plicache import DEFAULT_BUDGET_BYTES
 from repro.service.changelog import DELETE, INSERT, ChangelogRecord, scan_file
 from repro.service.snapshots import SnapshotManager
 from repro.storage.relation import Relation
@@ -98,13 +99,18 @@ def recover(
     holistic_fallback: Callable[[], tuple[Relation, list[int], list[int]]]
     | None = None,
     index_quota: int | None = None,
+    parallelism: int = 0,
+    cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
 ) -> RecoveryResult:
     """Re-attach a :class:`SwanProfiler` from durable state.
 
     ``holistic_fallback`` -- called only when no snapshot is usable --
     must return ``(initial_relation, mucs, mnucs)`` for changelog
     sequence 0 (i.e. the profiled initial dataset); the whole changelog
-    is then replayed over it.
+    is then replayed over it. ``parallelism`` and ``cache_budget_bytes``
+    configure the rebuilt profiler -- and already speed up the replay
+    itself (same semantics as :class:`SwanProfiler`: ``0`` disables the
+    cache, ``None`` is unbounded).
     """
     started = time.perf_counter()
     scan = scan_file(changelog_path)
@@ -127,7 +133,14 @@ def recover(
             continue
         relation = snapshot.build_relation()
         mucs, mnucs = snapshot.stored_profile.masks_for(relation.schema)
-        profiler = SwanProfiler(relation, mucs, mnucs, index_quota=index_quota)
+        profiler = SwanProfiler(
+            relation,
+            mucs,
+            mnucs,
+            index_quota=index_quota,
+            parallelism=parallelism,
+            cache_budget_bytes=cache_budget_bytes,
+        )
         suffix = [record for record in scan.records if record.seq > seq]
         try:
             n_records, n_rows = replay_records(profiler, suffix)
@@ -162,7 +175,14 @@ def recover(
             f"longer on disk ({detail})"
         )
     relation, mucs, mnucs = holistic_fallback()
-    profiler = SwanProfiler(relation, mucs, mnucs, index_quota=index_quota)
+    profiler = SwanProfiler(
+        relation,
+        mucs,
+        mnucs,
+        index_quota=index_quota,
+        parallelism=parallelism,
+        cache_budget_bytes=cache_budget_bytes,
+    )
     n_records, n_rows = replay_records(profiler, list(scan.records))
     return RecoveryResult(
         profiler=profiler,

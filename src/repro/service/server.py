@@ -77,6 +77,7 @@ from repro.service.recovery import RecoveryResult, recover
 from repro.service.retry import RetryPolicy, retry_io
 from repro.service.sentinel import InvariantSentinel
 from repro.service.snapshots import SnapshotManager
+from repro.storage.plicache import DEFAULT_BUDGET_BYTES
 from repro.storage.relation import Relation
 
 SITE_ACK_REPLACE = fsops.register_site(
@@ -97,6 +98,7 @@ CHANGELOG_NAME = "changelog.wal"
 SNAPSHOT_DIR = "snapshots"
 STATUS_NAME = "status.json"
 LOCK_NAME = "lock"
+LOCK_ERR_NAME = "lock.err"
 DEADLETTER_DIR = "deadletter"
 
 
@@ -323,6 +325,8 @@ class ServiceConfig:
     sentinel_masks: int = 12  # MUCs/MNUCs spot-verified per check
     sentinel_pairs: int = 24  # random row pairs sampled per check
     health_reset_batches: int = 16  # clean batches to heal DEGRADED
+    parallelism: int = 0  # fan-out worker threads (0/1 = serial)
+    cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES  # 0 = cache off
 
 
 class ProfilingService:
@@ -434,6 +438,8 @@ class ProfilingService:
                     self._changelog_path,
                     holistic_fallback=holistic_fallback,
                     index_quota=self.config.index_quota,
+                    parallelism=self.config.parallelism,
+                    cache_budget_bytes=self.config.cache_budget_bytes,
                 )
             self.last_recovery = result
             profiler = result.profiler
@@ -449,6 +455,8 @@ class ProfilingService:
                     initial,
                     algorithm=self.config.algorithm,
                     index_quota=self.config.index_quota,
+                    parallelism=self.config.parallelism,
+                    cache_budget_bytes=self.config.cache_budget_bytes,
                 )
             watches = self.config.watches
         else:
@@ -500,6 +508,8 @@ class ProfilingService:
                     self._changelog = None
             finally:
                 self._changelog = None
+                if self.monitor is not None:
+                    self.monitor.profiler.close()
                 self.monitor = None
                 self._release_lock()
 
@@ -517,6 +527,8 @@ class ProfilingService:
             except OSError:
                 pass
             self._changelog = None
+        if self.monitor is not None:
+            self.monitor.profiler.close()
         self.monitor = None
         self._release_lock()
 
@@ -538,10 +550,21 @@ class ProfilingService:
             handle.seek(0)
             owner = handle.read().strip()
             handle.close()
-            raise ProfileStateError(
+            message = (
                 f"data directory {self.data_dir!r} is locked by another "
                 "running service" + (f" (pid {owner})" if owner else "")
-            ) from None
+            )
+            # Leave the lock-holder diagnostic *inside* the state dir
+            # (it used to land in the process CWD, which is how a stray
+            # lock.err once ended up committed to the repo root).
+            try:
+                with open(
+                    os.path.join(self.data_dir, LOCK_ERR_NAME), "w"
+                ) as diag:
+                    diag.write(message + "\n")
+            except OSError:
+                pass
+            raise ProfileStateError(message) from None
         handle.seek(0)
         handle.truncate()
         handle.write(f"{os.getpid()}\n")
@@ -961,6 +984,8 @@ class ProfilingService:
                     relation,
                     algorithm=self.config.algorithm,
                     index_quota=self.config.index_quota,
+                    parallelism=self.config.parallelism,
+                    cache_budget_bytes=self.config.cache_budget_bytes,
                 )
         except Exception as rebuild_exc:
             self.health.mark_failed(
@@ -971,6 +996,7 @@ class ProfilingService:
             raise ServiceHealthError(
                 f"profile diverged and could not be rebuilt: {rebuild_exc}"
             ) from rebuild_exc
+        self.monitor.profiler.close()
         self.monitor = UniqueConstraintMonitor(profiler)
         for watch in watches:
             self.monitor.watch(list(watch))
@@ -1031,6 +1057,13 @@ class ProfilingService:
         self.metrics.gauge("n_mnucs").set(len(profile.mnucs))
         self.metrics.gauge("health_state").set(self.health.severity)
         self.metrics.gauge("dead_letters").set(self.dead_letters.count())
+        cache_stats = profiler.cache_stats()
+        for key in ("hits", "misses", "evictions", "entries", "bytes"):
+            self.metrics.gauge(f"pli_cache_{key}").set(cache_stats.get(key, 0))
+        pool_stats = profiler.pool_stats()
+        self.metrics.gauge("pool_workers").set(pool_stats["workers"])
+        self.metrics.gauge("pool_tasks").set(pool_stats["tasks"])
+        self.metrics.gauge("pool_utilization").set(pool_stats["utilization"])
         if self._changelog is not None:
             self.metrics.gauge("changelog_seq").set(self._changelog.last_seq)
             if os.path.exists(self._changelog_path):

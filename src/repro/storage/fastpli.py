@@ -113,6 +113,52 @@ class ArrayPli:
         for start, stop in zip(boundaries[:-1], boundaries[1:]):
             yield frozenset(int(tuple_id) for tuple_id in ids[start:stop])
 
+    def clusters_containing_ids(self, tuple_ids: np.ndarray) -> "ArrayPli":
+        """The entries of clusters containing any of ``tuple_ids``.
+
+        This is the *restricted* partition of Section IV-B: when
+        checking whether a delete batch destroyed a non-unique, only
+        position lists that contained deleted tuples matter. Labels are
+        kept as-is (intersection only needs them distinct per cluster).
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if not self.ids.size or not tuple_ids.size:
+            return ArrayPli(empty, empty, self.capacity)
+        hit = self.dense[tuple_ids]
+        hit = hit[hit >= 0]
+        if not hit.size:
+            return ArrayPli(empty, empty, self.capacity)
+        wanted = np.zeros(self._span, dtype=bool)
+        wanted[hit] = True
+        keep = wanted[self.labels]
+        return ArrayPli(self.ids[keep], self.labels[keep], self.capacity)
+
+    def without_ids(self, doomed: np.ndarray) -> "ArrayPli":
+        """The partition after deleting the flagged tuple IDs.
+
+        ``doomed`` is a boolean array over the tuple-ID space
+        (``capacity`` long). Deletes can only shrink position lists, so
+        filtering a partition of the pre-delete state yields exactly
+        the partition of the post-delete state: surviving members keep
+        their cluster label and groups falling under two members are
+        dropped. This is what lets the cross-batch partition cache
+        serve last batch's partitions against this batch's deletes.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if not self.ids.size:
+            return ArrayPli(empty, empty, self.capacity)
+        keep = ~doomed[self.ids]
+        ids = self.ids[keep]
+        labels = self.labels[keep]
+        if ids.size:
+            counts = np.bincount(labels, minlength=self._span)
+            survivors = counts[labels] >= 2
+            ids = ids[survivors]
+            labels = labels[survivors]
+        if not ids.size:
+            return ArrayPli(empty, empty, self.capacity)
+        return ArrayPli(ids, labels, self.capacity)
+
     # ------------------------------------------------------------------
     # Intersection
     # ------------------------------------------------------------------
@@ -142,10 +188,11 @@ class ArrayPli:
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         ids = ids[order]
-        new_group = np.r_[True, keys[1:] != keys[:-1]]
+        new_group = np.empty(keys.size, dtype=bool)
+        new_group[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=new_group[1:])
         labels = np.cumsum(new_group) - 1
-        boundaries = np.flatnonzero(np.r_[new_group, True])
-        sizes = np.diff(boundaries)
+        sizes = np.diff(np.flatnonzero(new_group), append=keys.size)
         in_real_group = np.repeat(sizes >= 2, sizes)
         return ArrayPli(ids[in_real_group], labels[in_real_group], self.capacity)
 

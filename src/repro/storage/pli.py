@@ -237,22 +237,55 @@ def pli_for_combination(
     relation: Relation,
     mask: int,
     column_plis: dict[int, PositionListIndex],
+    cache: "object | None" = None,
+    generation: int = 0,
 ) -> PositionListIndex:
     """Cross-intersect per-column PLIs to obtain the PLI of ``mask``.
 
     Intersections are ordered smallest-first, which keeps intermediate
     results small; an intermediate empty PLI short-circuits.
+
+    The returned PLI is always the caller's to mutate: whenever the
+    computation would alias a maintained column PLI -- one column, or
+    an early break before the first intersection because the cheapest
+    column has no duplicates -- a copy is returned instead. (An aliased
+    return used to hand callers the live value-tracking index, where a
+    ``remove_ids`` or later column ``add`` silently corrupted it.)
+
+    ``cache`` is an optional
+    :class:`~repro.storage.plicache.PartitionCache`; hits and stored
+    results are keyed on the relation's applied-batch ``generation`` so
+    a stale partition is never served. Cached objects stay internal --
+    the caller always receives a private copy.
     """
     columns = sorted(iter_bits(mask), key=lambda c: column_plis[c].n_entries())
     if not columns:
         # The empty combination clusters every pair of live tuples.
         ids = list(relation.iter_ids())
         return PositionListIndex.from_clusters([ids] if len(ids) >= 2 else [])
+    if cache is not None:
+        hit = cache.get(mask, generation, kind="pli")
+        if hit is not None:
+            return hit.copy()
+    derived = False
     current = column_plis[columns[0]]
-    for column in columns[1:]:
+    remaining = columns[1:]
+    if cache is not None and remaining:
+        found = cache.best_ancestor(mask, generation, kind="pli")
+        if found is not None:
+            seed_mask, seed = found
+            current = seed
+            remaining = sorted(
+                iter_bits(mask & ~seed_mask),
+                key=lambda c: column_plis[c].n_entries(),
+            )
+    for column in remaining:
         if not current.has_duplicates:
             break
         current = current.intersect(column_plis[column])
-    if len(columns) == 1:
-        current = current.copy()
-    return current
+        derived = True
+    result = current if derived else current.copy()
+    if cache is not None:
+        cache.put(mask, generation, result, kind="pli")
+        return result.copy()
+    return result

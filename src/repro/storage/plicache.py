@@ -1,0 +1,234 @@
+"""Cross-batch partition cache for intersected PLIs.
+
+SWAN's dynamic cost is dominated by PLI intersections: every delete
+batch used to rebuild its derived partitions from the maintained
+per-column PLIs and throw them away when the batch committed. This
+module keeps those partitions alive *across* batches:
+
+* Entries are tagged with the relation's **applied-batch generation**.
+  Every committed insert/delete batch bumps the generation, so an entry
+  can only ever be served against the exact relation state it was
+  computed for -- a stale partition is evicted on sight, never
+  returned.
+* Lookup is **subset-aware**: a miss on mask K can still be seeded from
+  the cached entry whose column set is the largest subset of K at the
+  current generation (:meth:`PartitionCache.best_ancestor`). This
+  generalizes the single-parent probe the delete handler's per-batch
+  cache performed (``post_pli`` checking ``mask & ~bit``) to arbitrary
+  cached ancestors from *previous* batches.
+* Eviction is a **byte-budgeted LRU**: every ``put`` accounts an
+  estimated footprint and evicts least-recently-used entries until the
+  cache fits the budget again. Entries larger than the whole budget are
+  simply not stored.
+
+The cache stores both partition representations used in the codebase --
+:class:`~repro.storage.fastpli.ArrayPli` (vectorized delete-path
+descent) and :class:`~repro.storage.pli.PositionListIndex`
+(``pli_for_combination`` / ``approximation_degree``). Cached objects
+are treated as immutable: callers that may mutate a partition must copy
+it first (``pli_for_combination`` does).
+
+All operations take the cache lock, so the parallel fan-out executor
+(:mod:`repro.core.parallel`) can share one cache across worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
+
+# Rough per-entry overhead (object headers, dict slot, key).
+_ENTRY_OVERHEAD = 128
+# Estimated bytes per clustered tuple ID in a pointer-based PLI (the
+# set/dict entries dominate; numpy-backed partitions report exactly).
+_POINTER_ENTRY_COST = 96
+
+
+def partition_nbytes(partition: object) -> int:
+    """Estimated resident footprint of one cached partition."""
+    ids = getattr(partition, "ids", None)
+    if ids is not None:  # ArrayPli: exact array sizes
+        labels = getattr(partition, "labels", ids)
+        return int(ids.nbytes) + int(labels.nbytes) + _ENTRY_OVERHEAD
+    n_entries = partition.n_entries()
+    n_clusters = partition.n_clusters()
+    return _POINTER_ENTRY_COST * (n_entries + n_clusters) + _ENTRY_OVERHEAD
+
+
+@dataclass
+class CacheStats:
+    """Observable cache behaviour, published via ``stats()``."""
+
+    hits: int = 0
+    misses: int = 0
+    stale_misses: int = 0  # right mask, wrong generation (never served)
+    ancestor_seeds: int = 0  # misses rescued by a cached subset
+    stores: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale_misses": self.stale_misses,
+            "ancestor_seeds": self.ancestor_seeds,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class _Entry:
+    generation: int
+    partition: object
+    nbytes: int
+
+
+class PartitionCache:
+    """Generation-tagged, byte-budgeted LRU cache of derived partitions."""
+
+    def __init__(self, budget_bytes: int | None = DEFAULT_BUDGET_BYTES) -> None:
+        """``budget_bytes=None`` means unbounded; ``0`` stores nothing.
+
+        Entries are keyed by ``(kind, mask)`` -- the vectorized delete
+        descent caches :class:`~repro.storage.fastpli.ArrayPli` objects
+        under ``kind="array"`` while ``pli_for_combination`` caches
+        pointer-based PLIs under ``kind="pli"``; the two never collide
+        even though both speak column masks.
+        """
+        self._budget = budget_bytes
+        self._entries: "OrderedDict[tuple[str, int], _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def budget_bytes(self) -> int | None:
+        return self._budget
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                **self.stats.to_dict(),
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+            }
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(
+        self, mask: int, generation: int, kind: str = "array"
+    ) -> object | None:
+        """The cached partition of ``mask`` at exactly ``generation``.
+
+        An entry tagged with any other generation describes a different
+        relation state; it is dropped on the spot and the lookup misses.
+        """
+        key = (kind, mask)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.generation != generation:
+                self._drop(key, entry)
+                self.stats.misses += 1
+                self.stats.stale_misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.partition
+
+    def best_ancestor(
+        self, mask: int, generation: int, kind: str = "array"
+    ) -> tuple[int, object] | None:
+        """The cached entry whose mask is the largest proper subset of
+        ``mask`` at ``generation`` (the seed for a partial intersection).
+
+        The empty mask is never an ancestor: seeding from the
+        all-tuples partition is the same as starting from scratch.
+        """
+        best_mask = 0
+        best: object | None = None
+        with self._lock:
+            for (entry_kind, key), entry in self._entries.items():
+                if entry_kind != kind or entry.generation != generation:
+                    continue
+                if key and key != mask and key | mask == mask:
+                    if best is None or key.bit_count() > best_mask.bit_count():
+                        best_mask, best = key, entry.partition
+            if best is None:
+                return None
+            self._entries.move_to_end((kind, best_mask))
+            self.stats.ancestor_seeds += 1
+            return best_mask, best
+
+    # ------------------------------------------------------------------
+    # Insertion / invalidation
+    # ------------------------------------------------------------------
+    def put(
+        self, mask: int, generation: int, partition: object, kind: str = "array"
+    ) -> None:
+        """Store (or refresh) one partition, evicting LRU entries past
+        the byte budget."""
+        nbytes = partition_nbytes(partition)
+        if self._budget is not None and nbytes > self._budget:
+            return
+        key = (kind, mask)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(generation, partition, nbytes)
+            self._bytes += nbytes
+            self.stats.stores += 1
+            if self._budget is not None:
+                while self._bytes > self._budget and len(self._entries) > 1:
+                    victim, entry = self._entries.popitem(last=False)
+                    if victim == key:  # never evict what was just stored
+                        self._entries[victim] = entry
+                        self._entries.move_to_end(victim, last=False)
+                        break
+                    self._bytes -= entry.nbytes
+                    self.stats.evictions += 1
+
+    def put_many(
+        self,
+        partitions: Mapping[int, object],
+        generation: int,
+        kind: str = "array",
+    ) -> None:
+        """Publish a batch of partitions (e.g. a delete descent's cache)."""
+        for mask, partition in partitions.items():
+            self.put(mask, generation, partition, kind=kind)
+
+    def _drop(self, key: tuple[str, int], entry: _Entry) -> None:
+        del self._entries[key]
+        self._bytes -= entry.nbytes
+        self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionCache(entries={len(self._entries)}, "
+            f"bytes={self._bytes}, budget={self._budget})"
+        )

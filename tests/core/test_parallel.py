@@ -1,0 +1,94 @@
+"""Unit tests for the deterministic fan-out executor."""
+
+import threading
+
+import pytest
+
+from repro.core.parallel import FanOutPool
+
+
+class TestSerialPath:
+    def test_parallelism_zero_is_inactive(self):
+        pool = FanOutPool(0)
+        assert not pool.active
+        assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+        assert pool.stats.serial_batches == 1
+        assert pool.stats.fanout_batches == 0
+
+    def test_parallelism_one_is_inactive(self):
+        assert not FanOutPool(1).active
+
+    def test_single_item_runs_inline_even_when_active(self):
+        pool = FanOutPool(4)
+        thread_names = []
+        pool.map(lambda x: thread_names.append(threading.current_thread().name), [1])
+        assert thread_names == [threading.current_thread().name]
+        assert pool.stats.serial_batches == 1
+        pool.close()
+
+    def test_negative_parallelism_clamped(self):
+        assert FanOutPool(-3).parallelism == 0
+
+
+class TestFanOut:
+    def test_results_come_back_in_input_order(self):
+        pool = FanOutPool(4)
+        items = list(range(50))
+        try:
+            assert pool.map(lambda x: x * x, items) == [x * x for x in items]
+        finally:
+            pool.close()
+
+    def test_work_actually_leaves_the_calling_thread(self):
+        pool = FanOutPool(2)
+        names = pool.map(lambda _: threading.current_thread().name, range(8))
+        pool.close()
+        assert any(name.startswith("repro-fanout") for name in names)
+
+    def test_exception_propagates(self):
+        pool = FanOutPool(2)
+
+        def boom(x):
+            if x == 3:
+                raise ValueError("task failed")
+            return x
+
+        try:
+            with pytest.raises(ValueError, match="task failed"):
+                pool.map(boom, range(8))
+        finally:
+            pool.close()
+
+    def test_stats_and_utilization(self):
+        pool = FanOutPool(4)
+        pool.map(lambda x: x, range(8))
+        pool.close()
+        assert pool.stats.tasks == 8
+        assert pool.stats.fanout_batches == 1
+        assert pool.stats.fanout_tasks == 8
+        assert pool.stats.utilization(4) == 2.0
+        stats = pool.stats_dict()
+        assert stats["workers"] == 4
+        assert stats["utilization"] == 2.0
+
+    def test_utilization_with_no_batches(self):
+        assert FanOutPool(4).stats.utilization(4) == 0.0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        pool = FanOutPool(2)
+        pool.map(lambda x: x, range(4))
+        pool.close()
+        pool.close()
+
+    def test_usable_after_close(self):
+        pool = FanOutPool(2)
+        pool.map(lambda x: x, range(4))
+        pool.close()
+        assert pool.map(lambda x: x + 1, range(4)) == [1, 2, 3, 4]
+        pool.close()
+
+    def test_context_manager(self):
+        with FanOutPool(2) as pool:
+            assert pool.map(lambda x: x, range(4)) == [0, 1, 2, 3]

@@ -1,0 +1,138 @@
+"""Parallel fan-out + partition cache == the serial, uncached path.
+
+Two profilers walk the same mixed insert/delete workload: the reference
+(serial, cache off) and the optimized one (worker threads, cross-batch
+partition cache). After every batch their profiles must be
+bit-identical, the optimized profile must verify against ground truth
+(the same invariant sentinel the chaos sweep runs), and every partition
+still cached at the current generation must equal a from-scratch
+rebuild -- while entries from older generations must never be served.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.swan import SwanProfiler
+from repro.service.sentinel import InvariantSentinel
+from repro.storage.pli import PositionListIndex
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+N_COLUMNS = 4
+
+row_strategy = st.tuples(
+    *([st.integers(min_value=0, max_value=2)] * N_COLUMNS)
+).map(lambda row: tuple(str(value) for value in row))
+
+relation_rows = st.lists(row_strategy, min_size=4, max_size=20)
+
+
+def build_relation(rows):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    return Relation.from_rows(schema, rows)
+
+
+def assert_cached_partitions_exact(profiler):
+    """Every live cache entry must equal a from-scratch rebuild."""
+    cache = profiler._partition_cache
+    relation = profiler.relation
+    generation = profiler.generation
+    for (kind, mask), entry in list(cache._entries.items()):
+        served = cache.get(mask, generation, kind=kind)
+        if entry.generation != generation:
+            # The tag mismatch makes this entry unservable, full stop.
+            assert served is None
+            continue
+        assert served is entry.partition
+        expected = set(PositionListIndex.for_mask(relation, mask).clusters())
+        assert set(served.clusters()) == expected, (kind, mask)
+
+
+@given(relation_rows, st.data())
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_parallel_cached_profile_is_bit_identical(rows, data):
+    serial = SwanProfiler.profile(
+        build_relation(rows),
+        algorithm="bruteforce",
+        parallelism=0,
+        cache_budget_bytes=0,
+    )
+    fancy = SwanProfiler.profile(
+        build_relation(rows),
+        algorithm="bruteforce",
+        parallelism=3,
+    )
+    assert fancy._partition_cache is not None
+    sentinel = InvariantSentinel()
+    try:
+        n_batches = data.draw(st.integers(min_value=1, max_value=4))
+        for _ in range(n_batches):
+            live = list(serial.relation.iter_ids())
+            if live and data.draw(st.booleans()):
+                count = data.draw(
+                    st.integers(min_value=1, max_value=min(len(live), 6))
+                )
+                doomed = data.draw(
+                    st.lists(
+                        st.sampled_from(live),
+                        min_size=count,
+                        max_size=count,
+                        unique=True,
+                    )
+                )
+                expected = serial.handle_deletes(doomed)
+                got = fancy.handle_deletes(doomed)
+            else:
+                batch = data.draw(
+                    st.lists(row_strategy, min_size=1, max_size=5)
+                )
+                expected = serial.handle_inserts(batch)
+                got = fancy.handle_inserts(batch)
+            assert got.mucs == expected.mucs
+            assert got.mnucs == expected.mnucs
+        sentinel.check(fancy, full=True)
+        assert fancy.generation == serial.generation == n_batches
+        assert_cached_partitions_exact(fancy)
+    finally:
+        serial.close()
+        fancy.close()
+
+
+@given(relation_rows, st.data())
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_generation_bump_invalidates_cached_partitions(rows, data):
+    """A partition cached before a batch commits is never served after.
+
+    Inserts bump the generation without touching the cache, so every
+    pre-existing entry must turn into a (stale) miss; the delete path
+    re-publishes under the new generation only.
+    """
+    profiler = SwanProfiler.profile(
+        build_relation(rows), algorithm="bruteforce", parallelism=0
+    )
+    cache = profiler._partition_cache
+    try:
+        live = list(profiler.relation.iter_ids())
+        count = data.draw(st.integers(min_value=1, max_value=min(len(live), 4)))
+        doomed = data.draw(
+            st.lists(
+                st.sampled_from(live), min_size=count, max_size=count, unique=True
+            )
+        )
+        profiler.handle_deletes(doomed)
+        published = {
+            (kind, mask)
+            for (kind, mask), entry in cache._entries.items()
+            if entry.generation == profiler.generation
+        }
+        profiler.handle_inserts(
+            data.draw(st.lists(row_strategy, min_size=1, max_size=3))
+        )
+        for kind, mask in published:
+            assert cache.get(mask, profiler.generation, kind=kind) is None
+        # The next delete batch repopulates -- correctly -- at the new tip.
+        survivors = list(profiler.relation.iter_ids())
+        profiler.handle_deletes(survivors[:1])
+        assert_cached_partitions_exact(profiler)
+    finally:
+        profiler.close()

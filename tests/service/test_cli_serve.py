@@ -54,6 +54,50 @@ class TestServeMain:
         status = json.loads(capsys.readouterr().out)
         assert status["gauges"]["live_rows"] == 3
 
+    def test_parallelism_and_cache_flags(self, tmp_path, csv_path, capsys):
+        state = str(tmp_path / "state")
+        assert (
+            serve_main(
+                [
+                    state,
+                    "--init",
+                    csv_path,
+                    "--no-fsync",
+                    "--parallelism",
+                    "2",
+                    "--cache-budget-mb",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        status = json.load(open(os.path.join(state, "status.json")))
+        assert status["gauges"]["pool_workers"] == 2
+
+    def test_negative_parallelism_rejected(self, tmp_path, csv_path, capsys):
+        assert (
+            serve_main(
+                [str(tmp_path / "state"), "--init", csv_path, "--parallelism", "-1"]
+            )
+            == 2
+        )
+        assert "parallelism" in capsys.readouterr().err
+
+    def test_negative_cache_budget_rejected(self, tmp_path, csv_path, capsys):
+        assert (
+            serve_main(
+                [
+                    str(tmp_path / "state"),
+                    "--init",
+                    csv_path,
+                    "--cache-budget-mb",
+                    "-4",
+                ]
+            )
+            == 2
+        )
+        assert "cache-budget" in capsys.readouterr().err
+
     def test_status_without_state(self, tmp_path, capsys):
         assert serve_main([str(tmp_path / "state"), "--status"]) == 1
         assert "no status file" in capsys.readouterr().err

@@ -374,6 +374,46 @@ class TestObservability:
         assert service.metrics.counter("muc_churn").value > 0
         service.stop()
 
+    def test_cache_and_pool_gauges_published(self, tmp_path):
+        service = make_service(
+            tmp_path, parallelism=2, status_every=1
+        ).start(initial=fresh_relation())
+        service.apply_delete_batch([2])
+        stats = service.stats()
+        for key in (
+            "pli_cache_hits",
+            "pli_cache_misses",
+            "pli_cache_evictions",
+            "pli_cache_entries",
+            "pli_cache_bytes",
+            "pool_workers",
+            "pool_tasks",
+            "pool_utilization",
+        ):
+            assert key in stats["gauges"], key
+        assert stats["gauges"]["pool_workers"] == 2
+        assert stats["gauges"]["pli_cache_entries"] > 0
+        status = json.load(
+            open(os.path.join(service.data_dir, "status.json"))
+        )
+        assert "pli_cache_entries" in status["gauges"]
+        service.stop()
+
+    def test_lock_diagnostic_lands_in_state_dir(self, tmp_path):
+        from repro.service.server import LOCK_ERR_NAME
+
+        service = make_service(tmp_path).start(initial=fresh_relation())
+        cwd_before = set(os.listdir(os.getcwd()))
+        with pytest.raises(ProfileStateError, match="locked by another"):
+            make_service(tmp_path).start()
+        diagnostic = os.path.join(service.data_dir, LOCK_ERR_NAME)
+        assert os.path.exists(diagnostic)
+        assert "locked by another" in open(diagnostic).read()
+        # Regression: the diagnostic used to be written to the CWD
+        # (and once got committed to the repo root).
+        assert set(os.listdir(os.getcwd())) == cwd_before
+        service.stop()
+
 
 class TestBatchValidation:
     def test_unknown_kind_not_logged(self, tmp_path):

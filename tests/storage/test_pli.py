@@ -155,3 +155,61 @@ class TestRemoveIds:
         clone.remove_ids([0, 1, 3])
         assert pli.has_duplicates
         assert not clone.has_duplicates
+
+
+class TestAliasing:
+    """pli_for_combination must never return a maintained column PLI.
+
+    Regression: the early-break multi-column path (cheapest column has
+    no duplicates, so the loop exits before the first intersect) used
+    to hand the caller the live value-tracking index itself; a
+    remove_ids on the "throwaway" result silently corrupted the
+    maintained PLI.
+    """
+
+    @pytest.fixture
+    def unique_first_relation(self):
+        # Column a is fully unique (cheapest, no duplicates -> early
+        # break); column b has duplicates.
+        schema = Schema(["a", "b"])
+        return Relation.from_rows(
+            schema,
+            [("u", "1"), ("v", "1"), ("w", "2"), ("x", "2")],
+        )
+
+    def test_single_column_returns_copy(self, relation):
+        plis = {0: PositionListIndex.for_column(relation, 0)}
+        result = pli_for_combination(relation, 0b001, plis)
+        assert result is not plis[0]
+        result.remove_ids([0, 1, 3])
+        assert plis[0].has_duplicates
+
+    def test_early_break_multi_column_returns_copy(self, unique_first_relation):
+        relation = unique_first_relation
+        plis = {
+            column: PositionListIndex.for_column(relation, column)
+            for column in range(2)
+        }
+        assert not plis[0].has_duplicates  # early break is really taken
+        result = pli_for_combination(relation, 0b011, plis)
+        assert result is not plis[0]
+        # Mutating the result must not leak into the maintained index...
+        result.remove_ids(list(range(4)))
+        assert plis[0].n_clusters() == 0 and not plis[0].has_duplicates
+        # ...and later index maintenance must not mutate the result: an
+        # insert of a repeated "u" clusters the maintained PLI but the
+        # returned snapshot stays empty.
+        plis[0].add("u", 4)
+        assert plis[0].has_duplicates
+        assert not result.has_duplicates
+
+    def test_maintained_pli_survives_caller_mutation(self, unique_first_relation):
+        relation = unique_first_relation
+        plis = {
+            column: PositionListIndex.for_column(relation, column)
+            for column in range(2)
+        }
+        before = clusters_of(plis[1])
+        result = pli_for_combination(relation, 0b010, plis)
+        result.remove_ids([0, 1, 2, 3])
+        assert clusters_of(plis[1]) == before

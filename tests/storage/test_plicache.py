@@ -1,0 +1,174 @@
+"""Unit tests for the cross-batch partition cache."""
+
+import numpy as np
+import pytest
+
+from repro.storage.fastpli import ArrayPli
+from repro.storage.pli import PositionListIndex
+from repro.storage.plicache import PartitionCache, partition_nbytes
+
+
+def array_pli(ids, labels, capacity=16):
+    return ArrayPli(
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(labels, dtype=np.int64),
+        capacity,
+    )
+
+
+@pytest.fixture
+def pli():
+    return array_pli([0, 1, 2, 3], [0, 0, 1, 1])
+
+
+class TestGenerationTagging:
+    def test_hit_at_matching_generation(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 5, pli)
+        assert cache.get(0b11, 5) is pli
+        assert cache.stats.hits == 1
+
+    def test_stale_generation_never_served(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 5, pli)
+        assert cache.get(0b11, 6) is None
+        assert cache.stats.stale_misses == 1
+        # The stale entry was dropped, not kept around.
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_older_generation_also_misses(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 5, pli)
+        assert cache.get(0b11, 4) is None
+
+    def test_miss_on_absent_mask(self):
+        cache = PartitionCache()
+        assert cache.get(0b1, 0) is None
+        assert cache.stats.misses == 1
+
+    def test_put_many_publishes_batch(self, pli):
+        cache = PartitionCache()
+        other = array_pli([4, 5], [0, 0])
+        cache.put_many({0b01: pli, 0b10: other}, generation=3)
+        assert cache.get(0b01, 3) is pli
+        assert cache.get(0b10, 3) is other
+
+
+class TestBestAncestor:
+    def test_largest_subset_wins(self, pli):
+        cache = PartitionCache()
+        small = array_pli([0, 1], [0, 0])
+        cache.put(0b001, 0, small)
+        cache.put(0b011, 0, pli)
+        found = cache.best_ancestor(0b111, 0)
+        assert found is not None
+        mask, partition = found
+        assert mask == 0b011
+        assert partition is pli
+        assert cache.stats.ancestor_seeds == 1
+
+    def test_exact_mask_is_not_its_own_ancestor(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 0, pli)
+        assert cache.best_ancestor(0b11, 0) is None
+
+    def test_wrong_generation_excluded(self, pli):
+        cache = PartitionCache()
+        cache.put(0b01, 1, pli)
+        assert cache.best_ancestor(0b11, 0) is None
+
+    def test_empty_mask_excluded(self, pli):
+        cache = PartitionCache()
+        cache.put(0, 0, pli)
+        assert cache.best_ancestor(0b11, 0) is None
+
+    def test_non_subset_excluded(self, pli):
+        cache = PartitionCache()
+        cache.put(0b101, 0, pli)
+        assert cache.best_ancestor(0b011, 0) is None
+
+
+class TestKinds:
+    def test_array_and_pointer_keyspaces_are_disjoint(self, pli):
+        cache = PartitionCache()
+        pointer = PositionListIndex.from_clusters([[0, 1]])
+        cache.put(0b11, 0, pli, kind="array")
+        cache.put(0b11, 0, pointer, kind="pli")
+        assert cache.get(0b11, 0, kind="array") is pli
+        assert cache.get(0b11, 0, kind="pli") is pointer
+
+    def test_ancestor_respects_kind(self, pli):
+        cache = PartitionCache()
+        cache.put(0b01, 0, pli, kind="array")
+        assert cache.best_ancestor(0b11, 0, kind="pli") is None
+
+
+class TestEviction:
+    def test_lru_eviction_under_budget(self):
+        one = array_pli([0, 1], [0, 0])
+        per_entry = partition_nbytes(one)
+        cache = PartitionCache(budget_bytes=2 * per_entry)
+        cache.put(0b001, 0, one)
+        cache.put(0b010, 0, array_pli([2, 3], [0, 0]))
+        # Touch the first entry so the second becomes LRU.
+        assert cache.get(0b001, 0) is one
+        cache.put(0b100, 0, array_pli([4, 5], [0, 0]))
+        assert cache.stats.evictions == 1
+        assert cache.get(0b010, 0) is None  # evicted
+        assert cache.get(0b001, 0) is one  # survived (recently used)
+        assert cache.current_bytes <= 2 * per_entry
+
+    def test_oversized_entry_not_stored(self, pli):
+        cache = PartitionCache(budget_bytes=1)
+        cache.put(0b11, 0, pli)
+        assert len(cache) == 0
+        assert cache.get(0b11, 0) is None
+
+    def test_zero_budget_stores_nothing(self, pli):
+        cache = PartitionCache(budget_bytes=0)
+        cache.put(0b11, 0, pli)
+        assert len(cache) == 0
+
+    def test_unbounded_budget(self, pli):
+        cache = PartitionCache(budget_bytes=None)
+        for mask in range(1, 40):
+            cache.put(mask, 0, pli)
+        assert len(cache) == 39
+        assert cache.stats.evictions == 0
+
+    def test_refresh_replaces_accounting(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 0, pli)
+        before = cache.current_bytes
+        cache.put(0b11, 1, pli)
+        assert len(cache) == 1
+        assert cache.current_bytes == before
+
+    def test_clear(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 0, pli)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+
+class TestAccounting:
+    def test_nbytes_array_pli(self, pli):
+        assert partition_nbytes(pli) >= pli.ids.nbytes + pli.labels.nbytes
+
+    def test_nbytes_pointer_pli(self):
+        pointer = PositionListIndex.from_clusters([[0, 1, 2], [3, 4]])
+        assert partition_nbytes(pointer) > 0
+
+    def test_stats_dict_shape(self, pli):
+        cache = PartitionCache()
+        cache.put(0b11, 0, pli)
+        cache.get(0b11, 0)
+        cache.get(0b01, 0)
+        stats = cache.stats_dict()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] == cache.current_bytes
