@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Vectorized insert-path speedup benchmark (dictionary-encoded core).
+
+Runs the same insert-heavy NCVoter-style workload through two insert
+pipelines over identical initial relations and profiles:
+
+* ``scalar``     -- the frozen pre-vectorization reference
+  (:mod:`repro.core.reference`): ``dict[value] -> set`` postings,
+  per-tuple index maintenance, tuple-hash duplicate grouping.
+* ``vectorized`` -- the live :class:`~repro.core.swan.SwanProfiler`
+  insert path: code-keyed sorted numpy postings, one vectorized index
+  pass per column, lexsort duplicate grouping.
+
+Every batch's (MUCS, MNUCS) must be bit-identical across the two
+pipelines and across rounds; the script aborts otherwise, so a "fast
+but wrong" result can never be recorded.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_insert_vector.py \
+        [--rows 20000] [--batches 10] [--batch-rows 200] [--rounds 3] \
+        [--output bench_results/BENCH_insert_vector.json] \
+        [--baseline benchmarks/baselines/bench_insert_vector.json] \
+        [--max-regression 2.0] [--min-speedup 0]
+
+Exit status: 0 on success; 1 when profiles diverge, when the speedup
+falls below ``--min-speedup``, or, with ``--baseline``, when the
+vectorized runtime regressed by more than ``--max-regression`` vs the
+committed baseline. Rounds are interleaved across pipelines and the
+minimum per pipeline is kept, so transient machine load cannot
+manufacture (or mask) a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.reference import ReferenceInsertRunner  # noqa: E402
+from repro.core.swan import SwanProfiler  # noqa: E402
+from repro.datasets.ncvoter import ncvoter_relation  # noqa: E402
+
+COLS = 20
+SEED = 7
+
+_DISCOVERY_CACHE: dict[int, tuple[list[int], list[int], list[int]]] = {}
+
+
+def _setup(rows: int) -> tuple[list[int], list[int], list[int]]:
+    """(mucs, mnucs, index_columns) of the deterministic initial relation.
+
+    Holistic discovery dominates a run and is identical for every round
+    and pipeline, so it is computed once per row count; Algorithm 3's
+    index cover is captured from the same profiler so both pipelines
+    probe exactly the same indexes.
+    """
+    if rows not in _DISCOVERY_CACHE:
+        relation = ncvoter_relation(rows, COLS, seed=SEED)
+        profiler = SwanProfiler.profile(
+            relation, algorithm="ducc", maintain_plis=False
+        )
+        profile = profiler.snapshot()
+        index_columns = sorted(profiler.indexed_columns)
+        profiler.close()
+        _DISCOVERY_CACHE[rows] = (
+            list(profile.mucs),
+            list(profile.mnucs),
+            index_columns,
+        )
+    return _DISCOVERY_CACHE[rows]
+
+
+def _insert_batches(batches: int, batch_rows: int) -> list[list[tuple]]:
+    """Insert-heavy traffic from a donor with overlapping value domains."""
+    donor = ncvoter_relation(batches * batch_rows, COLS, seed=SEED + 92)
+    rows = [donor.row(tuple_id) for tuple_id in donor.iter_ids()]
+    return [
+        rows[index * batch_rows : (index + 1) * batch_rows]
+        for index in range(batches)
+    ]
+
+
+def run_once(rows: int, batches: list[list[tuple]], pipeline: str):
+    mucs, mnucs, index_columns = _setup(rows)
+    relation = ncvoter_relation(rows, COLS, seed=SEED)
+    if pipeline == "vectorized":
+        driver = SwanProfiler(
+            relation,
+            mucs,
+            mnucs,
+            index_columns=index_columns,
+            maintain_plis=False,
+        )
+    else:
+        driver = ReferenceInsertRunner(relation, mucs, mnucs, index_columns)
+    profiles = []
+    started = time.perf_counter()
+    try:
+        for batch in batches:
+            outcome = driver.handle_inserts(batch)
+            profiles.append((sorted(outcome.mucs), sorted(outcome.mnucs)))
+        elapsed = time.perf_counter() - started
+        return elapsed, profiles
+    finally:
+        if pipeline == "vectorized":
+            driver.close()
+
+
+def run_benchmark(rows: int, n_batches: int, batch_rows: int, rounds: int):
+    batches = _insert_batches(n_batches, batch_rows)
+    times: dict[str, list[float]] = {"scalar": [], "vectorized": []}
+    reference_profiles = None
+    for _ in range(rounds):
+        for pipeline in times:
+            elapsed, profiles = run_once(rows, batches, pipeline)
+            times[pipeline].append(elapsed)
+            if reference_profiles is None:
+                reference_profiles = profiles
+            elif profiles != reference_profiles:
+                print(
+                    f"FATAL: {pipeline} produced a different per-batch "
+                    "profile than the reference run",
+                    file=sys.stderr,
+                )
+                raise SystemExit(1)
+    best = {pipeline: min(series) for pipeline, series in times.items()}
+    return {
+        "batches": n_batches,
+        "batch_rows": batch_rows,
+        "times_s": {
+            pipeline: [round(t, 4) for t in series]
+            for pipeline, series in times.items()
+        },
+        "best_s": {pipeline: round(t, 4) for pipeline, t in best.items()},
+        "speedup": round(best["scalar"] / best["vectorized"], 3),
+        "profiles_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_INSERT_ROWS", "20000")),
+    )
+    parser.add_argument("--batches", type=int, default=10)
+    parser.add_argument("--batch-rows", type=int, default=200)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when vectorized runtime exceeds baseline * this factor",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail when scalar/vectorized speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"== insert-vector benchmark (rows={args.rows}, "
+        f"batches={args.batches}x{args.batch_rows}, rounds={args.rounds})"
+    )
+    result = run_benchmark(args.rows, args.batches, args.batch_rows, args.rounds)
+    report = {
+        "benchmark": "insert_vector",
+        "rows": args.rows,
+        "columns": COLS,
+        "rounds": args.rounds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **result,
+    }
+    print(
+        f"   scalar {result['best_s']['scalar']:.3f}s"
+        f"  vectorized {result['best_s']['vectorized']:.3f}s"
+        f"  speedup {result['speedup']:.2f}x"
+    )
+
+    failed = False
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(
+            f"REGRESSION: speedup {result['speedup']:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.baseline and args.baseline.exists():
+        committed = json.loads(args.baseline.read_text())
+        limit = committed["best_s"]["vectorized"] * args.max_regression
+        if result["best_s"]["vectorized"] > limit:
+            print(
+                f"REGRESSION: vectorized runtime "
+                f"{result['best_s']['vectorized']:.3f}s exceeds "
+                f"{limit:.3f}s ({args.max_regression}x committed baseline)",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

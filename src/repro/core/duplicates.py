@@ -8,6 +8,15 @@ on the *indexed subset* of the minimal unique ("partial duplicates")
 fall out here, because grouping keys on the full projection (Alg. 5,
 ``removePartialDuplicates``).
 
+Grouping is vectorized: each participating column is dictionary-encoded
+once per batch (a code array over fetched + inserted rows, cached
+across the per-MUC calls), and one ``groups_for`` call lexsorts the
+projected code matrix and cuts it at key changes -- no Python-tuple
+hashing on the per-MUC hot path. The result is exactly the reference
+grouping: only groups of >= 2 members survive, and a group must
+contain at least one *inserted* tuple (old tuples only ever join a
+group an insert opened, as in the hash-bucket formulation).
+
 Each surviving group witnesses that its minimal unique broke. The
 group's *duplicate pairs* and their agree sets feed the exact
 new-uniques computation (DESIGN.md section 2).
@@ -18,10 +27,15 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.lattice.combination import columns_of
 from repro.profiling.verify import agree_set
+from repro.storage.encoding import encode_rows_local
 
 Row = tuple[Hashable, ...]
+
+_NO_SLOTS = np.empty(0, dtype=np.int64)
 
 
 def projector(indices: tuple[int, ...]) -> Callable[[Sequence], tuple]:
@@ -77,20 +91,145 @@ class DuplicateGroup:
 class DuplicateManager:
     """Groups retrieved and inserted tuples by minimal-unique projection."""
 
-    __slots__ = ("_old_rows", "_new_rows")
+    __slots__ = ("_old_rows", "_new_rows", "_ids", "_rows", "_n_old",
+                 "_old_slot", "_codes", "_relation", "_old_ids_sorted",
+                 "_new_slots", "_slot_cache", "_gather_cache",
+                 "_insert_sorted")
 
     def __init__(
         self,
         old_rows: Mapping[int, Row],
         new_rows: Mapping[int, Row],
+        relation=None,
     ) -> None:
         self._old_rows = dict(old_rows)
         self._new_rows = dict(new_rows)
+        # One flat row table: fetched old tuples first, then the batch.
+        self._ids: list[int] = list(self._old_rows) + list(self._new_rows)
+        self._rows: list[Row] = list(self._old_rows.values()) + list(
+            self._new_rows.values()
+        )
+        self._n_old = len(self._old_rows)
+        self._new_slots = np.arange(
+            self._n_old, len(self._rows), dtype=np.int64
+        )
+        # Retrieval returns old rows in ascending-ID order, so slot
+        # mapping is a binary search; the dict covers callers that
+        # constructed the manager from an unsorted mapping.
+        old_ids = np.fromiter(
+            self._old_rows, dtype=np.int64, count=self._n_old
+        )
+        if self._n_old > 1 and not bool(np.all(old_ids[1:] > old_ids[:-1])):
+            self._old_ids_sorted = None
+            self._old_slot: dict[int, int] | None = {
+                tuple_id: slot for slot, tuple_id in enumerate(self._old_rows)
+            }
+        else:
+            self._old_ids_sorted = old_ids
+            self._old_slot = None
+        # ``relation`` (when given) must be the store the old IDs refer
+        # to: its code arrays then provide the old rows' codes directly
+        # instead of re-encoding the fetched values row by row.
+        self._relation = relation
+        self._codes: dict[int, np.ndarray] = {}
+        # Per-batch memoization. Minimal uniques sharing a covering
+        # column set are handed the *same* candidate array by the
+        # inserts handler, so slot mapping and per-column code gathers
+        # are keyed by array identity (the source array is pinned in
+        # the value to keep ids stable).
+        self._slot_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._gather_cache: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._insert_sorted: dict[int, np.ndarray] = {}
 
     @property
     def retrieved_count(self) -> int:
         """Number of old tuples fetched from the initial dataset."""
         return len(self._old_rows)
+
+    def _column_codes(self, column: int) -> np.ndarray:
+        """Batch-local dictionary codes of one column, cached per column.
+
+        With a backing relation, old-row codes are gathered from its
+        code arrays and only the inserted rows are interned (values the
+        relation has never seen get fresh codes above its dictionary);
+        otherwise every row is encoded locally. Either scheme yields
+        code equality iff value equality, which is all grouping needs.
+        """
+        codes = self._codes.get(column)
+        if codes is None:
+            if self._relation is None:
+                codes = encode_rows_local(self._rows, column)
+            else:
+                encoding = self._relation.encoding.column(column)
+                old_codes = (
+                    self._relation.codes_for_ids(
+                        column,
+                        np.fromiter(
+                            self._old_rows, dtype=np.int64, count=self._n_old
+                        ),
+                    )
+                    if self._n_old
+                    else np.empty(0, dtype=np.int64)
+                )
+                fresh: dict[Hashable, int] = {}
+                next_code = encoding.n_codes
+                new_codes = np.empty(len(self._new_rows), dtype=np.int64)
+                for slot, row in enumerate(self._new_rows.values()):
+                    value = row[column]
+                    code = encoding.code_of(value)
+                    if code is None:
+                        code = fresh.get(value)
+                        if code is None:
+                            code = next_code
+                            next_code += 1
+                            fresh[value] = code
+                    new_codes[slot] = code
+                codes = np.concatenate([old_codes, new_codes])
+            self._codes[column] = codes
+        return codes
+
+    def _candidate_slots(self, cand: np.ndarray) -> np.ndarray:
+        """Map candidate tuple IDs to flat-table slots (unknown IDs drop)."""
+        cached = self._slot_cache.get(id(cand))
+        if cached is not None:
+            return cached[1]
+        if self._old_ids_sorted is not None:
+            positions = np.searchsorted(self._old_ids_sorted, cand)
+            positions[positions >= self._n_old] = 0
+            found = self._old_ids_sorted[positions] == cand
+            slots = np.unique(positions[found])
+        else:
+            get = self._old_slot.get
+            found_slots = {
+                slot
+                for slot in (get(int(t)) for t in cand.tolist())
+                if slot is not None
+            }
+            slots = np.fromiter(
+                sorted(found_slots), dtype=np.int64, count=len(found_slots)
+            )
+        self._slot_cache[id(cand)] = (cand, slots)
+        return slots
+
+    def _candidate_codes(self, slots: np.ndarray, column: int) -> np.ndarray:
+        """One column's codes over candidate slots, cached per array."""
+        key = (id(slots), column)
+        cached = self._gather_cache.get(key)
+        if cached is not None:
+            return cached[1]
+        codes = self._column_codes(column)[slots]
+        self._gather_cache[key] = (slots, codes)
+        return codes
+
+    def _insert_codes_sorted(self, column: int) -> np.ndarray:
+        """Sorted distinct codes the inserted rows carry on one column."""
+        targets = self._insert_sorted.get(column)
+        if targets is None:
+            targets = np.unique(self._column_codes(column)[self._n_old :])
+            self._insert_sorted[column] = targets
+        return targets
 
     def groups_for(
         self,
@@ -100,29 +239,83 @@ class DuplicateManager:
         """Duplicate groups of one minimal unique.
 
         ``candidate_old_ids`` are the IDs Algorithm 2 retrieved for this
-        minimal unique. A group is kept when it has >= 2 members; since
-        the minimal unique held on the old data, every group contains at
-        most one old tuple, and any group of size >= 2 contains at least
-        one insert -- i.e. every kept group is a genuine new violation.
+        minimal unique (duplicates are tolerated; unknown IDs are
+        ignored). A group is kept when it has >= 2 members and contains
+        an inserted tuple; since the minimal unique held on the old
+        data, every group contains at most one old tuple, and any kept
+        group is a genuine new violation.
         """
-        project = projector(columns_of(muc_mask))
-        buckets: dict[Row, list[tuple[int, Row]]] = {}
-        for tuple_id, row in self._new_rows.items():
-            buckets.setdefault(project(row), []).append((tuple_id, row))
-        old_rows = self._old_rows
-        buckets_get = buckets.get
-        for tuple_id in candidate_old_ids:
-            row = old_rows.get(tuple_id)
-            if row is None:  # pragma: no cover - defensive
-                continue
-            bucket = buckets_get(project(row))
-            if bucket is not None:
-                bucket.append((tuple_id, row))
-        return [
-            DuplicateGroup(key, members)
-            for key, members in buckets.items()
-            if len(members) >= 2
-        ]
+        cand = np.asarray(
+            candidate_old_ids
+            if isinstance(candidate_old_ids, np.ndarray)
+            else list(candidate_old_ids),
+            dtype=np.int64,
+        )
+        indices = columns_of(muc_mask)
+        if cand.size and self._n_old:
+            cand_slots = self._candidate_slots(cand)
+        else:
+            cand_slots = _NO_SLOTS
+        if indices and cand_slots.size:
+            # Prefilter: an old tuple can only join a kept group (key =
+            # full projection, >= 1 inserted member) if on *every* MUC
+            # column its code equals some insert's code. Necessary, not
+            # sufficient -- grouping below still keys on the full
+            # projection -- so the surviving set yields exactly the
+            # same groups while the lexsort shrinks from the candidate
+            # union to the handful of near-duplicates.
+            surviving: np.ndarray | None = None
+            for column in indices:
+                codes = self._candidate_codes(cand_slots, column)
+                targets = self._insert_codes_sorted(column)
+                if not targets.size:
+                    surviving = np.zeros(cand_slots.size, dtype=bool)
+                    break
+                positions = np.searchsorted(targets, codes)
+                positions[positions >= targets.size] = 0
+                hit = targets[positions] == codes
+                surviving = hit if surviving is None else surviving & hit
+            cand_slots = cand_slots[surviving]
+        if cand_slots.size:
+            chosen = np.concatenate([self._new_slots, cand_slots])
+        else:
+            chosen = self._new_slots
+        if chosen.size < 2:
+            return []
+        if indices:
+            keys = [self._column_codes(column)[chosen] for column in indices]
+            order = np.lexsort(keys[::-1])
+            ordered_slots = chosen[order]
+            changed = np.zeros(chosen.size, dtype=bool)
+            changed[0] = True
+            for key in keys:
+                ordered = key[order]
+                changed[1:] |= ordered[1:] != ordered[:-1]
+            starts = np.flatnonzero(changed)
+            stops = np.r_[starts[1:], chosen.size]
+        else:  # the empty projection: every selected tuple agrees
+            ordered_slots = chosen
+            starts = np.asarray([0])
+            stops = np.asarray([chosen.size])
+        # Vectorized group filter: size >= 2 and >= 1 inserted member
+        # (old tuples only group around an insert). Only the few
+        # surviving segments are materialized in Python.
+        new_counts = np.cumsum(ordered_slots >= self._n_old)
+        segment_news = new_counts[stops - 1] - np.where(
+            starts > 0, new_counts[starts - 1], 0
+        )
+        keep = np.flatnonzero((stops - starts >= 2) & (segment_news > 0))
+        project = projector(indices)
+        ids = self._ids
+        rows = self._rows
+        groups: list[DuplicateGroup] = []
+        for segment in keep.tolist():
+            member_slots = ordered_slots[starts[segment] : stops[segment]]
+            members = [
+                (ids[slot], rows[slot]) for slot in member_slots.tolist()
+            ]
+            groups.append(DuplicateGroup(project(members[0][1]), members))
+        return groups
 
 
 def batch_rows(rows: Sequence[Sequence[Hashable]], first_id: int) -> dict[int, Row]:

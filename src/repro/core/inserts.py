@@ -36,6 +36,7 @@ from repro.core.repository import ProfileRepository
 from repro.lattice.antichain import MaximalAntichain
 from repro.lattice.combination import columns_of, maximize, minimize
 from repro.lattice.transversal import minimal_unique_supersets
+from repro.storage.encoding import encode_rows_local, union_sorted
 from repro.storage.relation import Relation
 from repro.storage.sparse_index import RetrievalStats, SparseIndex
 from repro.storage.value_index import IndexPool
@@ -60,12 +61,7 @@ def batch_agree_antichain(rows: list[Row], n_columns: int) -> MaximalAntichain:
     lanes = (n_columns + 63) // 64
     planes = [np.zeros((n_rows, n_rows), dtype=np.uint64) for _ in range(lanes)]
     for column in range(n_columns):
-        codebook: dict[Hashable, int] = {}
-        codes = np.fromiter(
-            (codebook.setdefault(row[column], len(codebook)) for row in rows),
-            dtype=np.int64,
-            count=n_rows,
-        )
+        codes = encode_rows_local(rows, column)
         equal = codes[:, None] == codes[None, :]
         planes[column // 64] |= equal.astype(np.uint64) << np.uint64(column % 64)
     upper = np.triu_indices(n_rows, k=1)
@@ -106,13 +102,14 @@ class _LookupCache:
     """Alg. 2's cache of per-insert candidate sets keyed by column set.
 
     An entry under key CC (a mask of index columns already applied) maps
-    each inserted tuple's ID to the set of old tuple IDs agreeing with
-    it on every column of CC. An insert with no candidates left is
-    dropped from the mapping, so an empty mapping means "no duplicates
-    possible for any superset of CC".
+    each inserted tuple's ID to the sorted ID array of old tuples
+    agreeing with it on every column of CC. An insert with no candidates
+    left is dropped from the mapping, so an empty mapping means "no
+    duplicates possible for any superset of CC".
 
-    Entries are immutable once stored and any cached entry is a valid
-    (if partial) starting point, so sharing the cache across the
+    Entries are immutable once stored (the arrays are the indexes' own
+    read-only postings or fresh intersections) and any cached entry is a
+    valid (if partial) starting point, so sharing the cache across the
     parallel per-MUC fan-out is safe: the lock only protects the dict
     itself, and which thread's entry wins a race never changes the
     final candidate sets -- only how much probing is saved.
@@ -121,13 +118,13 @@ class _LookupCache:
     __slots__ = ("_entries", "_lock")
 
     def __init__(self) -> None:
-        self._entries: dict[int, dict[int, frozenset[int]]] = {}
+        self._entries: dict[int, dict[int, np.ndarray]] = {}
         self._lock = threading.Lock()
 
-    def largest_subset(self, mask: int) -> tuple[int, dict[int, frozenset[int]] | None]:
+    def largest_subset(self, mask: int) -> tuple[int, dict[int, np.ndarray] | None]:
         """The cached entry whose column set is the largest subset of ``mask``."""
         best_key = 0
-        best: dict[int, frozenset[int]] | None = None
+        best: dict[int, np.ndarray] | None = None
         with self._lock:
             for key, entry in self._entries.items():
                 if key and key | mask == mask:
@@ -135,7 +132,7 @@ class _LookupCache:
                         best_key, best = key, entry
         return best_key, best
 
-    def store(self, mask: int, entry: dict[int, frozenset[int]]) -> None:
+    def store(self, mask: int, entry: dict[int, np.ndarray]) -> None:
         with self._lock:
             self._entries[mask] = entry
 
@@ -166,8 +163,13 @@ class InsertsHandler:
         new_rows: Mapping[int, Row],
         cache: _LookupCache,
         stats: InsertStats,
-    ) -> dict[int, frozenset[int]]:
-        """Per-insert candidate old-tuple IDs for one minimal unique."""
+    ) -> dict[int, np.ndarray]:
+        """Per-insert candidate old-tuple IDs for one minimal unique.
+
+        Candidate sets are the indexes' sorted code-keyed posting arrays
+        (or ``np.intersect1d`` narrowings of them), so the per-column
+        intersection cascade runs on int64 arrays end to end.
+        """
         covering = [
             column for column in columns_of(muc_mask) if column in self._indexes
         ]
@@ -187,26 +189,30 @@ class InsertsHandler:
             stats.index_lookups += 1
             if current is None:
                 # First look-up: group inserts by their value so each
-                # distinct value is probed once (Alg. 2 line 11).
+                # distinct value is probed once (Alg. 2 line 11), then
+                # fetch all postings in one batched probe.
                 by_value: dict[Hashable, list[int]] = {}
                 for new_id, row in new_rows.items():
                     by_value.setdefault(row[column], []).append(new_id)
-                fresh: dict[int, frozenset[int]] = {}
-                for value, new_ids in by_value.items():
-                    posting = index.lookup(value)
-                    if posting:
+                postings = index.lookup_batch(list(by_value))
+                fresh: dict[int, np.ndarray] = {}
+                for new_ids, posting in zip(by_value.values(), postings):
+                    if posting.size:
                         for new_id in new_ids:
                             fresh[new_id] = posting
                 current = fresh
             else:
                 # lookUpAndIntersectIds: only probe values of inserts
                 # that survived the previous look-ups.
-                narrowed: dict[int, frozenset[int]] = {}
+                narrowed: dict[int, np.ndarray] = {}
                 for new_id, candidates in current.items():
-                    posting = index.lookup(new_rows[new_id][column])
-                    surviving = candidates & posting
-                    if surviving:
-                        narrowed[new_id] = surviving
+                    posting = index.lookup_array(new_rows[new_id][column])
+                    if posting.size:
+                        surviving = np.intersect1d(
+                            candidates, posting, assume_unique=True
+                        )
+                        if surviving.size:
+                            narrowed[new_id] = surviving
                 current = narrowed
             applied |= 1 << column
             cache.store(applied, current)
@@ -219,7 +225,7 @@ class InsertsHandler:
         muc_mask: int,
         new_rows: Mapping[int, Row],
         stats: InsertStats,
-    ) -> dict[int, frozenset[int]]:
+    ) -> dict[int, np.ndarray]:
         """Full-scan candidate retrieval for an uncovered minimal unique.
 
         Only reachable when the index cover is stale (e.g. between a
@@ -232,12 +238,16 @@ class InsertsHandler:
         for new_id, row in new_rows.items():
             key = tuple(row[index] for index in indices)
             wanted.setdefault(key, []).append(new_id)
-        result: dict[int, set[int]] = {}
+        result: dict[int, list[int]] = {}
         for tuple_id in self._relation.iter_ids():
             key = self._relation.project(tuple_id, muc_mask)
             for new_id in wanted.get(key, ()):
-                result.setdefault(new_id, set()).add(tuple_id)
-        return {new_id: frozenset(ids) for new_id, ids in result.items()}
+                result.setdefault(new_id, []).append(tuple_id)
+        # iter_ids is ascending, so the collected lists are sorted.
+        return {
+            new_id: np.asarray(ids, dtype=np.int64)
+            for new_id, ids in result.items()
+        }
 
     # ------------------------------------------------------------------
     # Algorithm 1 + 5: the full insert workflow
@@ -267,7 +277,7 @@ class InsertsHandler:
 
         def retrieve_one(
             muc_mask: int,
-        ) -> tuple[dict[int, frozenset[int]], InsertStats]:
+        ) -> tuple[dict[int, np.ndarray], InsertStats]:
             local = InsertStats()
             return self._retrieve_ids(muc_mask, new_rows, cache, local), local
 
@@ -275,31 +285,51 @@ class InsertsHandler:
             retrievals = self._pool.map(retrieve_one, old_mucs)
         else:
             retrievals = [retrieve_one(muc_mask) for muc_mask in old_mucs]
-        relevant_lookups: dict[int, dict[int, frozenset[int]]] = {}
-        all_candidates: set[int] = set()
+        relevant_lookups: dict[int, dict[int, np.ndarray]] = {}
         for muc_mask, (lookups, local) in zip(old_mucs, retrievals):
             stats.index_lookups += local.index_lookups
             stats.cache_hits += local.cache_hits
             stats.fallback_scans += local.fallback_scans
             relevant_lookups[muc_mask] = lookups
-            for candidates in lookups.values():
-                all_candidates |= candidates
-        stats.candidate_ids = len(all_candidates)
 
-        old_rows, retrieval = self._sparse.retrieve_tuples(all_candidates)
+        # Minimal uniques sharing a covering column set share the *same*
+        # cached lookup entry, and inserts sharing a value share posting
+        # objects -- so each union is computed once per distinct entry
+        # (at most one per indexed-column subset) over distinct arrays,
+        # not once per MUC over every per-insert candidate set.
+        entry_unions: dict[int, np.ndarray] = {}
+
+        def union_of(lookups: dict[int, np.ndarray]) -> np.ndarray:
+            cached = entry_unions.get(id(lookups))
+            if cached is None:
+                distinct = {id(array): array for array in lookups.values()}
+                cached = union_sorted(list(distinct.values()))
+                entry_unions[id(lookups)] = cached
+            return cached
+
+        muc_candidates = {
+            muc_mask: union_of(relevant_lookups[muc_mask])
+            for muc_mask in old_mucs
+        }
+        all_candidates = union_sorted(
+            list({id(a): a for a in muc_candidates.values()}.values())
+        )
+        stats.candidate_ids = int(all_candidates.size)
+
+        old_rows, retrieval = self._sparse.retrieve_tuples(
+            all_candidates.tolist()
+        )
         stats.retrieval = retrieval
         stats.tuples_retrieved = len(old_rows)
 
-        manager = DuplicateManager(old_rows, new_rows)
+        manager = DuplicateManager(old_rows, new_rows, relation=self._relation)
         n_columns = self._relation.n_columns
         new_muc_candidates: list[int] = []
         new_non_uniques: list[int] = list(old_mnucs)
         for muc_mask in old_mucs:
-            candidate_ids: set[int] = set()
-            for candidates in relevant_lookups[muc_mask].values():
-                candidate_ids |= candidates
+            candidate_ids = muc_candidates[muc_mask]
             if (
-                not candidate_ids
+                not candidate_ids.size
                 and batch_agrees is not None
                 and not batch_agrees.contains_superset_of(muc_mask)
             ):

@@ -1,0 +1,355 @@
+"""Frozen scalar reference implementation of the insert path.
+
+This module preserves the pre-vectorization insert pipeline -- Python
+``dict[value] -> set[int]`` postings probed one insert at a time,
+per-(column, tuple-id) index maintenance, and duplicate grouping by
+hashing Python value tuples -- exactly as it ran before the
+dictionary-encoded columnar core landed.
+
+It exists for two jobs:
+
+* **Equivalence testing.** The vectorized pipeline guarantees
+  bit-identical profiles; the property tests run random workloads
+  through both and compare per-batch MUCS/MNUCS.
+* **Regression benchmarking.** ``benchmarks/bench_insert_vector.py``
+  times the two pipelines on the same insert-heavy workload and gates
+  CI on the speedup.
+
+Nothing in the live system imports this module; do not "optimize" it --
+its value is that it stays scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.core.duplicates import DuplicateGroup, projector
+from repro.core.inserts import InsertOutcome, InsertStats, batch_agree_antichain
+from repro.core.repository import Profile, ProfileRepository
+from repro.lattice.antichain import MaximalAntichain
+from repro.lattice.combination import columns_of, maximize, minimize
+from repro.lattice.transversal import minimal_unique_supersets
+from repro.storage.relation import Relation
+from repro.storage.sparse_index import SparseIndex, sparse_index_for_relation
+
+Row = tuple[Hashable, ...]
+
+
+class ScalarValueIndex:
+    """The original inverted index: ``dict[value] -> set[tuple_id]``."""
+
+    __slots__ = ("_column", "_postings")
+
+    def __init__(self, column: int) -> None:
+        self._column = column
+        self._postings: dict[Hashable, set[int]] = {}
+
+    @classmethod
+    def build(cls, relation: Relation, column: int) -> "ScalarValueIndex":
+        index = cls(column)
+        for tuple_id, value in relation.column_values(column):
+            index.add(value, tuple_id)
+        return index
+
+    @property
+    def column(self) -> int:
+        return self._column
+
+    def add(self, value: Hashable, tuple_id: int) -> None:
+        self._postings.setdefault(value, set()).add(tuple_id)
+
+    def remove(self, value: Hashable, tuple_id: int) -> None:
+        posting = self._postings.get(value)
+        if posting is None:
+            return
+        posting.discard(tuple_id)
+        if not posting:
+            del self._postings[value]
+
+    def lookup(self, value: Hashable) -> frozenset[int]:
+        posting = self._postings.get(value)
+        return frozenset(posting) if posting else frozenset()
+
+
+class ScalarIndexPool:
+    """The original pool with nested per-(column, tuple) maintenance."""
+
+    __slots__ = ("_indexes",)
+
+    def __init__(self, indexes: Iterable[ScalarValueIndex] = ()) -> None:
+        self._indexes: dict[int, ScalarValueIndex] = {}
+        for index in indexes:
+            self._indexes[index.column] = index
+
+    @classmethod
+    def build(cls, relation: Relation, columns: Iterable[int]) -> "ScalarIndexPool":
+        return cls(
+            ScalarValueIndex.build(relation, column)
+            for column in sorted(set(columns))
+        )
+
+    def __contains__(self, column: int) -> bool:
+        return column in self._indexes
+
+    def get(self, column: int) -> ScalarValueIndex:
+        return self._indexes[column]
+
+    def register_inserts(self, relation: Relation, tuple_ids: Iterable[int]) -> None:
+        ids = list(tuple_ids)
+        for column, index in self._indexes.items():
+            for tuple_id in ids:
+                index.add(relation.value(tuple_id, column), tuple_id)
+
+    def register_deletes(self, rows_by_id: dict[int, tuple]) -> None:
+        for column, index in self._indexes.items():
+            for tuple_id, row in rows_by_id.items():
+                index.remove(row[column], tuple_id)
+
+
+class ScalarDuplicateManager:
+    """The original duplicate manager: buckets keyed on value tuples."""
+
+    __slots__ = ("_old_rows", "_new_rows")
+
+    def __init__(
+        self,
+        old_rows: Mapping[int, Row],
+        new_rows: Mapping[int, Row],
+    ) -> None:
+        self._old_rows = dict(old_rows)
+        self._new_rows = dict(new_rows)
+
+    def groups_for(
+        self,
+        muc_mask: int,
+        candidate_old_ids: Iterable[int],
+    ) -> list[DuplicateGroup]:
+        project = projector(columns_of(muc_mask))
+        buckets: dict[Row, list[tuple[int, Row]]] = {}
+        for tuple_id, row in self._new_rows.items():
+            buckets.setdefault(project(row), []).append((tuple_id, row))
+        old_rows = self._old_rows
+        buckets_get = buckets.get
+        for tuple_id in candidate_old_ids:
+            row = old_rows.get(tuple_id)
+            if row is None:  # pragma: no cover - defensive
+                continue
+            bucket = buckets_get(project(row))
+            if bucket is not None:
+                bucket.append((tuple_id, row))
+        return [
+            DuplicateGroup(key, members)
+            for key, members in buckets.items()
+            if len(members) >= 2
+        ]
+
+
+class _ScalarLookupCache:
+    """The original (frozenset-valued) Alg. 2 look-up cache."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[int, dict[int, frozenset[int]]] = {}
+
+    def largest_subset(
+        self, mask: int
+    ) -> tuple[int, dict[int, frozenset[int]] | None]:
+        best_key = 0
+        best: dict[int, frozenset[int]] | None = None
+        for key, entry in self._entries.items():
+            if key and key | mask == mask:
+                if best is None or key.bit_count() > best_key.bit_count():
+                    best_key, best = key, entry
+        return best_key, best
+
+    def store(self, mask: int, entry: dict[int, frozenset[int]]) -> None:
+        self._entries[mask] = entry
+
+
+class ScalarInsertsHandler:
+    """The pre-vectorization inserts handler (Algorithms 1, 2, 5)."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        repository: ProfileRepository,
+        index_pool: ScalarIndexPool,
+        sparse_index: SparseIndex,
+    ) -> None:
+        self._relation = relation
+        self._repository = repository
+        self._indexes = index_pool
+        self._sparse = sparse_index
+
+    def _retrieve_ids(
+        self,
+        muc_mask: int,
+        new_rows: Mapping[int, Row],
+        cache: _ScalarLookupCache,
+        stats: InsertStats,
+    ) -> dict[int, frozenset[int]]:
+        covering = [
+            column for column in columns_of(muc_mask) if column in self._indexes
+        ]
+        if not covering:
+            return self._fallback_scan(muc_mask, new_rows, stats)
+
+        applied, current = cache.largest_subset(
+            sum(1 << column for column in covering)
+        )
+        if current is not None:
+            stats.cache_hits += 1
+            if not current:
+                return {}
+        remaining = [column for column in covering if not applied >> column & 1]
+        for column in remaining:
+            index = self._indexes.get(column)
+            stats.index_lookups += 1
+            if current is None:
+                by_value: dict[Hashable, list[int]] = {}
+                for new_id, row in new_rows.items():
+                    by_value.setdefault(row[column], []).append(new_id)
+                fresh: dict[int, frozenset[int]] = {}
+                for value, new_ids in by_value.items():
+                    posting = index.lookup(value)
+                    if posting:
+                        for new_id in new_ids:
+                            fresh[new_id] = posting
+                current = fresh
+            else:
+                narrowed: dict[int, frozenset[int]] = {}
+                for new_id, candidates in current.items():
+                    posting = index.lookup(new_rows[new_id][column])
+                    surviving = candidates & posting
+                    if surviving:
+                        narrowed[new_id] = surviving
+                current = narrowed
+            applied |= 1 << column
+            cache.store(applied, current)
+            if not current:
+                return {}
+        return current
+
+    def _fallback_scan(
+        self,
+        muc_mask: int,
+        new_rows: Mapping[int, Row],
+        stats: InsertStats,
+    ) -> dict[int, frozenset[int]]:
+        stats.fallback_scans += 1
+        indices = columns_of(muc_mask)
+        wanted: dict[Row, list[int]] = {}
+        for new_id, row in new_rows.items():
+            key = tuple(row[index] for index in indices)
+            wanted.setdefault(key, []).append(new_id)
+        result: dict[int, set[int]] = {}
+        for tuple_id in self._relation.iter_ids():
+            key = self._relation.project(tuple_id, muc_mask)
+            for new_id in wanted.get(key, ()):
+                result.setdefault(new_id, set()).add(tuple_id)
+        return {new_id: frozenset(ids) for new_id, ids in result.items()}
+
+    def handle(self, new_rows: Mapping[int, Row]) -> InsertOutcome:
+        stats = InsertStats(batch_size=len(new_rows))
+        old_mucs = self._repository.mucs
+        old_mnucs = self._repository.mnucs
+        if not new_rows:
+            return InsertOutcome(list(old_mucs), list(old_mnucs), stats)
+
+        batch_agrees: MaximalAntichain | None = None
+        if len(new_rows) ** 2 < max(4096, len(old_mucs) * len(new_rows)):
+            batch_agrees = batch_agree_antichain(
+                list(new_rows.values()), self._relation.n_columns
+            )
+
+        cache = _ScalarLookupCache()
+        relevant_lookups: dict[int, dict[int, frozenset[int]]] = {}
+        all_candidates: set[int] = set()
+        for muc_mask in old_mucs:
+            lookups = self._retrieve_ids(muc_mask, new_rows, cache, stats)
+            relevant_lookups[muc_mask] = lookups
+            for candidates in lookups.values():
+                all_candidates |= candidates
+        stats.candidate_ids = len(all_candidates)
+
+        old_rows, retrieval = self._sparse.retrieve_tuples(all_candidates)
+        stats.retrieval = retrieval
+        stats.tuples_retrieved = len(old_rows)
+
+        manager = ScalarDuplicateManager(old_rows, new_rows)
+        n_columns = self._relation.n_columns
+        new_muc_candidates: list[int] = []
+        new_non_uniques: list[int] = list(old_mnucs)
+        for muc_mask in old_mucs:
+            candidate_ids: set[int] = set()
+            for candidates in relevant_lookups[muc_mask].values():
+                candidate_ids |= candidates
+            if (
+                not candidate_ids
+                and batch_agrees is not None
+                and not batch_agrees.contains_superset_of(muc_mask)
+            ):
+                new_muc_candidates.append(muc_mask)
+                continue
+            groups = manager.groups_for(muc_mask, candidate_ids)
+            if not groups:
+                new_muc_candidates.append(muc_mask)
+                continue
+            stats.broken_mucs += 1
+            stats.duplicate_groups += len(groups)
+            muc_agree_sets: set[int] = set()
+            for group in groups:
+                muc_agree_sets |= group.agree_sets()
+            new_non_uniques.extend(muc_agree_sets)
+            new_muc_candidates.extend(
+                minimal_unique_supersets(muc_mask, muc_agree_sets, n_columns)
+            )
+
+        return InsertOutcome(
+            mucs=minimize(new_muc_candidates),
+            mnucs=maximize(new_non_uniques),
+            stats=stats,
+        )
+
+
+class ReferenceInsertRunner:
+    """Drives insert batches through the scalar pipeline end to end.
+
+    Mirrors :meth:`SwanProfiler.handle_inserts` -- analyse first, then
+    commit storage and indexes -- so per-batch profiles are directly
+    comparable with the vectorized facade on the same workload.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        mucs: Iterable[int],
+        mnucs: Iterable[int],
+        index_columns: Sequence[int],
+    ) -> None:
+        self._relation = relation
+        self._repository = ProfileRepository(mucs, mnucs)
+        self._indexes = ScalarIndexPool.build(relation, index_columns)
+        self._sparse = sparse_index_for_relation(relation)
+        self._handler = ScalarInsertsHandler(
+            relation, self._repository, self._indexes, self._sparse
+        )
+        self.last_stats: InsertStats | None = None
+
+    def snapshot(self) -> Profile:
+        return self._repository.snapshot()
+
+    def handle_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
+        first_id = self._relation.next_tuple_id
+        new_rows = {
+            first_id + offset: tuple(row) for offset, row in enumerate(rows)
+        }
+        outcome = self._handler.handle(new_rows)
+        self.last_stats = outcome.stats
+        inserted_ids = self._relation.insert_many(rows)
+        self._indexes.register_inserts(self._relation, inserted_ids)
+        for tuple_id in inserted_ids:
+            self._sparse.register(tuple_id, tuple_id)
+        self._repository.replace(outcome.mucs, outcome.mnucs)
+        return self._repository.snapshot()

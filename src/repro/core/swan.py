@@ -207,6 +207,10 @@ class SwanProfiler:
             return {}
         return self._partition_cache.stats_dict()
 
+    def encoding_stats(self) -> dict[str, int]:
+        """Dictionary-encoding sizes of the storage core."""
+        return self._relation.encoding.stats_dict()
+
     def pool_stats(self) -> dict[str, float]:
         """Fan-out executor counters."""
         return self._pool.stats_dict()
@@ -351,7 +355,7 @@ class SwanProfiler:
             self._relation.delete(tuple_id)
             for column, pli in self._plis.items():
                 pli.remove(row[column], tuple_id)
-        self._index_pool.register_deletes(deleted_rows)
+        self._index_pool.register_deletes(deleted_rows, relation=self._relation)
         self._sparse.forget(deleted_rows)
         self._repository.replace(outcome.mucs, outcome.mnucs)
         # The descent's partitions describe the post-delete state, which
@@ -367,6 +371,18 @@ class SwanProfiler:
         # applied again"); extend the cover if a new MUC escaped it.
         self._ensure_index_cover()
         return self._repository.snapshot()
+
+    def compact_storage(self) -> int:
+        """Reclaim tombstoned storage in place; tuple IDs survive.
+
+        Everything SWAN maintains is keyed by tuple ID or dictionary
+        code -- value-index postings, per-column PLIs, sparse-index
+        offsets, cached partitions -- and :meth:`Relation.compact_in_place`
+        keeps both stable, so no derived structure needs rebuilding and
+        the profile is untouched. Returns the number of tombstones
+        reclaimed.
+        """
+        return self._relation.compact_in_place()
 
     def _ensure_index_cover(self) -> None:
         indexed = self._index_pool.columns

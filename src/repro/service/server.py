@@ -327,6 +327,8 @@ class ServiceConfig:
     health_reset_batches: int = 16  # clean batches to heal DEGRADED
     parallelism: int = 0  # fan-out worker threads (0/1 = serial)
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES  # 0 = cache off
+    compact_live_fraction: float = 0.5  # compact storage below this live share (0 = off)
+    compact_min_rows: int = 1024  # storage rows before compaction is considered
 
 
 class ProfilingService:
@@ -684,6 +686,7 @@ class ProfilingService:
             for sink in self._event_sinks:
                 sink(event)
         self.health.note_clean_batch(self.config.health_reset_batches)
+        self._maybe_compact()
         self._refresh_gauges()
         self._batches_since_snapshot += 1
         self._batches_since_status += 1
@@ -705,6 +708,26 @@ class ProfilingService:
         ):
             self.run_sentinel()
         return after
+
+    def _maybe_compact(self) -> None:
+        """Reclaim tombstoned storage once the live fraction sinks.
+
+        Tuple IDs survive :meth:`SwanProfiler.compact_storage`, so
+        value indexes, PLIs, sparse-index offsets, the changelog and
+        snapshots are all unaffected -- this is purely a
+        storage-density operation and needs no durability step.
+        """
+        if self.monitor is None or self.config.compact_live_fraction <= 0:
+            return
+        relation = self.monitor.profiler.relation
+        if relation.storage_rows < self.config.compact_min_rows:
+            return
+        if relation.live_fraction >= self.config.compact_live_fraction:
+            return
+        with self.metrics.time("compact_seconds"):
+            reclaimed = self.monitor.profiler.compact_storage()
+        self.metrics.counter("compactions").inc()
+        self.metrics.counter("tombstones_reclaimed").inc(reclaimed)
 
     def _validate_batch(self, batch: Batch) -> None:
         """Reject a malformed batch *before* it reaches the changelog.
@@ -1028,6 +1051,11 @@ class ProfilingService:
             "health": self.health.state.value,
             "last_error": self.health.last_error,
             "dead_letters": self.dead_letters.count(),
+            "encoding": (
+                self.monitor.profiler.encoding_stats()
+                if self.monitor is not None
+                else None
+            ),
             **self.metrics.to_dict(),
         }
 
@@ -1044,6 +1072,7 @@ class ProfilingService:
                 "health": self.health.state.value,
                 "last_error": self.health.last_error,
                 "dead_letters": self.dead_letters.count(),
+                "encoding": self.monitor.profiler.encoding_stats(),
             },
         )
 
@@ -1064,6 +1093,27 @@ class ProfilingService:
         self.metrics.gauge("pool_workers").set(pool_stats["workers"])
         self.metrics.gauge("pool_tasks").set(pool_stats["tasks"])
         self.metrics.gauge("pool_utilization").set(pool_stats["utilization"])
+        self.metrics.gauge("storage_rows").set(profiler.relation.storage_rows)
+        self.metrics.gauge("tombstone_rows").set(
+            profiler.relation.tombstone_count
+        )
+        encoding_stats = profiler.encoding_stats()
+        self.metrics.gauge("encoding_distinct_values").set(
+            encoding_stats["distinct_values"]
+        )
+        self.metrics.gauge("encoding_code_bytes").set(
+            encoding_stats["code_bytes"]
+        )
+        insert_stats = profiler.last_insert_stats
+        if insert_stats is not None:
+            retrieval = insert_stats.retrieval
+            self.metrics.gauge("retrieval_requested").set(retrieval.requested)
+            self.metrics.gauge("retrieval_random_seeks").set(
+                retrieval.random_seeks
+            )
+            self.metrics.gauge("retrieval_tuples_scanned").set(
+                retrieval.tuples_scanned
+            )
         if self._changelog is not None:
             self.metrics.gauge("changelog_seq").set(self._changelog.last_seq)
             if os.path.exists(self._changelog_path):

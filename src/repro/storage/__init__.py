@@ -5,6 +5,8 @@ This package is the "database" underneath the profiler:
 * :mod:`repro.storage.schema` -- column metadata and name resolution.
 * :mod:`repro.storage.relation` -- an in-memory columnar relation with
   stable tuple IDs, batch inserts, and tombstone deletes.
+* :mod:`repro.storage.encoding` -- incremental dictionary encoding
+  (value -> int code) backing the relation's vectorized code arrays.
 * :mod:`repro.storage.value_index` -- single-column inverted indexes
   (value -> tuple IDs), the structure SWAN's insert path probes.
 * :mod:`repro.storage.pli` -- position list indexes (PLIs), the
@@ -15,6 +17,7 @@ This package is the "database" underneath the profiler:
   disk-resident initial dataset.
 """
 
+from repro.storage.encoding import ColumnEncoding, RelationEncoding
 from repro.storage.pli import PositionListIndex
 from repro.storage.relation import Relation
 from repro.storage.schema import Column, Schema
@@ -23,8 +26,10 @@ from repro.storage.value_index import ValueIndex
 
 __all__ = [
     "Column",
+    "ColumnEncoding",
     "PositionListIndex",
     "Relation",
+    "RelationEncoding",
     "Schema",
     "SparseIndex",
     "ValueIndex",

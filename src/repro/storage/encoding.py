@@ -1,0 +1,213 @@
+"""Dictionary encoding for the columnar storage core.
+
+Every column of a :class:`~repro.storage.relation.Relation` maintains,
+next to its value store, a *dictionary encoding*: a value -> int code
+mapping plus a flat numpy array holding the code of every storage
+position. Equality-heavy work (index probing, candidate intersection,
+duplicate grouping) then runs on small integers at C speed, while the
+value-level ``Relation`` API stays exactly as before.
+
+Design notes
+------------
+* Codes are assigned in first-seen order and are never reused; the
+  dictionary only grows. A value that later disappears from the
+  relation keeps its code (postings for it simply become empty), so
+  codes handed out to indexes and caches stay valid forever.
+* Code identity follows Python equality, exactly like the ``dict`` /
+  ``set`` keyed structures the encoding replaces: two values receive
+  the same code iff they are equal (``==`` + ``hash``). ``decode``
+  returns the first-seen representative of the equality class; the
+  relation keeps the actual inserted objects for value-level access,
+  so round-trips through the *relation* are always exact.
+* The code array is a growable int64 buffer (capacity doubling), so
+  per-insert maintenance is amortized O(1) and batch reads are plain
+  numpy slices.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+_INITIAL_CAPACITY = 16
+
+
+class ColumnEncoding:
+    """Value <-> code dictionary plus the per-position code array."""
+
+    __slots__ = ("_code_of", "_values", "_codes", "_size")
+
+    def __init__(self) -> None:
+        self._code_of: dict[Hashable, int] = {}
+        self._values: list[Hashable] = []
+        self._codes = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Dictionary
+    # ------------------------------------------------------------------
+    @property
+    def n_codes(self) -> int:
+        """Number of distinct values ever seen (codes never shrink)."""
+        return len(self._values)
+
+    def encode(self, value: Hashable) -> int:
+        """The code for ``value``, interning it if unseen."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._code_of[value] = code
+            self._values.append(value)
+        return code
+
+    def code_of(self, value: Hashable) -> int | None:
+        """The code for ``value`` if it was ever seen, else ``None``."""
+        return self._code_of.get(value)
+
+    def decode(self, code: int) -> Hashable:
+        """The first-seen representative of the code's equality class."""
+        return self._values[code]
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._code_of
+
+    def __len__(self) -> int:
+        return self.n_codes
+
+    # ------------------------------------------------------------------
+    # The position -> code array
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of storage positions covered by the code array."""
+        return self._size
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The code of every storage position (a live view, do not mutate)."""
+        return self._codes[: self._size]
+
+    def append(self, value: Hashable) -> int:
+        """Intern ``value`` and record its code at the next position."""
+        code = self.encode(value)
+        if self._size == len(self._codes):
+            self._grow(self._size + 1)
+        self._codes[self._size] = code
+        self._size += 1
+        return code
+
+    def append_batch(self, values: Sequence[Hashable]) -> np.ndarray:
+        """Intern a batch of values; returns their codes (one pass)."""
+        count = len(values)
+        if self._size + count > len(self._codes):
+            self._grow(self._size + count)
+        encode = self.encode
+        out = self._codes[self._size : self._size + count]
+        for offset, value in enumerate(values):
+            out[offset] = encode(value)
+        self._size += count
+        return out.copy()
+
+    def codes_at(self, positions: np.ndarray) -> np.ndarray:
+        """Gather the codes of the given storage positions."""
+        return self._codes[: self._size][positions]
+
+    def compact(self, keep_positions: np.ndarray) -> None:
+        """Rewrite the code array to the surviving positions (in order).
+
+        The dictionary is left untouched: codes are stable identities,
+        so postings and caches keyed by code stay valid across storage
+        compaction.
+        """
+        kept = self._codes[: self._size][keep_positions]
+        self._codes = kept.copy()
+        self._size = len(kept)
+
+    def copy(self) -> "ColumnEncoding":
+        clone = ColumnEncoding.__new__(ColumnEncoding)
+        clone._code_of = dict(self._code_of)
+        clone._values = list(self._values)
+        clone._codes = self._codes[: self._size].copy()
+        clone._size = self._size
+        return clone
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(len(self._codes) * 2, needed, _INITIAL_CAPACITY)
+        grown = np.empty(capacity, dtype=np.int64)
+        grown[: self._size] = self._codes[: self._size]
+        self._codes = grown
+
+    def __repr__(self) -> str:
+        return f"ColumnEncoding(codes={self.n_codes}, positions={self._size})"
+
+
+class RelationEncoding:
+    """The per-column dictionary encodings of one relation."""
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, n_columns: int) -> None:
+        self._columns = [ColumnEncoding() for _ in range(n_columns)]
+
+    def column(self, column: int) -> ColumnEncoding:
+        return self._columns[column]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def append_row(self, row: Sequence[Hashable]) -> None:
+        for encoding, value in zip(self._columns, row):
+            encoding.append(value)
+
+    def compact(self, keep_positions: np.ndarray) -> None:
+        for encoding in self._columns:
+            encoding.compact(keep_positions)
+
+    def copy(self) -> "RelationEncoding":
+        clone = RelationEncoding.__new__(RelationEncoding)
+        clone._columns = [encoding.copy() for encoding in self._columns]
+        return clone
+
+    def stats_dict(self) -> dict[str, int]:
+        """Aggregate dictionary sizes, for service observability."""
+        distinct = sum(encoding.n_codes for encoding in self._columns)
+        positions = sum(encoding.size for encoding in self._columns)
+        return {
+            "columns": len(self._columns),
+            "distinct_values": distinct,
+            "encoded_cells": positions,
+            "code_bytes": positions * 8,
+        }
+
+
+def encode_rows_local(
+    rows: Sequence[Sequence[Hashable]], column: int
+) -> np.ndarray:
+    """Codes for one column of out-of-relation rows, batch-local.
+
+    Used where rows are not (yet) stored in a relation -- e.g. grouping
+    a pending insert batch together with fetched old tuples. Codes are
+    local to the call: equal values get equal codes, nothing is
+    interned anywhere.
+    """
+    code_of: dict[Hashable, int] = {}
+    out = np.empty(len(rows), dtype=np.int64)
+    for position, row in enumerate(rows):
+        value = row[column]
+        code = code_of.get(value)
+        if code is None:
+            code = len(code_of)
+            code_of[value] = code
+        out[position] = code
+    return out
+
+
+def union_sorted(arrays: Iterable[np.ndarray]) -> np.ndarray:
+    """The sorted union of several sorted unique int64 arrays."""
+    stacked = [array for array in arrays if array.size]
+    if not stacked:
+        return np.empty(0, dtype=np.int64)
+    if len(stacked) == 1:
+        return stacked[0]
+    return np.unique(np.concatenate(stacked))

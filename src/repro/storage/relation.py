@@ -7,12 +7,20 @@ meaningful.
 
 Storage model
 -------------
-* Column-major: ``_columns[c][p]`` is the value of column ``c`` at row
-  position ``p``.
-* A tuple ID equals its row position; IDs are append-only and never
-  reused.
-* Deletes are tombstones (``_live[p] = False``); periodically a caller
-  can :meth:`compact` into a fresh relation if desired.
+* Column-major: each column holds its values in storage-position order,
+  together with an incrementally maintained dictionary encoding
+  (:mod:`repro.storage.encoding`): a value -> int code mapping plus a
+  flat numpy code array. Vectorized consumers (value indexes, the
+  duplicate manager, the delete handler's partitions) work on the code
+  arrays; the value-level API below is unchanged.
+* A tuple ID is assigned at insert, is append-only, and is never
+  reused. Storage positions initially equal tuple IDs; after
+  :meth:`compact_in_place` an id -> position indirection keeps every
+  ID stable while tombstoned storage is reclaimed.
+* Deletes are tombstones (``_live[pos] = False``); under delete-heavy
+  workloads a caller reclaims the dead storage with
+  :meth:`compact_in_place` (IDs survive) or rebuilds a fresh relation
+  with :meth:`compact` (IDs renumbered).
 """
 
 from __future__ import annotations
@@ -20,8 +28,11 @@ from __future__ import annotations
 import csv
 from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import ArityError, TupleIdError
 from repro.lattice.combination import columns_of
+from repro.storage.encoding import RelationEncoding
 from repro.storage.schema import Schema
 
 Row = tuple[Hashable, ...]
@@ -30,13 +41,28 @@ Row = tuple[Hashable, ...]
 class Relation:
     """A mutable relational instance over a fixed :class:`Schema`."""
 
-    __slots__ = ("_schema", "_columns", "_live", "_live_count")
+    __slots__ = (
+        "_schema",
+        "_columns",
+        "_live",
+        "_live_count",
+        "_encoding",
+        "_ids",
+        "_pos",
+        "_next_id",
+    )
 
     def __init__(self, schema: Schema) -> None:
         self._schema = schema
         self._columns: list[list[Hashable]] = [[] for _ in range(len(schema))]
         self._live: list[bool] = []
         self._live_count = 0
+        self._encoding = RelationEncoding(len(schema))
+        # Position == tuple ID until the first in-place compaction;
+        # afterwards _ids maps position -> ID and _pos maps ID -> position.
+        self._ids: list[int] | None = None
+        self._pos: dict[int, int] | None = None
+        self._next_id = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,20 +115,53 @@ class Relation:
             )
         for column_store, value in zip(self._columns, row):
             column_store.append(value)
+        self._encoding.append_row(row)
+        tuple_id = self._next_id
+        if self._pos is not None:
+            self._pos[tuple_id] = len(self._live)
+            self._ids.append(tuple_id)  # type: ignore[union-attr]
         self._live.append(True)
         self._live_count += 1
-        return len(self._live) - 1
+        self._next_id += 1
+        return tuple_id
 
     def insert_many(self, rows: Iterable[Sequence[Hashable]]) -> list[int]:
-        """Append a batch of tuples; returns their tuple IDs."""
-        return [self.insert(row) for row in rows]
+        """Append a batch of tuples; returns their tuple IDs.
+
+        One pass per column (values and dictionary codes) instead of
+        one pass per cell.
+        """
+        batch = [tuple(row) for row in rows]
+        if not batch:
+            return []
+        n_columns = len(self._schema)
+        for row in batch:
+            if len(row) != n_columns:
+                raise ArityError(
+                    f"row has {len(row)} values, schema has "
+                    f"{n_columns} columns"
+                )
+        first_position = len(self._live)
+        for column, column_store in enumerate(self._columns):
+            values = [row[column] for row in batch]
+            column_store.extend(values)
+            self._encoding.column(column).append_batch(values)
+        tuple_ids = list(range(self._next_id, self._next_id + len(batch)))
+        if self._pos is not None:
+            for offset, tuple_id in enumerate(tuple_ids):
+                self._pos[tuple_id] = first_position + offset
+            self._ids.extend(tuple_ids)  # type: ignore[union-attr]
+        self._live.extend([True] * len(batch))
+        self._live_count += len(batch)
+        self._next_id += len(batch)
+        return tuple_ids
 
     def delete(self, tuple_id: int) -> Row:
         """Tombstone one tuple; returns the removed row."""
-        self._check_live(tuple_id)
-        self._live[tuple_id] = False
+        position = self._check_live(tuple_id)
+        self._live[position] = False
         self._live_count -= 1
-        return tuple(column[tuple_id] for column in self._columns)
+        return tuple(column[position] for column in self._columns)
 
     def delete_many(self, tuple_ids: Iterable[int]) -> list[Row]:
         """Tombstone a batch of tuples; returns the removed rows."""
@@ -111,6 +170,34 @@ class Relation:
     def compact(self) -> "Relation":
         """A fresh relation containing only the live rows (new IDs)."""
         return Relation.from_rows(self._schema, self.iter_rows())
+
+    def compact_in_place(self) -> int:
+        """Reclaim tombstoned storage; every live tuple keeps its ID.
+
+        Rewrites the value columns and code arrays down to the live
+        positions and installs the id -> position indirection. The code
+        dictionaries are untouched (codes are stable identities), so
+        value indexes, PLIs, sparse-index offsets and cached partitions
+        -- all keyed by tuple ID or code -- stay valid. Returns the
+        number of tombstones reclaimed.
+        """
+        reclaimed = len(self._live) - self._live_count
+        if reclaimed == 0:
+            return 0
+        keep = np.flatnonzero(np.asarray(self._live, dtype=bool))
+        ids = self._ids
+        self._columns = [
+            [column[position] for position in keep] for column in self._columns
+        ]
+        self._encoding.compact(keep)
+        if ids is None:
+            surviving = [int(position) for position in keep]
+        else:
+            surviving = [ids[position] for position in keep]
+        self._ids = surviving
+        self._pos = {tuple_id: index for index, tuple_id in enumerate(surviving)}
+        self._live = [True] * len(surviving)
+        return reclaimed
 
     # ------------------------------------------------------------------
     # Access
@@ -126,66 +213,139 @@ class Relation:
     @property
     def next_tuple_id(self) -> int:
         """The ID the next inserted tuple will receive."""
+        return self._next_id
+
+    @property
+    def encoding(self) -> RelationEncoding:
+        """The per-column dictionary encodings (see module docstring)."""
+        return self._encoding
+
+    @property
+    def storage_rows(self) -> int:
+        """Occupied storage positions (live rows + tombstones)."""
         return len(self._live)
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._live) - self._live_count
+
+    @property
+    def live_fraction(self) -> float:
+        """Live rows over occupied storage; 1.0 when storage is empty."""
+        return self._live_count / len(self._live) if self._live else 1.0
 
     def __len__(self) -> int:
         """Number of *live* tuples."""
         return self._live_count
 
-    def is_live(self, tuple_id: int) -> bool:
-        return 0 <= tuple_id < len(self._live) and self._live[tuple_id]
+    def _position(self, tuple_id: int) -> int:
+        """The storage position of a tuple ID, -1 when absent."""
+        if self._pos is None:
+            return tuple_id if 0 <= tuple_id < len(self._live) else -1
+        return self._pos.get(tuple_id, -1)
 
-    def _check_live(self, tuple_id: int) -> None:
-        if not 0 <= tuple_id < len(self._live):
+    def is_live(self, tuple_id: int) -> bool:
+        position = self._position(tuple_id)
+        return position >= 0 and self._live[position]
+
+    def _check_live(self, tuple_id: int) -> int:
+        if not 0 <= tuple_id < self._next_id:
             raise TupleIdError(f"tuple ID {tuple_id} does not exist")
-        if not self._live[tuple_id]:
+        position = self._position(tuple_id)
+        if position < 0 or not self._live[position]:
             raise TupleIdError(f"tuple ID {tuple_id} was deleted")
+        return position
 
     def row(self, tuple_id: int) -> Row:
         """The full live tuple with the given ID."""
-        self._check_live(tuple_id)
-        return tuple(column[tuple_id] for column in self._columns)
+        position = self._check_live(tuple_id)
+        return tuple([column[position] for column in self._columns])
 
     def value(self, tuple_id: int, column: int) -> Hashable:
         """One cell of a live tuple."""
-        self._check_live(tuple_id)
-        return self._columns[column][tuple_id]
+        return self._columns[column][self._check_live(tuple_id)]
 
     def project(self, tuple_id: int, mask: int) -> Row:
         """The live tuple's values on the masked columns (schema order)."""
-        self._check_live(tuple_id)
-        return tuple(self._columns[index][tuple_id] for index in columns_of(mask))
+        position = self._check_live(tuple_id)
+        return tuple(self._columns[index][position] for index in columns_of(mask))
 
     def project_row(self, row: Sequence[Hashable], mask: int) -> Row:
         """Project an out-of-relation row (e.g. a pending insert)."""
         return tuple(row[index] for index in columns_of(mask))
 
+    def codes_for_ids(self, column: int, tuple_ids: np.ndarray) -> np.ndarray:
+        """The dictionary codes of the given (live) tuple IDs, gathered.
+
+        The vectorized index-maintenance entry point: the batch's codes
+        come straight out of the column's code array, no value hashing.
+        """
+        ids = np.asarray(tuple_ids, dtype=np.int64)
+        if self._pos is None:
+            positions = ids
+        else:
+            pos = self._pos
+            positions = np.fromiter(
+                (pos[int(tuple_id)] for tuple_id in ids),
+                dtype=np.int64,
+                count=len(ids),
+            )
+        return self._encoding.column(column).codes_at(positions)
+
+    def live_ids_array(self) -> np.ndarray:
+        """The live tuple IDs, ascending, as an int64 array."""
+        live = np.asarray(self._live, dtype=bool)
+        positions = np.flatnonzero(live)
+        if self._ids is None:
+            return positions.astype(np.int64)
+        ids = np.asarray(self._ids, dtype=np.int64)
+        return ids[positions]
+
     def iter_ids(self) -> Iterator[int]:
         """Live tuple IDs in insertion order."""
-        for tuple_id, live in enumerate(self._live):
-            if live:
-                yield tuple_id
+        if self._ids is None:
+            for tuple_id, live in enumerate(self._live):
+                if live:
+                    yield tuple_id
+        else:
+            for tuple_id, live in zip(self._ids, self._live):
+                if live:
+                    yield tuple_id
+
+    def _iter_live_positions(self) -> Iterator[tuple[int, int]]:
+        """(tuple ID, storage position) pairs for live tuples, in order."""
+        if self._ids is None:
+            for position, live in enumerate(self._live):
+                if live:
+                    yield position, position
+        else:
+            for position, (tuple_id, live) in enumerate(zip(self._ids, self._live)):
+                if live:
+                    yield tuple_id, position
 
     def iter_rows(self) -> Iterator[Row]:
         """Live tuples in insertion order."""
-        for tuple_id in self.iter_ids():
-            yield tuple(column[tuple_id] for column in self._columns)
+        for _, position in self._iter_live_positions():
+            yield tuple(column[position] for column in self._columns)
 
     def iter_items(self) -> Iterator[tuple[int, Row]]:
         """(tuple ID, row) pairs for live tuples."""
-        for tuple_id in self.iter_ids():
-            yield tuple_id, tuple(column[tuple_id] for column in self._columns)
+        for tuple_id, position in self._iter_live_positions():
+            yield tuple_id, tuple(column[position] for column in self._columns)
 
     def column_values(self, column: int) -> Iterator[tuple[int, Hashable]]:
         """(tuple ID, value) pairs of one column over live tuples."""
         store = self._columns[column]
-        for tuple_id, live in enumerate(self._live):
-            if live:
-                yield tuple_id, store[tuple_id]
+        for tuple_id, position in self._iter_live_positions():
+            yield tuple_id, store[position]
 
     def cardinality(self, column: int) -> int:
         """Number of distinct live values in one column."""
-        return len({value for _, value in self.column_values(column)})
+        codes = self._encoding.column(column).codes
+        live = np.asarray(self._live, dtype=bool)
+        if not live.size:
+            return 0
+        return int(np.unique(codes[live]).size)
 
     def duplicate_exists(self, mask: int) -> bool:
         """True iff two live tuples agree on the masked projection.
@@ -195,8 +355,8 @@ class Relation:
         """
         seen: set[Row] = set()
         indices = columns_of(mask)
-        for tuple_id in self.iter_ids():
-            key = tuple(self._columns[index][tuple_id] for index in indices)
+        for _, position in self._iter_live_positions():
+            key = tuple(self._columns[index][position] for index in indices)
             if key in seen:
                 return True
             seen.add(key)
@@ -206,8 +366,8 @@ class Relation:
         """Projection value -> tuple IDs, keeping only groups of size >= 2."""
         groups: dict[Row, list[int]] = {}
         indices = columns_of(mask)
-        for tuple_id in self.iter_ids():
-            key = tuple(self._columns[index][tuple_id] for index in indices)
+        for tuple_id, position in self._iter_live_positions():
+            key = tuple(self._columns[index][position] for index in indices)
             groups.setdefault(key, []).append(tuple_id)
         return {key: ids for key, ids in groups.items() if len(ids) >= 2}
 
@@ -217,8 +377,10 @@ class Relation:
         Used by the column-scaling experiments (paper Figs. 3, 6, 8).
         """
         projected = Relation(self._schema.prefix(n_columns))
-        for tuple_id in self.iter_ids():
-            projected.insert(tuple(self._columns[c][tuple_id] for c in range(n_columns)))
+        for _, position in self._iter_live_positions():
+            projected.insert(
+                tuple(self._columns[c][position] for c in range(n_columns))
+            )
         return projected
 
     def copy(self) -> "Relation":
@@ -227,6 +389,10 @@ class Relation:
         clone._columns = [list(column) for column in self._columns]
         clone._live = list(self._live)
         clone._live_count = self._live_count
+        clone._encoding = self._encoding.copy()
+        clone._ids = list(self._ids) if self._ids is not None else None
+        clone._pos = dict(self._pos) if self._pos is not None else None
+        clone._next_id = self._next_id
         return clone
 
     def __repr__(self) -> str:

@@ -5,6 +5,14 @@ for a batch of inserted tuples and a minimal unique U, the IDs of old
 tuples that *might* duplicate an insert on U are found by looking up the
 inserts' values in the indexes covering U and intersecting the results.
 
+Postings are keyed by the column's dictionary code
+(:mod:`repro.storage.encoding`) and stored as sorted, read-only numpy
+ID arrays, so batch maintenance is one vectorized pass per column and
+per-MUC candidate intersection runs on integers at C speed. The
+value-level ``add`` / ``remove`` / ``lookup`` API is unchanged;
+``lookup`` returns a cached immutable view that is invalidated on
+mutation, so hot-path probes never copy the posting.
+
 The index stores every value (including currently-singleton ones),
 because after future inserts a singleton value may gain partners.
 Deletes are applied eagerly; empty postings are dropped.
@@ -12,26 +20,48 @@ Deletes are applied eagerly; empty postings are dropped.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, Sequence
 
+import numpy as np
+
+from repro.storage.encoding import ColumnEncoding
 from repro.storage.relation import Relation
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.flags.writeable = False
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
 
 
 class ValueIndex:
-    """Inverted index over one column of a relation."""
+    """Inverted index over one column of a relation.
 
-    __slots__ = ("_column", "_postings")
+    ``encoding`` is normally the relation's own
+    :class:`~repro.storage.encoding.ColumnEncoding` for the column, so
+    posting keys agree with the relation's code arrays and batch
+    maintenance needs no value hashing; a standalone index interns into
+    a private dictionary instead.
+    """
 
-    def __init__(self, column: int) -> None:
+    __slots__ = ("_column", "_encoding", "_postings", "_views")
+
+    def __init__(self, column: int, encoding: ColumnEncoding | None = None) -> None:
         self._column = column
-        self._postings: dict[Hashable, set[int]] = {}
+        self._encoding = encoding if encoding is not None else ColumnEncoding()
+        self._postings: dict[int, np.ndarray] = {}
+        self._views: dict[int, frozenset[int]] = {}
 
     @classmethod
     def build(cls, relation: Relation, column: int) -> "ValueIndex":
         """Index every live tuple of ``relation`` on ``column``."""
-        index = cls(column)
-        for tuple_id, value in relation.column_values(column):
-            index.add(value, tuple_id)
+        index = cls(column, encoding=relation.encoding.column(column))
+        ids = relation.live_ids_array()
+        if ids.size:
+            codes = relation.codes_for_ids(column, ids)
+            index.add_batch(codes, ids)
         return index
 
     @property
@@ -39,6 +69,14 @@ class ValueIndex:
         """The indexed column's position in the schema."""
         return self._column
 
+    @property
+    def encoding(self) -> ColumnEncoding:
+        """The dictionary the posting keys refer to."""
+        return self._encoding
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
     def add(self, value: Hashable, tuple_id: int) -> None:
         """Register one (value, tuple ID) pair.
 
@@ -46,33 +84,148 @@ class ValueIndex:
         pair, exactly as the paper describes index maintenance after
         inserts (Section III-D).
         """
-        self._postings.setdefault(value, set()).add(tuple_id)
+        code = self._encoding.encode(value)
+        posting = self._postings.get(code)
+        if posting is None:
+            self._postings[code] = _frozen(np.asarray([tuple_id], dtype=np.int64))
+        else:
+            slot = int(np.searchsorted(posting, tuple_id))
+            if slot < posting.size and posting[slot] == tuple_id:
+                return  # already present; posting and view stay valid
+            self._postings[code] = _frozen(
+                np.insert(posting, slot, np.int64(tuple_id))
+            )
+        self._views.pop(code, None)
 
     def remove(self, value: Hashable, tuple_id: int) -> None:
         """Drop one (value, tuple ID) pair if present."""
-        posting = self._postings.get(value)
+        code = self._encoding.code_of(value)
+        if code is None:
+            return
+        posting = self._postings.get(code)
         if posting is None:
             return
-        posting.discard(tuple_id)
-        if not posting:
-            del self._postings[value]
+        slot = int(np.searchsorted(posting, tuple_id))
+        if slot >= posting.size or posting[slot] != tuple_id:
+            return
+        if posting.size == 1:
+            del self._postings[code]
+        else:
+            self._postings[code] = _frozen(np.delete(posting, slot))
+        self._views.pop(code, None)
 
+    def add_batch(self, codes: np.ndarray, tuple_ids: np.ndarray) -> None:
+        """Register a batch of (code, tuple ID) pairs in one pass.
+
+        ``codes[i]`` is the dictionary code of ``tuple_ids[i]``'s value.
+        Fresh inserts carry IDs above every indexed one, so the common
+        case is a pure concatenation per touched posting; out-of-order
+        IDs fall back to a sorted merge.
+        """
+        ids = np.asarray(tuple_ids, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.int64)
+        if not ids.size:
+            return
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_ids = ids[order]
+        boundaries = np.flatnonzero(
+            np.r_[True, sorted_codes[1:] != sorted_codes[:-1], True]
+        )
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            code = int(sorted_codes[start])
+            fresh = sorted_ids[start:stop]
+            if fresh.size > 1 and np.any(fresh[1:] <= fresh[:-1]):
+                fresh = np.unique(fresh)
+            posting = self._postings.get(code)
+            if posting is None:
+                merged = fresh.copy()
+            elif posting[-1] < fresh[0]:
+                merged = np.concatenate([posting, fresh])
+            else:
+                merged = np.union1d(posting, fresh)
+            self._postings[code] = _frozen(merged)
+            self._views.pop(code, None)
+
+    def remove_batch(self, codes: np.ndarray, tuple_ids: np.ndarray) -> None:
+        """Unregister a batch of (code, tuple ID) pairs in one pass."""
+        ids = np.asarray(tuple_ids, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.int64)
+        if not ids.size:
+            return
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_ids = ids[order]
+        boundaries = np.flatnonzero(
+            np.r_[True, sorted_codes[1:] != sorted_codes[:-1], True]
+        )
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            code = int(sorted_codes[start])
+            posting = self._postings.get(code)
+            if posting is None:
+                continue
+            doomed = sorted_ids[start:stop]
+            keep = posting[~np.isin(posting, doomed, assume_unique=False)]
+            if keep.size:
+                self._postings[code] = _frozen(keep)
+            else:
+                del self._postings[code]
+            self._views.pop(code, None)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
     def lookup(self, value: Hashable) -> frozenset[int]:
-        """Tuple IDs whose column value equals ``value``."""
-        posting = self._postings.get(value)
-        return frozenset(posting) if posting else frozenset()
+        """Tuple IDs whose column value equals ``value``.
+
+        Returns a cached immutable view; the cache entry is dropped
+        whenever the posting changes, so callers can hold the result
+        without copying and without observing later mutations.
+        """
+        code = self._encoding.code_of(value)
+        if code is None:
+            return frozenset()
+        view = self._views.get(code)
+        if view is None:
+            posting = self._postings.get(code)
+            if posting is None:
+                return frozenset()
+            view = frozenset(posting.tolist())
+            self._views[code] = view
+        return view
+
+    def lookup_array(self, value: Hashable) -> np.ndarray:
+        """The sorted posting array for ``value`` (read-only, no copy)."""
+        code = self._encoding.code_of(value)
+        if code is None:
+            return _EMPTY
+        return self._postings.get(code, _EMPTY)
+
+    def lookup_batch(self, values: Sequence[Hashable]) -> list[np.ndarray]:
+        """Postings for a batch of values, aligned with ``values``.
+
+        One dictionary probe per value; unseen values map to the shared
+        empty array. Arrays are the live read-only postings -- no copy.
+        """
+        code_of = self._encoding.code_of
+        postings = self._postings
+        return [
+            postings.get(code, _EMPTY) if (code := code_of(value)) is not None
+            else _EMPTY
+            for value in values
+        ]
 
     def lookup_many(self, values: Iterable[Hashable]) -> set[int]:
         """Union of postings over distinct ``values`` (one pass)."""
         result: set[int] = set()
-        for value in set(values):
-            posting = self._postings.get(value)
-            if posting:
-                result |= posting
+        for posting in self.lookup_batch(list(set(values))):
+            if posting.size:
+                result.update(posting.tolist())
         return result
 
     def __contains__(self, value: Hashable) -> bool:
-        return value in self._postings
+        code = self._encoding.code_of(value)
+        return code is not None and code in self._postings
 
     def __len__(self) -> int:
         """Number of distinct indexed values."""
@@ -80,10 +233,11 @@ class ValueIndex:
 
     def n_entries(self) -> int:
         """Total number of (value, tuple ID) pairs."""
-        return sum(len(posting) for posting in self._postings.values())
+        return sum(int(posting.size) for posting in self._postings.values())
 
     def iter_values(self) -> Iterator[Hashable]:
-        return iter(self._postings)
+        decode = self._encoding.decode
+        return (decode(code) for code in self._postings)
 
     def __repr__(self) -> str:
         return f"ValueIndex(column={self._column}, values={len(self._postings)})"
@@ -131,17 +285,43 @@ class IndexPool:
         return self._indexes[column]
 
     def register_inserts(self, relation: Relation, tuple_ids: Iterable[int]) -> None:
-        """Index a batch of freshly inserted tuples."""
-        ids = list(tuple_ids)
-        for column, index in self._indexes.items():
-            for tuple_id in ids:
-                index.add(relation.value(tuple_id, column), tuple_id)
+        """Index a batch of freshly inserted tuples: one pass per column.
 
-    def register_deletes(self, rows_by_id: dict[int, tuple]) -> None:
-        """Unindex deleted tuples, given their pre-delete rows."""
+        When an index shares the relation's dictionary (the normal
+        case), the batch's codes are gathered straight from the code
+        arrays -- no per-tuple value access, no hashing.
+        """
+        ids = np.fromiter((int(t) for t in tuple_ids), dtype=np.int64)
+        if not ids.size:
+            return
         for column, index in self._indexes.items():
-            for tuple_id, row in rows_by_id.items():
-                index.remove(row[column], tuple_id)
+            if index.encoding is relation.encoding.column(column):
+                index.add_batch(relation.codes_for_ids(column, ids), ids)
+            else:  # foreign index: fall back to value-level maintenance
+                for tuple_id in ids:
+                    index.add(relation.value(int(tuple_id), column), int(tuple_id))
+
+    def register_deletes(
+        self, rows_by_id: dict[int, tuple], relation: Relation | None = None
+    ) -> None:
+        """Unindex deleted tuples, given their pre-delete rows.
+
+        With ``relation`` supplied (whose storage still holds the
+        tombstoned rows), codes are gathered from the code arrays; the
+        value-level fallback covers standalone pools.
+        """
+        if not rows_by_id:
+            return
+        ids = np.fromiter((int(t) for t in rows_by_id), dtype=np.int64)
+        for column, index in self._indexes.items():
+            if (
+                relation is not None
+                and index.encoding is relation.encoding.column(column)
+            ):
+                index.remove_batch(relation.codes_for_ids(column, ids), ids)
+            else:
+                for tuple_id, row in rows_by_id.items():
+                    index.remove(row[column], tuple_id)
 
     def __repr__(self) -> str:
         return f"IndexPool(columns={sorted(self._indexes)})"

@@ -1,0 +1,152 @@
+"""Storage compaction: tuple IDs and the profile survive, gauges tell.
+
+Satellite of the encoded-columnar-core change: tombstoned storage is
+reclaimed in place (``Relation.compact_in_place`` via
+``SwanProfiler.compact_storage``), and the service loop triggers it
+automatically when the live fraction drops below the configured
+threshold. Everything derived is keyed by tuple ID or dictionary code,
+so nothing needs rebuilding -- these tests pin that down.
+"""
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.profiling.verify import verify_profile
+from repro.service.server import ProfilingService, ServiceConfig
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+    ("Grant", "999", "30"),
+    ("Grant", "345", "20"),
+    ("Quinn", "245", "31"),
+]
+
+
+def fresh_relation():
+    return Relation.from_rows(Schema(["Name", "Phone", "Age"]), ROWS)
+
+
+class TestProfilerCompaction:
+    def test_profile_and_ids_survive(self):
+        profiler = SwanProfiler.profile(fresh_relation(), algorithm="bruteforce")
+        try:
+            profiler.handle_deletes([1, 3, 5])
+            before = profiler.snapshot()
+            survivors = {
+                tuple_id: profiler.relation.row(tuple_id)
+                for tuple_id in profiler.relation.iter_ids()
+            }
+            reclaimed = profiler.compact_storage()
+            assert reclaimed == 3
+            assert profiler.relation.tombstone_count == 0
+            # Every surviving tuple keeps its ID and its row.
+            assert {
+                tuple_id: profiler.relation.row(tuple_id)
+                for tuple_id in profiler.relation.iter_ids()
+            } == survivors
+            # The profile is untouched, bit for bit, and still correct.
+            after = profiler.snapshot()
+            assert after.mucs == before.mucs
+            assert after.mnucs == before.mnucs
+            verify_profile(
+                profiler.relation, list(after.mucs), list(after.mnucs)
+            )
+        finally:
+            profiler.close()
+
+    def test_batches_after_compaction_stay_correct(self):
+        profiler = SwanProfiler.profile(fresh_relation(), algorithm="bruteforce")
+        try:
+            profiler.handle_deletes([0, 2])
+            profiler.compact_storage()
+            # IDs keep ascending from the pre-compaction high-water mark.
+            first_new = profiler.relation.next_tuple_id
+            assert first_new == len(ROWS)
+            profile = profiler.handle_inserts(
+                [("Lee", "345", "20"), ("New", "000", "1")]
+            )
+            assert profiler.relation.is_live(first_new)
+            verify_profile(
+                profiler.relation, list(profile.mucs), list(profile.mnucs)
+            )
+            profile = profiler.handle_deletes([first_new])
+            verify_profile(
+                profiler.relation, list(profile.mucs), list(profile.mnucs)
+            )
+        finally:
+            profiler.close()
+
+    def test_compacting_clean_storage_is_a_no_op(self):
+        profiler = SwanProfiler.profile(fresh_relation(), algorithm="bruteforce")
+        try:
+            assert profiler.compact_storage() == 0
+        finally:
+            profiler.close()
+
+
+def make_service(tmp_path, **overrides):
+    defaults = dict(algorithm="bruteforce", snapshot_every=0)
+    defaults.update(overrides)
+    return ProfilingService(
+        str(tmp_path / "state"), config=ServiceConfig(**defaults)
+    )
+
+
+class TestServiceCompaction:
+    def test_live_fraction_threshold_triggers(self, tmp_path):
+        service = make_service(
+            tmp_path, compact_min_rows=1, compact_live_fraction=0.5
+        ).start(initial=fresh_relation())
+        service.apply_delete_batch([0, 1, 2, 3])
+        assert service.metrics.counter("compactions").value == 1
+        assert service.metrics.counter("tombstones_reclaimed").value == 4
+        relation = service.profiler.relation
+        assert relation.tombstone_count == 0
+        assert sorted(relation.iter_ids()) == [4, 5]
+        stats = service.stats()
+        assert stats["gauges"]["storage_rows"] == 2
+        assert stats["gauges"]["tombstone_rows"] == 0
+        profile = service.profiler.snapshot()
+        verify_profile(relation, list(profile.mucs), list(profile.mnucs))
+        service.stop()
+
+    def test_above_threshold_keeps_tombstones(self, tmp_path):
+        service = make_service(
+            tmp_path, compact_min_rows=1, compact_live_fraction=0.5
+        ).start(initial=fresh_relation())
+        service.apply_delete_batch([0])
+        assert service.metrics.counter("compactions").value == 0
+        assert service.profiler.relation.tombstone_count == 1
+        service.stop()
+
+    def test_min_rows_floor_and_disable_knob(self, tmp_path):
+        service = make_service(
+            tmp_path, compact_min_rows=1024, compact_live_fraction=0.5
+        ).start(initial=fresh_relation())
+        service.apply_delete_batch([0, 1, 2, 3])
+        assert service.metrics.counter("compactions").value == 0
+        service.stop()
+        disabled = make_service(
+            tmp_path / "b", compact_min_rows=1, compact_live_fraction=0.0
+        ).start(initial=fresh_relation())
+        disabled.apply_delete_batch([0, 1, 2, 3])
+        assert disabled.metrics.counter("compactions").value == 0
+        disabled.stop()
+
+    def test_service_survives_batches_after_compaction(self, tmp_path):
+        service = make_service(
+            tmp_path, compact_min_rows=1, compact_live_fraction=0.5
+        ).start(initial=fresh_relation())
+        service.apply_delete_batch([0, 1, 2, 3])
+        assert service.metrics.counter("compactions").value == 1
+        profile = service.apply_insert_batch(
+            [("Quinn", "245", "31"), ("Solo", "777", "40")]
+        )
+        relation = service.profiler.relation
+        verify_profile(relation, list(profile.mucs), list(profile.mnucs))
+        assert relation.is_live(len(ROWS))  # fresh IDs continue past the max
+        service.stop()

@@ -374,6 +374,34 @@ class TestObservability:
         assert service.metrics.counter("muc_churn").value > 0
         service.stop()
 
+    def test_retrieval_and_encoding_gauges_published(self, tmp_path):
+        service = make_service(tmp_path, status_every=1).start(
+            initial=fresh_relation()
+        )
+        service.apply_insert_batch([("Lee", "345", "21"), ("Ada", "111", "9")])
+        stats = service.stats()
+        for key in (
+            "storage_rows",
+            "tombstone_rows",
+            "encoding_distinct_values",
+            "encoding_code_bytes",
+            "retrieval_requested",
+            "retrieval_random_seeks",
+            "retrieval_tuples_scanned",
+        ):
+            assert key in stats["gauges"], key
+        assert stats["gauges"]["storage_rows"] == 5
+        assert stats["gauges"]["encoding_distinct_values"] > 0
+        assert stats["gauges"]["encoding_code_bytes"] > 0
+        assert stats["encoding"]["columns"] == 3
+        assert stats["encoding"]["encoded_cells"] == 15
+        status = json.load(
+            open(os.path.join(service.data_dir, "status.json"))
+        )
+        assert "retrieval_requested" in status["gauges"]
+        assert status["encoding"]["columns"] == 3
+        service.stop()
+
     def test_cache_and_pool_gauges_published(self, tmp_path):
         service = make_service(
             tmp_path, parallelism=2, status_every=1

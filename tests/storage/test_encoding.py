@@ -1,0 +1,140 @@
+"""Unit tests for the dictionary-encoding layer."""
+
+import numpy as np
+import pytest
+
+from repro.storage.encoding import (
+    ColumnEncoding,
+    RelationEncoding,
+    encode_rows_local,
+    union_sorted,
+)
+
+
+class TestColumnEncoding:
+    def test_encode_first_seen_order(self):
+        encoding = ColumnEncoding()
+        assert encoding.encode("b") == 0
+        assert encoding.encode("a") == 1
+        assert encoding.encode("b") == 0
+        assert encoding.n_codes == 2
+        assert encoding.decode(0) == "b"
+        assert encoding.decode(1) == "a"
+
+    def test_code_of_does_not_intern(self):
+        encoding = ColumnEncoding()
+        assert encoding.code_of("never seen") is None
+        assert encoding.n_codes == 0
+        assert "never seen" not in encoding
+        encoding.encode("seen")
+        assert encoding.code_of("seen") == 0
+        assert "seen" in encoding
+
+    def test_append_tracks_positions(self):
+        encoding = ColumnEncoding()
+        for value in ["x", "y", "x", "z"]:
+            encoding.append(value)
+        assert encoding.size == 4
+        assert encoding.codes.tolist() == [0, 1, 0, 2]
+
+    def test_append_batch_matches_append(self):
+        values = ["p", "q", "p", "", "q", "r"]
+        one_by_one = ColumnEncoding()
+        for value in values:
+            one_by_one.append(value)
+        batched = ColumnEncoding()
+        codes = batched.append_batch(values)
+        assert codes.tolist() == one_by_one.codes.tolist()
+        assert batched.codes.tolist() == one_by_one.codes.tolist()
+        assert batched.n_codes == one_by_one.n_codes
+
+    def test_growth_past_initial_capacity(self):
+        encoding = ColumnEncoding()
+        values = [str(i % 7) for i in range(1000)]
+        encoding.append_batch(values)
+        assert encoding.size == 1000
+        assert encoding.n_codes == 7
+        assert encoding.decode(int(encoding.codes[999])) == values[999]
+
+    def test_codes_at_gathers(self):
+        encoding = ColumnEncoding()
+        encoding.append_batch(["a", "b", "a", "c"])
+        gathered = encoding.codes_at(np.asarray([3, 0, 2]))
+        assert gathered.tolist() == [2, 0, 0]
+
+    def test_compact_keeps_dictionary(self):
+        encoding = ColumnEncoding()
+        encoding.append_batch(["a", "b", "c", "b"])
+        encoding.compact(np.asarray([0, 3]))
+        assert encoding.size == 2
+        assert encoding.codes.tolist() == [0, 1]
+        # Codes are stable identities: "c" keeps its code even though
+        # no surviving position carries it.
+        assert encoding.n_codes == 3
+        assert encoding.code_of("c") == 2
+
+    def test_copy_is_independent(self):
+        encoding = ColumnEncoding()
+        encoding.append_batch(["a", "b"])
+        clone = encoding.copy()
+        clone.append("c")
+        assert encoding.size == 2
+        assert encoding.n_codes == 2
+        assert clone.size == 3
+        assert clone.n_codes == 3
+
+    def test_distinct_python_types_get_distinct_codes(self):
+        encoding = ColumnEncoding()
+        codes = {encoding.encode(value) for value in [None, "", "None", 0]}
+        assert len(codes) == 4
+        # ...but equal values share one, following Python equality.
+        assert encoding.encode(0) == encoding.encode(0.0)
+
+
+class TestRelationEncoding:
+    def test_append_row_spreads_columns(self):
+        encoding = RelationEncoding(2)
+        encoding.append_row(("a", "b"))
+        encoding.append_row(("a", "c"))
+        assert encoding.column(0).codes.tolist() == [0, 0]
+        assert encoding.column(1).codes.tolist() == [0, 1]
+        assert len(encoding) == 2
+
+    def test_compact_applies_to_every_column(self):
+        encoding = RelationEncoding(2)
+        for row in [("a", "1"), ("b", "2"), ("c", "3")]:
+            encoding.append_row(row)
+        encoding.compact(np.asarray([2]))
+        assert encoding.column(0).codes.tolist() == [2]
+        assert encoding.column(1).codes.tolist() == [2]
+
+    def test_stats_dict(self):
+        encoding = RelationEncoding(2)
+        encoding.append_row(("a", "1"))
+        encoding.append_row(("a", "2"))
+        stats = encoding.stats_dict()
+        assert stats["columns"] == 2
+        assert stats["distinct_values"] == 3
+        assert stats["encoded_cells"] == 4
+        assert stats["code_bytes"] == 32
+
+
+class TestHelpers:
+    def test_encode_rows_local_equality_iff_code_equality(self):
+        rows = [("a", "1"), ("b", "1"), ("a", "2")]
+        codes = encode_rows_local(rows, 0)
+        assert codes[0] == codes[2]
+        assert codes[0] != codes[1]
+
+    def test_union_sorted(self):
+        arrays = [
+            np.asarray([1, 3], dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.asarray([2, 3], dtype=np.int64),
+        ]
+        assert union_sorted(arrays).tolist() == [1, 2, 3]
+        assert union_sorted([]).size == 0
+
+    def test_union_sorted_single_array_is_passthrough(self):
+        only = np.asarray([4, 9], dtype=np.int64)
+        assert union_sorted([only]) is only

@@ -37,6 +37,26 @@ class TestInserts:
         assert ids == [3, 4]
         assert len(relation) == 5
 
+    def test_insert_many_bad_arity_leaves_relation_unchanged(self, relation):
+        with pytest.raises(ArityError):
+            relation.insert_many([("4", "z", "r"), ("too", "short")])
+        assert len(relation) == 3
+        assert relation.next_tuple_id == 3
+        assert relation.encoding.column(0).size == 3
+
+    def test_insert_many_matches_repeated_insert(self, schema):
+        batched = Relation(schema)
+        batched.insert_many([("1", "x", "p"), ("1", "y", "q")])
+        serial = Relation(schema)
+        for row in [("1", "x", "p"), ("1", "y", "q")]:
+            serial.insert(row)
+        assert list(batched.iter_items()) == list(serial.iter_items())
+        for column in range(3):
+            assert (
+                batched.encoding.column(column).codes.tolist()
+                == serial.encoding.column(column).codes.tolist()
+            )
+
 
 class TestDeletes:
     def test_delete_returns_row(self, relation):
@@ -68,6 +88,48 @@ class TestDeletes:
         compacted = relation.compact()
         assert list(compacted.iter_ids()) == [0, 1]
         assert len(compacted) == 2
+
+    def test_compact_in_place_keeps_ids(self, relation):
+        relation.delete(1)
+        assert relation.compact_in_place() == 1
+        assert relation.storage_rows == 2
+        assert relation.tombstone_count == 0
+        assert list(relation.iter_ids()) == [0, 2]
+        assert relation.row(2) == ("3", "x", "q")
+        with pytest.raises(TupleIdError):
+            relation.row(1)
+        # Fresh inserts keep allocating past the old high-water mark.
+        assert relation.insert(("9", "9", "9")) == 3
+        assert relation.row(3) == ("9", "9", "9")
+
+    def test_compact_in_place_preserves_code_gathers(self, relation):
+        import numpy as np
+
+        before = {
+            tuple_id: relation.codes_for_ids(
+                0, np.asarray([tuple_id], dtype=np.int64)
+            ).tolist()
+            for tuple_id in [0, 2]
+        }
+        relation.delete(1)
+        relation.compact_in_place()
+        for tuple_id, codes in before.items():
+            assert (
+                relation.codes_for_ids(
+                    0, np.asarray([tuple_id], dtype=np.int64)
+                ).tolist()
+                == codes
+            )
+        assert relation.live_fraction == 1.0
+
+    def test_repeated_compaction_composes(self, relation):
+        relation.insert_many([("4", "z", "r"), ("5", "w", "s")])
+        relation.delete(0)
+        relation.compact_in_place()
+        relation.delete(3)
+        assert relation.compact_in_place() == 1
+        assert list(relation.iter_ids()) == [1, 2, 4]
+        assert relation.row(4) == ("5", "w", "s")
 
 
 class TestAccess:

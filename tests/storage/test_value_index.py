@@ -44,6 +44,56 @@ class TestValueIndex:
         assert sorted(index.iter_values()) == ["x", "y"]
 
 
+class TestImmutableViews:
+    def test_lookup_view_is_cached_until_mutation(self, relation):
+        index = ValueIndex.build(relation, 0)
+        first = index.lookup("x")
+        assert index.lookup("x") is first  # cached, no per-probe copy
+        index.add("x", 9)
+        assert index.lookup("x") == {0, 2, 9}
+        assert index.lookup("x") is not first
+        assert first == {0, 2}  # the old view never mutated under the caller
+
+    def test_remove_invalidates_view(self, relation):
+        index = ValueIndex.build(relation, 0)
+        held = index.lookup("x")
+        index.remove("x", 0)
+        assert index.lookup("x") == {2}
+        assert held == {0, 2}
+
+    def test_batch_maintenance_invalidates_view(self, relation):
+        import numpy as np
+
+        index = ValueIndex.build(relation, 0)
+        held = index.lookup("x")
+        code = index.encoding.code_of("x")
+        index.add_batch(
+            np.asarray([code], dtype=np.int64), np.asarray([7], dtype=np.int64)
+        )
+        assert index.lookup("x") == {0, 2, 7}
+        index.remove_batch(
+            np.asarray([code, code], dtype=np.int64),
+            np.asarray([0, 7], dtype=np.int64),
+        )
+        assert index.lookup("x") == {2}
+        assert held == {0, 2}
+
+    def test_posting_arrays_are_read_only(self, relation):
+        import numpy as np
+
+        index = ValueIndex.build(relation, 0)
+        posting = index.lookup_array("x")
+        with pytest.raises(ValueError):
+            posting[0] = 99
+        for batched in index.lookup_batch(["x", "unseen"]):
+            with pytest.raises(ValueError):
+                batched[:] = 0
+        index.add("x", 9)
+        with pytest.raises(ValueError):
+            index.lookup_array("x")[0] = 99
+        assert np.asarray(posting).tolist() == [0, 2]  # held array unharmed
+
+
 class TestIndexPool:
     def test_build_selected_columns(self, relation):
         pool = IndexPool.build(relation, [1])
