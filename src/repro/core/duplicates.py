@@ -36,6 +36,7 @@ from repro.storage.encoding import encode_rows_local
 Row = tuple[Hashable, ...]
 
 _NO_SLOTS = np.empty(0, dtype=np.int64)
+_NO_SLOTS.flags.writeable = False
 
 
 def projector(indices: tuple[int, ...]) -> Callable[[Sequence], tuple]:

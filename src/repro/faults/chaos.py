@@ -35,6 +35,7 @@ import shutil
 import sys
 import tempfile
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import ReproError
 from repro.faults.injector import (
@@ -75,6 +76,11 @@ _BATCHES = [
     ("b3.json", {"kind": "delete", "ids": [0]}),
     ("b4.json", {"kind": "insert", "rows": [["Dee", "444", "6"]]}),
 ]
+# One deliberately unparseable spool file (sorted after the batches):
+# every scenario exercises the quarantine path, so the deadletter.*
+# fault sites fire and a faulted quarantine is itself swept.
+_POISON_NAME = "z-poison.json"
+_POISON_BODY = b"{not json"
 _EXPECTED_ROWS = 6
 
 
@@ -82,7 +88,7 @@ def _initial_relation() -> Relation:
     return Relation.from_rows(Schema(list(_COLUMNS)), list(_INITIAL_ROWS))
 
 
-def _holistic_fallback():
+def _holistic_fallback() -> tuple[Relation, list[int], list[int]]:
     from repro.baselines.bruteforce import discover_bruteforce
 
     relation = _initial_relation()
@@ -180,6 +186,8 @@ def run_service_scenario(
     spool = os.path.join(workdir, "spool")
     for name, body in _BATCHES:
         SpoolDirectorySource.write_batch(spool, name, body)
+    with open(os.path.join(spool, _POISON_NAME), "wb") as poison:
+        poison.write(_POISON_BODY)
     injector = FaultInjector(_plan_for(site, mode, seed))
     crashed = False
     first_error: str | None = None
@@ -329,6 +337,124 @@ def run_table_scenario(
     )
 
 
+def run_relation_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Fault a CSV export/load round-trip, then redo it cleanly."""
+    path = os.path.join(workdir, "relation.csv")
+    relation = _initial_relation()
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    crashed = False
+    first_error: str | None = None
+    with active(injector):
+        try:
+            relation.to_csv(path)
+            Relation.from_csv(path)
+        except CrashPoint as exc:
+            crashed = True
+            first_error = str(exc)
+        except (ReproError, OSError) as exc:
+            first_error = f"{type(exc).__name__}: {exc}"
+
+    # Verification: a clean export must load back value-identical.
+    try:
+        relation.to_csv(path)
+        loaded = Relation.from_csv(path)
+        expected = [
+            tuple(str(cell) for cell in row) for _tid, row in relation.iter_items()
+        ]
+        got = [tuple(row) for _tid, row in loaded.iter_items()]
+        if got != expected:
+            raise ChaosFailure(
+                site, mode, seed,
+                f"CSV round-trip mismatch: {got!r} != {expected!r} "
+                f"(first error: {first_error})",
+            )
+    except ChaosFailure:
+        raise
+    except (ReproError, OSError) as exc:
+        raise ChaosFailure(
+            site, mode, seed,
+            f"clean CSV round-trip failed: {type(exc).__name__}: {exc} "
+            f"(first error: {first_error})",
+        ) from exc
+
+    if not injector.fired:
+        outcome = "not-hit"
+    elif crashed:
+        outcome = "crash-recovered"
+    else:
+        outcome = "recovered" if first_error is not None else "survived"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired), detail=first_error or ""
+    )
+
+
+def run_producer_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Fault the producer-side spool write; the spool must never hold a
+    torn batch file (write-then-rename is the producer contract)."""
+    spool = os.path.join(workdir, "spool")
+    body = {"kind": "insert", "rows": [["Eve", "555", "5"]]}
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    crashed = False
+    first_error: str | None = None
+    with active(injector):
+        try:
+            for attempt in range(4):
+                SpoolDirectorySource.write_batch(spool, f"p{attempt}.json", body)
+        except CrashPoint as exc:
+            crashed = True
+            first_error = str(exc)
+        except (ReproError, OSError) as exc:
+            first_error = f"{type(exc).__name__}: {exc}"
+
+    # Verification: every *published* batch file must parse; tmp files
+    # are invisible to the source (dotfiles are skipped by _pending).
+    try:
+        source = SpoolDirectorySource(spool)
+        batches = list(source)
+        for batch in batches:
+            if batch.kind != "insert" or batch.rows != (("Eve", "555", "5"),):
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"torn batch visible in spool: {batch!r} "
+                    f"(first error: {first_error})",
+                )
+    except ChaosFailure:
+        raise
+    except (ReproError, OSError) as exc:
+        raise ChaosFailure(
+            site, mode, seed,
+            f"spool re-read failed: {type(exc).__name__}: {exc} "
+            f"(first error: {first_error})",
+        ) from exc
+
+    if not injector.fired:
+        outcome = "not-hit"
+    elif crashed:
+        outcome = "crash-recovered"
+    else:
+        outcome = "recovered" if first_error is not None else "survived"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired), detail=first_error or ""
+    )
+
+
+def _runner_for(
+    site: str,
+) -> "Callable[[str, str, int, str], ScenarioResult]":
+    """The scenario runner responsible for a fault site."""
+    if site.startswith("table."):
+        return run_table_scenario
+    if site.startswith("relation."):
+        return run_relation_scenario
+    if site.startswith("spool.write."):
+        return run_producer_scenario
+    return run_service_scenario
+
+
 def run_sweep(
     seeds: list[int],
     sites: list[str] | None = None,
@@ -348,11 +474,7 @@ def run_sweep(
     os.makedirs(base, exist_ok=True)
     try:
         for site in sweep_sites:
-            runner = (
-                run_table_scenario
-                if site.startswith("table.")
-                else run_service_scenario
-            )
+            runner = _runner_for(site)
             for mode in sweep_modes:
                 for seed in seeds:
                     workdir = os.path.join(

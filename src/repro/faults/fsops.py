@@ -20,7 +20,7 @@ chaos sweep iterates exactly this list and never goes stale.
 from __future__ import annotations
 
 import os
-from typing import IO
+from typing import IO, Any, AnyStr
 
 from repro.faults.injector import current_injector
 
@@ -51,12 +51,12 @@ def check(site: str) -> None:
         injector.check(site)
 
 
-def open_(site: str, path: str, mode: str = "r", **kwargs) -> IO:
+def open_(site: str, path: str, mode: str = "r", **kwargs: Any) -> IO[Any]:
     check(site)
     return open(path, mode, **kwargs)
 
 
-def write(site: str, handle: IO, data) -> None:
+def write(site: str, handle: IO[AnyStr], data: AnyStr) -> None:
     injector = current_injector()
     if injector is not None:
         injector.write(site, handle, data)

@@ -20,7 +20,7 @@ import errno
 import random
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import IO, Iterator, Sequence
+from typing import IO, AnyStr, Iterator, Sequence
 
 ERROR = "error"  # raise InjectedIOError, nothing written
 SHORT_WRITE = "short_write"  # write a prefix, then raise InjectedIOError
@@ -176,7 +176,7 @@ class FaultInjector:
         if spec is not None:
             self._fire(spec, site, hit)
 
-    def write(self, site: str, handle: IO, data) -> None:
+    def write(self, site: str, handle: IO[AnyStr], data: AnyStr) -> None:
         """Like :meth:`check`, but a due fault may leave a short write.
 
         ``SHORT_WRITE`` writes roughly half the payload before raising;

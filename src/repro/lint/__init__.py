@@ -1,0 +1,33 @@
+"""repro-lint: self-hosted static analysis for this codebase.
+
+An AST-based rule framework (:mod:`repro.lint.rules`) enforcing the
+structural conventions the incremental-UCC correctness story depends on
+-- fault-site-routed filesystem I/O, frozen shared arrays, no live
+maintained-structure escapes, deterministic core code, lock/metric
+hygiene, and fan-out capture safety. Run it as ``repro-lint`` or
+``python -m repro.lint``; the rule catalog (with the real bugs that
+motivated each rule) lives in ``docs/static-analysis.md``.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, RuleConfig, load_config, parse_config
+from repro.lint.engine import LintResult, module_name_for, run_lint
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import RULES, Rule, all_rules, register
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleFile",
+    "RULES",
+    "Rule",
+    "RuleConfig",
+    "all_rules",
+    "load_config",
+    "module_name_for",
+    "parse_config",
+    "register",
+    "run_lint",
+]

@@ -1,0 +1,77 @@
+"""The checked-in suppression baseline for grandfathered findings.
+
+Policy (see ``docs/static-analysis.md``): a finding may be *baselined*
+only when it is a deliberate, documented design decision -- never when
+it is a genuine bug. Baselined findings are reported (counted, listed
+under ``"baselined"`` in JSON output) but do not fail the run; deleting
+the baseline entry re-arms the finding.
+
+Entries are fingerprint strings (``rule :: path :: symbol :: message``,
+see :meth:`repro.lint.findings.Finding.fingerprint`), so they survive
+line-number drift but expire automatically when the offending code is
+fixed, moved, or reworded -- a stale entry is reported so it can be
+pruned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    entries: set[str] = field(default_factory=set)
+    path: str | None = None
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(path=path)
+        with open(path) as handle:
+            document = json.load(handle)
+        if document.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path}: unsupported version "
+                f"{document.get('version')!r}"
+            )
+        entries = document.get("entries", [])
+        if not isinstance(entries, list) or not all(
+            isinstance(entry, str) for entry in entries
+        ):
+            raise ValueError(f"baseline {path}: entries must be strings")
+        return cls(entries=set(entries), path=path)
+
+    def save(self, path: str | None = None) -> str:
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(self.entries),
+        }
+        with open(target, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        return target
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, finding: Finding) -> None:
+        self.entries.add(finding.fingerprint())
+
+    def stale_entries(self, findings: list[Finding]) -> list[str]:
+        """Baseline entries no longer matched by any current finding."""
+        live = {finding.fingerprint() for finding in findings}
+        return sorted(self.entries - live)

@@ -1,0 +1,179 @@
+"""``repro-lint`` / ``python -m repro.lint``: the self-hosted gate.
+
+Exit codes: 0 clean (warnings and baselined findings allowed), 1 at
+least one non-baselined error finding (or a parse failure), 2 bad
+usage / broken configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import LintResult, run_lint
+from repro.lint.rules import all_rules
+
+DEFAULT_PATHS = ["src", "tests", "tools", "benchmarks"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based static analysis enforcing this codebase's "
+            "correctness invariants (rule catalog: docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root (pyproject.toml location; default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="suppression-baseline file (default: [tool.reprolint].baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding as live",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather every current finding into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule IDs to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule_class in all_rules():
+        scope = ", ".join(rule_class.default_scope)
+        print(f"{rule_class.id} [{rule_class.name}] ({rule_class.default_severity})")
+        print(f"    scope: {scope}")
+        print(f"    {rule_class.description}")
+    return 0
+
+
+def _print_text(result: LintResult, baseline_path: str | None) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    for error in result.parse_errors:
+        print(f"parse error: {error}")
+    summary = result.to_dict()["summary"]
+    bits = [
+        f"{result.files_scanned} files",
+        f"{summary['errors']} error(s)",  # type: ignore[index]
+        f"{summary['warnings']} warning(s)",  # type: ignore[index]
+    ]
+    if result.baselined:
+        bits.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        bits.append(f"{result.suppressed} suppressed inline")
+    print("repro-lint: " + ", ".join(bits))
+    if result.stale_baseline_entries:
+        print(
+            f"note: {len(result.stale_baseline_entries)} stale baseline "
+            f"entr{'y' if len(result.stale_baseline_entries) == 1 else 'ies'} "
+            f"in {baseline_path} (fixed findings; prune them):"
+        )
+        for entry in result.stale_baseline_entries:
+            print(f"  - {entry}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+
+    root = os.path.abspath(args.root)
+    try:
+        config = load_config(os.path.join(root, "pyproject.toml"))
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: bad configuration: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_rel = (
+        args.baseline if args.baseline is not None else config.baseline
+    )
+    baseline: Baseline | None = None
+    baseline_path: str | None = None
+    if baseline_rel and not args.no_baseline:
+        baseline_path = (
+            baseline_rel
+            if os.path.isabs(baseline_rel)
+            else os.path.join(root, baseline_rel)
+        )
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+
+    select: set[str] | None = None
+    if args.select:
+        select = {part.strip().upper() for part in args.select.split(",")}
+        known = {rule.id for rule in all_rules()}
+        unknown = select - known
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = args.paths or DEFAULT_PATHS
+    paths = [path for path in paths if os.path.exists(
+        path if os.path.isabs(path) else os.path.join(root, path)
+    )]
+    if not paths:
+        print("repro-lint: no existing paths to lint", file=sys.stderr)
+        return 2
+
+    result = run_lint(paths, root, config, baseline=baseline, select=select)
+
+    if args.write_baseline:
+        target = baseline if baseline is not None else Baseline()
+        for finding in result.findings:
+            target.add(finding)
+        if baseline_path is None:
+            print(
+                "repro-lint: --write-baseline needs a baseline path "
+                "(config or --baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        target.save(baseline_path)
+        print(
+            f"repro-lint: baselined {len(result.findings)} finding(s) "
+            f"into {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        _print_text(result, baseline_path)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

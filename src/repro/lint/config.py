@@ -1,0 +1,138 @@
+"""Path-scoped lint configuration from ``[tool.reprolint]``.
+
+Each rule carries a built-in default scope (the module prefixes it
+applies to); ``pyproject.toml`` can narrow/extend that per rule, flip
+severities, disable rules, and feed rule-specific options::
+
+    [tool.reprolint]
+    baseline = "tools/reprolint-baseline.json"
+    exclude = ["tests/lint/snippets"]
+
+    [tool.reprolint.rules.R1]
+    exclude_modules = ["repro.service.cli"]
+
+``tomllib`` ships with Python 3.11+; on 3.10 the config loader degrades
+to built-in defaults rather than failing (the CI lint job pins a
+tomllib-capable interpreter, so the gate itself never runs degraded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+try:  # pragma: no cover - import guard is environment-dependent
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+DEFAULT_EXCLUDE_DIRS = (
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    "build",
+    "dist",
+    "bench_results",
+)
+
+
+@dataclass
+class RuleConfig:
+    """Per-rule overrides; unset fields fall back to rule defaults."""
+
+    enabled: bool = True
+    severity: str | None = None
+    include: tuple[str, ...] | None = None  # module-prefix scope override
+    exclude_modules: tuple[str, ...] = ()
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class LintConfig:
+    """The resolved ``[tool.reprolint]`` section."""
+
+    baseline: str | None = "tools/reprolint-baseline.json"
+    exclude: tuple[str, ...] = ()  # path prefixes (repo-relative, posix)
+    exclude_dirs: tuple[str, ...] = DEFAULT_EXCLUDE_DIRS
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+
+    def rule(self, rule_id: str) -> RuleConfig:
+        return self.rules.setdefault(rule_id, RuleConfig())
+
+    def excludes_path(self, path: str) -> bool:
+        return any(
+            path == prefix or path.startswith(prefix.rstrip("/") + "/")
+            for prefix in self.exclude
+        )
+
+
+def _as_str_tuple(value: Any, context: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ValueError(f"{context} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def _rule_config(raw: dict[str, Any], rule_id: str) -> RuleConfig:
+    config = RuleConfig()
+    options = dict(raw)
+    if "enabled" in options:
+        config.enabled = bool(options.pop("enabled"))
+    if "severity" in options:
+        severity = options.pop("severity")
+        if severity not in ("error", "warning"):
+            raise ValueError(
+                f"rule {rule_id}: severity must be 'error' or 'warning', "
+                f"got {severity!r}"
+            )
+        config.severity = severity
+    if "include" in options:
+        config.include = _as_str_tuple(
+            options.pop("include"), f"rule {rule_id}: include"
+        )
+    if "exclude_modules" in options:
+        config.exclude_modules = _as_str_tuple(
+            options.pop("exclude_modules"), f"rule {rule_id}: exclude_modules"
+        )
+    config.options = options
+    return config
+
+
+def parse_config(section: dict[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``[tool.reprolint]`` mapping."""
+    config = LintConfig()
+    section = dict(section)
+    if "baseline" in section:
+        baseline = section.pop("baseline")
+        if baseline is not None and not isinstance(baseline, str):
+            raise ValueError(f"baseline must be a string, got {baseline!r}")
+        config.baseline = baseline
+    if "exclude" in section:
+        config.exclude = _as_str_tuple(section.pop("exclude"), "exclude")
+    if "exclude_dirs" in section:
+        config.exclude_dirs = _as_str_tuple(
+            section.pop("exclude_dirs"), "exclude_dirs"
+        )
+    for rule_id, raw in section.pop("rules", {}).items():
+        if not isinstance(raw, dict):
+            raise ValueError(f"rule {rule_id}: expected a table, got {raw!r}")
+        config.rules[rule_id.upper()] = _rule_config(raw, rule_id)
+    if section:
+        raise ValueError(
+            f"unknown [tool.reprolint] keys: {sorted(section)}"
+        )
+    return config
+
+
+def load_config(pyproject_path: str | None) -> LintConfig:
+    """Load ``[tool.reprolint]`` from a pyproject file (defaults if absent)."""
+    if pyproject_path is None or tomllib is None:
+        return LintConfig()
+    try:
+        with open(pyproject_path, "rb") as handle:
+            document = tomllib.load(handle)
+    except FileNotFoundError:
+        return LintConfig()
+    section = document.get("tool", {}).get("reprolint", {})
+    return parse_config(section)

@@ -1,0 +1,217 @@
+"""The lint driver: discover files, parse, run rules, apply baselines.
+
+Scoping model: every rule carries default module-name prefixes
+(``Rule.default_scope``); the per-rule config can override them
+(``include``) and punch holes (``exclude_modules``). Module names are
+derived from repo-relative paths (``src/repro/storage/pli.py`` ->
+``repro.storage.pli``; ``tests/core/test_swan.py`` ->
+``tests.core.test_swan``), so scanning ``tests tools benchmarks`` is
+cheap -- domain rules simply don't match those prefixes unless
+configured to.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import Rule, all_rules
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)  # live failures
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    stale_baseline_entries: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.parse_errors
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stale_baseline_entries": list(self.stale_baseline_entries),
+            "parse_errors": list(self.parse_errors),
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed,
+            },
+        }
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a repo-relative posix path."""
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def discover_files(
+    paths: list[str], root: str, config: LintConfig
+) -> list[str]:
+    """Repo-relative posix paths of every python file under ``paths``."""
+    found: list[str] = []
+    skip_dirs = set(config.exclude_dirs)
+    for raw in paths:
+        absolute = raw if os.path.isabs(raw) else os.path.join(root, raw)
+        if os.path.isfile(absolute):
+            relative = os.path.relpath(absolute, root).replace(os.sep, "/")
+            if not config.excludes_path(relative):
+                found.append(relative)
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                name for name in dirnames if name not in skip_dirs
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                relative = os.path.relpath(
+                    os.path.join(dirpath, filename), root
+                ).replace(os.sep, "/")
+                if not config.excludes_path(relative):
+                    found.append(relative)
+    return sorted(set(found))
+
+
+def parse_modules(
+    relpaths: list[str], root: str, result: LintResult
+) -> list[ModuleFile]:
+    modules: list[ModuleFile] = []
+    for relpath in relpaths:
+        absolute = os.path.join(root, relpath)
+        try:
+            with open(absolute, encoding="utf-8") as handle:
+                source = handle.read()
+            module = ModuleFile.parse(relpath, module_name_for(relpath), source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        if not module.skip_file:
+            modules.append(module)
+    result.files_scanned = len(modules)
+    return modules
+
+
+def _in_scope(module: ModuleFile, rule: Rule, include: tuple[str, ...],
+              exclude_modules: tuple[str, ...]) -> bool:
+    name = module.module
+    if any(
+        name == banned or name.startswith(banned + ".")
+        for banned in exclude_modules
+    ):
+        return False
+    return any(
+        prefix == "" or name == prefix or name.startswith(prefix + ".")
+        for prefix in include
+    )
+
+
+def run_lint(
+    paths: list[str],
+    root: str,
+    config: LintConfig,
+    baseline: Baseline | None = None,
+    select: set[str] | None = None,
+) -> LintResult:
+    """Run every enabled rule over ``paths``; returns the full result."""
+    result = LintResult()
+    relpaths = discover_files(paths, root, config)
+    modules = parse_modules(relpaths, root, result)
+
+    raw_findings: list[Finding] = []
+    for rule_class in all_rules():
+        rule_config = config.rule(rule_class.id)
+        if not rule_config.enabled:
+            continue
+        if select is not None and rule_class.id not in select:
+            continue
+        rule = rule_class(rule_config.options)
+        include = (
+            rule_config.include
+            if rule_config.include is not None
+            else rule_class.default_scope
+        )
+        scoped = [
+            module
+            for module in modules
+            if _in_scope(module, rule, include, rule_config.exclude_modules)
+        ]
+        severity = rule_config.severity
+        for module in scoped:
+            for finding in rule.check(module):
+                raw_findings.append(
+                    _resolve_severity(finding, severity)
+                )
+        for finding in rule.finalize(scoped):
+            raw_findings.append(_resolve_severity(finding, severity))
+
+    modules_by_path = {module.path: module for module in modules}
+    kept: list[Finding] = []
+    for finding in raw_findings:
+        module = modules_by_path.get(finding.path)
+        if module is not None and module.suppresses(finding.rule, finding.line):
+            result.suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+
+    if baseline is not None and len(baseline):
+        for finding in kept:
+            if finding in baseline:
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+        result.stale_baseline_entries = baseline.stale_entries(kept)
+    else:
+        result.findings = kept
+    return result
+
+
+def _resolve_severity(finding: Finding, severity: str | None) -> Finding:
+    # A config-level severity override only *downgrades or upgrades* the
+    # rule default; findings a rule already emitted as warnings (e.g.
+    # R5's dynamic-name advisory) keep their softer level.
+    if severity is None or finding.severity == "warning":
+        return finding
+    if severity == finding.severity:
+        return finding
+    return Finding(
+        rule=finding.rule,
+        name=finding.name,
+        severity=severity,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        symbol=finding.symbol,
+        message=finding.message,
+    )

@@ -1,0 +1,151 @@
+"""The lint data model: findings, parsed modules, suppressions.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:meth:`~Finding.fingerprint` deliberately excludes the line number --
+baselines (see :mod:`repro.lint.baseline`) must survive unrelated edits
+shifting code up or down, so grandfathered findings are keyed on
+``rule :: path :: enclosing symbol :: message`` instead.
+
+A :class:`ModuleFile` is one parsed source file, pre-annotated with the
+enclosing-scope qualname of every AST node (``node._rl_scope``) and the
+file's inline suppressions, so individual rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+SEVERITIES = ("error", "warning")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-next)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*reprolint:\s*skip-file")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  # e.g. "R1"
+    name: str  # rule slug, e.g. "no-raw-io"
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based
+    symbol: str  # enclosing qualname or "<module>"
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the suppression baseline."""
+        return f"{self.rule}::{self.path}::{self.symbol}::{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity} {self.rule}[{self.name}] {self.message} "
+            f"(in {self.symbol})"
+        )
+
+
+def _annotate_scopes(tree: ast.Module) -> None:
+    """Stamp every node with the qualname of its enclosing def/class."""
+
+    def visit(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                child_scope = (
+                    child.name if scope == "<module>" else f"{scope}.{child.name}"
+                )
+            child._rl_scope = child_scope  # type: ignore[attr-defined]
+            visit(child, child_scope)
+
+    tree._rl_scope = "<module>"  # type: ignore[attr-defined]
+    visit(tree, "<module>")
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule IDs suppressed on them."""
+    suppressed: dict[int, set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        kind, raw = match.groups()
+        rules = {part.strip().upper() for part in raw.split(",") if part.strip()}
+        target = number + 1 if kind == "disable-next" else number
+        suppressed.setdefault(target, set()).update(rules)
+    return suppressed
+
+
+@dataclass
+class ModuleFile:
+    """One parsed source file plus the metadata every rule needs."""
+
+    path: str  # repo-relative posix path
+    module: str  # dotted module name ("repro.storage.pli", "tests.foo")
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    skip_file: bool = False
+
+    @classmethod
+    def parse(cls, path: str, module: str, source: str) -> "ModuleFile":
+        tree = ast.parse(source, filename=path)
+        _annotate_scopes(tree)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=_parse_suppressions(lines),
+            skip_file=any(_SKIP_FILE_RE.search(line) for line in lines[:10]),
+        )
+
+    def scope_of(self, node: ast.AST) -> str:
+        return getattr(node, "_rl_scope", "<module>")
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if rules is None:
+            return False
+        return rule.upper() in rules or "ALL" in rules
+
+    def finding(
+        self,
+        rule: "object",
+        node: ast.AST,
+        message: str,
+        severity: str | None = None,
+    ) -> Finding:
+        """Build a finding for ``node`` using the rule's id/slug."""
+        return Finding(
+            rule=rule.id,  # type: ignore[attr-defined]
+            name=rule.name,  # type: ignore[attr-defined]
+            severity=severity or rule.default_severity,  # type: ignore[attr-defined]
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            symbol=self.scope_of(node),
+            message=message,
+        )

@@ -1,0 +1,142 @@
+"""The rule registry plus shared AST helpers.
+
+Every rule is a subclass of :class:`Rule` registered with
+:func:`register`; the engine instantiates each once per run. Rules are
+*domain* checks: each one encodes a structural convention this codebase
+relies on for correctness, grounded in a bug the repo actually had (the
+catalog with the war stories lives in ``docs/static-analysis.md``).
+
+A rule sees one :class:`~repro.lint.findings.ModuleFile` at a time via
+:meth:`Rule.check`; rules that need a whole-project view (R5's metric
+registry check) also implement :meth:`Rule.finalize`, called once with
+every in-scope module after the per-module pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Mapping
+
+from repro.lint.findings import Finding, ModuleFile
+
+RULES: dict[str, type["Rule"]] = {}
+
+
+def register(rule_class: type["Rule"]) -> type["Rule"]:
+    if rule_class.id in RULES:
+        raise ValueError(f"rule {rule_class.id} registered twice")
+    RULES[rule_class.id] = rule_class
+    return rule_class
+
+
+class Rule:
+    """One domain check. Subclasses set the class attributes below."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    default_severity: str = "error"
+    #: Module-name prefixes the rule applies to by default. ``("",)``
+    #: would mean every scanned module.
+    default_scope: tuple[str, ...] = ("repro",)
+
+    def __init__(self, options: Mapping[str, object] | None = None) -> None:
+        self.options = dict(options or {})
+
+    def option(self, key: str, default: object) -> object:
+        return self.options.get(key, default)
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        """Per-module pass; yield findings."""
+        return iter(())
+
+    def finalize(self, modules: list[ModuleFile]) -> Iterator[Finding]:
+        """Whole-project pass over every in-scope module."""
+        return iter(())
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule, in rule-ID order."""
+    _load_builtin_rules()
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so the registry module has no import cycle with
+    # the rule modules (each calls ``register`` at import time).
+    from repro.lint.rules import (  # noqa: F401
+        determinism,
+        fanout_capture,
+        frozen_views,
+        live_escape,
+        locks_metrics,
+        raw_io,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call targets, if statically nameable."""
+    return dotted_name(node.func)
+
+
+def is_self_attribute(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def functions_in(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_local(function: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def contains_call_named(node: ast.AST, names: Iterable[str]) -> bool:
+    """Does any call inside ``node`` target an attr/name in ``names``?"""
+    wanted = set(names)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            if isinstance(child.func, ast.Attribute) and child.func.attr in wanted:
+                return True
+            if isinstance(child.func, ast.Name) and child.func.id in wanted:
+                return True
+    return False
+
+
+def literal_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,128 @@
+"""R4 ``determinism``: the profiling core must be bit-reproducible.
+
+Parallel fan-out, the cross-batch partition cache, and recovery replay
+are all validated by *bit-identical profile* comparisons (the
+cache/parallel property tests, the vectorized-vs-reference pipeline,
+the chaos sweep's exhaustive verification). That methodology only
+works if ``repro.core`` / ``repro.lattice`` / ``repro.storage`` are
+deterministic functions of their inputs:
+
+* no wall-clock or RNG calls (``random``, ``time.time``,
+  ``datetime.now``) -- seeds and clocks are injected at the service
+  layer where they belong;
+* no unordered ``set`` iteration feeding ordered output
+  (``list(set(...))``, ``tuple(set(...))``, ``join(set(...))``) --
+  hash randomization makes that order vary across *processes*, which
+  is exactly the gap between "passes locally" and "recovery replays a
+  different profile". Use ``sorted(...)`` or ``dict.fromkeys(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import Rule, call_name, register
+
+_BANNED_CALLS = {
+    "time.time": "inject a clock at the service layer",
+    "time.time_ns": "inject a clock at the service layer",
+    "datetime.now": "inject a clock at the service layer",
+    "datetime.utcnow": "inject a clock at the service layer",
+    "datetime.today": "inject a clock at the service layer",
+    "datetime.datetime.now": "inject a clock at the service layer",
+    "datetime.datetime.utcnow": "inject a clock at the service layer",
+}
+_ORDERED_CONSUMERS = {"list", "tuple"}
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    """A set literal/comprehension/constructor: iteration order varies."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in ("set", "frozenset")
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    id = "R4"
+    name = "determinism"
+    description = (
+        "repro.core/repro.lattice/repro.storage may not call random/"
+        "time.time/datetime.now or iterate an unordered set into ordered "
+        "output; use sorted(...) (or dict.fromkeys for stable dedup)."
+    )
+    default_scope = ("repro.core", "repro.lattice", "repro.storage")
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield module.finding(
+                            self,
+                            node,
+                            "import of the random module in deterministic "
+                            "core code: inject a seeded RNG instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is not None and node.module.split(".")[0] == "random":
+                    yield module.finding(
+                        self,
+                        node,
+                        "import from the random module in deterministic "
+                        "core code: inject a seeded RNG instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: ModuleFile, node: ast.Call) -> Iterator[Finding]:
+        name = call_name(node)
+        if name is not None:
+            if name.startswith("random."):
+                yield module.finding(
+                    self,
+                    node,
+                    f"nondeterministic call {name}(): inject a seeded RNG "
+                    "instead",
+                )
+                return
+            if name in _BANNED_CALLS:
+                yield module.finding(
+                    self,
+                    node,
+                    f"wall-clock call {name}() in deterministic core code: "
+                    f"{_BANNED_CALLS[name]}",
+                )
+                return
+        # list(set(...)) / tuple(set(...))
+        if (
+            name in _ORDERED_CONSUMERS
+            and len(node.args) == 1
+            and _is_unordered(node.args[0])
+        ):
+            yield module.finding(
+                self,
+                node,
+                f"{name}() over an unordered set: iteration order varies "
+                "under hash randomization; use sorted(...) or "
+                "dict.fromkeys(...) for stable dedup",
+            )
+            return
+        # "...".join(set(...))
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and len(node.args) == 1
+            and _is_unordered(node.args[0])
+        ):
+            yield module.finding(
+                self,
+                node,
+                "join() over an unordered set: iteration order varies "
+                "under hash randomization; sort first",
+            )

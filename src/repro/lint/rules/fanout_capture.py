@@ -1,0 +1,174 @@
+"""R6 ``fanout-capture``: closures on the worker pool don't mutate
+shared locals.
+
+:class:`~repro.core.parallel.FanOutPool` keeps parallel profiles
+bit-identical to serial ones by one contract: tasks communicate through
+*return values*, merged in input order by the caller. A closure that
+appends to / writes into a captured local instead communicates through
+shared memory -- the merge order (and under races, the content) then
+depends on thread scheduling, which is exactly the nondeterminism the
+pool was designed out of. Reads of captured state are fine (the
+handlers are read-only against the profile during fan-out); direct
+mutation of captured names is not.
+
+The rule finds ``<pool>.map(fn, ...)`` calls (any receiver whose name
+contains ``pool``), resolves ``fn`` to the local ``def``/``lambda``,
+and flags statements in its body that mutate a captured name: item
+assignment, ``+=``, or in-place container methods
+(``append``/``add``/``update``/...). Names that are parameters or
+assigned locally are exempt; so are names listed in the rule's
+``allow_names`` option (for append-only accumulators owned by the
+pool itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import Rule, dotted_name, register, walk_local
+
+_MUTATING_METHODS = {
+    "append", "add", "update", "extend", "insert", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort",
+}
+
+
+def _local_names(function: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> set[str]:
+    args = function.args
+    names = {
+        arg.arg
+        for arg in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+    }
+    if not isinstance(function, ast.Lambda):
+        for node in walk_local(function):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for child in ast.walk(target):
+                        if isinstance(child, ast.Name):
+                            names.add(child.id)
+            elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for child in ast.walk(node.target):
+                    if isinstance(child, ast.Name):
+                        names.add(child.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for child in ast.walk(item.optional_vars):
+                            if isinstance(child, ast.Name):
+                                names.add(child.id)
+    return names
+
+
+@register
+class FanoutCaptureRule(Rule):
+    id = "R6"
+    name = "fanout-capture"
+    description = (
+        "Closures submitted to FanOutPool.map may not capture and mutate "
+        "shared mutable locals; tasks communicate via return values merged "
+        "in input order."
+    )
+    default_scope = ("repro.core", "repro.service")
+
+    @property
+    def allow_names(self) -> tuple[str, ...]:
+        return tuple(self.option("allow_names", []))
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        for scope_node in ast.walk(module.tree):
+            if not isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            submitted = self._submitted_callables(scope_node)
+            for target in submitted:
+                yield from self._check_closure(module, target)
+
+    def _submitted_callables(
+        self, scope_node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda]:
+        """Callables passed to a pool's .map() within this function."""
+        local_defs = {
+            child.name: child
+            for child in walk_local(scope_node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        found: list[ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda] = []
+        for node in walk_local(scope_node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("map", "submit")
+                and node.args
+            ):
+                continue
+            receiver = dotted_name(node.func.value) or ""
+            if "pool" not in receiver.lower():
+                continue
+            fn = node.args[0]
+            if isinstance(fn, ast.Lambda):
+                found.append(fn)
+            elif isinstance(fn, ast.Name) and fn.id in local_defs:
+                found.append(local_defs[fn.id])
+        return found
+
+    def _check_closure(
+        self,
+        module: ModuleFile,
+        function: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    ) -> Iterator[Finding]:
+        locals_ = _local_names(function) | set(self.allow_names)
+        body = function.body if isinstance(function.body, list) else [function.body]
+        label = getattr(function, "name", "<lambda>")
+        for stmt_root in body:
+            for node in ast.walk(stmt_root):
+                yield from self._mutation_findings(module, node, locals_, label)
+
+    def _mutation_findings(
+        self, module: ModuleFile, node: ast.AST, locals_: set[str], label: str
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id not in locals_
+                ):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"pool task {label!r} writes into captured "
+                        f"{target.value.id!r}: return the value and let the "
+                        "caller merge in input order",
+                    )
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            base = target.value if isinstance(target, ast.Subscript) else target
+            if isinstance(base, ast.Name) and base.id not in locals_:
+                yield module.finding(
+                    self,
+                    node,
+                    f"pool task {label!r} updates captured {base.id!r} "
+                    "in place: return the value and let the caller merge",
+                )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if (
+                node.func.attr in _MUTATING_METHODS
+                and isinstance(receiver, ast.Name)
+                and receiver.id not in locals_
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"pool task {label!r} calls .{node.func.attr}() on "
+                    f"captured {receiver.id!r}: return the value and let "
+                    "the caller merge in input order",
+                )

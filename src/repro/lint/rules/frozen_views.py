@@ -1,0 +1,233 @@
+"""R2 ``frozen-view``: cached/shared numpy arrays must be read-only.
+
+:class:`~repro.storage.value_index.ValueIndex` hands out its live
+posting arrays without copying (that no-copy contract is why the batch
+insert path is fast); the only thing standing between that and silent
+index corruption is ``flags.writeable = False``. This rule enforces the
+convention at both ends:
+
+* **producers** -- module-level ndarray constants (the ``_EMPTY``
+  pattern) must be frozen right after construction, and designated
+  lookup surfaces (``lookup_array``, ``lookup_batch``,
+  ``codes_for_ids``, ``codes_at``, ...) may not return a freshly built
+  or sliced array without routing it through a freezing wrapper;
+* **consumers** -- no function may mutate a value it obtained from one
+  of those surfaces (element assignment, ``+=``, in-place methods like
+  ``sort``/``fill``, or thawing via ``setflags``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import Rule, call_name, dotted_name, register, walk_local
+
+_NP_CONSTRUCTORS = {
+    "np.empty", "np.zeros", "np.ones", "np.full", "np.arange",
+    "np.array", "np.asarray", "np.frombuffer", "np.fromiter",
+    "numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full",
+    "numpy.arange", "numpy.array", "numpy.asarray",
+}
+_INPLACE_METHODS = {
+    "sort", "fill", "put", "resize", "partition", "itemset", "byteswap",
+}
+_DEFAULT_SURFACES = (
+    "lookup_array",
+    "lookup_batch",
+    "codes_for_ids",
+    "codes_at",
+)
+_DEFAULT_WRAPPERS = ("_frozen", "frozen", "as_readonly")
+
+
+def _is_freeze_stmt(stmt: ast.stmt, name: str) -> bool:
+    """``name.flags.writeable = False`` or ``name.setflags(write=False)``."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if (
+            dotted_name(target) == f"{name}.flags.writeable"
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is False
+        ):
+            return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if dotted_name(call.func) == f"{name}.setflags":
+            for keyword in call.keywords:
+                if (
+                    keyword.arg == "write"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    return True
+    return False
+
+
+@register
+class FrozenViewsRule(Rule):
+    id = "R2"
+    name = "frozen-view"
+    description = (
+        "Numpy arrays returned from cache/lookup surfaces must be made "
+        "read-only before return, and no call site may mutate a value "
+        "obtained from those surfaces."
+    )
+    default_scope = ("repro.storage", "repro.core")
+
+    @property
+    def surfaces(self) -> tuple[str, ...]:
+        return tuple(self.option("surfaces", list(_DEFAULT_SURFACES)))
+
+    @property
+    def wrappers(self) -> tuple[str, ...]:
+        return tuple(self.option("frozen_wrappers", list(_DEFAULT_WRAPPERS)))
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        yield from self._check_module_constants(module)
+        yield from self._check_surface_returns(module)
+        yield from self._check_consumer_mutation(module)
+
+    # ------------------------------------------------------------------
+    # Producers: module-level ndarray constants
+    # ------------------------------------------------------------------
+    def _check_module_constants(self, module: ModuleFile) -> Iterator[Finding]:
+        body = module.tree.body
+        for position, stmt in enumerate(body):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call) and call_name(value) in self.wrappers:
+                continue  # already routed through a freezing wrapper
+            if not (
+                isinstance(value, ast.Call)
+                and call_name(value) in _NP_CONSTRUCTORS
+            ):
+                continue
+            frozen = any(
+                _is_freeze_stmt(later, target.id)
+                for later in body[position + 1 : position + 4]
+            )
+            if not frozen:
+                yield module.finding(
+                    self,
+                    stmt,
+                    f"module-level ndarray constant {target.id!r} is not "
+                    "frozen: set .flags.writeable = False (or build it via "
+                    "a freezing wrapper) right after construction",
+                )
+
+    # ------------------------------------------------------------------
+    # Producers: designated lookup surfaces
+    # ------------------------------------------------------------------
+    def _check_surface_returns(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in self.surfaces:
+                continue
+            for stmt in walk_local(node):
+                if not isinstance(stmt, ast.Return) or stmt.value is None:
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Call) and call_name(value) in self.wrappers:
+                    continue
+                bare_build = (
+                    isinstance(value, ast.Call)
+                    and call_name(value) in _NP_CONSTRUCTORS
+                )
+                bare_slice = isinstance(value, ast.Subscript)
+                if bare_build or bare_slice:
+                    shape = "freshly built" if bare_build else "sliced/gathered"
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"lookup surface {node.name!r} returns a {shape} "
+                        "array without freezing it: wrap the return value "
+                        f"in one of {', '.join(self.wrappers)} (or freeze "
+                        "via setflags(write=False))",
+                    )
+
+    # ------------------------------------------------------------------
+    # Consumers: no mutation of surface-obtained values
+    # ------------------------------------------------------------------
+    def _check_consumer_mutation(self, module: ModuleFile) -> Iterator[Finding]:
+        surfaces = set(self.surfaces) | {"lookup"}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name in surfaces:
+                continue  # the surface itself may build its arrays
+            tainted: set[str] = set()
+            for stmt in walk_local(node):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    value = stmt.value
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if (
+                        isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Attribute)
+                        and value.func.attr in surfaces
+                    ):
+                        tainted.add(target.id)
+                    elif (
+                        isinstance(value, ast.Name) and value.id in tainted
+                    ):
+                        tainted.add(target.id)
+                    elif target.id in tainted:
+                        tainted.discard(target.id)  # rebound to fresh value
+            if not tainted:
+                continue
+            for stmt in walk_local(node):
+                yield from self._mutations_of(module, stmt, tainted)
+
+    def _mutations_of(
+        self, module: ModuleFile, stmt: ast.AST, tainted: set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in tainted
+                ):
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"element assignment into {target.value.id!r}, which "
+                        "was obtained from a read-only lookup surface: copy "
+                        "it first",
+                    )
+        elif isinstance(stmt, ast.AugAssign):
+            target = stmt.target
+            base = target.value if isinstance(target, ast.Subscript) else target
+            if isinstance(base, ast.Name) and base.id in tainted:
+                yield module.finding(
+                    self,
+                    stmt,
+                    f"in-place update of {base.id!r}, which was obtained "
+                    "from a read-only lookup surface: copy it first",
+                )
+        elif isinstance(stmt, ast.Call) and isinstance(stmt.func, ast.Attribute):
+            receiver = stmt.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in tainted:
+                if stmt.func.attr in _INPLACE_METHODS:
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"in-place .{stmt.func.attr}() on "
+                        f"{receiver.id!r}, which was obtained from a "
+                        "read-only lookup surface: copy it first",
+                    )
+                elif stmt.func.attr == "setflags":
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"thawing {receiver.id!r} via setflags defeats the "
+                        "frozen-view contract: copy it instead",
+                    )

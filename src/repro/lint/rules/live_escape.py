@@ -1,0 +1,212 @@
+"""R3 ``no-live-structure-escape``: maintained state never leaks live.
+
+The exact shape of the PR 3 bug: ``pli_for_combination`` took an early
+break before its first intersection and returned the **live maintained
+column PLI** un-copied; the caller's ``remove_ids`` then silently
+corrupted the maintained index, and the profile drifted. No runtime
+oracle catches that cheaply (dependency-discovery hardness means
+re-verifying the profile is exponential), so the convention is
+structural: a function over maintained state may not return or yield a
+reference to a mutable maintained container without an explicit
+``.copy()`` / frozen wrapper on that path.
+
+The check is an intraprocedural *may-alias* taint pass:
+
+* reads of maintained containers (configurable parameter names such as
+  ``column_plis`` and ``self`` attributes such as ``_clusters``) taint
+  the receiving local -- via subscript, ``.get``, attribute access on a
+  tainted value, or plain rebinding;
+* taint accumulates over all assignments to a name (an early ``break``
+  can skip the cleansing assignment, which is exactly how the PR 3 bug
+  survived a straight-line reading of the code);
+* an explicit ``.copy()`` / ``deepcopy`` / freezing wrapper anywhere in
+  an assignment's value cleanses it -- including the guarded
+  ``x if derived else x.copy()`` idiom, which is treated as a
+  deliberate aliasing decision;
+* a ``return``/``yield`` whose value may be tainted (including inside
+  tuples/lists) is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import Rule, is_self_attribute, register, walk_local
+
+_CLEANSING_CALLS = {"copy", "deepcopy", "frozenset", "tuple", "dict", "list", "set"}
+_DEFAULT_MAINTAINED_PARAMS = ("column_plis", "plis")
+_DEFAULT_MAINTAINED_ATTRS = ("_clusters", "_membership", "_entries", "_indexes")
+_DEFAULT_SCOPE = (
+    "repro.storage.pli",
+    "repro.storage.fastpli",
+    "repro.storage.plicache",
+    "repro.storage.value_index",
+)
+
+_SCALAR_NAMES = {"int", "float", "bool", "str", "bytes", "None"}
+
+
+def _scalar_return(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Is the declared return type scalar-only (so no container can leak)?
+
+    Covers ``int``, ``int | None``, ``Optional[int]`` and friends. An
+    unannotated function is *not* exempt -- absence of a signature is no
+    proof of scalarness.
+    """
+
+    def scalar(node: ast.AST | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Constant):
+            return node.value is None
+        if isinstance(node, ast.Name):
+            return node.id in _SCALAR_NAMES
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return scalar(node.left) and scalar(node.right)
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "Optional"
+        ):
+            return scalar(node.slice)
+        return False
+
+    return scalar(function.returns)
+
+
+@register
+class LiveEscapeRule(Rule):
+    id = "R3"
+    name = "no-live-structure-escape"
+    description = (
+        "Functions on maintained state (plicache, pli, fastpli, "
+        "value_index) may not return or yield a reference to a mutable "
+        "maintained container without an explicit .copy()/frozen wrapper."
+    )
+    default_scope = _DEFAULT_SCOPE
+
+    @property
+    def maintained_params(self) -> tuple[str, ...]:
+        return tuple(
+            self.option("maintained_params", list(_DEFAULT_MAINTAINED_PARAMS))
+        )
+
+    @property
+    def maintained_attrs(self) -> tuple[str, ...]:
+        return tuple(
+            self.option("maintained_attrs", list(_DEFAULT_MAINTAINED_ATTRS))
+        )
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _scalar_return(node):
+                    continue  # scalars can't alias a container
+                yield from self._check_function(module, node)
+
+    # ------------------------------------------------------------------
+    # Taint classification
+    # ------------------------------------------------------------------
+    def _is_maintained(self, node: ast.AST) -> bool:
+        """Is ``node`` a direct reference to a maintained container?"""
+        if isinstance(node, ast.Name) and node.id in self.maintained_params:
+            return True
+        attr = is_self_attribute(node)
+        return attr is not None and attr in self.maintained_attrs
+
+    def _contains_cleansing(self, node: ast.AST) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                func = child.func
+                if isinstance(func, ast.Attribute) and func.attr in _CLEANSING_CALLS:
+                    return True
+                if isinstance(func, ast.Name) and func.id in _CLEANSING_CALLS:
+                    return True
+        return False
+
+    def _value_tainted(self, node: ast.AST, tainted: set[str]) -> bool:
+        """May ``node`` alias a maintained container?"""
+        if self._contains_cleansing(node):
+            return False
+        if self._is_maintained(node):
+            return True  # returning the container itself
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        if isinstance(node, ast.Subscript):
+            return self._is_maintained(node.value) or self._value_tainted(
+                node.value, tainted
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            # ``maintained.get(...)`` / ``tainted.get(...)`` alias a
+            # stored element; every other call builds a fresh value.
+            if isinstance(func, ast.Attribute) and func.attr == "get":
+                return self._is_maintained(func.value) or self._value_tainted(
+                    func.value, tainted
+                )
+            return False
+        if isinstance(node, ast.Attribute):
+            return self._value_tainted(node.value, tainted)
+        if isinstance(node, ast.IfExp):
+            return self._value_tainted(node.body, tainted) or self._value_tainted(
+                node.orelse, tainted
+            )
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self._value_tainted(item, tainted) for item in node.elts)
+        if isinstance(node, ast.NamedExpr):
+            return self._value_tainted(node.value, tainted)
+        return False
+
+    # ------------------------------------------------------------------
+    # Per-function may-alias pass
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        module: ModuleFile,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        # Pass 1: accumulate may-taint over every assignment. Iterate to
+        # a fixed point so aliases of aliases are covered regardless of
+        # statement order.
+        tainted: set[str] = set()
+        for _ in range(4):
+            before = len(tainted)
+            for stmt in walk_local(function):
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets = [stmt.target]
+                    value = stmt.value
+                elif isinstance(stmt, ast.NamedExpr):
+                    targets = [stmt.target]
+                    value = stmt.value
+                else:
+                    continue
+                if not self._value_tainted(value, tainted):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            if len(tainted) == before:
+                break
+
+        # Pass 2: flag escapes.
+        for stmt in walk_local(function):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                escape, keyword = stmt.value, "returns"
+            elif isinstance(stmt, ast.Yield) and stmt.value is not None:
+                escape, keyword = stmt.value, "yields"
+            else:
+                continue
+            if self._value_tainted(escape, tainted):
+                yield module.finding(
+                    self,
+                    stmt,
+                    f"{keyword} a reference that may alias a live "
+                    "maintained container (the PR 3 "
+                    "pli_for_combination aliasing-bug shape): return an "
+                    "explicit .copy() or a frozen wrapper instead",
+                )

@@ -1,0 +1,247 @@
+"""R5 ``lock-metrics-hygiene``: locks always release, metric names agree.
+
+Two operational conventions with real failure stories behind them:
+
+* PR 2 fixed a family of bugs where the service's ``flock`` survived a
+  crashed ``start()`` and wedged every later boot. The convention since
+  is: an explicit lock acquire either lives inside ``try``/``finally``
+  (or a ``with`` block) with its release, or ownership is transferred
+  to ``self`` and the class provides a release method -- this rule
+  checks for exactly those shapes.
+* ``stats()`` / ``status.json`` are scraped by dashboards; a metric
+  name accidentally used as both a counter and a gauge splits one
+  logical series into two registry slots (the JSON document would carry
+  both), so each name must map to exactly one metric kind across the
+  codebase. Dynamic (non-literal) metric names evade that check and
+  are reported as warnings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import (
+    Rule,
+    contains_call_named,
+    dotted_name,
+    literal_str,
+    register,
+)
+
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _mentions_lock_ex(node: ast.Call) -> bool:
+    for arg in node.args[1:]:
+        for child in ast.walk(arg):
+            if isinstance(child, ast.Attribute) and child.attr == "LOCK_EX":
+                return True
+    return False
+
+
+def _class_of(module: ModuleFile, node: ast.AST) -> ast.ClassDef | None:
+    scope = module.scope_of(node)
+    head = scope.split(".")[0]
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == head:
+            return stmt
+    return None
+
+
+@register
+class LocksMetricsRule(Rule):
+    id = "R5"
+    name = "lock-metrics-hygiene"
+    description = (
+        "Every flock/lock acquire needs a release on all exit paths "
+        "(try/finally, with, or ownership transfer to a class that "
+        "releases), and every metric name maps to exactly one kind."
+    )
+    default_scope = ("repro.service", "repro.storage", "repro.core")
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        yield from self._check_flock(module)
+        yield from self._check_bare_acquire(module)
+        yield from self._check_dynamic_metric_names(module)
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+    def _check_flock(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "fcntl.flock":
+                continue
+            if not _mentions_lock_ex(node):
+                continue
+            function = self._enclosing_function(module, node)
+            if function is None:
+                yield module.finding(
+                    self, node, "module-level flock acquire has no release path"
+                )
+                continue
+            if self._has_release_shape(module, function, node):
+                continue
+            yield module.finding(
+                self,
+                node,
+                "flock(LOCK_EX) without a guaranteed release: unlock in a "
+                "finally/with, or store the handle on self and release it "
+                "in a dedicated method (LOCK_UN)",
+            )
+
+    def _enclosing_function(
+        self, module: ModuleFile, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        target_scope = module.scope_of(node)
+        if target_scope == "<module>":
+            return None
+        for candidate in ast.walk(module.tree):
+            if not isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # A def node's own scope stamp *is* its qualname.
+            if module.scope_of(candidate) == target_scope:
+                return candidate
+        return None
+
+    def _has_release_shape(
+        self,
+        module: ModuleFile,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        acquire: ast.Call,
+    ) -> bool:
+        # Shape 1: a release in the same function (finally/except close
+        # or an explicit LOCK_UN anywhere on the function's exit paths).
+        for node in ast.walk(function):
+            if isinstance(node, ast.Attribute) and node.attr == "LOCK_UN":
+                return True
+        # Shape 2: ownership transfer -- the handle lands on self and the
+        # class releases it elsewhere (LOCK_UN in another method). The
+        # error path before the transfer must still close the handle.
+        stores_on_self = any(
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                for target in node.targets
+            )
+            for node in ast.walk(function)
+        )
+        if stores_on_self:
+            owner = _class_of(module, function)
+            if owner is not None:
+                for node in ast.walk(owner):
+                    if isinstance(node, ast.Attribute) and node.attr == "LOCK_UN":
+                        # The acquire itself must be guarded so a failed
+                        # flock cannot leak the just-opened handle.
+                        if self._acquire_guarded(function, acquire):
+                            return True
+        return False
+
+    @staticmethod
+    def _acquire_guarded(function: ast.AST, acquire: ast.Call) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Try):
+                guarded = any(
+                    acquire in ast.walk(stmt) for stmt in node.body
+                )
+                if guarded and (node.handlers or node.finalbody):
+                    closes = any(
+                        contains_call_named(handler, ("close",))
+                        for handler in [*node.handlers, *node.finalbody]
+                    )
+                    if closes:
+                        return True
+        return False
+
+    def _check_bare_acquire(self, module: ModuleFile) -> Iterator[Finding]:
+        """An explicit .acquire() on a lock-ish name needs a paired
+        release in a finally block of the same function."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            acquires = []
+            releases_in_finally = False
+            for child in ast.walk(node):
+                if isinstance(child, ast.Call) and isinstance(
+                    child.func, ast.Attribute
+                ):
+                    receiver = dotted_name(child.func.value) or ""
+                    if "lock" not in receiver.lower():
+                        continue
+                    if child.func.attr == "acquire":
+                        acquires.append(child)
+                if isinstance(child, ast.Try) and child.finalbody:
+                    if any(
+                        contains_call_named(stmt, ("release",))
+                        for stmt in child.finalbody
+                    ):
+                        releases_in_finally = True
+            if acquires and not releases_in_finally:
+                for call in acquires:
+                    yield module.finding(
+                        self,
+                        call,
+                        "explicit lock .acquire() without a .release() in a "
+                        "finally block: prefer `with lock:`",
+                    )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _check_dynamic_metric_names(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._metric_call_kind(node)
+            if kind is None or not node.args:
+                continue
+            if literal_str(node.args[0]) is None:
+                yield module.finding(
+                    self,
+                    node,
+                    f"dynamic {kind} name evades the single-registration "
+                    "check: use literal metric names",
+                    severity="warning",
+                )
+
+    @staticmethod
+    def _metric_call_kind(node: ast.Call) -> str | None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_KINDS
+        ):
+            receiver = dotted_name(node.func.value) or ""
+            leaf = receiver.rsplit(".", maxsplit=1)[-1].lower()
+            if "metrics" in leaf or "registry" in leaf:
+                return node.func.attr
+        return None
+
+    def finalize(self, modules: list[ModuleFile]) -> Iterator[Finding]:
+        """Whole-project pass: one metric name, exactly one kind."""
+        seen: dict[str, tuple[str, ModuleFile, ast.Call]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind = self._metric_call_kind(node)
+                if kind is None or not node.args:
+                    continue
+                name = literal_str(node.args[0])
+                if name is None:
+                    continue
+                previous = seen.get(name)
+                if previous is None:
+                    seen[name] = (kind, module, node)
+                elif previous[0] != kind:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"metric name {name!r} used as both "
+                        f"{previous[0]} (first in {previous[1].path}) and "
+                        f"{kind}: one name, one kind",
+                    )

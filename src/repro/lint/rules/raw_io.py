@@ -1,0 +1,75 @@
+"""R1 ``no-raw-io``: every filesystem effect goes through ``fsops``.
+
+The chaos sweep (:mod:`repro.faults.chaos`) proves "no wrong
+MUCS/MNUCS is ever served" by injecting faults at every *registered*
+site -- a raw ``open``/``os.replace`` in a durability path is a write
+the sweep can never fault, i.e. a recovery path with zero test
+coverage. PR 2 routed the changelog/snapshot/table hot paths through
+:mod:`repro.faults.fsops`; this rule keeps every later filesystem touch
+in ``repro.service`` / ``repro.storage`` honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.rules import Rule, dotted_name, register
+
+_BANNED_DOTTED = {
+    "os.replace": "fsops.replace",
+    "os.rename": "fsops.rename",
+    "os.fsync": "fsops.fsync",
+    "os.remove": "fsops.remove",
+    "os.unlink": "fsops.remove",
+}
+_BANNED_METHODS = {
+    "write_text": "fsops.write on an fsops.open_ handle",
+    "write_bytes": "fsops.write on an fsops.open_ handle",
+}
+
+
+@register
+class RawIoRule(Rule):
+    id = "R1"
+    name = "no-raw-io"
+    description = (
+        "Direct open/os.replace/os.rename/os.fsync/Path.write_* calls are "
+        "banned in repro.service and repro.storage; filesystem effects must "
+        "go through repro.faults.fsops registered sites so the chaos sweep "
+        "covers them."
+    )
+    default_scope = ("repro.service", "repro.storage")
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func)
+            if target == "open":
+                yield module.finding(
+                    self,
+                    node,
+                    "raw open() call: use fsops.open_(<site>, ...) so the "
+                    "fault sweep covers this read/write path",
+                )
+                continue
+            if target in _BANNED_DOTTED:
+                yield module.finding(
+                    self,
+                    node,
+                    f"raw {target}() call: use {_BANNED_DOTTED[target]} "
+                    "with a registered fault site",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BANNED_METHODS
+            ):
+                yield module.finding(
+                    self,
+                    node,
+                    f"raw .{node.func.attr}() call: use "
+                    f"{_BANNED_METHODS[node.func.attr]}",
+                )

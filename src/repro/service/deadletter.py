@@ -31,6 +31,27 @@ import os
 import time
 from typing import Iterable, Sequence
 
+from repro.faults import fsops
+
+SITE_REASON_OPEN = fsops.register_site(
+    "deadletter.reason.open", "write a quarantine reason record (tmp file)"
+)
+SITE_REASON_REPLACE = fsops.register_site(
+    "deadletter.reason.replace", "atomically publish a reason record"
+)
+SITE_FILE_REPLACE = fsops.register_site(
+    "deadletter.file.replace", "move a poison file into quarantine"
+)
+SITE_PAYLOAD_OPEN = fsops.register_site(
+    "deadletter.payload.open", "serialize an in-memory poison batch"
+)
+SITE_STATE_REPLACE = fsops.register_site(
+    "deadletter.state.replace", "move distrusted durable state into quarantine"
+)
+SITE_READ_OPEN = fsops.register_site(
+    "deadletter.read.open", "read a reason record back"
+)
+
 _REASON_SUFFIX = ".reason.json"
 
 
@@ -77,9 +98,9 @@ class DeadLetterQueue:
         }
         path = os.path.join(self._directory, name + _REASON_SUFFIX)
         tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
+        with fsops.open_(SITE_REASON_OPEN, tmp, "w") as handle:
             json.dump(record, handle, indent=2)
-        os.replace(tmp, path)
+        fsops.replace(SITE_REASON_REPLACE, tmp, path)
 
     # ------------------------------------------------------------------
     # Quarantining
@@ -96,7 +117,7 @@ class DeadLetterQueue:
         name = self._unique(os.path.basename(path))
         destination = os.path.join(self._directory, name)
         if os.path.exists(path):
-            os.replace(path, destination)
+            fsops.replace(SITE_FILE_REPLACE, path, destination)
         self._write_reason(
             name, reason, tokens, type(error).__name__ if error else None
         )
@@ -113,7 +134,7 @@ class DeadLetterQueue:
         self._ensure()
         name = self._unique("batch.json")
         destination = os.path.join(self._directory, name)
-        with open(destination, "w") as handle:
+        with fsops.open_(SITE_PAYLOAD_OPEN, destination, "w") as handle:
             json.dump(payload, handle, indent=2)
         self._write_reason(
             name, reason, tokens, type(error).__name__ if error else None
@@ -138,8 +159,10 @@ class DeadLetterQueue:
         os.makedirs(destination)
         for path in paths:
             if os.path.exists(path):
-                os.replace(
-                    path, os.path.join(destination, os.path.basename(path))
+                fsops.replace(
+                    SITE_STATE_REPLACE,
+                    path,
+                    os.path.join(destination, os.path.basename(path)),
                 )
         self._write_reason(
             name, reason, (), type(error).__name__ if error else None
@@ -158,7 +181,9 @@ class DeadLetterQueue:
             if not name.endswith(_REASON_SUFFIX):
                 continue
             try:
-                with open(os.path.join(self._directory, name)) as handle:
+                with fsops.open_(
+                    SITE_READ_OPEN, os.path.join(self._directory, name)
+                ) as handle:
                     records.append(json.load(handle))
             except (OSError, json.JSONDecodeError):  # pragma: no cover
                 continue

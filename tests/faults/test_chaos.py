@@ -90,6 +90,10 @@ class TestSweep:
                 "snapshot",
                 "spool",
                 "table",
+                "deadletter",
+                "status",
+                "lock",
+                "relation",
             ), f"no chaos runner covers site {site}"
 
     def test_failure_shape(self):

@@ -1,0 +1,25 @@
+"""The PR 3 ``pli_for_combination`` aliasing bug, reconstructed verbatim.
+
+This is the pre-fix shape of :func:`repro.storage.pli.pli_for_combination`:
+when the cheapest column has no duplicates, the ``for`` loop breaks (or
+never runs its body) before the first ``intersect``, and the function
+returns ``current`` -- which still *is* the live maintained column PLI.
+The caller's ``remove_ids`` then silently corrupted the maintained
+index. R3 must flag the ``return current`` below; the fixed production
+code (``current if derived else current.copy()``) must pass.
+
+Linted only by tests/lint tests (the gate excludes this directory).
+"""
+
+
+def pli_for_combination(relation, mask, column_plis):
+    columns = sorted(iter_bits(mask), key=lambda c: column_plis[c].n_entries())
+    if not columns:
+        ids = list(relation.iter_ids())
+        return PositionListIndex.from_clusters([ids] if len(ids) >= 2 else [])
+    current = column_plis[columns[0]]
+    for column in columns[1:]:
+        if not current.has_duplicates:
+            break
+        current = current.intersect(column_plis[column])
+    return current

@@ -1,0 +1,291 @@
+"""Engine/CLI behaviour: baselines, JSON schema, config, suppressions."""
+
+import json
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+from repro.lint import config as config_module
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+from repro.lint.config import parse_config
+from repro.lint.engine import SCHEMA_VERSION, module_name_for
+
+# A one-liner that trips R1 inside its default scope.
+VIOLATION = 'def publish(path):\n    return open(path).read()\n'
+
+
+def write_tree(root, source=VIOLATION, pyproject=""):
+    target = root / "src" / "repro" / "service"
+    target.mkdir(parents=True)
+    (target / "metrics.py").write_text(source)
+    (root / "pyproject.toml").write_text(pyproject)
+    return root
+
+
+class TestModuleNames:
+    @pytest.mark.parametrize(
+        ("relpath", "expected"),
+        [
+            ("src/repro/storage/pli.py", "repro.storage.pli"),
+            ("src/repro/lint/__init__.py", "repro.lint"),
+            ("tests/core/test_swan.py", "tests.core.test_swan"),
+            ("tools/make_dataset.py", "tools.make_dataset"),
+        ],
+    )
+    def test_module_name_for(self, relpath, expected):
+        assert module_name_for(relpath) == expected
+
+
+class TestBaselineRoundTrip:
+    def test_grandfather_then_fix_goes_stale(self, tmp_path):
+        write_tree(tmp_path)
+        config = LintConfig(baseline=None)
+
+        # 1. The violation is live.
+        result = run_lint(["src"], str(tmp_path), config)
+        assert not result.ok
+        assert len(result.findings) == 1
+
+        # 2. Grandfather it; the run goes clean but still reports it.
+        baseline = Baseline(path=str(tmp_path / "baseline.json"))
+        for finding in result.findings:
+            baseline.add(finding)
+        baseline.save()
+        reloaded = Baseline.load(str(tmp_path / "baseline.json"))
+        assert len(reloaded) == 1
+
+        result = run_lint(["src"], str(tmp_path), config, baseline=reloaded)
+        assert result.ok
+        assert result.findings == []
+        assert len(result.baselined) == 1
+        assert result.stale_baseline_entries == []
+
+        # 3. Fingerprints are line-independent: shifting the code keeps
+        #    the entry matched.
+        shifted = "# a new leading comment\n\n" + VIOLATION
+        (tmp_path / "src" / "repro" / "service" / "metrics.py").write_text(shifted)
+        result = run_lint(["src"], str(tmp_path), config, baseline=reloaded)
+        assert result.ok and len(result.baselined) == 1
+
+        # 4. Fix the code: the entry goes stale and is reported.
+        (tmp_path / "src" / "repro" / "service" / "metrics.py").write_text(
+            "def publish(path):\n    return path\n"
+        )
+        result = run_lint(["src"], str(tmp_path), config, baseline=reloaded)
+        assert result.ok
+        assert result.baselined == []
+        assert len(result.stale_baseline_entries) == 1
+        assert result.stale_baseline_entries[0].startswith("R1::")
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported version"):
+            Baseline.load(str(path))
+
+
+class TestJsonSchema:
+    def test_to_dict_shape(self, tmp_path):
+        write_tree(tmp_path)
+        result = run_lint(["src"], str(tmp_path), LintConfig(baseline=None))
+        document = result.to_dict()
+        assert document["version"] == SCHEMA_VERSION
+        assert document["files_scanned"] == 1
+        assert document["parse_errors"] == []
+        assert document["summary"] == {
+            "errors": 1,
+            "warnings": 0,
+            "baselined": 0,
+            "suppressed": 0,
+        }
+        (finding,) = document["findings"]
+        assert set(finding) >= {
+            "rule", "name", "severity", "path", "line", "col",
+            "symbol", "message",
+        }
+        assert finding["rule"] == "R1"
+        assert finding["path"] == "src/repro/service/metrics.py"
+        # The whole document must be JSON-serialisable as-is.
+        json.loads(json.dumps(document))
+
+
+class TestInlineSuppressions:
+    def run(self, tmp_path, source):
+        write_tree(tmp_path, source=source)
+        return run_lint(["src"], str(tmp_path), LintConfig(baseline=None))
+
+    def test_disable_same_line(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def publish(path):\n"
+            "    return open(path).read()  # reprolint: disable=R1\n",
+        )
+        assert result.ok and result.suppressed == 1
+
+    def test_disable_next_line(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def publish(path):\n"
+            "    # reprolint: disable-next=R1\n"
+            "    return open(path).read()\n",
+        )
+        assert result.ok and result.suppressed == 1
+
+    def test_skip_file(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "# reprolint: skip-file\n" + VIOLATION,
+        )
+        assert result.ok and result.findings == []
+
+    def test_disable_for_other_rule_does_not_apply(self, tmp_path):
+        result = self.run(
+            tmp_path,
+            "def publish(path):\n"
+            "    return open(path).read()  # reprolint: disable=R4\n",
+        )
+        assert not result.ok and result.suppressed == 0
+
+
+class TestConfig:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            parse_config({"basline": "oops.json"})
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            parse_config({"rules": {"R1": {"severity": "fatal"}}})
+
+    def test_exclude_must_be_string_list(self):
+        with pytest.raises(ValueError, match="list of strings"):
+            parse_config({"exclude": "tests/lint"})
+
+    def test_rule_scope_override(self, tmp_path):
+        write_tree(tmp_path)
+        config = parse_config(
+            {"baseline": None, "rules": {"r1": {"include": ["nothing.here"]}}}
+        )
+        result = run_lint(["src"], str(tmp_path), config)
+        assert result.ok and result.findings == []
+
+    def test_exclude_modules_punches_hole(self, tmp_path):
+        write_tree(tmp_path)
+        config = parse_config(
+            {
+                "baseline": None,
+                "rules": {"R1": {"exclude_modules": ["repro.service.metrics"]}},
+            }
+        )
+        result = run_lint(["src"], str(tmp_path), config)
+        assert result.ok
+
+    def test_severity_override_never_downgrades_rule_warnings(self, tmp_path):
+        # R5's dynamic-metric-name advisory is emitted as a warning by
+        # the rule itself; a config severity=error must not touch it.
+        write_tree(
+            tmp_path,
+            source=(
+                "def observe(metrics, key):\n"
+                '    metrics.gauge(f"pli_cache_{key}").set(1)\n'
+            ),
+        )
+        config = parse_config({"baseline": None, "rules": {"R5": {"severity": "error"}}})
+        result = run_lint(["src"], str(tmp_path), config)
+        assert result.ok
+        assert [f.severity for f in result.findings] == ["warning"]
+
+    def test_disabling_a_rule(self, tmp_path):
+        write_tree(tmp_path)
+        config = parse_config({"baseline": None, "rules": {"R1": {"enabled": False}}})
+        result = run_lint(["src"], str(tmp_path), config)
+        assert result.ok
+
+    @pytest.mark.skipif(
+        config_module.tomllib is None, reason="tomllib needs Python 3.11+"
+    )
+    def test_load_config_reads_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.reprolint]\nbaseline = "b.json"\nexclude = ["x/"]\n'
+        )
+        config = config_module.load_config(str(tmp_path / "pyproject.toml"))
+        assert config.baseline == "b.json"
+        assert config.excludes_path("x/y.py")
+
+    def test_load_config_defaults_when_file_missing(self, tmp_path):
+        config = config_module.load_config(str(tmp_path / "nope.toml"))
+        assert config.baseline == "tools/reprolint-baseline.json"
+
+
+class TestCli:
+    def test_exit_one_on_findings_and_json_output(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        code = main(["--root", str(tmp_path), "--format", "json", "src"])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["errors"] == 1
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        write_tree(tmp_path, source="def publish(path):\n    return path\n")
+        code = main(["--root", str(tmp_path), "src"])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_syntax_error(self, tmp_path, capsys):
+        write_tree(tmp_path, source="def broken(:\n")
+        code = main(["--root", str(tmp_path), "src"])
+        assert code == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        code = main(["--root", str(tmp_path), "--select", "R9", "src"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_paths(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        code = main(["--root", str(tmp_path), "no_such_dir"])
+        assert code == 2
+
+    @pytest.mark.skipif(
+        config_module.tomllib is None, reason="tomllib needs Python 3.11+"
+    )
+    def test_exit_two_on_bad_config(self, tmp_path, capsys):
+        write_tree(
+            tmp_path, pyproject="[tool.reprolint]\nnot_a_key = 1\n"
+        )
+        code = main(["--root", str(tmp_path), "src"])
+        assert code == 2
+        assert "bad configuration" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, tmp_path):
+        write_tree(tmp_path)
+        assert main(["--root", str(tmp_path), "--select", "R4", "src"]) == 0
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            ["--root", str(tmp_path), "--baseline", str(baseline),
+             "--write-baseline", "src"]
+        )
+        assert code == 0
+        assert json.loads(baseline.read_text())["entries"]
+
+        code = main(["--root", str(tmp_path), "--baseline", str(baseline), "src"])
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # --no-baseline re-arms the finding.
+        code = main(
+            ["--root", str(tmp_path), "--baseline", str(baseline),
+             "--no-baseline", "src"]
+        )
+        assert code == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out

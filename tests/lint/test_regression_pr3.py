@@ -1,0 +1,68 @@
+"""Satellite regression: R3 vs the PR 3 aliasing bug, both directions.
+
+The fixture ``fixtures/pr3_aliasing_bug.py`` reconstructs the buggy
+``pli_for_combination`` verbatim; the live ``src/repro/storage/pli.py``
+carries the fix (``current if derived else current.copy()``). The rule
+must flag the former and stay silent on the latter -- that asymmetry is
+the whole point of the rule.
+"""
+
+import os
+
+from repro.lint import LintConfig, ModuleFile, run_lint
+from repro.lint.rules.live_escape import LiveEscapeRule
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "pr3_aliasing_bug.py")
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+
+def _lint_as_pli(source: str) -> list:
+    module = ModuleFile.parse(
+        "src/repro/storage/pli.py", "repro.storage.pli", source
+    )
+    return list(LiveEscapeRule({}).check(module))
+
+
+class TestBugVersionIsFlagged:
+    def test_fixture_triggers_r3(self):
+        with open(FIXTURE) as handle:
+            findings = _lint_as_pli(handle.read())
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "R3"
+        assert finding.symbol == "pli_for_combination"
+        assert "alias" in finding.message
+
+    def test_fixture_fails_an_end_to_end_run(self, tmp_path):
+        # Reintroduce the bug as a real source tree: the gate must fail.
+        target = tmp_path / "src" / "repro" / "storage"
+        target.mkdir(parents=True)
+        with open(FIXTURE) as handle:
+            (target / "pli.py").write_text(handle.read())
+        result = run_lint(["src"], str(tmp_path), LintConfig(baseline=None))
+        assert not result.ok
+        assert any(f.rule == "R3" for f in result.findings)
+
+
+class TestFixedVersionPasses:
+    def test_live_pli_module_is_clean(self):
+        path = os.path.join(REPO_ROOT, "src", "repro", "storage", "pli.py")
+        with open(path) as handle:
+            findings = _lint_as_pli(handle.read())
+        assert findings == []
+
+    def test_guarded_copy_idiom_accepted(self):
+        # The minimal fixed shape: the aliasing decision is explicit.
+        findings = _lint_as_pli(
+            "def pli_for_combination(column_plis, mask):\n"
+            "    derived = False\n"
+            "    current = column_plis[0]\n"
+            "    for column in [1, 2]:\n"
+            "        current = current.intersect(column_plis[column])\n"
+            "        derived = True\n"
+            "    result = current if derived else current.copy()\n"
+            "    return result\n"
+        )
+        assert findings == []

@@ -1,0 +1,355 @@
+"""Per-rule fixture snippets: one positive and one negative per rule."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import ModuleFile
+from repro.lint.rules import all_rules
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.fanout_capture import FanoutCaptureRule
+from repro.lint.rules.frozen_views import FrozenViewsRule
+from repro.lint.rules.live_escape import LiveEscapeRule
+from repro.lint.rules.locks_metrics import LocksMetricsRule
+from repro.lint.rules.raw_io import RawIoRule
+
+
+def run_rule(rule_cls, source, module="repro.storage.pli", options=None):
+    parsed = ModuleFile.parse(
+        "src/" + module.replace(".", "/") + ".py",
+        module,
+        textwrap.dedent(source),
+    )
+    rule = rule_cls(options or {})
+    return list(rule.check(parsed)) + list(rule.finalize([parsed]))
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        ids = {rule.id for rule in all_rules()}
+        assert ids == {"R1", "R2", "R3", "R4", "R5", "R6"}
+
+    def test_rules_carry_catalog_metadata(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.description
+            assert rule.default_scope
+            assert rule.default_severity in ("error", "warning")
+
+
+class TestR1RawIo:
+    def test_flags_raw_open_and_replace(self):
+        findings = run_rule(
+            RawIoRule,
+            """
+            import os
+
+            def publish(path, data):
+                with open(path + ".tmp", "w") as handle:
+                    handle.write(data)
+                os.replace(path + ".tmp", path)
+            """,
+            module="repro.service.metrics",
+        )
+        assert {f.rule for f in findings} == {"R1"}
+        assert len(findings) == 2
+
+    def test_fsops_routed_code_passes(self):
+        findings = run_rule(
+            RawIoRule,
+            """
+            from repro.faults import fsops
+
+            SITE = fsops.register_site("x.open", "d")
+
+            def publish(path, data):
+                with fsops.open_(SITE, path, "w") as handle:
+                    fsops.write(SITE, handle, data)
+                fsops.replace(SITE, path + ".tmp", path)
+            """,
+            module="repro.service.metrics",
+        )
+        assert findings == []
+
+    def test_write_text_method_flagged(self):
+        findings = run_rule(
+            RawIoRule,
+            """
+            def publish(path, data):
+                path.write_text(data)
+            """,
+            module="repro.service.snapshots",
+        )
+        assert len(findings) == 1
+
+
+class TestR2FrozenViews:
+    def test_unfrozen_module_constant_flagged(self):
+        findings = run_rule(
+            FrozenViewsRule,
+            """
+            import numpy as np
+
+            _EMPTY = np.empty(0, dtype=np.int64)
+            """,
+            module="repro.storage.value_index",
+        )
+        assert len(findings) == 1
+        assert "frozen" in findings[0].message
+
+    def test_frozen_module_constant_passes(self):
+        findings = run_rule(
+            FrozenViewsRule,
+            """
+            import numpy as np
+
+            _EMPTY = np.empty(0, dtype=np.int64)
+            _EMPTY.flags.writeable = False
+            """,
+            module="repro.storage.value_index",
+        )
+        assert findings == []
+
+    def test_consumer_mutating_lookup_result_flagged(self):
+        findings = run_rule(
+            FrozenViewsRule,
+            """
+            def probe(index, value):
+                posting = index.lookup_array(value)
+                posting.sort()
+                return posting
+            """,
+            module="repro.storage.value_index",
+        )
+        assert any("lookup" in f.message or "mutat" in f.message for f in findings)
+
+    def test_consumer_copy_then_mutate_passes(self):
+        findings = run_rule(
+            FrozenViewsRule,
+            """
+            def probe(index, value):
+                posting = index.lookup_array(value).copy()
+                posting.sort()
+                return posting
+            """,
+            module="repro.storage.value_index",
+        )
+        assert findings == []
+
+
+class TestR3LiveEscape:
+    def test_returning_maintained_attr_flagged(self):
+        findings = run_rule(
+            LiveEscapeRule,
+            """
+            class Index:
+                def postings(self):
+                    return self._entries
+            """,
+            module="repro.storage.value_index",
+        )
+        assert len(findings) == 1
+
+    def test_returning_copy_passes(self):
+        findings = run_rule(
+            LiveEscapeRule,
+            """
+            class Index:
+                def postings(self):
+                    return dict(self._entries)
+            """,
+            module="repro.storage.value_index",
+        )
+        assert findings == []
+
+    def test_scalar_return_annotation_exempt(self):
+        findings = run_rule(
+            LiveEscapeRule,
+            """
+            class Index:
+                def cluster_of(self, tuple_id: int) -> int | None:
+                    return self._membership.get(tuple_id)
+            """,
+            module="repro.storage.pli",
+        )
+        assert findings == []
+
+    def test_taint_flows_through_aliases(self):
+        findings = run_rule(
+            LiveEscapeRule,
+            """
+            def leak(column_plis):
+                first = column_plis[0]
+                alias = first
+                return alias
+            """,
+            module="repro.storage.pli",
+        )
+        assert len(findings) == 1
+
+
+class TestR4Determinism:
+    def test_random_and_wallclock_flagged(self):
+        findings = run_rule(
+            DeterminismRule,
+            """
+            import random
+            import time
+
+            def jitter():
+                return random.random() + time.time()
+            """,
+            module="repro.core.inserts",
+        )
+        assert len(findings) >= 2
+
+    def test_list_over_set_flagged(self):
+        findings = run_rule(
+            DeterminismRule,
+            """
+            def dedup(values):
+                return list(set(values))
+            """,
+            module="repro.storage.value_index",
+        )
+        assert len(findings) == 1
+
+    def test_sorted_and_fromkeys_pass(self):
+        findings = run_rule(
+            DeterminismRule,
+            """
+            def dedup(values):
+                ordered = list(dict.fromkeys(values))
+                ranked = sorted(set(values))
+                return ordered, ranked
+            """,
+            module="repro.storage.value_index",
+        )
+        assert findings == []
+
+
+class TestR5LocksMetrics:
+    def test_flock_without_release_flagged(self):
+        findings = run_rule(
+            LocksMetricsRule,
+            """
+            import fcntl
+
+            def grab(path):
+                handle = open(path, "a+")
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                return handle
+            """,
+            module="repro.service.server",
+        )
+        assert any(f.rule == "R5" for f in findings)
+
+    def test_ownership_transfer_shape_passes(self):
+        findings = run_rule(
+            LocksMetricsRule,
+            """
+            import fcntl
+
+            class Service:
+                def _acquire_lock(self, path):
+                    handle = open(path, "a+")  # reprolint: disable=R1
+                    try:
+                        fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    except OSError:
+                        handle.close()
+                        raise
+                    self._lock_handle = handle
+
+                def _release_lock(self):
+                    fcntl.flock(self._lock_handle, fcntl.LOCK_UN)
+                    self._lock_handle.close()
+            """,
+            module="repro.service.server",
+        )
+        assert [f for f in findings if f.rule == "R5"] == []
+
+    def test_metric_kind_conflict_flagged(self):
+        findings = run_rule(
+            LocksMetricsRule,
+            """
+            def observe(metrics):
+                metrics.counter("batches").inc()
+                metrics.gauge("batches").set(1)
+            """,
+            module="repro.service.server",
+        )
+        assert any("one name, one kind" in f.message for f in findings)
+
+    def test_dynamic_metric_name_is_a_warning(self):
+        findings = run_rule(
+            LocksMetricsRule,
+            """
+            def observe(metrics, key):
+                metrics.gauge(f"pli_cache_{key}").set(1)
+            """,
+            module="repro.service.server",
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+
+
+class TestR6FanoutCapture:
+    def test_closure_mutating_captured_local_flagged(self):
+        findings = run_rule(
+            FanoutCaptureRule,
+            """
+            class Handler:
+                def fan_out(self, items):
+                    results = []
+
+                    def task(item):
+                        results.append(item * 2)
+
+                    self._pool.map(task, items)
+                    return results
+            """,
+            module="repro.core.inserts",
+        )
+        assert len(findings) == 1
+        assert "results" in findings[0].message
+
+    def test_closure_returning_values_passes(self):
+        findings = run_rule(
+            FanoutCaptureRule,
+            """
+            class Handler:
+                def fan_out(self, items):
+                    def task(item):
+                        local = item * 2
+                        return local
+
+                    return self._pool.map(task, items)
+            """,
+            module="repro.core.inserts",
+        )
+        assert findings == []
+
+    def test_reads_of_captured_state_allowed(self):
+        findings = run_rule(
+            FanoutCaptureRule,
+            """
+            class Handler:
+                def fan_out(self, items, profile):
+                    def task(item):
+                        return profile.score(item)
+
+                    return self._pool.map(task, items)
+            """,
+            module="repro.core.inserts",
+        )
+        assert findings == []
+
+
+class TestScopes:
+    @pytest.mark.parametrize("rule_cls", [r for r in all_rules()])
+    def test_rules_silent_on_out_of_scope_modules(self, rule_cls):
+        # The engine scopes by module prefix; rule defaults must name
+        # real prefixes so tests/tools/benchmarks stay un-linted by
+        # domain rules.
+        for prefix in rule_cls.default_scope:
+            assert prefix.startswith("repro")
