@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Multi-tenant HTTP ingest throughput and latency benchmark.
+
+Stands up the real stack -- ``TenantManager`` behind ``ReproServerApp``
+on a loopback socket -- and drives insert batches over HTTP with one
+client thread per tenant. Two fleet sizes are compared (1 tenant vs 4
+tenants) at the same *total* batch volume, so the scenario pair answers
+the operational question directly: what does co-hosting four relations
+behind one server cost a single relation's ingest path?
+
+Reported per scenario:
+
+* ``batches_per_sec`` -- aggregate admitted-batch throughput, wall
+  clock from the first POST to the last flush acknowledgement.
+* ``latency`` -- p50/p99 ingest-to-queryable seconds, read back from
+  each tenant's ``ingest_to_applied_seconds`` histogram via
+  ``GET /tenants/{id}/status`` (enqueue timestamp to profile applied).
+  The scenario-level numbers are the worst (max) across tenants.
+
+Every run ends with a correctness guard: each tenant must be serving,
+hold exactly ``initial + batches * rows_per_batch`` live rows, and have
+an empty dead-letter queue -- a "fast but wrong" run aborts the script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_http_ingest.py \
+        [--batches 32] [--rows-per-batch 20] [--rounds 2] \
+        [--output bench_results/BENCH_http_ingest.json] \
+        [--baseline benchmarks/baselines/bench_http_ingest.json] \
+        [--max-regression 3.0]
+
+Exit status: 0 on success; 1 when the correctness guard trips or, with
+``--baseline``, when a scenario's throughput fell below ``committed /
+--max-regression``. Rounds are interleaved across scenarios and the
+best round is kept, so transient machine load cannot manufacture (or
+mask) a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.server.app import ReproServerApp  # noqa: E402
+from repro.server.http import serve_in_thread  # noqa: E402
+from repro.tenants.manager import TenantManager  # noqa: E402
+
+COLUMNS = [f"c{i}" for i in range(8)]
+INITIAL_ROWS = 40
+SEED = 11
+
+# Total admitted batches is constant across scenarios; the 4-tenant
+# fleet splits the same volume four ways.
+FLEET_SIZES = (1, 4)
+
+
+def _request(url: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def _make_rows(rng: random.Random, count: int) -> list[list[str]]:
+    return [
+        [str(rng.randrange(10)) for _ in COLUMNS] for _ in range(count)
+    ]
+
+
+def _drive_tenant(
+    url: str,
+    tenant_id: str,
+    batches: list[list[list[str]]],
+    errors: list[BaseException],
+) -> None:
+    try:
+        for index, rows in enumerate(batches):
+            status, doc = _request(
+                url,
+                "POST",
+                f"/tenants/{tenant_id}/batches",
+                {"kind": "insert", "rows": rows, "token": f"{tenant_id}-{index}"},
+            )
+            while status == 429:  # admission control, not an error: retry
+                time.sleep(0.005)
+                status, doc = _request(
+                    url,
+                    "POST",
+                    f"/tenants/{tenant_id}/batches",
+                    {
+                        "kind": "insert",
+                        "rows": rows,
+                        "token": f"{tenant_id}-{index}",
+                    },
+                )
+            if status not in (200, 202):
+                raise AssertionError(f"{tenant_id} batch {index}: {status} {doc}")
+    except BaseException as exc:  # surfaced to the main thread
+        errors.append(exc)
+
+
+def run_once(
+    fleet_size: int, total_batches: int, rows_per_batch: int, workdir: str
+) -> dict[str, object]:
+    root = tempfile.mkdtemp(prefix=f"http-ingest-{fleet_size}-", dir=workdir)
+    manager = TenantManager(str(Path(root) / "fleet"))
+    handle = serve_in_thread(ReproServerApp(manager))
+    url = handle.url
+    per_tenant = total_batches // fleet_size
+    tenant_ids = [f"bench-{i}" for i in range(fleet_size)]
+    try:
+        workloads: dict[str, list[list[list[str]]]] = {}
+        for slot, tenant_id in enumerate(tenant_ids):
+            rng = random.Random(SEED + slot)
+            status, doc = _request(
+                url,
+                "POST",
+                "/tenants",
+                {
+                    "tenant_id": tenant_id,
+                    "config": {
+                        "columns": COLUMNS,
+                        "algorithm": "bruteforce",
+                        "fsync": False,
+                    },
+                    "rows": _make_rows(rng, INITIAL_ROWS),
+                },
+            )
+            if status != 201:
+                raise AssertionError(f"create {tenant_id}: {status} {doc}")
+            workloads[tenant_id] = [
+                _make_rows(rng, rows_per_batch) for _ in range(per_tenant)
+            ]
+
+        errors: list[BaseException] = []
+        threads = [
+            threading.Thread(
+                target=_drive_tenant, args=(url, tid, workloads[tid], errors)
+            )
+            for tid in tenant_ids
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise AssertionError(f"client thread failed: {errors[0]}")
+        for tenant_id in tenant_ids:
+            status, doc = _request(url, "POST", f"/tenants/{tenant_id}/flush", {})
+            if status != 200 or not doc.get("flushed"):
+                raise AssertionError(f"flush {tenant_id}: {status} {doc}")
+        elapsed = time.perf_counter() - started
+
+        expected_rows = INITIAL_ROWS + per_tenant * rows_per_batch
+        latencies: dict[str, dict[str, float]] = {}
+        for tenant_id in tenant_ids:
+            status, doc = _request(url, "GET", f"/tenants/{tenant_id}/status")
+            if status != 200:
+                raise AssertionError(f"status {tenant_id}: {status}")
+            service = doc["service"]
+            if doc["health"] != "serving":
+                raise AssertionError(f"{tenant_id} not serving: {doc['health']}")
+            if service["dead_letters"] != 0:
+                raise AssertionError(f"{tenant_id} has dead letters")
+            live_rows = service["gauges"]["live_rows"]
+            if live_rows != expected_rows:
+                raise AssertionError(
+                    f"{tenant_id} live_rows {live_rows} != {expected_rows}"
+                )
+            summary = service["histograms"]["ingest_to_applied_seconds"]
+            latencies[tenant_id] = {
+                "count": summary["count"],
+                "p50_s": round(summary["p50"], 6),
+                "p99_s": round(summary["p99"], 6),
+            }
+        return {
+            "wall_s": elapsed,
+            "batches_per_sec": (per_tenant * fleet_size) / elapsed,
+            "per_tenant_latency": latencies,
+            "p50_s": max(entry["p50_s"] for entry in latencies.values()),
+            "p99_s": max(entry["p99_s"] for entry in latencies.values()),
+        }
+    finally:
+        handle.close()
+        manager.close_all()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_scenario(
+    fleet_size: int,
+    total_batches: int,
+    rows_per_batch: int,
+    rounds: int,
+    workdir: str,
+) -> dict[str, object]:
+    results = [
+        run_once(fleet_size, total_batches, rows_per_batch, workdir)
+        for _ in range(rounds)
+    ]
+    best = min(results, key=lambda r: r["wall_s"])
+    return {
+        "tenants": fleet_size,
+        "batches_per_tenant": total_batches // fleet_size,
+        "rows_per_batch": rows_per_batch,
+        "wall_s": [round(r["wall_s"], 4) for r in results],
+        "best_wall_s": round(best["wall_s"], 4),
+        "batches_per_sec": round(best["batches_per_sec"], 2),
+        "latency": {
+            "p50_s": best["p50_s"],
+            "p99_s": best["p99_s"],
+            "per_tenant": best["per_tenant_latency"],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=32,
+        help="total admitted batches per scenario (split across the fleet)",
+    )
+    parser.add_argument("--rows-per-batch", type=int, default=20)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=3.0,
+        help="fail when throughput drops below baseline / this factor",
+    )
+    args = parser.parse_args(argv)
+    if args.batches % max(FLEET_SIZES) != 0:
+        parser.error(f"--batches must be a multiple of {max(FLEET_SIZES)}")
+
+    report = {
+        "benchmark": "http_ingest",
+        "columns": len(COLUMNS),
+        "initial_rows": INITIAL_ROWS,
+        "total_batches": args.batches,
+        "rows_per_batch": args.rows_per_batch,
+        "rounds": args.rounds,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": {},
+    }
+    workdir = tempfile.mkdtemp(prefix="bench-http-ingest-")
+    try:
+        for fleet_size in FLEET_SIZES:
+            name = f"tenants-{fleet_size}"
+            print(
+                f"== scenario: {name} "
+                f"({args.batches} batches x {args.rows_per_batch} rows, "
+                f"rounds={args.rounds})"
+            )
+            result = run_scenario(
+                fleet_size, args.batches, args.rows_per_batch,
+                args.rounds, workdir,
+            )
+            report["scenarios"][name] = result
+            print(
+                f"   {result['batches_per_sec']:.1f} batches/s"
+                f"  p50 {result['latency']['p50_s'] * 1000:.1f}ms"
+                f"  p99 {result['latency']['p99_s'] * 1000:.1f}ms"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    failed = False
+    if args.baseline and args.baseline.exists():
+        committed = json.loads(args.baseline.read_text())
+        for name, result in report["scenarios"].items():
+            reference = committed.get("scenarios", {}).get(name)
+            if reference is None:
+                continue
+            floor = reference["batches_per_sec"] / args.max_regression
+            if result["batches_per_sec"] < floor:
+                print(
+                    f"REGRESSION: {name} throughput "
+                    f"{result['batches_per_sec']:.1f} batches/s fell below "
+                    f"{floor:.1f} (committed {reference['batches_per_sec']:.1f}"
+                    f" / {args.max_regression}x allowance)",
+                    file=sys.stderr,
+                )
+                failed = True
+
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

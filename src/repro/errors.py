@@ -87,6 +87,72 @@ class ServiceHealthError(ReproError):
     """
 
 
+class TenantError(ReproError):
+    """Base class for multi-tenant front-end errors.
+
+    Everything the :class:`~repro.tenants.TenantManager` or the HTTP
+    layer raises about tenant lifecycle or admission derives from this,
+    so the server can map the whole family onto structured JSON error
+    responses with one ``except``.
+    """
+
+
+class UnknownTenantError(TenantError):
+    """A tenant id does not exist in the manager's registry."""
+
+    def __init__(self, tenant_id: str) -> None:
+        super().__init__(f"unknown tenant: {tenant_id!r}")
+        self.tenant_id = tenant_id
+
+
+class TenantExistsError(TenantError):
+    """A tenant id is already registered (create collided)."""
+
+    def __init__(self, tenant_id: str) -> None:
+        super().__init__(f"tenant already exists: {tenant_id!r}")
+        self.tenant_id = tenant_id
+
+
+class TenantModeError(TenantError):
+    """A batch conflicts with the tenant's registered mode.
+
+    Raised when a delete batch reaches a tenant registered with
+    ``insert_only=True`` (the insert-only vs insert+delete dichotomy:
+    append-only tenants trade delete support for cheaper maintenance).
+    """
+
+
+class QueueFullError(TenantError):
+    """A tenant's bounded ingest queue rejected a batch (backpressure).
+
+    Admission control: once ``max_pending_batches`` or
+    ``max_pending_bytes`` is reached, new batches are rejected with
+    this error -- the HTTP layer turns it into ``429 Too Many
+    Requests`` -- instead of letting a slow tenant grow memory without
+    bound. The limits that were hit ride along for the error payload.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        pending_batches: int,
+        pending_bytes: int,
+        max_pending_batches: int,
+        max_pending_bytes: int,
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant_id!r} ingest queue is full: "
+            f"{pending_batches} batch(es) / {pending_bytes} byte(s) pending "
+            f"(limits: {max_pending_batches} batches, "
+            f"{max_pending_bytes} bytes)"
+        )
+        self.tenant_id = tenant_id
+        self.pending_batches = pending_batches
+        self.pending_bytes = pending_bytes
+        self.max_pending_batches = max_pending_batches
+        self.max_pending_bytes = max_pending_bytes
+
+
 class BudgetExceededError(ReproError):
     """A discovery run exceeded its cooperative time budget.
 

@@ -58,6 +58,8 @@ from repro.service.server import (
 from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 from repro.storage.table_file import TableFile
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import TenantManager
 
 MODES = ("transient", "short_write", "intermittent", "persistent", "crash")
 
@@ -442,6 +444,220 @@ def run_producer_scenario(
     )
 
 
+def _tenant_config() -> TenantConfig:
+    return TenantConfig(
+        columns=tuple(_COLUMNS),
+        algorithm="bruteforce",
+        snapshot_every=2,
+        sentinel_every=2,
+        health_reset_batches=2,
+        fsync=True,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay=0.0, multiplier=2.0, max_delay=0.0
+        ),
+    )
+
+
+def _abandon_fleet(manager: TenantManager) -> None:
+    """Drop a faulted fleet the way a dead process would."""
+    for tenant in list(manager):
+        try:
+            tenant.worker.stop(drain=False, timeout=2.0)
+        except Exception:  # pragma: no cover - teardown noise under faults
+            pass
+        _abandon(tenant.service)
+
+
+def run_tenant_fleet_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Fault the tenant registry/lifecycle paths, then reopen and verify.
+
+    The invariant mirrors the single-service scenarios, lifted to the
+    fleet: whatever the fault did to ``create``/``drop``/reopen, the
+    registry is never torn (its publish is write-tmp-fsync-replace), and
+    every tenant it still lists must come back up and serve an
+    exhaustively verified profile.
+    """
+    root = os.path.join(workdir, "fleet")
+    config = _tenant_config()
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    crashed = False
+    first_error: str | None = None
+    manager: TenantManager | None = None
+    with active(injector):
+        try:
+            manager = TenantManager(root, sleep=lambda _s: None)
+            for tenant_id in ("alpha", "beta"):
+                manager.create(tenant_id, config, initial_rows=_INITIAL_ROWS)
+            manager.ingest(
+                "alpha", "insert", rows=[("Ada", "111", "9")], token="fleet-a1"
+            )
+            manager.flush_all(timeout=10.0)
+            manager.drop("beta")
+            manager.close_all()
+            # Reopen inside the fault window: registry read and tenant
+            # recovery paths are part of the lifecycle under test.
+            manager = TenantManager(root, sleep=lambda _s: None)
+            manager.open_all()
+            manager.close_all()
+        except CrashPoint as exc:
+            crashed = True
+            first_error = str(exc)
+            if manager is not None:
+                _abandon_fleet(manager)
+        except (ReproError, OSError) as exc:
+            first_error = f"{type(exc).__name__}: {exc}"
+            if manager is not None:
+                _abandon_fleet(manager)
+
+    # Verification: no injector; every registered tenant must reopen and
+    # serve an exhaustively verified profile.
+    recovery = TenantManager(root, sleep=lambda _s: None)
+    try:
+        opened = recovery.open_all()
+        for tenant in opened:
+            if not tenant.service.run_sentinel(full=True):
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"tenant {tenant.tenant_id!r} recovered with a profile "
+                    f"that failed exhaustive verification "
+                    f"(first error: {first_error})",
+                )
+        recovery.close_all()
+    except ChaosFailure:
+        _abandon_fleet(recovery)
+        raise
+    except (ReproError, OSError) as exc:
+        _abandon_fleet(recovery)
+        raise ChaosFailure(
+            site, mode, seed,
+            f"clean fleet reopen failed: {type(exc).__name__}: {exc} "
+            f"(first error: {first_error})",
+        ) from exc
+
+    if not injector.fired:
+        outcome = "not-hit"
+    elif crashed:
+        outcome = "crash-recovered"
+    else:
+        outcome = "recovered" if first_error is not None else "survived"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired), detail=first_error or ""
+    )
+
+
+ISOLATION_SITE = "changelog.append.write"
+
+
+def run_isolation_scenario(seed: int, workdir: str) -> ScenarioResult:
+    """Multi-tenant blast-radius check: a faulted tenant degrades alone.
+
+    Three tenants share one process. The target tenant (rotated by
+    seed) takes a transient changelog fault and then a poison batch;
+    it must end up off SERVING with the poison quarantined -- while
+    both siblings keep SERVING, apply their own batches, and pass
+    exhaustive verification. Any cross-tenant bleed is a failure.
+    """
+    site, mode = ISOLATION_SITE, "isolation"
+    root = os.path.join(workdir, "fleet")
+    tenant_ids = ("alpha", "beta", "gamma")
+    target = tenant_ids[seed % len(tenant_ids)]
+    siblings = tuple(t for t in tenant_ids if t != target)
+    manager = TenantManager(root, sleep=lambda _s: None)
+    injector = FaultInjector(
+        FaultPlan.one_shot(ISOLATION_SITE, ERROR, at=1, seed=seed)
+    )
+    try:
+        for tenant_id in tenant_ids:
+            manager.create(tenant_id, _tenant_config(), initial_rows=_INITIAL_ROWS)
+
+        # The fault window: only the target writes, so the one-shot
+        # changelog fault lands on the target's changelog and nowhere
+        # else (the injector is process-global and site-keyed).
+        with active(injector):
+            manager.ingest(
+                target, "insert", rows=[("Eve", "555", "5")], token="iso-fault"
+            )
+            if not manager.flush(target, timeout=10.0):
+                raise ChaosFailure(
+                    site, mode, seed, "target flush timed out under fault"
+                )
+        if not injector.fired:
+            raise ChaosFailure(
+                site, mode, seed, "the changelog fault never fired"
+            )
+        # A poison batch on top: delete of a tuple id that never
+        # existed must be quarantined, not applied.
+        manager.ingest(target, "delete", tuple_ids=[9999], token="iso-poison")
+        manager.flush(target, timeout=10.0)
+
+        target_service = manager.get(target).service
+        if target_service.health.state.value == "serving":
+            raise ChaosFailure(
+                site, mode, seed,
+                "target tenant shrugged off the fault without degrading "
+                "(scenario lost its subject)",
+            )
+        if target_service.dead_letters.count() < 1:
+            raise ChaosFailure(
+                site, mode, seed, "poison batch was not quarantined"
+            )
+        # The target must still answer reads.
+        profile = manager.query_profile(target)
+        if not profile["mucs"]:
+            raise ChaosFailure(
+                site, mode, seed, "degraded target stopped serving reads"
+            )
+
+        # Siblings: unaffected, writable, and exactly right.
+        for sibling in siblings:
+            manager.ingest(
+                sibling, "insert",
+                rows=[("Sib", "777", "4")], token=f"iso-{sibling}",
+            )
+            if not manager.flush(sibling, timeout=10.0):
+                raise ChaosFailure(
+                    site, mode, seed, f"sibling {sibling!r} flush timed out"
+                )
+            service = manager.get(sibling).service
+            if service.health.state.value != "serving":
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"sibling {sibling!r} left SERVING "
+                    f"({service.health.state.value}): blast radius leaked",
+                )
+            if service.dead_letters.count() != 0:
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"sibling {sibling!r} grew dead letters it never earned",
+                )
+            if len(service.profiler.relation) != len(_INITIAL_ROWS) + 1:
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"sibling {sibling!r} has wrong row count",
+                )
+            if not service.run_sentinel(full=True):
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"sibling {sibling!r} failed exhaustive verification",
+                )
+        manager.close_all()
+    except ChaosFailure:
+        _abandon_fleet(manager)
+        raise
+    except (ReproError, OSError) as exc:
+        _abandon_fleet(manager)
+        raise ChaosFailure(
+            site, mode, seed,
+            f"isolation scenario errored: {type(exc).__name__}: {exc}",
+        ) from exc
+    return ScenarioResult(
+        site, mode, seed, "isolated", len(injector.fired),
+        detail=f"target={target}",
+    )
+
+
 def _runner_for(
     site: str,
 ) -> "Callable[[str, str, int, str], ScenarioResult]":
@@ -452,6 +668,8 @@ def _runner_for(
         return run_relation_scenario
     if site.startswith("spool.write."):
         return run_producer_scenario
+    if site.startswith("tenants."):
+        return run_tenant_fleet_scenario
     return run_service_scenario
 
 
@@ -535,6 +753,11 @@ def main(argv: list[str] | None = None) -> int:
         "--list-sites", action="store_true",
         help="print the registered fault sites and exit",
     )
+    parser.add_argument(
+        "--multi-tenant", action="store_true",
+        help="run only the multi-tenant fault-isolation scenario "
+        "(one run per seed, target tenant rotated by seed)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -543,6 +766,37 @@ def main(argv: list[str] | None = None) -> int:
 
         for site in registered_sites():
             print(f"{site:30s} {site_description(site)}")
+        return 0
+
+    if args.multi_tenant:
+        base = args.root or tempfile.mkdtemp(prefix="repro-chaos-mt-")
+        os.makedirs(base, exist_ok=True)
+        failures = 0
+        try:
+            for seed in args.seeds:
+                workdir = os.path.join(base, f"isolation-s{seed}")
+                os.makedirs(workdir, exist_ok=True)
+                try:
+                    result = run_isolation_scenario(seed, workdir)
+                    print(
+                        f"  isolation seed={seed} -> {result.outcome} "
+                        f"({result.detail}, {result.fired} fired)"
+                    )
+                except ChaosFailure as failure:
+                    failures += 1
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                if not args.keep:
+                    shutil.rmtree(workdir, ignore_errors=True)
+        finally:
+            if not args.keep and args.root is None:
+                shutil.rmtree(base, ignore_errors=True)
+        if failures:
+            print(f"{failures} FAILURE(S)", file=sys.stderr)
+            return 1
+        print(
+            "multi-tenant isolation verified: faulted tenants degraded "
+            "alone; every sibling kept serving a correct profile"
+        )
         return 0
 
     report = run_sweep(

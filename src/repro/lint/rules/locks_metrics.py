@@ -59,7 +59,13 @@ class LocksMetricsRule(Rule):
         "(try/finally, with, or ownership transfer to a class that "
         "releases), and every metric name maps to exactly one kind."
     )
-    default_scope = ("repro.service", "repro.storage", "repro.core")
+    default_scope = (
+        "repro.service",
+        "repro.storage",
+        "repro.core",
+        "repro.tenants",
+        "repro.server",
+    )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:
         yield from self._check_flock(module)

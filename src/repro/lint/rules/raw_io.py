@@ -40,7 +40,12 @@ class RawIoRule(Rule):
         "go through repro.faults.fsops registered sites so the chaos sweep "
         "covers them."
     )
-    default_scope = ("repro.service", "repro.storage")
+    default_scope = (
+        "repro.service",
+        "repro.storage",
+        "repro.tenants",
+        "repro.server",
+    )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -1,0 +1,29 @@
+"""HTTP/JSON front-end over the multi-tenant profiling fleet.
+
+Layering, bottom to top:
+
+* :mod:`repro.server.routing` -- a tiny method+path router.
+* :mod:`repro.server.app` -- :class:`ReproServerApp`, the
+  transport-independent request handler with centralized typed-error ->
+  HTTP-status mapping (tests drive this in-process).
+* :mod:`repro.server.routes` -- the endpoint handlers, split by concern
+  (admin / health / ingest / query / downloads).
+* :mod:`repro.server.http` -- the stdlib ``ThreadingHTTPServer``
+  adapter and ``serve_in_thread`` embedding helper.
+* :mod:`repro.server.cli` -- the ``repro-server`` entry point.
+"""
+
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+from repro.server.http import ServerHandle, make_server, serve_in_thread
+from repro.server.routing import Route, Router
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "ReproServerApp",
+    "Route",
+    "Router",
+    "ServerHandle",
+    "make_server",
+    "serve_in_thread",
+]

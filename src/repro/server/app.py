@@ -1,0 +1,186 @@
+"""The transport-independent core of the HTTP/JSON front-end.
+
+:class:`ReproServerApp` maps an :class:`HttpRequest` to an
+:class:`HttpResponse` with no socket in sight: the stdlib HTTP adapter
+(:mod:`repro.server.http`) and the tests both drive this object
+directly, so the whole API surface is exercisable in-process.
+
+Error handling is centralized here. Every typed domain error maps to
+one HTTP status and a stable machine-readable ``code`` inside a
+``{"error": {...}}`` envelope -- notably
+:class:`~repro.errors.QueueFullError` becomes a ``429 queue_full``
+carrying the tenant's admission limits and a ``Retry-After`` hint, the
+structured backpressure contract clients program against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    QueueFullError,
+    ReproError,
+    ServiceHealthError,
+    TenantError,
+    TenantExistsError,
+    TenantModeError,
+    UnknownTenantError,
+    WorkloadError,
+)
+from repro.server.routing import NoMatch, Router
+from repro.tenants.manager import TenantManager
+
+JSON_CONTENT_TYPE = "application/json"
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request, transport-agnostic."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)
+    query: dict[str, list[str]] = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def from_target(
+        cls, method: str, target: str, body: bytes = b""
+    ) -> "HttpRequest":
+        """Build a request from a raw request target (path + query)."""
+        split = urlsplit(target)
+        return cls(
+            method=method.upper(),
+            path=split.path or "/",
+            query=parse_qs(split.query),
+            body=body,
+        )
+
+    def json(self) -> dict[str, Any]:
+        """The body as a JSON object; ``{}`` for an empty body."""
+        if not self.body:
+            return {}
+        try:
+            document = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WorkloadError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise WorkloadError(
+                f"request body must be a JSON object, got {type(document).__name__}"
+            )
+        return document
+
+    def query_first(self, name: str, default: str | None = None) -> str | None:
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def query_all(self, name: str) -> list[str]:
+        """All values of a repeatable query param, comma-splitting each."""
+        values: list[str] = []
+        for raw in self.query.get(name, []):
+            values.extend(part for part in raw.split(",") if part)
+        return values
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """Status + JSON document (+ extra headers) to send back.
+
+    A non-JSON payload (the CSV download route) sets ``raw`` and a
+    matching ``content_type``; ``document`` is ignored then.
+    """
+
+    status: int
+    document: Mapping[str, Any] = field(default_factory=dict)
+    headers: tuple[tuple[str, str], ...] = ()
+    raw: bytes | None = None
+    content_type: str = JSON_CONTENT_TYPE
+
+    def encode(self) -> bytes:
+        if self.raw is not None:
+            return self.raw
+        return (json.dumps(self.document, sort_keys=True) + "\n").encode("utf-8")
+
+
+def error_response(
+    status: int,
+    code: str,
+    message: str,
+    headers: tuple[tuple[str, str], ...] = (),
+    **extra: Any,
+) -> HttpResponse:
+    error: dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    return HttpResponse(status=status, document={"error": error}, headers=headers)
+
+
+class ReproServerApp:
+    """Routes requests against a :class:`TenantManager`."""
+
+    def __init__(
+        self,
+        manager: TenantManager,
+        default_config: Mapping[str, Any] | None = None,
+    ) -> None:
+        from repro.server.routes import all_routes
+
+        self.manager = manager
+        # Operator-level defaults (parallelism, cache budget, ...) merged
+        # under each tenant-create request body.
+        self.default_config: dict[str, Any] = dict(default_config or {})
+        self.router = Router(all_routes())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        match = self.router.match(request.method, request.path)
+        if isinstance(match, NoMatch):
+            if match.method_mismatch:
+                return error_response(
+                    405,
+                    "method_not_allowed",
+                    f"{request.method} is not allowed on {request.path}",
+                    headers=(("Allow", ", ".join(match.allowed)),),
+                    allowed=list(match.allowed),
+                )
+            return error_response(
+                404, "not_found", f"no route for {request.path}"
+            )
+        request.params.update(match.params)
+        try:
+            return match.route.handler(self, request)
+        except ReproError as exc:
+            return self._error_to_response(exc)
+
+    def _error_to_response(self, exc: ReproError) -> HttpResponse:
+        if isinstance(exc, QueueFullError):
+            return error_response(
+                429,
+                "queue_full",
+                str(exc),
+                headers=(("Retry-After", "1"),),
+                tenant=exc.tenant_id,
+                pending_batches=exc.pending_batches,
+                pending_bytes=exc.pending_bytes,
+                max_pending_batches=exc.max_pending_batches,
+                max_pending_bytes=exc.max_pending_bytes,
+            )
+        if isinstance(exc, UnknownTenantError):
+            return error_response(
+                404, "unknown_tenant", str(exc), tenant=exc.tenant_id
+            )
+        if isinstance(exc, TenantExistsError):
+            return error_response(
+                409, "tenant_exists", str(exc), tenant=exc.tenant_id
+            )
+        if isinstance(exc, TenantModeError):
+            return error_response(409, "insert_only", str(exc))
+        if isinstance(exc, ServiceHealthError):
+            return error_response(503, "not_writable", str(exc))
+        if isinstance(exc, (WorkloadError, TenantError)):
+            return error_response(400, "bad_request", str(exc))
+        return error_response(500, "internal", str(exc))

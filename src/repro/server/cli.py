@@ -1,0 +1,105 @@
+"""``repro-server``: serve a fleet of tenants over HTTP.
+
+Boot sequence: open every tenant already registered under the root
+directory (each recovers from its own snapshot+changelog), bind the
+stdlib HTTP server, serve until interrupted, then drain and close every
+tenant so the last served state is durably sealed.
+
+Operator-level defaults (``--parallelism``, ``--cache-budget-mb``,
+``--algorithm``, ``--no-fsync``) apply to tenants *created over HTTP
+while this server runs*; an explicit value in the create request's
+config always wins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.server.app import ReproServerApp
+from repro.server.http import serve_in_thread
+from repro.tenants.manager import TenantManager
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve many UCC-profiling tenants over HTTP/JSON.",
+    )
+    parser.add_argument(
+        "root_dir",
+        help="fleet root directory (registry.json + tenants/ live here)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8399, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="default worker parallelism for tenants created over HTTP",
+    )
+    parser.add_argument(
+        "--cache-budget-mb",
+        type=int,
+        default=None,
+        help="default PLI-cache budget (MiB) for tenants created over HTTP",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default=None,
+        help="default discovery algorithm for tenants created over HTTP",
+    )
+    parser.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="default new tenants to fsync=false (benchmarks only)",
+    )
+    parser.add_argument(
+        "--access-log",
+        action="store_true",
+        help="log one line per request to stderr",
+    )
+    return parser
+
+
+def default_config_from_args(args: argparse.Namespace) -> dict[str, Any]:
+    defaults: dict[str, Any] = {}
+    if args.parallelism is not None:
+        defaults["parallelism"] = args.parallelism
+    if args.cache_budget_mb is not None:
+        defaults["cache_budget_bytes"] = args.cache_budget_mb * 1024 * 1024
+    if args.algorithm is not None:
+        defaults["algorithm"] = args.algorithm
+    if args.no_fsync:
+        defaults["fsync"] = False
+    return defaults
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    manager = TenantManager(args.root_dir)
+    opened = manager.open_all()
+    app = ReproServerApp(manager, default_config=default_config_from_args(args))
+    if args.access_log:
+        app.access_log = lambda line: print(line, file=sys.stderr)  # type: ignore[attr-defined]
+    handle = serve_in_thread(app, host=args.host, port=args.port)
+    print(
+        f"repro-server listening on {handle.url} "
+        f"({len(opened)} tenant(s) open) -- Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        handle.thread.join()
+    except KeyboardInterrupt:
+        print("shutting down: draining tenants ...", file=sys.stderr)
+    finally:
+        handle.close()
+        manager.close_all()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

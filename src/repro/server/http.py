@@ -1,0 +1,148 @@
+"""The stdlib HTTP adapter: sockets in, :class:`HttpRequest` out.
+
+One thin layer over :class:`http.server.ThreadingHTTPServer` -- no
+third-party web framework, per the repo's stdlib-only rule. Each
+connection is handled on its own daemon thread; handler threads only
+*enqueue* batches (admission control runs on the request thread), so
+the per-tenant single-writer invariant is untouched by HTTP
+concurrency.
+
+``serve_in_thread`` is the embedding/test entry point: bind to an
+ephemeral port, drive the API over real sockets, shut down cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp, error_response
+
+# Refuse request bodies past this size before reading them: a fat-finger
+# upload must not balloon the process (admission control starts at the
+# socket, not the queue).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+def _make_handler(app: ReproServerApp) -> type[BaseHTTPRequestHandler]:
+    class ReproRequestHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-server/1"
+
+        # ------------------------------------------------------------------
+        def _read_body(self) -> bytes | None:
+            raw_length = self.headers.get("Content-Length")
+            if raw_length is None:
+                return b""
+            try:
+                length = int(raw_length)
+            except ValueError:
+                self._send(error_response(400, "bad_request", "bad Content-Length"))
+                return None
+            if length < 0 or length > MAX_BODY_BYTES:
+                self._send(
+                    error_response(
+                        413,
+                        "body_too_large",
+                        f"request body of {length} bytes exceeds "
+                        f"{MAX_BODY_BYTES} byte limit",
+                    )
+                )
+                return None
+            return self.rfile.read(length)
+
+        def _dispatch(self) -> None:
+            body = self._read_body()
+            if body is None:
+                return
+            request = HttpRequest.from_target(self.command, self.path, body=body)
+            try:
+                response = app.handle(request)
+            except Exception as exc:  # a handler bug must not kill the thread
+                response = error_response(500, "internal", str(exc))
+            self._send(response)
+
+        def _send(self, response: HttpResponse) -> None:
+            payload = response.encode()
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        # BaseHTTPRequestHandler dispatches on do_<METHOD>.
+        def do_GET(self) -> None:
+            self._dispatch()
+
+        def do_POST(self) -> None:
+            self._dispatch()
+
+        def do_DELETE(self) -> None:
+            self._dispatch()
+
+        def log_message(self, format: str, *args: object) -> None:
+            # Quiet by default; the CLI installs a logger if asked.
+            if app_log is not None:
+                app_log(f"{self.address_string()} {format % args}")
+
+    app_log: Callable[[str], None] | None = getattr(app, "access_log", None)
+    return ReproRequestHandler
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+def make_server(
+    app: ReproServerApp, host: str = "127.0.0.1", port: int = 0
+) -> ReproHTTPServer:
+    """Bind (port 0 = ephemeral) without starting the serve loop."""
+    return ReproHTTPServer((host, port), _make_handler(app))
+
+
+class ServerHandle:
+    """A running server plus the thread driving its serve loop."""
+
+    def __init__(self, server: ReproHTTPServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def serve_in_thread(
+    app: ReproServerApp, host: str = "127.0.0.1", port: int = 0
+) -> ServerHandle:
+    """Start serving on a background thread; returns a closable handle."""
+    server = make_server(app, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-http-server",
+        daemon=True,
+    )
+    thread.start()
+    return ServerHandle(server, thread)

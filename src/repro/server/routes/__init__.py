@@ -1,0 +1,28 @@
+"""Route tables for the HTTP front-end, split by concern.
+
+Mirrors the service CLI's command split: tenant lifecycle
+(:mod:`~repro.server.routes.admin`), health and status
+(:mod:`~repro.server.routes.health`), ingest
+(:mod:`~repro.server.routes.ingest`), profile queries
+(:mod:`~repro.server.routes.query`) and raw downloads
+(:mod:`~repro.server.routes.downloads`).
+"""
+
+from __future__ import annotations
+
+from repro.server.routes import admin, downloads, health, ingest, query
+from repro.server.routing import Route
+
+
+def all_routes() -> list[Route]:
+    """Every route, in match order."""
+    return [
+        *health.ROUTES,
+        *admin.ROUTES,
+        *ingest.ROUTES,
+        *query.ROUTES,
+        *downloads.ROUTES,
+    ]
+
+
+__all__ = ["all_routes"]

@@ -1,0 +1,74 @@
+"""Tenant lifecycle routes: create, list, drop."""
+
+from __future__ import annotations
+
+from repro.errors import TenantError
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+from repro.server.routing import Route
+from repro.tenants.config import TenantConfig, validate_tenant_id
+
+
+def create_tenant(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``POST /tenants`` -- register and start a tenant.
+
+    Body: ``{"tenant_id": ..., "config": {...}, "rows": [[...], ...]}``.
+    Server-level defaults (``--parallelism`` etc. from the CLI) are
+    merged *under* the request's config: the request wins.
+    """
+    body = request.json()
+    tenant_id = body.get("tenant_id")
+    if not isinstance(tenant_id, str):
+        raise TenantError("'tenant_id' (string) is required")
+    validate_tenant_id(tenant_id)
+    raw_config = body.get("config")
+    if not isinstance(raw_config, dict):
+        raise TenantError("'config' (object with 'columns') is required")
+    merged = dict(app.default_config)
+    merged.update(raw_config)
+    config = TenantConfig.from_dict(merged)
+    rows = body.get("rows", [])
+    if not isinstance(rows, list):
+        raise TenantError("'rows' must be a list of rows")
+    tenant = app.manager.create(
+        tenant_id, config, initial_rows=[tuple(row) for row in rows]
+    )
+    return HttpResponse(
+        status=201,
+        document={
+            "tenant": tenant.tenant_id,
+            "columns": list(config.columns),
+            "insert_only": config.insert_only,
+            "live_rows": len(tenant.service.profiler.relation),
+            "health": tenant.service.health.state.value,
+        },
+    )
+
+
+def list_tenants(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    manager = app.manager
+    return HttpResponse(
+        status=200,
+        document={
+            "tenants": [
+                {"tenant": tenant_id, "open": manager.is_open(tenant_id)}
+                for tenant_id in manager.tenant_ids()
+            ]
+        },
+    )
+
+
+def drop_tenant(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``DELETE /tenants/{tenant_id}`` -- unregister; state is parked."""
+    tenant_id = request.params["tenant_id"]
+    parked = app.manager.drop(tenant_id)
+    return HttpResponse(
+        status=200,
+        document={"tenant": tenant_id, "dropped": True, "parked": parked},
+    )
+
+
+ROUTES = [
+    Route("POST", "/tenants", create_tenant),
+    Route("GET", "/tenants", list_tenants),
+    Route("DELETE", "/tenants/{tenant_id}", drop_tenant),
+]

@@ -1,0 +1,36 @@
+"""Download routes: raw relation contents for offline verification."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+from repro.server.routing import Route
+
+
+def get_rows_csv(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``GET /tenants/{tenant_id}/rows.csv`` -- live tuples as CSV.
+
+    First column is the tuple id (what delete batches reference), then
+    the tenant's columns in schema order. Built in memory -- relations
+    here are profiling working sets, not data lakes.
+    """
+    tenant = app.manager.get(request.params["tenant_id"])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    with tenant.lock:
+        relation = tenant.service.profiler.relation
+        writer.writerow(["tuple_id", *relation.schema.names])
+        for tuple_id, row in relation.iter_items():
+            writer.writerow([tuple_id, *row])
+    return HttpResponse(
+        status=200,
+        raw=buffer.getvalue().encode("utf-8"),
+        content_type="text/csv; charset=utf-8",
+    )
+
+
+ROUTES = [
+    Route("GET", "/tenants/{tenant_id}/rows.csv", get_rows_csv),
+]

@@ -1,0 +1,34 @@
+"""Health and status routes: process liveness, per-tenant, fleet."""
+
+from __future__ import annotations
+
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+from repro.server.routing import Route
+
+
+def healthz(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``GET /healthz`` -- is the process up and routing at all."""
+    return HttpResponse(
+        status=200,
+        document={"status": "ok", "open_tenants": len(app.manager)},
+    )
+
+
+def tenant_status(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``GET /tenants/{tenant_id}/status`` -- one tenant, in full."""
+    return HttpResponse(
+        status=200,
+        document=app.manager.tenant_status(request.params["tenant_id"]),
+    )
+
+
+def fleet_status(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``GET /fleet/status`` -- every tenant's vitals plus totals."""
+    return HttpResponse(status=200, document=app.manager.fleet_status())
+
+
+ROUTES = [
+    Route("GET", "/healthz", healthz),
+    Route("GET", "/fleet/status", fleet_status),
+    Route("GET", "/tenants/{tenant_id}/status", tenant_status),
+]

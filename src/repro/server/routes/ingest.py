@@ -1,0 +1,72 @@
+"""Ingest routes: batch admission and flush."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+from repro.server.routing import Route
+from repro.service.changelog import DELETE, INSERT
+
+
+def post_batch(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``POST /tenants/{tenant_id}/batches`` -- admit one batch.
+
+    Body: ``{"kind": "insert", "rows": [...], "token": ...}`` or
+    ``{"kind": "delete", "tuple_ids": [...], "token": ...}``. A fresh
+    batch is ``202 Accepted`` (it is queued, not yet applied); a
+    replayed token is ``200`` with ``"outcome": "duplicate"`` -- the
+    changelog's token dedup reached over HTTP, making retries safe.
+    """
+    tenant_id = request.params["tenant_id"]
+    body = request.json()
+    kind = body.get("kind")
+    if kind not in (INSERT, DELETE):
+        raise WorkloadError(
+            f"'kind' must be {INSERT!r} or {DELETE!r}, got {kind!r}"
+        )
+    token = body.get("token")
+    if token is not None and not isinstance(token, str):
+        raise WorkloadError(f"'token' must be a string, got {type(token).__name__}")
+    rows = body.get("rows", [])
+    tuple_ids = body.get("tuple_ids", [])
+    if not isinstance(rows, list) or not isinstance(tuple_ids, list):
+        raise WorkloadError("'rows' and 'tuple_ids' must be lists")
+    if kind == INSERT and tuple_ids:
+        raise WorkloadError("insert batches carry 'rows', not 'tuple_ids'")
+    if kind == DELETE and rows:
+        raise WorkloadError("delete batches carry 'tuple_ids', not 'rows'")
+    receipt = app.manager.ingest(
+        tenant_id,
+        kind,
+        rows=[tuple(row) for row in rows],
+        tuple_ids=tuple_ids,
+        token=token,
+        nbytes=len(request.body) or None,
+    )
+    status = 202 if receipt.get("outcome") == "enqueued" else 200
+    return HttpResponse(status=status, document=receipt)
+
+
+def flush(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``POST /tenants/{tenant_id}/flush`` -- wait for the queue to drain.
+
+    Turns the async ingest contract into a synchronous checkpoint for
+    clients that need read-your-writes before querying.
+    """
+    tenant_id = request.params["tenant_id"]
+    raw = request.json().get("timeout", 30.0)
+    try:
+        timeout = float(raw)
+    except (TypeError, ValueError):
+        raise WorkloadError(f"'timeout' must be a number, got {raw!r}") from None
+    drained = app.manager.flush(tenant_id, timeout=timeout)
+    return HttpResponse(
+        status=200 if drained else 504,
+        document={"tenant": tenant_id, "flushed": drained},
+    )
+
+
+ROUTES = [
+    Route("POST", "/tenants/{tenant_id}/batches", post_batch),
+    Route("POST", "/tenants/{tenant_id}/flush", flush),
+]

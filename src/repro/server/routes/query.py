@@ -1,0 +1,50 @@
+"""Profile query routes: served UCCs and dead letters."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+from repro.server.routing import Route
+
+
+def get_uccs(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``GET /tenants/{tenant_id}/uccs`` -- the served MUCS/MNUCS.
+
+    Query params: ``kind=mucs&kind=mnucs`` (default both),
+    ``max_arity=N`` keeps combinations of at most N columns,
+    ``contains=a,b`` keeps combinations including every named column.
+    """
+    tenant_id = request.params["tenant_id"]
+    kinds = request.query_all("kind") or ["mucs", "mnucs"]
+    raw_arity = request.query_first("max_arity")
+    max_arity: int | None = None
+    if raw_arity is not None:
+        try:
+            max_arity = int(raw_arity)
+        except ValueError:
+            raise WorkloadError(
+                f"'max_arity' must be an integer, got {raw_arity!r}"
+            ) from None
+        if max_arity < 1:
+            raise WorkloadError(f"'max_arity' must be >= 1, got {max_arity}")
+    document = app.manager.query_profile(
+        tenant_id,
+        kinds=kinds,
+        max_arity=max_arity,
+        contains=request.query_all("contains"),
+    )
+    return HttpResponse(status=200, document=document)
+
+
+def get_dead_letters(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``GET /tenants/{tenant_id}/dead-letters`` -- quarantined batches."""
+    return HttpResponse(
+        status=200,
+        document=app.manager.dead_letters(request.params["tenant_id"]),
+    )
+
+
+ROUTES = [
+    Route("GET", "/tenants/{tenant_id}/uccs", get_uccs),
+    Route("GET", "/tenants/{tenant_id}/dead-letters", get_dead_letters),
+]

@@ -1,0 +1,105 @@
+"""A tiny method+path router for the stdlib HTTP front-end.
+
+No framework dependency: a :class:`Route` binds an HTTP method and a
+path pattern like ``/tenants/{tenant_id}/batches`` to a handler
+callable, and the :class:`Router` matches incoming ``(method, path)``
+pairs, extracting ``{placeholder}`` segments as string parameters.
+
+Matching distinguishes "no such path" (404) from "path exists, method
+does not" (405 with an ``Allow`` set), which keeps error responses
+honest for clients probing the API.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.server.app import HttpRequest, HttpResponse, ReproServerApp
+
+Handler = Callable[["ReproServerApp", "HttpRequest"], "HttpResponse"]
+
+_PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile(pattern: str) -> re.Pattern[str]:
+    """``/tenants/{tenant_id}/uccs`` -> anchored regex with named groups."""
+    if not pattern.startswith("/"):
+        raise ValueError(f"route pattern must start with '/': {pattern!r}")
+    parts = []
+    index = 0
+    for match in _PLACEHOLDER.finditer(pattern):
+        parts.append(re.escape(pattern[index : match.start()]))
+        parts.append(f"(?P<{match.group(1)}>[^/]+)")
+        index = match.end()
+    parts.append(re.escape(pattern[index:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One (method, pattern) -> handler binding."""
+
+    method: str
+    pattern: str
+    handler: Handler
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_regex", _compile(self.pattern))
+
+    @property
+    def regex(self) -> re.Pattern[str]:
+        return self._regex  # type: ignore[attr-defined,no-any-return]
+
+
+@dataclass(frozen=True)
+class Match:
+    """A resolved route plus the extracted path parameters."""
+
+    route: Route
+    params: dict[str, str]
+
+
+@dataclass(frozen=True)
+class NoMatch:
+    """Nothing matched; ``allowed`` is non-empty for a 405."""
+
+    allowed: tuple[str, ...] = ()
+
+    @property
+    def method_mismatch(self) -> bool:
+        return bool(self.allowed)
+
+
+class Router:
+    """Ordered route table with method-aware matching."""
+
+    def __init__(self, routes: list[Route] | None = None) -> None:
+        self._routes: list[Route] = []
+        for route in routes or []:
+            self.add(route)
+
+    def add(self, route: Route) -> None:
+        self._routes.append(route)
+
+    def extend(self, routes: list[Route]) -> None:
+        for route in routes:
+            self.add(route)
+
+    @property
+    def routes(self) -> tuple[Route, ...]:
+        return tuple(self._routes)
+
+    def match(self, method: str, path: str) -> Match | NoMatch:
+        allowed: list[str] = []
+        for route in self._routes:
+            found = route.regex.match(path)
+            if found is None:
+                continue
+            if route.method != method:
+                allowed.append(route.method)
+                continue
+            return Match(route=route, params=dict(found.groupdict()))
+        return NoMatch(allowed=tuple(sorted(set(allowed))))

@@ -123,9 +123,18 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters / gauges / histograms plus status-file export."""
+    """Named counters / gauges / histograms plus status-file export.
 
-    def __init__(self) -> None:
+    Each registry is an isolated namespace: two registries never share
+    a counter, so N in-process services (one per tenant) cannot mix
+    values. The optional ``namespace`` names the owning instance --
+    typically the tenant id -- and is stamped into :meth:`to_dict` and
+    every published status document, so scrapers and the fleet endpoint
+    can attribute a document without guessing from file paths.
+    """
+
+    def __init__(self, namespace: str | None = None) -> None:
+        self.namespace = namespace
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -149,6 +158,13 @@ class MetricsRegistry:
             self.histogram(name).observe(time.perf_counter() - started)
 
     def to_dict(self) -> dict[str, object]:
+        document: dict[str, object] = {}
+        if self.namespace is not None:
+            document["namespace"] = self.namespace
+        document.update(self._series_dict())
+        return document
+
+    def _series_dict(self) -> dict[str, object]:
         return {
             "counters": {
                 name: counter.value

@@ -363,11 +363,18 @@ class ProfilingService:
         data_dir: str,
         config: ServiceConfig | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        tenant_id: str | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.data_dir = data_dir
+        # Multi-tenant deployments run N services in one process; the
+        # tenant id namespaces this instance's metrics and shows up in
+        # operator-facing artifacts (lock diagnostics, quarantine
+        # directory names) so they can be attributed without guessing
+        # from paths.
+        self.tenant_id = tenant_id
         os.makedirs(data_dir, exist_ok=True)
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(namespace=tenant_id)
         self.snapshots = SnapshotManager(
             os.path.join(data_dir, SNAPSHOT_DIR),
             retain=self.config.retain_snapshots,
@@ -412,6 +419,11 @@ class ProfilingService:
         if self.monitor is None:
             raise ProfileStateError("service not started; call start() first")
         return self.monitor.profiler
+
+    @property
+    def last_seq(self) -> int | None:
+        """The newest committed changelog sequence (None before start)."""
+        return self._changelog.last_seq if self._changelog is not None else None
 
     def has_state(self) -> bool:
         """Is there durable state to recover from?"""
@@ -577,8 +589,10 @@ class ProfilingService:
             owner = handle.read().strip()
             handle.close()
             message = (
-                f"data directory {self.data_dir!r} is locked by another "
-                "running service" + (f" (pid {owner})" if owner else "")
+                (f"tenant {self.tenant_id!r}: " if self.tenant_id else "")
+                + f"data directory {self.data_dir!r} is locked by another "
+                "running service"
+                + (f" (pid {owner})" if owner else "")
             )
             # Leave the lock-holder diagnostic *inside* the state dir
             # (it used to land in the process CWD, which is how a stray
@@ -889,6 +903,15 @@ class ProfilingService:
         # (pipes) have nothing to redeliver anyway.
         self._protected("spool.ack", lambda: self._ack(source, batch))
 
+    def quarantine_batch(self, batch: Batch, exc: WorkloadError) -> None:
+        """Dead-letter an in-memory poison batch (no spool file to move).
+
+        The queue-fed ingest path has no source to ack or map tokens
+        back to files; the batch payload itself is serialized into the
+        quarantine directory so the evidence survives.
+        """
+        self._quarantine_batch(None, batch, exc)
+
     def _note_quarantine(self, tokens: Sequence[str], reason: str) -> None:
         self.metrics.counter("batches_dead_lettered").inc()
         self._quarantined_tokens.update(tokens)
@@ -1024,7 +1047,7 @@ class ProfilingService:
         self.dead_letters.quarantine_state(
             [self._changelog_path, self.snapshots.directory],
             reason=str(exc),
-            label=f"state-seq{seq}",
+            label=self._state_quarantine_label(seq),
             error=exc,
         )
         try:
@@ -1064,12 +1087,36 @@ class ProfilingService:
         self._refresh_gauges()
         self._protected("status", self.write_status)
 
+    def _state_quarantine_label(self, seq: int) -> str:
+        """The quarantine directory name for distrusted durable state.
+
+        Multi-tenant operators see many ``deadletter/`` directories;
+        the tenant id in the name attributes each ``state-*`` artifact
+        without path archaeology. Single-tenant deployments keep the
+        historical ``state-seq<N>`` shape.
+        """
+        if self.tenant_id:
+            return f"state-{self.tenant_id}-seq{seq}"
+        return f"state-seq{seq}"
+
+    def is_token_known(self, token: str) -> bool:
+        """Was this delivery token already committed or quarantined?
+
+        The changelog records every token alongside its batch, and
+        ``start()`` reloads them, so the answer survives restarts. The
+        HTTP ingest path uses this for idempotent redelivery: a batch
+        whose token is known is acknowledged as a duplicate instead of
+        being applied twice.
+        """
+        return token in self._committed_tokens or token in self._quarantined_tokens
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, object]:
         """The current metrics plus service identity, JSON-able."""
         return {
+            "tenant": self.tenant_id,
             "data_dir": self.data_dir,
             "last_seq": self._changelog.last_seq if self._changelog else None,
             "snapshots": self.snapshots.list_seqs(),
@@ -1091,6 +1138,7 @@ class ProfilingService:
         self.metrics.write_status(
             self._status_path,
             extra={
+                "tenant": self.tenant_id,
                 "data_dir": self.data_dir,
                 "last_seq": self._changelog.last_seq if self._changelog else 0,
                 "snapshots": self.snapshots.list_seqs(),

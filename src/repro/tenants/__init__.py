@@ -1,0 +1,33 @@
+"""Multi-tenant hosting of profiling services (one process, N tenants).
+
+The package behind the HTTP front-end (:mod:`repro.server`):
+
+* :mod:`repro.tenants.config` -- :class:`TenantConfig`, the durable
+  per-tenant description (schema, insert-only mode, service and
+  performance knobs, queue limits).
+* :mod:`repro.tenants.queue` -- :class:`IngestQueue`, the bounded
+  async ingest queue with admission control and typed backpressure
+  (:class:`~repro.errors.QueueFullError`).
+* :mod:`repro.tenants.worker` -- :class:`TenantWorker`, the per-tenant
+  single writer draining the queue through the commit protocol.
+* :mod:`repro.tenants.manager` -- :class:`TenantManager`, tenant
+  lifecycle (create/open/close/drop), the atomically persisted
+  registry, batch routing, and per-tenant/fleet status.
+"""
+
+from repro.tenants.config import TenantConfig, validate_tenant_id
+from repro.tenants.manager import Tenant, TenantManager
+from repro.tenants.queue import IngestQueue, QueueStats, QueuedBatch
+from repro.tenants.worker import BatchOutcome, TenantWorker
+
+__all__ = [
+    "BatchOutcome",
+    "IngestQueue",
+    "QueueStats",
+    "QueuedBatch",
+    "Tenant",
+    "TenantConfig",
+    "TenantManager",
+    "TenantWorker",
+    "validate_tenant_id",
+]

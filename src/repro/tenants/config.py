@@ -1,0 +1,167 @@
+"""Per-tenant configuration and the registry document schema.
+
+A :class:`TenantConfig` is the durable description of one tenant: its
+schema, its workload mode, and the service/performance knobs threaded
+through to the underlying :class:`~repro.service.server.ProfilingService`.
+The manager persists one ``TenantConfig`` per tenant in the registry
+file, so an ``open()`` after a restart reconstructs exactly the service
+the tenant was created with.
+
+``insert_only`` encodes the insert-only vs insert+delete dichotomy:
+append-only tenants declare it at registration time and the manager
+rejects delete batches at admission with
+:class:`~repro.errors.TenantModeError` -- the contract under which
+cheaper append-only maintenance strategies are legal.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import TenantError
+from repro.service.retry import RetryPolicy
+from repro.service.server import ServiceConfig
+from repro.storage.plicache import DEFAULT_BUDGET_BYTES
+
+_TENANT_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+DEFAULT_MAX_PENDING_BATCHES = 64
+DEFAULT_MAX_PENDING_BYTES = 8 * 1024 * 1024
+
+
+def validate_tenant_id(tenant_id: str) -> str:
+    """A tenant id doubles as a directory name; keep it filesystem-safe."""
+    if not isinstance(tenant_id, str) or not _TENANT_ID_RE.match(tenant_id):
+        raise TenantError(
+            f"invalid tenant id {tenant_id!r}: need 1-64 characters of "
+            "[A-Za-z0-9_.-], starting with a letter or digit"
+        )
+    return tenant_id
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Everything the manager must know to (re)build one tenant."""
+
+    columns: tuple[str, ...]
+    insert_only: bool = False
+    algorithm: str = "ducc"
+    watches: tuple[tuple[str, ...], ...] = ()
+    # Service-loop knobs (mirror ServiceConfig defaults).
+    snapshot_every: int = 16
+    retain_snapshots: int = 3
+    fsync: bool = True
+    index_quota: int | None = None
+    sentinel_every: int = 64
+    health_reset_batches: int = 16
+    # Performance knobs threaded through to the profiler.
+    parallelism: int = 0
+    cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES
+    compact_live_fraction: float = 0.5
+    compact_min_rows: int = 1024
+    # Ingest-queue admission control (backpressure limits).
+    max_pending_batches: int = DEFAULT_MAX_PENDING_BATCHES
+    max_pending_bytes: int = DEFAULT_MAX_PENDING_BYTES
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise TenantError("a tenant needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise TenantError(f"duplicate column names: {list(self.columns)}")
+        for name in self.columns:
+            if not isinstance(name, str) or not name:
+                raise TenantError(f"column names must be non-empty strings, got {name!r}")
+        if self.max_pending_batches < 1:
+            raise TenantError(
+                f"max_pending_batches must be >= 1, got {self.max_pending_batches}"
+            )
+        if self.max_pending_bytes < 1:
+            raise TenantError(
+                f"max_pending_bytes must be >= 1, got {self.max_pending_bytes}"
+            )
+        if self.parallelism < 0:
+            raise TenantError(f"parallelism must be >= 0, got {self.parallelism}")
+
+    def service_config(self) -> ServiceConfig:
+        """The ServiceConfig this tenant's ProfilingService runs with."""
+        return ServiceConfig(
+            snapshot_every=self.snapshot_every,
+            retain_snapshots=self.retain_snapshots,
+            fsync=self.fsync,
+            index_quota=self.index_quota,
+            algorithm=self.algorithm,
+            watches=self.watches,
+            retry=self.retry,
+            sentinel_every=self.sentinel_every,
+            health_reset_batches=self.health_reset_batches,
+            parallelism=self.parallelism,
+            cache_budget_bytes=self.cache_budget_bytes,
+            compact_live_fraction=self.compact_live_fraction,
+            compact_min_rows=self.compact_min_rows,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able registry form (RetryPolicy stays implicit/default)."""
+        return {
+            "columns": list(self.columns),
+            "insert_only": self.insert_only,
+            "algorithm": self.algorithm,
+            "watches": [list(watch) for watch in self.watches],
+            "snapshot_every": self.snapshot_every,
+            "retain_snapshots": self.retain_snapshots,
+            "fsync": self.fsync,
+            "index_quota": self.index_quota,
+            "sentinel_every": self.sentinel_every,
+            "health_reset_batches": self.health_reset_batches,
+            "parallelism": self.parallelism,
+            "cache_budget_bytes": self.cache_budget_bytes,
+            "compact_live_fraction": self.compact_live_fraction,
+            "compact_min_rows": self.compact_min_rows,
+            "max_pending_batches": self.max_pending_batches,
+            "max_pending_bytes": self.max_pending_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, body: Mapping[str, Any]) -> "TenantConfig":
+        """Parse a registry entry (or an HTTP create request) strictly.
+
+        Unknown keys are rejected: a typo'd knob silently ignored is a
+        tenant running with defaults its operator believes are tuned.
+        """
+        if not isinstance(body, Mapping):
+            raise TenantError(
+                f"tenant config must be an object, got {type(body).__name__}"
+            )
+        known = set(cls(columns=("_",)).to_dict())  # serialized field names
+        unknown = set(body) - known
+        if unknown:
+            raise TenantError(
+                f"unknown tenant config key(s): {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        if "columns" not in body:
+            raise TenantError("tenant config needs 'columns'")
+        columns = body["columns"]
+        if not isinstance(columns, (list, tuple)):
+            raise TenantError(
+                f"'columns' must be a list of names, got {type(columns).__name__}"
+            )
+        kwargs: dict[str, Any] = {"columns": tuple(columns)}
+        for key in known - {"columns"}:
+            if key in body:
+                value = body[key]
+                kwargs[key] = value
+        if "watches" in kwargs:
+            watches = kwargs["watches"]
+            if not isinstance(watches, (list, tuple)):
+                raise TenantError("'watches' must be a list of column lists")
+            kwargs["watches"] = tuple(
+                tuple(str(col) for col in watch) for watch in watches
+            )
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise TenantError(f"bad tenant config: {exc}") from exc

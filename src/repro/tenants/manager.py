@@ -1,0 +1,564 @@
+"""The :class:`TenantManager`: N independent profiling services, one process.
+
+This is the layer that turns "a service" into "a system serving
+traffic". Each tenant owns what a single-tenant deployment owned
+before -- a state directory, a single-writer flock, a changelog, a
+health ladder, a dead-letter queue, a metrics registry -- and the
+manager owns the tenants::
+
+    <root>/registry.json          -- atomic registry of tenant configs
+    <root>/tenants/<id>/          -- one ProfilingService state dir each
+    <root>/dropped/<id>-<n>/      -- state of dropped tenants (forensics)
+
+Lifecycle is ``create`` / ``open`` / ``close`` / ``drop``. The registry
+file is the durable source of truth: ``open_all()`` after a restart
+rebuilds every tenant exactly as registered (recovering each from its
+own snapshot+changelog), and registry writes go through the same
+``fsops`` fault sites as every other durability path, so the chaos
+sweep covers them.
+
+Ingest is asynchronous: :meth:`ingest` runs admission control (tenant
+exists, mode allows the batch kind, health accepts writes, token not
+already seen, queue not full) and enqueues; the tenant's
+:class:`~repro.tenants.worker.TenantWorker` is the only writer. Reads
+(:meth:`query_profile`, :meth:`tenant_status`) take the same per-tenant
+lock as the writer, so a query never observes a half-applied batch --
+and one tenant's traffic never blocks a sibling's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterator, Sequence
+
+from repro.errors import (
+    QueueFullError,
+    ServiceHealthError,
+    TenantError,
+    TenantExistsError,
+    TenantModeError,
+    UnknownTenantError,
+    WorkloadError,
+)
+from repro.faults import fsops
+from repro.lattice.combination import popcount
+from repro.service.changelog import DELETE, INSERT
+from repro.service.server import Batch, ProfilingService
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.tenants.config import TenantConfig, validate_tenant_id
+from repro.tenants.queue import IngestQueue
+from repro.tenants.worker import TenantWorker
+
+SITE_REGISTRY_OPEN = fsops.register_site(
+    "tenants.registry.open", "write the tenant registry (tmp file)"
+)
+SITE_REGISTRY_FSYNC = fsops.register_site(
+    "tenants.registry.fsync", "fsync the tenant registry before publishing"
+)
+SITE_REGISTRY_REPLACE = fsops.register_site(
+    "tenants.registry.replace", "atomically publish the tenant registry"
+)
+SITE_REGISTRY_READ = fsops.register_site(
+    "tenants.registry.read", "read the tenant registry back"
+)
+SITE_DROP_REPLACE = fsops.register_site(
+    "tenants.drop.replace", "move a dropped tenant's state dir aside"
+)
+
+REGISTRY_NAME = "registry.json"
+TENANTS_DIR = "tenants"
+DROPPED_DIR = "dropped"
+REGISTRY_VERSION = 1
+
+Row = tuple[Hashable, ...]
+
+
+@dataclass
+class Tenant:
+    """One tenant's runtime bundle (registry entry + live machinery)."""
+
+    tenant_id: str
+    config: TenantConfig
+    data_dir: str
+    created_unix: float
+    service: ProfilingService
+    queue: IngestQueue
+    worker: TenantWorker
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+    @property
+    def started(self) -> bool:
+        return self.service.started
+
+
+class TenantManager:
+    """Owns tenant lifecycle, the registry file, and batch routing."""
+
+    def __init__(
+        self,
+        root_dir: str,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.root_dir = root_dir
+        self._sleep = sleep
+        self._tenants: dict[str, Tenant] = {}
+        self._registry: dict[str, dict[str, Any]] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+        os.makedirs(os.path.join(root_dir, TENANTS_DIR), exist_ok=True)
+        self._registry_path = os.path.join(root_dir, REGISTRY_NAME)
+        if os.path.exists(self._registry_path):
+            self._registry = self._load_registry()
+
+    # ------------------------------------------------------------------
+    # Registry persistence
+    # ------------------------------------------------------------------
+    def _load_registry(self) -> dict[str, dict[str, Any]]:
+        with fsops.open_(SITE_REGISTRY_READ, self._registry_path) as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise TenantError(
+                    f"tenant registry {self._registry_path} is corrupt: {exc}"
+                ) from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != REGISTRY_VERSION
+            or not isinstance(document.get("tenants"), dict)
+        ):
+            raise TenantError(
+                f"tenant registry {self._registry_path} has an unknown layout"
+            )
+        return dict(document["tenants"])
+
+    def _persist_registry(self) -> None:
+        document = {"version": REGISTRY_VERSION, "tenants": self._registry}
+        tmp = self._registry_path + ".tmp"
+        with fsops.open_(SITE_REGISTRY_OPEN, tmp, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.flush()
+            fsops.fsync(SITE_REGISTRY_FSYNC, handle)
+        fsops.replace(SITE_REGISTRY_REPLACE, tmp, self._registry_path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _state_dir(self, tenant_id: str) -> str:
+        return os.path.join(self.root_dir, TENANTS_DIR, tenant_id)
+
+    def _build_tenant(
+        self, tenant_id: str, config: TenantConfig, created_unix: float
+    ) -> Tenant:
+        data_dir = self._state_dir(tenant_id)
+        service = ProfilingService(
+            data_dir,
+            config=config.service_config(),
+            sleep=self._sleep,
+            tenant_id=tenant_id,
+        )
+        queue = IngestQueue(
+            tenant_id=tenant_id,
+            max_pending_batches=config.max_pending_batches,
+            max_pending_bytes=config.max_pending_bytes,
+        )
+        # The worker and the query paths serialize on one per-tenant lock.
+        lock = threading.RLock()
+        return Tenant(
+            tenant_id=tenant_id,
+            config=config,
+            data_dir=data_dir,
+            created_unix=created_unix,
+            service=service,
+            queue=queue,
+            worker=TenantWorker(tenant_id, service, queue, lock),
+            lock=lock,
+        )
+
+    @staticmethod
+    def _start_service(
+        service: ProfilingService, initial: Relation | None = None
+    ) -> None:
+        """Start a service; on *any* failure release its writer flock.
+
+        A fault mid-``start`` (chaos injection, torn state) must not
+        leak a half-started service holding the directory lock -- a
+        later ``open()`` of the same tenant would then stall on lock
+        contention inside the very same process.
+        """
+        try:
+            service.start(initial=initial)
+        except BaseException:
+            try:
+                service.simulate_crash()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            raise
+
+    def create(
+        self,
+        tenant_id: str,
+        config: TenantConfig,
+        initial_rows: Sequence[Sequence[Hashable]] = (),
+    ) -> Tenant:
+        """Register a new tenant and bring its service up.
+
+        The service boots (profiling ``initial_rows`` over the
+        registered schema, possibly empty) *before* the registry is
+        persisted: a tenant that cannot start must not be registered.
+        """
+        validate_tenant_id(tenant_id)
+        with self._lock:
+            self._check_open()
+            if tenant_id in self._registry or tenant_id in self._tenants:
+                raise TenantExistsError(tenant_id)
+            relation = Relation.from_rows(
+                Schema(list(config.columns)),
+                [tuple(row) for row in initial_rows],
+            )
+            tenant = self._build_tenant(tenant_id, config, time.time())
+            self._start_service(tenant.service, initial=relation)
+            try:
+                self._registry[tenant_id] = {
+                    "config": config.to_dict(),
+                    "created_unix": tenant.created_unix,
+                }
+                self._persist_registry()
+            except BaseException:
+                self._registry.pop(tenant_id, None)
+                tenant.service.stop()
+                raise
+            tenant.worker.start()
+            self._tenants[tenant_id] = tenant
+            return tenant
+
+    def open(self, tenant_id: str) -> Tenant:
+        """Bring a registered tenant back up from its durable state."""
+        with self._lock:
+            self._check_open()
+            live = self._tenants.get(tenant_id)
+            if live is not None:
+                return live
+            entry = self._registry.get(tenant_id)
+            if entry is None:
+                raise UnknownTenantError(tenant_id)
+            config = TenantConfig.from_dict(entry["config"])
+            tenant = self._build_tenant(
+                tenant_id, config, float(entry.get("created_unix", 0.0))
+            )
+            if tenant.service.has_state():
+                self._start_service(tenant.service)
+            else:
+                # Registered but never sealed (e.g. a crash between
+                # registry publish and the first snapshot): boot empty.
+                self._start_service(
+                    tenant.service,
+                    initial=Relation.from_rows(
+                        Schema(list(config.columns)), []
+                    ),
+                )
+            tenant.worker.start()
+            self._tenants[tenant_id] = tenant
+            return tenant
+
+    def open_all(self) -> list[Tenant]:
+        """Open every registered tenant (server boot)."""
+        with self._lock:
+            return [self.open(tenant_id) for tenant_id in sorted(self._registry)]
+
+    def close(self, tenant_id: str, drain: bool = True) -> None:
+        """Stop one tenant's writer and service; keep it registered."""
+        with self._lock:
+            tenant = self._tenants.pop(tenant_id, None)
+        if tenant is None:
+            if tenant_id not in self._registry:
+                raise UnknownTenantError(tenant_id)
+            return
+        tenant.worker.stop(drain=drain)
+        tenant.service.stop()
+
+    def close_all(self, drain: bool = True) -> None:
+        with self._lock:
+            tenant_ids = list(self._tenants)
+            self._closed = True
+        for tenant_id in tenant_ids:
+            tenant = self._tenants.pop(tenant_id, None)
+            if tenant is not None:
+                tenant.worker.stop(drain=drain)
+                tenant.service.stop()
+
+    def drop(self, tenant_id: str) -> str:
+        """Unregister a tenant and move its state aside (never deleted).
+
+        Returns the path the state directory was parked under. Drop is
+        logical: the profile, changelog and dead letters survive under
+        ``dropped/`` for forensics, mirroring the dead-letter philosophy
+        of never destroying evidence.
+        """
+        with self._lock:
+            if tenant_id not in self._registry:
+                raise UnknownTenantError(tenant_id)
+            tenant = self._tenants.pop(tenant_id, None)
+            if tenant is not None:
+                tenant.worker.stop(drain=False)
+                tenant.service.stop()
+            del self._registry[tenant_id]
+            self._persist_registry()
+            state_dir = self._state_dir(tenant_id)
+            parked = ""
+            if os.path.isdir(state_dir):
+                dropped_root = os.path.join(self.root_dir, DROPPED_DIR)
+                os.makedirs(dropped_root, exist_ok=True)
+                suffix = 0
+                parked = os.path.join(dropped_root, tenant_id)
+                while os.path.exists(parked):
+                    suffix += 1
+                    parked = os.path.join(dropped_root, f"{tenant_id}-{suffix}")
+                fsops.replace(SITE_DROP_REPLACE, state_dir, parked)
+            return parked
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TenantError("tenant manager is closed")
+
+    def __enter__(self) -> "TenantManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close_all()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, tenant_id: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenantError(tenant_id)
+        return tenant
+
+    def tenant_ids(self) -> list[str]:
+        """Every registered tenant id (open or not), sorted."""
+        with self._lock:
+            return sorted(set(self._registry) | set(self._tenants))
+
+    def is_open(self, tenant_id: str) -> bool:
+        with self._lock:
+            return tenant_id in self._tenants
+
+    def __iter__(self) -> Iterator[Tenant]:
+        with self._lock:
+            tenants = list(self._tenants.values())
+        return iter(sorted(tenants, key=lambda t: t.tenant_id))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Ingest (admission control happens here, on the producer thread)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        tenant_id: str,
+        kind: str,
+        rows: Sequence[Sequence[Hashable]] = (),
+        tuple_ids: Sequence[int] = (),
+        token: str | None = None,
+        nbytes: int | None = None,
+    ) -> dict[str, object]:
+        """Admit one batch into a tenant's queue; returns a receipt.
+
+        Raises :class:`UnknownTenantError`, :class:`TenantModeError`
+        (delete on an insert-only tenant), :class:`ServiceHealthError`
+        (health ladder gates writes) or :class:`QueueFullError`
+        (backpressure). A token already committed, quarantined or
+        pending is acknowledged as a duplicate without enqueueing.
+        """
+        tenant = self.get(tenant_id)
+        if kind not in (INSERT, DELETE):
+            raise WorkloadError(f"unknown batch kind {kind!r}")
+        if kind == DELETE and tenant.config.insert_only:
+            raise TenantModeError(
+                f"tenant {tenant_id!r} is registered insert-only; "
+                "delete batches are not accepted"
+            )
+        if not tenant.service.health.can_write:
+            raise ServiceHealthError(
+                f"tenant {tenant_id!r} is "
+                f"{tenant.service.health.state.value}, refusing writes"
+            )
+        if kind == INSERT:
+            batch = Batch(
+                INSERT,
+                rows=tuple(tuple(row) for row in rows),
+                token=token,
+            )
+        else:
+            batch = Batch(
+                DELETE, tuple_ids=tuple(int(i) for i in tuple_ids), token=token
+            )
+        if token is not None and (
+            tenant.service.is_token_known(token)
+            or tenant.queue.is_token_pending(token)
+        ):
+            tenant.queue.note_duplicate()
+            return {
+                "tenant": tenant_id,
+                "outcome": "duplicate",
+                "token": token,
+            }
+        if nbytes is None:
+            nbytes = len(json.dumps(self._batch_payload(batch)))
+        try:
+            item = tenant.queue.put(batch, nbytes=nbytes, now=time.time())
+        except QueueFullError:
+            tenant.service.metrics.counter("queue_rejections").inc()
+            raise
+        return {
+            "tenant": tenant_id,
+            "outcome": "enqueued",
+            "batch_id": item.batch_id,
+            "pending_batches": tenant.queue.depth(),
+        }
+
+    @staticmethod
+    def _batch_payload(batch: Batch) -> dict[str, object]:
+        if batch.kind == INSERT:
+            return {"kind": INSERT, "rows": [list(row) for row in batch.rows]}
+        return {"kind": DELETE, "ids": list(batch.tuple_ids)}
+
+    def flush(self, tenant_id: str, timeout: float = 30.0) -> bool:
+        """Block until a tenant's queue is fully applied (or timeout)."""
+        return self.get(tenant_id).worker.flush(timeout=timeout)
+
+    def flush_all(self, timeout: float = 30.0) -> bool:
+        return all(
+            tenant.worker.flush(timeout=timeout) for tenant in list(self)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_profile(
+        self,
+        tenant_id: str,
+        kinds: Sequence[str] = ("mucs", "mnucs"),
+        max_arity: int | None = None,
+        contains: Sequence[str] = (),
+    ) -> dict[str, object]:
+        """The tenant's served MUCS/MNUCS with minimality filters.
+
+        ``max_arity`` keeps only combinations of at most that many
+        columns; ``contains`` keeps only combinations including every
+        named column. Masks ride along so clients can check
+        bit-identity against a local profiler run.
+        """
+        tenant = self.get(tenant_id)
+        for kind in kinds:
+            if kind not in ("mucs", "mnucs"):
+                raise WorkloadError(f"unknown profile kind {kind!r}")
+        with tenant.lock:
+            profile = tenant.service.profiler.snapshot()
+            schema = tenant.service.profiler.relation.schema
+            seq = tenant.service.last_seq
+            live_rows = len(tenant.service.profiler.relation)
+        try:
+            required = schema.mask(list(contains)) if contains else 0
+        except Exception as exc:
+            raise WorkloadError(f"bad 'contains' filter: {exc}") from exc
+        document: dict[str, object] = {
+            "tenant": tenant_id,
+            "seq": seq,
+            "live_rows": live_rows,
+            "columns": list(schema.names),
+        }
+        for kind in kinds:
+            masks = profile.mucs if kind == "mucs" else profile.mnucs
+            kept = [
+                mask
+                for mask in masks
+                if (max_arity is None or popcount(mask) <= max_arity)
+                and (required & mask) == required
+            ]
+            document[kind] = [
+                {
+                    "columns": list(schema.combination(mask).names),
+                    "mask": mask,
+                }
+                for mask in kept
+            ]
+        return document
+
+    def dead_letters(self, tenant_id: str) -> dict[str, object]:
+        tenant = self.get(tenant_id)
+        return {
+            "tenant": tenant_id,
+            "count": tenant.service.dead_letters.count(),
+            "entries": tenant.service.dead_letters.entries(),
+        }
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def tenant_status(self, tenant_id: str) -> dict[str, object]:
+        """One tenant's full status document (service stats + queue)."""
+        tenant = self.get(tenant_id)
+        with tenant.lock:
+            service_stats = tenant.service.stats()
+        return {
+            "tenant": tenant_id,
+            "insert_only": tenant.config.insert_only,
+            "created_unix": tenant.created_unix,
+            "health": tenant.service.health.state.value,
+            "queue": tenant.queue.stats().to_dict(),
+            "worker": {
+                "alive": tenant.worker.alive,
+                "paused": tenant.worker.paused,
+                "drained_total": tenant.worker.drained_total,
+            },
+            "recent_batches": [
+                outcome.to_dict() for outcome in list(tenant.worker.results)
+            ],
+            "service": service_stats,
+        }
+
+    def fleet_status(self) -> dict[str, object]:
+        """Every open tenant's gauges plus queue depths, aggregated."""
+        per_tenant: dict[str, dict[str, object]] = {}
+        totals = {
+            "tenants": 0,
+            "live_rows": 0,
+            "pending_batches": 0,
+            "pending_bytes": 0,
+            "dead_letters": 0,
+            "serving": 0,
+        }
+        for tenant in self:
+            with tenant.lock:
+                stats = tenant.service.stats()
+            gauges = stats.get("gauges", {})
+            queue_stats = tenant.queue.stats()
+            health = tenant.service.health.state.value
+            per_tenant[tenant.tenant_id] = {
+                "health": health,
+                "last_seq": stats.get("last_seq"),
+                "dead_letters": stats.get("dead_letters", 0),
+                "gauges": gauges,
+                "queue": queue_stats.to_dict(),
+            }
+            totals["tenants"] += 1
+            totals["live_rows"] += int(gauges.get("live_rows", 0))
+            totals["pending_batches"] += queue_stats.pending_batches
+            totals["pending_bytes"] += queue_stats.pending_bytes
+            totals["dead_letters"] += int(stats.get("dead_letters", 0))
+            totals["serving"] += 1 if health == "serving" else 0
+        return {
+            "registered": self.tenant_ids(),
+            "totals": totals,
+            "tenants": per_tenant,
+        }

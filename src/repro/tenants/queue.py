@@ -1,0 +1,195 @@
+"""The bounded per-tenant async ingest queue with admission control.
+
+HTTP ingest is asynchronous: ``POST .../batches`` enqueues and returns
+``202`` immediately, and the tenant's single writer thread drains the
+queue through the service's log-then-apply-then-ack protocol. The queue
+is the pressure point of that design, so it is **bounded twice over**:
+
+* ``max_pending_batches`` -- cap on queued batch count;
+* ``max_pending_bytes`` -- cap on the payload bytes those batches hold.
+
+:meth:`IngestQueue.put` rejects with a typed
+:class:`~repro.errors.QueueFullError` the moment either limit would be
+exceeded, which the HTTP layer maps to ``429``. A slow tenant therefore
+exerts backpressure on *its own* producers instead of growing process
+memory without bound -- and without touching its siblings' queues.
+
+The queue also owns **pending-token dedup**: a token that is already
+enqueued (but not yet committed to the changelog) is reported as a
+duplicate at admission, closing the race between "client retried" and
+"worker has not applied yet". Committed/quarantined tokens are the
+service's changelog dedup, checked by the worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import QueueFullError
+from repro.service.server import Batch
+
+
+@dataclass(frozen=True)
+class QueuedBatch:
+    """One admitted batch waiting for the tenant's writer thread."""
+
+    batch_id: int
+    batch: Batch
+    nbytes: int
+    enqueued_unix: float
+
+
+@dataclass
+class QueueStats:
+    """Point-in-time depth plus lifetime admission totals."""
+
+    pending_batches: int = 0
+    pending_bytes: int = 0
+    enqueued_total: int = 0
+    rejected_total: int = 0
+    duplicate_total: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "pending_batches": self.pending_batches,
+            "pending_bytes": self.pending_bytes,
+            "enqueued_total": self.enqueued_total,
+            "rejected_total": self.rejected_total,
+            "duplicate_total": self.duplicate_total,
+        }
+
+
+@dataclass
+class IngestQueue:
+    """A bounded FIFO of :class:`QueuedBatch` with admission control."""
+
+    tenant_id: str
+    max_pending_batches: int
+    max_pending_bytes: int
+    _items: deque[QueuedBatch] = field(default_factory=deque)
+    _pending_bytes: int = 0
+    _pending_tokens: set[str] = field(default_factory=set)
+    _next_batch_id: int = 1
+    _closed: bool = False
+    _enqueued_total: int = 0
+    _rejected_total: int = 0
+    _duplicate_total: int = 0
+    _held: bool = False
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    # Producer side (HTTP threads)
+    # ------------------------------------------------------------------
+    def put(self, batch: Batch, nbytes: int, now: float) -> QueuedBatch:
+        """Admit one batch or raise :class:`QueueFullError`.
+
+        ``nbytes`` is the producer's payload size (the HTTP request
+        body); accounting it instead of a recomputed estimate keeps the
+        limit meaningful to the client that must react to 429s.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise QueueFullError(
+                    self.tenant_id,
+                    len(self._items),
+                    self._pending_bytes,
+                    0,
+                    0,
+                )
+            if (
+                len(self._items) >= self.max_pending_batches
+                or self._pending_bytes + nbytes > self.max_pending_bytes
+            ):
+                self._rejected_total += 1
+                raise QueueFullError(
+                    self.tenant_id,
+                    len(self._items),
+                    self._pending_bytes,
+                    self.max_pending_batches,
+                    self.max_pending_bytes,
+                )
+            item = QueuedBatch(
+                batch_id=self._next_batch_id,
+                batch=batch,
+                nbytes=nbytes,
+                enqueued_unix=now,
+            )
+            self._next_batch_id += 1
+            self._items.append(item)
+            self._pending_bytes += nbytes
+            self._enqueued_total += 1
+            if isinstance(batch.token, str):
+                self._pending_tokens.add(batch.token)
+            self._not_empty.notify()
+            return item
+
+    def is_token_pending(self, token: str) -> bool:
+        """Is a batch with this delivery token already enqueued?"""
+        with self._lock:
+            return token in self._pending_tokens
+
+    def note_duplicate(self) -> None:
+        with self._lock:
+            self._duplicate_total += 1
+
+    # ------------------------------------------------------------------
+    # Consumer side (the tenant's single writer thread)
+    # ------------------------------------------------------------------
+    def take(self, timeout: float) -> QueuedBatch | None:
+        """Pop the oldest batch, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or once the queue is closed *and*
+        drained -- the worker's signal to exit.
+        """
+        with self._not_empty:
+            if (self._held or not self._items) and not self._closed:
+                self._not_empty.wait(timeout)
+            if self._held or not self._items:
+                return None
+            item = self._items.popleft()
+            self._pending_bytes -= item.nbytes
+            token = item.batch.token
+            if isinstance(token, str):
+                self._pending_tokens.discard(token)
+            self._not_empty.notify_all()
+            return item
+
+    def hold(self, held: bool) -> None:
+        """Gate the consumer side: while held, :meth:`take` yields nothing.
+
+        The worker's ``pause()`` sets this so a pause is effective even
+        when the writer thread is already blocked inside :meth:`take` --
+        without it, the first batch enqueued after a pause would still
+        be consumed (the pause flag is only checked between takes).
+        """
+        with self._not_empty:
+            self._held = held
+            self._not_empty.notify_all()
+
+    def close(self) -> None:
+        """Stop admitting; wake any waiting consumer."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def stats(self) -> QueueStats:
+        with self._lock:
+            return QueueStats(
+                pending_batches=len(self._items),
+                pending_bytes=self._pending_bytes,
+                enqueued_total=self._enqueued_total,
+                rejected_total=self._rejected_total,
+                duplicate_total=self._duplicate_total,
+            )

@@ -1,0 +1,217 @@
+"""The per-tenant single-writer thread draining the ingest queue.
+
+Each tenant keeps the service layer's cardinal invariant -- exactly one
+writer per state directory -- by funnelling every admitted batch
+through one :class:`TenantWorker` thread. HTTP threads only enqueue;
+the worker alone calls :meth:`ProfilingService.apply_batch`, so the
+changelog's log-then-apply protocol and the flock story are untouched
+by the move to N tenants per process.
+
+Outcomes are first-class: every drained batch ends as ``applied``,
+``duplicate`` (its token is already in the changelog -- the existing
+changelog dedup, now reachable over HTTP), ``dead_lettered`` (failed
+validation; evidence quarantined with a reason record) or
+``rejected_health`` (the tenant's health ladder gates writes). The last
+``results_cap`` outcomes are kept for the status endpoint, so a client
+that got its ``202`` can find out what became of the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ServiceHealthError, WorkloadError
+from repro.service.server import ProfilingService
+from repro.tenants.queue import IngestQueue, QueuedBatch
+
+APPLIED = "applied"
+DUPLICATE = "duplicate"
+DEAD_LETTERED = "dead_lettered"
+REJECTED_HEALTH = "rejected_health"
+FAILED = "failed"
+
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What happened to one admitted batch, for the status endpoint."""
+
+    batch_id: int
+    kind: str
+    n_rows: int
+    outcome: str
+    detail: str = ""
+    seq: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "batch_id": self.batch_id,
+            "kind": self.kind,
+            "n_rows": self.n_rows,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "seq": self.seq,
+        }
+
+
+class TenantWorker:
+    """Drains one tenant's :class:`IngestQueue` into its service."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        service: ProfilingService,
+        queue: IngestQueue,
+        lock: threading.RLock,
+        results_cap: int = 64,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.service = service
+        self.queue = queue
+        self.lock = lock
+        self.results: deque[BatchOutcome] = deque(maxlen=results_cap)
+        self._stop = threading.Event()
+        self._pause = threading.Event()
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._in_flight = False
+        self._drained_total = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"tenant-writer-{tenant_id}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "TenantWorker":
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the writer; by default finish the queued work first."""
+        if drain:
+            self.flush(timeout=timeout)
+        self._stop.set()
+        self.queue.close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    def pause(self) -> None:
+        """Suspend draining (operator drains, deterministic 429 tests).
+
+        Holding the queue as well makes the pause immediate even when
+        the writer thread is currently blocked inside ``take``.
+        """
+        self._pause.set()
+        self.queue.hold(True)
+
+    def resume(self) -> None:
+        self.queue.hold(False)
+        self._pause.clear()
+
+    @property
+    def paused(self) -> bool:
+        return self._pause.is_set()
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def drained_total(self) -> int:
+        with self._state_lock:
+            return self._drained_total
+
+    def flush(self, timeout: float = 30.0) -> bool:
+        """Block until the queue is empty and nothing is in flight.
+
+        Returns ``False`` on timeout (or when the worker is paused with
+        work still pending -- a paused writer can never drain).
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while (
+                self.queue.depth() > 0 or self._in_flight
+            ) and not self._pause.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, _POLL_SECONDS * 4))
+            return self.queue.depth() == 0 and not self._in_flight
+
+    # ------------------------------------------------------------------
+    # The drain loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            if self._pause.is_set():
+                if self._stop.is_set():
+                    return
+                time.sleep(_POLL_SECONDS)
+                continue
+            item = self.queue.take(timeout=_POLL_SECONDS)
+            if item is None:
+                with self._idle:
+                    self._idle.notify_all()
+                if self._stop.is_set() and self.queue.depth() == 0:
+                    return
+                continue
+            with self._state_lock:
+                self._in_flight = True
+            try:
+                outcome = self._apply_one(item)
+            finally:
+                with self._idle:
+                    self._in_flight = False
+                    self._drained_total += 1
+                    self._idle.notify_all()
+            self.results.append(outcome)
+
+    def _apply_one(self, item: QueuedBatch) -> BatchOutcome:
+        batch = item.batch
+        token = batch.token if isinstance(batch.token, str) else None
+        with self.lock:
+            if token is not None and self.service.is_token_known(token):
+                self.queue.note_duplicate()
+                return self._outcome(item, DUPLICATE, f"token {token!r} already committed")
+            try:
+                self.service.apply_batch(batch)
+            except WorkloadError as exc:
+                self.service.quarantine_batch(batch, exc)
+                return self._outcome(item, DEAD_LETTERED, str(exc))
+            except ServiceHealthError as exc:
+                return self._outcome(item, REJECTED_HEALTH, str(exc))
+            except Exception as exc:  # keep the writer thread alive
+                # apply_batch handles its own IO retries/health; anything
+                # escaping here is unexpected -- record it and degrade
+                # this tenant rather than silently killing its writer.
+                self.service.health.mark_degraded(
+                    f"worker: {type(exc).__name__}: {exc}"
+                )
+                return self._outcome(
+                    item, FAILED, f"{type(exc).__name__}: {exc}"
+                )
+            self.service.metrics.histogram("ingest_to_applied_seconds").observe(
+                max(0.0, time.time() - item.enqueued_unix)
+            )
+            return self._outcome(item, APPLIED, seq=self.service.last_seq)
+
+    def _outcome(
+        self,
+        item: QueuedBatch,
+        outcome: str,
+        detail: str = "",
+        seq: int | None = None,
+    ) -> BatchOutcome:
+        return BatchOutcome(
+            batch_id=item.batch_id,
+            kind=item.batch.kind,
+            n_rows=item.batch.n_rows,
+            outcome=outcome,
+            detail=detail,
+            seq=seq,
+        )

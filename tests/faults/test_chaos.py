@@ -12,9 +12,11 @@ from repro.faults.chaos import (
     MODES,
     ChaosFailure,
     main as chaos_main,
+    run_isolation_scenario,
     run_service_scenario,
     run_sweep,
     run_table_scenario,
+    run_tenant_fleet_scenario,
 )
 
 
@@ -94,12 +96,49 @@ class TestSweep:
                 "status",
                 "lock",
                 "relation",
+                "tenants",
             ), f"no chaos runner covers site {site}"
 
     def test_failure_shape(self):
         failure = ChaosFailure("a.b", "crash", 3, "row count off")
         assert "a.b" in str(failure)
         assert "seed=3" in str(failure)
+
+
+class TestTenantFleetScenario:
+    def test_registry_replace_fault_recovers(self, tmp_path):
+        result = run_tenant_fleet_scenario(
+            "tenants.registry.replace", "transient", 0, str(tmp_path)
+        )
+        assert result.fired >= 1
+        assert result.outcome in ("survived", "recovered")
+
+    def test_registry_crash_recovers(self, tmp_path):
+        result = run_tenant_fleet_scenario(
+            "tenants.registry.open", "crash", 0, str(tmp_path)
+        )
+        assert result.fired >= 1
+        assert result.outcome == "crash-recovered"
+
+
+class TestIsolationScenario:
+    def test_faulted_tenant_degrades_alone(self, tmp_path):
+        result = run_isolation_scenario(0, str(tmp_path))
+        assert result.outcome == "isolated"
+        assert result.fired >= 1
+
+    def test_target_rotates_with_seed(self, tmp_path):
+        first = run_isolation_scenario(1, str(tmp_path / "a"))
+        second = run_isolation_scenario(2, str(tmp_path / "b"))
+        assert first.detail != second.detail
+
+    def test_multi_tenant_cli_flag(self, tmp_path, capsys):
+        code = chaos_main(
+            ["--multi-tenant", "--seeds", "0", "--root", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "isolation seed=0 -> isolated" in out
 
 
 class TestCli:

@@ -1,0 +1,230 @@
+"""ReproServerApp in-process: routing, handlers, typed-error mapping.
+
+No sockets here -- requests are dispatched straight into the app, which
+is the same object the HTTP adapter serves. Anything covered here holds
+over the wire too.
+"""
+
+import json
+
+import pytest
+
+from repro.server.app import HttpRequest, ReproServerApp
+from repro.tenants.manager import TenantManager
+
+ROWS = [
+    ["Lee", "345", "20"],
+    ["Payne", "245", "30"],
+    ["Lee", "234", "30"],
+]
+
+CONFIG = {"columns": ["Name", "Phone", "Age"], "algorithm": "bruteforce", "fsync": False}
+
+
+@pytest.fixture
+def app(tmp_path):
+    manager = TenantManager(str(tmp_path / "fleet"), sleep=lambda _s: None)
+    application = ReproServerApp(manager)
+    yield application
+    manager.close_all()
+
+
+def call(app, method, target, body=None):
+    payload = b"" if body is None else json.dumps(body).encode()
+    response = app.handle(HttpRequest.from_target(method, target, body=payload))
+    return response.status, dict(response.document), response
+
+
+def create_tenant(app, tenant_id="t1", config=None, rows=ROWS):
+    return call(
+        app,
+        "POST",
+        "/tenants",
+        {"tenant_id": tenant_id, "config": config or CONFIG, "rows": rows},
+    )
+
+
+class TestAdmin:
+    def test_create_and_list(self, app):
+        status, doc, _ = create_tenant(app)
+        assert status == 201
+        assert doc["tenant"] == "t1"
+        assert doc["live_rows"] == 3
+        assert doc["health"] == "serving"
+        status, doc, _ = call(app, "GET", "/tenants")
+        assert status == 200
+        assert doc["tenants"] == [{"tenant": "t1", "open": True}]
+
+    def test_create_conflict_is_409(self, app):
+        create_tenant(app)
+        status, doc, _ = create_tenant(app)
+        assert status == 409
+        assert doc["error"]["code"] == "tenant_exists"
+
+    def test_create_requires_fields(self, app):
+        status, doc, _ = call(app, "POST", "/tenants", {"config": CONFIG})
+        assert (status, doc["error"]["code"]) == (400, "bad_request")
+        status, doc, _ = call(app, "POST", "/tenants", {"tenant_id": "x"})
+        assert (status, doc["error"]["code"]) == (400, "bad_request")
+
+    def test_create_rejects_unknown_config_key(self, app):
+        config = dict(CONFIG, paralellism=4)
+        status, doc, _ = create_tenant(app, config=config)
+        assert status == 400
+        assert "unknown tenant config key" in doc["error"]["message"]
+
+    def test_default_config_merged_under_request(self, app):
+        app.default_config = {"parallelism": 3, "algorithm": "ducc"}
+        create_tenant(app, config=CONFIG)  # request algorithm wins
+        tenant = app.manager.get("t1")
+        assert tenant.config.parallelism == 3
+        assert tenant.config.algorithm == "bruteforce"
+
+    def test_drop(self, app):
+        create_tenant(app)
+        status, doc, _ = call(app, "DELETE", "/tenants/t1")
+        assert status == 200
+        assert doc["dropped"] is True
+        status, doc, _ = call(app, "GET", "/tenants/t1/status")
+        assert status == 404
+        assert doc["error"]["code"] == "unknown_tenant"
+
+
+class TestDispatch:
+    def test_unknown_path_404(self, app):
+        status, doc, _ = call(app, "GET", "/nope")
+        assert (status, doc["error"]["code"]) == (404, "not_found")
+
+    def test_method_mismatch_405_with_allow(self, app):
+        status, doc, response = call(app, "DELETE", "/healthz")
+        assert (status, doc["error"]["code"]) == (405, "method_not_allowed")
+        assert ("Allow", "GET") in response.headers
+
+    def test_bad_json_body_400(self, app):
+        response = app.handle(
+            HttpRequest.from_target("POST", "/tenants", body=b"{nope")
+        )
+        assert response.status == 400
+        assert response.document["error"]["code"] == "bad_request"
+
+    def test_healthz(self, app):
+        status, doc, _ = call(app, "GET", "/healthz")
+        assert (status, doc["status"]) == (200, "ok")
+
+
+class TestIngestAndQuery:
+    def test_ingest_flush_query_cycle(self, app):
+        create_tenant(app)
+        status, doc, _ = call(
+            app,
+            "POST",
+            "/tenants/t1/batches",
+            {"kind": "insert", "rows": [["Ada", "111", "9"]], "token": "k1"},
+        )
+        assert (status, doc["outcome"]) == (202, "enqueued")
+        status, doc, _ = call(
+            app,
+            "POST",
+            "/tenants/t1/batches",
+            {"kind": "insert", "rows": [["Ada", "111", "9"]], "token": "k1"},
+        )
+        assert (status, doc["outcome"]) == (200, "duplicate")
+        status, doc, _ = call(app, "POST", "/tenants/t1/flush", {})
+        assert (status, doc["flushed"]) == (200, True)
+        status, doc, _ = call(app, "GET", "/tenants/t1/uccs")
+        assert status == 200
+        assert doc["live_rows"] == 4
+        assert {e["mask"] for e in doc["mucs"]}
+        assert doc["seq"] == 1
+
+    def test_query_filters_and_validation(self, app):
+        create_tenant(app)
+        status, doc, _ = call(app, "GET", "/tenants/t1/uccs?max_arity=1&kind=mucs")
+        assert status == 200
+        assert "mnucs" not in doc
+        assert all(len(e["columns"]) == 1 for e in doc["mucs"])
+        status, doc, _ = call(app, "GET", "/tenants/t1/uccs?max_arity=zero")
+        assert (status, doc["error"]["code"]) == (400, "bad_request")
+        status, doc, _ = call(app, "GET", "/tenants/t1/uccs?contains=Name,Age")
+        assert status == 200
+        assert all(
+            {"Name", "Age"} <= set(e["columns"]) for e in doc["mucs"]
+        )
+
+    def test_batch_kind_validation(self, app):
+        create_tenant(app)
+        status, doc, _ = call(
+            app, "POST", "/tenants/t1/batches", {"kind": "upsert"}
+        )
+        assert (status, doc["error"]["code"]) == (400, "bad_request")
+        status, doc, _ = call(
+            app,
+            "POST",
+            "/tenants/t1/batches",
+            {"kind": "insert", "tuple_ids": [1]},
+        )
+        assert status == 400
+
+    def test_insert_only_tenant_409(self, app):
+        create_tenant(app, config=dict(CONFIG, insert_only=True))
+        status, doc, _ = call(
+            app, "POST", "/tenants/t1/batches", {"kind": "delete", "tuple_ids": [0]}
+        )
+        assert (status, doc["error"]["code"]) == (409, "insert_only")
+
+    def test_queue_full_is_structured_429(self, app):
+        create_tenant(app, config=dict(CONFIG, max_pending_batches=1))
+        app.manager.get("t1").worker.pause()
+        call(
+            app, "POST", "/tenants/t1/batches",
+            {"kind": "insert", "rows": [["Ada", "111", "9"]]},
+        )
+        status, doc, response = call(
+            app, "POST", "/tenants/t1/batches",
+            {"kind": "insert", "rows": [["Bob", "222", "8"]]},
+        )
+        assert status == 429
+        error = doc["error"]
+        assert error["code"] == "queue_full"
+        assert error["tenant"] == "t1"
+        assert error["pending_batches"] == 1
+        assert error["max_pending_batches"] == 1
+        assert error["max_pending_bytes"] > 0
+        assert ("Retry-After", "1") in response.headers
+        app.manager.get("t1").worker.resume()
+
+    def test_dead_letters_endpoint(self, app):
+        create_tenant(app)
+        call(
+            app, "POST", "/tenants/t1/batches",
+            {"kind": "delete", "tuple_ids": [9999]},
+        )
+        call(app, "POST", "/tenants/t1/flush", {})
+        status, doc, _ = call(app, "GET", "/tenants/t1/dead-letters")
+        assert status == 200
+        assert doc["count"] == 1
+        assert doc["entries"]
+
+    def test_status_and_fleet(self, app):
+        create_tenant(app)
+        create_tenant(app, tenant_id="t2")
+        status, doc, _ = call(app, "GET", "/tenants/t1/status")
+        assert status == 200
+        assert doc["health"] == "serving"
+        assert doc["service"]["tenant"] == "t1"
+        status, doc, _ = call(app, "GET", "/fleet/status")
+        assert status == 200
+        assert doc["totals"]["tenants"] == 2
+        assert doc["totals"]["live_rows"] == 6
+
+
+class TestDownloads:
+    def test_rows_csv(self, app):
+        create_tenant(app)
+        response = app.handle(HttpRequest.from_target("GET", "/tenants/t1/rows.csv"))
+        assert response.status == 200
+        assert response.content_type.startswith("text/csv")
+        lines = response.encode().decode().strip().splitlines()
+        assert lines[0] == "tuple_id,Name,Phone,Age"
+        assert len(lines) == 4
+        assert lines[1] == "0,Lee,345,20"

@@ -1,0 +1,247 @@
+"""End-to-end over real sockets: N tenants, concurrent clients,
+bit-identity against direct SwanProfiler runs.
+
+The acceptance test for the multi-tenant front-end: three tenants are
+driven over HTTP by three concurrent client threads, each interleaving
+insert and delete batches. After a flush, every tenant's served
+MUCS/MNUCS masks must be *bit-identical* to a SwanProfiler fed the same
+batch sequence directly -- the HTTP/queue/worker stack must add exactly
+nothing to the profiling semantics.
+"""
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.baselines.bruteforce import discover_bruteforce
+from repro.core.swan import SwanProfiler
+from repro.server.app import ReproServerApp
+from repro.server.http import serve_in_thread
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.tenants.manager import TenantManager
+
+COLUMNS = ["c0", "c1", "c2", "c3"]
+
+
+def make_workload(seed):
+    """A deterministic interleaved insert/delete batch sequence.
+
+    Tuple ids are assigned in insertion order (initial rows first), so
+    the delete targets are known in advance and identical for the HTTP
+    run and the direct oracle run.
+    """
+    rng = random.Random(seed)
+
+    def row():
+        return [str(rng.randrange(4)) for _ in COLUMNS]
+
+    initial = [row() for _ in range(6)]
+    ops = []
+    next_id = len(initial)
+    live = list(range(len(initial)))
+    for _ in range(8):
+        if rng.random() < 0.6 or len(live) < 3:
+            rows = [row() for _ in range(rng.randint(1, 3))]
+            ops.append(("insert", rows))
+            live.extend(range(next_id, next_id + len(rows)))
+            next_id += len(rows)
+        else:
+            victims = rng.sample(live, rng.randint(1, 2))
+            ops.append(("delete", victims))
+            live = [i for i in live if i not in victims]
+    return initial, ops
+
+
+def oracle_masks(initial_rows, ops):
+    """Replay the same workload on a SwanProfiler directly."""
+    relation = Relation.from_rows(
+        Schema(list(COLUMNS)), [tuple(r) for r in initial_rows]
+    )
+    mucs, mnucs = discover_bruteforce(relation)
+    profiler = SwanProfiler(relation, mucs, mnucs)
+    for kind, payload in ops:
+        if kind == "insert":
+            profiler.handle_inserts([tuple(r) for r in payload])
+        else:
+            profiler.handle_deletes(payload)
+    profile = profiler.snapshot()
+    return sorted(profile.mucs), sorted(profile.mnucs)
+
+
+@pytest.fixture
+def server(tmp_path):
+    manager = TenantManager(str(tmp_path / "fleet"), sleep=lambda _s: None)
+    app = ReproServerApp(manager)
+    handle = serve_in_thread(app)
+    yield handle, manager
+    handle.close()
+    manager.close_all()
+
+
+def request(url, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestManyTenantsConcurrently:
+    def test_three_tenants_bit_identical_to_swan(self, server):
+        handle, _manager = server
+        url = handle.url
+        tenants = {f"tenant-{i}": make_workload(seed=100 + i) for i in range(3)}
+
+        for tenant_id, (initial, _ops) in tenants.items():
+            status, doc = request(
+                url,
+                "POST",
+                "/tenants",
+                {
+                    "tenant_id": tenant_id,
+                    "config": {
+                        "columns": COLUMNS,
+                        "algorithm": "bruteforce",
+                        "fsync": False,
+                    },
+                    "rows": initial,
+                },
+            )
+            assert status == 201, doc
+
+        errors = []
+
+        def drive(tenant_id, ops):
+            try:
+                for index, (kind, payload) in enumerate(ops):
+                    body = {"kind": kind, "token": f"{tenant_id}-{index}"}
+                    if kind == "insert":
+                        body["rows"] = payload
+                    else:
+                        body["tuple_ids"] = payload
+                    status, doc = request(
+                        url, "POST", f"/tenants/{tenant_id}/batches", body
+                    )
+                    if status not in (200, 202):
+                        raise AssertionError(
+                            f"{tenant_id} batch {index}: {status} {doc}"
+                        )
+            except Exception as exc:  # surfaced to the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(tenant_id, ops))
+            for tenant_id, (_initial, ops) in tenants.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        for tenant_id, (initial, ops) in tenants.items():
+            status, doc = request(url, "POST", f"/tenants/{tenant_id}/flush", {})
+            assert (status, doc["flushed"]) == (200, True)
+            status, served = request(url, "GET", f"/tenants/{tenant_id}/uccs")
+            assert status == 200
+            expected_mucs, expected_mnucs = oracle_masks(initial, ops)
+            assert sorted(e["mask"] for e in served["mucs"]) == expected_mucs
+            assert sorted(e["mask"] for e in served["mnucs"]) == expected_mnucs
+            # No cross-tenant bleed in bookkeeping either.
+            status, dl = request(url, "GET", f"/tenants/{tenant_id}/dead-letters")
+            assert (status, dl["count"]) == (200, 0)
+
+        status, fleet = request(url, "GET", "/fleet/status")
+        assert status == 200
+        assert fleet["totals"]["tenants"] == 3
+        assert fleet["totals"]["serving"] == 3
+
+    def test_queue_full_over_the_wire(self, server):
+        handle, manager = server
+        url = handle.url
+        status, _doc = request(
+            url,
+            "POST",
+            "/tenants",
+            {
+                "tenant_id": "busy",
+                "config": {
+                    "columns": COLUMNS,
+                    "algorithm": "bruteforce",
+                    "fsync": False,
+                    "max_pending_batches": 1,
+                },
+            },
+        )
+        assert status == 201
+        manager.get("busy").worker.pause()
+        status, doc = request(
+            url, "POST", "/tenants/busy/batches",
+            {"kind": "insert", "rows": [["1", "2", "3", "4"]]},
+        )
+        assert status == 202, doc
+        status, doc = request(
+            url, "POST", "/tenants/busy/batches",
+            {"kind": "insert", "rows": [["5", "6", "7", "8"]]},
+        )
+        assert status == 429
+        error = doc["error"]
+        assert error["code"] == "queue_full"
+        assert error["tenant"] == "busy"
+        assert error["max_pending_batches"] == 1
+        manager.get("busy").worker.resume()
+        status, doc = request(url, "POST", "/tenants/busy/flush", {})
+        assert (status, doc["flushed"]) == (200, True)
+
+    def test_restartable_over_registry(self, tmp_path):
+        """Stop the whole server; a new one re-serves the same tenants."""
+        root = str(tmp_path / "fleet")
+        manager = TenantManager(root, sleep=lambda _s: None)
+        handle = serve_in_thread(ReproServerApp(manager))
+        status, _doc = request(
+            handle.url,
+            "POST",
+            "/tenants",
+            {
+                "tenant_id": "durable",
+                "config": {"columns": COLUMNS, "algorithm": "bruteforce"},
+                "rows": [["1", "2", "3", "4"]],
+            },
+        )
+        assert status == 201
+        request(
+            handle.url, "POST", "/tenants/durable/batches",
+            {"kind": "insert", "rows": [["5", "6", "7", "8"]], "token": "once"},
+        )
+        request(handle.url, "POST", "/tenants/durable/flush", {})
+        handle.close()
+        manager.close_all()
+
+        manager2 = TenantManager(root, sleep=lambda _s: None)
+        manager2.open_all()
+        handle2 = serve_in_thread(ReproServerApp(manager2))
+        try:
+            status, doc = request(handle2.url, "GET", "/tenants/durable/uccs")
+            assert status == 200
+            assert doc["live_rows"] == 2
+            # Token dedup survives the restart.
+            status, doc = request(
+                handle2.url, "POST", "/tenants/durable/batches",
+                {"kind": "insert", "rows": [["5", "6", "7", "8"]], "token": "once"},
+            )
+            assert (status, doc["outcome"]) == (200, "duplicate")
+        finally:
+            handle2.close()
+            manager2.close_all()

@@ -1,0 +1,57 @@
+"""Router unit tests: placeholder extraction, 404 vs 405."""
+
+import pytest
+
+from repro.server.routing import Match, NoMatch, Route, Router
+
+
+def handler(app, request):  # pragma: no cover - never invoked here
+    raise AssertionError
+
+
+def make_router():
+    return Router(
+        [
+            Route("GET", "/tenants", handler),
+            Route("POST", "/tenants", handler),
+            Route("GET", "/tenants/{tenant_id}/uccs", handler),
+            Route("POST", "/tenants/{tenant_id}/batches", handler),
+        ]
+    )
+
+
+class TestMatching:
+    def test_exact_match(self):
+        match = make_router().match("GET", "/tenants")
+        assert isinstance(match, Match)
+        assert match.params == {}
+
+    def test_placeholder_extracted(self):
+        match = make_router().match("GET", "/tenants/t-1.x/uccs")
+        assert isinstance(match, Match)
+        assert match.params == {"tenant_id": "t-1.x"}
+
+    def test_placeholder_does_not_span_segments(self):
+        result = make_router().match("GET", "/tenants/a/b/uccs")
+        assert isinstance(result, NoMatch)
+        assert not result.method_mismatch
+
+    def test_unknown_path_is_404(self):
+        result = make_router().match("GET", "/nope")
+        assert isinstance(result, NoMatch)
+        assert not result.method_mismatch
+
+    def test_wrong_method_is_405_with_allow(self):
+        result = make_router().match("DELETE", "/tenants")
+        assert isinstance(result, NoMatch)
+        assert result.method_mismatch
+        assert result.allowed == ("GET", "POST")
+
+    def test_pattern_must_be_rooted(self):
+        with pytest.raises(ValueError, match="must start with"):
+            Route("GET", "tenants", handler)
+
+    def test_literal_dots_not_regex(self):
+        router = Router([Route("GET", "/t/{tenant_id}/rows.csv", handler)])
+        assert isinstance(router.match("GET", "/t/x/rows.csv"), Match)
+        assert isinstance(router.match("GET", "/t/x/rowsXcsv"), NoMatch)

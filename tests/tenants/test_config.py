@@ -1,0 +1,80 @@
+"""TenantConfig and tenant-id validation."""
+
+import pytest
+
+from repro.errors import TenantError
+from repro.service.server import ServiceConfig
+from repro.tenants.config import TenantConfig, validate_tenant_id
+
+
+class TestTenantId:
+    @pytest.mark.parametrize(
+        "tenant_id", ["t1", "alpha", "a", "A-b_c.9", "0tenant", "x" * 64]
+    )
+    def test_valid(self, tenant_id):
+        assert validate_tenant_id(tenant_id) == tenant_id
+
+    @pytest.mark.parametrize(
+        "tenant_id",
+        ["", ".hidden", "-dash", "has space", "a/b", "../escape", "x" * 65, 7],
+    )
+    def test_invalid(self, tenant_id):
+        with pytest.raises(TenantError, match="invalid tenant id"):
+            validate_tenant_id(tenant_id)
+
+
+class TestTenantConfig:
+    def test_needs_columns(self):
+        with pytest.raises(TenantError, match="at least one column"):
+            TenantConfig(columns=())
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(TenantError, match="duplicate column"):
+            TenantConfig(columns=("a", "a"))
+
+    def test_rejects_bad_queue_limits(self):
+        with pytest.raises(TenantError, match="max_pending_batches"):
+            TenantConfig(columns=("a",), max_pending_batches=0)
+        with pytest.raises(TenantError, match="max_pending_bytes"):
+            TenantConfig(columns=("a",), max_pending_bytes=0)
+
+    def test_service_config_threads_performance_knobs(self):
+        config = TenantConfig(
+            columns=("a", "b"),
+            parallelism=2,
+            cache_budget_bytes=1 << 20,
+            compact_live_fraction=0.25,
+            compact_min_rows=10,
+            algorithm="bruteforce",
+            fsync=False,
+        )
+        service_config = config.service_config()
+        assert isinstance(service_config, ServiceConfig)
+        assert service_config.parallelism == 2
+        assert service_config.cache_budget_bytes == 1 << 20
+        assert service_config.compact_live_fraction == 0.25
+        assert service_config.compact_min_rows == 10
+        assert service_config.algorithm == "bruteforce"
+        assert service_config.fsync is False
+
+    def test_dict_round_trip(self):
+        config = TenantConfig(
+            columns=("a", "b", "c"),
+            insert_only=True,
+            watches=(("a", "b"),),
+            parallelism=3,
+            max_pending_batches=7,
+        )
+        assert TenantConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TenantError, match="unknown tenant config key"):
+            TenantConfig.from_dict({"columns": ["a"], "paralellism": 4})
+
+    def test_from_dict_requires_columns(self):
+        with pytest.raises(TenantError, match="'columns'"):
+            TenantConfig.from_dict({"insert_only": True})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(TenantError, match="must be an object"):
+            TenantConfig.from_dict(["a"])

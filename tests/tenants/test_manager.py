@@ -1,0 +1,287 @@
+"""TenantManager lifecycle, admission control, queries, isolation."""
+
+import os
+
+import pytest
+
+from repro.errors import (
+    QueueFullError,
+    ServiceHealthError,
+    TenantError,
+    TenantExistsError,
+    TenantModeError,
+    UnknownTenantError,
+    WorkloadError,
+)
+from repro.service.server import ProfilingService
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import TenantManager
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        columns=("Name", "Phone", "Age"),
+        algorithm="bruteforce",
+        fsync=False,
+    )
+    defaults.update(overrides)
+    return TenantConfig(**defaults)
+
+
+def make_manager(tmp_path):
+    return TenantManager(str(tmp_path / "fleet"), sleep=lambda _s: None)
+
+
+class TestLifecycle:
+    def test_create_open_query(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+            assert tenant.started
+            assert manager.is_open("t1")
+            assert manager.tenant_ids() == ["t1"]
+            profile = manager.query_profile("t1")
+            assert {"columns": ["Phone"], "mask": 2} in profile["mucs"]
+
+    def test_create_duplicate_rejected(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config())
+            with pytest.raises(TenantExistsError):
+                manager.create("t1", make_config())
+
+    def test_unknown_tenant_everywhere(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            for call in (
+                lambda: manager.get("ghost"),
+                lambda: manager.open("ghost"),
+                lambda: manager.drop("ghost"),
+                lambda: manager.query_profile("ghost"),
+                lambda: manager.ingest("ghost", "insert", rows=[("a", "b", "c")]),
+            ):
+                with pytest.raises(UnknownTenantError):
+                    call()
+
+    def test_invalid_tenant_id_rejected(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            with pytest.raises(TenantError, match="invalid tenant id"):
+                manager.create("../escape", make_config())
+
+    def test_restart_recovers_registered_tenants(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.create("t2", make_config(columns=("a", "b")))
+            manager.ingest(
+                "t1", "insert", rows=[("Ada", "111", "9")], token="tok-1"
+            )
+            assert manager.flush_all()
+
+        with TenantManager(root, sleep=lambda _s: None) as reopened:
+            tenants = reopened.open_all()
+            assert [t.tenant_id for t in tenants] == ["t1", "t2"]
+            assert len(reopened.get("t1").service.profiler.relation) == 4
+            # Token dedup survives the restart via the changelog.
+            receipt = reopened.ingest(
+                "t1", "insert", rows=[("Ada", "111", "9")], token="tok-1"
+            )
+            assert receipt["outcome"] == "duplicate"
+
+    def test_close_keeps_registration(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.close("t1")
+            assert not manager.is_open("t1")
+            assert manager.tenant_ids() == ["t1"]
+            reopened = manager.open("t1")
+            assert len(reopened.service.profiler.relation) == 3
+
+    def test_drop_parks_state_for_forensics(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            parked = manager.drop("t1")
+            assert os.path.isdir(parked)
+            assert "dropped" in parked
+            assert manager.tenant_ids() == []
+            with pytest.raises(UnknownTenantError):
+                manager.get("t1")
+            # The id is reusable; the old state stays parked.
+            manager.create("t1", make_config())
+            second = manager.drop("t1")
+            assert second != parked
+
+    def test_open_registered_but_never_sealed_boots_empty(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(snapshot_every=0))
+        # Blow away the state dir but keep the registry entry: the crash
+        # window between registry publish and first durable seal.
+        import shutil
+
+        with TenantManager(root, sleep=lambda _s: None) as reopened:
+            shutil.rmtree(os.path.join(root, "tenants", "t1"))
+            tenant = reopened.open("t1")
+            assert len(tenant.service.profiler.relation) == 0
+
+
+class TestIngest:
+    def test_async_ingest_applies(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            receipt = manager.ingest(
+                "t1", "insert", rows=[("Ada", "111", "9")]
+            )
+            assert receipt["outcome"] == "enqueued"
+            assert manager.flush("t1")
+            assert len(manager.get("t1").service.profiler.relation) == 4
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config())
+            with pytest.raises(WorkloadError, match="unknown batch kind"):
+                manager.ingest("t1", "upsert", rows=[("a", "b", "c")])
+
+    def test_insert_only_mode_rejects_deletes(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create(
+                "ao", make_config(insert_only=True), initial_rows=ROWS
+            )
+            with pytest.raises(TenantModeError, match="insert-only"):
+                manager.ingest("ao", "delete", tuple_ids=[0])
+            # Inserts still flow.
+            manager.ingest("ao", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush("ao")
+
+    def test_health_gates_admission(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.get("t1").service.health.mark_read_only("test gate")
+            with pytest.raises(ServiceHealthError):
+                manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+
+    def test_queue_full_raises_and_counts(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create(
+                "t1", make_config(max_pending_batches=1), initial_rows=ROWS
+            )
+            tenant = manager.get("t1")
+            tenant.worker.pause()
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            with pytest.raises(QueueFullError):
+                manager.ingest("t1", "insert", rows=[("Bob", "222", "8")])
+            assert tenant.service.metrics.counter("queue_rejections").value == 1
+            tenant.worker.resume()
+            assert manager.flush("t1")
+
+    def test_pending_token_deduped_before_apply(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            tenant = manager.get("t1")
+            tenant.worker.pause()
+            first = manager.ingest(
+                "t1", "insert", rows=[("Ada", "111", "9")], token="tok"
+            )
+            second = manager.ingest(
+                "t1", "insert", rows=[("Ada", "111", "9")], token="tok"
+            )
+            assert first["outcome"] == "enqueued"
+            assert second["outcome"] == "duplicate"
+            tenant.worker.resume()
+            assert manager.flush("t1")
+            assert len(tenant.service.profiler.relation) == 4
+
+    def test_poison_batch_dead_letters_not_siblings(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.create("t2", make_config(), initial_rows=ROWS)
+            # Delete of a tuple id that never existed: quarantined.
+            manager.ingest("t1", "delete", tuple_ids=[9999])
+            manager.flush("t1")
+            assert manager.dead_letters("t1")["count"] == 1
+            assert manager.dead_letters("t2")["count"] == 0
+            assert (
+                manager.get("t2").service.health.state.value == "serving"
+            )
+            # The poisoned tenant still serves reads and later writes.
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush("t1")
+            assert len(manager.get("t1").service.profiler.relation) == 4
+
+
+class TestQueries:
+    def test_query_filters(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            by_arity = manager.query_profile("t1", max_arity=1)
+            assert all(len(e["columns"]) <= 1 for e in by_arity["mucs"])
+            containing = manager.query_profile("t1", contains=["Name"])
+            assert all("Name" in e["columns"] for e in containing["mucs"])
+            only_mucs = manager.query_profile("t1", kinds=("mucs",))
+            assert "mnucs" not in only_mucs
+            with pytest.raises(WorkloadError, match="unknown profile kind"):
+                manager.query_profile("t1", kinds=("fds",))
+            with pytest.raises(WorkloadError, match="contains"):
+                manager.query_profile("t1", contains=["NoSuchColumn"])
+
+    def test_tenant_status_document(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            manager.flush("t1")
+            status = manager.tenant_status("t1")
+            assert status["tenant"] == "t1"
+            assert status["health"] == "serving"
+            assert status["worker"]["alive"]
+            assert status["queue"]["enqueued_total"] == 1
+            outcomes = [b["outcome"] for b in status["recent_batches"]]
+            assert outcomes == ["applied"]
+
+    def test_fleet_status_aggregates(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.create("t2", make_config(columns=("a", "b")))
+            fleet = manager.fleet_status()
+            assert fleet["registered"] == ["t1", "t2"]
+            assert fleet["totals"]["tenants"] == 2
+            assert fleet["totals"]["serving"] == 2
+            assert fleet["totals"]["live_rows"] == 3
+            assert set(fleet["tenants"]) == {"t1", "t2"}
+
+
+class TestTenantAttribution:
+    """Satellite: diagnostics must name the tenant they belong to."""
+
+    def test_lock_contention_names_tenant(self, tmp_path):
+        from repro.errors import ProfileStateError
+        from repro.storage.relation import Relation
+        from repro.storage.schema import Schema
+
+        with make_manager(tmp_path) as manager:
+            tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+            intruder = ProfilingService(
+                tenant.data_dir,
+                config=make_config().service_config(),
+                tenant_id="intruder",
+            )
+            initial = Relation.from_rows(
+                Schema(["Name", "Phone", "Age"]), ROWS
+            )
+            with pytest.raises(ProfileStateError) as excinfo:
+                intruder.start(initial=initial)
+            assert "tenant 'intruder'" in str(excinfo.value)
+
+    def test_quarantine_dir_names_tenant(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+            service = tenant.service
+            # Poison the served profile so the sentinel diverges and
+            # quarantines the distrusted durable state.
+            with tenant.lock:
+                service.profiler._repository.replace([1], [])
+                assert service.run_sentinel() is False
+            [record] = service.dead_letters.entries()
+            assert record["name"].startswith("state-t1-seq")

@@ -1,0 +1,69 @@
+"""Satellite regression: metrics from co-hosted services must not collide.
+
+Two ProfilingServices in one process (the multi-tenant deployment) each
+own a MetricsRegistry. The namespace stamped per tenant keeps their
+exported documents attributable, and counters incremented on one tenant
+must never leak into a sibling's registry.
+"""
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.server import ProfilingService, ServiceConfig
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def start_service(tmp_path, name):
+    service = ProfilingService(
+        str(tmp_path / name),
+        config=ServiceConfig(algorithm="bruteforce", fsync=False),
+        tenant_id=name,
+    )
+    service.start(
+        initial=Relation.from_rows(Schema(["Name", "Phone", "Age"]), ROWS)
+    )
+    return service
+
+
+class TestRegistryNamespace:
+    def test_namespace_in_document(self):
+        registry = MetricsRegistry(namespace="t1")
+        registry.counter("x").inc()
+        assert registry.to_dict()["namespace"] == "t1"
+
+    def test_no_namespace_no_key(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert "namespace" not in registry.to_dict()
+
+    def test_two_services_do_not_share_counters(self, tmp_path):
+        a = start_service(tmp_path, "tenant-a")
+        b = start_service(tmp_path, "tenant-b")
+        try:
+            a.apply_insert_batch([("Ada", "111", "9")])
+            a.apply_insert_batch([("Bob", "222", "8")])
+            b.apply_insert_batch([("Cal", "333", "7")])
+            assert a.metrics.counter("batches_applied").value == 2
+            assert b.metrics.counter("batches_applied").value == 1
+            assert a.metrics.counter("rows_inserted").value == 2
+            assert b.metrics.counter("rows_inserted").value == 1
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_two_services_documents_attributable(self, tmp_path):
+        a = start_service(tmp_path, "tenant-a")
+        b = start_service(tmp_path, "tenant-b")
+        try:
+            assert a.metrics.to_dict()["namespace"] == "tenant-a"
+            assert b.metrics.to_dict()["namespace"] == "tenant-b"
+            assert a.stats()["tenant"] == "tenant-a"
+            assert b.stats()["tenant"] == "tenant-b"
+        finally:
+            a.stop()
+            b.stop()

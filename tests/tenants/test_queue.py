@@ -1,0 +1,115 @@
+"""IngestQueue: bounds, FIFO order, token tracking, hold/close."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.service.server import Batch
+from repro.tenants.queue import IngestQueue
+
+
+def make_queue(**overrides):
+    defaults = dict(tenant_id="t1", max_pending_batches=4, max_pending_bytes=1000)
+    defaults.update(overrides)
+    return IngestQueue(**defaults)
+
+
+def insert_batch(token=None):
+    return Batch("insert", rows=(("a", "b"),), token=token)
+
+
+class TestAdmission:
+    def test_fifo_order_and_byte_accounting(self):
+        queue = make_queue()
+        first = queue.put(insert_batch(), nbytes=10, now=1.0)
+        second = queue.put(insert_batch(), nbytes=20, now=2.0)
+        assert (first.batch_id, second.batch_id) == (1, 2)
+        stats = queue.stats()
+        assert stats.pending_batches == 2
+        assert stats.pending_bytes == 30
+        assert queue.take(timeout=0.1) is first
+        assert queue.take(timeout=0.1) is second
+        assert queue.stats().pending_bytes == 0
+
+    def test_batch_count_limit(self):
+        queue = make_queue(max_pending_batches=2)
+        queue.put(insert_batch(), nbytes=1, now=0.0)
+        queue.put(insert_batch(), nbytes=1, now=0.0)
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.put(insert_batch(), nbytes=1, now=0.0)
+        assert excinfo.value.tenant_id == "t1"
+        assert excinfo.value.pending_batches == 2
+        assert excinfo.value.max_pending_batches == 2
+        assert queue.stats().rejected_total == 1
+
+    def test_byte_limit(self):
+        queue = make_queue(max_pending_bytes=100)
+        queue.put(insert_batch(), nbytes=80, now=0.0)
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.put(insert_batch(), nbytes=30, now=0.0)
+        assert excinfo.value.pending_bytes == 80
+        assert excinfo.value.max_pending_bytes == 100
+
+    def test_taking_frees_capacity(self):
+        queue = make_queue(max_pending_batches=1)
+        queue.put(insert_batch(), nbytes=1, now=0.0)
+        with pytest.raises(QueueFullError):
+            queue.put(insert_batch(), nbytes=1, now=0.0)
+        queue.take(timeout=0.1)
+        queue.put(insert_batch(), nbytes=1, now=0.0)  # does not raise
+
+
+class TestTokens:
+    def test_pending_token_visible_until_taken(self):
+        queue = make_queue()
+        queue.put(insert_batch(token="tok-1"), nbytes=1, now=0.0)
+        assert queue.is_token_pending("tok-1")
+        assert not queue.is_token_pending("tok-2")
+        queue.take(timeout=0.1)
+        assert not queue.is_token_pending("tok-1")
+
+    def test_duplicate_counter(self):
+        queue = make_queue()
+        queue.note_duplicate()
+        queue.note_duplicate()
+        assert queue.stats().duplicate_total == 2
+
+
+class TestHoldAndClose:
+    def test_take_times_out_empty(self):
+        assert make_queue().take(timeout=0.01) is None
+
+    def test_hold_gates_consumer(self):
+        queue = make_queue()
+        queue.put(insert_batch(), nbytes=1, now=0.0)
+        queue.hold(True)
+        assert queue.take(timeout=0.01) is None
+        queue.hold(False)
+        assert queue.take(timeout=0.1) is not None
+
+    def test_hold_releases_blocked_taker(self):
+        queue = make_queue()
+        queue.put(insert_batch(), nbytes=1, now=0.0)
+        queue.hold(True)
+        taken = []
+
+        def taker():
+            taken.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.hold(False)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert taken and taken[0] is not None
+
+    def test_closed_queue_rejects_puts_and_drains(self):
+        queue = make_queue()
+        queue.put(insert_batch(), nbytes=1, now=0.0)
+        queue.close()
+        with pytest.raises(QueueFullError):
+            queue.put(insert_batch(), nbytes=1, now=0.0)
+        # Already-admitted work still drains, then the queue reads empty.
+        assert queue.take(timeout=0.1) is not None
+        assert queue.take(timeout=0.01) is None
