@@ -153,6 +153,57 @@ class QueueFullError(TenantError):
         self.max_pending_bytes = max_pending_bytes
 
 
+class FlushTimeoutError(TenantError):
+    """A drain deadline expired with batches still queued.
+
+    Raised instead of silently acknowledging a stop/drop whose queue
+    never emptied: the caller asked for "all admitted batches applied"
+    and did not get it, so the answer must be an error (HTTP 504), not
+    a quiet ``True``. The number of batches left behind rides along.
+    """
+
+    def __init__(self, tenant_id: str, pending_batches: int) -> None:
+        super().__init__(
+            f"tenant {tenant_id!r} did not drain before the deadline: "
+            f"{pending_batches} batch(es) still queued"
+        )
+        self.tenant_id = tenant_id
+        self.pending_batches = pending_batches
+
+
+class TenantParkedError(TenantError):
+    """The tenant is PARKED: automatic recovery gave up on it.
+
+    The supervisor exhausted the restart budget (or startup
+    reconciliation found registry/state-dir divergence) and parked the
+    tenant with a persisted reason record. Parked tenants refuse all
+    traffic until an operator intervenes (``POST .../recover`` or
+    ``DELETE``); the HTTP layer maps this to ``503 tenant_parked``.
+    """
+
+    def __init__(self, tenant_id: str, reason: str) -> None:
+        super().__init__(f"tenant {tenant_id!r} is parked: {reason}")
+        self.tenant_id = tenant_id
+        self.reason = reason
+
+
+class TenantRecoveringError(TenantError):
+    """The tenant's circuit breaker is open: recovery is in flight.
+
+    The supervisor is tearing the tenant down and re-opening it from
+    durable state; accepting writes mid-restart would race the rebuild.
+    The HTTP layer maps this to ``503 tenant_recovering`` with a
+    ``Retry-After`` hint so clients back off instead of hammering.
+    """
+
+    def __init__(self, tenant_id: str, retry_after: float = 1.0) -> None:
+        super().__init__(
+            f"tenant {tenant_id!r} is recovering; retry in {retry_after:g}s"
+        )
+        self.tenant_id = tenant_id
+        self.retry_after = retry_after
+
+
 class BudgetExceededError(ReproError):
     """A discovery run exceeded its cooperative time budget.
 

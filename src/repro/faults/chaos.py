@@ -22,6 +22,13 @@ and in every case the MUCS/MNUCS finally served must be exactly right
 so they get their own scenario: fault the on-disk tuple store, then
 rebuild cleanly and verify every tuple round-trips by byte offset.
 
+Beyond the per-site sweep there are two composite gates:
+``--multi-tenant`` (fault isolation: a faulted tenant degrades alone)
+and ``--supervised-fleet`` (the fleet supervisor recovers dead writer
+threads, parks a crash-looping tenant on its restart budget, and the
+server shrugs off network-layer faults -- every tenant ends SERVING a
+bit-correct profile or PARKED with a persisted reason record).
+
 Run it directly (CI runs one seed per matrix job)::
 
     PYTHONPATH=src python -m repro.faults.chaos --seeds 0 1 2
@@ -30,14 +37,17 @@ Run it directly (CI runs one seed per matrix job)::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
+import socket
 import sys
 import tempfile
 from dataclasses import dataclass, field
-from typing import Callable
+from http import client as http_client
+from typing import Any, Callable
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TenantError, TenantParkedError
 from repro.faults.injector import (
     CRASH,
     ERROR,
@@ -48,6 +58,8 @@ from repro.faults.injector import (
     active,
 )
 from repro.faults.fsops import registered_sites
+from repro.server.app import ReproServerApp
+from repro.server.http import serve_in_thread
 from repro.service.retry import RetryPolicy
 from repro.service.server import (
     CHANGELOG_NAME,
@@ -60,6 +72,7 @@ from repro.storage.schema import Schema
 from repro.storage.table_file import TableFile
 from repro.tenants.config import TenantConfig
 from repro.tenants.manager import TenantManager
+from repro.tenants.supervisor import FleetSupervisor, SupervisorConfig
 
 MODES = ("transient", "short_write", "intermittent", "persistent", "crash")
 
@@ -474,10 +487,12 @@ def run_tenant_fleet_scenario(
     """Fault the tenant registry/lifecycle paths, then reopen and verify.
 
     The invariant mirrors the single-service scenarios, lifted to the
-    fleet: whatever the fault did to ``create``/``drop``/reopen, the
-    registry is never torn (its publish is write-tmp-fsync-replace), and
+    fleet: whatever the fault did to ``create``/``drop``/park/reopen,
+    the registry is never torn (its publish is write-tmp-fsync-replace),
     every tenant it still lists must come back up and serve an
-    exhaustively verified profile.
+    exhaustively verified profile -- and a tenant that *cannot* come
+    back (an orphan state dir) must sit in PARKED with a reason record,
+    never be silently dropped or double-assigned.
     """
     root = os.path.join(workdir, "fleet")
     config = _tenant_config()
@@ -494,11 +509,20 @@ def run_tenant_fleet_scenario(
                 "alpha", "insert", rows=[("Ada", "111", "9")], token="fleet-a1"
             )
             manager.flush_all(timeout=10.0)
+            # Park / recover round-trip: the parked-record durability
+            # sites (tenants.parked.*) only fire on these paths.
+            manager.park("beta", "chaos drill", by="chaos")
+            manager.recover("beta")
             manager.drop("beta")
+            # Park alpha across a manager restart: the record must be
+            # read back on reopen and recovery must clear it.
+            manager.park("alpha", "chaos drill: survives reopen", by="chaos")
             manager.close_all()
-            # Reopen inside the fault window: registry read and tenant
-            # recovery paths are part of the lifecycle under test.
+            # Reopen inside the fault window: registry read, parked
+            # record read-back and tenant recovery paths are part of
+            # the lifecycle under test.
             manager = TenantManager(root, sleep=lambda _s: None)
+            manager.recover("alpha")
             manager.open_all()
             manager.close_all()
         except CrashPoint as exc:
@@ -511,10 +535,20 @@ def run_tenant_fleet_scenario(
             if manager is not None:
                 _abandon_fleet(manager)
 
-    # Verification: no injector; every registered tenant must reopen and
-    # serve an exhaustively verified profile.
+    # Verification: no injector; every registered tenant must reopen
+    # (un-parking it first if a fault left it parked) and serve an
+    # exhaustively verified profile. Orphan state dirs have no config
+    # to reopen with: staying PARKED with a reason record is their
+    # contract, and reconcile must never have double-assigned them.
     recovery = TenantManager(root, sleep=lambda _s: None)
     try:
+        for tenant_id in recovery.parked_ids():
+            record = recovery.parked_record(tenant_id) or {}
+            try:
+                recovery.recover(tenant_id)
+            except TenantError:
+                if record.get("registered", False):
+                    raise
         opened = recovery.open_all()
         for tenant in opened:
             if not tenant.service.run_sentinel(full=True):
@@ -658,6 +692,557 @@ def run_isolation_scenario(seed: int, workdir: str) -> ScenarioResult:
     )
 
 
+def _fast_supervisor(
+    manager: TenantManager, max_restarts: int = 3
+) -> FleetSupervisor:
+    """A supervisor tuned for deterministic, single-threaded driving:
+    no backoff, a small restart budget, and ``check_once`` called by
+    the harness instead of the background thread."""
+    return FleetSupervisor(
+        manager,
+        config=SupervisorConfig(
+            poll_interval=0.01,
+            backoff_base=0.0,
+            backoff_max=0.0,
+            max_restarts=max_restarts,
+            budget_window_seconds=300.0,
+            breaker_retry_after=0.01,
+        ),
+    )
+
+
+def _supervise_until_settled(
+    manager: TenantManager,
+    supervisor: FleetSupervisor,
+    tenant_id: str,
+    tokens: dict[str, tuple[str, ...]],
+    rounds: int = 16,
+) -> None:
+    """Drive supervision passes and token re-ingest until every token is
+    committed with a live writer -- or the supervisor parks the tenant.
+
+    Each round is two ``check_once`` passes (the first restarts an
+    unhealthy tenant, the second observes it healthy and lifts the
+    circuit breaker) followed by a re-ingest of every token: committed
+    tokens dedup to no-ops, lost ones replay exactly once.
+    """
+    for _ in range(rounds):
+        if tenant_id in manager.parked_ids():
+            return
+        supervisor.check_once()
+        supervisor.check_once()
+        if tenant_id in manager.parked_ids():
+            return
+        try:
+            for token, row in tokens.items():
+                manager.ingest(tenant_id, "insert", rows=[row], token=token)
+            manager.flush(tenant_id, timeout=0.5)
+            tenant = manager.get(tenant_id)
+            if tenant.worker.alive and all(
+                tenant.service.is_token_known(token) for token in tokens
+            ):
+                return
+        except (ReproError, OSError):
+            continue
+
+
+def run_worker_death_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Kill a tenant's writer thread mid-drain; the supervisor recovers.
+
+    The thread is the failure domain here, not a file: any fault kind
+    at ``tenants.worker.apply`` kills the writer with its batch
+    un-applied (the token never committed). The supervisor must notice
+    the dead thread, restart the tenant through snapshot+replay, and
+    re-ingested tokens must land exactly once. A *persistent* death
+    loop must exhaust the restart budget and park the tenant with a
+    persisted reason record -- which an operator recover then clears.
+    """
+    root = os.path.join(workdir, "fleet")
+    tenant_id = "victim"
+    tokens: dict[str, tuple[str, ...]] = {
+        f"wd-{i}": (f"Wd{i}", f"8{i}{i}", str(i)) for i in range(4)
+    }
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    manager = TenantManager(root, sleep=lambda _s: None)
+    supervisor = _fast_supervisor(manager)
+    parked_seen = False
+    try:
+        manager.create(tenant_id, _tenant_config(), initial_rows=_INITIAL_ROWS)
+        with active(injector):
+            for token, row in tokens.items():
+                try:
+                    manager.ingest(tenant_id, "insert", rows=[row], token=token)
+                except (ReproError, OSError):
+                    pass
+            manager.flush(tenant_id, timeout=0.5)
+            _supervise_until_settled(manager, supervisor, tenant_id, tokens)
+        # Injector gone. A parked tenant must hold a budget-exhausted
+        # record, refuse traffic with a typed error, and come back on
+        # operator recovery.
+        if tenant_id in manager.parked_ids():
+            parked_seen = True
+            record = manager.parked_record(tenant_id) or {}
+            if "restart budget exhausted" not in str(record.get("reason", "")):
+                raise ChaosFailure(
+                    site, mode, seed,
+                    f"parked without a budget-exhausted reason: {record!r}",
+                )
+            try:
+                manager.ingest(
+                    tenant_id, "insert",
+                    rows=[("Nope", "000", "0")], token="wd-parked",
+                )
+            except TenantParkedError:
+                pass
+            else:
+                raise ChaosFailure(
+                    site, mode, seed, "parked tenant accepted ingest"
+                )
+            manager.recover(tenant_id)
+        _supervise_until_settled(manager, supervisor, tenant_id, tokens)
+        tenant = manager.get(tenant_id)
+        if not manager.flush(tenant_id, timeout=10.0):
+            raise ChaosFailure(site, mode, seed, "clean drain timed out")
+        live_rows = len(tenant.service.profiler.relation)
+        expected = len(_INITIAL_ROWS) + len(tokens)
+        if live_rows != expected:
+            raise ChaosFailure(
+                site, mode, seed,
+                f"expected {expected} live rows, found {live_rows}: a "
+                "token-keyed batch was lost or double-applied",
+            )
+        if not tenant.service.run_sentinel(full=True):
+            raise ChaosFailure(
+                site, mode, seed,
+                "recovered profile failed exhaustive verification",
+            )
+        manager.close_all()
+    except ChaosFailure:
+        _abandon_fleet(manager)
+        raise
+    except (ReproError, OSError) as exc:
+        _abandon_fleet(manager)
+        raise ChaosFailure(
+            site, mode, seed,
+            f"worker-death scenario errored: {type(exc).__name__}: {exc}",
+        ) from exc
+    if not injector.fired:
+        outcome = "not-hit"
+    elif any(kind == CRASH for _, kind, _ in injector.fired):
+        outcome = "crash-recovered"
+    else:
+        outcome = "recovered"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired),
+        detail="parked then recovered" if parked_seen else "",
+    )
+
+
+def _http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    timeout: float = 5.0,
+) -> tuple[int, dict[str, Any]] | None:
+    """One HTTP request; ``None`` when the transport failed (reset,
+    torn response, timeout) -- the client-side face of a network fault."""
+    conn = http_client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        document = json.loads(payload.decode("utf-8")) if payload else {}
+        if not isinstance(document, dict):
+            document = {"raw": document}
+        return response.status, document
+    except (OSError, http_client.HTTPException, json.JSONDecodeError):
+        return None
+    finally:
+        conn.close()
+
+
+def run_http_fault_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Fault the network layer under a live server.
+
+    Body reads and response writes tear mid-request; the server must
+    drop (and count) the connection instead of dispatching a truncated
+    payload or wedging a handler thread -- and token-keyed retries must
+    land every batch exactly once, even when the *response* died after
+    the batch applied.
+    """
+    root = os.path.join(workdir, "fleet")
+    tenant_id = "web"
+    tokens: dict[str, list[str]] = {
+        f"hf-{i}": [f"Hf{i}", f"9{i}{i}", str(i)] for i in range(6)
+    }
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    manager = TenantManager(root, sleep=lambda _s: None)
+    try:
+        manager.create(tenant_id, _tenant_config(), initial_rows=_INITIAL_ROWS)
+        app = ReproServerApp(manager)
+        handle = serve_in_thread(app, request_timeout=2.0)
+        host, port = handle.address
+        try:
+            transport_failures = 0
+            with active(injector):
+                for token, row in tokens.items():
+                    body = json.dumps(
+                        {"kind": "insert", "rows": [row], "token": token}
+                    ).encode("utf-8")
+                    if (
+                        _http_request(
+                            host, port, "POST",
+                            f"/tenants/{tenant_id}/batches", body=body,
+                        )
+                        is None
+                    ):
+                        transport_failures += 1
+            # Clean retries: every token lands exactly once -- either it
+            # already applied (duplicate) or it applies now.
+            for token, row in tokens.items():
+                body = json.dumps(
+                    {"kind": "insert", "rows": [row], "token": token}
+                ).encode("utf-8")
+                result = _http_request(
+                    host, port, "POST",
+                    f"/tenants/{tenant_id}/batches", body=body,
+                )
+                if result is None or result[0] not in (200, 202):
+                    raise ChaosFailure(
+                        site, mode, seed,
+                        f"clean retry of {token!r} failed: {result!r}",
+                    )
+            flushed = _http_request(
+                host, port, "POST", f"/tenants/{tenant_id}/flush",
+                body=b'{"timeout": 10}',
+            )
+            if flushed is None or flushed[0] != 200:
+                raise ChaosFailure(
+                    site, mode, seed, f"clean flush failed: {flushed!r}"
+                )
+            status = _http_request(
+                host, port, "GET", f"/tenants/{tenant_id}/status"
+            )
+            if status is None or status[0] != 200:
+                raise ChaosFailure(
+                    site, mode, seed, "server did not survive the faults"
+                )
+            if injector.fired and transport_failures:
+                counters = app.metrics.to_dict().get("counters", {})
+                dropped = 0.0
+                if isinstance(counters, dict):
+                    for name, value in counters.items():
+                        if str(name).startswith("http_") and isinstance(
+                            value, (int, float)
+                        ):
+                            dropped += float(value)
+                if dropped < 1:
+                    raise ChaosFailure(
+                        site, mode, seed,
+                        "injected transport faults left no trace on the "
+                        f"transport counters: {counters!r}",
+                    )
+        finally:
+            handle.close()
+        tenant = manager.get(tenant_id)
+        live_rows = len(tenant.service.profiler.relation)
+        expected = len(_INITIAL_ROWS) + len(tokens)
+        if live_rows != expected:
+            raise ChaosFailure(
+                site, mode, seed,
+                f"expected {expected} live rows, found {live_rows}: a "
+                "token-keyed batch was lost or double-applied",
+            )
+        if not tenant.service.run_sentinel(full=True):
+            raise ChaosFailure(
+                site, mode, seed,
+                "profile failed exhaustive verification after network faults",
+            )
+        manager.close_all()
+    except ChaosFailure:
+        _abandon_fleet(manager)
+        raise
+    except (ReproError, OSError) as exc:
+        _abandon_fleet(manager)
+        raise ChaosFailure(
+            site, mode, seed,
+            f"http fault scenario errored: {type(exc).__name__}: {exc}",
+        ) from exc
+    if not injector.fired:
+        outcome = "not-hit"
+    elif any(kind == CRASH for _, kind, _ in injector.fired):
+        outcome = "crash-recovered"
+    else:
+        outcome = "recovered"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired)
+    )
+
+
+def run_supervised_fleet_scenario(seed: int, workdir: str) -> ScenarioResult:
+    """The whole robustness story in one run (the ``--supervised-fleet``
+    gate): a three-tenant fleet under the supervisor takes a writer
+    thread death, a deterministic durable-I/O crash loop, and
+    network-layer faults -- and must end with every tenant SERVING a
+    bit-correct profile or PARKED with a persisted explanatory record.
+    Serving a wrong profile is the one outcome that fails the scenario.
+    """
+    from repro.baselines.bruteforce import discover_bruteforce
+
+    site, mode = "supervised-fleet", "composite"
+    root = os.path.join(workdir, "fleet")
+    tenant_ids = ("alpha", "beta", "gamma")
+    victim_worker = tenant_ids[seed % 3]
+    victim_durable = tenant_ids[(seed + 1) % 3]
+    victim_net = tenant_ids[(seed + 2) % 3]
+    manager = TenantManager(root, sleep=lambda _s: None)
+    supervisor = _fast_supervisor(manager, max_restarts=3)
+    expected_rows = {tid: len(_INITIAL_ROWS) for tid in tenant_ids}
+    fired_total = 0
+
+    def fail(detail: str) -> ChaosFailure:
+        return ChaosFailure(site, mode, seed, detail)
+
+    try:
+        for tenant_id in tenant_ids:
+            manager.create(
+                tenant_id, _tenant_config(), initial_rows=_INITIAL_ROWS
+            )
+
+        # --- Act 1: writer-thread death, supervised recovery ----------
+        death = FaultInjector(
+            FaultPlan.one_shot("tenants.worker.apply", CRASH, at=1, seed=seed)
+        )
+        with active(death):
+            manager.ingest(
+                victim_worker, "insert",
+                rows=[("Wkr", "901", "1")], token="sf-worker",
+            )
+            manager.flush(victim_worker, timeout=1.0)
+        if not death.fired:
+            raise fail("worker-death fault never fired")
+        fired_total += len(death.fired)
+        if manager.get(victim_worker).worker.alive:
+            raise fail("writer thread survived a CrashPoint")
+        supervisor.check_once()  # sees the dead worker, restarts
+        supervisor.check_once()  # observes it healthy, lifts the breaker
+        tenant = manager.get(victim_worker)
+        if not tenant.worker.alive:
+            raise fail("supervisor did not restart the dead-writer tenant")
+        if tenant.service.health.state.value != "serving":
+            raise fail(
+                f"recovered tenant is {tenant.service.health.state.value}, "
+                "not serving"
+            )
+        if tenant.service.metrics.gauge("restarts_total").value < 1:
+            raise fail("restarts_total gauge did not survive the restart")
+        # The killed batch's token never committed; the replay is exact.
+        manager.ingest(
+            victim_worker, "insert",
+            rows=[("Wkr", "901", "1")], token="sf-worker",
+        )
+        if not manager.flush(victim_worker, timeout=5.0):
+            raise fail("post-recovery flush timed out")
+        expected_rows[victim_worker] += 1
+
+        # --- Act 2: deterministic durable fault -> crash loop ->
+        # restart budget -> PARKED with a persisted record -------------
+        durable = FaultInjector(
+            FaultPlan.persistent("changelog.append.fsync", ERROR, at=1, seed=seed)
+        )
+        with active(durable):
+            for _ in range(8):
+                if victim_durable in manager.parked_ids():
+                    break
+                supervisor.check_once()
+                supervisor.check_once()
+                if victim_durable in manager.parked_ids():
+                    break
+                try:
+                    manager.ingest(
+                        victim_durable, "insert",
+                        rows=[("Dur", "902", "2")], token="sf-durable",
+                    )
+                    manager.flush(victim_durable, timeout=2.0)
+                except (ReproError, OSError):
+                    pass
+        if not durable.fired:
+            raise fail("durable fault never fired")
+        fired_total += len(durable.fired)
+        if victim_durable not in manager.parked_ids():
+            raise fail(
+                "restart budget never parked the crash-looping tenant"
+            )
+        record = manager.parked_record(victim_durable) or {}
+        if record.get("by") != "supervisor" or (
+            "restart budget exhausted" not in str(record.get("reason", ""))
+        ):
+            raise fail(f"parked record does not explain the parking: {record!r}")
+        restarts = record.get("restarts")
+        if not isinstance(restarts, list) or len(restarts) != 3:
+            raise fail(f"parked record lost the restart history: {record!r}")
+        record_path = os.path.join(root, "parked", victim_durable + ".json")
+        if not os.path.exists(record_path):
+            raise fail("parked reason record was not persisted to disk")
+        try:
+            manager.ingest(
+                victim_durable, "insert",
+                rows=[("Dur", "902", "2")], token="sf-durable-parked",
+            )
+        except TenantParkedError:
+            pass
+        else:
+            raise fail("parked tenant accepted ingest")
+        # The operator fixed the disk (injector gone): recover revives
+        # it through the same snapshot+replay path, and the batch the
+        # fault kept rejecting finally lands -- exactly once.
+        manager.recover(victim_durable)
+        manager.ingest(
+            victim_durable, "insert",
+            rows=[("Dur", "902", "2")], token="sf-durable",
+        )
+        if not manager.flush(victim_durable, timeout=5.0):
+            raise fail("post-recover flush timed out")
+        expected_rows[victim_durable] += 1
+
+        # --- Act 3: network-layer faults under a live server ----------
+        app = ReproServerApp(manager)
+        app.supervisor = supervisor
+        handle = serve_in_thread(app, request_timeout=2.0)
+        host, port = handle.address
+        try:
+            batches_path = f"/tenants/{victim_net}/batches"
+            # (a) malformed JSON is a typed 400, not a wedged thread
+            result = _http_request(
+                host, port, "POST", batches_path, body=b"{not json"
+            )
+            if result is None or result[0] != 400:
+                raise fail(f"malformed JSON was not a 400: {result!r}")
+            # (b) a torn request body: the read fault drops the
+            # connection; the token retry lands the batch exactly once
+            body0 = json.dumps(
+                {"kind": "insert", "rows": [["Net", "903", "3"]],
+                 "token": "sf-net-0"}
+            ).encode("utf-8")
+            reset = FaultInjector(
+                FaultPlan.one_shot("http.body.read", ERROR, at=1, seed=seed)
+            )
+            with active(reset):
+                torn = _http_request(host, port, "POST", batches_path, body=body0)
+            if torn is not None:
+                raise fail(f"torn body still produced a response: {torn!r}")
+            fired_total += len(reset.fired)
+            retried = _http_request(host, port, "POST", batches_path, body=body0)
+            if retried is None or retried[0] not in (200, 202):
+                raise fail(f"retry after body fault failed: {retried!r}")
+            # (c) a torn *response*: the batch applied but the response
+            # died on the wire -- the token retry reports a duplicate
+            body1 = json.dumps(
+                {"kind": "insert", "rows": [["Net", "904", "4"]],
+                 "token": "sf-net-1"}
+            ).encode("utf-8")
+            tear = FaultInjector(
+                FaultPlan.one_shot("http.response.write", ERROR, at=1, seed=seed)
+            )
+            with active(tear):
+                torn = _http_request(host, port, "POST", batches_path, body=body1)
+            if torn is not None:
+                raise fail(f"torn response still reached the client: {torn!r}")
+            fired_total += len(tear.fired)
+            retried = _http_request(host, port, "POST", batches_path, body=body1)
+            if retried is None or retried[0] not in (200, 202):
+                raise fail(f"retry after response fault failed: {retried!r}")
+            # (d) a client that lies about Content-Length and hangs up:
+            # dropped and counted, never dispatched as a truncated batch
+            raw = socket.create_connection((host, port), timeout=5.0)
+            try:
+                raw.sendall(
+                    b"POST " + batches_path.encode("ascii") + b" HTTP/1.1\r\n"
+                    b"Host: chaos\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 4096\r\n\r\n{\"kind\": \"ins"
+                )
+            finally:
+                raw.close()
+            # (e) the server still answers: flush, then fleet status
+            # (which carries the supervisor's event log)
+            flushed = _http_request(
+                host, port, "POST", f"/tenants/{victim_net}/flush",
+                body=b'{"timeout": 10}',
+            )
+            if flushed is None or flushed[0] != 200:
+                raise fail(f"flush after network faults failed: {flushed!r}")
+            fleet = _http_request(host, port, "GET", "/fleet/status")
+            if fleet is None or fleet[0] != 200:
+                raise fail("fleet status unavailable after network faults")
+        finally:
+            handle.close()
+        expected_rows[victim_net] += 2
+
+        # --- Final verification: correct or parked, never wrong -------
+        actions = {event.action for event in supervisor.events}
+        for wanted in ("restarted", "recovered", "parked"):
+            if wanted not in actions:
+                raise fail(
+                    f"supervisor event log has no {wanted!r} event: "
+                    f"{sorted(actions)!r}"
+                )
+        for tenant_id in tenant_ids:
+            tenant = manager.get(tenant_id)
+            if not manager.flush(tenant_id, timeout=5.0):
+                raise fail(f"{tenant_id}: final flush timed out")
+            state = tenant.service.health.state.value
+            if state != "serving":
+                raise fail(f"{tenant_id} ended {state}, not serving")
+            live_rows = len(tenant.service.profiler.relation)
+            if live_rows != expected_rows[tenant_id]:
+                raise fail(
+                    f"{tenant_id}: expected {expected_rows[tenant_id]} live "
+                    f"rows, found {live_rows}: a batch was lost or "
+                    "double-applied"
+                )
+            if not tenant.service.run_sentinel(full=True):
+                raise fail(
+                    f"{tenant_id}: profile failed exhaustive verification"
+                )
+            # Bit-identity: the served masks must equal a from-scratch
+            # discovery over the live relation.
+            mucs, mnucs = discover_bruteforce(tenant.service.profiler.relation)
+            snapshot = tenant.service.profiler.snapshot()
+            if set(snapshot.mucs) != set(mucs) or set(snapshot.mnucs) != set(
+                mnucs
+            ):
+                raise fail(
+                    f"{tenant_id}: served profile is not bit-identical to a "
+                    "from-scratch discovery"
+                )
+        manager.close_all()
+    except ChaosFailure:
+        _abandon_fleet(manager)
+        raise
+    except (ReproError, OSError) as exc:
+        _abandon_fleet(manager)
+        raise ChaosFailure(
+            site, mode, seed,
+            f"supervised fleet scenario errored: {type(exc).__name__}: {exc}",
+        ) from exc
+    return ScenarioResult(
+        site, mode, seed, "supervised", fired_total,
+        detail=(
+            f"worker={victim_worker} durable={victim_durable} "
+            f"net={victim_net}"
+        ),
+    )
+
+
 def _runner_for(
     site: str,
 ) -> "Callable[[str, str, int, str], ScenarioResult]":
@@ -668,6 +1253,10 @@ def _runner_for(
         return run_relation_scenario
     if site.startswith("spool.write."):
         return run_producer_scenario
+    if site.startswith("tenants.worker."):
+        return run_worker_death_scenario
+    if site.startswith("http."):
+        return run_http_fault_scenario
     if site.startswith("tenants."):
         return run_tenant_fleet_scenario
     return run_service_scenario
@@ -758,6 +1347,13 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the multi-tenant fault-isolation scenario "
         "(one run per seed, target tenant rotated by seed)",
     )
+    parser.add_argument(
+        "--supervised-fleet", action="store_true",
+        help="run only the supervised-fleet recovery scenario: worker "
+        "deaths, a durable-fault crash loop into the restart budget, "
+        "and network faults under the fleet supervisor (one run per "
+        "seed, victim roles rotated by seed)",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -766,6 +1362,39 @@ def main(argv: list[str] | None = None) -> int:
 
         for site in registered_sites():
             print(f"{site:30s} {site_description(site)}")
+        return 0
+
+    if args.supervised_fleet:
+        base = args.root or tempfile.mkdtemp(prefix="repro-chaos-sf-")
+        os.makedirs(base, exist_ok=True)
+        failures = 0
+        try:
+            for seed in args.seeds:
+                workdir = os.path.join(base, f"supervised-s{seed}")
+                os.makedirs(workdir, exist_ok=True)
+                try:
+                    result = run_supervised_fleet_scenario(seed, workdir)
+                    print(
+                        f"  supervised-fleet seed={seed} -> {result.outcome} "
+                        f"({result.detail}, {result.fired} fired)"
+                    )
+                except ChaosFailure as failure:
+                    failures += 1
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                if not args.keep:
+                    shutil.rmtree(workdir, ignore_errors=True)
+        finally:
+            if not args.keep and args.root is None:
+                shutil.rmtree(base, ignore_errors=True)
+        if failures:
+            print(f"{failures} FAILURE(S)", file=sys.stderr)
+            return 1
+        print(
+            "supervised fleet verified: dead writers were restarted, the "
+            "crash-looping tenant was parked by its restart budget with a "
+            "persisted record, and every tenant ended serving a "
+            "bit-correct profile"
+        )
         return 0
 
     if args.multi_tenant:

@@ -16,21 +16,26 @@ structured backpressure contract clients program against.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
+    FlushTimeoutError,
     QueueFullError,
     ReproError,
     ServiceHealthError,
     TenantError,
     TenantExistsError,
     TenantModeError,
+    TenantParkedError,
+    TenantRecoveringError,
     UnknownTenantError,
     WorkloadError,
 )
 from repro.server.routing import NoMatch, Router
+from repro.service.metrics import MetricsRegistry
 from repro.tenants.manager import TenantManager
 
 JSON_CONTENT_TYPE = "application/json"
@@ -45,10 +50,18 @@ class HttpRequest:
     params: dict[str, str] = field(default_factory=dict)
     query: dict[str, list[str]] = field(default_factory=dict)
     body: bytes = b""
+    # Absolute monotonic deadline for this request (None = untimed, the
+    # in-process test path). Handlers that block (flush) clamp their
+    # waits to ``remaining()`` so a request cannot outlive its socket.
+    deadline: float | None = None
 
     @classmethod
     def from_target(
-        cls, method: str, target: str, body: bytes = b""
+        cls,
+        method: str,
+        target: str,
+        body: bytes = b"",
+        deadline: float | None = None,
     ) -> "HttpRequest":
         """Build a request from a raw request target (path + query)."""
         split = urlsplit(target)
@@ -57,7 +70,14 @@ class HttpRequest:
             path=split.path or "/",
             query=parse_qs(split.query),
             body=body,
+            deadline=deadline,
         )
+
+    def remaining(self, default: float = 30.0) -> float:
+        """Seconds left before the deadline (``default`` when untimed)."""
+        if self.deadline is None:
+            return default
+        return max(0.0, self.deadline - time.monotonic())
 
     def json(self) -> dict[str, Any]:
         """The body as a JSON object; ``{}`` for an empty body."""
@@ -132,6 +152,13 @@ class ReproServerApp:
         # under each tenant-create request body.
         self.default_config: dict[str, Any] = dict(default_config or {})
         self.router = Router(all_routes())
+        # Transport-level counters (timeouts, resets, failed responses)
+        # incremented by the HTTP adapter, surfaced in /healthz. Their
+        # own registry: they belong to the server, not any tenant.
+        self.metrics = MetricsRegistry(namespace="server")
+        # The CLI attaches a FleetSupervisor here; /fleet/status
+        # surfaces its event log when present.
+        self.supervisor: Any = None
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -179,6 +206,30 @@ class ReproServerApp:
             )
         if isinstance(exc, TenantModeError):
             return error_response(409, "insert_only", str(exc))
+        if isinstance(exc, FlushTimeoutError):
+            return error_response(
+                504,
+                "flush_timeout",
+                str(exc),
+                tenant=exc.tenant_id,
+                pending_batches=exc.pending_batches,
+            )
+        if isinstance(exc, TenantParkedError):
+            return error_response(
+                503,
+                "tenant_parked",
+                str(exc),
+                tenant=exc.tenant_id,
+                reason=exc.reason,
+            )
+        if isinstance(exc, TenantRecoveringError):
+            return error_response(
+                503,
+                "tenant_recovering",
+                str(exc),
+                headers=(("Retry-After", f"{max(1, round(exc.retry_after))}"),),
+                tenant=exc.tenant_id,
+            )
         if isinstance(exc, ServiceHealthError):
             return error_response(503, "not_writable", str(exc))
         if isinstance(exc, (WorkloadError, TenantError)):

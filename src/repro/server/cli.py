@@ -1,9 +1,12 @@
 """``repro-server``: serve a fleet of tenants over HTTP.
 
-Boot sequence: open every tenant already registered under the root
-directory (each recovers from its own snapshot+changelog), bind the
-stdlib HTTP server, serve until interrupted, then drain and close every
-tenant so the last served state is durably sealed.
+Boot sequence: reconcile the registry against the on-disk state dirs
+(divergence parks, never hides), open every registered tenant (each
+recovers from its own snapshot+changelog), start the fleet supervisor,
+bind the stdlib HTTP server, serve until interrupted -- then shut down
+*gracefully*: stop accepting connections first, drain every tenant's
+queue against a deadline (reporting any tenant that would not drain),
+and seal each with a final snapshot.
 
 Operator-level defaults (``--parallelism``, ``--cache-budget-mb``,
 ``--algorithm``, ``--no-fsync``) apply to tenants *created over HTTP
@@ -18,8 +21,9 @@ import sys
 from typing import Any, Sequence
 
 from repro.server.app import ReproServerApp
-from repro.server.http import serve_in_thread
+from repro.server.http import DEFAULT_REQUEST_TIMEOUT, serve_in_thread
 from repro.tenants.manager import TenantManager
+from repro.tenants.supervisor import FleetSupervisor, SupervisorConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +66,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log one line per request to stderr",
     )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=DEFAULT_REQUEST_TIMEOUT,
+        help="per-connection socket timeout / per-request deadline "
+        "in seconds (slow-loris defense)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for queues to drain at shutdown",
+    )
+    parser.add_argument(
+        "--no-supervisor",
+        action="store_true",
+        help="disable automatic tenant recovery (debugging only)",
+    )
+    parser.add_argument(
+        "--restart-budget",
+        type=int,
+        default=5,
+        help="supervisor: max automatic restarts per tenant per window "
+        "before parking it",
+    )
+    parser.add_argument(
+        "--budget-window",
+        type=float,
+        default=300.0,
+        help="supervisor: rolling restart-budget window in seconds",
+    )
     return parser
 
 
@@ -82,22 +117,59 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     manager = TenantManager(args.root_dir)
     opened = manager.open_all()
+    parked = manager.parked_ids()
+    if parked:
+        print(
+            f"warning: {len(parked)} parked tenant(s) not opened: "
+            + ", ".join(parked)
+            + " (POST /tenants/<id>/recover to revive)",
+            file=sys.stderr,
+        )
     app = ReproServerApp(manager, default_config=default_config_from_args(args))
     if args.access_log:
         app.access_log = lambda line: print(line, file=sys.stderr)  # type: ignore[attr-defined]
-    handle = serve_in_thread(app, host=args.host, port=args.port)
+    supervisor: FleetSupervisor | None = None
+    if not args.no_supervisor:
+        supervisor = FleetSupervisor(
+            manager,
+            config=SupervisorConfig(
+                max_restarts=args.restart_budget,
+                budget_window_seconds=args.budget_window,
+            ),
+        ).start()
+        app.supervisor = supervisor
+    handle = serve_in_thread(
+        app,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+    )
     print(
         f"repro-server listening on {handle.url} "
-        f"({len(opened)} tenant(s) open) -- Ctrl-C to stop",
+        f"({len(opened)} tenant(s) open, supervisor "
+        f"{'off' if supervisor is None else 'on'}) -- Ctrl-C to stop",
         file=sys.stderr,
     )
     try:
         handle.thread.join()
     except KeyboardInterrupt:
-        print("shutting down: draining tenants ...", file=sys.stderr)
+        print("shutting down ...", file=sys.stderr)
     finally:
+        # Graceful drain: stop accepting first, then the supervisor
+        # (no restarts racing shutdown), then drain + seal each tenant.
         handle.close()
+        if supervisor is not None:
+            supervisor.stop()
+        drained = manager.flush_all(timeout=args.drain_timeout)
+        if not drained:
+            print(
+                "warning: some tenant queues did not drain before the "
+                "deadline; undrained batches were not applied",
+                file=sys.stderr,
+            )
         manager.close_all()
+        for failure in manager.drain_failures:
+            print(f"warning: {failure}", file=sys.stderr)
     return 0
 
 

@@ -7,6 +7,26 @@ connection is handled on its own daemon thread; handler threads only
 the per-tenant single-writer invariant is untouched by HTTP
 concurrency.
 
+Robustness contract (the slow-loris/fat-finger defenses):
+
+* every connection carries a **socket read timeout** -- a client that
+  stalls mid-request-line, mid-headers or mid-body times out and is
+  dropped instead of pinning a handler thread forever;
+* request-line/header reads are **size-capped** (431 past the budget)
+  and bodies are read in bounded chunks against ``Content-Length``
+  (413 past :data:`MAX_BODY_BYTES`, checked *before* reading);
+* each request gets a **deadline** (``HttpRequest.deadline``) so
+  long-blocking handlers (flush) can clamp their own waits;
+* transport failures (timeouts, resets, short bodies) never produce a
+  half response -- the connection is closed and counted on the app's
+  transport metrics, visible in ``/healthz``.
+
+The body-read and response-write paths are fault *sites*
+(``http.body.read`` / ``http.response.write``): the chaos sweep injects
+connection resets and stalls at the network layer exactly like it
+injects torn writes at the filesystem layer. A ``CRASH`` fault here
+models a torn *connection* (the request dies, never the process).
+
 ``serve_in_thread`` is the embedding/test entry point: bind to an
 ephemeral port, drive the API over real sockets, shut down cleanly.
 """
@@ -14,23 +34,68 @@ ephemeral port, drive the API over real sockets, shut down cleanly.
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
+from repro.faults import fsops
+from repro.faults.injector import CrashPoint
 from repro.server.app import HttpRequest, HttpResponse, ReproServerApp, error_response
 
 # Refuse request bodies past this size before reading them: a fat-finger
 # upload must not balloon the process (admission control starts at the
 # socket, not the queue).
 MAX_BODY_BYTES = 32 * 1024 * 1024
+# Total budget for the request line plus all headers. The stdlib already
+# caps single lines (64 KiB) and header count (100); this enforces the
+# documented total so a header-stuffing client gets a typed 431.
+MAX_HEADER_BYTES = 16 * 1024
+# Bodies are consumed in bounded slices so a stalled sender hits the
+# socket timeout within one chunk, not one body.
+_BODY_CHUNK_BYTES = 64 * 1024
+# Default per-connection socket timeout / per-request deadline.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+SITE_BODY_READ = fsops.register_site(
+    "http.body.read", "read one chunk of a request body off the socket"
+)
+SITE_RESPONSE_WRITE = fsops.register_site(
+    "http.response.write", "write a response back to the client socket"
+)
 
 
-def _make_handler(app: ReproServerApp) -> type[BaseHTTPRequestHandler]:
+def _make_handler(
+    app: ReproServerApp, request_timeout: float
+) -> type[BaseHTTPRequestHandler]:
     class ReproRequestHandler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         server_version = "repro-server/1"
+        # StreamRequestHandler.setup() applies this to the connection;
+        # BaseHTTPRequestHandler.handle_one_request treats the timeout
+        # as a fatal connection error. This is the slow-loris defense
+        # for the request line and headers.
+        timeout = request_timeout
 
         # ------------------------------------------------------------------
+        def parse_request(self) -> bool:
+            if not super().parse_request():
+                return False
+            header_bytes = len(self.raw_requestline) + sum(
+                len(name) + len(value) for name, value in self.headers.items()
+            )
+            if header_bytes > MAX_HEADER_BYTES:
+                self._send(
+                    error_response(
+                        431,
+                        "headers_too_large",
+                        f"request line + headers of {header_bytes} bytes "
+                        f"exceed {MAX_HEADER_BYTES} byte limit",
+                    )
+                )
+                self.close_connection = True
+                return False
+            return True
+
         def _read_body(self) -> bytes | None:
             raw_length = self.headers.get("Content-Length")
             if raw_length is None:
@@ -50,13 +115,51 @@ def _make_handler(app: ReproServerApp) -> type[BaseHTTPRequestHandler]:
                     )
                 )
                 return None
-            return self.rfile.read(length)
+            chunks: list[bytes] = []
+            remaining = length
+            while remaining > 0:
+                fsops.check(SITE_BODY_READ)
+                chunk = self.rfile.read(min(remaining, _BODY_CHUNK_BYTES))
+                if not chunk:
+                    # Short body: the client promised Content-Length
+                    # bytes and hung up early. Never dispatch a
+                    # truncated payload as if it were the request.
+                    raise ConnectionResetError(
+                        f"client closed with {remaining} body byte(s) unread"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            return b"".join(chunks)
+
+        def _count(self, name: str) -> None:
+            metrics = getattr(app, "metrics", None)
+            if metrics is not None:
+                metrics.counter(name).inc()
+
+        def _drop_connection(self, counter: str) -> None:
+            self._count(counter)
+            self.close_connection = True
 
         def _dispatch(self) -> None:
-            body = self._read_body()
+            deadline = time.monotonic() + request_timeout
+            try:
+                body = self._read_body()
+            except TimeoutError:
+                # A stalled sender: no response can be written safely
+                # (the request framing is unknown), so drop the line.
+                self._drop_connection("http_timeouts_total")
+                return
+            except (ConnectionError, CrashPoint):
+                self._drop_connection("http_resets_total")
+                return
+            except OSError:
+                self._drop_connection("http_resets_total")
+                return
             if body is None:
                 return
-            request = HttpRequest.from_target(self.command, self.path, body=body)
+            request = HttpRequest.from_target(
+                self.command, self.path, body=body, deadline=deadline
+            )
             try:
                 response = app.handle(request)
             except Exception as exc:  # a handler bug must not kill the thread
@@ -65,13 +168,20 @@ def _make_handler(app: ReproServerApp) -> type[BaseHTTPRequestHandler]:
 
         def _send(self, response: HttpResponse) -> None:
             payload = response.encode()
-            self.send_response(response.status)
-            self.send_header("Content-Type", response.content_type)
-            self.send_header("Content-Length", str(len(payload)))
-            for name, value in response.headers:
-                self.send_header(name, value)
-            self.end_headers()
-            self.wfile.write(payload)
+            try:
+                fsops.check(SITE_RESPONSE_WRITE)
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                for name, value in response.headers:
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(payload)
+            except (ConnectionError, TimeoutError, CrashPoint, OSError):
+                # The client vanished mid-response; the response may be
+                # torn on the wire but server state is already applied
+                # -- tokens make the retry idempotent.
+                self._drop_connection("http_responses_failed_total")
 
         # BaseHTTPRequestHandler dispatches on do_<METHOD>.
         def do_GET(self) -> None:
@@ -98,10 +208,13 @@ class ReproHTTPServer(ThreadingHTTPServer):
 
 
 def make_server(
-    app: ReproServerApp, host: str = "127.0.0.1", port: int = 0
+    app: ReproServerApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ReproHTTPServer:
     """Bind (port 0 = ephemeral) without starting the serve loop."""
-    return ReproHTTPServer((host, port), _make_handler(app))
+    return ReproHTTPServer((host, port), _make_handler(app, request_timeout))
 
 
 class ServerHandle:
@@ -134,10 +247,15 @@ class ServerHandle:
 
 
 def serve_in_thread(
-    app: ReproServerApp, host: str = "127.0.0.1", port: int = 0
+    app: ReproServerApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ServerHandle:
     """Start serving on a background thread; returns a closable handle."""
-    server = make_server(app, host=host, port=port)
+    server = make_server(
+        app, host=host, port=port, request_timeout=request_timeout
+    )
     thread = threading.Thread(
         target=server.serve_forever,
         kwargs={"poll_interval": 0.1},

@@ -58,12 +58,41 @@ def list_tenants(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
 
 
 def drop_tenant(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
-    """``DELETE /tenants/{tenant_id}`` -- unregister; state is parked."""
+    """``DELETE /tenants/{tenant_id}`` -- unregister; state is parked.
+
+    A live tenant is drained first; queued batches that cannot drain
+    within the request's deadline fail the drop with ``504
+    flush_timeout`` -- acknowledging the DELETE would silently discard
+    admitted work. ``?force=true`` skips the drain explicitly.
+    """
     tenant_id = request.params["tenant_id"]
-    parked = app.manager.drop(tenant_id)
+    force = request.query_first("force", "false") in ("true", "1", "yes")
+    parked = app.manager.drop(
+        tenant_id, force=force, drain_timeout=request.remaining()
+    )
     return HttpResponse(
         status=200,
         document={"tenant": tenant_id, "dropped": True, "parked": parked},
+    )
+
+
+def recover_tenant(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
+    """``POST /tenants/{tenant_id}/recover`` -- operator recovery.
+
+    Un-parks a parked tenant (clearing its reason record) and/or
+    restarts it through the snapshot+replay recovery path. The one
+    manual lever the runbook needs once the supervisor has given up.
+    """
+    tenant_id = request.params["tenant_id"]
+    tenant = app.manager.recover(tenant_id)
+    return HttpResponse(
+        status=200,
+        document={
+            "tenant": tenant_id,
+            "recovered": True,
+            "health": tenant.service.health.state.value,
+            "live_rows": len(tenant.service.profiler.relation),
+        },
     )
 
 
@@ -71,4 +100,5 @@ ROUTES = [
     Route("POST", "/tenants", create_tenant),
     Route("GET", "/tenants", list_tenants),
     Route("DELETE", "/tenants/{tenant_id}", drop_tenant),
+    Route("POST", "/tenants/{tenant_id}/recover", recover_tenant),
 ]

@@ -10,7 +10,11 @@ def healthz(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
     """``GET /healthz`` -- is the process up and routing at all."""
     return HttpResponse(
         status=200,
-        document={"status": "ok", "open_tenants": len(app.manager)},
+        document={
+            "status": "ok",
+            "open_tenants": len(app.manager),
+            "transport": app.metrics.to_dict().get("counters", {}),
+        },
     )
 
 
@@ -24,7 +28,11 @@ def tenant_status(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
 
 def fleet_status(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
     """``GET /fleet/status`` -- every tenant's vitals plus totals."""
-    return HttpResponse(status=200, document=app.manager.fleet_status())
+    document = dict(app.manager.fleet_status())
+    supervisor = getattr(app, "supervisor", None)
+    if supervisor is not None:
+        document["supervisor"] = supervisor.status()
+    return HttpResponse(status=200, document=document)
 
 
 ROUTES = [

@@ -59,6 +59,9 @@ def flush(app: ReproServerApp, request: HttpRequest) -> HttpResponse:
         timeout = float(raw)
     except (TypeError, ValueError):
         raise WorkloadError(f"'timeout' must be a number, got {raw!r}") from None
+    # Never wait past the request's own deadline: a flush that outlives
+    # its socket would block a handler thread for nobody.
+    timeout = min(timeout, request.remaining(default=timeout))
     drained = app.manager.flush(tenant_id, timeout=timeout)
     return HttpResponse(
         status=200 if drained else 504,

@@ -22,16 +22,24 @@ order::
 * **FAILED** -- the profile cannot be trusted and could not be rebuilt
   (sentinel divergence with a failed holistic re-profile, quarantined
   state). Terminal until a restart recovers from durable state.
+* **PARKED** -- automatic recovery gave up: the fleet supervisor
+  exhausted the restart budget, or startup reconciliation found the
+  registry and the on-disk state dirs disagreeing. Parked tenants
+  refuse all traffic until an operator recovers or drops them; the
+  reason is persisted so "why is this tenant down" survives restarts.
 
 Transitions only ever *worsen* within a run except the
 DEGRADED→SERVING healing edge; state is published as a gauge through
 the metrics registry and as ``health`` / ``last_error`` in
-``status.json``.
+``status.json``. ``state_entered_unix`` timestamps the latest
+transition so operators can see how long a state has persisted
+(``time_in_state_seconds`` gauge).
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 
@@ -42,6 +50,7 @@ class HealthState(enum.Enum):
     DEGRADED = "degraded"
     READ_ONLY = "read_only"
     FAILED = "failed"
+    PARKED = "parked"
 
 
 _SEVERITY = {
@@ -49,6 +58,7 @@ _SEVERITY = {
     HealthState.DEGRADED: 1,
     HealthState.READ_ONLY: 2,
     HealthState.FAILED: 3,
+    HealthState.PARKED: 4,
 }
 
 
@@ -59,17 +69,22 @@ class HealthMonitor:
     state: HealthState = HealthState.SERVING
     last_error: str | None = None
     transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    state_entered_unix: float = field(default_factory=time.time)
     _clean_batches: int = 0
 
     @property
     def severity(self) -> int:
-        """Numeric rank (0=serving .. 3=failed), for the metrics gauge."""
+        """Numeric rank (0=serving .. 4=parked), for the metrics gauge."""
         return _SEVERITY[self.state]
 
     @property
     def can_write(self) -> bool:
         """May the service accept mutating batches right now?"""
         return self.state in (HealthState.SERVING, HealthState.DEGRADED)
+
+    def time_in_state(self, now: float | None = None) -> float:
+        """Seconds since the current state was entered."""
+        return max(0.0, (time.time() if now is None else now) - self.state_entered_unix)
 
     def _worsen(self, target: HealthState, reason: str) -> None:
         self.last_error = reason
@@ -80,6 +95,7 @@ class HealthMonitor:
             return
         self.transitions.append((self.state.value, target.value, reason))
         self.state = target
+        self.state_entered_unix = time.time()
         self._clean_batches = 0
 
     def mark_degraded(self, reason: str) -> None:
@@ -93,6 +109,10 @@ class HealthMonitor:
     def mark_failed(self, reason: str) -> None:
         """The served profile cannot be trusted or rebuilt."""
         self._worsen(HealthState.FAILED, reason)
+
+    def mark_parked(self, reason: str) -> None:
+        """Automatic recovery gave up; only an operator can revive this."""
+        self._worsen(HealthState.PARKED, reason)
 
     def note_clean_batch(self, threshold: int) -> None:
         """One batch applied with no faults; heal DEGRADED after a streak."""
@@ -113,3 +133,53 @@ class HealthMonitor:
     def __repr__(self) -> str:
         suffix = f", last_error={self.last_error!r}" if self.last_error else ""
         return f"HealthMonitor({self.state.value}{suffix})"
+
+
+class RestartBudget:
+    """K restarts per rolling window, then the supervisor must park.
+
+    An unbounded supervisor turns a deterministic fault (corrupt state,
+    a bug in recovery itself) into a crash loop that burns CPU and
+    floods the log forever. The budget bounds that: :meth:`record`
+    stamps each restart, :meth:`exhausted` answers "has the tenant been
+    restarted ``max_restarts`` times within the last
+    ``window_seconds``", and the retained history rides along in the
+    parked reason record so the loop is explainable after the fact.
+    """
+
+    def __init__(
+        self, max_restarts: int = 5, window_seconds: float = 300.0
+    ) -> None:
+        if max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1, got {max_restarts}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.max_restarts = max_restarts
+        self.window_seconds = window_seconds
+        self._restarts: list[float] = []
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.window_seconds
+        self._restarts = [stamp for stamp in self._restarts if stamp > cutoff]
+
+    def record(self, now: float) -> None:
+        """Stamp one restart at ``now`` (a monotonic or wall clock)."""
+        self._trim(now)
+        self._restarts.append(now)
+
+    def exhausted(self, now: float) -> bool:
+        """Would one *more* restart exceed the budget?"""
+        self._trim(now)
+        return len(self._restarts) >= self.max_restarts
+
+    def history(self) -> list[float]:
+        """Restart timestamps still inside the rolling window."""
+        return list(self._restarts)
+
+    def __repr__(self) -> str:
+        return (
+            f"RestartBudget({len(self._restarts)}/{self.max_restarts} "
+            f"in {self.window_seconds:g}s)"
+        )

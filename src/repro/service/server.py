@@ -401,6 +401,7 @@ class ProfilingService:
         self._recent_tokens: deque[str] = deque(maxlen=256)
         self._lock_path = os.path.join(data_dir, LOCK_NAME)
         self._lock_handle: TextIO | None = None
+        self.started_unix: float | None = None
         self._sleep = sleep
         self._retry_rng = random.Random(0x5EED)
         self._holistic_fallback: (
@@ -521,6 +522,7 @@ class ProfilingService:
             # or the holistic fallback), so degrade rather than refuse
             # to boot.
             self._protected("snapshot", self._take_snapshot)
+        self.started_unix = time.time()
         self._refresh_gauges()
         self.write_status()
         return self
@@ -1115,6 +1117,11 @@ class ProfilingService:
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, object]:
         """The current metrics plus service identity, JSON-able."""
+        if self.started:
+            # Status endpoints read stats() directly; time-derived
+            # gauges (uptime, time-in-state) must be live, not stale
+            # from the last batch.
+            self._refresh_gauges()
         return {
             "tenant": self.tenant_id,
             "data_dir": self.data_dir,
@@ -1159,6 +1166,13 @@ class ProfilingService:
         self.metrics.gauge("n_mucs").set(len(profile.mucs))
         self.metrics.gauge("n_mnucs").set(len(profile.mnucs))
         self.metrics.gauge("health_state").set(self.health.severity)
+        self.metrics.gauge("time_in_state_seconds").set(
+            self.health.time_in_state()
+        )
+        if self.started_unix is not None:
+            self.metrics.gauge("uptime_seconds").set(
+                max(0.0, time.time() - self.started_unix)
+            )
         self.metrics.gauge("dead_letters").set(self.dead_letters.count())
         cache_stats = profiler.cache_stats()
         self.metrics.gauge("pli_cache_hits").set(cache_stats.get("hits", 0))

@@ -11,20 +11,32 @@ The package behind the HTTP front-end (:mod:`repro.server`):
 * :mod:`repro.tenants.worker` -- :class:`TenantWorker`, the per-tenant
   single writer draining the queue through the commit protocol.
 * :mod:`repro.tenants.manager` -- :class:`TenantManager`, tenant
-  lifecycle (create/open/close/drop), the atomically persisted
-  registry, batch routing, and per-tenant/fleet status.
+  lifecycle (create/open/close/drop/park/recover), the atomically
+  persisted registry, batch routing, and per-tenant/fleet status.
+* :mod:`repro.tenants.supervisor` -- :class:`FleetSupervisor`, the
+  background recovery loop: watches health and worker liveness,
+  restarts unhealthy tenants with backoff under a restart budget, and
+  parks crash-looping tenants with a persisted reason record.
 """
 
 from repro.tenants.config import TenantConfig, validate_tenant_id
 from repro.tenants.manager import Tenant, TenantManager
 from repro.tenants.queue import IngestQueue, QueueStats, QueuedBatch
+from repro.tenants.supervisor import (
+    FleetSupervisor,
+    SupervisorConfig,
+    SupervisorEvent,
+)
 from repro.tenants.worker import BatchOutcome, TenantWorker
 
 __all__ = [
     "BatchOutcome",
+    "FleetSupervisor",
     "IngestQueue",
     "QueueStats",
     "QueuedBatch",
+    "SupervisorConfig",
+    "SupervisorEvent",
     "Tenant",
     "TenantConfig",
     "TenantManager",

@@ -36,11 +36,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterator, Sequence
 
 from repro.errors import (
+    FlushTimeoutError,
     QueueFullError,
     ServiceHealthError,
     TenantError,
     TenantExistsError,
     TenantModeError,
+    TenantParkedError,
+    TenantRecoveringError,
     UnknownTenantError,
     WorkloadError,
 )
@@ -69,10 +72,26 @@ SITE_REGISTRY_READ = fsops.register_site(
 SITE_DROP_REPLACE = fsops.register_site(
     "tenants.drop.replace", "move a dropped tenant's state dir aside"
 )
+SITE_PARKED_OPEN = fsops.register_site(
+    "tenants.parked.open", "write a parked-tenant reason record (tmp file)"
+)
+SITE_PARKED_FSYNC = fsops.register_site(
+    "tenants.parked.fsync", "fsync a parked-tenant reason record"
+)
+SITE_PARKED_REPLACE = fsops.register_site(
+    "tenants.parked.replace", "atomically publish a parked-tenant record"
+)
+SITE_PARKED_READ = fsops.register_site(
+    "tenants.parked.read", "read a parked-tenant reason record back"
+)
+SITE_PARKED_UNLINK = fsops.register_site(
+    "tenants.parked.unlink", "clear a parked-tenant record on recover"
+)
 
 REGISTRY_NAME = "registry.json"
 TENANTS_DIR = "tenants"
 DROPPED_DIR = "dropped"
+PARKED_DIR = "parked"
 REGISTRY_VERSION = 1
 
 Row = tuple[Hashable, ...]
@@ -108,12 +127,18 @@ class TenantManager:
         self._sleep = sleep
         self._tenants: dict[str, Tenant] = {}
         self._registry: dict[str, dict[str, Any]] = {}
+        self._parked: dict[str, dict[str, Any]] = {}
+        self._breakers: dict[str, float] = {}
+        self._runtime: dict[str, dict[str, float]] = {}
         self._lock = threading.RLock()
         self._closed = False
+        self.drain_failures: list[FlushTimeoutError] = []
         os.makedirs(os.path.join(root_dir, TENANTS_DIR), exist_ok=True)
         self._registry_path = os.path.join(root_dir, REGISTRY_NAME)
         if os.path.exists(self._registry_path):
             self._registry = self._load_registry()
+        self._parked = self._load_parked_records()
+        self._reconcile()
 
     # ------------------------------------------------------------------
     # Registry persistence
@@ -144,6 +169,85 @@ class TenantManager:
             handle.flush()
             fsops.fsync(SITE_REGISTRY_FSYNC, handle)
         fsops.replace(SITE_REGISTRY_REPLACE, tmp, self._registry_path)
+
+    # ------------------------------------------------------------------
+    # Parked-tenant records (why automatic recovery gave up, durably)
+    # ------------------------------------------------------------------
+    def _parked_path(self, tenant_id: str) -> str:
+        return os.path.join(self.root_dir, PARKED_DIR, tenant_id + ".json")
+
+    def _load_parked_records(self) -> dict[str, dict[str, Any]]:
+        parked_dir = os.path.join(self.root_dir, PARKED_DIR)
+        if not os.path.isdir(parked_dir):
+            return {}
+        records: dict[str, dict[str, Any]] = {}
+        for name in sorted(os.listdir(parked_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(parked_dir, name)
+            with fsops.open_(SITE_PARKED_READ, path) as handle:
+                try:
+                    record = json.load(handle)
+                except json.JSONDecodeError:
+                    # A torn record still parks the tenant -- losing the
+                    # reason must not silently un-park it.
+                    record = {"reason": "parked record unreadable (torn?)"}
+            if isinstance(record, dict):
+                records[name[: -len(".json")]] = record
+        return records
+
+    def _persist_parked_record(
+        self, tenant_id: str, record: dict[str, Any]
+    ) -> None:
+        os.makedirs(os.path.join(self.root_dir, PARKED_DIR), exist_ok=True)
+        path = self._parked_path(tenant_id)
+        tmp = path + ".tmp"
+        with fsops.open_(SITE_PARKED_OPEN, tmp, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.flush()
+            fsops.fsync(SITE_PARKED_FSYNC, handle)
+        fsops.replace(SITE_PARKED_REPLACE, tmp, path)
+
+    def _clear_parked_record(self, tenant_id: str) -> None:
+        path = self._parked_path(tenant_id)
+        if os.path.exists(path):
+            fsops.remove(SITE_PARKED_UNLINK, path)
+
+    def _reconcile(self) -> None:
+        """Registry vs. on-disk state dirs: divergence parks, never hides.
+
+        A crash between state-dir creation and registry publish (either
+        order: create's start-then-persist, drop's persist-then-move)
+        can leave the two disagreeing. Serving through the disagreement
+        risks a wrong answer -- an *orphan* dir might hold committed
+        batches nobody will replay, a registered tenant with no dir
+        would silently boot empty and "lose" its data. Both cases land
+        in PARKED with a persisted reason so an operator decides.
+        """
+        tenants_root = os.path.join(self.root_dir, TENANTS_DIR)
+        on_disk = {
+            name
+            for name in os.listdir(tenants_root)
+            if os.path.isdir(os.path.join(tenants_root, name))
+        }
+        for orphan in sorted(on_disk - set(self._registry)):
+            if orphan in self._parked:
+                continue
+            self._park_locked(
+                orphan,
+                "orphan state dir: on disk but not in the registry "
+                "(crash between state-dir creation and registry publish?)",
+                by="reconcile",
+            )
+        for missing in sorted(set(self._registry) - on_disk):
+            if missing in self._parked:
+                continue
+            self._park_locked(
+                missing,
+                "state dir missing: registered but nothing on disk "
+                "(crash between registry publish and state move?)",
+                by="reconcile",
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -216,6 +320,15 @@ class TenantManager:
             self._check_open()
             if tenant_id in self._registry or tenant_id in self._tenants:
                 raise TenantExistsError(tenant_id)
+            if tenant_id in self._parked:
+                raise TenantParkedError(
+                    tenant_id, str(self._parked[tenant_id].get("reason", ""))
+                )
+            if os.path.isdir(self._state_dir(tenant_id)):
+                # Never double-assign an id onto leftover state: an
+                # unregistered dir is evidence of a crashed lifecycle
+                # op, not free real estate.
+                raise TenantExistsError(tenant_id)
             relation = Relation.from_rows(
                 Schema(list(config.columns)),
                 [tuple(row) for row in initial_rows],
@@ -243,6 +356,10 @@ class TenantManager:
             live = self._tenants.get(tenant_id)
             if live is not None:
                 return live
+            if tenant_id in self._parked:
+                raise TenantParkedError(
+                    tenant_id, str(self._parked[tenant_id].get("reason", ""))
+                )
             entry = self._registry.get(tenant_id)
             if entry is None:
                 raise UnknownTenantError(tenant_id)
@@ -250,6 +367,7 @@ class TenantManager:
             tenant = self._build_tenant(
                 tenant_id, config, float(entry.get("created_unix", 0.0))
             )
+            opened_at = time.monotonic()
             if tenant.service.has_state():
                 self._start_service(tenant.service)
             else:
@@ -261,53 +379,259 @@ class TenantManager:
                         Schema(list(config.columns)), []
                     ),
                 )
+            runtime = self._runtime.setdefault(
+                tenant_id,
+                {"restarts_total": 0.0, "last_recovery_duration_seconds": 0.0},
+            )
+            runtime["last_recovery_duration_seconds"] = (
+                time.monotonic() - opened_at
+            )
+            self._stamp_runtime_gauges(tenant_id, tenant.service)
             tenant.worker.start()
             self._tenants[tenant_id] = tenant
             return tenant
 
+    def _stamp_runtime_gauges(
+        self, tenant_id: str, service: ProfilingService
+    ) -> None:
+        """Copy manager-owned restart accounting into the service gauges.
+
+        Every reopen builds a *fresh* ``ProfilingService`` (and metrics
+        registry), so counters that must survive restarts -- the whole
+        point of ``restarts_total`` -- live here and get stamped into
+        each new registry.
+        """
+        runtime = self._runtime.get(tenant_id)
+        if runtime is None:
+            return
+        service.metrics.gauge("restarts_total").set(runtime["restarts_total"])
+        service.metrics.gauge("last_recovery_duration_seconds").set(
+            runtime["last_recovery_duration_seconds"]
+        )
+
     def open_all(self) -> list[Tenant]:
-        """Open every registered tenant (server boot)."""
+        """Open every registered, non-parked tenant (server boot)."""
         with self._lock:
-            return [self.open(tenant_id) for tenant_id in sorted(self._registry)]
+            return [
+                self.open(tenant_id)
+                for tenant_id in sorted(self._registry)
+                if tenant_id not in self._parked
+            ]
 
     def close(self, tenant_id: str, drain: bool = True) -> None:
-        """Stop one tenant's writer and service; keep it registered."""
+        """Stop one tenant's writer and service; keep it registered.
+
+        With ``drain=True`` a queue that cannot drain raises
+        :class:`~repro.errors.FlushTimeoutError` -- but the service is
+        stopped regardless, so a stuck queue never leaks a running
+        service behind an error.
+        """
         with self._lock:
             tenant = self._tenants.pop(tenant_id, None)
         if tenant is None:
             if tenant_id not in self._registry:
                 raise UnknownTenantError(tenant_id)
             return
-        tenant.worker.stop(drain=drain)
-        tenant.service.stop()
+        try:
+            tenant.worker.stop(drain=drain)
+        finally:
+            tenant.service.stop()
 
     def close_all(self, drain: bool = True) -> None:
+        """Shutdown: stop every tenant; drain failures are collected.
+
+        Shutdown must not abort halfway because one tenant's queue is
+        stuck, so instead of raising, failed drains are recorded on
+        ``drain_failures`` for the caller (the CLI reports them).
+        """
         with self._lock:
             tenant_ids = list(self._tenants)
             self._closed = True
         for tenant_id in tenant_ids:
             tenant = self._tenants.pop(tenant_id, None)
             if tenant is not None:
-                tenant.worker.stop(drain=drain)
-                tenant.service.stop()
+                try:
+                    tenant.worker.stop(drain=drain)
+                except FlushTimeoutError as exc:
+                    self.drain_failures.append(exc)
+                finally:
+                    tenant.service.stop()
 
-    def drop(self, tenant_id: str) -> str:
+    # ------------------------------------------------------------------
+    # Park / recover / restart (the supervisor's levers)
+    # ------------------------------------------------------------------
+    def _park_locked(
+        self,
+        tenant_id: str,
+        reason: str,
+        by: str,
+        restarts: Sequence[float] = (),
+    ) -> dict[str, Any]:
+        tenant = self._tenants.pop(tenant_id, None)
+        if tenant is not None:
+            try:
+                tenant.worker.stop(drain=False, timeout=2.0)
+            except Exception:  # noqa: BLE001 - parking a broken tenant
+                pass
+            try:
+                tenant.service.health.mark_parked(reason)
+                tenant.service.simulate_crash()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        record: dict[str, Any] = {
+            "tenant": tenant_id,
+            "reason": reason,
+            "by": by,
+            "parked_unix": time.time(),
+            "registered": tenant_id in self._registry,
+            "restarts": list(restarts),
+        }
+        # Park in memory *first*: losing the durable record to an I/O
+        # fault must not leave the tenant serving.
+        self._parked[tenant_id] = record
+        self._breakers.pop(tenant_id, None)
+        self._persist_parked_record(tenant_id, record)
+        return record
+
+    def park(
+        self,
+        tenant_id: str,
+        reason: str,
+        by: str = "operator",
+        restarts: Sequence[float] = (),
+    ) -> dict[str, Any]:
+        """Take a tenant out of service with a persisted reason record."""
+        with self._lock:
+            if (
+                tenant_id not in self._registry
+                and tenant_id not in self._tenants
+            ):
+                raise UnknownTenantError(tenant_id)
+            return self._park_locked(tenant_id, reason, by, restarts=restarts)
+
+    def parked_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._parked)
+
+    def parked_record(self, tenant_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            record = self._parked.get(tenant_id)
+            return dict(record) if record is not None else None
+
+    def recover(self, tenant_id: str) -> Tenant:
+        """Operator/supervisor recovery: un-park and/or restart a tenant.
+
+        * parked + registered: clear the record, reopen from durable
+          state (snapshot + changelog replay).
+        * parked orphan (state dir without a registry entry): refuse --
+          there is no config to reopen it with; ``drop`` is the only
+          exit, and it preserves the state dir for forensics.
+        * live: tear down and reopen (a forced restart).
+        * registered but closed: plain open.
+        """
+        with self._lock:
+            self._check_open()
+            record = self._parked.get(tenant_id)
+            if record is not None:
+                if tenant_id not in self._registry:
+                    raise TenantError(
+                        f"tenant {tenant_id!r} is an orphan state dir with no "
+                        "registry entry; it cannot be recovered, only dropped"
+                    )
+                self._clear_parked_record(tenant_id)
+                del self._parked[tenant_id]
+                return self.open(tenant_id)
+            if tenant_id in self._tenants:
+                return self.restart_tenant(tenant_id)
+            if tenant_id not in self._registry:
+                raise UnknownTenantError(tenant_id)
+            return self.open(tenant_id)
+
+    def restart_tenant(self, tenant_id: str) -> Tenant:
+        """Tear a live tenant down (as a crash would) and reopen it.
+
+        The recovery path is the service's own snapshot+replay: the
+        teardown deliberately skips the orderly final snapshot
+        (``simulate_crash``), because the supervisor restarts tenants
+        whose state -- READ_ONLY, FAILED, dead writer -- makes an
+        orderly shutdown either impossible or untrustworthy.
+        """
+        with self._lock:
+            self._check_open()
+            tenant = self._tenants.pop(tenant_id, None)
+            if tenant is None:
+                return self.open(tenant_id)
+            try:
+                tenant.worker.stop(drain=False, timeout=5.0)
+            except Exception:  # noqa: BLE001 - the writer may be dead
+                pass
+            tenant.service.simulate_crash()
+            runtime = self._runtime.setdefault(
+                tenant_id,
+                {"restarts_total": 0.0, "last_recovery_duration_seconds": 0.0},
+            )
+            runtime["restarts_total"] += 1.0
+            return self.open(tenant_id)
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (sheds ingest while recovery is in flight)
+    # ------------------------------------------------------------------
+    def set_breaker(self, tenant_id: str, retry_after: float = 1.0) -> None:
+        with self._lock:
+            self._breakers[tenant_id] = retry_after
+
+    def clear_breaker(self, tenant_id: str) -> None:
+        with self._lock:
+            self._breakers.pop(tenant_id, None)
+
+    def breaker_open(self, tenant_id: str) -> bool:
+        with self._lock:
+            return tenant_id in self._breakers
+
+    def drop(
+        self,
+        tenant_id: str,
+        force: bool = False,
+        drain_timeout: float = 30.0,
+    ) -> str:
         """Unregister a tenant and move its state aside (never deleted).
 
         Returns the path the state directory was parked under. Drop is
         logical: the profile, changelog and dead letters survive under
         ``dropped/`` for forensics, mirroring the dead-letter philosophy
         of never destroying evidence.
+
+        A live tenant is drained first; if the queue cannot empty
+        within ``drain_timeout``, the drop *fails* with
+        :class:`~repro.errors.FlushTimeoutError` (HTTP 504) and the
+        tenant keeps running -- acknowledging a drop while silently
+        discarding admitted batches is exactly the bug this guards
+        against. ``force=True`` skips the drain (the explicit opt-in).
         """
         with self._lock:
-            if tenant_id not in self._registry:
+            known = (
+                tenant_id in self._registry or tenant_id in self._parked
+            )
+            if not known:
                 raise UnknownTenantError(tenant_id)
+            live = self._tenants.get(tenant_id)
+        if live is not None and not force:
+            if not live.worker.flush(timeout=drain_timeout):
+                raise FlushTimeoutError(tenant_id, live.queue.depth())
+        with self._lock:
             tenant = self._tenants.pop(tenant_id, None)
             if tenant is not None:
-                tenant.worker.stop(drain=False)
-                tenant.service.stop()
-            del self._registry[tenant_id]
-            self._persist_registry()
+                try:
+                    tenant.worker.stop(drain=False)
+                finally:
+                    tenant.service.stop()
+            if tenant_id in self._parked:
+                self._clear_parked_record(tenant_id)
+                del self._parked[tenant_id]
+            self._breakers.pop(tenant_id, None)
+            if tenant_id in self._registry:
+                del self._registry[tenant_id]
+                self._persist_registry()
             state_dir = self._state_dir(tenant_id)
             parked = ""
             if os.path.isdir(state_dir):
@@ -337,14 +661,20 @@ class TenantManager:
     def get(self, tenant_id: str) -> Tenant:
         with self._lock:
             tenant = self._tenants.get(tenant_id)
+            if tenant is None and tenant_id in self._parked:
+                raise TenantParkedError(
+                    tenant_id, str(self._parked[tenant_id].get("reason", ""))
+                )
         if tenant is None:
             raise UnknownTenantError(tenant_id)
         return tenant
 
     def tenant_ids(self) -> list[str]:
-        """Every registered tenant id (open or not), sorted."""
+        """Every known tenant id (registered, open or parked), sorted."""
         with self._lock:
-            return sorted(set(self._registry) | set(self._tenants))
+            return sorted(
+                set(self._registry) | set(self._tenants) | set(self._parked)
+            )
 
     def is_open(self, tenant_id: str) -> bool:
         with self._lock:
@@ -379,6 +709,12 @@ class TenantManager:
         (backpressure). A token already committed, quarantined or
         pending is acknowledged as a duplicate without enqueueing.
         """
+        with self._lock:
+            retry_after = self._breakers.get(tenant_id)
+        if retry_after is not None:
+            # Circuit breaker: recovery is tearing this tenant down and
+            # reopening it; shed ingest instead of racing the rebuild.
+            raise TenantRecoveringError(tenant_id, retry_after=retry_after)
         tenant = self.get(tenant_id)
         if kind not in (INSERT, DELETE):
             raise WorkloadError(f"unknown batch kind {kind!r}")
@@ -506,7 +842,20 @@ class TenantManager:
     # Status
     # ------------------------------------------------------------------
     def tenant_status(self, tenant_id: str) -> dict[str, object]:
-        """One tenant's full status document (service stats + queue)."""
+        """One tenant's full status document (service stats + queue).
+
+        A parked tenant has no live machinery, but "why is it down" is
+        precisely what the status endpoint is for -- so parked tenants
+        answer with their reason record instead of erroring.
+        """
+        with self._lock:
+            record = self._parked.get(tenant_id)
+        if record is not None:
+            return {
+                "tenant": tenant_id,
+                "health": "parked",
+                "parked": dict(record),
+            }
         tenant = self.get(tenant_id)
         with tenant.lock:
             service_stats = tenant.service.stats()
@@ -515,11 +864,13 @@ class TenantManager:
             "insert_only": tenant.config.insert_only,
             "created_unix": tenant.created_unix,
             "health": tenant.service.health.state.value,
+            "breaker_open": self.breaker_open(tenant_id),
             "queue": tenant.queue.stats().to_dict(),
             "worker": {
                 "alive": tenant.worker.alive,
                 "paused": tenant.worker.paused,
                 "drained_total": tenant.worker.drained_total,
+                "death_reason": tenant.worker.death_reason,
             },
             "recent_batches": [
                 outcome.to_dict() for outcome in list(tenant.worker.results)
@@ -537,6 +888,8 @@ class TenantManager:
             "pending_bytes": 0,
             "dead_letters": 0,
             "serving": 0,
+            "parked": 0,
+            "restarts_total": 0,
         }
         for tenant in self:
             with tenant.lock:
@@ -548,6 +901,7 @@ class TenantManager:
                 "health": health,
                 "last_seq": stats.get("last_seq"),
                 "dead_letters": stats.get("dead_letters", 0),
+                "breaker_open": self.breaker_open(tenant.tenant_id),
                 "gauges": gauges,
                 "queue": queue_stats.to_dict(),
             }
@@ -557,8 +911,13 @@ class TenantManager:
             totals["pending_bytes"] += queue_stats.pending_bytes
             totals["dead_letters"] += int(stats.get("dead_letters", 0))
             totals["serving"] += 1 if health == "serving" else 0
+            totals["restarts_total"] += int(gauges.get("restarts_total", 0))
+        with self._lock:
+            parked = {tid: dict(rec) for tid, rec in self._parked.items()}
+        totals["parked"] = len(parked)
         return {
             "registered": self.tenant_ids(),
             "totals": totals,
             "tenants": per_tenant,
+            "parked": parked,
         }

@@ -1,0 +1,282 @@
+"""The fleet supervisor: automatic recovery with a bounded temper.
+
+PR 2 made a single :class:`~repro.service.server.ProfilingService`
+self-healing against filesystem faults *across restarts* -- but nothing
+restarted it. In a fleet, "a human notices the FAILED gauge and bounces
+the process" does not scale past one tenant, so the
+:class:`FleetSupervisor` closes the loop: a background thread watches
+every tenant's health ladder and writer-thread liveness and recovers
+unhealthy tenants through the existing snapshot+replay recovery path
+(:meth:`~repro.tenants.manager.TenantManager.restart_tenant`).
+
+Recovery is deliberately bounded and observable:
+
+* **Exponential backoff** between attempts on one tenant -- a failing
+  restart must not busy-loop.
+* **Restart budget** (:class:`~repro.service.health.RestartBudget`): at
+  most K restarts per rolling window. A tenant that keeps crashing is
+  hitting a *deterministic* fault (corrupt state, a recovery bug);
+  restart K+1 would behave exactly like restart K, so the supervisor
+  parks it instead -- health PARKED, traffic refused, and a reason
+  record persisted under ``<root>/parked/`` with the restart history.
+* **Circuit breaker**: while recovery is in flight the tenant's ingest
+  is shed with a typed :class:`~repro.errors.TenantRecoveringError`
+  (HTTP ``503`` + ``Retry-After``) instead of racing the rebuild.
+* **Event log**: the last 256 supervisor decisions ride along in
+  ``/fleet/status`` so "what did the supervisor do at 3am" has an
+  answer.
+
+The supervisor never *invents* recovery: everything it does is a
+composition of manager operations an operator could issue by hand
+(``restart_tenant``, ``park``), which is also why the chaos sweep can
+assert its behavior end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.service.health import HealthState, RestartBudget
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tenants.manager import Tenant, TenantManager
+
+# Health states the supervisor recovers from. DEGRADED heals by itself
+# (clean-batch streak) and is not worth a restart; READ_ONLY and FAILED
+# are cleared *only* by a restart, which is exactly what we provide.
+_RECOVERABLE = (HealthState.READ_ONLY, HealthState.FAILED)
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning for the recovery loop (defaults suit a real deployment;
+    tests and chaos scenarios shrink every knob)."""
+
+    poll_interval: float = 0.25
+    backoff_base: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 30.0
+    max_restarts: int = 5
+    budget_window_seconds: float = 300.0
+    breaker_retry_after: float = 1.0
+
+
+@dataclass
+class _RecoveryPlan:
+    """In-flight recovery state for one unhealthy tenant."""
+
+    reason: str
+    attempts: int = 0
+    next_attempt: float = 0.0
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervisor decision, for the event log."""
+
+    unix: float
+    action: str  # unhealthy | restarted | restart-failed | recovered | parked | error
+    tenant_id: str
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "unix": self.unix,
+            "action": self.action,
+            "tenant": self.tenant_id,
+            "detail": self.detail,
+        }
+
+
+class FleetSupervisor:
+    """Watches a :class:`TenantManager`'s fleet and recovers tenants."""
+
+    def __init__(
+        self,
+        manager: "TenantManager",
+        config: SupervisorConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.manager = manager
+        self.config = config or SupervisorConfig()
+        self._clock = clock
+        self._plans: dict[str, _RecoveryPlan] = {}
+        # Budgets outlive plans on purpose: a tenant that "recovers"
+        # and promptly fails again is one crash loop, not N fresh
+        # incidents -- clearing history with the plan would make the
+        # budget unreachable.
+        self._budgets: dict[str, RestartBudget] = {}
+        self.events: deque[SupervisorEvent] = deque(maxlen=256)
+        self._lock = threading.RLock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FleetSupervisor":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop_event.set()
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.config.poll_interval):
+            try:
+                self.check_once()
+            except Exception as exc:  # noqa: BLE001 - the loop must survive
+                self._note("error", "", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # One supervision pass (also the test/chaos entry point)
+    # ------------------------------------------------------------------
+    def check_once(self) -> list[str]:
+        """Inspect every tenant; attempt due recoveries. Returns the ids
+        acted on (restarted or parked) this pass."""
+        acted: list[str] = []
+        with self._lock:
+            now = self._clock()
+            open_tenants = {
+                tenant.tenant_id: tenant for tenant in list(self.manager)
+            }
+            parked = set(self.manager.parked_ids())
+            # Tenants mid-recovery may be closed (a restart attempt
+            # died between teardown and reopen) -- keep chasing them.
+            for tenant_id in sorted(set(open_tenants) | set(self._plans)):
+                if tenant_id in parked:
+                    self._plans.pop(tenant_id, None)
+                    self.manager.clear_breaker(tenant_id)
+                    continue
+                reason = self._unhealthy_reason(open_tenants.get(tenant_id))
+                if reason is None:
+                    plan = self._plans.pop(tenant_id, None)
+                    if plan is not None:
+                        self.manager.clear_breaker(tenant_id)
+                        self._note(
+                            "recovered",
+                            tenant_id,
+                            f"healthy after {plan.attempts} restart(s)",
+                        )
+                    continue
+                if self._recover_one(tenant_id, reason, now):
+                    acted.append(tenant_id)
+        return acted
+
+    def _unhealthy_reason(self, tenant: "Tenant | None") -> str | None:
+        if tenant is None:
+            return "tenant not open (previous recovery attempt failed?)"
+        if not tenant.worker.alive:
+            death = tenant.worker.death_reason or "no reason recorded"
+            return f"writer thread dead: {death}"
+        state = tenant.service.health.state
+        if state in _RECOVERABLE:
+            error = tenant.service.health.last_error or "no error recorded"
+            return f"health {state.value}: {error}"
+        return None
+
+    def _recover_one(self, tenant_id: str, reason: str, now: float) -> bool:
+        plan = self._plans.get(tenant_id)
+        if plan is None:
+            plan = _RecoveryPlan(reason=reason, next_attempt=now)
+            self._plans[tenant_id] = plan
+            self.manager.set_breaker(
+                tenant_id, self.config.breaker_retry_after
+            )
+            self._note("unhealthy", tenant_id, reason)
+        if now < plan.next_attempt:
+            return False
+        budget = self._budgets.setdefault(
+            tenant_id,
+            RestartBudget(
+                max_restarts=self.config.max_restarts,
+                window_seconds=self.config.budget_window_seconds,
+            ),
+        )
+        if budget.exhausted(now):
+            self._plans.pop(tenant_id, None)
+            try:
+                self.manager.park(
+                    tenant_id,
+                    f"restart budget exhausted "
+                    f"({budget.max_restarts} restarts within "
+                    f"{budget.window_seconds:g}s); last fault: {reason}",
+                    by="supervisor",
+                    restarts=budget.history(),
+                )
+            except Exception as exc:  # noqa: BLE001 - keep supervising others
+                self._note(
+                    "error", tenant_id, f"park failed: {exc}"
+                )
+                return False
+            self.manager.clear_breaker(tenant_id)
+            self._note("parked", tenant_id, reason)
+            return True
+        budget.record(now)
+        plan.attempts += 1
+        delay = min(
+            self.config.backoff_max,
+            self.config.backoff_base
+            * (self.config.backoff_multiplier ** (plan.attempts - 1)),
+        )
+        try:
+            self.manager.restart_tenant(tenant_id)
+        except Exception as exc:  # noqa: BLE001 - retry with backoff
+            plan.next_attempt = self._clock() + delay
+            self._note(
+                "restart-failed",
+                tenant_id,
+                f"attempt {plan.attempts}: {type(exc).__name__}: {exc}",
+            )
+            return False
+        # Keep the plan (and breaker) until a later pass observes the
+        # reopened tenant healthy -- a restart that lands straight back
+        # in READ_ONLY must feed the same backoff series.
+        plan.next_attempt = self._clock() + delay
+        self._note(
+            "restarted", tenant_id, f"attempt {plan.attempts} ({reason})"
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _note(self, action: str, tenant_id: str, detail: str) -> None:
+        self.events.append(
+            SupervisorEvent(
+                unix=time.time(),
+                action=action,
+                tenant_id=tenant_id,
+                detail=detail,
+            )
+        )
+
+    def status(self) -> dict[str, object]:
+        """Supervisor vitals for ``/fleet/status``."""
+        with self._lock:
+            return {
+                "alive": self.alive,
+                "recovering": sorted(self._plans),
+                "restart_budgets": {
+                    tenant_id: len(budget.history())
+                    for tenant_id, budget in self._budgets.items()
+                    if budget.history()
+                },
+                "events": [event.to_dict() for event in list(self.events)],
+            }

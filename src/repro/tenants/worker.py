@@ -23,9 +23,17 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import ServiceHealthError, WorkloadError
+from repro.errors import FlushTimeoutError, ServiceHealthError, WorkloadError
+from repro.faults import fsops
 from repro.service.server import ProfilingService
 from repro.tenants.queue import IngestQueue, QueuedBatch
+
+# Thread-death injection: the chaos sweep kills a tenant's writer mid
+# drain (the thread is the failure domain here, not a file), and the
+# fleet supervisor must notice the dead worker and recover the tenant.
+SITE_WORKER_APPLY = fsops.register_site(
+    "tenants.worker.apply", "tenant writer thread about to apply a batch"
+)
 
 APPLIED = "applied"
 DUPLICATE = "duplicate"
@@ -80,8 +88,11 @@ class TenantWorker:
         self._idle = threading.Condition(self._state_lock)
         self._in_flight = False
         self._drained_total = 0
+        self.death_reason: str | None = None
         self._thread = threading.Thread(
-            target=self._run, name=f"tenant-writer-{tenant_id}", daemon=True
+            target=self._guarded_run,
+            name=f"tenant-writer-{tenant_id}",
+            daemon=True,
         )
 
     # ------------------------------------------------------------------
@@ -92,13 +103,21 @@ class TenantWorker:
         return self
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop the writer; by default finish the queued work first."""
-        if drain:
-            self.flush(timeout=timeout)
+        """Stop the writer; by default finish the queued work first.
+
+        With ``drain=True`` an expired deadline is an *error*: raising
+        :class:`~repro.errors.FlushTimeoutError` instead of returning
+        quietly keeps "stopped" from ever meaning "dropped queued
+        batches on the floor". ``drain=False`` is the explicit opt-out
+        (forced drops, crash simulation).
+        """
+        drained = self.flush(timeout=timeout) if drain else True
         self._stop.set()
         self.queue.close()
         if self._thread.is_alive():
             self._thread.join(timeout=timeout)
+        if drain and not drained:
+            raise FlushTimeoutError(self.tenant_id, self.queue.depth())
 
     def pause(self) -> None:
         """Suspend draining (operator drains, deterministic 429 tests).
@@ -146,6 +165,23 @@ class TenantWorker:
     # ------------------------------------------------------------------
     # The drain loop
     # ------------------------------------------------------------------
+    def _guarded_run(self) -> None:
+        """The thread body: record *why* the writer died, then die.
+
+        A writer thread can be killed by injected chaos (``CrashPoint``
+        is a BaseException precisely so nothing absorbs it) or by a bug
+        this layer did not anticipate. Either way the thread must not
+        vanish silently: the supervisor polls ``alive`` and reads
+        ``death_reason`` to explain the recovery it triggers.
+        """
+        try:
+            self._run()
+        except BaseException as exc:  # noqa: BLE001 - the death IS the event
+            self.death_reason = f"{type(exc).__name__}: {exc}"
+            with self._idle:
+                self._in_flight = False
+                self._idle.notify_all()
+
     def _run(self) -> None:
         while True:
             if self._pause.is_set():
@@ -160,6 +196,11 @@ class TenantWorker:
                 if self._stop.is_set() and self.queue.depth() == 0:
                     return
                 continue
+            # Thread-death fault site: a CrashPoint here kills the
+            # writer with the batch un-applied (the token never
+            # committed, so a supervised re-ingest replays it exactly
+            # once).
+            fsops.check(SITE_WORKER_APPLY)
             with self._state_lock:
                 self._in_flight = True
             try:

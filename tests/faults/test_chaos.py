@@ -97,6 +97,7 @@ class TestSweep:
                 "lock",
                 "relation",
                 "tenants",
+                "http",
             ), f"no chaos runner covers site {site}"
 
     def test_failure_shape(self):

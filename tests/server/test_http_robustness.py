@@ -1,0 +1,275 @@
+"""HTTP robustness: slow-loris defenses, bounded reads, typed failures.
+
+Misbehaving clients -- stalled senders, header stuffing, bodies that
+lie about their length -- must cost the server one counted, dropped
+connection, never a pinned handler thread or a half-parsed request
+dispatched as if it were real. The operator levers (recover, force
+drop) and the typed 5xx contract (504 flush_timeout, 503
+tenant_parked / tenant_recovering with Retry-After) are exercised over
+real sockets.
+"""
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server.app import ReproServerApp
+from repro.server.http import MAX_BODY_BYTES, serve_in_thread
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import TenantManager
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        columns=("Name", "Phone", "Age"),
+        algorithm="bruteforce",
+        fsync=False,
+    )
+    defaults.update(overrides)
+    return TenantConfig(**defaults)
+
+
+@pytest.fixture
+def manager(tmp_path):
+    with TenantManager(
+        str(tmp_path / "fleet"), sleep=lambda _s: None
+    ) as manager:
+        yield manager
+
+
+def start_server(manager, request_timeout=5.0):
+    app = ReproServerApp(manager)
+    handle = serve_in_thread(app, request_timeout=request_timeout)
+    return app, handle
+
+
+def request(url, method, path, body=None, headers=(), raw_body=None):
+    data = raw_body
+    if data is None and body is not None:
+        data = json.dumps(body).encode()
+    req = urllib.request.Request(
+        url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json", **dict(headers)},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode()), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode()), exc.headers
+
+
+def wait_for_counter(app, name, minimum=1, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if app.metrics.counter(name).value >= minimum:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestSlowClients:
+    def test_stalled_request_line_times_out(self, manager):
+        _app, handle = start_server(manager, request_timeout=0.3)
+        try:
+            sock = socket.create_connection(handle.address, timeout=5.0)
+            try:
+                sock.sendall(b"GET /healthz HT")  # ... and never finish
+                sock.settimeout(5.0)
+                # The server drops the line instead of waiting forever.
+                assert sock.recv(4096) == b""
+            finally:
+                sock.close()
+        finally:
+            handle.close()
+
+    def test_stalled_body_times_out_and_is_counted(self, manager):
+        manager.create("t1", make_config(), initial_rows=ROWS)
+        app, handle = start_server(manager, request_timeout=0.3)
+        try:
+            sock = socket.create_connection(handle.address, timeout=5.0)
+            try:
+                sock.sendall(
+                    b"POST /tenants/t1/batches HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 512\r\n\r\n"
+                    b'{"kind'  # stall with 506 bytes outstanding
+                )
+                assert wait_for_counter(app, "http_timeouts_total")
+                sock.settimeout(5.0)
+                assert sock.recv(4096) == b""
+            finally:
+                sock.close()
+        finally:
+            handle.close()
+        # Nothing was dispatched from the truncated payload.
+        assert len(manager.get("t1").service.profiler.relation) == 3
+
+
+class TestBoundedReads:
+    def test_header_stuffing_gets_431(self, manager):
+        _app, handle = start_server(manager)
+        try:
+            status, doc, _headers = request(
+                handle.url,
+                "GET",
+                "/healthz",
+                headers=[("X-Pad", "a" * 20_000)],
+            )
+            assert status == 431
+            assert doc["error"]["code"] == "headers_too_large"
+        finally:
+            handle.close()
+
+    def test_oversized_body_refused_before_reading(self, manager):
+        _app, handle = start_server(manager)
+        try:
+            sock = socket.create_connection(handle.address, timeout=5.0)
+            try:
+                # Claim a body one byte past the cap; send none of it.
+                # The 413 must come back *before* any body is read.
+                sock.sendall(
+                    b"POST /tenants/t1/batches HTTP/1.1\r\n"
+                    b"Host: x\r\nConnection: close\r\n"
+                    b"Content-Length: %d\r\n\r\n" % (MAX_BODY_BYTES + 1)
+                )
+                sock.settimeout(5.0)
+                response = b""
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    response += chunk
+                assert b" 413 " in response
+                assert b"body_too_large" in response
+            finally:
+                sock.close()
+        finally:
+            handle.close()
+
+    def test_truncated_body_is_dropped_and_counted(self, manager):
+        manager.create("t1", make_config(), initial_rows=ROWS)
+        app, handle = start_server(manager)
+        try:
+            sock = socket.create_connection(handle.address, timeout=5.0)
+            try:
+                sock.sendall(
+                    b"POST /tenants/t1/batches HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 4096\r\n\r\n"
+                    b'{"kind": "insert"'
+                )
+            finally:
+                sock.close()  # hang up with most of the body unsent
+            assert wait_for_counter(app, "http_resets_total")
+            # The short payload was never dispatched as a request.
+            assert manager.flush("t1")
+            assert len(manager.get("t1").service.profiler.relation) == 3
+            # Transport counters are visible to operators in /healthz.
+            status, doc, _headers = request(handle.url, "GET", "/healthz")
+            assert status == 200
+            assert doc["transport"]["http_resets_total"] >= 1
+        finally:
+            handle.close()
+
+    def test_malformed_json_is_400(self, manager):
+        manager.create("t1", make_config(), initial_rows=ROWS)
+        _app, handle = start_server(manager)
+        try:
+            status, doc, _headers = request(
+                handle.url,
+                "POST",
+                "/tenants/t1/batches",
+                raw_body=b"{not json",
+            )
+            assert status == 400
+            assert doc["error"]["code"] == "bad_request"
+        finally:
+            handle.close()
+
+
+class TestOperatorLevers:
+    def test_parked_tenant_503_then_recover_endpoint(self, manager):
+        manager.create("t1", make_config(), initial_rows=ROWS)
+        _app, handle = start_server(manager)
+        try:
+            manager.park("t1", "operator drill", by="operator")
+            status, doc, _headers = request(
+                handle.url,
+                "POST",
+                "/tenants/t1/batches",
+                {"kind": "insert", "rows": [["Ada", "111", "9"]]},
+            )
+            assert status == 503
+            assert doc["error"]["code"] == "tenant_parked"
+            assert "operator drill" in doc["error"]["reason"]
+
+            status, doc, _headers = request(
+                handle.url, "POST", "/tenants/t1/recover", {}
+            )
+            assert status == 200
+            assert doc["recovered"] is True
+            assert doc["health"] == "serving"
+            assert doc["live_rows"] == 3
+            status, doc, _headers = request(
+                handle.url,
+                "POST",
+                "/tenants/t1/batches",
+                {"kind": "insert", "rows": [["Ada", "111", "9"]]},
+            )
+            assert status == 202
+        finally:
+            handle.close()
+
+    def test_recovering_tenant_503_with_retry_after(self, manager):
+        manager.create("t1", make_config(), initial_rows=ROWS)
+        _app, handle = start_server(manager)
+        try:
+            manager.set_breaker("t1", retry_after=2.0)
+            status, doc, headers = request(
+                handle.url,
+                "POST",
+                "/tenants/t1/batches",
+                {"kind": "insert", "rows": [["Ada", "111", "9"]]},
+            )
+            assert status == 503
+            assert doc["error"]["code"] == "tenant_recovering"
+            assert headers["Retry-After"] == "2"
+            manager.clear_breaker("t1")
+        finally:
+            handle.close()
+
+    def test_delete_of_stuck_tenant_504_then_force(self, manager):
+        tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+        _app, handle = start_server(manager)
+        try:
+            tenant.worker.pause()
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            status, doc, _headers = request(
+                handle.url, "DELETE", "/tenants/t1"
+            )
+            assert status == 504
+            assert doc["error"]["code"] == "flush_timeout"
+            assert doc["error"]["pending_batches"] == 1
+            # The DELETE was refused: the tenant keeps serving.
+            assert manager.is_open("t1")
+
+            status, doc, _headers = request(
+                handle.url, "DELETE", "/tenants/t1?force=true"
+            )
+            assert status == 200
+            assert doc["dropped"] is True
+            assert manager.tenant_ids() == []
+        finally:
+            handle.close()

@@ -1,6 +1,9 @@
-"""Tests for the SERVING -> DEGRADED -> READ_ONLY -> FAILED ladder."""
+"""Tests for the SERVING -> DEGRADED -> READ_ONLY -> FAILED -> PARKED
+ladder and the supervisor's restart budget."""
 
-from repro.service.health import HealthMonitor, HealthState
+import pytest
+
+from repro.service.health import HealthMonitor, HealthState, RestartBudget
 
 
 class TestTransitions:
@@ -92,3 +95,69 @@ class TestHealing:
         monitor.mark_degraded("hiccup")
         monitor.note_clean_batch(threshold=1)
         assert monitor.transitions[-1][:2] == ("degraded", "serving")
+
+
+class TestParked:
+    def test_parked_is_the_worst_state(self):
+        monitor = HealthMonitor()
+        monitor.mark_parked("restart budget exhausted")
+        assert monitor.state is HealthState.PARKED
+        assert monitor.severity == 4
+        assert not monitor.can_write
+        assert monitor.last_error == "restart budget exhausted"
+
+    def test_parked_outranks_failed(self):
+        monitor = HealthMonitor()
+        monitor.mark_failed("profile distrusted")
+        monitor.mark_parked("supervisor gave up")
+        assert monitor.state is HealthState.PARKED
+        # ... and nothing in-process moves it back down.
+        monitor.mark_degraded("late retry")
+        for _ in range(10):
+            monitor.note_clean_batch(threshold=1)
+        assert monitor.state is HealthState.PARKED
+
+    def test_time_in_state_tracks_the_latest_transition(self):
+        monitor = HealthMonitor()
+        entered = monitor.state_entered_unix
+        assert monitor.time_in_state(now=entered + 7.5) == 7.5
+        monitor.mark_read_only("append exhausted")
+        assert monitor.state_entered_unix >= entered
+        # A clock that runs backwards never reports negative age.
+        assert monitor.time_in_state(now=monitor.state_entered_unix - 5) == 0.0
+
+    def test_same_state_fault_keeps_the_entry_stamp(self):
+        monitor = HealthMonitor()
+        monitor.mark_degraded("first")
+        entered = monitor.state_entered_unix
+        monitor.mark_degraded("second")  # no transition, stamp unchanged
+        assert monitor.state_entered_unix == entered
+
+
+class TestRestartBudget:
+    def test_exhausts_after_max_restarts(self):
+        budget = RestartBudget(max_restarts=3, window_seconds=100.0)
+        assert not budget.exhausted(now=0.0)
+        for stamp in (1.0, 2.0):
+            budget.record(now=stamp)
+            assert not budget.exhausted(now=stamp)
+        budget.record(now=3.0)
+        assert budget.exhausted(now=3.0)
+        assert budget.history() == [1.0, 2.0, 3.0]
+
+    def test_window_forgives_old_restarts(self):
+        budget = RestartBudget(max_restarts=2, window_seconds=10.0)
+        budget.record(now=0.0)
+        budget.record(now=1.0)
+        assert budget.exhausted(now=5.0)
+        # The first restart ages out of the rolling window.
+        assert not budget.exhausted(now=10.5)
+        assert budget.history() == [1.0]
+        budget.record(now=10.6)
+        assert budget.exhausted(now=10.7)
+
+    def test_rejects_nonsense_limits(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            RestartBudget(max_restarts=0)
+        with pytest.raises(ValueError, match="window_seconds"):
+            RestartBudget(window_seconds=0.0)

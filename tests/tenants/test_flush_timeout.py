@@ -1,0 +1,107 @@
+"""Satellite regression: flush timeouts surface as typed errors.
+
+A drain deadline that expires must never be swallowed -- "stopped" or
+"dropped" silently meaning "queued batches discarded" is exactly the
+bug these tests pin down. The worker raises
+:class:`~repro.errors.FlushTimeoutError`, the manager propagates it
+(HTTP 504 at the edge), and shutdown collects instead of aborting.
+"""
+
+import pytest
+
+from repro.errors import FlushTimeoutError
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import TenantManager
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        columns=("Name", "Phone", "Age"),
+        algorithm="bruteforce",
+        fsync=False,
+    )
+    defaults.update(overrides)
+    return TenantConfig(**defaults)
+
+
+def make_manager(tmp_path):
+    return TenantManager(str(tmp_path / "fleet"), sleep=lambda _s: None)
+
+
+def make_stuck_tenant(manager, tenant_id="t1"):
+    """A tenant whose queue holds work its writer will never drain."""
+    tenant = manager.create(tenant_id, make_config(), initial_rows=ROWS)
+    tenant.worker.pause()
+    manager.ingest(tenant_id, "insert", rows=[("Ada", "111", "9")])
+    return tenant
+
+
+class TestWorkerStop:
+    def test_stop_with_drain_raises_on_timeout(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = make_stuck_tenant(manager)
+            with pytest.raises(FlushTimeoutError) as excinfo:
+                tenant.worker.stop(drain=True, timeout=0.2)
+            assert excinfo.value.tenant_id == "t1"
+            assert excinfo.value.pending_batches == 1
+
+    def test_stop_without_drain_is_the_explicit_opt_out(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = make_stuck_tenant(manager)
+            tenant.worker.stop(drain=False, timeout=0.2)
+            assert not tenant.worker.alive
+
+    def test_close_raises_but_still_stops_the_service(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = make_stuck_tenant(manager)
+            with pytest.raises(FlushTimeoutError):
+                manager.close("t1")
+            # The error must not leak a running service behind it.
+            assert not tenant.service.started
+            assert not manager.is_open("t1")
+
+
+class TestDrop:
+    def test_drop_fails_and_leaves_tenant_running(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = make_stuck_tenant(manager)
+            with pytest.raises(FlushTimeoutError) as excinfo:
+                manager.drop("t1", drain_timeout=0.2)
+            assert excinfo.value.pending_batches == 1
+            # The drop did NOT go through: the tenant keeps serving and
+            # the admitted batch is still queued, not discarded.
+            assert manager.is_open("t1")
+            assert tenant.queue.depth() == 1
+            tenant.worker.resume()
+            assert manager.flush("t1")
+            assert manager.drop("t1")
+            assert manager.tenant_ids() == []
+
+    def test_force_drop_skips_the_drain(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            make_stuck_tenant(manager)
+            parked = manager.drop("t1", force=True, drain_timeout=0.2)
+            assert "dropped" in parked
+            assert manager.tenant_ids() == []
+
+
+class TestShutdown:
+    def test_close_all_collects_drain_failures(self, tmp_path):
+        manager = make_manager(tmp_path)
+        make_stuck_tenant(manager, "stuck")
+        manager.create("healthy", make_config(), initial_rows=ROWS)
+        # Shutdown must not abort halfway because one queue is stuck:
+        # both tenants stop, and the failed drain is recorded.
+        manager.close_all()
+        assert not manager.is_open("stuck")
+        assert not manager.is_open("healthy")
+        assert len(manager.drain_failures) == 1
+        failure = manager.drain_failures[0]
+        assert isinstance(failure, FlushTimeoutError)
+        assert failure.tenant_id == "stuck"

@@ -67,3 +67,50 @@ class TestRegistryNamespace:
         finally:
             a.stop()
             b.stop()
+
+
+class TestRuntimeGaugeIsolation:
+    """Supervisor-era gauges must stay per-tenant across restarts.
+
+    ``restarts_total`` lives in the *manager* (every reopen builds a
+    fresh registry) and is stamped into each new registry; restarting
+    one tenant must never bleed into a co-hosted sibling's gauges.
+    """
+
+    def test_restart_gauges_do_not_leak_across_tenants(self, tmp_path):
+        from repro.tenants.config import TenantConfig
+        from repro.tenants.manager import TenantManager
+
+        config = TenantConfig(
+            columns=("Name", "Phone", "Age"),
+            algorithm="bruteforce",
+            fsync=False,
+        )
+        with TenantManager(
+            str(tmp_path / "fleet"), sleep=lambda _s: None
+        ) as manager:
+            manager.create("tenant-a", config, initial_rows=ROWS)
+            manager.create("tenant-b", config, initial_rows=ROWS)
+            manager.restart_tenant("tenant-a")
+            manager.restart_tenant("tenant-a")
+
+            a = manager.get("tenant-a").service
+            b = manager.get("tenant-b").service
+            assert a.metrics.gauge("restarts_total").value == 2
+            assert b.metrics.gauge("restarts_total").value == 0
+            assert a.metrics.gauge("last_recovery_duration_seconds").value >= 0
+
+            # The fleet document aggregates and attributes them.
+            fleet = manager.fleet_status()
+            assert fleet["totals"]["restarts_total"] == 2
+            a_gauges = fleet["tenants"]["tenant-a"]["gauges"]
+            b_gauges = fleet["tenants"]["tenant-b"]["gauges"]
+            assert a_gauges["restarts_total"] == 2
+            assert b_gauges.get("restarts_total", 0) == 0
+            # Liveness gauges are present and sane for both tenants.
+            for gauges in (a_gauges, b_gauges):
+                assert gauges["uptime_seconds"] >= 0
+                assert gauges["time_in_state_seconds"] >= 0
+            # The restarted tenant's clocks reset; its registry is new.
+            assert a.metrics.to_dict()["namespace"] == "tenant-a"
+            assert b.metrics.to_dict()["namespace"] == "tenant-b"

@@ -1,0 +1,182 @@
+"""Startup reconciliation: registry vs. on-disk state dirs.
+
+A crash inside a lifecycle operation can leave the registry and the
+``tenants/`` directory disagreeing in either direction. Serving through
+the disagreement risks a wrong answer, so every divergence must land in
+PARKED with a persisted reason -- never be silently dropped, and never
+let a tenant id be double-assigned onto leftover state.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TenantError, TenantExistsError, TenantParkedError
+from repro.faults.injector import CRASH, CrashPoint, FaultInjector, FaultPlan, active
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import TenantManager
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        columns=("Name", "Phone", "Age"),
+        algorithm="bruteforce",
+        fsync=False,
+    )
+    defaults.update(overrides)
+    return TenantConfig(**defaults)
+
+
+class TestOrphanStateDir:
+    def test_orphan_dir_is_parked_not_dropped(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        os.makedirs(os.path.join(root, "tenants", "orphan"))
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            assert manager.parked_ids() == ["orphan"]
+            record = manager.parked_record("orphan")
+            assert record is not None
+            assert record["by"] == "reconcile"
+            assert record["registered"] is False
+            assert "orphan state dir" in record["reason"]
+            # Visible (with the reason) everywhere an operator looks.
+            assert manager.tenant_ids() == ["orphan"]
+            status = manager.tenant_status("orphan")
+            assert status["health"] == "parked"
+
+    def test_orphan_cannot_be_recovered_only_dropped(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        os.makedirs(os.path.join(root, "tenants", "orphan"))
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            # No registry entry means no config to reopen it with.
+            with pytest.raises(TenantError, match="orphan"):
+                manager.recover("orphan")
+            parked = manager.drop("orphan")
+            # Drop preserves the evidence under dropped/.
+            assert os.path.isdir(parked) and "dropped" in parked
+            assert manager.parked_ids() == []
+
+    def test_orphan_id_is_never_double_assigned(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        os.makedirs(os.path.join(root, "tenants", "orphan"))
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            with pytest.raises(TenantParkedError):
+                manager.create("orphan", make_config())
+
+    def test_leftover_unregistered_dir_blocks_create(self, tmp_path):
+        with TenantManager(
+            str(tmp_path / "fleet"), sleep=lambda _s: None
+        ) as manager:
+            # A dir appearing *after* boot (so reconciliation never saw
+            # it) is evidence of a crashed lifecycle op, not free real
+            # estate: create must refuse rather than adopt it.
+            os.makedirs(os.path.join(manager.root_dir, "tenants", "left"))
+            with pytest.raises(TenantExistsError):
+                manager.create("left", make_config())
+
+
+class TestMissingStateDir:
+    def test_registered_without_dir_is_parked(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+        import shutil
+
+        shutil.rmtree(os.path.join(root, "tenants", "t1"))
+        with TenantManager(root, sleep=lambda _s: None) as reopened:
+            assert reopened.parked_ids() == ["t1"]
+            record = reopened.parked_record("t1")
+            assert record is not None
+            assert record["by"] == "reconcile"
+            assert record["registered"] is True
+            assert "state dir missing" in record["reason"]
+            # Boot does not silently serve an empty profile for it.
+            assert reopened.open_all() == []
+            # The operator's recover is the explicit "boot it empty".
+            tenant = reopened.recover("t1")
+            assert len(tenant.service.profiler.relation) == 0
+
+
+class TestCrashInjectedDivergence:
+    def test_crash_during_create_registry_publish(self, tmp_path):
+        """Order 1: state dir exists, registry publish never landed."""
+        root = str(tmp_path / "fleet")
+        manager = TenantManager(root, sleep=lambda _s: None)
+        injector = FaultInjector(
+            FaultPlan.one_shot("tenants.registry.replace", kind=CRASH)
+        )
+        with active(injector):
+            with pytest.raises(CrashPoint):
+                manager.create("t1", make_config(), initial_rows=ROWS)
+        assert injector.fired_at("tenants.registry.replace") == 1
+        assert os.path.isdir(os.path.join(root, "tenants", "t1"))
+        # Simulated process death: abandon the manager, boot a new one.
+        with TenantManager(root, sleep=lambda _s: None) as recovered:
+            assert recovered.parked_ids() == ["t1"]
+            record = recovered.parked_record("t1")
+            assert record is not None and record["by"] == "reconcile"
+            with pytest.raises(TenantParkedError):
+                recovered.create("t1", make_config())
+
+    def test_crash_during_drop_state_move(self, tmp_path):
+        """Order 2: registry updated, the state move never landed."""
+        root = str(tmp_path / "fleet")
+        manager = TenantManager(root, sleep=lambda _s: None)
+        manager.create("t1", make_config(), initial_rows=ROWS)
+        assert manager.flush_all()
+        injector = FaultInjector(
+            FaultPlan.one_shot("tenants.drop.replace", kind=CRASH)
+        )
+        with active(injector):
+            with pytest.raises(CrashPoint):
+                manager.drop("t1")
+        assert injector.fired_at("tenants.drop.replace") == 1
+        # The registry no longer knows t1 but its state dir survived.
+        with TenantManager(root, sleep=lambda _s: None) as recovered:
+            assert recovered.parked_ids() == ["t1"]
+            record = recovered.parked_record("t1")
+            assert record is not None
+            assert record["registered"] is False
+            # The committed rows are still on disk under the parked dir
+            # for forensics; nothing was silently destroyed.
+            assert os.path.isdir(os.path.join(root, "tenants", "t1"))
+
+
+class TestParkedRecords:
+    def test_torn_parked_record_still_parks(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.park("t1", "operator drill", by="operator")
+        # Tear the record on disk: losing the reason must not un-park.
+        path = os.path.join(root, "parked", "t1.json")
+        with open(path, "w") as handle:
+            handle.write('{"reason": "operator dri')
+        with TenantManager(root, sleep=lambda _s: None) as reopened:
+            assert reopened.parked_ids() == ["t1"]
+            record = reopened.parked_record("t1")
+            assert record is not None
+            assert "unreadable" in record["reason"]
+            with pytest.raises(TenantParkedError):
+                reopened.get("t1")
+
+    def test_parked_record_is_well_formed_json(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.park(
+                "t1", "drill", by="operator", restarts=[1.0, 2.0]
+            )
+        with open(os.path.join(root, "parked", "t1.json")) as handle:
+            record = json.load(handle)
+        assert record["tenant"] == "t1"
+        assert record["by"] == "operator"
+        assert record["restarts"] == [1.0, 2.0]
+        assert record["registered"] is True
+        assert record["parked_unix"] > 0

@@ -1,0 +1,282 @@
+"""FleetSupervisor: dead-writer recovery, restart budgets, breakers.
+
+The supervisor is driven here via ``check_once()`` -- never ``start()``
+-- so every test is deterministic: each pass either restarts an
+unhealthy tenant, observes a recovered one (clearing its plan and
+breaker), or parks a tenant whose restart budget is spent.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import TenantParkedError, TenantRecoveringError
+from repro.faults.injector import CRASH, FaultInjector, FaultPlan, active
+from repro.service.health import HealthState
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import TenantManager
+from repro.tenants.supervisor import FleetSupervisor, SupervisorConfig
+from repro.tenants.worker import SITE_WORKER_APPLY
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        columns=("Name", "Phone", "Age"),
+        algorithm="bruteforce",
+        fsync=False,
+    )
+    defaults.update(overrides)
+    return TenantConfig(**defaults)
+
+
+def make_manager(tmp_path):
+    return TenantManager(str(tmp_path / "fleet"), sleep=lambda _s: None)
+
+
+def make_supervisor(manager, max_restarts=3, **overrides):
+    config = dict(
+        poll_interval=0.01,
+        backoff_base=0.0,
+        backoff_max=0.0,
+        max_restarts=max_restarts,
+        budget_window_seconds=300.0,
+        breaker_retry_after=0.25,
+    )
+    config.update(overrides)
+    return FleetSupervisor(manager, config=SupervisorConfig(**config))
+
+
+def wait_for_worker_death(tenant, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while tenant.worker.alive and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return not tenant.worker.alive
+
+
+class TestWorkerDeathRecovery:
+    def test_dead_writer_is_restarted_and_batch_replays(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager)
+            injector = FaultInjector(
+                FaultPlan.one_shot(SITE_WORKER_APPLY, kind=CRASH)
+            )
+            with active(injector):
+                manager.ingest(
+                    "t1", "insert", rows=[("Ada", "111", "9")], token="tok-1"
+                )
+                assert wait_for_worker_death(tenant)
+            assert injector.fired_at(SITE_WORKER_APPLY) == 1
+            assert tenant.worker.death_reason is not None
+            assert "CrashPoint" in tenant.worker.death_reason
+
+            # Pass 1 restarts; pass 2 observes the reopened tenant
+            # healthy and clears the plan + breaker.
+            assert supervisor.check_once() == ["t1"]
+            assert supervisor.check_once() == []
+            reopened = manager.get("t1")
+            assert reopened.worker.alive
+            assert reopened.service.health.state is HealthState.SERVING
+
+            # The killed batch was never applied and its token never
+            # committed: the supervised re-ingest replays exactly once.
+            receipt = manager.ingest(
+                "t1", "insert", rows=[("Ada", "111", "9")], token="tok-1"
+            )
+            assert receipt["outcome"] == "enqueued"
+            assert manager.flush("t1")
+            assert len(manager.get("t1").service.profiler.relation) == 4
+
+    def test_recovery_events_are_logged(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager)
+            injector = FaultInjector(
+                FaultPlan.one_shot(SITE_WORKER_APPLY, kind=CRASH)
+            )
+            with active(injector):
+                manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+                assert wait_for_worker_death(tenant)
+            supervisor.check_once()
+            supervisor.check_once()
+            actions = [event.action for event in supervisor.events]
+            assert actions == ["unhealthy", "restarted", "recovered"]
+            unhealthy = next(iter(supervisor.events))
+            assert "writer thread dead" in unhealthy.detail
+            status = supervisor.status()
+            assert status["recovering"] == []
+            assert status["restart_budgets"] == {"t1": 1}
+            assert [e["action"] for e in status["events"]] == actions
+
+
+class TestRestartBudgetParks:
+    def drive_to_parked(self, manager, supervisor, tenant_id, max_passes=20):
+        """Re-break the tenant every time it comes back healthy."""
+        for _ in range(max_passes):
+            if tenant_id in manager.parked_ids():
+                return
+            if manager.is_open(tenant_id):
+                tenant = manager.get(tenant_id)
+                if tenant.service.health.state is HealthState.SERVING:
+                    tenant.service.health.mark_read_only("induced fault")
+            supervisor.check_once()
+        raise AssertionError(f"{tenant_id} never parked")
+
+    def test_crash_loop_exhausts_budget_and_parks(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager, max_restarts=2)
+            self.drive_to_parked(manager, supervisor, "t1")
+
+            record = manager.parked_record("t1")
+            assert record is not None
+            assert record["by"] == "supervisor"
+            assert "restart budget exhausted" in record["reason"]
+            # The budget demonstrably stopped the loop: exactly
+            # max_restarts restarts, stamped in the record.
+            assert len(record["restarts"]) == 2
+            record_path = os.path.join(
+                manager.root_dir, "parked", "t1.json"
+            )
+            assert os.path.exists(record_path)
+
+            # Parked refuses all traffic until an operator steps in.
+            assert not manager.is_open("t1")
+            with pytest.raises(TenantParkedError):
+                manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            with pytest.raises(TenantParkedError):
+                manager.get("t1")
+            # ... and the supervisor leaves it alone.
+            assert supervisor.check_once() == []
+            assert "parked" in [e.action for e in supervisor.events]
+
+    def test_operator_recover_clears_parked_record(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager, max_restarts=1)
+            self.drive_to_parked(manager, supervisor, "t1")
+
+            tenant = manager.recover("t1")
+            assert tenant.service.health.state is HealthState.SERVING
+            assert manager.parked_record("t1") is None
+            assert not os.path.exists(
+                os.path.join(manager.root_dir, "parked", "t1.json")
+            )
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush("t1")
+            assert len(manager.get("t1").service.profiler.relation) == 4
+
+    def test_parked_record_survives_manager_restart(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager, max_restarts=1)
+            self.drive_to_parked(manager, supervisor, "t1")
+
+        with TenantManager(root, sleep=lambda _s: None) as reopened:
+            assert reopened.parked_ids() == ["t1"]
+            assert reopened.open_all() == []
+            record = reopened.parked_record("t1")
+            assert record is not None and record["by"] == "supervisor"
+            # Recovery still works from the durable state.
+            tenant = reopened.recover("t1")
+            assert len(tenant.service.profiler.relation) == 3
+
+
+class TestCircuitBreaker:
+    def test_ingest_shed_while_recovery_in_flight(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            tenant = manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager)
+            tenant.service.health.mark_read_only("induced fault")
+            # Pass 1 restarts but keeps the plan (and breaker) until a
+            # later pass observes the reopened tenant healthy.
+            assert supervisor.check_once() == ["t1"]
+            assert manager.breaker_open("t1")
+            with pytest.raises(TenantRecoveringError) as excinfo:
+                manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert excinfo.value.retry_after == 0.25
+            assert supervisor.check_once() == []
+            assert not manager.breaker_open("t1")
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush("t1")
+
+    def test_parking_clears_the_breaker(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager, max_restarts=1)
+            TestRestartBudgetParks().drive_to_parked(
+                manager, supervisor, "t1"
+            )
+            # A parked tenant answers with its parked record, not a
+            # breaker retry hint.
+            assert not manager.breaker_open("t1")
+            with pytest.raises(TenantParkedError):
+                manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+
+
+class TestBackoff:
+    def test_exponential_backoff_between_attempts(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            now = {"t": 0.0}
+            supervisor = FleetSupervisor(
+                manager,
+                config=SupervisorConfig(
+                    backoff_base=10.0,
+                    backoff_multiplier=2.0,
+                    backoff_max=100.0,
+                    max_restarts=10,
+                ),
+                clock=lambda: now["t"],
+            )
+            manager.get("t1").service.health.mark_read_only("fault 1")
+            assert supervisor.check_once() == ["t1"]  # attempt 1 at t=0
+            # The restart "succeeded" but the tenant promptly breaks
+            # again: the same plan's backoff must gate attempt 2.
+            manager.get("t1").service.health.mark_read_only("fault 2")
+            assert supervisor.check_once() == []  # t=0 < next_attempt=10
+            now["t"] = 5.0
+            assert supervisor.check_once() == []  # still inside backoff
+            now["t"] = 10.5
+            assert supervisor.check_once() == ["t1"]  # attempt 2
+            # Attempt 2 doubles the delay: next attempt not before 30.5.
+            manager.get("t1").service.health.mark_read_only("fault 3")
+            now["t"] = 20.0
+            assert supervisor.check_once() == []
+            now["t"] = 31.0
+            assert supervisor.check_once() == ["t1"]  # attempt 3
+
+
+class TestRestartAccounting:
+    def test_restarts_total_survives_reopen(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.restart_tenant("t1")
+            manager.restart_tenant("t1")
+            # Every reopen builds a fresh metrics registry; the manager
+            # re-stamps the counter that must survive restarts.
+            gauges = manager.get("t1").service.metrics
+            assert gauges.gauge("restarts_total").value == 2
+            assert (
+                gauges.gauge("last_recovery_duration_seconds").value >= 0.0
+            )
+            # The profile itself survived both restarts.
+            assert len(manager.get("t1").service.profiler.relation) == 3
+
+    def test_supervisor_thread_start_stop(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            supervisor = make_supervisor(manager).start()
+            assert supervisor.alive
+            assert supervisor.start() is supervisor  # idempotent
+            supervisor.stop()
+            assert not supervisor.alive
+            assert supervisor.status()["alive"] is False
