@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Execution-mode scaling benchmark: scalar reference vs SWAN fan-out.
+
+Runs one repeated-delete workload through the frozen scalar pipeline
+(``repro.core.reference.ReferenceDynamicRunner`` -- pointer PLIs probed
+one tuple at a time) and through ``SwanProfiler`` in several execution
+configurations: serial, thread fan-out, and process fan-out at 2 and 4
+workers. Every configuration's per-batch (MUCS, MNUCS) profile must be
+bit-identical to the scalar reference's; the script aborts otherwise,
+so a "fast but wrong" result can never be recorded.
+
+The headline number is the speedup of each configuration over the
+scalar reference. On a single-CPU machine the process pool cannot beat
+the thread pool on wall clock -- the speedup there comes from the
+vectorized kernels and the cross-batch partition cache, and the report
+records ``cpus`` so readers can interpret the scaling columns.
+
+Methodology: the timed region covers only profiler work. Dataset
+generation, holistic discovery, driver construction (including the
+reference runner's PLI builds), and workload materialization -- the
+``delete_batch_ids`` sampling is replayed against a throwaway relation
+up front -- all happen before the clock starts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scale.py \
+        [--rows 6000] [--rounds 3] \
+        [--output bench_results/BENCH_parallel_scale.json] \
+        [--baseline benchmarks/baselines/bench_parallel_scale.json] \
+        [--min-speedup 2.5] [--max-regression 2.0]
+
+Exit status: 0 on success; 1 when profiles diverge, when the
+``process-4`` speedup over the scalar reference falls below
+``--min-speedup``, or, with ``--baseline``, when that speedup drops
+below the committed value divided by ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.reference import ReferenceDynamicRunner  # noqa: E402
+from repro.core.swan import SwanProfiler  # noqa: E402
+from repro.datasets.ncvoter import ncvoter_relation  # noqa: E402
+from repro.datasets.workload import delete_batch_ids  # noqa: E402
+
+COLS = 20
+SEED = 7
+
+GATED_CONFIG = "process-4"
+
+
+def materialize_batches(rows: int, n_batches: int, fraction: float):
+    """Pre-sample every delete batch against a throwaway relation."""
+    relation = ncvoter_relation(rows, COLS, seed=SEED)
+    batches = []
+    for step in range(n_batches):
+        doomed = delete_batch_ids(relation, fraction, seed=100 + step)
+        relation.delete_many(doomed)
+        batches.append(doomed)
+    return batches
+
+
+_DISCOVERY_CACHE: dict[int, tuple[list[int], list[int]]] = {}
+
+
+def initial_profile(rows: int) -> tuple[list[int], list[int]]:
+    if rows not in _DISCOVERY_CACHE:
+        from repro.profiling.discovery import discover
+
+        relation = ncvoter_relation(rows, COLS, seed=SEED)
+        _DISCOVERY_CACHE[rows] = discover(relation, "ducc")
+    return _DISCOVERY_CACHE[rows]
+
+
+def run_reference(rows: int, batches):
+    mucs, mnucs = initial_profile(rows)
+    runner = ReferenceDynamicRunner(
+        ncvoter_relation(rows, COLS, seed=SEED),
+        list(mucs),
+        list(mnucs),
+        index_columns=[],
+    )
+    profiles = []
+    started = time.perf_counter()
+    for doomed in batches:
+        outcome = runner.handle_deletes(doomed)
+        profiles.append((sorted(outcome.mucs), sorted(outcome.mnucs)))
+    return time.perf_counter() - started, profiles
+
+
+def run_swan(rows: int, batches, parallelism: int, execution_mode: str):
+    mucs, mnucs = initial_profile(rows)
+    profiler = SwanProfiler.profile(
+        ncvoter_relation(rows, COLS, seed=SEED),
+        algorithm=lambda relation: (list(mucs), list(mnucs)),
+        parallelism=parallelism,
+        execution_mode=execution_mode,
+    )
+    profiles = []
+    started = time.perf_counter()
+    try:
+        for doomed in batches:
+            outcome = profiler.handle_deletes(doomed)
+            profiles.append((sorted(outcome.mucs), sorted(outcome.mnucs)))
+        return time.perf_counter() - started, profiles, profiler.pool_stats()
+    finally:
+        profiler.close()
+
+
+CONFIGS = {
+    "serial": dict(parallelism=0, execution_mode="thread"),
+    "thread-2": dict(parallelism=2, execution_mode="thread"),
+    "thread-4": dict(parallelism=4, execution_mode="thread"),
+    "process-2": dict(parallelism=2, execution_mode="process"),
+    "process-4": dict(parallelism=4, execution_mode="process"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_SCALE_ROWS", "20000")),
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--batches", type=int, default=6)
+    parser.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=0.10,
+        help="live-row fraction deleted per batch",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.5,
+        help=f"fail when the {GATED_CONFIG} speedup over the scalar "
+        "reference falls below this",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help=f"with --baseline: fail when the {GATED_CONFIG} speedup "
+        "drops below committed / this factor",
+    )
+    args = parser.parse_args(argv)
+
+    batches = materialize_batches(args.rows, args.batches, args.delete_fraction)
+    print(
+        f"== parallel-scale: rows={args.rows} cols={COLS} "
+        f"batches={len(batches)} rounds={args.rounds} "
+        f"cpus={os.cpu_count()}"
+    )
+
+    reference_times = []
+    reference_profiles = None
+    for _ in range(args.rounds):
+        elapsed, profiles = run_reference(args.rows, batches)
+        reference_times.append(elapsed)
+        if reference_profiles is None:
+            reference_profiles = profiles
+        elif profiles != reference_profiles:
+            print("FATAL: scalar reference rounds diverged", file=sys.stderr)
+            return 1
+    reference_best = min(reference_times)
+    print(f"   reference  {reference_best:.3f}s (scalar pointer-PLI pipeline)")
+
+    results = {}
+    for name, knobs in CONFIGS.items():
+        times = []
+        pool_stats = None
+        for _ in range(args.rounds):
+            elapsed, profiles, pool_stats = run_swan(args.rows, batches, **knobs)
+            if profiles != reference_profiles:
+                print(
+                    f"FATAL: {name} produced a different profile than the "
+                    "scalar reference",
+                    file=sys.stderr,
+                )
+                return 1
+            times.append(elapsed)
+        best = min(times)
+        results[name] = {
+            "times_s": [round(t, 4) for t in times],
+            "best_s": round(best, 4),
+            "speedup_vs_reference": round(reference_best / best, 3),
+            "pool": pool_stats,
+        }
+        print(
+            f"   {name:<10} {best:.3f}s  "
+            f"{results[name]['speedup_vs_reference']:.2f}x vs reference"
+        )
+
+    report = {
+        "benchmark": "parallel_scale",
+        "rows": args.rows,
+        "columns": COLS,
+        "batches": len(batches),
+        "delete_fraction": args.delete_fraction,
+        "rounds": args.rounds,
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "profiles_identical": True,
+        "reference_best_s": round(reference_best, 4),
+        "configs": results,
+    }
+
+    failed = False
+    gated = results[GATED_CONFIG]["speedup_vs_reference"]
+    if gated < args.min_speedup:
+        print(
+            f"REGRESSION: {GATED_CONFIG} speedup {gated:.2f}x is below the "
+            f"{args.min_speedup:.2f}x floor",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.baseline and args.baseline.exists():
+        committed = json.loads(args.baseline.read_text())
+        reference = (
+            committed.get("configs", {})
+            .get(GATED_CONFIG, {})
+            .get("speedup_vs_reference")
+        )
+        if reference is not None and gated < reference / args.max_regression:
+            print(
+                f"REGRESSION: {GATED_CONFIG} speedup {gated:.2f}x dropped "
+                f"below committed {reference:.2f}x / {args.max_regression}",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if args.output:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,7 @@ class _BatchContext:
 
     deleted: set[int]
     doomed: np.ndarray  # boolean over the tuple-ID space
+    deleted_ids: np.ndarray  # the batch's IDs, sorted ascending
     generation: int
     capacity: int
     live_after: list[int]
@@ -237,7 +238,7 @@ class DeletesHandler:
         self,
         mask: int,
         deleted: set[int],
-        clustered_deleted: dict[int, set[int]],
+        clustered_deleted: dict[int, np.ndarray],
         stats: DeleteStats,
     ) -> bool:
         ctx = self._ctx
@@ -248,21 +249,27 @@ class DeletesHandler:
             # non-unique exactly while two tuples survive.
             return self._has_surviving_duplicate(0, deleted)
         # (1) A deleted tuple can only affect N when it is clustered in
-        # *every* column of N pre-delete.
-        affecting = deleted
+        # *every* column of N pre-delete. ``clustered_deleted`` holds
+        # one boolean membership mask per column, aligned with the
+        # sorted batch IDs, so the conjunction is one vectorized AND per
+        # column instead of a python set intersection.
+        affecting: np.ndarray | None = None
         for column in columns:
-            affecting = affecting & clustered_deleted.get(column, set())
-            if not affecting:
+            clustered = clustered_deleted.get(column)
+            if clustered is None:
+                clustered = self._pre_column(column).dense[ctx.deleted_ids] >= 0
+                clustered_deleted[column] = clustered
+            affecting = clustered if affecting is None else affecting & clustered
+            if not affecting.any():
                 stats.unaffected_short_circuits += 1
                 return True
+        assert affecting is not None
 
         # (2) + (3) Restricted intersection over position lists that
         # contained affecting tuples, all vectorized on the pre-delete
         # array partitions.
         columns.sort(key=lambda column: self._plis[column].n_entries())
-        affecting_ids = np.fromiter(
-            affecting, dtype=np.int64, count=len(affecting)
-        )
+        affecting_ids = ctx.deleted_ids[affecting]
         restricted = self._pre_column(columns[0]).clusters_containing_ids(
             affecting_ids
         )
@@ -307,12 +314,6 @@ class DeletesHandler:
             return DeleteOutcome(list(old_mucs), list(old_mnucs), stats)
 
         deleted = set(deleted_rows)
-        clustered_deleted = {
-            column: {
-                tuple_id for tuple_id in deleted if pli.cluster_of(tuple_id) is not None
-            }
-            for column, pli in self._plis.items()
-        }
 
         graph = CombinationGraph()
         for muc_mask in old_mucs:
@@ -332,13 +333,14 @@ class DeletesHandler:
         self._ctx = _BatchContext(
             deleted=deleted,
             doomed=doomed,
+            deleted_ids=np.flatnonzero(doomed).astype(np.int64),
             generation=generation,
             capacity=capacity,
             live_after=live_after,
         )
         try:
             return self._handle_with_context(
-                old_mucs, old_mnucs, deleted, clustered_deleted, graph, stats
+                old_mucs, old_mnucs, deleted, graph, stats
             )
         finally:
             self._ctx = None
@@ -348,7 +350,6 @@ class DeletesHandler:
         old_mucs: list[int],
         old_mnucs: list[int],
         deleted: set[int],
-        clustered_deleted: dict[int, set[int]],
         graph: CombinationGraph,
         stats: DeleteStats,
     ) -> DeleteOutcome:
@@ -357,9 +358,14 @@ class DeletesHandler:
 
         # Materialize (serially) the pre-delete partitions -- and their
         # dense probe maps -- of every column the checks will touch, so
-        # the fan-out below is a pure reader of the workspace.
+        # the fan-out below is a pure reader of the workspace; the dense
+        # maps double as the batch's per-column clustered-membership
+        # masks (dense label >= 0 <=> clustered pre-delete), replacing
+        # the per-tuple ``cluster_of`` probe loop.
+        clustered_deleted: dict[int, np.ndarray] = {}
         for column in sorted({c for mask in old_mnucs for c in iter_bits(mask)}):
-            self._pre_column(column).dense
+            dense = self._pre_column(column).dense
+            clustered_deleted[column] = dense[ctx.deleted_ids] >= 0
 
         classification: dict[int, bool] = {}
 

@@ -37,6 +37,7 @@ from repro.lattice.antichain import MaximalAntichain
 from repro.lattice.combination import columns_of, maximize, minimize
 from repro.lattice.transversal import minimal_unique_supersets
 from repro.storage.encoding import encode_rows_local, union_sorted
+from repro.storage.kernels import intersect_sorted
 from repro.storage.relation import Relation
 from repro.storage.sparse_index import RetrievalStats, SparseIndex
 from repro.storage.value_index import IndexPool
@@ -167,8 +168,9 @@ class InsertsHandler:
         """Per-insert candidate old-tuple IDs for one minimal unique.
 
         Candidate sets are the indexes' sorted code-keyed posting arrays
-        (or ``np.intersect1d`` narrowings of them), so the per-column
-        intersection cascade runs on int64 arrays end to end.
+        (or galloping-intersection narrowings of them), so the
+        per-column cascade runs on int64 arrays end to end without ever
+        re-sorting a posting.
         """
         covering = [
             column for column in columns_of(muc_mask) if column in self._indexes
@@ -208,9 +210,7 @@ class InsertsHandler:
                 for new_id, candidates in current.items():
                     posting = index.lookup_array(new_rows[new_id][column])
                     if posting.size:
-                        surviving = np.intersect1d(
-                            candidates, posting, assume_unique=True
-                        )
+                        surviving = intersect_sorted(candidates, posting)
                         if surviving.size:
                             narrowed[new_id] = surviving
                 current = narrowed

@@ -1,4 +1,4 @@
-"""Deterministic thread fan-out for per-combination work.
+"""Deterministic fan-out executors for per-combination work.
 
 Both incremental handlers contain loops whose iterations are
 independent and read-only against shared state:
@@ -8,32 +8,58 @@ independent and read-only against shared state:
 * the delete path short-circuit-checks every maximal non-unique
   against the batch (Section IV-B).
 
-:class:`FanOutPool` runs such loops on a shared
-:class:`~concurrent.futures.ThreadPoolExecutor` while keeping the
-*merge order deterministic*: results come back in input order, so the
-downstream profile computation is bit-identical to the serial path.
-Threads (not processes) are the right shape here -- the hot
-ArrayPli/numpy intersections release the GIL, and the pure-Python index
-probes are memory-bound dict lookups that never pickle cheaply.
+Two pool shapes run such loops while keeping the *merge order
+deterministic* -- results come back in input order, so the downstream
+profile computation is bit-identical to the serial path:
+
+* :class:`FanOutPool` fans out on a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`. Threads are the
+  right shape when the hot ArrayPli/numpy intersections release the
+  GIL and the remaining python work is memory-bound dict probing.
+* :class:`ProcessFanOut` fans out on a fork-context
+  :class:`multiprocessing.Pool`. Forked children inherit the encoded
+  columnar arrays (read-only by lint rule R2) by address-space copy --
+  nothing is pickled on the way in, only the small per-item results on
+  the way out -- so python-heavy checks escape the GIL entirely. The
+  task closure is installed in a module global *before* the fork and
+  each batch forks a fresh pool, which is what makes arbitrary
+  (unpicklable) closures legal.
 
 ``parallelism <= 1`` keeps everything on the calling thread with zero
-setup cost; the executor is created lazily on the first parallel batch
-and torn down via :meth:`close`.
+setup cost for either shape; the thread executor is created lazily on
+the first parallel batch and torn down via :meth:`FanOutPool.close`.
+Pick a shape by name with :func:`make_pool` (the ``execution_mode``
+knob surfaced by the profiler, service and CLIs).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
+EXECUTION_MODES = ("thread", "process")
+
 # Fanning out a tiny loop costs more in scheduling than it saves; below
 # this many items the pool runs the loop inline.
 MIN_FANOUT_ITEMS = 2
+
+# The task fn of the batch currently fanned out by ProcessFanOut.map.
+# Installed before the pool forks so children inherit it via the
+# address-space copy; forked workers call it through _invoke_installed.
+_WORKER_TASK: Callable[[Any], Any] | None = None
+
+
+def _invoke_installed(item: Any) -> Any:
+    task = _WORKER_TASK
+    if task is None:  # pragma: no cover - defensive, fork guarantees it
+        raise RuntimeError("no task installed in this worker process")
+    return task(item)
 
 
 @dataclass
@@ -43,11 +69,20 @@ class PoolStats:
     tasks: int = 0  # items executed (serial or parallel)
     fanout_batches: int = 0  # loops that actually hit the pool
     serial_batches: int = 0  # loops that ran inline
-    fanout_tasks: int = 0  # items executed on worker threads
+    fanout_tasks: int = 0  # items executed on workers
 
     def utilization(self, workers: int) -> float:
-        """Mean fan-out width as a fraction of the worker count."""
-        if not self.fanout_batches or workers <= 0:
+        """Mean fan-out width as a fraction of the worker count.
+
+        An inline pool (``workers <= 1``) has no idle workers to
+        account for -- the calling thread runs every item at capacity
+        -- so it reports ``1.0`` rather than dividing busy time by a
+        worker count that never ran. An *active* pool that has not yet
+        fanned out a batch reports ``0.0``.
+        """
+        if workers <= 1:
+            return 1.0
+        if not self.fanout_batches:
             return 0.0
         return self.fanout_tasks / (self.fanout_batches * workers)
 
@@ -63,10 +98,12 @@ class PoolStats:
 
 
 class FanOutPool:
-    """Ordered map over a worker pool, inline when parallelism is off."""
+    """Ordered map over worker threads, inline when parallelism is off."""
+
+    mode = "thread"
 
     def __init__(self, parallelism: int = 0) -> None:
-        """``parallelism`` is the worker-thread count; ``0`` or ``1``
+        """``parallelism`` is the worker count; ``0`` or ``1``
         disables fan-out entirely (the serial reference path)."""
         self.parallelism = max(0, int(parallelism))
         self.stats = PoolStats()
@@ -75,7 +112,7 @@ class FanOutPool:
 
     @property
     def active(self) -> bool:
-        """Will :meth:`map` ever use worker threads?"""
+        """Will :meth:`map` ever use workers?"""
         return self.parallelism >= 2
 
     def map(
@@ -99,6 +136,13 @@ class FanOutPool:
             return [fn(item) for item in materialized]
         self.stats.fanout_batches += 1
         self.stats.fanout_tasks += len(materialized)
+        return self._run_fanout(fn, materialized)
+
+    def _run_fanout(
+        self,
+        fn: Callable[[Item], Result],
+        materialized: Sequence[Item],
+    ) -> list[Result]:
         return list(self._ensure_executor().map(fn, materialized))
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
@@ -110,11 +154,13 @@ class FanOutPool:
                 )
             return self._executor
 
-    def stats_dict(self) -> dict[str, float]:
-        return self.stats.to_dict(self.parallelism)
+    def stats_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = dict(self.stats.to_dict(self.parallelism))
+        payload["mode"] = self.mode if self.active else "inline"
+        return payload
 
     def close(self) -> None:
-        """Join and release the worker threads (idempotent)."""
+        """Join and release the workers (idempotent)."""
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:
@@ -128,4 +174,61 @@ class FanOutPool:
 
     def __repr__(self) -> str:
         state = "idle" if self._executor is None else "running"
-        return f"FanOutPool(parallelism={self.parallelism}, {state})"
+        return (
+            f"{type(self).__name__}(parallelism={self.parallelism}, {state})"
+        )
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ProcessFanOut(FanOutPool):
+    """Ordered map over forked worker processes.
+
+    Each :meth:`map` batch forks a fresh fork-context pool: the task
+    closure -- installed in the module global ``_WORKER_TASK`` right
+    before the fork -- and every structure it closes over (relation
+    code arrays, value indexes, partitions) reach the children as
+    copy-on-write pages, never through pickle. Only the per-item
+    results return through the pipe, so they must be picklable; both
+    handlers return plain ``(payload, stats)`` tuples.
+
+    Per-batch forking costs a few milliseconds of setup, which the
+    handlers amortize over whole per-MUC / per-MNUC sweeps. On
+    platforms without the fork start method the pool degrades to
+    inline execution (``active`` is False) rather than paying the
+    spawn-and-pickle tax silently.
+    """
+
+    mode = "process"
+
+    @property
+    def active(self) -> bool:
+        return self.parallelism >= 2 and _fork_available()
+
+    def _run_fanout(
+        self,
+        fn: Callable[[Item], Result],
+        materialized: Sequence[Item],
+    ) -> list[Result]:
+        global _WORKER_TASK
+        context = multiprocessing.get_context("fork")
+        _WORKER_TASK = fn
+        try:
+            with context.Pool(processes=self.parallelism) as pool:
+                return pool.map(_invoke_installed, materialized)
+        finally:
+            _WORKER_TASK = None
+
+
+def make_pool(execution_mode: str, parallelism: int = 0) -> FanOutPool:
+    """Build the fan-out pool named by the ``execution_mode`` knob."""
+    if execution_mode == "thread":
+        return FanOutPool(parallelism)
+    if execution_mode == "process":
+        return ProcessFanOut(parallelism)
+    raise ValueError(
+        f"unknown execution mode {execution_mode!r}; "
+        f"expected one of {', '.join(EXECUTION_MODES)}"
+    )

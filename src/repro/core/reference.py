@@ -1,19 +1,22 @@
-"""Frozen scalar reference implementation of the insert path.
+"""Frozen scalar reference implementation of the dynamic pipeline.
 
-This module preserves the pre-vectorization insert pipeline -- Python
+This module preserves the pre-vectorization pipeline -- Python
 ``dict[value] -> set[int]`` postings probed one insert at a time,
-per-(column, tuple-id) index maintenance, and duplicate grouping by
-hashing Python value tuples -- exactly as it ran before the
+per-(column, tuple-id) index maintenance, duplicate grouping by
+hashing Python value tuples, and pointer-PLI delete descents probed
+one tuple at a time -- exactly as it ran before the
 dictionary-encoded columnar core landed.
 
 It exists for two jobs:
 
 * **Equivalence testing.** The vectorized pipeline guarantees
   bit-identical profiles; the property tests run random workloads
-  through both and compare per-batch MUCS/MNUCS.
+  through both and compare per-batch MUCS/MNUCS -- including mixed
+  insert/delete workloads via :class:`ReferenceDynamicRunner`.
 * **Regression benchmarking.** ``benchmarks/bench_insert_vector.py``
-  times the two pipelines on the same insert-heavy workload and gates
-  CI on the speedup.
+  and ``benchmarks/bench_parallel_scale.py`` time the scalar and
+  vectorized pipelines on the same workload and gate CI on the
+  speedup.
 
 Nothing in the live system imports this module; do not "optimize" it --
 its value is that it stays scalar.
@@ -21,14 +24,16 @@ its value is that it stays scalar.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.core.duplicates import DuplicateGroup, projector
 from repro.core.inserts import InsertOutcome, InsertStats, batch_agree_antichain
 from repro.core.repository import Profile, ProfileRepository
 from repro.lattice.antichain import MaximalAntichain
-from repro.lattice.combination import columns_of, maximize, minimize
-from repro.lattice.transversal import minimal_unique_supersets
+from repro.lattice.combination import columns_of, iter_bits, maximize, minimize
+from repro.lattice.graphs import CombinationGraph
+from repro.lattice.transversal import minimal_unique_supersets, mucs_from_mnucs
+from repro.storage.pli import PositionListIndex, pli_for_combination
 from repro.storage.relation import Relation
 from repro.storage.sparse_index import SparseIndex, sparse_index_for_relation
 
@@ -313,6 +318,149 @@ class ScalarInsertsHandler:
         )
 
 
+class ScalarDeletesHandler:
+    """The pre-vectorization deletes handler (Algorithm 6).
+
+    Pointer-PLI intersections probed one tuple at a time, Python set
+    arithmetic for the Section IV-B short-circuits, and the same
+    duality fixpoint structure as
+    :class:`repro.core.deletes.DeletesHandler` -- checks run in
+    ``old_mnucs`` order and the descent classifies lattice points with
+    exact partition checks, so per-batch profiles are directly
+    comparable with the vectorized handler on any execution mode.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        repository: ProfileRepository,
+        column_plis: dict[int, PositionListIndex],
+    ) -> None:
+        self._relation = relation
+        self._repository = repository
+        self._plis = column_plis
+
+    def _is_still_non_unique(
+        self,
+        mask: int,
+        deleted: set[int],
+        post_has_duplicates: Callable[[int], bool],
+    ) -> bool:
+        columns = list(iter_bits(mask))
+        if not columns:
+            return post_has_duplicates(0)
+        # (1) Unaffected: a deleted tuple can only affect N when it is
+        # clustered in every column of N pre-delete.
+        affecting = [
+            tuple_id
+            for tuple_id in sorted(deleted)
+            if all(
+                self._plis[column].cluster_of(tuple_id) is not None
+                for column in columns
+            )
+        ]
+        if not affecting:
+            return True
+        # (2) Restricted intersection over position lists that contained
+        # affecting tuples.
+        columns.sort(key=lambda column: self._plis[column].n_entries())
+        restricted = PositionListIndex.from_clusters(
+            self._plis[columns[0]].clusters_containing(affecting)
+        )
+        for column in columns[1:]:
+            if not restricted.has_duplicates:
+                break
+            restricted = restricted.intersect(self._plis[column])
+        if not restricted.has_duplicates:
+            return True
+        # (3) Survivors: a restricted cluster keeping >= 2 live members
+        # is a duplicate pair the batch did not destroy.
+        survivors = restricted.copy()
+        survivors.remove_ids(deleted)
+        if survivors.has_duplicates:
+            return True
+        # (4) Complete post-delete partition of N.
+        return post_has_duplicates(mask)
+
+    def handle(
+        self, deleted_rows: Mapping[int, Row]
+    ) -> tuple[list[int], list[int]]:
+        """The (mucs, mnucs) profile of (relation \\ deleted rows)."""
+        old_mucs = self._repository.mucs
+        old_mnucs = self._repository.mnucs
+        if not deleted_rows:
+            return list(old_mucs), list(old_mnucs)
+        deleted = set(deleted_rows)
+        live_count = sum(
+            1 for tuple_id in self._relation.iter_ids() if tuple_id not in deleted
+        )
+        post_plis: dict[int, PositionListIndex] = {}
+
+        def post_has_duplicates(mask: int) -> bool:
+            if not mask:
+                return live_count >= 2
+            pli = post_plis.get(mask)
+            if pli is None:
+                pli = pli_for_combination(self._relation, mask, self._plis)
+                pli.remove_ids(deleted)
+                post_plis[mask] = pli
+            return pli.has_duplicates
+
+        graph = CombinationGraph()
+        for muc_mask in old_mucs:
+            graph.add_unique(muc_mask)
+
+        classification: dict[int, bool] = {}
+
+        def classify(mask: int) -> bool:
+            known = classification.get(mask)
+            if known is not None:
+                return known
+            implied = graph.classify(mask)
+            if implied is None:
+                implied = not post_has_duplicates(mask)
+                if implied:
+                    graph.add_unique(mask)
+                else:
+                    graph.add_non_unique(mask)
+            classification[mask] = implied
+            return implied
+
+        for mnuc_mask in old_mnucs:
+            if self._is_still_non_unique(mnuc_mask, deleted, post_has_duplicates):
+                graph.add_non_unique(mnuc_mask)
+                classification[mnuc_mask] = False
+            else:
+                graph.add_unique(mnuc_mask)
+                classification[mnuc_mask] = True
+
+        n_columns = self._relation.n_columns
+        universe = (1 << n_columns) - 1
+
+        def ascend_to_maximal(mask: int) -> None:
+            current = mask
+            climbing = True
+            while climbing:
+                climbing = False
+                for column in iter_bits(universe & ~current):
+                    candidate = current | (1 << column)
+                    if not classify(candidate):
+                        current = candidate
+                        climbing = True
+                        break
+
+        while True:
+            border = graph.maximal_non_uniques()
+            candidates = mucs_from_mnucs(border, n_columns)
+            holes = [
+                candidate for candidate in candidates if not classify(candidate)
+            ]
+            if not holes:
+                return candidates, border
+            for hole in holes:
+                ascend_to_maximal(hole)
+
+
 class ReferenceInsertRunner:
     """Drives insert batches through the scalar pipeline end to end.
 
@@ -352,4 +500,52 @@ class ReferenceInsertRunner:
         for tuple_id in inserted_ids:
             self._sparse.register(tuple_id, tuple_id)
         self._repository.replace(outcome.mucs, outcome.mnucs)
+        return self._repository.snapshot()
+
+
+class ReferenceDynamicRunner(ReferenceInsertRunner):
+    """Drives mixed insert/delete workloads through the scalar pipeline.
+
+    Extends :class:`ReferenceInsertRunner` with value-tracking pointer
+    PLIs (one per column, maintained incrementally like the facade's)
+    and the scalar deletes handler. Mirrors the facade's commit order
+    -- analyse against pre-batch state, then apply to storage and
+    indexes -- so per-batch profiles are directly comparable with
+    :class:`~repro.core.swan.SwanProfiler` running any combination of
+    parallelism and execution mode.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        mucs: Iterable[int],
+        mnucs: Iterable[int],
+        index_columns: Sequence[int],
+    ) -> None:
+        super().__init__(relation, mucs, mnucs, index_columns)
+        self._plis = {
+            column: PositionListIndex.for_column(relation, column)
+            for column in range(relation.n_columns)
+        }
+        self._deletes = ScalarDeletesHandler(relation, self._repository, self._plis)
+
+    def handle_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
+        first_id = self._relation.next_tuple_id
+        profile = super().handle_inserts(rows)
+        for tuple_id in range(first_id, self._relation.next_tuple_id):
+            for column, pli in self._plis.items():
+                pli.add(self._relation.value(tuple_id, column), tuple_id)
+        return profile
+
+    def handle_deletes(self, tuple_ids: Iterable[int]) -> Profile:
+        rows_by_id = {
+            tuple_id: self._relation.row(tuple_id) for tuple_id in tuple_ids
+        }
+        mucs, mnucs = self._deletes.handle(rows_by_id)
+        self._relation.delete_many(rows_by_id)
+        self._indexes.register_deletes(rows_by_id)
+        for tuple_id, row in rows_by_id.items():
+            for column, pli in self._plis.items():
+                pli.remove(row[column], tuple_id)
+        self._repository.replace(mucs, mnucs)
         return self._repository.snapshot()

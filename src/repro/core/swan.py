@@ -31,7 +31,7 @@ from repro.core.index_selection import (
     select_index_attributes,
 )
 from repro.core.inserts import InsertsHandler, InsertStats
-from repro.core.parallel import FanOutPool
+from repro.core.parallel import make_pool
 from repro.core.repository import Profile, ProfileRepository
 from repro.errors import ProfileStateError
 from repro.lattice.combination import ColumnCombination
@@ -62,6 +62,7 @@ class SwanProfiler:
         table_file: "TableFile | None" = None,
         maintain_plis: bool = True,
         parallelism: int = 0,
+        execution_mode: str = "thread",
         cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
         partition_cache: PartitionCache | None = None,
     ) -> None:
@@ -81,7 +82,9 @@ class SwanProfiler:
 
         ``parallelism`` sets the fan-out worker count for per-MUC
         candidate retrieval and per-MNUC short-circuit checks (0/1 =
-        serial reference path; results are bit-identical either way).
+        serial reference path; results are bit-identical either way);
+        ``execution_mode`` picks the pool shape (``"thread"`` or
+        ``"process"``; see :func:`repro.core.parallel.make_pool`).
         ``cache_budget_bytes`` bounds the cross-batch partition cache
         (``0`` disables it, ``None`` is unbounded); ``partition_cache``
         injects an existing cache instead.
@@ -112,7 +115,7 @@ class SwanProfiler:
             self._partition_cache = None
         else:
             self._partition_cache = PartitionCache(cache_budget_bytes)
-        self._pool = FanOutPool(parallelism)
+        self._pool = make_pool(execution_mode, parallelism)
         self._generation = 0
         self._inserts = InsertsHandler(
             relation, self._repository, self._index_pool, self._sparse,
@@ -144,6 +147,7 @@ class SwanProfiler:
         index_columns: Sequence[int] | None = None,
         maintain_plis: bool = True,
         parallelism: int = 0,
+        execution_mode: str = "thread",
         cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
     ) -> "SwanProfiler":
         """Run a holistic discovery over ``relation`` and wire SWAN up.
@@ -166,6 +170,7 @@ class SwanProfiler:
             index_columns=index_columns,
             maintain_plis=maintain_plis,
             parallelism=parallelism,
+            execution_mode=execution_mode,
             cache_budget_bytes=cache_budget_bytes,
         )
 
@@ -211,12 +216,12 @@ class SwanProfiler:
         """Dictionary-encoding sizes of the storage core."""
         return self._relation.encoding.stats_dict()
 
-    def pool_stats(self) -> dict[str, float]:
-        """Fan-out executor counters."""
+    def pool_stats(self) -> dict[str, object]:
+        """Fan-out executor counters (includes the effective mode)."""
         return self._pool.stats_dict()
 
     def close(self) -> None:
-        """Release the fan-out worker threads (idempotent)."""
+        """Release the fan-out workers (idempotent)."""
         self._pool.close()
 
     def snapshot(self) -> Profile:

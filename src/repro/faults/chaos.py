@@ -111,7 +111,12 @@ def _holistic_fallback() -> tuple[Relation, list[int], list[int]]:
     return relation, list(mucs), list(mnucs)
 
 
-def _config() -> ServiceConfig:
+def _config(seed: int = 0) -> ServiceConfig:
+    # Odd seeds run the process-pool fan-out, so the sweep's invariants
+    # cover both execution modes (even seeds keep the serial default);
+    # results are bit-identical either way, which is exactly what the
+    # exhaustive verification at the end of each scenario checks.
+    process = bool(seed % 2)
     return ServiceConfig(
         algorithm="bruteforce",
         snapshot_every=2,
@@ -120,6 +125,8 @@ def _config() -> ServiceConfig:
         coalesce_rows=1,  # keep batch boundaries deterministic
         health_reset_batches=2,
         fsync=True,
+        parallelism=2 if process else 0,
+        execution_mode="process" if process else "thread",
         retry=RetryPolicy(
             max_attempts=3, base_delay=0.0, multiplier=2.0, max_delay=0.0
         ),
@@ -207,7 +214,9 @@ def run_service_scenario(
     crashed = False
     first_error: str | None = None
     with active(injector):
-        service = ProfilingService(state, config=_config(), sleep=lambda _s: None)
+        service = ProfilingService(
+            state, config=_config(seed), sleep=lambda _s: None
+        )
         try:
             # Phase A: first boot, serve half the spool, clean stop.
             service.start(
@@ -227,7 +236,7 @@ def run_service_scenario(
             # window) and drain the rest. ``archive=False`` acks by
             # unlinking, covering the other ack site.
             service = ProfilingService(
-                state, config=_config(), sleep=lambda _s: None
+                state, config=_config(seed), sleep=lambda _s: None
             )
             service.start(holistic_fallback=_holistic_fallback)
             service.serve(SpoolDirectorySource(spool, archive=False))
@@ -242,7 +251,9 @@ def run_service_scenario(
 
     # Verification: no injector, cold start, drain leftovers, exhaustive
     # ground-truth check. A failure here means a wrong profile survived.
-    recovery = ProfilingService(state, config=_config(), sleep=lambda _s: None)
+    recovery = ProfilingService(
+        state, config=_config(seed), sleep=lambda _s: None
+    )
     try:
         recovery.start(
             initial=_initial_relation() if not recovery.has_state() else None,

@@ -25,7 +25,23 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.lattice.combination import full_mask, iter_bits, minimize, popcount
+
+_LANE_MASK = (1 << 64) - 1
+
+
+def _pack_edges(edges: Sequence[int], lanes: int) -> np.ndarray:
+    """Pack edge masks into a (n_edges, lanes) uint64 bitset matrix."""
+    planes = np.zeros((len(edges), lanes), dtype=np.uint64)
+    for row, edge in enumerate(edges):
+        lane = 0
+        while edge:
+            planes[row, lane] = edge & _LANE_MASK
+            edge >>= 64
+            lane += 1
+    return planes
 
 
 def complement_all(masks: Iterable[int], n_columns: int) -> list[int]:
@@ -62,30 +78,35 @@ def minimal_hitting_sets(
 
     results: list[int] = []
     n_edges = len(reduced)
+    lanes = max(1, (max(edge.bit_length() for edge in reduced) + 63) // 64)
+    # The edge bitset matrix: one vectorized pass replaces the per-edge
+    # python popcount loop that used to pick the branching edge.
+    planes = _pack_edges(reduced, lanes)
+
+    def _has_vertex(edge_rows: np.ndarray, vertex: int) -> np.ndarray:
+        lane, bit = divmod(vertex, 64)
+        return (planes[edge_rows, lane] >> np.uint64(bit)) & np.uint64(1) != 0
 
     def recurse(
         chosen: int,
         cand: int,
-        crit: dict[int, set[int]],
-        uncovered: frozenset[int],
+        crit: dict[int, np.ndarray],
+        uncovered: np.ndarray,
     ) -> None:
-        if not uncovered:
+        if not uncovered.size:
             results.append(chosen)
             return
-        # Branch on the uncovered edge with fewest available vertices.
-        best_edge = -1
+        # Branch on the uncovered edge with fewest available vertices,
+        # counted across all uncovered edges in one bitwise pass.
+        cand_row = _pack_edges([cand], lanes)[0]
+        avail = planes[uncovered] & cand_row
+        counts = np.bitwise_count(avail).sum(axis=1)
+        best_pos = int(np.argmin(counts))
+        if counts[best_pos] == 0:
+            return  # dead branch: some edge can never be hit
         best_verts = 0
-        best_count = 1 << 62
-        for edge_index in uncovered:
-            verts = reduced[edge_index] & cand
-            count = popcount(verts)
-            if count == 0:
-                return  # dead branch: this edge can never be hit
-            if count < best_count:
-                best_edge, best_verts, best_count = edge_index, verts, count
-                if count == 1:
-                    break
-        del best_edge
+        for lane in range(lanes):
+            best_verts |= int(avail[best_pos, lane]) << (64 * lane)
         local_cand = cand
         for vertex in iter_bits(best_verts):
             vertex_bit = 1 << vertex
@@ -93,20 +114,12 @@ def minimal_hitting_sets(
             # Edges newly covered by this vertex are exactly its critical
             # edges; previously-chosen vertices lose any critical edge
             # that also contains it.
-            newly_covered = {
-                edge_index
-                for edge_index in uncovered
-                if reduced[edge_index] & vertex_bit
-            }
-            new_crit: dict[int, set[int]] = {vertex: newly_covered}
+            covered = _has_vertex(uncovered, vertex)
+            new_crit: dict[int, np.ndarray] = {vertex: uncovered[covered]}
             still_minimal = True
             for other, critical in crit.items():
-                remaining = {
-                    edge_index
-                    for edge_index in critical
-                    if not reduced[edge_index] & vertex_bit
-                }
-                if not remaining:
+                remaining = critical[~_has_vertex(critical, vertex)]
+                if not remaining.size:
                     still_minimal = False
                     break
                 new_crit[other] = remaining
@@ -115,10 +128,10 @@ def minimal_hitting_sets(
                     chosen | vertex_bit,
                     local_cand,
                     new_crit,
-                    uncovered - newly_covered,
+                    uncovered[~covered],
                 )
 
-    recurse(0, candidates, {}, frozenset(range(n_edges)))
+    recurse(0, candidates, {}, np.arange(n_edges, dtype=np.intp))
     results.sort(key=lambda mask: (popcount(mask), mask))
     return results
 

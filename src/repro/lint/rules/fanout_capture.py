@@ -77,7 +77,14 @@ class FanoutCaptureRule(Rule):
         "shared mutable locals; tasks communicate via return values merged "
         "in input order."
     )
-    default_scope = ("repro.core", "repro.service")
+    # The kernels and the process fan-out widened where pool closures
+    # live: storage/lattice helpers now run inside pool tasks too.
+    default_scope = (
+        "repro.core",
+        "repro.service",
+        "repro.storage",
+        "repro.lattice",
+    )
 
     @property
     def allow_names(self) -> tuple[str, ...]:

@@ -8,8 +8,9 @@ bind the stdlib HTTP server, serve until interrupted -- then shut down
 queue against a deadline (reporting any tenant that would not drain),
 and seal each with a final snapshot.
 
-Operator-level defaults (``--parallelism``, ``--cache-budget-mb``,
-``--algorithm``, ``--no-fsync``) apply to tenants *created over HTTP
+Operator-level defaults (``--parallelism``, ``--execution-mode``,
+``--cache-budget-mb``, ``--algorithm``, ``--no-fsync``) apply to
+tenants *created over HTTP
 while this server runs*; an explicit value in the create request's
 config always wins.
 """
@@ -44,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="default worker parallelism for tenants created over HTTP",
+    )
+    parser.add_argument(
+        "--execution-mode",
+        choices=("thread", "process"),
+        default=None,
+        help="default fan-out shape for tenants created over HTTP "
+        "('process' forks workers per batch to escape the GIL)",
     )
     parser.add_argument(
         "--cache-budget-mb",
@@ -104,6 +112,8 @@ def default_config_from_args(args: argparse.Namespace) -> dict[str, Any]:
     defaults: dict[str, Any] = {}
     if args.parallelism is not None:
         defaults["parallelism"] = args.parallelism
+    if args.execution_mode is not None:
+        defaults["execution_mode"] = args.execution_mode
     if args.cache_budget_mb is not None:
         defaults["cache_budget_bytes"] = args.cache_budget_mb * 1024 * 1024
     if args.algorithm is not None:

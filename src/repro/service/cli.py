@@ -103,8 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--parallelism", type=int, default=0, metavar="N",
-        help="fan-out worker threads for batch analysis (default 0 = serial; "
+        help="fan-out workers for batch analysis (default 0 = serial; "
         "results are identical either way)",
+    )
+    parser.add_argument(
+        "--execution-mode", choices=("thread", "process"), default="thread",
+        help="fan-out shape: 'thread' shares one executor, 'process' forks "
+        "workers per batch to escape the GIL (default thread)",
     )
     parser.add_argument(
         "--cache-budget-mb", type=int, default=64, metavar="MB",
@@ -157,6 +162,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             for spec in args.watch
         ),
         parallelism=args.parallelism,
+        execution_mode=args.execution_mode,
         cache_budget_bytes=args.cache_budget_mb * 1024 * 1024,
     )
     service = ProfilingService(args.data_dir, config=config)

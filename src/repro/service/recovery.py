@@ -100,6 +100,7 @@ def recover(
     | None = None,
     index_quota: int | None = None,
     parallelism: int = 0,
+    execution_mode: str = "thread",
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
 ) -> RecoveryResult:
     """Re-attach a :class:`SwanProfiler` from durable state.
@@ -107,10 +108,10 @@ def recover(
     ``holistic_fallback`` -- called only when no snapshot is usable --
     must return ``(initial_relation, mucs, mnucs)`` for changelog
     sequence 0 (i.e. the profiled initial dataset); the whole changelog
-    is then replayed over it. ``parallelism`` and ``cache_budget_bytes``
-    configure the rebuilt profiler -- and already speed up the replay
-    itself (same semantics as :class:`SwanProfiler`: ``0`` disables the
-    cache, ``None`` is unbounded).
+    is then replayed over it. ``parallelism``, ``execution_mode`` and
+    ``cache_budget_bytes`` configure the rebuilt profiler -- and already
+    speed up the replay itself (same semantics as :class:`SwanProfiler`:
+    ``0`` disables the cache, ``None`` is unbounded).
     """
     started = time.perf_counter()
     scan = scan_file(changelog_path)
@@ -139,6 +140,7 @@ def recover(
             mnucs,
             index_quota=index_quota,
             parallelism=parallelism,
+            execution_mode=execution_mode,
             cache_budget_bytes=cache_budget_bytes,
         )
         suffix = [record for record in scan.records if record.seq > seq]
@@ -181,6 +183,7 @@ def recover(
         mnucs,
         index_quota=index_quota,
         parallelism=parallelism,
+        execution_mode=execution_mode,
         cache_budget_bytes=cache_budget_bytes,
     )
     n_records, n_rows = replay_records(profiler, list(scan.records))

@@ -349,7 +349,8 @@ class ServiceConfig:
     sentinel_masks: int = 12  # MUCs/MNUCs spot-verified per check
     sentinel_pairs: int = 24  # random row pairs sampled per check
     health_reset_batches: int = 16  # clean batches to heal DEGRADED
-    parallelism: int = 0  # fan-out worker threads (0/1 = serial)
+    parallelism: int = 0  # fan-out workers (0/1 = serial)
+    execution_mode: str = "thread"  # fan-out shape: "thread" | "process"
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES  # 0 = cache off
     compact_live_fraction: float = 0.5  # compact storage below this live share (0 = off)
     compact_min_rows: int = 1024  # storage rows before compaction is considered
@@ -478,6 +479,7 @@ class ProfilingService:
                     holistic_fallback=holistic_fallback,
                     index_quota=self.config.index_quota,
                     parallelism=self.config.parallelism,
+                    execution_mode=self.config.execution_mode,
                     cache_budget_bytes=self.config.cache_budget_bytes,
                 )
             self.last_recovery = result
@@ -495,6 +497,7 @@ class ProfilingService:
                     algorithm=self.config.algorithm,
                     index_quota=self.config.index_quota,
                     parallelism=self.config.parallelism,
+                    execution_mode=self.config.execution_mode,
                     cache_budget_bytes=self.config.cache_budget_bytes,
                 )
             watches = self.config.watches
@@ -1059,6 +1062,7 @@ class ProfilingService:
                     algorithm=self.config.algorithm,
                     index_quota=self.config.index_quota,
                     parallelism=self.config.parallelism,
+                    execution_mode=self.config.execution_mode,
                     cache_budget_bytes=self.config.cache_budget_bytes,
                 )
         except Exception as rebuild_exc:
@@ -1136,6 +1140,14 @@ class ProfilingService:
                 if self.monitor is not None
                 else None
             ),
+            # The effective fan-out shape ("thread"/"process", or
+            # "inline" when parallelism <= 1) -- a string, so it rides
+            # next to the numeric pool_* gauges rather than among them.
+            "pool_mode": (
+                self.monitor.profiler.pool_stats().get("mode")
+                if self.monitor is not None
+                else None
+            ),
             **self.metrics.to_dict(),
         }
 
@@ -1154,6 +1166,7 @@ class ProfilingService:
                 "last_error": self.health.last_error,
                 "dead_letters": self.dead_letters.count(),
                 "encoding": self.monitor.profiler.encoding_stats(),
+                "pool_mode": self.monitor.profiler.pool_stats().get("mode"),
             },
         )
 
@@ -1183,9 +1196,13 @@ class ProfilingService:
         self.metrics.gauge("pli_cache_entries").set(cache_stats.get("entries", 0))
         self.metrics.gauge("pli_cache_bytes").set(cache_stats.get("bytes", 0))
         pool_stats = profiler.pool_stats()
-        self.metrics.gauge("pool_workers").set(pool_stats["workers"])
-        self.metrics.gauge("pool_tasks").set(pool_stats["tasks"])
-        self.metrics.gauge("pool_utilization").set(pool_stats["utilization"])
+        # "mode" is a string and stays out of the numeric gauges; it is
+        # published via stats()/status.json instead.
+        self.metrics.gauge("pool_workers").set(float(pool_stats["workers"]))  # type: ignore[arg-type]
+        self.metrics.gauge("pool_tasks").set(float(pool_stats["tasks"]))  # type: ignore[arg-type]
+        self.metrics.gauge("pool_utilization").set(
+            float(pool_stats["utilization"])  # type: ignore[arg-type]
+        )
         self.metrics.gauge("storage_rows").set(profiler.relation.storage_rows)
         self.metrics.gauge("tombstone_rows").set(
             profiler.relation.tombstone_count

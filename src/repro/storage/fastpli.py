@@ -26,6 +26,7 @@ from typing import Hashable, Iterator
 
 import numpy as np
 
+from repro.storage.kernels import in_sorted
 from repro.storage.relation import Relation
 
 
@@ -87,6 +88,18 @@ class ArrayPli:
     def n_clusters(self) -> int:
         return int(np.unique(self.labels).size) if self.labels.size else 0
 
+    def resident_nbytes(self) -> int:
+        """Bytes actually held by this partition *right now*.
+
+        Includes the lazily-built dense map once materialized -- on a
+        cached partition that is usually the dominant term (eight bytes
+        per tuple of capacity), so budget accounting must see it.
+        """
+        total = int(self.ids.nbytes) + int(self.labels.nbytes)
+        if self._dense is not None:
+            total += int(self._dense.nbytes)
+        return total
+
     @property
     def dense(self) -> np.ndarray:
         """Label per tuple ID (-1 = unclustered), built lazily.
@@ -124,8 +137,14 @@ class ArrayPli:
         empty = np.empty(0, dtype=np.int64)
         if not self.ids.size or not tuple_ids.size:
             return ArrayPli(empty, empty, self.capacity)
-        hit = self.dense[tuple_ids]
-        hit = hit[hit >= 0]
+        if self._dense is not None:
+            hit = self._dense[tuple_ids]
+            hit = hit[hit >= 0]
+        else:
+            # Dense-free probe: gallop the entries through the (small,
+            # sorted) id set instead of materializing a capacity-sized
+            # map just to answer one restriction.
+            hit = self.labels[in_sorted(self.ids, np.sort(tuple_ids))]
         if not hit.size:
             return ArrayPli(empty, empty, self.capacity)
         wanted = np.zeros(self._span, dtype=bool)

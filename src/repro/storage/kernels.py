@@ -1,0 +1,76 @@
+"""Sorted-array set kernels shared by the PLI and posting-list hot paths.
+
+The per-MUC candidate cascade (Algorithm 2) and the posting-list
+maintenance in :mod:`repro.storage.value_index` both reduce to set
+algebra over *sorted* ``int64`` id arrays.  ``np.intersect1d`` and
+``np.isin`` solve the general problem and pay for it: both sort (or
+hash) their inputs on every call even when the caller already holds
+sorted, duplicate-free arrays.  The kernels here exploit that
+invariant with a single ``searchsorted`` probe of the smaller array
+into the larger one — the classic galloping intersection — so each
+verification step stays a constant number of vectorised passes.
+
+Every function is a pure function of its arguments and never mutates
+its inputs; callers may therefore hand in the frozen read-only
+postings published by the value index (lint rule R2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "intersect_sorted",
+    "in_sorted",
+    "setdiff_sorted",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+_EMPTY.setflags(write=False)
+
+
+def _probe(needles: np.ndarray, haystack: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``needles`` marking members of ``haystack``.
+
+    Both arrays must be sorted ascending; ``haystack`` must be
+    duplicate-free for the cost claim (correctness only needs sorted).
+    """
+    positions = np.searchsorted(haystack, needles)
+    hit = positions < haystack.size
+    hit[hit] = haystack[positions[hit]] == needles[hit]
+    return hit
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted, duplicate-free int64 arrays.
+
+    Returns a sorted array.  The smaller side is galloped through the
+    larger via one ``searchsorted``, so the cost is
+    ``O(min(n, m) * log(max(n, m)))`` with no re-sort of either input.
+    """
+    if a.size == 0 or b.size == 0:
+        return _EMPTY
+    if a.size > b.size:
+        a, b = b, a
+    return a[_probe(a, b)]
+
+
+def in_sorted(needles: np.ndarray, haystack: np.ndarray) -> np.ndarray:
+    """Membership mask of ``needles`` within a sorted ``haystack``.
+
+    ``needles`` need not be sorted; the mask preserves its order.  A
+    drop-in replacement for ``np.isin(needles, haystack)`` when the
+    haystack is already sorted and duplicate-free.
+    """
+    if needles.size == 0:
+        return np.zeros(0, dtype=bool)
+    if haystack.size == 0:
+        return np.zeros(needles.size, dtype=bool)
+    return _probe(needles, haystack)
+
+
+def setdiff_sorted(a: np.ndarray, doomed: np.ndarray) -> np.ndarray:
+    """Elements of ``a`` not present in sorted ``doomed``, order kept."""
+    if a.size == 0 or doomed.size == 0:
+        return a
+    return a[~_probe(a, doomed)]

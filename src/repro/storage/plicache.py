@@ -34,7 +34,9 @@ All operations take the cache lock, so the parallel fan-out executor
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
@@ -49,9 +51,20 @@ _POINTER_ENTRY_COST = 96
 
 
 def partition_nbytes(partition: object) -> int:
-    """Estimated resident footprint of one cached partition."""
+    """Estimated resident footprint of one cached partition.
+
+    Array partitions report their *current* resident size, including
+    the lazily-built dense probe map once it materializes -- an entry
+    measured before its first ``intersect`` probe would otherwise be
+    charged a fraction of what it really holds (the dense map is eight
+    bytes per tuple of capacity, usually the dominant term), letting
+    the cache silently exceed its byte budget.
+    """
+    resident = getattr(partition, "resident_nbytes", None)
+    if resident is not None:  # ArrayPli: exact array sizes
+        return int(resident()) + _ENTRY_OVERHEAD
     ids = getattr(partition, "ids", None)
-    if ids is not None:  # ArrayPli: exact array sizes
+    if ids is not None:  # array-shaped duck type without the method
         labels = getattr(partition, "labels", ids)
         return int(ids.nbytes) + int(labels.nbytes) + _ENTRY_OVERHEAD
     n_entries = partition.n_entries()
@@ -88,6 +101,21 @@ class _Entry:
     nbytes: int
 
 
+# Process-mode fan-out forks workers while the parent may be running
+# service threads; a lock captured mid-acquire would deadlock the child
+# on its first cache probe. Children get fresh (unlocked) locks.
+_LIVE_CACHES: weakref.WeakSet["PartitionCache"] = weakref.WeakSet()
+
+
+def _reset_locks_after_fork() -> None:
+    for cache in list(_LIVE_CACHES):
+        cache._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_locks_after_fork)
+
+
 class PartitionCache:
     """Generation-tagged, byte-budgeted LRU cache of derived partitions."""
 
@@ -105,6 +133,7 @@ class PartitionCache:
         self._bytes = 0
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        _LIVE_CACHES.add(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -152,6 +181,7 @@ class PartitionCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            entry = self._remeasure_locked(key, entry)
             # Documented cache contract: hits are live; callers copy
             # before mutating (pli_for_combination does hit.copy()).
             return entry.partition  # reprolint: disable=R3
@@ -176,8 +206,10 @@ class PartitionCache:
                         best_mask, best = key, entry.partition
             if best is None:
                 return None
-            self._entries.move_to_end((kind, best_mask))
+            best_key = (kind, best_mask)
+            self._entries.move_to_end(best_key)
             self.stats.ancestor_seeds += 1
+            self._remeasure_locked(best_key, self._entries[best_key])
             return best_mask, best
 
     # ------------------------------------------------------------------
@@ -199,15 +231,36 @@ class PartitionCache:
             self._entries[key] = _Entry(generation, partition, nbytes)
             self._bytes += nbytes
             self.stats.stores += 1
-            if self._budget is not None:
-                while self._bytes > self._budget and len(self._entries) > 1:
-                    victim, entry = self._entries.popitem(last=False)
-                    if victim == key:  # never evict what was just stored
-                        self._entries[victim] = entry
-                        self._entries.move_to_end(victim, last=False)
-                        break
-                    self._bytes -= entry.nbytes
-                    self.stats.evictions += 1
+            self._evict_over_budget_locked(protect=key)
+
+    def _remeasure_locked(self, key: tuple[str, int], entry: _Entry) -> _Entry:
+        """Refresh one entry's byte accounting against its live size.
+
+        A partition can *grow* after it was stored (ArrayPli builds its
+        dense probe map on the first intersection), so every touch
+        re-measures the entry and re-enforces the budget -- protecting
+        the touched key, exactly as ``put`` protects a just-stored one.
+        """
+        nbytes = partition_nbytes(entry.partition)
+        if nbytes == entry.nbytes:
+            return entry
+        self._bytes += nbytes - entry.nbytes
+        refreshed = _Entry(entry.generation, entry.partition, nbytes)
+        self._entries[key] = refreshed
+        self._evict_over_budget_locked(protect=key)
+        return refreshed
+
+    def _evict_over_budget_locked(self, protect: tuple[str, int]) -> None:
+        if self._budget is None:
+            return
+        while self._bytes > self._budget and len(self._entries) > 1:
+            victim, entry = self._entries.popitem(last=False)
+            if victim == protect:  # never evict the protected key
+                self._entries[victim] = entry
+                self._entries.move_to_end(victim, last=False)
+                break
+            self._bytes -= entry.nbytes
+            self.stats.evictions += 1
 
     def put_many(
         self,

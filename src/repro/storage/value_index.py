@@ -25,6 +25,7 @@ from typing import Hashable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.storage.encoding import ColumnEncoding
+from repro.storage.kernels import setdiff_sorted
 from repro.storage.relation import Relation
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -164,8 +165,11 @@ class ValueIndex:
             posting = self._postings.get(code)
             if posting is None:
                 continue
-            doomed = sorted_ids[start:stop]
-            keep = posting[~np.isin(posting, doomed, assume_unique=False)]
+            # The stable argsort orders by code only, so the group's ids
+            # arrive in input order; sort them once to unlock the
+            # searchsorted membership kernel.
+            doomed = np.sort(sorted_ids[start:stop])
+            keep = setdiff_sorted(posting, doomed)
             if keep.size:
                 self._postings[code] = _frozen(keep)
             else:

@@ -58,6 +58,7 @@ class TenantConfig:
     health_reset_batches: int = 16
     # Performance knobs threaded through to the profiler.
     parallelism: int = 0
+    execution_mode: str = "thread"
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES
     compact_live_fraction: float = 0.5
     compact_min_rows: int = 1024
@@ -84,6 +85,11 @@ class TenantConfig:
             )
         if self.parallelism < 0:
             raise TenantError(f"parallelism must be >= 0, got {self.parallelism}")
+        if self.execution_mode not in ("thread", "process"):
+            raise TenantError(
+                "execution_mode must be 'thread' or 'process', "
+                f"got {self.execution_mode!r}"
+            )
 
     def service_config(self) -> ServiceConfig:
         """The ServiceConfig this tenant's ProfilingService runs with."""
@@ -98,6 +104,7 @@ class TenantConfig:
             sentinel_every=self.sentinel_every,
             health_reset_batches=self.health_reset_batches,
             parallelism=self.parallelism,
+            execution_mode=self.execution_mode,
             cache_budget_bytes=self.cache_budget_bytes,
             compact_live_fraction=self.compact_live_fraction,
             compact_min_rows=self.compact_min_rows,
@@ -117,6 +124,7 @@ class TenantConfig:
             "sentinel_every": self.sentinel_every,
             "health_reset_batches": self.health_reset_batches,
             "parallelism": self.parallelism,
+            "execution_mode": self.execution_mode,
             "cache_budget_bytes": self.cache_budget_bytes,
             "compact_live_fraction": self.compact_live_fraction,
             "compact_min_rows": self.compact_min_rows,

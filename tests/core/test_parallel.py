@@ -1,10 +1,17 @@
-"""Unit tests for the deterministic fan-out executor."""
+"""Unit tests for the deterministic fan-out executors."""
 
+import multiprocessing
+import os
 import threading
 
 import pytest
 
-from repro.core.parallel import FanOutPool
+from repro.core.parallel import FanOutPool, ProcessFanOut, make_pool
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process fan-out needs the fork start method",
+)
 
 
 class TestSerialPath:
@@ -73,6 +80,99 @@ class TestFanOut:
 
     def test_utilization_with_no_batches(self):
         assert FanOutPool(4).stats.utilization(4) == 0.0
+
+    def test_active_pool_reports_its_mode(self):
+        assert FanOutPool(4).stats_dict()["mode"] == "thread"
+
+
+class TestInlineUtilization:
+    """Regression: an inline pool used to divide busy time by a worker
+    count that never ran, reporting 0% utilization for a path that is
+    by construction running at full capacity."""
+
+    def test_inline_pool_reports_full_utilization(self):
+        pool = FanOutPool(0)
+        pool.map(lambda x: x, [1, 2, 3])
+        assert pool.stats.utilization(pool.parallelism) == 1.0
+        stats = pool.stats_dict()
+        assert stats["utilization"] == 1.0
+        assert stats["mode"] == "inline"
+
+    def test_parallelism_one_reports_full_utilization(self):
+        pool = FanOutPool(1)
+        pool.map(lambda x: x, range(5))
+        assert pool.stats_dict()["utilization"] == 1.0
+        assert pool.stats_dict()["mode"] == "inline"
+
+
+class TestProcessFanOut:
+    @fork_only
+    def test_results_come_back_in_input_order(self):
+        with ProcessFanOut(2) as pool:
+            items = list(range(20))
+            assert pool.map(lambda x: x * x, items) == [x * x for x in items]
+            assert pool.stats.fanout_batches == 1
+
+    @fork_only
+    def test_work_actually_leaves_the_calling_process(self):
+        with ProcessFanOut(2) as pool:
+            pids = pool.map(lambda _: os.getpid(), range(4))
+        assert any(pid != os.getpid() for pid in pids)
+
+    @fork_only
+    def test_closure_state_reaches_children_without_pickling(self):
+        shared = {"offset": 7}
+
+        class Unpicklable:
+            __reduce__ = None  # would blow up any pickle-based transfer
+
+        anchor = Unpicklable()
+
+        def task(x):
+            assert anchor is not None
+            return x + shared["offset"]
+
+        with ProcessFanOut(2) as pool:
+            assert pool.map(task, [1, 2, 3]) == [8, 9, 10]
+
+    @fork_only
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("task failed")
+            return x
+
+        with ProcessFanOut(2) as pool:
+            with pytest.raises(ValueError, match="task failed"):
+                pool.map(boom, range(4))
+
+    def test_single_item_runs_inline(self):
+        pool = ProcessFanOut(4)
+        assert pool.map(lambda x: x + 1, [1]) == [2]
+        assert pool.stats.serial_batches == 1
+
+    def test_parallelism_one_is_inactive(self):
+        assert not ProcessFanOut(1).active
+
+    def test_stats_report_process_mode(self):
+        pool = ProcessFanOut(2)
+        expected = "process" if pool.active else "inline"
+        assert pool.stats_dict()["mode"] == expected
+
+
+class TestMakePool:
+    def test_thread_mode(self):
+        pool = make_pool("thread", 3)
+        assert type(pool) is FanOutPool
+        assert pool.parallelism == 3
+
+    def test_process_mode(self):
+        pool = make_pool("process", 3)
+        assert type(pool) is ProcessFanOut
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            make_pool("gpu", 2)
 
 
 class TestLifecycle:

@@ -153,6 +153,65 @@ class TestEviction:
         assert cache.current_bytes == 0
 
 
+class TestDenseMapAccounting:
+    """Regression: seeded entries were charged at their store-time size.
+
+    An ArrayPli's dense probe map materializes lazily on first use --
+    often *after* ``put``, when the entry is served as an ancestor seed
+    for a larger intersection. The cache used to keep the store-time
+    byte count forever, so a budget full of seeded entries could hold
+    several times its configured bytes. Touches now re-measure.
+    """
+
+    def test_nbytes_grows_with_dense_map(self):
+        pli = array_pli([0, 1, 2, 3], [0, 0, 1, 1], capacity=1024)
+        before = partition_nbytes(pli)
+        pli.dense  # materialize the capacity-sized probe map
+        after = partition_nbytes(pli)
+        assert after >= before + 1024 * 8
+
+    def test_get_remeasures_and_reenforces_budget(self):
+        capacity = 4096
+        lean = partition_nbytes(array_pli([0, 1], [0, 0], capacity=capacity))
+        cache = PartitionCache(budget_bytes=3 * lean)
+        plis = [
+            array_pli([2 * i, 2 * i + 1], [0, 0], capacity=capacity)
+            for i in range(3)
+        ]
+        for i, pli in enumerate(plis):
+            cache.put(1 << i, 0, pli)
+        assert len(cache) == 3  # all fit while dense-free
+        plis[2].dense  # grows past the whole budget behind the cache's back
+        assert cache.get(0b100, 0) is plis[2]
+        # The touch re-measured: accounting now reflects the dense map,
+        # and older entries were evicted to honor the budget again. The
+        # touched entry itself is protected, like a fresh ``put``.
+        assert cache.current_bytes >= capacity * 8
+        assert len(cache) == 1
+        assert cache.get(0b100, 0) is plis[2]
+
+    def test_best_ancestor_remeasures(self):
+        capacity = 2048
+        pli = array_pli([0, 1], [0, 0], capacity=capacity)
+        cache = PartitionCache(budget_bytes=None)
+        cache.put(0b01, 0, pli)
+        before = cache.current_bytes
+        pli.dense
+        found = cache.best_ancestor(0b11, 0)
+        assert found is not None
+        assert cache.current_bytes >= before + capacity * 8
+
+    def test_remeasure_keeps_stats_consistent(self):
+        pli = array_pli([0, 1], [0, 0], capacity=512)
+        cache = PartitionCache()
+        cache.put(0b01, 0, pli)
+        pli.dense
+        cache.get(0b01, 0)
+        stats = cache.stats_dict()
+        assert stats["bytes"] == cache.current_bytes
+        assert stats["bytes"] == partition_nbytes(pli)
+
+
 class TestAccounting:
     def test_nbytes_array_pli(self, pli):
         assert partition_nbytes(pli) >= pli.ids.nbytes + pli.labels.nbytes
