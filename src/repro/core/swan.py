@@ -25,12 +25,17 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, Iterable, Sequence
 
-from repro.core.deletes import DeletesHandler, DeleteStats, capture_rows
+from repro.core.deletes import (
+    DeleteOutcome,
+    DeletesHandler,
+    DeleteStats,
+    capture_rows,
+)
 from repro.core.index_selection import (
     add_additional_index_attributes,
     select_index_attributes,
 )
-from repro.core.inserts import InsertsHandler, InsertStats
+from repro.core.inserts import InsertOutcome, InsertsHandler, InsertStats
 from repro.core.parallel import make_pool
 from repro.core.repository import Profile, ProfileRepository
 from repro.errors import ProfileStateError
@@ -41,7 +46,7 @@ from repro.storage.plicache import DEFAULT_BUDGET_BYTES, PartitionCache
 from repro.storage.relation import Relation
 from repro.storage.sparse_index import SparseIndex, sparse_index_for_relation
 from repro.storage.table_file import TableFile
-from repro.storage.value_index import IndexPool
+from repro.storage.value_index import IndexPool, ValueIndex
 
 Row = tuple[Hashable, ...]
 
@@ -149,13 +154,32 @@ class SwanProfiler:
         parallelism: int = 0,
         execution_mode: str = "thread",
         cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
+        shards: int = 1,
+        shard_insert_only: bool = False,
     ) -> "SwanProfiler":
         """Run a holistic discovery over ``relation`` and wire SWAN up.
 
         ``algorithm`` may be a name understood by
         :func:`repro.profiling.discovery.discover` or any callable
-        returning ``(mucs, mnucs)`` masks.
+        returning ``(mucs, mnucs)`` masks. ``shards > 1`` (or
+        ``shard_insert_only=True``) partitions the relation across
+        shard-local profilers behind a
+        :class:`repro.shard.ShardedSwanProfiler` facade whose profile
+        is bit-identical to the unsharded one.
         """
+        if shards > 1 or shard_insert_only:
+            from repro.shard import ShardedSwanProfiler
+
+            return ShardedSwanProfiler.partition(
+                relation,
+                shards=max(1, shards),
+                insert_only=shard_insert_only,
+                algorithm=algorithm,
+                index_quota=index_quota,
+                parallelism=parallelism,
+                execution_mode=execution_mode,
+                cache_budget_bytes=cache_budget_bytes,
+            )
         if callable(algorithm):
             mucs, mnucs = algorithm(relation)
         else:
@@ -168,6 +192,55 @@ class SwanProfiler:
             mnucs,
             index_quota=index_quota,
             index_columns=index_columns,
+            maintain_plis=maintain_plis,
+            parallelism=parallelism,
+            execution_mode=execution_mode,
+            cache_budget_bytes=cache_budget_bytes,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        relation: Relation,
+        mucs: Iterable[int],
+        mnucs: Iterable[int],
+        *,
+        algorithm: DiscoveryAlgorithm | str = "ducc",
+        index_quota: int | None = None,
+        maintain_plis: bool = True,
+        parallelism: int = 0,
+        execution_mode: str = "thread",
+        cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
+        shards: int = 1,
+        shard_insert_only: bool = False,
+    ) -> "SwanProfiler":
+        """Wire a (possibly sharded) profiler around a *known* profile.
+
+        Recovery paths land here: the global ``(mucs, mnucs)`` come from
+        a snapshot, so no global discovery runs. In sharded mode the
+        per-shard profiles still have to be discovered (they are not
+        persisted), which is what ``algorithm`` is for; the unsharded
+        path ignores it.
+        """
+        if shards > 1 or shard_insert_only:
+            from repro.shard import ShardedSwanProfiler
+
+            return ShardedSwanProfiler.partition(
+                relation,
+                shards=max(1, shards),
+                insert_only=shard_insert_only,
+                algorithm=algorithm,
+                global_profile=(list(mucs), list(mnucs)),
+                index_quota=index_quota,
+                parallelism=parallelism,
+                execution_mode=execution_mode,
+                cache_budget_bytes=cache_budget_bytes,
+            )
+        return cls(
+            relation,
+            mucs,
+            mnucs,
+            index_quota=index_quota,
             maintain_plis=maintain_plis,
             parallelism=parallelism,
             execution_mode=execution_mode,
@@ -219,6 +292,19 @@ class SwanProfiler:
     def pool_stats(self) -> dict[str, object]:
         """Fan-out executor counters (includes the effective mode)."""
         return self._pool.stats_dict()
+
+    def shard_stats(self) -> dict[str, object]:
+        """Sharding gauges; empty on an unsharded profiler."""
+        return {}
+
+    def value_index(self, column: int) -> "ValueIndex":
+        """The maintained value index on ``column``.
+
+        The index is shared with the insert path -- callers read through
+        its lookup API and never mutate it. Raises ``KeyError`` when the
+        column is not part of the maintained cover.
+        """
+        return self._index_pool.get(column)
 
     def close(self) -> None:
         """Release the fan-out workers (idempotent)."""
@@ -274,36 +360,22 @@ class SwanProfiler:
         dry run that commits nothing (the inserts handler never mutates
         storage, so this is exactly the analysis phase of
         :meth:`handle_inserts`)."""
-        from repro.errors import ArityError
-
-        arity = self._relation.n_columns
-        for position, row in enumerate(rows):
-            if len(row) != arity:
-                raise ArityError(
-                    f"batch row {position} has {len(row)} values, "
-                    f"schema has {arity} columns"
-                )
-        first_id = self._relation.next_tuple_id
-        new_rows = {
-            first_id + offset: tuple(row) for offset, row in enumerate(rows)
-        }
-        outcome = self._inserts.handle(new_rows)
+        outcome = self.analyze_inserts(rows)
         return Profile.from_masks(outcome.mucs, outcome.mnucs)
 
     def preview_deletes(self, tuple_ids: Iterable[int]) -> Profile:
         """The profile after deleting ``tuple_ids`` -- a dry run."""
-        if self._deletes is None:
-            raise ProfileStateError(
-                "this profiler was built with maintain_plis=False and "
-                "supports inserts only"
-            )
-        outcome = self._deletes.handle(
-            capture_rows(self._relation, tuple_ids), generation=self._generation
-        )
+        _, outcome = self.analyze_deletes(tuple_ids)
         return Profile.from_masks(outcome.mucs, outcome.mnucs)
 
-    def handle_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
-        """Apply a batch of inserts and return the updated profile.
+    # Split-phase batch application: ``analyze_*`` is strictly read-only
+    # (both handlers only probe; the facade applies every mutation in
+    # ``commit_*``), so analyses of *disjoint* profilers can run
+    # concurrently -- the sharded facade fans per-shard analyses out to
+    # worker threads or forked processes and then applies the commits
+    # serially in shard order. ``handle_*`` is exactly analyze + commit.
+    def analyze_inserts(self, rows: Sequence[Sequence[Hashable]]) -> "InsertOutcome":
+        """Validate and analyse a batch of inserts without committing.
 
         The whole batch is validated up front: a malformed row rejects
         the batch before anything is analysed or stored, so a failed
@@ -322,7 +394,12 @@ class SwanProfiler:
         new_rows = {
             first_id + offset: tuple(row) for offset, row in enumerate(rows)
         }
-        outcome = self._inserts.handle(new_rows)
+        return self._inserts.handle(new_rows)
+
+    def commit_inserts(
+        self, rows: Sequence[Sequence[Hashable]], outcome: "InsertOutcome"
+    ) -> Profile:
+        """Apply a batch whose analysis already ran (single-writer)."""
         self.last_insert_stats = outcome.stats
         # Commit: storage first, then the derived structures, so index
         # probes during *this* call saw only old tuples (Section III-D:
@@ -346,8 +423,14 @@ class SwanProfiler:
         self._generation += 1
         return self._repository.snapshot()
 
-    def handle_deletes(self, tuple_ids: Iterable[int]) -> Profile:
-        """Apply a batch of deletes and return the updated profile."""
+    def handle_inserts(self, rows: Sequence[Sequence[Hashable]]) -> Profile:
+        """Apply a batch of inserts and return the updated profile."""
+        return self.commit_inserts(rows, self.analyze_inserts(rows))
+
+    def analyze_deletes(
+        self, tuple_ids: Iterable[int]
+    ) -> "tuple[dict[int, Row], DeleteOutcome]":
+        """Capture and analyse a delete batch without committing."""
         if self._deletes is None:
             raise ProfileStateError(
                 "this profiler was built with maintain_plis=False and "
@@ -355,6 +438,12 @@ class SwanProfiler:
             )
         deleted_rows = capture_rows(self._relation, tuple_ids)
         outcome = self._deletes.handle(deleted_rows, generation=self._generation)
+        return deleted_rows, outcome
+
+    def commit_deletes(
+        self, deleted_rows: "dict[int, Row]", outcome: "DeleteOutcome"
+    ) -> Profile:
+        """Apply a delete batch whose analysis already ran."""
         self.last_delete_stats = outcome.stats
         for tuple_id, row in deleted_rows.items():
             self._relation.delete(tuple_id)
@@ -376,6 +465,11 @@ class SwanProfiler:
         # applied again"); extend the cover if a new MUC escaped it.
         self._ensure_index_cover()
         return self._repository.snapshot()
+
+    def handle_deletes(self, tuple_ids: Iterable[int]) -> Profile:
+        """Apply a batch of deletes and return the updated profile."""
+        deleted_rows, outcome = self.analyze_deletes(tuple_ids)
+        return self.commit_deletes(deleted_rows, outcome)
 
     def compact_storage(self) -> int:
         """Reclaim tombstoned storage in place; tuple IDs survive.

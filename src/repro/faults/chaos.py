@@ -113,9 +113,11 @@ def _holistic_fallback() -> tuple[Relation, list[int], list[int]]:
 
 def _config(seed: int = 0) -> ServiceConfig:
     # Odd seeds run the process-pool fan-out, so the sweep's invariants
-    # cover both execution modes (even seeds keep the serial default);
-    # results are bit-identical either way, which is exactly what the
-    # exhaustive verification at the end of each scenario checks.
+    # cover both execution modes (even seeds keep the serial default),
+    # and every third seed runs K=2 sharded profiling so the cross-shard
+    # merge sits inside the fault window too; results are bit-identical
+    # in every combination, which is exactly what the exhaustive
+    # verification at the end of each scenario checks.
     process = bool(seed % 2)
     return ServiceConfig(
         algorithm="bruteforce",
@@ -127,6 +129,7 @@ def _config(seed: int = 0) -> ServiceConfig:
         fsync=True,
         parallelism=2 if process else 0,
         execution_mode="process" if process else "thread",
+        shards=2 if seed % 3 == 2 else 1,
         retry=RetryPolicy(
             max_attempts=3, base_delay=0.0, multiplier=2.0, max_delay=0.0
         ),

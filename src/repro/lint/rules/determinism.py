@@ -56,7 +56,7 @@ class DeterminismRule(Rule):
         "time.time/datetime.now or iterate an unordered set into ordered "
         "output; use sorted(...) (or dict.fromkeys for stable dedup)."
     )
-    default_scope = ("repro.core", "repro.lattice", "repro.storage")
+    default_scope = ("repro.core", "repro.lattice", "repro.storage", "repro.shard")
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -84,6 +84,7 @@ class FanoutCaptureRule(Rule):
         "repro.service",
         "repro.storage",
         "repro.lattice",
+    "repro.shard",
     )
 
     @property

@@ -74,7 +74,7 @@ class FrozenViewsRule(Rule):
         "read-only before return, and no call site may mutate a value "
         "obtained from those surfaces."
     )
-    default_scope = ("repro.storage", "repro.core")
+    default_scope = ("repro.storage", "repro.core", "repro.shard")
 
     @property
     def surfaces(self) -> tuple[str, ...]:

@@ -43,6 +43,7 @@ _DEFAULT_SCOPE = (
     "repro.storage.fastpli",
     "repro.storage.plicache",
     "repro.storage.value_index",
+    "repro.shard",
 )
 
 _SCALAR_NAMES = {"int", "float", "bool", "str", "bytes", "None"}

@@ -65,6 +65,7 @@ class LocksMetricsRule(Rule):
         "repro.core",
         "repro.tenants",
         "repro.server",
+    "repro.shard",
     )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:

@@ -45,6 +45,7 @@ class RawIoRule(Rule):
         "repro.storage",
         "repro.tenants",
         "repro.server",
+    "repro.shard",
     )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:

@@ -65,6 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="default discovery algorithm for tenants created over HTTP",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="default shard count for tenants created over HTTP "
+        "(K shard-local profilers with an exact cross-shard merge)",
+    )
+    parser.add_argument(
+        "--shard-insert-only",
+        action="store_true",
+        help="default new tenants to the insert-only sharded fast path "
+        "(implies they must be created insert_only)",
+    )
+    parser.add_argument(
         "--no-fsync",
         action="store_true",
         help="default new tenants to fsync=false (benchmarks only)",
@@ -118,6 +131,10 @@ def default_config_from_args(args: argparse.Namespace) -> dict[str, Any]:
         defaults["cache_budget_bytes"] = args.cache_budget_mb * 1024 * 1024
     if args.algorithm is not None:
         defaults["algorithm"] = args.algorithm
+    if args.shards is not None:
+        defaults["shards"] = args.shards
+    if args.shard_insert_only:
+        defaults["shard_insert_only"] = True
     if args.no_fsync:
         defaults["fsync"] = False
     return defaults

@@ -116,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="byte budget for the cross-batch partition cache "
         "(default 64; 0 disables the cache)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the profile across K shard-local profilers with "
+        "an exact cross-shard merge (default 1 = unsharded)",
+    )
+    parser.add_argument(
+        "--shard-insert-only", action="store_true",
+        help="with --shards: drop per-shard PLI maintenance and the "
+        "delete handler (append-only workloads; delete batches are "
+        "rejected at admission)",
+    )
     return parser
 
 
@@ -151,6 +162,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.cache_budget_mb < 0:
         print("error: --cache-budget-mb must be >= 0", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         snapshot_every=args.snapshot_every,
         retain_snapshots=args.retain,
@@ -164,6 +178,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         parallelism=args.parallelism,
         execution_mode=args.execution_mode,
         cache_budget_bytes=args.cache_budget_mb * 1024 * 1024,
+        shards=args.shards,
+        shard_insert_only=args.shard_insert_only,
     )
     service = ProfilingService(args.data_dir, config=config)
     service.on_event(lambda event: print(f"  {event}"))

@@ -102,6 +102,9 @@ def recover(
     parallelism: int = 0,
     execution_mode: str = "thread",
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
+    shards: int = 1,
+    shard_insert_only: bool = False,
+    algorithm: str = "ducc",
 ) -> RecoveryResult:
     """Re-attach a :class:`SwanProfiler` from durable state.
 
@@ -112,6 +115,14 @@ def recover(
     ``cache_budget_bytes`` configure the rebuilt profiler -- and already
     speed up the replay itself (same semantics as :class:`SwanProfiler`:
     ``0`` disables the cache, ``None`` is unbounded).
+
+    ``shards > 1`` rebuilds a sharded facade: the stored global profile
+    is reused verbatim, the relation is re-partitioned (bit-identical
+    placement -- the dense ID space makes routing deterministic) and
+    only the small *per-shard* profiles are re-discovered with
+    ``algorithm``. An insert-only fleet (``shard_insert_only=True``)
+    can only replay insert records; a delete in the log fails the
+    snapshot over to an older one, same as any other bad record.
     """
     started = time.perf_counter()
     scan = scan_file(changelog_path)
@@ -134,14 +145,17 @@ def recover(
             continue
         relation = snapshot.build_relation()
         mucs, mnucs = snapshot.stored_profile.masks_for(relation.schema)
-        profiler = SwanProfiler(
+        profiler = SwanProfiler.build(
             relation,
             mucs,
             mnucs,
+            algorithm=algorithm,
             index_quota=index_quota,
             parallelism=parallelism,
             execution_mode=execution_mode,
             cache_budget_bytes=cache_budget_bytes,
+            shards=shards,
+            shard_insert_only=shard_insert_only,
         )
         suffix = [record for record in scan.records if record.seq > seq]
         try:
@@ -177,14 +191,17 @@ def recover(
             f"longer on disk ({detail})"
         )
     relation, mucs, mnucs = holistic_fallback()
-    profiler = SwanProfiler(
+    profiler = SwanProfiler.build(
         relation,
         mucs,
         mnucs,
+        algorithm=algorithm,
         index_quota=index_quota,
         parallelism=parallelism,
         execution_mode=execution_mode,
         cache_budget_bytes=cache_budget_bytes,
+        shards=shards,
+        shard_insert_only=shard_insert_only,
     )
     n_records, n_rows = replay_records(profiler, list(scan.records))
     return RecoveryResult(

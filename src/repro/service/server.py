@@ -352,6 +352,8 @@ class ServiceConfig:
     parallelism: int = 0  # fan-out workers (0/1 = serial)
     execution_mode: str = "thread"  # fan-out shape: "thread" | "process"
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES  # 0 = cache off
+    shards: int = 1  # K-way sharded profiling (1 = unsharded)
+    shard_insert_only: bool = False  # shards drop PLIs + delete path
     compact_live_fraction: float = 0.5  # compact storage below this live share (0 = off)
     compact_min_rows: int = 1024  # storage rows before compaction is considered
 
@@ -481,6 +483,9 @@ class ProfilingService:
                     parallelism=self.config.parallelism,
                     execution_mode=self.config.execution_mode,
                     cache_budget_bytes=self.config.cache_budget_bytes,
+                    shards=self.config.shards,
+                    shard_insert_only=self.config.shard_insert_only,
+                    algorithm=self.config.algorithm,
                 )
             self.last_recovery = result
             profiler = result.profiler
@@ -499,6 +504,8 @@ class ProfilingService:
                     parallelism=self.config.parallelism,
                     execution_mode=self.config.execution_mode,
                     cache_budget_bytes=self.config.cache_budget_bytes,
+                    shards=self.config.shards,
+                    shard_insert_only=self.config.shard_insert_only,
                 )
             watches = self.config.watches
         else:
@@ -804,6 +811,14 @@ class ProfilingService:
                             "tuples of them"
                         )
         else:
+            if self.config.shard_insert_only:
+                # The insert-only fleet has no delete path at all; a
+                # committed delete record would poison every future
+                # recovery, so reject it before it reaches the log.
+                raise WorkloadError(
+                    "this service runs insert-only shards "
+                    "(shard_insert_only): delete batches are not supported"
+                )
             doomed: set[int] = set()
             for tuple_id in batch.tuple_ids:
                 if isinstance(tuple_id, bool) or not isinstance(tuple_id, int):
@@ -1064,6 +1079,8 @@ class ProfilingService:
                     parallelism=self.config.parallelism,
                     execution_mode=self.config.execution_mode,
                     cache_budget_bytes=self.config.cache_budget_bytes,
+                    shards=self.config.shards,
+                    shard_insert_only=self.config.shard_insert_only,
                 )
         except Exception as rebuild_exc:
             self.health.mark_failed(
@@ -1214,6 +1231,29 @@ class ProfilingService:
         self.metrics.gauge("encoding_code_bytes").set(
             encoding_stats["code_bytes"]
         )
+        shard_stats = profiler.shard_stats()
+        if shard_stats:
+            self.metrics.gauge("shard_count").set(
+                float(shard_stats["shard_count"])  # type: ignore[arg-type]
+            )
+            self.metrics.gauge("merge_seconds").set(
+                float(shard_stats["merge_seconds"])  # type: ignore[arg-type]
+            )
+            self.metrics.gauge("cross_shard_probes").set(
+                float(shard_stats["cross_shard_probes"])  # type: ignore[arg-type]
+            )
+            self.metrics.gauge("cross_shard_witnesses").set(
+                float(shard_stats["cross_sets"])  # type: ignore[arg-type]
+            )
+            shard_rows = shard_stats["shard_rows"]
+            assert isinstance(shard_rows, list)
+            for shard, rows in enumerate(shard_rows):
+                # One gauge per shard: the name is data-driven by
+                # design, and shard count is fixed for the
+                # profiler's lifetime.
+                self.metrics.gauge(  # reprolint: disable=R5
+                    f"shard_rows{shard}"
+                ).set(float(rows))
         insert_stats = profiler.last_insert_stats
         if insert_stats is not None:
             retrieval = insert_stats.retrieval

@@ -1,0 +1,38 @@
+"""Horizontal scale-out: K-sharded SWAN profiles with exact merge.
+
+The package splits one logical relation across ``K`` shard-local
+:class:`~repro.core.swan.SwanProfiler` instances (each with its own
+encoded relation, value indexes, PLIs and partition cache) and keeps
+the *fleet-wide* MUCS/MNUCS exact by composition:
+
+* :class:`ShardRouter` -- arithmetic round-robin placement of the dense
+  global tuple-ID space (``shard = id % K``), no routing tables;
+* :class:`ShardedRelationView` -- the read-only global
+  :class:`~repro.storage.relation.Relation` view the service layer
+  (snapshots, sentinel, gauges) consumes;
+* :class:`GlobalProfileMerger` -- exact cross-shard merge: batched
+  value-index probes and agree-set computation at the merge boundary,
+  only for combinations that are shard-locally unique everywhere;
+* :class:`ShardedSwanProfiler` -- the drop-in profiler facade that
+  routes, fans analyses out (threads or forked processes), merges and
+  commits serially; ``insert_only=True`` drops PLI maintenance and the
+  delete path for append-only workloads.
+"""
+
+from repro.shard.merger import GlobalProfileMerger
+from repro.shard.profiler import (
+    ShardDeleteOutcome,
+    ShardedSwanProfiler,
+    ShardInsertOutcome,
+)
+from repro.shard.router import ShardRouter
+from repro.shard.view import ShardedRelationView
+
+__all__ = [
+    "GlobalProfileMerger",
+    "ShardDeleteOutcome",
+    "ShardInsertOutcome",
+    "ShardRouter",
+    "ShardedRelationView",
+    "ShardedSwanProfiler",
+]

@@ -1,0 +1,576 @@
+"""Exact fleet-wide (MUCS, MNUCS) maintenance over shard-local profiles.
+
+The composition theorem this module implements (the shard analogue of
+the paper's agree-set machinery):
+
+* A combination is **globally unique** iff it is unique in *every*
+  shard **and** no duplicate pair straddles two shards. Shard profiles
+  are exact for intra-shard pairs, so the global verdict can only
+  differ from the shard-local one for combinations that are
+  shard-locally unique everywhere -- and only a *cross-shard* duplicate
+  pair can flip it. Those are the only combinations this module ever
+  probes.
+* The **global MNUCS** are ``maximize(union of shard MNUCS + maximal
+  cross-shard agree sets)``: every intra-shard duplicate pair is
+  dominated by some shard MNUC, every cross-shard pair by its agree
+  set, and each such mask is genuinely non-unique, so the maximized
+  union is exactly the set of maximal non-unique combinations. The
+  global MUCS follow by transversal duality (``repro.lattice``).
+
+**Inserts** compose rather than re-derive: a batch can break a global
+MUC through an intra-batch pair (the batch agree-set antichain), an
+intra-shard pair (already inside that shard's *post-batch* MNUCS from
+the shard analyses), or a *cross-shard* pair between an insert and a
+resident of another shard. Only the last kind needs probing, and only
+through one covering value index per (global MUC, shard) -- any cross
+pair agreeing on a still-unique MUC must agree on that probe column,
+so batching the foreign inserts' values against it finds every such
+pair. Each pair's agree set is computed once and shared across every
+MUC it breaks; the new MNUCS are the maximized union of all four
+sources and the new MUCS follow per broken MUC via
+``minimal_unique_supersets``. Pairs whose members live on different
+shards are remembered in ``cross_sets`` as *witnesses*.
+
+**Deletes** exploit "deletes never create duplicates": every surviving
+shard MNUC and every witness mask whose pair survived the batch is
+still non-unique, so they seed the border. The transversal-duality
+fixpoint then mirrors the delete handler's hole detection: candidate
+minimal uniques implied by the border that do not contain a pre-delete
+global MUC are verified by a cross-shard duplicate probe; a found pair
+feeds its agree set back into the border, and when no candidate fails
+the border *is* the new MNUCS and the candidates are the new MUCS. The
+probes share one :class:`_CrossProbe` context per merge: for a probed
+column it materializes only the rows whose value occurs in two or more
+shards (the only rows a cross-shard pair can touch), so repeated
+candidates against the same region cost one index sweep, not one
+relation scan each.
+
+Both merge computations are pure analyses: they read the shards'
+pre-commit state (delete probes filter the doomed IDs explicitly) and
+return the new global profile plus witness edits, which the facade
+applies only when the batch commits -- previews discard them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.inserts import batch_agree_antichain
+from repro.core.swan import SwanProfiler
+from repro.lattice.antichain import MaximalAntichain, sorted_masks
+from repro.lattice.combination import (
+    columns_of,
+    is_subset,
+    maximize,
+    minimize,
+)
+from repro.lattice.transversal import minimal_unique_supersets, mucs_from_mnucs
+from repro.profiling.verify import agree_set
+from repro.shard.router import ShardRouter
+from repro.storage.encoding import encode_rows_local
+
+Row = tuple[Hashable, ...]
+
+Witnesses = dict[int, tuple[int, int]]
+
+
+class GlobalProfileMerger:
+    """Maintains the fleet-wide profile by exact cross-shard composition.
+
+    ``cross_sets`` maps a maximal cross-shard agree-set mask to one
+    *witness* duplicate pair (global IDs on different shards). Witnesses
+    are a cache, not a correctness requirement: a delete that kills a
+    witness simply forces the fixpoint to re-probe the affected region.
+    """
+
+    __slots__ = (
+        "_router",
+        "_profilers",
+        "_n_columns",
+        "cross_sets",
+        "merge_seconds",
+        "cross_shard_probes",
+        "cross_shard_fallbacks",
+    )
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        profilers: Sequence[SwanProfiler],
+        n_columns: int,
+    ) -> None:
+        self._router = router
+        self._profilers = tuple(profilers)
+        self._n_columns = n_columns
+        self.cross_sets: Witnesses = {}
+        self.merge_seconds = 0.0
+        self.cross_shard_probes = 0
+        self.cross_shard_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(self, global_mnucs: Iterable[int]) -> None:
+        """Seed witnesses for MNUCs no single shard can account for.
+
+        A global MNUC contained in some shard MNUC has an intra-shard
+        duplicate pair and needs no witness. Any other global MNUC is
+        unique inside every shard, so *every* duplicate pair on it is
+        cross-shard -- the probe below is guaranteed to find one.
+        """
+        shard_mnucs = [
+            profiler.snapshot().mnucs for profiler in self._profilers
+        ]
+        probe = _CrossProbe(self, frozenset())
+        for mask in global_mnucs:
+            if any(
+                is_subset(mask, shard_mask)
+                for mnucs in shard_mnucs
+                for shard_mask in mnucs
+            ):
+                continue
+            found = probe.find(mask)
+            if found is not None:
+                witness_mask, pair = found
+                self.cross_sets.setdefault(witness_mask, pair)
+
+    # ------------------------------------------------------------------
+    # Insert merge (compose batch, shard and cross-shard evidence)
+    # ------------------------------------------------------------------
+    def merge_inserts(
+        self,
+        new_rows: Mapping[int, Row],
+        old_mucs: Sequence[int],
+        old_mnucs: Sequence[int],
+        shard_mnucs: Sequence[Sequence[int]],
+    ) -> tuple[list[int], list[int], Witnesses]:
+        """The post-insert global profile, computed pre-commit.
+
+        ``new_rows`` maps the batch's *global* IDs to rows; the shard
+        relations and indexes must still be in their pre-batch state.
+        ``shard_mnucs`` holds each shard's *post-batch* MNUCS (from the
+        shard analyses) -- they dominate every intra-shard duplicate
+        pair, old-old and new-anything alike, so only pairs straddling
+        shards are probed here. Returns ``(mucs, mnucs, new
+        witnesses)`` without mutating ``cross_sets`` -- the facade
+        applies the witnesses on commit.
+        """
+        started = time.perf_counter()
+        try:
+            if not new_rows:
+                return list(old_mucs), list(old_mnucs), {}
+            witnesses: Witnesses = {}
+            non_unique: set[int] = set(old_mnucs)
+            for mnucs in shard_mnucs:
+                non_unique.update(mnucs)
+            # Intra-batch pairs: the vectorized antichain when the batch
+            # is small, otherwise per-MUC grouping (the same threshold
+            # the single-node handler uses -- only pairs agreeing on a
+            # still-unique MUC can carry new information).
+            if len(new_rows) ** 2 < max(4096, len(old_mucs) * len(new_rows)):
+                non_unique.update(
+                    batch_agree_antichain(
+                        list(new_rows.values()), self._n_columns
+                    ).masks()
+                )
+            else:
+                non_unique.update(
+                    self._batch_pair_masks(new_rows, old_mucs, witnesses)
+                )
+            non_unique.update(
+                self._cross_agree_masks(new_rows, old_mucs, witnesses)
+            )
+            new_mnucs = maximize(non_unique)
+            new_mucs: list[int] = []
+            for muc_mask in old_mucs:
+                blockers = [
+                    mask for mask in new_mnucs if is_subset(muc_mask, mask)
+                ]
+                if not blockers:
+                    new_mucs.append(muc_mask)
+                else:
+                    new_mucs.extend(
+                        minimal_unique_supersets(
+                            muc_mask, blockers, self._n_columns
+                        )
+                    )
+            return minimize(new_mucs), new_mnucs, witnesses
+        finally:
+            self.merge_seconds += time.perf_counter() - started
+
+    def _batch_pair_masks(
+        self,
+        new_rows: Mapping[int, Row],
+        old_mucs: Sequence[int],
+        witnesses: Witnesses,
+    ) -> set[int]:
+        """Agree sets of intra-batch pairs that agree on some old MUC.
+
+        A batch pair whose agree set contains no pre-batch global MUC
+        was non-unique already (its mask sits under an old MNUC), so
+        grouping the batch on each MUC's projection finds every pair
+        that matters without enumerating all O(batch**2) of them.
+        """
+        masks: set[int] = set()
+        shard_of = self._router.shard_of
+        seen_pairs: set[tuple[int, int]] = set()
+        ids = list(new_rows)
+        rows = list(new_rows.values())
+        codes = []
+        duplicated = []
+        for column in range(self._n_columns):
+            column_codes = encode_rows_local(rows, column)
+            codes.append(column_codes)
+            # True where the row's value occurs at least twice in the
+            # batch -- a necessary condition for membership in any
+            # duplicate group touching this column.
+            counts = np.bincount(column_codes)
+            duplicated.append(counts[column_codes] >= 2)
+        for muc_mask in old_mucs:
+            # Rows lacking a batch-duplicated value in *some* MUC column
+            # cannot pair on it; lexsort only the survivors -- one numpy
+            # pass per MUC instead of one Python projection per row.
+            indices = columns_of(muc_mask)
+            flags = duplicated[indices[0]]
+            for index in indices[1:]:
+                flags = flags & duplicated[index]
+            survivors = np.flatnonzero(flags)
+            if survivors.size < 2:
+                continue
+            arrays = [codes[index][survivors] for index in indices]
+            order = np.lexsort(arrays)
+            keys = np.stack([array[order] for array in arrays], axis=1)
+            change = np.concatenate(
+                ([True], np.any(keys[1:] != keys[:-1], axis=1))
+            )
+            starts = np.flatnonzero(change)
+            ends = np.concatenate((starts[1:], [len(order)]))
+            for start, end in zip(starts, ends):
+                if end - start < 2:
+                    continue
+                members = sorted(
+                    int(slot) for slot in survivors[order[start:end]]
+                )
+                for offset, left_slot in enumerate(members):
+                    left_id, left_row = ids[left_slot], rows[left_slot]
+                    for right_slot in members[offset + 1 :]:
+                        right_id = ids[right_slot]
+                        pair = (left_id, right_id)
+                        if pair in seen_pairs:
+                            continue
+                        seen_pairs.add(pair)
+                        mask = agree_set(left_row, rows[right_slot])
+                        masks.add(mask)
+                        if mask not in witnesses and shard_of(
+                            left_id
+                        ) != shard_of(right_id):
+                            witnesses[mask] = pair
+        return masks
+
+    def _cross_agree_masks(
+        self,
+        new_rows: Mapping[int, Row],
+        old_mucs: Sequence[int],
+        witnesses: Witnesses,
+    ) -> set[int]:
+        """Agree sets of insert/resident pairs that straddle shards.
+
+        Only pairs agreeing on some pre-batch global MUC can carry new
+        information (any other cross pair's agree set was already
+        non-unique and sits under an old MNUC), so per shard it
+        suffices to probe one covering value index per MUC -- the most
+        selective one -- with the values of the inserts routed
+        *elsewhere*. Each discovered pair's agree set is computed once
+        and shared by every MUC it breaks. Shards with no covering
+        index for some MUC (possible only with < 2 live rows, or a
+        momentarily stale cover) fall back to pairing all their
+        residents against the foreign inserts, which is counted.
+        """
+        masks: set[int] = set()
+        shard_of = self._router.shard_of
+        global_id_of = self._router.global_id
+        # The batch grouped by value, once per column (shards share it;
+        # inserts routed to the probed shard are skipped at hit time).
+        grouped: dict[int, dict[Hashable, list[tuple[int, Row]]]] = {}
+
+        def grouped_on(column: int) -> dict[Hashable, list[tuple[int, Row]]]:
+            by_value = grouped.get(column)
+            if by_value is None:
+                by_value = {}
+                for insert_id, insert_row in new_rows.items():
+                    by_value.setdefault(insert_row[column], []).append(
+                        (insert_id, insert_row)
+                    )
+                grouped[column] = by_value
+            return by_value
+
+        for shard, profiler in enumerate(self._profilers):
+            part = profiler.relation
+            indexed = profiler.indexed_columns
+            probe_columns: set[int] = set()
+            fallback = False
+            for muc_mask in old_mucs:
+                covering = [
+                    column
+                    for column in columns_of(muc_mask)
+                    if column in indexed
+                ]
+                if not covering:
+                    fallback = True
+                    break
+                # Highest distinct count = most selective probe.
+                probe_columns.add(
+                    max(
+                        covering,
+                        key=lambda column: len(profiler.value_index(column)),
+                    )
+                )
+            row_cache: dict[int, Row] = {}
+            seen_pairs: set[tuple[int, int]] = set()
+
+            def note(local_id: int, insert_id: int, insert_row: Row) -> None:
+                resident_id = global_id_of(shard, local_id)
+                pair = (resident_id, insert_id)
+                if pair in seen_pairs:
+                    return
+                seen_pairs.add(pair)
+                resident_row = row_cache.get(local_id)
+                if resident_row is None:
+                    resident_row = part.row(local_id)
+                    row_cache[local_id] = resident_row
+                mask = agree_set(resident_row, insert_row)
+                masks.add(mask)
+                if mask not in witnesses:
+                    witnesses[mask] = pair
+
+            if fallback:
+                self.cross_shard_fallbacks += 1
+                for local_id in part.iter_ids():
+                    for insert_id, insert_row in new_rows.items():
+                        if shard_of(insert_id) != shard:
+                            note(local_id, insert_id, insert_row)
+                continue
+            for column in probe_columns:
+                index = profiler.value_index(column)
+                by_value = grouped_on(column)
+                values = list(by_value)
+                self.cross_shard_probes += len(values)
+                for value, posting in zip(values, index.lookup_batch(values)):
+                    if not posting.size:
+                        continue
+                    local_ids = [int(local_id) for local_id in posting]
+                    for insert_id, insert_row in by_value[value]:
+                        if shard_of(insert_id) == shard:
+                            continue
+                        for local_id in local_ids:
+                            note(local_id, insert_id, insert_row)
+        return masks
+
+    # ------------------------------------------------------------------
+    # Delete merge (duality fixpoint over the composed border)
+    # ------------------------------------------------------------------
+    def merge_deletes(
+        self,
+        deleted: frozenset[int],
+        shard_mnucs: Sequence[Sequence[int]],
+        pre_mucs: Sequence[int],
+    ) -> tuple[list[int], list[int], Witnesses, list[int]]:
+        """The post-delete global profile, computed pre-commit.
+
+        ``shard_mnucs`` holds each shard's *post-delete* MNUCS (from the
+        shard analyses); the shard relations themselves must still be in
+        their pre-delete state -- the cross-shard probes filter
+        ``deleted`` explicitly. Returns ``(mucs, mnucs, new witnesses,
+        pruned witness masks)``.
+        """
+        started = time.perf_counter()
+        try:
+            pruned = [
+                mask
+                for mask, (left_id, right_id) in self.cross_sets.items()
+                if left_id in deleted or right_id in deleted
+            ]
+            dead = set(pruned)
+            border = MaximalAntichain()
+            for mnucs in shard_mnucs:
+                for mask in mnucs:
+                    border.add(mask)
+            for mask in self.cross_sets:
+                if mask not in dead:
+                    border.add(mask)
+            witnesses: Witnesses = {}
+            verified_unique: set[int] = set()
+            probe = _CrossProbe(self, deleted)
+            while True:
+                candidates = mucs_from_mnucs(
+                    sorted_masks(border.masks()), self._n_columns
+                )
+                progressed = False
+                for candidate in candidates:
+                    if candidate in verified_unique:
+                        continue
+                    if any(is_subset(muc, candidate) for muc in pre_mucs):
+                        # Deletes never create duplicates: a combination
+                        # that was unique stays unique, no probe needed.
+                        verified_unique.add(candidate)
+                        continue
+                    found = probe.find(candidate)
+                    if found is None:
+                        verified_unique.add(candidate)
+                    else:
+                        witness_mask, pair = found
+                        border.add(witness_mask)
+                        witnesses.setdefault(witness_mask, pair)
+                        progressed = True
+                if not progressed:
+                    return (
+                        candidates,
+                        sorted_masks(border.masks()),
+                        witnesses,
+                        pruned,
+                    )
+        finally:
+            self.merge_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Commit-side bookkeeping
+    # ------------------------------------------------------------------
+    def apply_witnesses(
+        self, fresh: Witnesses, pruned: Iterable[int] = ()
+    ) -> None:
+        """Commit a merge's witness edits (prune first, then record)."""
+        for mask in pruned:
+            self.cross_sets.pop(mask, None)
+        for mask, pair in fresh.items():
+            self.cross_sets.setdefault(mask, pair)
+
+    def stats_dict(self) -> dict[str, object]:
+        return {
+            "cross_sets": len(self.cross_sets),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "cross_shard_probes": self.cross_shard_probes,
+            "cross_shard_fallbacks": self.cross_shard_fallbacks,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalProfileMerger(shards={self._router.n_shards}, "
+            f"witnesses={len(self.cross_sets)})"
+        )
+
+
+class _CrossProbe:
+    """One merge's (or bootstrap's) cross-shard duplicate-probe context.
+
+    Callers only probe combinations that are unique inside every shard,
+    so every duplicate pair on them is cross-shard -- both members must
+    share a value on each probed column, and that value must therefore
+    occur in at least two shards. Per probed column this context
+    materializes exactly those *cross-candidate* rows once (via the
+    shards' value indexes), and every probe touching that column grows
+    into a grouping pass over the candidates instead of a full relation
+    scan. Masks with no column indexed in every shard fall back to one
+    shared full scan, cached across the whole merge.
+    """
+
+    __slots__ = ("_merger", "_deleted", "_common", "_shared", "_scan")
+
+    def __init__(
+        self, merger: GlobalProfileMerger, deleted: frozenset[int]
+    ) -> None:
+        self._merger = merger
+        self._deleted = deleted
+        self._shared: dict[int, list[tuple[int, Row]]] = {}
+        self._scan: list[tuple[int, Row]] | None = None
+        profilers = merger._profilers
+        common: set[int] = set(profilers[0].indexed_columns)
+        for profiler in profilers[1:]:
+            common &= profiler.indexed_columns
+        self._common = common
+
+    def find(self, mask: int) -> tuple[int, tuple[int, int]] | None:
+        """One surviving duplicate pair agreeing on all of ``mask``.
+
+        The returned mask is the pair's full agree set -- a genuine
+        non-unique superset of ``mask``.
+        """
+        merger = self._merger
+        merger.cross_shard_probes += 1
+        indices = columns_of(mask)
+        usable = [column for column in indices if column in self._common]
+        if not usable:
+            merger.cross_shard_fallbacks += 1
+            rows = self._full_scan()
+        else:
+            ready = [column for column in usable if column in self._shared]
+            if ready:
+                column = min(
+                    ready, key=lambda column: len(self._shared[column])
+                )
+            else:
+                column = max(usable, key=self._total_distinct)
+            rows = self._shared_rows(column)
+        seen: dict[Row, tuple[int, Row]] = {}
+        for global_id, row in rows:
+            key = tuple(row[index] for index in indices)
+            other = seen.get(key)
+            if other is not None:
+                other_id, other_row = other
+                return (agree_set(other_row, row), (other_id, global_id))
+            seen[key] = (global_id, row)
+        return None
+
+    def _total_distinct(self, column: int) -> int:
+        return sum(
+            len(profiler.value_index(column))
+            for profiler in self._merger._profilers
+        )
+
+    def _shared_rows(self, column: int) -> list[tuple[int, Row]]:
+        rows = self._shared.get(column)
+        if rows is None:
+            rows = self._build_shared(column)
+            self._shared[column] = rows
+        return rows
+
+    def _build_shared(self, column: int) -> list[tuple[int, Row]]:
+        merger = self._merger
+        presence: dict[Hashable, int] = {}
+        per_shard: list[list[Hashable]] = []
+        for profiler in merger._profilers:
+            values = list(profiler.value_index(column).iter_values())
+            per_shard.append(values)
+            for value in values:
+                presence[value] = presence.get(value, 0) + 1
+        rows: list[tuple[int, Row]] = []
+        for shard, profiler in enumerate(merger._profilers):
+            wanted = [
+                value for value in per_shard[shard] if presence[value] >= 2
+            ]
+            if not wanted:
+                continue
+            part = profiler.relation
+            for posting in profiler.value_index(column).lookup_batch(wanted):
+                for raw_id in posting:
+                    local_id = int(raw_id)
+                    global_id = merger._router.global_id(shard, local_id)
+                    if global_id in self._deleted:
+                        continue
+                    rows.append((global_id, part.row(local_id)))
+        return rows
+
+    def _full_scan(self) -> list[tuple[int, Row]]:
+        if self._scan is None:
+            merger = self._merger
+            rows: list[tuple[int, Row]] = []
+            for shard, profiler in enumerate(merger._profilers):
+                for local_id, row in profiler.relation.iter_items():
+                    global_id = merger._router.global_id(shard, local_id)
+                    if global_id in self._deleted:
+                        continue
+                    rows.append((global_id, row))
+            self._scan = rows
+        return self._scan

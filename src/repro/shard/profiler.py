@@ -1,0 +1,465 @@
+"""The sharded SWAN facade: K shard-local profilers, one exact profile.
+
+:class:`ShardedSwanProfiler` is a drop-in :class:`SwanProfiler`: the
+service layer drives it through the same ``analyze_* / commit_* /
+handle_* / preview_*`` surface and reads the same introspection API.
+Internally a batch is
+
+1. **routed** -- :class:`~repro.shard.router.ShardRouter` splits it into
+   per-shard sub-batches (pure arithmetic on the dense global IDs),
+2. **analysed in parallel** -- each affected shard runs its read-only
+   analysis on its own profiler; shards are independent single-writers,
+   so the analyses fan out through the session's
+   :class:`~repro.core.parallel.FanOutPool` (threads) or
+   :class:`~repro.core.parallel.ProcessFanOut` (forked children, with
+   only the small outcome objects pickled back),
+3. **merged** -- :class:`~repro.shard.merger.GlobalProfileMerger`
+   composes the shard outcomes into the exact global profile, probing
+   for cross-shard duplicates only where shard-local knowledge cannot
+   decide,
+4. **committed serially** -- the facade applies the shard commits in
+   shard order, then publishes the merged profile. Previews stop after
+   step 3 and discard everything.
+
+``insert_only=True`` builds the shards without PLIs and without delete
+handlers: the delete path raises a typed
+:class:`~repro.errors.ProfileStateError` (the service surfaces it as a
+client error on ``!delete``), and bootstrap skips the PLI build
+entirely -- the append-only fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.deletes import DeleteOutcome, DeleteStats
+from repro.core.inserts import InsertOutcome, InsertStats
+from repro.core.parallel import make_pool
+from repro.core.repository import Profile, ProfileRepository
+from repro.core.swan import DiscoveryAlgorithm, SwanProfiler
+from repro.errors import ProfileStateError
+from repro.profiling.stats import column_statistics
+from repro.shard.merger import GlobalProfileMerger, Witnesses
+from repro.shard.router import ShardRouter
+from repro.shard.view import ShardedRelationView
+from repro.storage.plicache import DEFAULT_BUDGET_BYTES
+from repro.storage.relation import Relation
+from repro.storage.value_index import ValueIndex
+
+Row = tuple[Hashable, ...]
+
+_INSERT_ONLY = (
+    "this profiler runs sharded in insert-only mode (shard_insert_only): "
+    "PLIs and the delete path are disabled, only inserts are supported"
+)
+
+
+@dataclass
+class ShardInsertOutcome(InsertOutcome):
+    """Global insert analysis: merged profile plus per-shard pieces."""
+
+    shard_rows: dict[int, list[Row]] = field(default_factory=dict)
+    shard_outcomes: dict[int, InsertOutcome] = field(default_factory=dict)
+    witnesses: Witnesses = field(default_factory=dict)
+
+
+@dataclass
+class ShardDeleteOutcome(DeleteOutcome):
+    """Global delete analysis: merged profile plus per-shard pieces."""
+
+    shard_deleted: dict[int, dict[int, Row]] = field(default_factory=dict)
+    shard_outcomes: dict[int, DeleteOutcome] = field(default_factory=dict)
+    witnesses: Witnesses = field(default_factory=dict)
+    pruned: list[int] = field(default_factory=list)
+
+
+def _merge_insert_stats(parts: Iterable[InsertStats]) -> InsertStats:
+    total = InsertStats()
+    for part in parts:
+        total.batch_size += part.batch_size
+        total.index_lookups += part.index_lookups
+        total.cache_hits += part.cache_hits
+        total.candidate_ids += part.candidate_ids
+        total.tuples_retrieved += part.tuples_retrieved
+        total.fallback_scans += part.fallback_scans
+        total.broken_mucs += part.broken_mucs
+        total.duplicate_groups += part.duplicate_groups
+        total.retrieval.merge(part.retrieval)
+    return total
+
+
+def _merge_delete_stats(parts: Iterable[DeleteStats]) -> DeleteStats:
+    total = DeleteStats()
+    for part in parts:
+        total.batch_size += part.batch_size
+        total.mnucs_checked += part.mnucs_checked
+        total.unaffected_short_circuits += part.unaffected_short_circuits
+        total.restricted_short_circuits += part.restricted_short_circuits
+        total.survivor_short_circuits += part.survivor_short_circuits
+        total.complete_checks += part.complete_checks
+        total.turned_mnucs += part.turned_mnucs
+        total.lattice_checks += part.lattice_checks
+    return total
+
+
+class ShardedSwanProfiler(SwanProfiler):
+    """K shard-local SWAN profilers behind one exact global facade."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        profilers: Sequence[SwanProfiler],
+        mucs: Iterable[int],
+        mnucs: Iterable[int],
+        *,
+        insert_only: bool = False,
+        parallelism: int = 0,
+        execution_mode: str = "thread",
+    ) -> None:
+        # Deliberately no super().__init__: the facade owns no storage
+        # of its own. It carries the merged read view, the global
+        # repository and the fan-out pool; everything else lives in the
+        # shard profilers, and every base method that would touch an
+        # unsharded structure is overridden below.
+        if not profilers:
+            raise ValueError("at least one shard profiler is required")
+        self._shard_profilers = tuple(profilers)
+        self._router = router
+        self._insert_only = insert_only
+        schema = self._shard_profilers[0].relation.schema
+        self._relation: Relation = ShardedRelationView(
+            schema, router, [p.relation for p in self._shard_profilers]
+        )
+        self._repository = ProfileRepository(mucs, mnucs)
+        self._stats = column_statistics(self._relation)
+        # With an explicit parallelism the pool honours it; otherwise
+        # one slot per shard -- the natural width, since shard analyses
+        # are the unit of fan-out.
+        width = parallelism if parallelism >= 2 else router.n_shards
+        self._pool = make_pool(execution_mode, width)
+        self._merger = GlobalProfileMerger(
+            router, self._shard_profilers, self._relation.n_columns
+        )
+        self._generation = 0
+        self.last_insert_stats: InsertStats | None = None
+        self.last_delete_stats: DeleteStats | None = None
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    @classmethod
+    def partition(
+        cls,
+        relation: Relation,
+        *,
+        shards: int,
+        insert_only: bool = False,
+        algorithm: DiscoveryAlgorithm | str = "ducc",
+        global_profile: tuple[list[int], list[int]] | None = None,
+        index_quota: int | None = None,
+        parallelism: int = 0,
+        execution_mode: str = "thread",
+        cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES,
+    ) -> "ShardedSwanProfiler":
+        """Split ``relation`` across ``shards`` and wire the facade up.
+
+        Tombstoned global IDs are re-created in their shard (placeholder
+        insert + delete, exactly as snapshot recovery does), so
+        re-partitioning a recovered relation is bit-identical to the
+        fleet that wrote the snapshot. ``global_profile`` short-circuits
+        the *global* discovery (recovery knows it from the snapshot);
+        the per-shard profiles are always discovered, shard by shard.
+        When ``algorithm`` is a callable it is invoked once per shard
+        relation -- and once on ``relation`` itself unless
+        ``global_profile`` is given.
+        """
+        router = ShardRouter(shards)
+        parts = [Relation(relation.schema) for _ in range(router.n_shards)]
+        placeholder: Row = ("",) * relation.n_columns
+        dead: list[list[int]] = [[] for _ in range(router.n_shards)]
+        for global_id in range(relation.next_tuple_id):
+            shard = router.shard_of(global_id)
+            if relation.is_live(global_id):
+                parts[shard].insert(relation.row(global_id))
+            else:
+                parts[shard].insert(placeholder)
+                dead[shard].append(router.local_id(global_id))
+        for shard, local_ids in enumerate(dead):
+            parts[shard].delete_many(local_ids)
+
+        def run_discovery(target: Relation) -> tuple[list[int], list[int]]:
+            if callable(algorithm):
+                return algorithm(target)
+            from repro.profiling.discovery import discover
+
+            return discover(target, algorithm)
+
+        if cache_budget_bytes is None or cache_budget_bytes == 0:
+            shard_budget = cache_budget_bytes
+        else:
+            shard_budget = max(1, cache_budget_bytes // router.n_shards)
+        profilers = []
+        for part in parts:
+            shard_mucs, shard_mnucs = run_discovery(part)
+            profilers.append(
+                SwanProfiler(
+                    part,
+                    shard_mucs,
+                    shard_mnucs,
+                    index_quota=index_quota,
+                    maintain_plis=not insert_only,
+                    parallelism=0,
+                    execution_mode="thread",
+                    cache_budget_bytes=shard_budget,
+                )
+            )
+        if global_profile is None:
+            global_profile = run_discovery(relation)
+        facade = cls(
+            router,
+            profilers,
+            global_profile[0],
+            global_profile[1],
+            insert_only=insert_only,
+            parallelism=parallelism,
+            execution_mode=execution_mode,
+        )
+        facade._merger.bootstrap(global_profile[1])
+        return facade
+
+    # ------------------------------------------------------------------
+    # Introspection overrides
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> tuple[SwanProfiler, ...]:
+        """The shard-local profilers, in shard order."""
+        return self._shard_profilers
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def insert_only(self) -> bool:
+        return self._insert_only
+
+    @property
+    def indexed_columns(self) -> frozenset[int]:
+        """Union of the shards' index covers."""
+        columns: set[int] = set()
+        for profiler in self._shard_profilers:
+            columns.update(profiler.indexed_columns)
+        return frozenset(columns)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Key-wise sum of the shards' partition-cache counters."""
+        merged: dict[str, int] = {}
+        for profiler in self._shard_profilers:
+            for key, value in profiler.cache_stats().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def encoding_stats(self) -> dict[str, int]:
+        """Key-wise sum of the shards' dictionary-encoding sizes."""
+        merged: dict[str, int] = {}
+        for profiler in self._shard_profilers:
+            for key, value in profiler.encoding_stats().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def shard_stats(self) -> dict[str, object]:
+        """Fleet gauges: shard count, row spread and merge counters."""
+        stats: dict[str, object] = {
+            "shard_count": self._router.n_shards,
+            "insert_only": self._insert_only,
+            "shard_rows": [
+                len(profiler.relation) for profiler in self._shard_profilers
+            ],
+        }
+        stats.update(self._merger.stats_dict())
+        return stats
+
+    def value_index(self, column: int) -> ValueIndex:
+        raise ProfileStateError(
+            "shard value indexes hold shard-local IDs; probe them through "
+            "the shard profilers (facade.shards[i].value_index(column))"
+        )
+
+    def close(self) -> None:
+        self._pool.close()
+        for profiler in self._shard_profilers:
+            profiler.close()
+
+    def approximation_degree(self, columns: Iterable[str | int]) -> int:
+        """Rows to remove for ``columns`` to be globally unique.
+
+        Computed by value-level grouping across all shards (shard PLIs
+        hold local IDs and shard-local codes, so they cannot be merged
+        directly); unlike the unsharded path this also works in
+        insert-only mode.
+        """
+        from repro.lattice.combination import columns_of
+
+        mask = self._relation.schema.mask(columns)
+        indices = columns_of(mask)
+        counts: dict[Row, int] = {}
+        total = 0
+        for profiler in self._shard_profilers:
+            for row in profiler.relation.iter_rows():
+                key = tuple(row[index] for index in indices)
+                counts[key] = counts.get(key, 0) + 1
+                total += 1
+        return total - len(counts)
+
+    def compact_storage(self) -> int:
+        """Compact every shard in place; local (hence global) IDs survive."""
+        return sum(
+            profiler.compact_storage() for profiler in self._shard_profilers
+        )
+
+    # ------------------------------------------------------------------
+    # Split-phase batch application
+    # ------------------------------------------------------------------
+    def analyze_inserts(
+        self, rows: Sequence[Sequence[Hashable]]
+    ) -> ShardInsertOutcome:
+        """Fan the insert analysis out to the affected shards and merge."""
+        from repro.errors import ArityError
+
+        arity = self._relation.n_columns
+        materialized = [tuple(row) for row in rows]
+        for position, row in enumerate(materialized):
+            if len(row) != arity:
+                raise ArityError(
+                    f"batch row {position} has {len(row)} values, "
+                    f"schema has {arity} columns"
+                )
+        first_id = self._relation.next_tuple_id
+        new_rows = {
+            first_id + offset: row
+            for offset, row in enumerate(materialized)
+        }
+        shard_rows = self._router.split_rows(first_id, materialized)
+        work = sorted(shard_rows)
+
+        def analyze_one(shard: int) -> InsertOutcome:
+            return self._shard_profilers[shard].analyze_inserts(
+                shard_rows[shard]
+            )
+
+        outcomes = dict(zip(work, self._pool.map(analyze_one, work)))
+        shard_mnucs: list[Sequence[int]] = []
+        for shard, profiler in enumerate(self._shard_profilers):
+            if shard in outcomes:
+                shard_mnucs.append(outcomes[shard].mnucs)
+            else:
+                shard_mnucs.append(profiler.snapshot().mnucs)
+        mucs, mnucs, witnesses = self._merger.merge_inserts(
+            new_rows, self._repository.mucs, self._repository.mnucs, shard_mnucs
+        )
+        stats = _merge_insert_stats(
+            outcome.stats for outcome in outcomes.values()
+        )
+        stats.batch_size = len(materialized)
+        return ShardInsertOutcome(
+            mucs=mucs,
+            mnucs=mnucs,
+            stats=stats,
+            shard_rows=shard_rows,
+            shard_outcomes=outcomes,
+            witnesses=witnesses,
+        )
+
+    def commit_inserts(
+        self, rows: Sequence[Sequence[Hashable]], outcome: InsertOutcome
+    ) -> Profile:
+        """Apply the shard commits in shard order, then publish."""
+        if not isinstance(outcome, ShardInsertOutcome):
+            raise ProfileStateError(
+                "sharded commit requires the outcome of a sharded analysis"
+            )
+        for shard in sorted(outcome.shard_outcomes):
+            self._shard_profilers[shard].commit_inserts(
+                outcome.shard_rows[shard], outcome.shard_outcomes[shard]
+            )
+        self._merger.apply_witnesses(outcome.witnesses)
+        self._repository.replace(outcome.mucs, outcome.mnucs)
+        self.last_insert_stats = outcome.stats
+        self._generation += 1
+        return self._repository.snapshot()
+
+    def analyze_deletes(
+        self, tuple_ids: Iterable[int]
+    ) -> tuple[dict[int, Row], ShardDeleteOutcome]:
+        """Fan the delete analysis out to the affected shards and merge."""
+        if self._insert_only:
+            raise ProfileStateError(_INSERT_ONLY)
+        # Capture through the view first: a bad ID rejects the whole
+        # batch (TupleIdError) before any shard has analysed anything.
+        deleted_rows: dict[int, Row] = {
+            tuple_id: self._relation.row(tuple_id) for tuple_id in tuple_ids
+        }
+        split = self._router.split_ids(deleted_rows)
+        work = sorted(split)
+
+        def analyze_one(shard: int) -> tuple[dict[int, Row], DeleteOutcome]:
+            return self._shard_profilers[shard].analyze_deletes(split[shard])
+
+        results = dict(zip(work, self._pool.map(analyze_one, work)))
+        shard_mnucs: list[Sequence[int]] = []
+        for shard, profiler in enumerate(self._shard_profilers):
+            if shard in results:
+                shard_mnucs.append(results[shard][1].mnucs)
+            else:
+                shard_mnucs.append(profiler.snapshot().mnucs)
+        mucs, mnucs, witnesses, pruned = self._merger.merge_deletes(
+            frozenset(deleted_rows), shard_mnucs, self._repository.mucs
+        )
+        stats = _merge_delete_stats(
+            outcome.stats for _, outcome in results.values()
+        )
+        stats.batch_size = len(deleted_rows)
+        outcome = ShardDeleteOutcome(
+            mucs=mucs,
+            mnucs=mnucs,
+            stats=stats,
+            shard_deleted={
+                shard: local_rows for shard, (local_rows, _) in results.items()
+            },
+            shard_outcomes={
+                shard: shard_outcome
+                for shard, (_, shard_outcome) in results.items()
+            },
+            witnesses=witnesses,
+            pruned=pruned,
+        )
+        return deleted_rows, outcome
+
+    def commit_deletes(
+        self, deleted_rows: dict[int, Row], outcome: DeleteOutcome
+    ) -> Profile:
+        """Apply the shard commits in shard order, then publish."""
+        if not isinstance(outcome, ShardDeleteOutcome):
+            raise ProfileStateError(
+                "sharded commit requires the outcome of a sharded analysis"
+            )
+        for shard in sorted(outcome.shard_outcomes):
+            self._shard_profilers[shard].commit_deletes(
+                outcome.shard_deleted[shard], outcome.shard_outcomes[shard]
+            )
+        self._merger.apply_witnesses(outcome.witnesses, outcome.pruned)
+        self._repository.replace(outcome.mucs, outcome.mnucs)
+        self.last_delete_stats = outcome.stats
+        self._generation += 1
+        return self._repository.snapshot()
+
+    def __repr__(self) -> str:
+        profile = self._repository.snapshot()
+        mode = ", insert_only" if self._insert_only else ""
+        return (
+            f"ShardedSwanProfiler(shards={self._router.n_shards}{mode}, "
+            f"rows={len(self._relation)}, |MUCS|={len(profile.mucs)}, "
+            f"|MNUCS|={len(profile.mnucs)})"
+        )
+

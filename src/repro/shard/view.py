@@ -1,0 +1,266 @@
+"""A read-only global relation view over shard-local relations.
+
+Service-layer code (snapshots, sentinel checks, status gauges, CSV
+dumps, holistic re-discovery) is written against the
+:class:`~repro.storage.relation.Relation` read API. The sharded
+profiler satisfies all of it with this view: every read routes through
+the :class:`~repro.shard.router.ShardRouter` arithmetic, iteration
+merges the shards' ascending local streams into one ascending global ID
+stream, and every mutator raises -- batches enter through the profiler
+facade, never through the view.
+
+Dictionary codes are shard-local (each shard relation interns its own
+values), so the code-level API (``encoding``, ``codes_for_ids``) is
+deliberately unavailable here; global consumers group by *values*,
+which are comparable everywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable, Iterator, NoReturn, Sequence
+
+import numpy as np
+
+from repro.errors import ProfileStateError, TupleIdError
+from repro.lattice.combination import columns_of
+from repro.shard.router import ShardRouter
+from repro.storage.encoding import RelationEncoding
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+Row = tuple[Hashable, ...]
+
+_READ_ONLY = (
+    "the sharded relation view is read-only; apply batches through the "
+    "sharded profiler"
+)
+
+
+class ShardedRelationView(Relation):
+    """Merged read view over the shard-local relations of one fleet."""
+
+    __slots__ = ("_router", "_parts")
+
+    def __init__(
+        self,
+        schema: Schema,
+        router: ShardRouter,
+        parts: Sequence[Relation],
+    ) -> None:
+        if len(parts) != router.n_shards:
+            raise ValueError(
+                f"router expects {router.n_shards} shards, got {len(parts)}"
+            )
+        super().__init__(schema)
+        self._router = router
+        self._parts = tuple(parts)
+
+    @property
+    def parts(self) -> tuple[Relation, ...]:
+        """The shard-local relations, in shard order."""
+        return self._parts
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    # ------------------------------------------------------------------
+    # Mutation: forbidden on the view
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Hashable]) -> NoReturn:
+        raise ProfileStateError(_READ_ONLY)
+
+    def insert_many(self, rows: Iterable[Sequence[Hashable]]) -> NoReturn:
+        raise ProfileStateError(_READ_ONLY)
+
+    def delete(self, tuple_id: int) -> NoReturn:
+        raise ProfileStateError(_READ_ONLY)
+
+    def delete_many(self, tuple_ids: Iterable[int]) -> NoReturn:
+        raise ProfileStateError(_READ_ONLY)
+
+    def compact_in_place(self) -> NoReturn:
+        # Per-shard compaction preserves local (hence global) IDs; the
+        # facade's ``compact_storage`` drives it shard by shard.
+        raise ProfileStateError(_READ_ONLY)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    @property
+    def next_tuple_id(self) -> int:
+        # Density invariant (see router module): the global high-water
+        # mark is exactly the sum of the shards' local ones.
+        return sum(part.next_tuple_id for part in self._parts)
+
+    @property
+    def encoding(self) -> RelationEncoding:
+        raise ProfileStateError(
+            "shard-local dictionary codes are not comparable across "
+            "shards; group by values, or use a shard relation's encoding"
+        )
+
+    @property
+    def storage_rows(self) -> int:
+        return sum(part.storage_rows for part in self._parts)
+
+    @property
+    def tombstone_count(self) -> int:
+        return sum(part.tombstone_count for part in self._parts)
+
+    @property
+    def live_fraction(self) -> float:
+        storage = self.storage_rows
+        return len(self) / storage if storage else 1.0
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+    # ------------------------------------------------------------------
+    # Point access
+    # ------------------------------------------------------------------
+    def _route(self, tuple_id: int) -> tuple[Relation, int]:
+        if not 0 <= tuple_id < self.next_tuple_id:
+            raise TupleIdError(f"tuple ID {tuple_id} does not exist")
+        return (
+            self._parts[self._router.shard_of(tuple_id)],
+            self._router.local_id(tuple_id),
+        )
+
+    def _route_live(self, tuple_id: int) -> tuple[Relation, int]:
+        part, local_id = self._route(tuple_id)
+        if not part.is_live(local_id):
+            raise TupleIdError(f"tuple ID {tuple_id} was deleted")
+        return part, local_id
+
+    def is_live(self, tuple_id: int) -> bool:
+        if not 0 <= tuple_id < self.next_tuple_id:
+            return False
+        part, local_id = self._route(tuple_id)
+        return part.is_live(local_id)
+
+    def row(self, tuple_id: int) -> Row:
+        part, local_id = self._route_live(tuple_id)
+        return part.row(local_id)
+
+    def value(self, tuple_id: int, column: int) -> Hashable:
+        part, local_id = self._route_live(tuple_id)
+        return part.value(local_id, column)
+
+    def project(self, tuple_id: int, mask: int) -> Row:
+        part, local_id = self._route_live(tuple_id)
+        return part.project(local_id, mask)
+
+    def codes_for_ids(self, column: int, tuple_ids: np.ndarray) -> NoReturn:
+        raise ProfileStateError(
+            "shard-local dictionary codes are not comparable across "
+            "shards; use value-level access on the view"
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration: K-way merge into ascending global IDs
+    # ------------------------------------------------------------------
+    def live_ids_array(self) -> np.ndarray:
+        arrays = [
+            part.live_ids_array() * np.int64(self._router.n_shards)
+            + np.int64(shard)
+            for shard, part in enumerate(self._parts)
+        ]
+        merged = np.concatenate(arrays) if arrays else np.empty(0, np.int64)
+        merged.sort()
+        return merged
+
+    def iter_ids(self) -> Iterator[int]:
+        def one_shard(shard: int, part: Relation) -> Iterator[int]:
+            for local_id in part.iter_ids():
+                yield self._router.global_id(shard, local_id)
+
+        return heapq.merge(
+            *(one_shard(shard, part) for shard, part in enumerate(self._parts))
+        )
+
+    def iter_items(self) -> Iterator[tuple[int, Row]]:
+        def one_shard(shard: int, part: Relation) -> Iterator[tuple[int, Row]]:
+            for local_id, row in part.iter_items():
+                yield self._router.global_id(shard, local_id), row
+
+        # Global IDs are unique, so the merge never compares the rows.
+        return heapq.merge(
+            *(one_shard(shard, part) for shard, part in enumerate(self._parts))
+        )
+
+    def iter_rows(self) -> Iterator[Row]:
+        return (row for _, row in self.iter_items())
+
+    def column_values(self, column: int) -> Iterator[tuple[int, Hashable]]:
+        def one_shard(
+            shard: int, part: Relation
+        ) -> Iterator[tuple[int, Hashable]]:
+            for local_id, value in part.column_values(column):
+                yield self._router.global_id(shard, local_id), value
+
+        return heapq.merge(
+            *(one_shard(shard, part) for shard, part in enumerate(self._parts))
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-relation queries (value-level, shard-blind)
+    # ------------------------------------------------------------------
+    def cardinality(self, column: int) -> int:
+        distinct: set[Hashable] = set()
+        for part in self._parts:
+            distinct.update(value for _, value in part.column_values(column))
+        return len(distinct)
+
+    def duplicate_exists(self, mask: int) -> bool:
+        indices = columns_of(mask)
+        seen: set[Row] = set()
+        for part in self._parts:
+            for row in part.iter_rows():
+                key = tuple(row[index] for index in indices)
+                if key in seen:
+                    return True
+                seen.add(key)
+        return False
+
+    def group_duplicates(self, mask: int) -> dict[Row, list[int]]:
+        groups: dict[Row, list[int]] = {}
+        indices = columns_of(mask)
+        for tuple_id, row in self.iter_items():
+            key = tuple(row[index] for index in indices)
+            groups.setdefault(key, []).append(tuple_id)
+        return {key: ids for key, ids in groups.items() if len(ids) >= 2}
+
+    def restrict_columns(self, n_columns: int) -> Relation:
+        projected = Relation(self.schema.prefix(n_columns))
+        for row in self.iter_rows():
+            projected.insert(row[:n_columns])
+        return projected
+
+    def copy(self) -> Relation:
+        """Materialize a flat relation with the view's exact IDs.
+
+        Tombstoned global IDs are re-created the same way snapshot
+        recovery does (placeholder insert + delete), so the copy's ID
+        space matches the view's bit for bit.
+        """
+        clone = Relation(self.schema)
+        placeholder: Row = ("",) * len(self.schema)
+        live = dict(self.iter_items())
+        dead: list[int] = []
+        for tuple_id in range(self.next_tuple_id):
+            row = live.get(tuple_id)
+            if row is None:
+                clone.insert(placeholder)
+                dead.append(tuple_id)
+            else:
+                clone.insert(row)
+        clone.delete_many(dead)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRelationView({self._router.n_shards} shards, "
+            f"{len(self)} live rows, {self.tombstone_count} tombstones)"
+        )

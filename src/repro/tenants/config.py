@@ -62,6 +62,8 @@ class TenantConfig:
     cache_budget_bytes: int | None = DEFAULT_BUDGET_BYTES
     compact_live_fraction: float = 0.5
     compact_min_rows: int = 1024
+    shards: int = 1
+    shard_insert_only: bool = False
     # Ingest-queue admission control (backpressure limits).
     max_pending_batches: int = DEFAULT_MAX_PENDING_BATCHES
     max_pending_bytes: int = DEFAULT_MAX_PENDING_BYTES
@@ -90,6 +92,16 @@ class TenantConfig:
                 "execution_mode must be 'thread' or 'process', "
                 f"got {self.execution_mode!r}"
             )
+        if self.shards < 1:
+            raise TenantError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_insert_only and not self.insert_only:
+            # The facade's delete path is gone entirely; admitting
+            # deletes at the tenant layer would commit batches the
+            # profiler can never apply.
+            raise TenantError(
+                "shard_insert_only requires insert_only=true: the sharded "
+                "fast path drops the delete handler"
+            )
 
     def service_config(self) -> ServiceConfig:
         """The ServiceConfig this tenant's ProfilingService runs with."""
@@ -108,6 +120,8 @@ class TenantConfig:
             cache_budget_bytes=self.cache_budget_bytes,
             compact_live_fraction=self.compact_live_fraction,
             compact_min_rows=self.compact_min_rows,
+            shards=self.shards,
+            shard_insert_only=self.shard_insert_only,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -128,6 +142,8 @@ class TenantConfig:
             "cache_budget_bytes": self.cache_budget_bytes,
             "compact_live_fraction": self.compact_live_fraction,
             "compact_min_rows": self.compact_min_rows,
+            "shards": self.shards,
+            "shard_insert_only": self.shard_insert_only,
             "max_pending_batches": self.max_pending_batches,
             "max_pending_bytes": self.max_pending_bytes,
         }

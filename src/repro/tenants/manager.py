@@ -32,6 +32,7 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterator, Sequence
 
@@ -96,6 +97,58 @@ REGISTRY_VERSION = 1
 
 Row = tuple[Hashable, ...]
 
+QUERY_CACHE_CAPACITY = 32
+
+QueryKey = tuple[tuple[str, ...], int | None, tuple[str, ...]]
+
+
+class ProfileQueryCache:
+    """Seq-tagged LRU micro-cache for served profile documents.
+
+    The answer to a ``GET /tenants/<id>/uccs`` query is a pure function
+    of (applied sequence number, filter parameters): the served profile
+    only changes when a batch commits. So each cached document is
+    tagged with the seq it was computed at, and a single seq advance
+    invalidates the whole cache -- no per-entry bookkeeping, no stale
+    reads. Within one seq, repeated dashboard polls with the same
+    ``kinds``/``max_arity``/``contains`` filters hit without touching
+    the profiler snapshot at all.
+    """
+
+    __slots__ = ("capacity", "seq", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = QUERY_CACHE_CAPACITY) -> None:
+        self.capacity = capacity
+        self.seq = -1
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[QueryKey, dict[str, object]] = OrderedDict()
+
+    def _retag(self, seq: int) -> None:
+        if seq != self.seq:
+            self._entries.clear()
+            self.seq = seq
+
+    def get(self, seq: int, key: QueryKey) -> dict[str, object] | None:
+        self._retag(seq)
+        document = self._entries.get(key)
+        if document is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return document
+
+    def put(self, seq: int, key: QueryKey, document: dict[str, object]) -> None:
+        self._retag(seq)
+        self._entries[key] = document
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
 
 @dataclass
 class Tenant:
@@ -109,6 +162,7 @@ class Tenant:
     queue: IngestQueue
     worker: TenantWorker
     lock: threading.RLock = field(default_factory=threading.RLock)
+    query_cache: ProfileQueryCache = field(default_factory=ProfileQueryCache)
 
     @property
     def started(self) -> bool:
@@ -793,42 +847,63 @@ class TenantManager:
         columns; ``contains`` keeps only combinations including every
         named column. Masks ride along so clients can check
         bit-identity against a local profiler run.
+
+        Responses are served through a per-tenant seq-tagged LRU
+        (:class:`ProfileQueryCache`): identical filters at an unchanged
+        applied seq skip the snapshot and filtering entirely. Hit/miss
+        totals surface as the ``query_cache_hits`` /
+        ``query_cache_misses`` gauges.
         """
         tenant = self.get(tenant_id)
         for kind in kinds:
             if kind not in ("mucs", "mnucs"):
                 raise WorkloadError(f"unknown profile kind {kind!r}")
+        key: QueryKey = (
+            tuple(kinds),
+            None if max_arity is None else int(max_arity),
+            tuple(str(column) for column in contains),
+        )
         with tenant.lock:
+            cache = tenant.query_cache
+            seq = tenant.service.last_seq
+            cached = cache.get(seq, key)
+            metrics = tenant.service.metrics
+            metrics.gauge("query_cache_hits").set(float(cache.hits))
+            metrics.gauge("query_cache_misses").set(float(cache.misses))
+            if cached is not None:
+                # Top-level copy: a caller mutating the response must
+                # not corrupt the cached document.
+                return dict(cached)
             profile = tenant.service.profiler.snapshot()
             schema = tenant.service.profiler.relation.schema
-            seq = tenant.service.last_seq
             live_rows = len(tenant.service.profiler.relation)
-        try:
-            required = schema.mask(list(contains)) if contains else 0
-        except Exception as exc:
-            raise WorkloadError(f"bad 'contains' filter: {exc}") from exc
-        document: dict[str, object] = {
-            "tenant": tenant_id,
-            "seq": seq,
-            "live_rows": live_rows,
-            "columns": list(schema.names),
-        }
-        for kind in kinds:
-            masks = profile.mucs if kind == "mucs" else profile.mnucs
-            kept = [
-                mask
-                for mask in masks
-                if (max_arity is None or popcount(mask) <= max_arity)
-                and (required & mask) == required
-            ]
-            document[kind] = [
-                {
-                    "columns": list(schema.combination(mask).names),
-                    "mask": mask,
-                }
-                for mask in kept
-            ]
-        return document
+            try:
+                required = schema.mask(list(contains)) if contains else 0
+            except Exception as exc:
+                raise WorkloadError(f"bad 'contains' filter: {exc}") from exc
+            document: dict[str, object] = {
+                "tenant": tenant_id,
+                "seq": seq,
+                "live_rows": live_rows,
+                "columns": list(schema.names),
+            }
+            for kind in kinds:
+                masks = profile.mucs if kind == "mucs" else profile.mnucs
+                kept = [
+                    mask
+                    for mask in masks
+                    if (max_arity is None or popcount(mask) <= max_arity)
+                    and (required & mask) == required
+                ]
+                document[kind] = [
+                    {
+                        "columns": list(schema.combination(mask).names),
+                        "mask": mask,
+                    }
+                    for mask in kept
+                ]
+            cache.put(seq, key, document)
+            return dict(document)
 
     def dead_letters(self, tenant_id: str) -> dict[str, object]:
         tenant = self.get(tenant_id)

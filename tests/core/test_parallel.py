@@ -73,10 +73,30 @@ class TestFanOut:
         assert pool.stats.tasks == 8
         assert pool.stats.fanout_batches == 1
         assert pool.stats.fanout_tasks == 8
-        assert pool.stats.utilization(4) == 2.0
+        # 8 tasks over 4 workers = 2 full waves, no idle slots.
+        assert pool.stats.utilization(4) == 1.0
         stats = pool.stats_dict()
         assert stats["workers"] == 4
-        assert stats["utilization"] == 2.0
+        assert stats["utilization"] == 1.0
+        assert stats["effective_workers"] == 4.0
+
+    def test_workers_clamped_to_batch_size(self):
+        """Regression: a 4-worker pool fed a 3-item batch used to count
+        (and, in process mode, fork) a fourth worker that never ran."""
+        pool = FanOutPool(4)
+        pool.map(lambda x: x, range(3))
+        pool.close()
+        assert pool.stats.effective_sum == 3
+        assert pool.stats.fanout_slots == 3
+        assert pool.stats.utilization(4) == 1.0
+        assert pool.stats_dict()["effective_workers"] == 3.0
+
+    def test_ragged_last_wave_counts_idle_slots(self):
+        pool = FanOutPool(4)
+        pool.map(lambda x: x, range(6))  # waves of 4 + 2: 8 slots, 6 busy
+        pool.close()
+        assert pool.stats.fanout_slots == 8
+        assert pool.stats.utilization(4) == 0.75
 
     def test_utilization_with_no_batches(self):
         assert FanOutPool(4).stats.utilization(4) == 0.0

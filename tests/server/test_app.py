@@ -80,6 +80,23 @@ class TestAdmin:
         assert tenant.config.parallelism == 3
         assert tenant.config.algorithm == "bruteforce"
 
+    def test_create_sharded_tenant_over_http(self, app):
+        config = dict(CONFIG, shards=2)
+        status, _, _ = create_tenant(app, config=config)
+        assert status == 201
+        tenant = app.manager.get("t1")
+        assert tenant.config.shards == 2
+        assert tenant.service.profiler.shard_stats()["shard_count"] == 2
+        status, doc, _ = call(app, "GET", "/fleet/status")
+        assert status == 200
+        assert doc["tenants"]["t1"]["gauges"]["shard_count"] == 2
+
+    def test_shard_insert_only_config_validated_over_http(self, app):
+        config = dict(CONFIG, shards=2, shard_insert_only=True)
+        status, doc, _ = create_tenant(app, config=config)
+        assert status == 400
+        assert "requires insert_only" in doc["error"]["message"]
+
     def test_drop(self, app):
         create_tenant(app)
         status, doc, _ = call(app, "DELETE", "/tenants/t1")

@@ -98,6 +98,61 @@ class TestServeMain:
         )
         assert "cache-budget" in capsys.readouterr().err
 
+    def test_shards_flag_builds_sharded_profiler(self, tmp_path, csv_path):
+        state = str(tmp_path / "state")
+        assert (
+            serve_main(
+                [state, "--init", csv_path, "--no-fsync", "--shards", "2"]
+            )
+            == 0
+        )
+        status = json.load(open(os.path.join(state, "status.json")))
+        assert status["gauges"]["shard_count"] == 2
+        assert (
+            status["gauges"]["shard_rows0"] + status["gauges"]["shard_rows1"]
+            == 3
+        )
+
+    def test_invalid_shards_rejected(self, tmp_path, csv_path, capsys):
+        assert (
+            serve_main(
+                [str(tmp_path / "state"), "--init", csv_path, "--shards", "0"]
+            )
+            == 2
+        )
+        assert "shards" in capsys.readouterr().err
+
+    def test_shard_insert_only_rejects_spooled_deletes(
+        self, tmp_path, csv_path, capsys
+    ):
+        state = str(tmp_path / "state")
+        spool = str(tmp_path / "spool")
+        SpoolDirectorySource.write_batch(
+            spool, "b1.json", {"kind": "delete", "ids": [0]}
+        )
+        # The delete is rejected at admission (before the changelog),
+        # quarantined, and the service keeps serving.
+        assert (
+            serve_main(
+                [
+                    state,
+                    "--init",
+                    csv_path,
+                    "--no-fsync",
+                    "--shards",
+                    "2",
+                    "--shard-insert-only",
+                    "--spool",
+                    spool,
+                    "--once",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "1 dead-letter entry" in captured.err
+        assert "stopped: 3 rows" in captured.out
+
     def test_status_without_state(self, tmp_path, capsys):
         assert serve_main([str(tmp_path / "state"), "--status"]) == 1
         assert "no status file" in capsys.readouterr().err

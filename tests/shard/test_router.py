@@ -1,0 +1,77 @@
+"""Unit tests for the arithmetic shard router."""
+
+import pytest
+
+from repro.shard.router import ShardRouter
+
+
+class TestPlacement:
+    def test_round_trip_over_dense_id_space(self):
+        router = ShardRouter(3)
+        for global_id in range(100):
+            shard = router.shard_of(global_id)
+            local_id = router.local_id(global_id)
+            assert 0 <= shard < 3
+            assert router.global_id(shard, local_id) == global_id
+
+    def test_single_shard_is_identity(self):
+        router = ShardRouter(1)
+        assert router.shard_of(42) == 0
+        assert router.local_id(42) == 42
+        assert router.global_id(0, 42) == 42
+
+    def test_perfect_balance(self):
+        router = ShardRouter(4)
+        counts = [0] * 4
+        for global_id in range(101):
+            counts[router.shard_of(global_id)] += 1
+        assert max(counts) - min(counts) <= 1
+
+    def test_local_ids_dense_per_shard(self):
+        """The density invariant: shard s receives exactly the IDs
+        congruent to s, so its local IDs count up 0, 1, 2, ..."""
+        router = ShardRouter(3)
+        per_shard = {0: [], 1: [], 2: []}
+        for global_id in range(30):
+            per_shard[router.shard_of(global_id)].append(
+                router.local_id(global_id)
+            )
+        for local_ids in per_shard.values():
+            assert local_ids == list(range(10))
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="shard count"):
+            ShardRouter(0)
+
+
+class TestSplitting:
+    def test_split_ids_groups_and_translates(self):
+        router = ShardRouter(2)
+        assert router.split_ids([0, 1, 2, 5]) == {0: [0, 1], 1: [0, 2]}
+
+    def test_split_ids_preserves_input_order(self):
+        router = ShardRouter(2)
+        assert router.split_ids([6, 2, 4]) == {0: [3, 1, 2]}
+
+    def test_split_ids_omits_empty_shards(self):
+        router = ShardRouter(4)
+        assert set(router.split_ids([0, 4, 8])) == {0}
+
+    def test_split_rows_follows_dense_allocation(self):
+        router = ShardRouter(2)
+        rows = [("a",), ("b",), ("c",)]
+        # first_global_id=5 is odd: rows land on shards 1, 0, 1.
+        assert router.split_rows(5, rows) == {
+            1: [("a",), ("c",)],
+            0: [("b",)],
+        }
+
+    def test_split_rows_matches_split_ids(self):
+        router = ShardRouter(3)
+        rows = [(i,) for i in range(7)]
+        first = 11
+        by_rows = router.split_rows(first, rows)
+        by_ids = router.split_ids(range(first, first + len(rows)))
+        assert set(by_rows) == set(by_ids)
+        for shard, local_ids in by_ids.items():
+            assert len(by_rows[shard]) == len(local_ids)

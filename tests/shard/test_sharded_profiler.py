@@ -1,0 +1,309 @@
+"""Unit tests for the sharded profiler facade and the exact merge."""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.errors import ProfileStateError
+from repro.shard import ShardedSwanProfiler
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process fan-out needs the fork start method",
+)
+
+N_COLUMNS = 5
+
+
+def make_rows(count, seed=42, spread=6):
+    rng = random.Random(seed)
+    return [
+        tuple(rng.randint(0, spread) for _ in range(N_COLUMNS))
+        for _ in range(count)
+    ]
+
+
+def make_relation(rows):
+    schema = Schema([f"c{index}" for index in range(N_COLUMNS)])
+    return Relation.from_rows(schema, rows)
+
+
+def drive_both(flat, sharded, seed=7, steps=6):
+    """Replay the same mixed workload on both; assert per-op equality."""
+    rng = random.Random(seed)
+    for step in range(steps):
+        if step % 2 == 0:
+            batch = make_rows(rng.randint(1, 5), seed=rng.randint(0, 10**6))
+            expected = flat.handle_inserts(batch)
+            got = sharded.handle_inserts(batch)
+        else:
+            live = list(flat.relation.iter_ids())
+            doomed = rng.sample(live, min(len(live), rng.randint(1, 4)))
+            assert flat.preview_deletes(doomed) == sharded.preview_deletes(
+                doomed
+            )
+            expected = flat.handle_deletes(doomed)
+            got = sharded.handle_deletes(doomed)
+        assert got == expected, f"profiles diverged at step {step}"
+
+
+class TestBootstrap:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_partition_profile_matches_unsharded(self, shards):
+        rows = make_rows(50)
+        flat = SwanProfiler.profile(make_relation(rows))
+        sharded = ShardedSwanProfiler.partition(
+            make_relation(rows), shards=shards
+        )
+        try:
+            assert sharded.snapshot() == flat.snapshot()
+            assert list(sharded.relation.iter_items()) == list(
+                flat.relation.iter_items()
+            )
+        finally:
+            flat.close()
+            sharded.close()
+
+    def test_profile_entry_point_dispatches(self):
+        rows = make_rows(30)
+        profiler = SwanProfiler.profile(make_relation(rows), shards=2)
+        try:
+            assert isinstance(profiler, ShardedSwanProfiler)
+            assert profiler.shard_stats()["shard_count"] == 2
+        finally:
+            profiler.close()
+
+    def test_partition_preserves_tombstones(self):
+        rows = make_rows(30)
+        relation = make_relation(rows)
+        flat = SwanProfiler.profile(relation)
+        flat.handle_deletes([0, 7, 13])
+        sharded = ShardedSwanProfiler.partition(relation, shards=3)
+        try:
+            assert sharded.relation.next_tuple_id == relation.next_tuple_id
+            assert list(sharded.relation.iter_items()) == list(
+                relation.iter_items()
+            )
+            assert sharded.snapshot() == flat.snapshot()
+        finally:
+            flat.close()
+            sharded.close()
+
+    def test_build_skips_global_discovery(self):
+        rows = make_rows(30)
+        relation = make_relation(rows)
+        flat = SwanProfiler.profile(relation)
+        snap = flat.snapshot()
+        built = SwanProfiler.build(
+            relation, list(snap.mucs), list(snap.mnucs), shards=2
+        )
+        try:
+            assert built.snapshot() == snap
+        finally:
+            flat.close()
+            built.close()
+
+    def test_repartition_is_deterministic(self):
+        """Recovery invariant: partitioning the same relation twice
+        lands every tuple on the same shard with the same local ID."""
+        rows = make_rows(40)
+        first = ShardedSwanProfiler.partition(make_relation(rows), shards=3)
+        second = ShardedSwanProfiler.partition(make_relation(rows), shards=3)
+        try:
+            for left, right in zip(first.shards, second.shards):
+                assert list(left.relation.iter_items()) == list(
+                    right.relation.iter_items()
+                )
+        finally:
+            first.close()
+            second.close()
+
+
+class TestDynamicEquality:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_thread_mode_bit_identical(self, shards):
+        rows = make_rows(40)
+        flat = SwanProfiler.profile(make_relation(rows))
+        sharded = SwanProfiler.profile(
+            make_relation(rows), shards=shards, execution_mode="thread"
+        )
+        try:
+            drive_both(flat, sharded)
+        finally:
+            flat.close()
+            sharded.close()
+
+    @fork_only
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_process_mode_bit_identical(self, shards):
+        rows = make_rows(40)
+        flat = SwanProfiler.profile(make_relation(rows))
+        sharded = SwanProfiler.profile(
+            make_relation(rows), shards=shards, execution_mode="process"
+        )
+        try:
+            drive_both(flat, sharded)
+        finally:
+            flat.close()
+            sharded.close()
+
+    def test_cross_shard_duplicates_detected(self):
+        """A duplicate pair split across shards must break uniqueness
+        exactly as it does unsharded."""
+        rows = [(1, 2), (3, 4)]
+        schema = Schema(["a", "b"])
+        sharded = SwanProfiler.profile(
+            Relation.from_rows(schema, rows), shards=2
+        )
+        try:
+            assert sharded.is_unique(["a"])
+            # Global ID 2 lands on shard 0, duplicating (1, 2) on shard 0?
+            # No: (1, 2) is global ID 0 (shard 0), the insert is global
+            # ID 2 (shard 0) -- extend to ID 3 to cross shards.
+            sharded.handle_inserts([(5, 6), (3, 9)])  # IDs 2 (s0), 3 (s1)
+            # (3, 9) agrees with (3, 4) (shard 1 vs shard 1)? ID 1 is
+            # shard 1, ID 3 is shard 1: intra-shard. Add a true cross
+            # pair: ID 4 lands on shard 0 and duplicates ID 1's "a".
+            sharded.handle_inserts([(3, 7)])  # ID 4, shard 0
+            assert not sharded.is_unique(["a"])
+            assert sharded.is_unique(["a", "b"])
+            stats = sharded.shard_stats()
+            assert stats["cross_sets"] >= 1
+        finally:
+            sharded.close()
+
+    def test_delete_restores_cross_shard_uniqueness(self):
+        schema = Schema(["a", "b"])
+        sharded = SwanProfiler.profile(
+            Relation.from_rows(schema, [(1, 2), (3, 4), (1, 5)]), shards=2
+        )
+        try:
+            # IDs 0 (s0) and 2 (s0)... spread: 0->s0, 1->s1, 2->s0.
+            # (1, 2) vs (1, 5) collide on "a" within shard 0; add a
+            # cross-shard collision and then delete it away.
+            sharded.handle_inserts([(3, 8)])  # ID 3, shard 1: intra with ID 1
+            sharded.handle_inserts([(9, 4)])  # ID 4, shard 0: cross on "b"
+            assert not sharded.is_unique(["b"])
+            sharded.handle_deletes([4])
+            assert sharded.is_unique(["b"])
+        finally:
+            sharded.close()
+
+
+class TestInsertOnly:
+    def test_deletes_raise_typed_error(self):
+        rows = make_rows(20)
+        profiler = SwanProfiler.profile(
+            make_relation(rows), shards=2, shard_insert_only=True
+        )
+        try:
+            with pytest.raises(ProfileStateError, match="insert-only"):
+                profiler.handle_deletes([0])
+            with pytest.raises(ProfileStateError, match="insert-only"):
+                profiler.preview_deletes([0])
+        finally:
+            profiler.close()
+
+    def test_inserts_still_exact(self):
+        rows = make_rows(30)
+        flat = SwanProfiler.profile(make_relation(rows))
+        profiler = SwanProfiler.profile(
+            make_relation(rows), shards=2, shard_insert_only=True
+        )
+        try:
+            for seed in range(4):
+                batch = make_rows(4, seed=seed)
+                assert flat.handle_inserts(batch) == profiler.handle_inserts(
+                    batch
+                )
+        finally:
+            flat.close()
+            profiler.close()
+
+    def test_shards_skip_pli_build(self):
+        profiler = SwanProfiler.profile(
+            make_relation(make_rows(20)), shards=2, shard_insert_only=True
+        )
+        try:
+            assert profiler.shard_stats()["insert_only"] is True
+            for shard in profiler.shards:
+                assert not shard._plis
+        finally:
+            profiler.close()
+
+    def test_insert_only_flag_alone_enables_facade(self):
+        profiler = SwanProfiler.profile(
+            make_relation(make_rows(20)), shard_insert_only=True
+        )
+        try:
+            assert isinstance(profiler, ShardedSwanProfiler)
+            assert profiler.shard_stats()["shard_count"] == 1
+        finally:
+            profiler.close()
+
+
+class TestIntrospection:
+    @pytest.fixture
+    def sharded(self):
+        profiler = SwanProfiler.profile(make_relation(make_rows(40)), shards=3)
+        yield profiler
+        profiler.close()
+
+    def test_shard_stats_gauges(self, sharded):
+        stats = sharded.shard_stats()
+        assert stats["shard_count"] == 3
+        assert sum(stats["shard_rows"]) == 40
+        assert {"merge_seconds", "cross_shard_probes", "cross_sets"} <= set(
+            stats
+        )
+
+    def test_aggregated_stats_are_sums(self, sharded):
+        assert sharded.encoding_stats()
+        assert sharded.cache_stats()["entries"] == sum(
+            shard.cache_stats()["entries"] for shard in sharded.shards
+        )
+        assert sharded.indexed_columns == frozenset().union(
+            *(shard.indexed_columns for shard in sharded.shards)
+        )
+
+    def test_value_index_redirects_to_shards(self, sharded):
+        with pytest.raises(ProfileStateError, match="shard-local IDs"):
+            sharded.value_index(0)
+
+    def test_approximation_degree_spans_shards(self, sharded):
+        flat = SwanProfiler.profile(
+            make_relation(make_rows(40))
+        )
+        try:
+            for column in range(N_COLUMNS):
+                assert sharded.approximation_degree(
+                    [column]
+                ) == flat.approximation_degree([column])
+        finally:
+            flat.close()
+
+    def test_compact_storage_reclaims_and_preserves_ids(self, sharded):
+        sharded.handle_deletes([0, 1, 2, 3])
+        before = list(sharded.relation.iter_items())
+        assert sharded.compact_storage() == 4
+        assert list(sharded.relation.iter_items()) == before
+
+    def test_commit_rejects_foreign_outcome(self, sharded):
+        flat = SwanProfiler.profile(make_relation(make_rows(10)))
+        try:
+            outcome = flat.analyze_inserts([make_rows(1, seed=1)[0]])
+            with pytest.raises(ProfileStateError, match="sharded analysis"):
+                sharded.commit_inserts([make_rows(1, seed=1)[0]], outcome)
+        finally:
+            flat.close()
+
+    def test_last_batch_stats_aggregate(self, sharded):
+        batch = make_rows(6, seed=3)
+        sharded.handle_inserts(batch)
+        assert sharded.last_insert_stats.batch_size == 6
+        sharded.handle_deletes([5, 6, 7])
+        assert sharded.last_delete_stats.batch_size == 3

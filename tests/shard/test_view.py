@@ -1,0 +1,137 @@
+"""Unit tests for the read-only global relation view."""
+
+import pytest
+
+from repro.errors import ProfileStateError, TupleIdError
+from repro.shard.router import ShardRouter
+from repro.shard.view import ShardedRelationView
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(["a", "b"])
+
+
+@pytest.fixture
+def view(schema: Schema) -> ShardedRelationView:
+    """Six rows round-robined across two shards; global ID i holds
+    row (i, i % 3)."""
+    router = ShardRouter(2)
+    parts = [Relation(schema), Relation(schema)]
+    for global_id in range(6):
+        parts[router.shard_of(global_id)].insert((global_id, global_id % 3))
+    return ShardedRelationView(schema, router, parts)
+
+
+class TestConstruction:
+    def test_part_count_must_match_router(self, schema):
+        with pytest.raises(ValueError, match="expects 2 shards"):
+            ShardedRelationView(schema, ShardRouter(2), [Relation(schema)])
+
+
+class TestReadOnly:
+    def test_mutators_raise(self, view):
+        with pytest.raises(ProfileStateError, match="read-only"):
+            view.insert((9, 9))
+        with pytest.raises(ProfileStateError, match="read-only"):
+            view.insert_many([(9, 9)])
+        with pytest.raises(ProfileStateError, match="read-only"):
+            view.delete(0)
+        with pytest.raises(ProfileStateError, match="read-only"):
+            view.delete_many([0])
+        with pytest.raises(ProfileStateError, match="read-only"):
+            view.compact_in_place()
+
+    def test_code_level_api_unavailable(self, view):
+        with pytest.raises(ProfileStateError, match="not comparable"):
+            view.encoding
+        with pytest.raises(ProfileStateError, match="not comparable"):
+            view.codes_for_ids(0, None)
+
+
+class TestPointAccess:
+    def test_rows_route_by_global_id(self, view):
+        for global_id in range(6):
+            assert view.row(global_id) == (global_id, global_id % 3)
+            assert view.value(global_id, 0) == global_id
+
+    def test_out_of_range_ids_rejected(self, view):
+        with pytest.raises(TupleIdError, match="does not exist"):
+            view.row(6)
+        with pytest.raises(TupleIdError, match="does not exist"):
+            view.row(-1)
+
+    def test_deleted_row_rejected_but_alive_elsewhere(self, view):
+        view.parts[0].delete(1)  # global ID 2
+        assert not view.is_live(2)
+        assert view.is_live(3)
+        with pytest.raises(TupleIdError, match="was deleted"):
+            view.row(2)
+
+    def test_project(self, view):
+        assert view.project(4, 0b10) == (1,)
+
+
+class TestSizing:
+    def test_next_tuple_id_is_sum_of_parts(self, view):
+        assert view.next_tuple_id == 6
+        view.parts[0].insert((9, 9))  # becomes global ID 6
+        assert view.next_tuple_id == 7
+
+    def test_len_and_tombstones(self, view):
+        assert len(view) == 6
+        view.parts[1].delete(0)
+        assert len(view) == 5
+        assert view.tombstone_count == 1
+        assert view.storage_rows == 6
+        assert view.live_fraction == pytest.approx(5 / 6)
+
+
+class TestIteration:
+    def test_iter_ids_ascending_global(self, view):
+        assert list(view.iter_ids()) == list(range(6))
+
+    def test_iteration_skips_deleted(self, view):
+        view.parts[1].delete(1)  # global ID 3
+        assert list(view.iter_ids()) == [0, 1, 2, 4, 5]
+        assert [row for _, row in view.iter_items()] == [
+            (0, 0), (1, 1), (2, 2), (4, 1), (5, 2),
+        ]
+
+    def test_live_ids_array_matches_iter_ids(self, view):
+        view.parts[0].delete(2)  # global ID 4
+        assert list(view.live_ids_array()) == list(view.iter_ids())
+
+    def test_column_values_in_global_order(self, view):
+        assert [value for _, value in view.column_values(1)] == [
+            0, 1, 2, 0, 1, 2,
+        ]
+
+
+class TestGlobalQueries:
+    def test_cardinality_across_shards(self, view):
+        assert view.cardinality(0) == 6
+        assert view.cardinality(1) == 3
+
+    def test_duplicate_detection_spans_shards(self, view):
+        # Column b repeats across shards, column a never does.
+        assert view.duplicate_exists(0b10)
+        assert not view.duplicate_exists(0b01)
+
+    def test_group_duplicates_returns_global_ids(self, view):
+        groups = view.group_duplicates(0b10)
+        assert groups == {(0,): [0, 3], (1,): [1, 4], (2,): [2, 5]}
+
+    def test_copy_preserves_ids_and_tombstones(self, view):
+        view.parts[0].delete(1)  # global ID 2
+        clone = view.copy()
+        assert list(clone.iter_items()) == list(view.iter_items())
+        assert clone.next_tuple_id == view.next_tuple_id
+        assert not clone.is_live(2)
+
+    def test_restrict_columns(self, view):
+        projected = view.restrict_columns(1)
+        assert projected.n_columns == 1
+        assert len(projected) == 6

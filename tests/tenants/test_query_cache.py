@@ -1,0 +1,168 @@
+"""The seq-tagged LRU query cache behind ``query_profile``."""
+
+import pytest
+
+from repro.errors import TenantError, TenantModeError, WorkloadError
+from repro.tenants.config import TenantConfig
+from repro.tenants.manager import ProfileQueryCache, TenantManager
+
+ROWS = [
+    ("Lee", "345", "20"),
+    ("Payne", "245", "30"),
+    ("Lee", "234", "30"),
+]
+
+
+def make_config(**overrides):
+    defaults = dict(
+        columns=("Name", "Phone", "Age"),
+        algorithm="bruteforce",
+        fsync=False,
+    )
+    defaults.update(overrides)
+    return TenantConfig(**defaults)
+
+
+def make_manager(tmp_path):
+    return TenantManager(str(tmp_path / "fleet"), sleep=lambda _s: None)
+
+
+def gauges(manager, tenant_id):
+    return manager.get(tenant_id).service.stats()["gauges"]
+
+
+class TestCacheUnit:
+    KEY = (("mucs",), None, ())
+    OTHER = (("mnucs",), 2, ("Name",))
+
+    def test_hit_after_put_same_seq(self):
+        cache = ProfileQueryCache()
+        assert cache.get(5, self.KEY) is None
+        cache.put(5, self.KEY, {"doc": 1})
+        assert cache.get(5, self.KEY) == {"doc": 1}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_seq_advance_invalidates_everything(self):
+        cache = ProfileQueryCache()
+        cache.put(1, self.KEY, {"doc": 1})
+        cache.put(1, self.OTHER, {"doc": 2})
+        assert len(cache) == 2
+        assert cache.get(2, self.KEY) is None
+        assert len(cache) == 0
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ProfileQueryCache(capacity=2)
+        cache.put(1, (("mucs",), 1, ()), {"doc": 1})
+        cache.put(1, (("mucs",), 2, ()), {"doc": 2})
+        # Touch the oldest so the middle entry becomes the LRU victim.
+        assert cache.get(1, (("mucs",), 1, ())) is not None
+        cache.put(1, (("mucs",), 3, ()), {"doc": 3})
+        assert len(cache) == 2
+        assert cache.get(1, (("mucs",), 2, ())) is None
+        assert cache.get(1, (("mucs",), 1, ())) is not None
+
+
+class TestQueryProfileCaching:
+    def test_repeat_query_hits(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            first = manager.query_profile("t1")
+            second = manager.query_profile("t1")
+            assert first == second
+            stats = gauges(manager, "t1")
+            assert stats["query_cache_hits"] == 1
+            assert stats["query_cache_misses"] == 1
+
+    def test_distinct_filters_are_distinct_entries(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            manager.query_profile("t1")
+            manager.query_profile("t1", max_arity=1)
+            manager.query_profile("t1", kinds=("mucs",), contains=["Name"])
+            assert gauges(manager, "t1")["query_cache_misses"] == 3
+            manager.query_profile("t1", max_arity=1)
+            assert gauges(manager, "t1")["query_cache_hits"] == 1
+
+    def test_applied_batch_invalidates(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            before = manager.query_profile("t1")
+            manager.ingest("t1", "insert", rows=[("Ada", "345", "9")])
+            assert manager.flush("t1")
+            after = manager.query_profile("t1")
+            assert after["seq"] > before["seq"]
+            # Phone stopped being unique, so this was a real recompute.
+            assert {"columns": ["Phone"], "mask": 2} in before["mucs"]
+            assert {"columns": ["Phone"], "mask": 2} not in after["mucs"]
+            assert gauges(manager, "t1")["query_cache_misses"] == 2
+
+    def test_cached_response_is_mutation_safe(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            first = manager.query_profile("t1")
+            first["mucs"] = "clobbered"
+            assert manager.query_profile("t1")["mucs"] != "clobbered"
+
+    def test_bad_filters_are_not_cached(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(), initial_rows=ROWS)
+            for _ in range(2):
+                with pytest.raises(WorkloadError, match="contains"):
+                    manager.query_profile("t1", contains=["NoSuchColumn"])
+            assert gauges(manager, "t1")["query_cache_misses"] == 2
+            assert gauges(manager, "t1")["query_cache_hits"] == 0
+
+
+class TestShardedTenants:
+    def test_sharded_tenant_serves_and_publishes_gauges(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(shards=2), initial_rows=ROWS)
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush("t1")
+            profile = manager.query_profile("t1")
+            assert {"columns": ["Phone"], "mask": 2} in profile["mucs"]
+            stats = gauges(manager, "t1")
+            assert stats["shard_count"] == 2
+            assert stats["shard_rows0"] + stats["shard_rows1"] == 4
+            fleet = manager.fleet_status()
+            assert fleet["tenants"]["t1"]["gauges"]["shard_count"] == 2
+
+    def test_sharded_tenant_deletes_roundtrip(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create("t1", make_config(shards=2), initial_rows=ROWS)
+            manager.ingest("t1", "delete", tuple_ids=[0])
+            assert manager.flush("t1")
+            assert manager.query_profile("t1")["live_rows"] == 2
+
+    def test_shard_insert_only_requires_insert_only(self, tmp_path):
+        with pytest.raises(TenantError, match="requires insert_only"):
+            make_config(shards=2, shard_insert_only=True)
+
+    def test_shard_insert_only_tenant_rejects_deletes(self, tmp_path):
+        with make_manager(tmp_path) as manager:
+            manager.create(
+                "t1",
+                make_config(
+                    insert_only=True, shards=2, shard_insert_only=True
+                ),
+                initial_rows=ROWS,
+            )
+            with pytest.raises(TenantModeError, match="insert-only"):
+                manager.ingest("t1", "delete", tuple_ids=[0])
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush("t1")
+            assert manager.query_profile("t1")["live_rows"] == 4
+
+    def test_sharded_tenant_survives_restart(self, tmp_path):
+        root = str(tmp_path / "fleet")
+        with TenantManager(root, sleep=lambda _s: None) as manager:
+            manager.create("t1", make_config(shards=2), initial_rows=ROWS)
+            manager.ingest("t1", "insert", rows=[("Ada", "111", "9")])
+            assert manager.flush_all()
+            expected = manager.query_profile("t1")
+        with TenantManager(root, sleep=lambda _s: None) as reopened:
+            reopened.open_all()
+            got = reopened.query_profile("t1")
+            assert got["mucs"] == expected["mucs"]
+            assert got["mnucs"] == expected["mnucs"]
+            assert gauges(reopened, "t1")["shard_count"] == 2
