@@ -24,7 +24,6 @@ probes only ever see old tuples.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
@@ -36,6 +35,7 @@ from repro.core.repository import ProfileRepository
 from repro.lattice.antichain import MaximalAntichain
 from repro.lattice.combination import columns_of, maximize, minimize
 from repro.lattice.transversal import minimal_unique_supersets
+from repro.sanitize import make_lock, register_fork_owner
 from repro.storage.encoding import encode_rows_local, union_sorted
 from repro.storage.kernels import intersect_sorted
 from repro.storage.relation import Relation
@@ -116,11 +116,17 @@ class _LookupCache:
     final candidate sets -- only how much probing is saved.
     """
 
-    __slots__ = ("_entries", "_lock")
+    __slots__ = ("_entries", "_lock", "__weakref__")
 
     def __init__(self) -> None:
         self._entries: dict[int, dict[int, np.ndarray]] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.inserts.lookup")
+        # The cache is captured into process fan-out closures; forked
+        # children must never inherit a mid-acquire lock.
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_lock("core.inserts.lookup")
 
     def largest_subset(self, mask: int) -> tuple[int, dict[int, np.ndarray] | None]:
         """The cached entry whose column set is the largest subset of ``mask``."""

@@ -35,10 +35,11 @@ knob surfaced by the profiler, service and CLIs).
 from __future__ import annotations
 
 import multiprocessing
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.sanitize import make_lock, register_fork_owner
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -133,7 +134,14 @@ class FanOutPool:
         self.parallelism = max(0, int(parallelism))
         self.stats = PoolStats()
         self._executor: ThreadPoolExecutor | None = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.fanout")
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_lock("core.fanout")
+        # The parent's executor threads do not exist in the child; a
+        # child that ever fans out again must build its own.
+        self._executor = None
 
     @property
     def active(self) -> bool:

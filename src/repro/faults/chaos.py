@@ -58,6 +58,7 @@ from repro.faults.injector import (
     active,
 )
 from repro.faults.fsops import registered_sites
+from repro.profiling.persistence import dump_profile, load_profile
 from repro.server.app import ReproServerApp
 from repro.server.http import serve_in_thread
 from repro.service.retry import RetryPolicy
@@ -405,6 +406,60 @@ def run_relation_scenario(
         raise ChaosFailure(
             site, mode, seed,
             f"clean CSV round-trip failed: {type(exc).__name__}: {exc} "
+            f"(first error: {first_error})",
+        ) from exc
+
+    if not injector.fired:
+        outcome = "not-hit"
+    elif crashed:
+        outcome = "crash-recovered"
+    else:
+        outcome = "recovered" if first_error is not None else "survived"
+    return ScenarioResult(
+        site, mode, seed, outcome, len(injector.fired), detail=first_error or ""
+    )
+
+
+def run_profile_scenario(
+    site: str, mode: str, seed: int, workdir: str
+) -> ScenarioResult:
+    """Fault a profile JSON dump/load round-trip, then redo it cleanly."""
+    from repro.core.repository import Profile
+
+    path = os.path.join(workdir, "profile.json")
+    relation, mucs, mnucs = _holistic_fallback()
+    profile = Profile.from_masks(mucs, mnucs)
+    injector = FaultInjector(_plan_for(site, mode, seed))
+    crashed = False
+    first_error: str | None = None
+    with active(injector):
+        try:
+            dump_profile(relation.schema, profile, path)
+            load_profile(path)
+        except CrashPoint as exc:
+            crashed = True
+            first_error = str(exc)
+        # ValueError: a short write tears the JSON mid-document.
+        except (ReproError, OSError, ValueError) as exc:
+            first_error = f"{type(exc).__name__}: {exc}"
+
+    # Verification: a clean dump must load back mask-identical.
+    try:
+        dump_profile(relation.schema, profile, path)
+        stored = load_profile(path)
+        got_mucs, got_mnucs = stored.masks_for(relation.schema)
+        if sorted(got_mucs) != sorted(mucs) or sorted(got_mnucs) != sorted(mnucs):
+            raise ChaosFailure(
+                site, mode, seed,
+                f"profile round-trip mismatch: {got_mucs!r}/{got_mnucs!r} != "
+                f"{mucs!r}/{mnucs!r} (first error: {first_error})",
+            )
+    except ChaosFailure:
+        raise
+    except (ReproError, OSError, ValueError) as exc:
+        raise ChaosFailure(
+            site, mode, seed,
+            f"clean profile round-trip failed: {type(exc).__name__}: {exc} "
             f"(first error: {first_error})",
         ) from exc
 
@@ -1265,6 +1320,8 @@ def _runner_for(
         return run_table_scenario
     if site.startswith("relation."):
         return run_relation_scenario
+    if site.startswith("profile."):
+        return run_profile_scenario
     if site.startswith("spool.write."):
         return run_producer_scenario
     if site.startswith("tenants.worker."):
@@ -1324,6 +1381,32 @@ def run_sweep(
         if not keep and root is None:
             shutil.rmtree(base, ignore_errors=True)
     return report
+
+
+def _sanitizer_verdict() -> int:
+    """End-of-sweep lock-sanitizer check (``REPRO_SANITIZE=locks``).
+
+    Lock-order violations raise inside the offending scenario already;
+    fork-held observations are recorded by the at-fork hook and drained
+    here, turning a silent fork hazard into a sweep failure.
+    """
+    from repro.sanitize import (
+        ForkHeldLockError,
+        assert_no_reports,
+        locks_enabled,
+    )
+
+    if not locks_enabled():
+        return 0
+    try:
+        assert_no_reports()
+    except ForkHeldLockError as exc:
+        print(f"LOCK SANITIZER: {exc}", file=sys.stderr)
+        return 1
+    print(
+        "lock sanitizer: no order violations, no locks held across fork"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1409,7 +1492,7 @@ def main(argv: list[str] | None = None) -> int:
             "persisted record, and every tenant ended serving a "
             "bit-correct profile"
         )
-        return 0
+        return _sanitizer_verdict()
 
     if args.multi_tenant:
         base = args.root or tempfile.mkdtemp(prefix="repro-chaos-mt-")
@@ -1440,7 +1523,7 @@ def main(argv: list[str] | None = None) -> int:
             "multi-tenant isolation verified: faulted tenants degraded "
             "alone; every sibling kept serving a correct profile"
         )
-        return 0
+        return _sanitizer_verdict()
 
     report = run_sweep(
         args.seeds,
@@ -1463,7 +1546,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{len(report.failures)} FAILURE(S)", file=sys.stderr)
         return 1
     print("all scenarios verified: no wrong profile was ever served")
-    return 0
+    return _sanitizer_verdict()
 
 
 if __name__ == "__main__":

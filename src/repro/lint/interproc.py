@@ -1,0 +1,884 @@
+"""Whole-program concurrency facts shared by rules R7-R9.
+
+The first six lint rules are intraprocedural: each looks at one module
+at a time. The concurrency gate needs more -- a deadlock is a property
+of *pairs* of call paths, and a race is a property of *all* call sites
+of a method -- so this module builds a small whole-program index over
+the parsed :class:`~repro.lint.findings.ModuleFile` set:
+
+* a **class table** (:class:`ClassInfo`): every class, its attribute
+  types (from ``__init__`` assignments, annotations and dataclass
+  fields), which attributes are locks (``threading.Lock/RLock``,
+  ``threading.Condition`` or the sanitizer factories
+  ``make_lock``/``make_rlock``), and whether the class registers
+  itself with the at-fork reset registry;
+* a **function table** (:class:`FunctionInfo`): for every function and
+  method, the locks it acquires lexically (``with`` statements), every
+  call it makes and the lock set held at that call site, and every
+  write to ``self.<attr>`` with the lock set held at the write;
+* a **lock-order graph** (:meth:`ProgramIndex.lock_graph`): lexical
+  acquired-while-holding edges, closed over the call graph by a
+  may-acquire fixpoint, each edge carrying a witness call path.
+
+Everything here is deliberately *under*-approximate: a receiver whose
+type cannot be resolved contributes no calls and no edges. That keeps
+the rules quiet on code the analysis does not understand; the runtime
+sanitizer (:mod:`repro.sanitize`) covers the dynamic remainder.
+
+Lock identity is ``ClassName.attr`` (e.g. ``Tenant.lock``). Aliases --
+two attributes that hold the *same* lock object at runtime, like
+``TenantWorker.lock`` which is handed ``Tenant.lock`` at construction
+-- are folded together by the caller-supplied alias map before edges
+are built.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.findings import ModuleFile
+
+# Constructor calls that create a lock attribute. ``Condition`` wraps a
+# lock; a no-arg Condition owns a private one.
+_LOCK_FACTORIES = {"Lock", "RLock", "make_lock", "make_rlock"}
+_LOCK_ANNOTATIONS = {"Lock", "RLock"}
+
+# Builtins whose return passes the element type through unchanged.
+_PASSTHROUGH_CALLS = {"list", "sorted", "tuple", "reversed"}
+
+_INIT_METHODS = ("__init__", "__post_init__")
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _annotation_text(node: ast.AST | None) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our input
+        return None
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved static type: a class name plus a container element."""
+
+    name: str | None = None  # simple class name, e.g. "Tenant"
+    elem: str | None = None  # element class for containers of classes
+
+
+_NOTHING = TypeRef()
+
+
+def _parse_annotation(text: str | None) -> TypeRef:
+    """Class/element names out of an annotation string.
+
+    Handles the shapes this codebase actually writes: ``Tenant``,
+    ``repro.tenants.manager.Tenant``, ``Tenant | None``,
+    ``Optional[Tenant]``, ``dict[str, Tenant]``, ``list[Tenant]``,
+    ``deque[BatchOutcome]``, ``Iterable[Tenant]``. Anything else
+    resolves to nothing (under-approximation).
+    """
+    if not text:
+        return _NOTHING
+    text = text.strip().strip('"').strip("'")
+    for splitter in ("|",):
+        if splitter in text:
+            parts = [p.strip() for p in text.split(splitter)]
+            parts = [p for p in parts if p not in ("None", "")]
+            if len(parts) != 1:
+                return _NOTHING
+            text = parts[0]
+    if text.startswith("Optional[") and text.endswith("]"):
+        text = text[len("Optional[") : -1].strip()
+    if "[" in text and text.endswith("]"):
+        head, _, inner = text.partition("[")
+        inner = inner[:-1]
+        head = head.split(".")[-1]
+        args = [a.strip() for a in inner.split(",")]
+        if head in ("dict", "Dict", "Mapping", "defaultdict", "OrderedDict"):
+            elem = args[-1] if len(args) == 2 else None
+        elif head in (
+            "list", "List", "set", "Set", "frozenset", "tuple", "Tuple",
+            "deque", "Deque", "Iterable", "Iterator", "Sequence",
+        ):
+            elem = args[0] if args else None
+        else:
+            return TypeRef(name=head)
+        if elem:
+            elem = elem.split(".")[-1].strip().strip("'\"")
+            if elem.isidentifier():
+                return TypeRef(elem=elem)
+        return _NOTHING
+    simple = text.split(".")[-1].strip().strip("'\"")
+    if simple.isidentifier():
+        return TypeRef(name=simple)
+    return _NOTHING
+
+
+@dataclass
+class LockDecl:
+    """One lock-shaped attribute of a class."""
+
+    cls: str  # owning class simple name
+    attr: str
+    node: ast.AST
+    reentrant: bool
+    raw: bool  # built from bare threading.*, not the sanitizer factory
+
+    @property
+    def lock_id(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass
+class ClassInfo:
+    """Statically known facts about one class definition."""
+
+    name: str
+    qualname: str  # "module.Class"
+    module: ModuleFile
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    attr_types: dict[str, TypeRef] = field(default_factory=dict)
+    locks: dict[str, LockDecl] = field(default_factory=dict)
+    condition_of: dict[str, str] = field(default_factory=dict)  # cond -> lock attr
+    file_handle_attrs: dict[str, ast.AST] = field(default_factory=dict)
+    registers_fork_owner: bool = False
+    is_dataclass: bool = False
+
+    def lock_id_for(self, attr: str) -> str | None:
+        """Canonical lock id acquired by ``with self.<attr>:``."""
+        if attr in self.locks:
+            return self.locks[attr].lock_id
+        wrapped = self.condition_of.get(attr)
+        if wrapped is not None and wrapped in self.locks:
+            return self.locks[wrapped].lock_id
+        if wrapped is not None:
+            return f"{self.name}.{wrapped}"
+        return None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call with the lock set held at the call point."""
+
+    callee: str  # function-table key
+    held: frozenset[str]
+    node: ast.AST
+    caller: str  # function-table key of the enclosing function
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One write to ``self.<attr>`` (assignment, del, or mutator call)."""
+
+    attr: str
+    kind: str  # "assign" | "del" | "call:<method>"
+    held: frozenset[str]
+    node: ast.AST
+    nested: bool  # write lands on a field *of* the attr, not the slot
+
+
+@dataclass
+class FunctionInfo:
+    """Lexical concurrency facts about one function or method."""
+
+    key: str  # "Class.method" or "module:func"
+    module: ModuleFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ClassInfo | None = None
+    acquires: list[tuple[str, frozenset[str], ast.AST]] = field(
+        default_factory=list
+    )
+    calls: list[CallSite] = field(default_factory=list)
+    writes: list[AttrWrite] = field(default_factory=list)
+    var_types: dict[str, TypeRef] = field(default_factory=dict)
+    has_yield: bool = False
+
+
+class ProgramIndex:
+    """The whole-program concurrency index over a set of modules."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}  # simple name -> info
+        self.functions: dict[str, FunctionInfo] = {}
+        self._callers: dict[str, list[CallSite]] = {}
+        # Module-level functions per module, for Name-call resolution.
+        self._module_funcs: dict[str, set[str]] = {}
+        # per-module import map: local name -> source module dotted path
+        self._imports: dict[str, dict[str, str]] = {}
+        self.generator_functions: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, modules: list[ModuleFile]) -> "ProgramIndex":
+        index = cls()
+        for module in modules:
+            index._collect_imports(module)
+            index._collect_classes(module)
+        for module in modules:
+            index._collect_functions(module)
+        for info in index.functions.values():
+            for call in info.calls:
+                index._callers.setdefault(call.callee, []).append(call)
+        return index
+
+    def callers_of(self, key: str) -> list[CallSite]:
+        return self._callers.get(key, [])
+
+    def _collect_imports(self, module: ModuleFile) -> None:
+        imports: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = node.module
+        self._imports[module.module] = imports
+
+    def _collect_classes(self, module: ModuleFile) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = ClassInfo(
+                name=node.name,
+                qualname=f"{module.module}.{node.name}",
+                module=module,
+                node=node,
+                bases=[b for b in (dotted(base) for base in node.bases) if b],
+                is_dataclass=any(
+                    (dotted(d) or "").split(".")[-1] == "dataclass"
+                    for d in node.decorator_list
+                ),
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[item.name] = item  # type: ignore[assignment]
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    self._class_annassign(info, item)
+            for init_name in _INIT_METHODS:
+                init = info.methods.get(init_name)
+                if init is not None:
+                    self._scan_constructor(info, init)
+            if any(
+                isinstance(call, ast.Call)
+                and (dotted(call.func) or "").split(".")[-1]
+                == "register_fork_owner"
+                for call in ast.walk(node)
+                if isinstance(call, ast.Call)
+            ):
+                info.registers_fork_owner = True
+            # First definition wins on (unlikely) simple-name collision;
+            # test/fixture doubles must not shadow the real class.
+            self.classes.setdefault(node.name, info)
+
+    def _class_annassign(self, info: ClassInfo, item: ast.AnnAssign) -> None:
+        """A class-body annotated field (dataclass or plain)."""
+        attr = item.target.id  # type: ignore[union-attr]
+        text = _annotation_text(item.annotation) or ""
+        simple = text.split(".")[-1]
+        if simple in _LOCK_ANNOTATIONS:
+            info.locks[attr] = LockDecl(
+                cls=info.name,
+                attr=attr,
+                node=item,
+                reentrant=simple == "RLock",
+                raw=not _factory_in(item.value),
+            )
+            return
+        info.attr_types.setdefault(attr, _parse_annotation(text))
+
+    def _scan_constructor(self, info: ClassInfo, init: ast.AST) -> None:
+        """Harvest ``self.X = ...`` attribute facts from a constructor."""
+        param_types = _param_types(init)  # type: ignore[arg-type]
+        for node in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            callee = (
+                (dotted(value.func) or "").split(".")[-1]
+                if isinstance(value, ast.Call)
+                else None
+            )
+            if callee in _LOCK_FACTORIES:
+                info.locks.setdefault(
+                    attr,
+                    LockDecl(
+                        cls=info.name,
+                        attr=attr,
+                        node=node,
+                        reentrant=callee in ("RLock", "make_rlock"),
+                        raw=callee in ("Lock", "RLock"),
+                    ),
+                )
+                continue
+            if callee == "Condition":
+                wrapped = self._condition_target(value)  # type: ignore[arg-type]
+                if wrapped is not None:
+                    info.condition_of.setdefault(attr, wrapped)
+                else:  # no-arg Condition owns a private lock
+                    info.locks.setdefault(
+                        attr,
+                        LockDecl(
+                            cls=info.name,
+                            attr=attr,
+                            node=node,
+                            reentrant=False,
+                            raw=True,
+                        ),
+                    )
+                continue
+            if callee in ("open", "open_"):
+                info.file_handle_attrs.setdefault(attr, node)
+                continue
+            ref = _NOTHING
+            if annotation is not None:
+                ref = _parse_annotation(_annotation_text(annotation))
+            if ref is _NOTHING and callee and callee[0].isupper():
+                ref = TypeRef(name=callee)
+            if ref is _NOTHING and isinstance(value, ast.Name):
+                param = param_types.get(value.id, _NOTHING)
+                if param.name in _LOCK_ANNOTATIONS:
+                    # A lock handed in at construction: the attr *is* a
+                    # lock, owned (and reset) by whoever built it.
+                    info.locks.setdefault(
+                        attr,
+                        LockDecl(
+                            cls=info.name,
+                            attr=attr,
+                            node=node,
+                            reentrant=param.name == "RLock",
+                            raw=False,
+                        ),
+                    )
+                    continue
+                ref = param
+            if ref is not _NOTHING:
+                info.attr_types.setdefault(attr, ref)
+
+    @staticmethod
+    def _condition_target(call: ast.Call) -> str | None:
+        if not call.args:
+            return None
+        arg = call.args[0]
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+        ):
+            return arg.attr
+        return None
+
+    # ------------------------------------------------------------------
+    # Function facts
+    # ------------------------------------------------------------------
+    def _collect_functions(self, module: ModuleFile) -> None:
+        funcs = self._module_funcs.setdefault(module.module, set())
+        for item in module.tree.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                funcs.add(item.name)
+
+        def visit(node: ast.AST, cls: ClassInfo | None) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, self.classes.get(child.name))
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    self._build_function(module, child, cls)
+                else:
+                    visit(child, cls)
+
+        visit(module.tree, None)
+
+    def _build_function(
+        self,
+        module: ModuleFile,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ClassInfo | None,
+    ) -> None:
+        key = (
+            f"{cls.name}.{node.name}" if cls is not None
+            else f"{module.module}:{node.name}"
+        )
+        info = FunctionInfo(key=key, module=module, node=node, cls=cls)
+        info.var_types = _param_types(node)
+        if cls is not None:
+            info.var_types["self"] = TypeRef(name=cls.name)
+        _FunctionWalker(self, info).run()
+        info.has_yield = any(
+            isinstance(sub, (ast.Yield, ast.YieldFrom))
+            for sub in ast.walk(node)
+        )
+        if info.has_yield:
+            self.generator_functions.add(key)
+        self.functions.setdefault(key, info)
+
+    # ------------------------------------------------------------------
+    # Resolution helpers used by the walker and the rules
+    # ------------------------------------------------------------------
+    def type_of(self, expr: ast.expr, info: FunctionInfo) -> TypeRef:
+        """Best-effort static type of an expression in ``info``'s scope."""
+        if isinstance(expr, ast.Name):
+            return info.var_types.get(expr.id, _NOTHING)
+        if isinstance(expr, ast.Attribute):
+            base = self.type_of(expr.value, info)
+            if base.name and base.name in self.classes:
+                return self.classes[base.name].attr_types.get(
+                    expr.attr, _NOTHING
+                )
+            return _NOTHING
+        if isinstance(expr, ast.Subscript):
+            container = self.type_of(expr.value, info)
+            if container.elem:
+                return TypeRef(name=container.elem)
+            return _NOTHING
+        if isinstance(expr, ast.Call):
+            callee = dotted(expr.func)
+            if callee is None:
+                # obj.values() / obj.pop(...) style: element of receiver
+                if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+                    "values", "pop", "popleft", "get", "popitem",
+                ):
+                    container = self.type_of(expr.func.value, info)
+                    if container.elem:
+                        return TypeRef(name=container.elem)
+                return _NOTHING
+            simple = callee.split(".")[-1]
+            if simple in self.classes:
+                return TypeRef(name=simple)
+            if simple in _PASSTHROUGH_CALLS and expr.args:
+                inner = self.type_of(expr.args[0], info)
+                return TypeRef(elem=inner.elem)
+            if isinstance(expr.func, ast.Attribute) and expr.func.attr in (
+                "values", "pop", "popleft", "get", "popitem",
+            ):
+                container = self.type_of(expr.func.value, info)
+                if container.elem:
+                    return TypeRef(name=container.elem)
+            target = self._resolve_call_key(expr, info)
+            if target is not None and target in self.functions:
+                returns = self.functions[target].node.returns
+                return _parse_annotation(_annotation_text(returns))
+        return _NOTHING
+
+    def element_of(self, expr: ast.expr, info: FunctionInfo) -> TypeRef:
+        """Type of one element of an iterated expression."""
+        ref = self.type_of(expr, info)
+        if ref.elem:
+            return TypeRef(name=ref.elem)
+        return _NOTHING
+
+    def lock_id_of(self, expr: ast.expr, info: FunctionInfo) -> str | None:
+        """Canonical lock id acquired by ``with <expr>:``, if resolvable."""
+        if isinstance(expr, ast.Attribute):
+            base = self.type_of(expr.value, info)
+            if base.name and base.name in self.classes:
+                return self.classes[base.name].lock_id_for(expr.attr)
+            return None
+        if isinstance(expr, ast.Name):
+            ref = info.var_types.get(expr.id)
+            if ref is not None and ref.name and ref.name in _LOCK_ANNOTATIONS:
+                # A bare lock local/param with no owning class attribute:
+                # not canonicalizable, contributes nothing.
+                return None
+        return None
+
+    def _resolve_call_key(
+        self, call: ast.Call, info: FunctionInfo
+    ) -> str | None:
+        """Function-table key for a call, or None when unresolvable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            module = info.module.module
+            if name in self._module_funcs.get(module, set()):
+                return f"{module}:{name}"
+            source = self._imports.get(module, {}).get(name)
+            if source and name in self._module_funcs.get(source, set()):
+                return f"{source}:{name}"
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = self.type_of(func.value, info)
+            if receiver.name and receiver.name in self.classes:
+                cls = self.classes[receiver.name]
+                if func.attr in cls.methods:
+                    return f"{cls.name}.{func.attr}"
+            return None
+        return None
+
+
+def _param_types(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, TypeRef]:
+    types: dict[str, TypeRef] = {}
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        ref = _parse_annotation(_annotation_text(arg.annotation))
+        if ref is not _NOTHING:
+            types[arg.arg] = ref
+    return types
+
+
+def _factory_in(value: ast.expr | None) -> bool:
+    """Does the (default) expression call a sanitizer lock factory?"""
+    if value is None:
+        return False
+    for sub in ast.walk(value):
+        if isinstance(sub, ast.Call):
+            name = (dotted(sub.func) or "").split(".")[-1]
+            if name in ("make_lock", "make_rlock"):
+                return True
+    return False
+
+
+class _FunctionWalker:
+    """One pass over a function body tracking the lexically held locks."""
+
+    def __init__(self, index: ProgramIndex, info: FunctionInfo) -> None:
+        self.index = index
+        self.info = info
+
+    def run(self) -> None:
+        for stmt in self.info.node.body:
+            self._walk(stmt, frozenset())
+
+    def _walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later (often on another thread); its
+            # body starts with nothing held.
+            for stmt in node.body:
+                self._walk(stmt, frozenset())
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            entered = frozenset(held)
+            for item in node.items:
+                lock_id = self.index.lock_id_of(
+                    item.context_expr, self.info
+                )
+                self._scan_expr(item.context_expr, held)
+                if lock_id is None:
+                    continue
+                self.info.acquires.append((lock_id, entered, node))
+                entered = entered | {lock_id}
+            for stmt in node.body:
+                self._walk(stmt, entered)
+            return
+        self._record_statement(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    def _record_statement(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, ast.Call):
+            self._record_call(node, held)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._record_write(target, "assign", held)
+                self._bind_local(target, node.value)
+        elif isinstance(node, ast.AugAssign):
+            self._record_write(node.target, "assign", held)
+        elif isinstance(node, ast.AnnAssign):
+            self._record_write(node.target, "assign", held)
+            if isinstance(node.target, ast.Name):
+                ref = _parse_annotation(_annotation_text(node.annotation))
+                if ref is not _NOTHING:
+                    self.info.var_types.setdefault(node.target.id, ref)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_write(target, "del", held)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            elem = self.index.element_of(node.iter, self.info)
+            if elem is not _NOTHING and isinstance(node.target, ast.Name):
+                self.info.var_types.setdefault(node.target.id, elem)
+
+    def _bind_local(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        ref = self.index.type_of(value, self.info)
+        if ref is not _NOTHING:
+            self.info.var_types.setdefault(target.id, ref)
+
+    def _record_call(self, call: ast.Call, held: frozenset[str]) -> None:
+        key = self.index._resolve_call_key(call, self.info)
+        if key is not None:
+            self.info.calls.append(
+                CallSite(callee=key, held=held, node=call, caller=self.info.key)
+            )
+        # self.<attr>.mutator(...) is a write to the attr's value.
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            self.info.writes.append(
+                AttrWrite(
+                    attr=func.value.attr,
+                    kind=f"call:{func.attr}",
+                    held=held,
+                    node=call,
+                    nested=False,
+                )
+            )
+
+    def _scan_expr(self, expr: ast.AST, held: frozenset[str]) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                self._record_call(sub, held)
+
+    def _record_write(
+        self, target: ast.expr, kind: str, held: frozenset[str]
+    ) -> None:
+        """Record writes landing on ``self.<attr>`` (possibly nested)."""
+        node: ast.expr = target
+        nested = False
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            parent = node.value
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(parent, ast.Name)
+                and parent.id == "self"
+            ):
+                self.info.writes.append(
+                    AttrWrite(
+                        attr=node.attr,
+                        kind=kind,
+                        held=held,
+                        node=target,
+                        nested=nested,
+                    )
+                )
+                return
+            nested = True
+            node = parent
+
+
+# ---------------------------------------------------------------------------
+# Lock-order graph (R7's substrate)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LockEdge:
+    """``a`` was (or may be) held while acquiring ``b``."""
+
+    src: str
+    dst: str
+    path: str  # module path of the acquiring site
+    line: int
+    symbol: str  # function-table key of the acquiring function
+    via_call: bool  # edge crosses at least one call boundary
+
+    @property
+    def witness(self) -> str:
+        return f"{self.path}:{self.line} (in {self.symbol})"
+
+
+def build_lock_graph(
+    index: ProgramIndex, aliases: dict[str, str]
+) -> dict[str, dict[str, LockEdge]]:
+    """All acquired-while-holding edges, closed over the call graph.
+
+    ``aliases`` folds attribute names that share one runtime lock
+    object into a canonical id before edges are drawn. Self-edges are
+    dropped: re-acquiring the same id is reentrancy, which is the
+    runtime sanitizer's business, not an ordering violation.
+    """
+
+    def canon(lock_id: str) -> str:
+        seen = set()
+        while lock_id in aliases and lock_id not in seen:
+            seen.add(lock_id)
+            lock_id = aliases[lock_id]
+        return lock_id
+
+    # may_acquire fixpoint: every lock a function can take, directly or
+    # through any resolved call.
+    may_acquire: dict[str, set[str]] = {
+        key: {canon(lock) for lock, _, _ in info.acquires}
+        for key, info in index.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, info in index.functions.items():
+            bucket = may_acquire[key]
+            before = len(bucket)
+            for call in info.calls:
+                bucket |= may_acquire.get(call.callee, set())
+            if len(bucket) != before:
+                changed = True
+
+    edges: dict[str, dict[str, LockEdge]] = {}
+
+    def add(
+        src: str,
+        dst: str,
+        path: str,
+        line: int,
+        symbol: str,
+        via_call: bool,
+    ) -> None:
+        if src == dst:
+            return
+        slot = edges.setdefault(src, {})
+        existing = slot.get(dst)
+        # Prefer a lexical witness over a call-propagated one.
+        if existing is None or (existing.via_call and not via_call):
+            slot[dst] = LockEdge(
+                src=src, dst=dst, path=path, line=line,
+                symbol=symbol, via_call=via_call,
+            )
+
+    for info in index.functions.values():
+        for lock, held, node in info.acquires:
+            line = getattr(node, "lineno", 1)
+            for src in held:
+                add(
+                    canon(src), canon(lock), info.module.path, line,
+                    info.key, via_call=False,
+                )
+        for call in info.calls:
+            if not call.held:
+                continue
+            line = getattr(call.node, "lineno", 1)
+            symbol = f"{info.key} -> {call.callee}"
+            for dst in may_acquire.get(call.callee, set()):
+                for src in call.held:
+                    add(
+                        canon(src), dst, info.module.path, line,
+                        symbol, via_call=True,
+                    )
+    return edges
+
+
+def find_lock_cycles(
+    edges: dict[str, dict[str, LockEdge]]
+) -> list[list[LockEdge]]:
+    """Every elementary ordering cycle, as lists of witness edges.
+
+    Cycles are found per strongly connected component; each SCC is
+    reported through one representative cycle (a deadlock fix breaks
+    the whole component, so one witness per component is the
+    actionable unit).
+    """
+    # Tarjan SCC, iterative.
+    indexes: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(edges.get(root, {}))))]
+        indexes[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in indexes:
+                    indexes[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, {})))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], indexes[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == indexes[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+    for node in sorted(edges):
+        if node not in indexes:
+            strongconnect(node)
+
+    cycles: list[list[LockEdge]] = []
+    for component in sccs:
+        members = set(component)
+        start = component[0]
+        # Shortest cycle through ``start`` inside the component (BFS).
+        parent: dict[str, LockEdge] = {}
+        frontier = [start]
+        found: str | None = None
+        visited = {start}
+        while frontier and found is None:
+            nxt: list[str] = []
+            for node in frontier:
+                for succ, edge in sorted(edges.get(node, {}).items()):
+                    if succ not in members:
+                        continue
+                    if succ == start:
+                        parent[f"__back__{node}"] = edge
+                        found = node
+                        break
+                    if succ not in visited:
+                        visited.add(succ)
+                        parent[succ] = edge
+                        nxt.append(succ)
+                if found is not None:
+                    break
+            frontier = nxt
+        if found is None:  # pragma: no cover - SCC guarantees a cycle
+            continue
+        path = [parent[f"__back__{found}"]]
+        node = found
+        while node != start:
+            edge = parent[node]
+            path.append(edge)
+            node = edge.src
+        path.reverse()
+        cycles.append(path)
+    return cycles

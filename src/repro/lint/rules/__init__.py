@@ -67,10 +67,13 @@ def _load_builtin_rules() -> None:
     from repro.lint.rules import (  # noqa: F401
         determinism,
         fanout_capture,
+        fork_safety,
         frozen_views,
         live_escape,
+        lock_order,
         locks_metrics,
         raw_io,
+        shared_state,
     )
 
 

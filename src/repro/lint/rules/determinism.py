@@ -9,7 +9,13 @@ deterministic functions of their inputs:
 
 * no wall-clock or RNG calls (``random``, ``time.time``,
   ``datetime.now``) -- seeds and clocks are injected at the service
-  layer where they belong;
+  layer where they belong. The one sanctioned RNG shape is
+  *explicitly seeded construction*, ``random.Random(seed)``: that is
+  the injected-seed pattern itself (the synthetic dataset generators
+  derive per-column RNGs this way), so it and a plain
+  ``import random`` serving only such constructions are allowed,
+  while ``random.Random()`` (ambient seed) and every module-level
+  ``random.*`` function stay banned;
 * no unordered ``set`` iteration feeding ordered output
   (``list(set(...))``, ``tuple(set(...))``, ``join(set(...))``) --
   hash randomization makes that order vary across *processes*, which
@@ -56,13 +62,30 @@ class DeterminismRule(Rule):
         "time.time/datetime.now or iterate an unordered set into ordered "
         "output; use sorted(...) (or dict.fromkeys for stable dedup)."
     )
-    default_scope = ("repro.core", "repro.lattice", "repro.storage", "repro.shard")
+    default_scope = (
+        "repro.core",
+        "repro.lattice",
+        "repro.storage",
+        "repro.shard",
+        "repro.fd",
+        "repro.ind",
+        "repro.profiling",
+        "repro.datasets",
+    )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:
+        # ``import random`` is fine when the module only *constructs*
+        # explicitly seeded RNGs with it; the banned-call walk below
+        # still flags every ambient use individually.
+        ambient_random = any(
+            self._is_ambient_random(node)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Call)
+        )
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name.split(".")[0] == "random":
+                    if alias.name.split(".")[0] == "random" and ambient_random:
                         yield module.finding(
                             self,
                             node,
@@ -80,10 +103,20 @@ class DeterminismRule(Rule):
             elif isinstance(node, ast.Call):
                 yield from self._check_call(module, node)
 
+    @staticmethod
+    def _is_ambient_random(node: ast.Call) -> bool:
+        """A ``random.*`` call that is not seeded RNG construction."""
+        name = call_name(node)
+        if name is None or not name.startswith("random."):
+            return False
+        if name == "random.Random" and (node.args or node.keywords):
+            return False  # random.Random(seed): the injected-seed shape
+        return True
+
     def _check_call(self, module: ModuleFile, node: ast.Call) -> Iterator[Finding]:
         name = call_name(node)
         if name is not None:
-            if name.startswith("random."):
+            if self._is_ambient_random(node):
                 yield module.finding(
                     self,
                     node,

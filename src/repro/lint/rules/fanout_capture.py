@@ -84,7 +84,10 @@ class FanoutCaptureRule(Rule):
         "repro.service",
         "repro.storage",
         "repro.lattice",
-    "repro.shard",
+        "repro.shard",
+        "repro.profiling",
+        "repro.fd",
+        "repro.ind",
     )
 
     @property

@@ -1,0 +1,250 @@
+"""R9 ``fork-safety``: nothing fork-hostile crosses a process fan-out.
+
+:class:`~repro.core.parallel.ProcessFanOut` forks workers that inherit
+the parent's entire address space -- including every lock, in whatever
+state some *other* thread had it at the fork instant. PR 8 debugged
+exactly this: a ``PartitionCache`` lock held by a service thread at
+fork time deadlocked the child's first cache probe. The fix (an
+at-fork reset registry, now :func:`repro.sanitize.register_fork_owner`)
+was mechanism; this rule is the checked invariant that the mechanism
+is actually used.
+
+Two checks:
+
+* **Ownership invariant** -- any class that constructs a lock
+  attribute (``threading.Lock``/``RLock``/``Condition`` or the
+  sanitizer factories) must call ``register_fork_owner(self)`` in its
+  constructor, so forked children get fresh unlocked locks. This is
+  what the verbatim PR 8 bug shape fails.
+* **Closure reachability** -- a task submitted to a process pool must
+  not capture fork-hostile state: a lock-owning class that skipped
+  registration (reachable transitively through attribute types), an
+  open file handle (parent and child would share one file offset), a
+  socket, or a live generator (its frame state is duplicated; both
+  sides advancing it diverge silently).
+
+The runtime complement is the sanitizer's at-fork hook, which reports
+any sanitized lock still held by another thread at fork time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.interproc import ClassInfo, FunctionInfo, ProgramIndex, dotted
+from repro.lint.rules import Rule, register
+
+_SUBMIT_METHODS = ("map", "submit")
+_MAX_REACH_DEPTH = 4
+
+
+def _pool_submissions(
+    func: FunctionInfo,
+) -> Iterator[tuple[ast.Call, ast.expr]]:
+    """(call, task-callable-expr) for every pool submission in ``func``."""
+    for node in ast.walk(func.node):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        callee = node.func
+        if (
+            not isinstance(callee, ast.Attribute)
+            or callee.attr not in _SUBMIT_METHODS
+        ):
+            continue
+        receiver = dotted(callee.value) or ""
+        if "pool" not in receiver.lower():
+            continue
+        yield node, node.args[0]
+
+
+def _callable_body(
+    func: FunctionInfo, task: ast.expr
+) -> ast.AST | None:
+    """The AST of the submitted callable, when defined in ``func``."""
+    if isinstance(task, ast.Lambda):
+        return task
+    if isinstance(task, ast.Name):
+        for node in ast.walk(func.node):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == task.id
+            ):
+                return node
+    return None
+
+
+def _captured_names(body: ast.AST) -> set[str]:
+    """Names the callable loads but does not bind itself."""
+    bound: set[str] = set()
+    if isinstance(body, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = body.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            bound.add(arg.arg)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+    loads: set[str] = set()
+    for node in ast.walk(body):
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+            elif isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+    return loads - bound
+
+
+@register
+class ForkSafetyRule(Rule):
+    id = "R9"
+    name = "fork-safety"
+    description = (
+        "Lock-owning classes must register with the at-fork reset "
+        "registry, and process fan-out tasks must not capture locks "
+        "without reset, open file handles, sockets, or live generators."
+    )
+    default_scope = ("repro",)
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        return iter(())  # whole-program rule: all work is in finalize
+
+    def finalize(self, modules: list[ModuleFile]) -> Iterator[Finding]:
+        index = ProgramIndex.build(modules)
+        in_scope = {module.module for module in modules}
+        yield from self._check_ownership(index, in_scope)
+        yield from self._check_closures(index)
+
+    # ------------------------------------------------------------------
+    # Ownership invariant
+    # ------------------------------------------------------------------
+    def _check_ownership(
+        self, index: ProgramIndex, in_scope: set[str]
+    ) -> Iterator[Finding]:
+        for name in sorted(index.classes):
+            info = index.classes[name]
+            if info.module.module not in in_scope:
+                continue
+            if not info.locks or info.registers_fork_owner:
+                continue
+            attrs = ", ".join(sorted(info.locks))
+            yield Finding(
+                rule=self.id,
+                name=self.name,
+                severity=self.default_severity,
+                path=info.module.path,
+                line=info.node.lineno,
+                col=info.node.col_offset,
+                symbol=info.name,
+                message=(
+                    f"class {info.name} owns lock attribute(s) {attrs} but "
+                    f"never calls register_fork_owner(self); forked workers "
+                    f"inherit these locks in whatever state another thread "
+                    f"held them (the PR 8 PartitionCache deadlock)"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Closure reachability
+    # ------------------------------------------------------------------
+    def _check_closures(self, index: ProgramIndex) -> Iterator[Finding]:
+        for key in sorted(index.functions):
+            func = index.functions[key]
+            for call, task in _pool_submissions(func):
+                body = _callable_body(func, task)
+                if body is None:
+                    continue
+                for name in sorted(_captured_names(body)):
+                    yield from self._check_capture(index, func, call, name)
+
+    def _check_capture(
+        self,
+        index: ProgramIndex,
+        func: FunctionInfo,
+        call: ast.Call,
+        name: str,
+    ) -> Iterator[Finding]:
+        hazard = self._value_hazard(index, func, name)
+        if hazard is None:
+            ref = func.var_types.get(name)
+            if ref is not None and ref.name:
+                hazard = self._class_hazard(index, ref.name)
+        if hazard is None:
+            return
+        yield Finding(
+            rule=self.id,
+            name=self.name,
+            severity=self.default_severity,
+            path=func.module.path,
+            line=call.lineno,
+            col=call.col_offset,
+            symbol=func.key,
+            message=(
+                f"process fan-out task in {func.key} captures {name!r}, "
+                f"which {hazard}; forked children duplicate this state"
+            ),
+        )
+
+    def _value_hazard(
+        self, index: ProgramIndex, func: FunctionInfo, name: str
+    ) -> str | None:
+        """Hazards visible from how ``name`` is assigned in ``func``."""
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == name for t in node.targets
+            ):
+                continue
+            value = node.value
+            if isinstance(value, ast.GeneratorExp):
+                return "is a live generator"
+            if isinstance(value, ast.Call):
+                callee = dotted(value.func) or ""
+                simple = callee.split(".")[-1]
+                if simple in ("open", "open_"):
+                    return "is an open file handle"
+                if simple == "socket" or callee.endswith("socket.socket"):
+                    return "is a socket"
+                target = index._resolve_call_key(value, func)
+                if target in index.generator_functions:
+                    return f"is a live generator (from {target})"
+        return None
+
+    def _class_hazard(self, index: ProgramIndex, root: str) -> str | None:
+        """Fork hazards reachable through the attribute-type graph."""
+        seen: set[str] = set()
+        frontier = [(root, 0, root)]
+        while frontier:
+            name, depth, path = frontier.pop()
+            if name in seen or depth > _MAX_REACH_DEPTH:
+                continue
+            seen.add(name)
+            info = index.classes.get(name)
+            if info is None:
+                continue
+            hazard = self._direct_class_hazard(info, path)
+            if hazard is not None:
+                return hazard
+            for attr, ref in sorted(info.attr_types.items()):
+                for nxt in (ref.name, ref.elem):
+                    if nxt and nxt in index.classes:
+                        frontier.append((nxt, depth + 1, f"{path}.{attr}"))
+        return None
+
+    @staticmethod
+    def _direct_class_hazard(info: ClassInfo, path: str) -> str | None:
+        if info.locks and not info.registers_fork_owner:
+            attrs = ", ".join(sorted(info.locks))
+            return (
+                f"reaches {info.name} (via {path}) owning unregistered "
+                f"lock(s) {attrs}"
+            )
+        if info.file_handle_attrs:
+            attrs = ", ".join(sorted(info.file_handle_attrs))
+            return (
+                f"reaches {info.name} (via {path}) holding open file "
+                f"handle(s) {attrs}"
+            )
+        return None

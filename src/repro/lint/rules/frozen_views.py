@@ -74,7 +74,14 @@ class FrozenViewsRule(Rule):
         "read-only before return, and no call site may mutate a value "
         "obtained from those surfaces."
     )
-    default_scope = ("repro.storage", "repro.core", "repro.shard")
+    default_scope = (
+        "repro.storage",
+        "repro.core",
+        "repro.shard",
+        "repro.fd",
+        "repro.ind",
+        "repro.profiling",
+    )
 
     @property
     def surfaces(self) -> tuple[str, ...]:

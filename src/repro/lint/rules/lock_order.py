@@ -1,0 +1,85 @@
+"""R7 ``lock-order``: the static lock-acquisition graph must be acyclic.
+
+The multi-tenant service stacks four lock layers -- supervisor over
+manager over tenant over queue -- and every layer calls into the one
+below while holding its own lock. That is fine exactly as long as
+*every* path through the program acquires the layers in the same
+direction; one inverted pair (a queue method calling back up into the
+manager while holding the queue lock) is a latent deadlock that only
+fires under the right thread interleaving, which is precisely the kind
+of bug the test suite is worst at catching.
+
+This rule builds the whole-program lock graph from
+:mod:`repro.lint.interproc`: a directed edge ``A -> B`` means some code
+path acquires lock ``B`` while holding lock ``A``, either lexically
+(nested ``with`` blocks) or through any chain of resolved calls (a
+method called under ``A`` that may acquire ``B``). Any cycle in that
+graph is reported with one concrete witness path per strongly
+connected component.
+
+Attributes that hold the *same* runtime lock object under two names
+(``TenantWorker.lock`` is handed ``Tenant.lock`` at construction) are
+folded together via the ``aliases`` option before edges are drawn::
+
+    [tool.reprolint.rules.R7.aliases]
+    "TenantWorker.lock" = "Tenant.lock"
+
+The runtime half of this gate is the lock-order sanitizer
+(:mod:`repro.sanitize.locks`), which checks the *dynamic* acquisition
+graph of every sanitized test run against the same invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.interproc import (
+    LockEdge,
+    ProgramIndex,
+    build_lock_graph,
+    find_lock_cycles,
+)
+from repro.lint.rules import Rule, register
+
+
+@register
+class LockOrderRule(Rule):
+    id = "R7"
+    name = "lock-order"
+    description = (
+        "The static acquired-while-holding graph over all project locks "
+        "must be acyclic; any cycle is a latent deadlock."
+    )
+    default_scope = ("repro",)
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        return iter(())  # whole-program rule: all work is in finalize
+
+    def finalize(self, modules: list[ModuleFile]) -> Iterator[Finding]:
+        raw_aliases = self.option("aliases", {})
+        aliases = {
+            str(key): str(value) for key, value in dict(raw_aliases).items()
+        }
+        index = ProgramIndex.build(modules)
+        edges = build_lock_graph(index, aliases)
+        for cycle in find_lock_cycles(edges):
+            yield self._cycle_finding(cycle)
+
+    def _cycle_finding(self, cycle: list[LockEdge]) -> Finding:
+        order = " -> ".join([cycle[0].src, *[edge.dst for edge in cycle]])
+        witnesses = "; ".join(
+            f"{edge.src} held while taking {edge.dst} at {edge.witness}"
+            for edge in cycle
+        )
+        anchor = cycle[0]
+        return Finding(
+            rule=self.id,
+            name=self.name,
+            severity=self.default_severity,
+            path=anchor.path,
+            line=anchor.line,
+            col=0,
+            symbol=anchor.symbol,
+            message=f"lock-order cycle {order}: {witnesses}",
+        )

@@ -65,7 +65,9 @@ class LocksMetricsRule(Rule):
         "repro.core",
         "repro.tenants",
         "repro.server",
-    "repro.shard",
+        "repro.shard",
+        "repro.profiling",
+        "repro.datasets",
     )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:

@@ -45,7 +45,9 @@ class RawIoRule(Rule):
         "repro.storage",
         "repro.tenants",
         "repro.server",
-    "repro.shard",
+        "repro.shard",
+        "repro.profiling",
+        "repro.datasets",
     )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:

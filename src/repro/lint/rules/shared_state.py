@@ -1,0 +1,141 @@
+"""R8 ``unsynchronized-shared-state``: guarded writes on shared classes.
+
+A handful of classes are *structurally* thread-shared: the tenant
+manager's registry is hit by HTTP threads and the supervisor loop, each
+ingest queue by producer threads and its writer thread, the metrics
+registry by every worker, the shard merger by the fan-out pool. For
+those classes, every write to instance state must happen inside a
+held-lock region -- this PR alone fixed five violations that had crept
+in (worker result appends, the supervisor's thread handle and event
+log, the manager's close-out bookkeeping), all of the shape this rule
+now rejects.
+
+A method of a class named in ``shared_classes`` may write
+``self.<attr>`` (assignment, ``del``, or a mutating method call like
+``.append``/``.pop``) only when:
+
+* the write is lexically inside a ``with <lock>:`` region, or
+* the method is constructor-phase (``__init__``/``__post_init__``),
+  the at-fork reset hook (single-threaded by construction), or named
+  ``*_locked`` (the project convention for caller-holds-the-lock
+  helpers), or
+* every *resolved call site* of the method in the whole program holds
+  a lock at the call point (interprocedural grace for private helpers
+  invoked under the caller's lock), or
+* the attribute's value is itself a synchronization primitive
+  (``Event``: its mutators are internally locked) or listed in the
+  ``unguarded_attrs`` option with a written rationale in
+  ``pyproject.toml``.
+
+``.set`` is deliberately absent from the mutator list --
+``Event.set()`` is the idiomatic cross-thread signal and internally
+synchronized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding, ModuleFile
+from repro.lint.interproc import AttrWrite, ProgramIndex
+from repro.lint.rules import Rule, register
+
+_MUTATORS = {
+    "append", "appendleft", "extend", "insert", "add", "update",
+    "setdefault", "pop", "popitem", "popleft", "remove", "discard",
+    "clear", "sort", "reverse", "move_to_end",
+}
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "_reset_locks_after_fork"}
+
+# Attribute types whose mutators synchronize internally.
+_SELF_SYNCHRONIZED_TYPES = {"Event"}
+
+_DEFAULT_SHARED = [
+    "TenantManager",
+    "FleetSupervisor",
+    "IngestQueue",
+    "MetricsRegistry",
+    "GlobalProfileMerger",
+]
+
+
+@register
+class SharedStateRule(Rule):
+    id = "R8"
+    name = "unsynchronized-shared-state"
+    description = (
+        "Methods of thread-shared classes must write instance attributes "
+        "only inside held-lock regions (or from call sites that hold one)."
+    )
+    default_scope = ("repro",)
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        return iter(())  # whole-program rule: all work is in finalize
+
+    def finalize(self, modules: list[ModuleFile]) -> Iterator[Finding]:
+        shared = set(self.option("shared_classes", _DEFAULT_SHARED))
+        unguarded = set(self.option("unguarded_attrs", []))
+        index = ProgramIndex.build(modules)
+        for name in sorted(shared):
+            info = index.classes.get(name)
+            if info is None:
+                continue
+            for method in sorted(info.methods):
+                if method in _EXEMPT_METHODS or method.endswith("_locked"):
+                    continue
+                func = index.functions.get(f"{name}.{method}")
+                if func is None:
+                    continue
+                for write in func.writes:
+                    if not self._is_violation(
+                        index, info, func.key, write, unguarded
+                    ):
+                        continue
+                    yield Finding(
+                        rule=self.id,
+                        name=self.name,
+                        severity=self.default_severity,
+                        path=func.module.path,
+                        line=getattr(write.node, "lineno", 1),
+                        col=getattr(write.node, "col_offset", 0),
+                        symbol=func.key,
+                        message=(
+                            f"{func.key} writes self.{write.attr} "
+                            f"({self._verb(write)}) outside any held-lock "
+                            f"region, and {name} is thread-shared"
+                        ),
+                    )
+
+    def _is_violation(
+        self,
+        index: ProgramIndex,
+        cls: "object",
+        method_key: str,
+        write: AttrWrite,
+        unguarded: set[str],
+    ) -> bool:
+        if write.held:
+            return False
+        if write.kind.startswith("call:"):
+            if write.kind.removeprefix("call:") not in _MUTATORS:
+                return False
+        attr_type = cls.attr_types.get(write.attr)  # type: ignore[attr-defined]
+        if attr_type is not None and attr_type.name in _SELF_SYNCHRONIZED_TYPES:
+            return False
+        if f"{cls.name}.{write.attr}" in unguarded:  # type: ignore[attr-defined]
+            return False
+        # Interprocedural grace: a private helper whose every resolved
+        # call site already holds a lock is guarded by convention.
+        callers = index.callers_of(method_key)
+        if callers and all(call.held for call in callers):
+            return False
+        return True
+
+    @staticmethod
+    def _verb(write: AttrWrite) -> str:
+        if write.kind.startswith("call:"):
+            return f".{write.kind.removeprefix('call:')}()"
+        if write.kind == "del":
+            return "del"
+        return "assignment" if not write.nested else "nested assignment"

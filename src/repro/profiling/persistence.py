@@ -15,10 +15,18 @@ from typing import Iterable
 
 from repro.core.repository import Profile
 from repro.errors import ProfileStateError
+from repro.faults import fsops
 from repro.lattice.combination import columns_of, mask_of
 from repro.storage.schema import Schema
 
 FORMAT_VERSION = 1
+
+SITE_PROFILE_DUMP = fsops.register_site(
+    "profile.dump.open", "write a profile JSON artifact"
+)
+SITE_PROFILE_LOAD = fsops.register_site(
+    "profile.load.open", "read a profile JSON artifact"
+)
 
 
 @dataclass(frozen=True)
@@ -62,13 +70,13 @@ def dump_profile(schema: Schema, profile: Profile, path: str) -> None:
         "mucs": [[names[c] for c in columns_of(mask)] for mask in profile.mucs],
         "mnucs": [[names[c] for c in columns_of(mask)] for mask in profile.mnucs],
     }
-    with open(path, "w") as handle:
+    with fsops.open_(SITE_PROFILE_DUMP, path, "w") as handle:
         json.dump(payload, handle, indent=2)
 
 
 def load_profile(path: str) -> StoredProfile:
     """Read a profile written by :func:`dump_profile`."""
-    with open(path) as handle:
+    with fsops.open_(SITE_PROFILE_LOAD, path) as handle:
         payload = json.load(handle)
     version = payload.get("format_version")
     if version != FORMAT_VERSION:

@@ -1,0 +1,76 @@
+"""Concurrency sanitizer and fork-safety registry.
+
+Two layers with one entry point:
+
+* :func:`make_lock` / :func:`make_rlock` are the project-wide lock
+  factories. In normal runs they return raw ``threading`` primitives
+  (zero overhead). With ``REPRO_SANITIZE=locks`` in the environment
+  they return instrumented wrappers that maintain a global
+  lock-acquisition order graph, raise :class:`LockOrderError` on order
+  inversions *before* deadlocking, and report locks that a ``fork()``
+  would strand in the held state (see :mod:`repro.sanitize.locks`).
+* :func:`register_fork_owner` is always on: lock-owning classes
+  register themselves and implement ``_reset_locks_after_fork()`` so
+  forked children never inherit a held lock (see
+  :mod:`repro.sanitize.forksafe`).
+
+Lock *names* are stable site identifiers (``"tenants.queue"``,
+``"storage.plicache"``); the sanitizer keys its order graph by name so
+the runtime graph lines up with the static one built by lint rule R7.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import cast
+
+from repro.sanitize.forksafe import register_fork_owner, registered_owners
+from repro.sanitize.locks import (
+    ForkHeldLockError,
+    LockOrderError,
+    SanitizedLock,
+    SanitizedRLock,
+    assert_no_reports,
+    reports,
+    reset_order_state,
+    reset_reports,
+)
+
+__all__ = [
+    "ForkHeldLockError",
+    "LockOrderError",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "assert_no_reports",
+    "locks_enabled",
+    "make_lock",
+    "make_rlock",
+    "register_fork_owner",
+    "registered_owners",
+    "reports",
+    "reset_order_state",
+    "reset_reports",
+]
+
+
+def locks_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` contains the ``locks`` flag."""
+    raw = os.environ.get("REPRO_SANITIZE", "")
+    return "locks" in {part.strip() for part in raw.split(",")}
+
+
+def make_lock(name: str) -> threading.Lock:
+    """A mutex for lock site ``name``: raw, or sanitized under
+    ``REPRO_SANITIZE=locks``."""
+    if locks_enabled():
+        return cast(threading.Lock, SanitizedLock(name))
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> "threading.RLock":
+    """A reentrant mutex for lock site ``name``: raw, or sanitized
+    under ``REPRO_SANITIZE=locks``."""
+    if locks_enabled():
+        return cast("threading.RLock", SanitizedRLock(name))
+    return threading.RLock()

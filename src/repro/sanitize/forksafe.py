@@ -1,0 +1,70 @@
+"""Always-on at-fork lock reset registry.
+
+PR 8 fixed a real bug -- :class:`~repro.storage.plicache.PartitionCache`
+instances forked by the process pool inherited their ``threading.Lock``
+in whatever state the parent's threads had it, so a child could
+deadlock on its first cache probe -- with a module-private
+``weakref.WeakSet`` and an ``os.register_at_fork`` hook local to
+``plicache``. This module generalizes that fix into one registry every
+lock-owning class uses:
+
+* a class that owns locks implements ``_reset_locks_after_fork()``,
+  re-creating each of its locks (and any ``Condition`` wrapping one);
+* its ``__init__`` calls :func:`register_fork_owner`, which keeps a
+  weak reference and replays every owner's reset in each forked child.
+
+The static rule R9 (``fork-safety``) checks the convention: any class
+whose state is reachable from a ``ProcessFanOut`` task closure and
+holds a lock must call ``register_fork_owner``.
+
+Weak references (not a ``WeakSet``) so unhashable owners -- dataclasses
+with ``eq=True`` such as ``Tenant`` and ``IngestQueue`` -- register
+without ceremony; dead refs are pruned opportunistically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+
+_registry_lock = threading.Lock()
+_owners: list["weakref.ref[object]"] = []
+_PRUNE_THRESHOLD = 1024
+
+
+def register_fork_owner(owner: object) -> None:
+    """Register ``owner`` for at-fork lock reset in forked children.
+
+    ``owner`` must define ``_reset_locks_after_fork()``; it is held
+    weakly, so registration does not extend its lifetime.
+    """
+    reset = getattr(owner, "_reset_locks_after_fork", None)
+    if not callable(reset):
+        raise TypeError(
+            f"{type(owner).__name__} must define _reset_locks_after_fork() "
+            "to be registered with register_fork_owner()"
+        )
+    with _registry_lock:
+        _owners.append(weakref.ref(owner))
+        if len(_owners) > _PRUNE_THRESHOLD:
+            _owners[:] = [ref for ref in _owners if ref() is not None]
+
+
+def registered_owners() -> list[object]:
+    """Live registered owners (for tests and diagnostics)."""
+    with _registry_lock:
+        return [owner for ref in _owners for owner in (ref(),) if owner is not None]
+
+
+def _after_fork_child() -> None:
+    global _registry_lock
+    _registry_lock = threading.Lock()
+    for ref in list(_owners):
+        owner = ref()
+        if owner is not None:
+            owner._reset_locks_after_fork()  # type: ignore[attr-defined]
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_after_fork_child)

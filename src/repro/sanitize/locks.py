@@ -1,0 +1,312 @@
+"""Runtime lock-order sanitizer: instrumented ``Lock``/``RLock``.
+
+The static rules (R7--R9) reason about lock order from the AST; this
+module checks the same invariant at runtime, on the real interleavings
+the test suite and the chaos sweep actually produce.
+
+Every sanitized lock acquisition is recorded into one global
+*order graph*: an edge ``A -> B`` means "some thread acquired ``B``
+while holding ``A``", together with the call site that created the
+edge. Before a thread blocks on a lock the sanitizer asks whether the
+new edge would close a cycle -- if it would, the acquisition raises
+:class:`LockOrderError` *instead of deadlocking*, and the error message
+replays both conflicting acquisition sites.
+
+Fork safety is policed at the same layer. ``os.register_at_fork``
+hooks:
+
+* **before fork (parent)** -- any sanitized lock currently held by a
+  thread *other than the forking thread* is recorded as a report: the
+  child would inherit that lock in the held state with nobody left to
+  release it (the PR 8 ``PartitionCache`` bug). The forking thread's
+  own holdings are legitimate -- it keeps running in the parent and
+  releases them normally.
+* **after fork (child)** -- every sanitized lock is re-armed (fresh
+  inner lock, cleared hold bookkeeping), so the child starts from a
+  released state no matter what the parent's threads were doing.
+
+Reports accumulate in-process; harnesses call :func:`assert_no_reports`
+(pytest session finish, end of a chaos sweep) to fail loudly. Cycle
+detection raises immediately -- a cycle is thread-local causal evidence
+and never a false alarm worth deferring.
+
+Identity is by *name*, not by instance: ``make_lock("tenants.queue")``
+sites share one node per name, so two tenants' queue locks land on the
+same graph node. That matches the static analysis (R7 keys locks by
+``Class.attr``) and keeps the graph small; it also means the sanitizer
+cannot order two instances of the same site against each other
+(acquiring tenant A's lock inside tenant B's is invisible -- same
+blind spot as the static pass, documented in docs/operations.md).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+import weakref
+from typing import Iterator
+
+
+class LockOrderError(RuntimeError):
+    """Two code paths acquire the same locks in conflicting orders."""
+
+
+class ForkHeldLockError(RuntimeError):
+    """fork() happened while a non-forking thread held a sanitized lock."""
+
+
+_MAX_WITNESS_FRAMES = 3
+
+# Raw (uninstrumented) lock guarding the graph, reports and live list.
+_state_lock = threading.Lock()
+# _edges[a][b] == call site witnessing "b acquired while a held".
+_edges: dict[str, dict[str, str]] = {}
+_reports: list[str] = []
+_live: list["weakref.ref[_SanitizedBase]"] = []
+_held_local = threading.local()
+
+
+def _held_stack() -> list["_SanitizedBase"]:
+    stack = getattr(_held_local, "stack", None)
+    if stack is None:
+        stack = []
+        _held_local.stack = stack
+    return stack
+
+
+def _call_site() -> str:
+    """A short ``file:line in func`` chain for the caller, skipping
+    sanitizer-internal frames."""
+    frames = [
+        frame
+        for frame in traceback.extract_stack()
+        if not frame.filename.endswith(("sanitize/locks.py", "sanitize\\locks.py"))
+    ]
+    tail = frames[-_MAX_WITNESS_FRAMES:]
+    return " <- ".join(
+        f"{os.path.basename(frame.filename)}:{frame.lineno} in {frame.name}"
+        for frame in reversed(tail)
+    )
+
+
+def _iter_live() -> Iterator["_SanitizedBase"]:
+    for ref in list(_live):
+        lock = ref()
+        if lock is not None:
+            yield lock
+
+
+class _SanitizedBase:
+    """Shared machinery for the Lock and RLock wrappers.
+
+    Deliberately does *not* define ``_release_save`` /
+    ``_acquire_restore`` / ``_is_owned``: ``threading.Condition`` then
+    falls back to plain ``acquire``/``release`` on the wrapper, keeping
+    the hold bookkeeping consistent across ``Condition.wait``.
+    """
+
+    reentrant = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = self._make_inner()
+        self._holders: dict[int, int] = {}
+        self._acquire_sites: dict[int, str] = {}
+        with _state_lock:
+            _live.append(weakref.ref(self))
+            if len(_live) > 512:
+                _live[:] = [ref for ref in _live if ref() is not None]
+
+    def _make_inner(self):  # type: ignore[no-untyped-def]
+        raise NotImplementedError
+
+    # -- acquisition ---------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        tid = threading.get_ident()
+        count = self._holders.get(tid, 0)
+        if count:
+            if not self.reentrant:
+                if not blocking:
+                    # A non-blocking probe by the holder (this is how
+                    # Condition._is_owned asks "do I own the lock?")
+                    # simply fails, exactly like a raw Lock.
+                    return False
+                raise LockOrderError(
+                    f"thread {tid} re-acquires non-reentrant lock "
+                    f"{self.name!r} it already holds (first acquired at "
+                    f"{self._acquire_sites.get(tid, '?')}): guaranteed "
+                    "self-deadlock"
+                )
+            acquired = self._inner.acquire(blocking, timeout)
+            if acquired:
+                self._holders[tid] = count + 1
+            return acquired
+        held = _held_stack()
+        self._check_order(held)
+        acquired = self._inner.acquire(blocking, timeout)
+        if not acquired:
+            return False
+        site = _call_site()
+        self._holders[tid] = 1
+        self._acquire_sites[tid] = site
+        self._record_edges(held, site)
+        held.append(self)
+        return True
+
+    def release(self) -> None:
+        tid = threading.get_ident()
+        count = self._holders.get(tid, 0)
+        if count > 1:
+            self._holders[tid] = count - 1
+        elif count == 1:
+            del self._holders[tid]
+            self._acquire_sites.pop(tid, None)
+            stack = _held_stack()
+            if self in stack:
+                stack.remove(self)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return bool(self._holders)
+
+    def __repr__(self) -> str:
+        state = "held" if self._holders else "unlocked"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+    # -- order graph ---------------------------------------------------
+    def _check_order(self, held: list["_SanitizedBase"]) -> None:
+        """Raise before blocking if ``held -> self`` closes a cycle."""
+        with _state_lock:
+            for other in held:
+                if other.name == self.name:
+                    continue
+                path = _find_path(self.name, other.name)
+                if path is not None:
+                    cycle = " -> ".join(
+                        [other.name, self.name, *(b for _, b in path)]
+                    )
+                    witnesses = "\n".join(
+                        f"  edge {a!r} -> {b!r} first seen at "
+                        f"{_edges[a][b]}"
+                        for a, b in path
+                    )
+                    raise LockOrderError(
+                        f"lock-order cycle: acquiring {self.name!r} while "
+                        f"holding {other.name!r} (held since "
+                        f"{other._acquire_sites.get(threading.get_ident(), '?')}; "
+                        f"this acquire at {_call_site()}) inverts the "
+                        f"established order {cycle}\n{witnesses}"
+                    )
+
+    def _record_edges(self, held: list["_SanitizedBase"], site: str) -> None:
+        with _state_lock:
+            for other in held:
+                if other.name == self.name:
+                    continue
+                _edges.setdefault(other.name, {}).setdefault(self.name, site)
+
+    # -- fork support --------------------------------------------------
+    def _reset_for_child(self) -> None:
+        self._inner = self._make_inner()
+        self._holders.clear()
+        self._acquire_sites.clear()
+
+
+def _find_path(start: str, goal: str) -> list[tuple[str, str]] | None:
+    """DFS over ``_edges`` (caller holds ``_state_lock``). Returns the
+    edge list of one ``start -> ... -> goal`` path, or ``None``."""
+    stack: list[tuple[str, list[tuple[str, str]]]] = [(start, [])]
+    seen = {start}
+    while stack:
+        node, path = stack.pop()
+        for successor in _edges.get(node, ()):
+            if successor == goal:
+                return path + [(node, successor)]
+            if successor not in seen:
+                seen.add(successor)
+                stack.append((successor, path + [(node, successor)]))
+    return None
+
+
+class SanitizedLock(_SanitizedBase):
+    reentrant = False
+
+    def _make_inner(self):  # type: ignore[no-untyped-def]
+        return threading.Lock()
+
+
+class SanitizedRLock(_SanitizedBase):
+    reentrant = True
+
+    def _make_inner(self):  # type: ignore[no-untyped-def]
+        return threading.RLock()
+
+
+# ---------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------
+def _record_report(message: str) -> None:
+    with _state_lock:
+        _reports.append(message)
+
+
+def reports() -> list[str]:
+    """All fork-held reports recorded so far (copies)."""
+    with _state_lock:
+        return list(_reports)
+
+
+def reset_reports() -> None:
+    with _state_lock:
+        _reports.clear()
+
+
+def reset_order_state() -> None:
+    """Drop the accumulated order graph (test isolation only)."""
+    with _state_lock:
+        _edges.clear()
+
+
+def assert_no_reports() -> None:
+    """Raise :class:`ForkHeldLockError` if any fork-held report exists."""
+    pending = reports()
+    if pending:
+        detail = "\n".join(f"  - {message}" for message in pending)
+        raise ForkHeldLockError(
+            f"{len(pending)} sanitizer report(s):\n{detail}"
+        )
+
+
+# ---------------------------------------------------------------------
+# Fork hooks
+# ---------------------------------------------------------------------
+def _before_fork() -> None:
+    forking = threading.get_ident()
+    for lock in _iter_live():
+        for holder, count in list(lock._holders.items()):
+            if holder != forking and count > 0:
+                _record_report(
+                    f"fork() while lock {lock.name!r} was held by thread "
+                    f"{holder} (acquired at "
+                    f"{lock._acquire_sites.get(holder, '?')}): the child "
+                    "inherits a lock nobody can release"
+                )
+
+
+def _after_fork_child() -> None:
+    global _state_lock
+    _state_lock = threading.Lock()
+    for lock in _iter_live():
+        lock._reset_for_child()
+    _held_stack().clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(before=_before_fork, after_in_child=_after_fork_child)

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.faults import fsops
+from repro.sanitize import make_lock, register_fork_owner
 
 SITE_STATUS_OPEN = fsops.register_site(
     "status.write.open", "open the status.json temp file"
@@ -135,18 +136,31 @@ class MetricsRegistry:
 
     def __init__(self, namespace: str | None = None) -> None:
         self.namespace = namespace
+        # Registrations come from worker threads and HTTP status
+        # threads at once; the lock keeps the name->metric maps
+        # consistent. Mutating a *returned* metric is lock-free by
+        # design: each metric is written by the single writer thread
+        # that owns its series.
+        self._lock = make_lock("service.metrics")
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_lock("service.metrics")
 
     def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter())
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
 
     def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge())
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
 
     def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram())
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram())
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -165,19 +179,21 @@ class MetricsRegistry:
         return document
 
     def _series_dict(self) -> dict[str, object]:
-        return {
-            "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-            },
-            "gauges": {
-                name: gauge.value for name, gauge in sorted(self._gauges.items())
-            },
-            "histograms": {
-                name: histogram.summary()
-                for name, histogram in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
 
     def write_status(self, path: str, extra: dict[str, object] | None = None) -> None:
         """Atomically publish the current metrics as a JSON status file."""

@@ -69,6 +69,7 @@ from repro.lattice.combination import (
 )
 from repro.lattice.transversal import minimal_unique_supersets, mucs_from_mnucs
 from repro.profiling.verify import agree_set
+from repro.sanitize import make_lock, register_fork_owner
 from repro.shard.router import ShardRouter
 from repro.storage.encoding import encode_rows_local
 
@@ -90,10 +91,12 @@ class GlobalProfileMerger:
         "_router",
         "_profilers",
         "_n_columns",
+        "_lock",
         "cross_sets",
         "merge_seconds",
         "cross_shard_probes",
         "cross_shard_fallbacks",
+        "__weakref__",
     )
 
     def __init__(
@@ -105,10 +108,17 @@ class GlobalProfileMerger:
         self._router = router
         self._profilers = tuple(profilers)
         self._n_columns = n_columns
+        # Witness map and merge stats are read by status/stats pollers
+        # while the (single) applier thread commits witness edits.
+        self._lock = make_lock("shard.merger")
         self.cross_sets: Witnesses = {}
         self.merge_seconds = 0.0
         self.cross_shard_probes = 0
         self.cross_shard_fallbacks = 0
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_lock("shard.merger")
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -135,7 +145,8 @@ class GlobalProfileMerger:
             found = probe.find(mask)
             if found is not None:
                 witness_mask, pair = found
-                self.cross_sets.setdefault(witness_mask, pair)
+                with self._lock:
+                    self.cross_sets.setdefault(witness_mask, pair)
 
     # ------------------------------------------------------------------
     # Insert merge (compose batch, shard and cross-shard evidence)
@@ -199,7 +210,8 @@ class GlobalProfileMerger:
                     )
             return minimize(new_mucs), new_mnucs, witnesses
         finally:
-            self.merge_seconds += time.perf_counter() - started
+            with self._lock:
+                self.merge_seconds += time.perf_counter() - started
 
     def _batch_pair_masks(
         self,
@@ -347,7 +359,8 @@ class GlobalProfileMerger:
                     witnesses[mask] = pair
 
             if fallback:
-                self.cross_shard_fallbacks += 1
+                with self._lock:
+                    self.cross_shard_fallbacks += 1
                 for local_id in part.iter_ids():
                     for insert_id, insert_row in new_rows.items():
                         if shard_of(insert_id) != shard:
@@ -357,7 +370,8 @@ class GlobalProfileMerger:
                 index = profiler.value_index(column)
                 by_value = grouped_on(column)
                 values = list(by_value)
-                self.cross_shard_probes += len(values)
+                with self._lock:
+                    self.cross_shard_probes += len(values)
                 for value, posting in zip(values, index.lookup_batch(values)):
                     if not posting.size:
                         continue
@@ -388,9 +402,11 @@ class GlobalProfileMerger:
         """
         started = time.perf_counter()
         try:
+            with self._lock:
+                witness_edges = dict(self.cross_sets)
             pruned = [
                 mask
-                for mask, (left_id, right_id) in self.cross_sets.items()
+                for mask, (left_id, right_id) in witness_edges.items()
                 if left_id in deleted or right_id in deleted
             ]
             dead = set(pruned)
@@ -398,7 +414,7 @@ class GlobalProfileMerger:
             for mnucs in shard_mnucs:
                 for mask in mnucs:
                     border.add(mask)
-            for mask in self.cross_sets:
+            for mask in witness_edges:
                 if mask not in dead:
                     border.add(mask)
             witnesses: Witnesses = {}
@@ -433,7 +449,8 @@ class GlobalProfileMerger:
                         pruned,
                     )
         finally:
-            self.merge_seconds += time.perf_counter() - started
+            with self._lock:
+                self.merge_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Commit-side bookkeeping
@@ -442,18 +459,20 @@ class GlobalProfileMerger:
         self, fresh: Witnesses, pruned: Iterable[int] = ()
     ) -> None:
         """Commit a merge's witness edits (prune first, then record)."""
-        for mask in pruned:
-            self.cross_sets.pop(mask, None)
-        for mask, pair in fresh.items():
-            self.cross_sets.setdefault(mask, pair)
+        with self._lock:
+            for mask in pruned:
+                self.cross_sets.pop(mask, None)
+            for mask, pair in fresh.items():
+                self.cross_sets.setdefault(mask, pair)
 
     def stats_dict(self) -> dict[str, object]:
-        return {
-            "cross_sets": len(self.cross_sets),
-            "merge_seconds": round(self.merge_seconds, 6),
-            "cross_shard_probes": self.cross_shard_probes,
-            "cross_shard_fallbacks": self.cross_shard_fallbacks,
-        }
+        with self._lock:
+            return {
+                "cross_sets": len(self.cross_sets),
+                "merge_seconds": round(self.merge_seconds, 6),
+                "cross_shard_probes": self.cross_shard_probes,
+                "cross_shard_fallbacks": self.cross_shard_fallbacks,
+            }
 
     def __repr__(self) -> str:
         return (

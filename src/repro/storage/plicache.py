@@ -34,12 +34,11 @@ All operations take the cache lock, so the parallel fan-out executor
 
 from __future__ import annotations
 
-import os
-import threading
-import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
+
+from repro.sanitize import make_lock, register_fork_owner
 
 DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
 
@@ -101,21 +100,6 @@ class _Entry:
     nbytes: int
 
 
-# Process-mode fan-out forks workers while the parent may be running
-# service threads; a lock captured mid-acquire would deadlock the child
-# on its first cache probe. Children get fresh (unlocked) locks.
-_LIVE_CACHES: weakref.WeakSet["PartitionCache"] = weakref.WeakSet()
-
-
-def _reset_locks_after_fork() -> None:
-    for cache in list(_LIVE_CACHES):
-        cache._lock = threading.Lock()
-
-
-if hasattr(os, "register_at_fork"):  # pragma: no branch
-    os.register_at_fork(after_in_child=_reset_locks_after_fork)
-
-
 class PartitionCache:
     """Generation-tagged, byte-budgeted LRU cache of derived partitions."""
 
@@ -131,9 +115,16 @@ class PartitionCache:
         self._budget = budget_bytes
         self._entries: "OrderedDict[tuple[str, int], _Entry]" = OrderedDict()
         self._bytes = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("storage.plicache")
         self.stats = CacheStats()
-        _LIVE_CACHES.add(self)
+        # Process-mode fan-out forks workers while the parent may be
+        # running service threads; a lock captured mid-acquire would
+        # deadlock the child on its first cache probe. Children get
+        # fresh (unlocked) locks via the shared at-fork registry.
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_lock("storage.plicache")
 
     # ------------------------------------------------------------------
     # Introspection

@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.faults import fsops
 from repro.lattice.combination import popcount
+from repro.sanitize import make_rlock, register_fork_owner
 from repro.service.changelog import DELETE, INSERT
 from repro.service.server import Batch, ProfilingService
 from repro.storage.relation import Relation
@@ -161,8 +162,21 @@ class Tenant:
     service: ProfilingService
     queue: IngestQueue
     worker: TenantWorker
-    lock: threading.RLock = field(default_factory=threading.RLock)
+    lock: threading.RLock = field(
+        default_factory=lambda: make_rlock("tenants.tenant")
+    )
     query_cache: ProfileQueryCache = field(default_factory=ProfileQueryCache)
+
+    def __post_init__(self) -> None:
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        # The worker shares this very RLock object; point both at the
+        # same fresh lock or the fork child would split the tenant's
+        # writer and query paths onto different mutexes.
+        fresh = make_rlock("tenants.tenant")
+        self.lock = fresh
+        self.worker.lock = fresh
 
     @property
     def started(self) -> bool:
@@ -184,15 +198,19 @@ class TenantManager:
         self._parked: dict[str, dict[str, Any]] = {}
         self._breakers: dict[str, float] = {}
         self._runtime: dict[str, dict[str, float]] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("tenants.manager")
         self._closed = False
         self.drain_failures: list[FlushTimeoutError] = []
+        register_fork_owner(self)
         os.makedirs(os.path.join(root_dir, TENANTS_DIR), exist_ok=True)
         self._registry_path = os.path.join(root_dir, REGISTRY_NAME)
         if os.path.exists(self._registry_path):
             self._registry = self._load_registry()
         self._parked = self._load_parked_records()
         self._reconcile()
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_rlock("tenants.manager")
 
     # ------------------------------------------------------------------
     # Registry persistence
@@ -325,7 +343,7 @@ class TenantManager:
             max_pending_bytes=config.max_pending_bytes,
         )
         # The worker and the query paths serialize on one per-tenant lock.
-        lock = threading.RLock()
+        lock = make_rlock("tenants.tenant")
         return Tenant(
             tenant_id=tenant_id,
             config=config,
@@ -499,17 +517,21 @@ class TenantManager:
         ``drain_failures`` for the caller (the CLI reports them).
         """
         with self._lock:
-            tenant_ids = list(self._tenants)
             self._closed = True
-        for tenant_id in tenant_ids:
-            tenant = self._tenants.pop(tenant_id, None)
-            if tenant is not None:
-                try:
-                    tenant.worker.stop(drain=drain)
-                except FlushTimeoutError as exc:
+            # Pop under the lock: a concurrent get()/status poll must
+            # never observe a half-removed tenant map.
+            tenants = [
+                self._tenants.pop(tenant_id)
+                for tenant_id in list(self._tenants)
+            ]
+        for tenant in tenants:
+            try:
+                tenant.worker.stop(drain=drain)
+            except FlushTimeoutError as exc:
+                with self._lock:
                     self.drain_failures.append(exc)
-                finally:
-                    tenant.service.stop()
+            finally:
+                tenant.service.stop()
 
     # ------------------------------------------------------------------
     # Park / recover / restart (the supervisor's levers)

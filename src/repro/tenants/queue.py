@@ -28,6 +28,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import QueueFullError
+from repro.sanitize import make_lock, register_fork_owner
 from repro.service.server import Batch
 
 
@@ -79,7 +80,14 @@ class IngestQueue:
     _held: bool = False
 
     def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("tenants.queue")
+        self._not_empty = threading.Condition(self._lock)
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        # The Condition wraps the lock, so both must be rebuilt
+        # together or waiters would synchronize on a dead lock.
+        self._lock = make_lock("tenants.queue")
         self._not_empty = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------

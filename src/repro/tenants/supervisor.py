@@ -40,6 +40,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.sanitize import make_rlock, register_fork_owner
 from repro.service.health import HealthState, RestartBudget
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -111,21 +112,27 @@ class FleetSupervisor:
         # budget unreachable.
         self._budgets: dict[str, RestartBudget] = {}
         self.events: deque[SupervisorEvent] = deque(maxlen=256)
-        self._lock = threading.RLock()
+        self._lock = make_rlock("tenants.supervisor")
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        self._lock = make_rlock("tenants.supervisor")
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "FleetSupervisor":
-        if self._thread is not None and self._thread.is_alive():
-            return self
-        self._stop_event.clear()
-        self._thread = threading.Thread(
-            target=self._run, name="fleet-supervisor", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop_event.clear()
+            thread = threading.Thread(
+                target=self._run, name="fleet-supervisor", daemon=True
+            )
+            self._thread = thread
+        thread.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -258,14 +265,17 @@ class FleetSupervisor:
     # Observability
     # ------------------------------------------------------------------
     def _note(self, action: str, tenant_id: str, detail: str) -> None:
-        self.events.append(
-            SupervisorEvent(
-                unix=time.time(),
-                action=action,
-                tenant_id=tenant_id,
-                detail=detail,
+        # Reentrant under check_once()'s lock; the _run loop's error
+        # path calls it bare, and status() reads events concurrently.
+        with self._lock:
+            self.events.append(
+                SupervisorEvent(
+                    unix=time.time(),
+                    action=action,
+                    tenant_id=tenant_id,
+                    detail=detail,
+                )
             )
-        )
 
     def status(self) -> dict[str, object]:
         """Supervisor vitals for ``/fleet/status``."""

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.errors import FlushTimeoutError, ServiceHealthError, WorkloadError
 from repro.faults import fsops
+from repro.sanitize import make_lock, register_fork_owner
 from repro.service.server import ProfilingService
 from repro.tenants.queue import IngestQueue, QueuedBatch
 
@@ -84,7 +85,7 @@ class TenantWorker:
         self.results: deque[BatchOutcome] = deque(maxlen=results_cap)
         self._stop = threading.Event()
         self._pause = threading.Event()
-        self._state_lock = threading.Lock()
+        self._state_lock = make_lock("tenants.worker.state")
         self._idle = threading.Condition(self._state_lock)
         self._in_flight = False
         self._drained_total = 0
@@ -94,6 +95,14 @@ class TenantWorker:
             name=f"tenant-writer-{tenant_id}",
             daemon=True,
         )
+        register_fork_owner(self)
+
+    def _reset_locks_after_fork(self) -> None:
+        # The shared tenant RLock (``self.lock``) is reset by its owner,
+        # the Tenant record; here only the worker-private pair. Lock and
+        # Condition are rebuilt together (the Condition wraps the lock).
+        self._state_lock = make_lock("tenants.worker.state")
+        self._idle = threading.Condition(self._state_lock)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -177,8 +186,11 @@ class TenantWorker:
         try:
             self._run()
         except BaseException as exc:  # noqa: BLE001 - the death IS the event
-            self.death_reason = f"{type(exc).__name__}: {exc}"
             with self._idle:
+                # Written under the state lock: the supervisor reads
+                # death_reason from its own thread right after seeing
+                # ``alive`` go False.
+                self.death_reason = f"{type(exc).__name__}: {exc}"
                 self._in_flight = False
                 self._idle.notify_all()
 
@@ -203,14 +215,19 @@ class TenantWorker:
             fsops.check(SITE_WORKER_APPLY)
             with self._state_lock:
                 self._in_flight = True
+            outcome: BatchOutcome | None = None
             try:
                 outcome = self._apply_one(item)
             finally:
                 with self._idle:
+                    # results is read by status handlers on HTTP
+                    # threads; append under the same lock that guards
+                    # the rest of the drain bookkeeping.
+                    if outcome is not None:
+                        self.results.append(outcome)
                     self._in_flight = False
                     self._drained_total += 1
                     self._idle.notify_all()
-            self.results.append(outcome)
 
     def _apply_one(self, item: QueuedBatch) -> BatchOutcome:
         batch = item.batch

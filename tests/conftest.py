@@ -10,6 +10,23 @@ from repro.storage.relation import Relation
 from repro.storage.schema import Schema
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer_gate():
+    """Fail the run if the lock sanitizer recorded any fork-held report.
+
+    Under ``REPRO_SANITIZE=locks`` every project lock is an instrumented
+    wrapper; order violations raise at the faulty acquire already, but
+    fork-held observations are *recorded* (the parent cannot raise on
+    behalf of the forking child) and must be drained here or the run
+    silently passed over a real fork hazard.
+    """
+    yield
+    from repro.sanitize import assert_no_reports, locks_enabled
+
+    if locks_enabled():
+        assert_no_reports()
+
+
 @pytest.fixture
 def persons_schema() -> Schema:
     """The schema of the paper's Table I example."""

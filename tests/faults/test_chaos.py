@@ -96,6 +96,7 @@ class TestSweep:
                 "status",
                 "lock",
                 "relation",
+                "profile",
                 "tenants",
                 "http",
             ), f"no chaos runner covers site {site}"

@@ -1,0 +1,45 @@
+"""The PR 8 PartitionCache fork-lock bug, preserved as an R9 fixture.
+
+This is the *pre-fix* shape of ``repro.storage.plicache`` (commit
+``e19595a``), verbatim where it matters: the cache builds a bare
+``threading.Lock()`` in its constructor with no at-fork handling. When
+the process fan-out pool forked workers while a service thread held
+this lock, the child inherited it in the locked state and deadlocked on
+its first cache probe -- the bug PR 8 debugged and fixed with the
+at-fork reset registry that :func:`repro.sanitize.register_fork_owner`
+later generalized.
+
+Rule R9 must flag this file twice: the ownership invariant (a
+lock-owning class that never registers for at-fork reset) and the
+closure check (a process fan-out task capturing that class). If R9
+stops firing here, the gate has rotted; ``tools/check_concurrency_gate.py``
+turns that into a CI failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class PartitionCache:
+    """Generation-tagged, byte-budgeted LRU cache of derived partitions."""
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        self._budget = budget_bytes
+        self._entries: "OrderedDict[tuple[str, int], object]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, mask: int, generation: int) -> object | None:
+        with self._lock:
+            return self._entries.get(("array", mask))
+
+
+def delete_descent(pool, cache: PartitionCache, masks: list[int]) -> list[object]:
+    """The delete handler's fan-out, capturing the unregistered cache."""
+
+    def probe(mask: int) -> object:
+        return cache.get(mask, 0)
+
+    return pool.map(probe, masks)

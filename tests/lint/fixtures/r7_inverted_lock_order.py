@@ -1,0 +1,63 @@
+"""A seeded lock-order inversion, preserved as the R7 deadlock fixture.
+
+The shape mirrors the real queue-vs-manager layering: the manager
+routes batches *down* into a queue while holding the manager lock (the
+legitimate direction, exactly what ``TenantManager.submit`` does), and
+the queue reports back *up* into the manager while holding the queue
+lock. Each path is individually correct; together they form the cycle
+
+    Manager._lock -> Queue._lock -> Manager._lock
+
+which deadlocks the first time a submitting thread and a draining
+thread interleave. R7 must report this cycle, and the runtime
+sanitizer must raise :class:`repro.sanitize.LockOrderError` when the
+same two paths are exercised under ``REPRO_SANITIZE=locks`` (see
+``tests/sanitize/test_lock_order.py``). If R7 stops firing here,
+``tools/check_concurrency_gate.py`` turns that into a CI failure.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class Manager:
+    """Routes batches to queues; tracks per-queue depths."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.queues: dict[str, "Queue"] = {}
+        self.depths: dict[str, int] = {}
+
+    def submit(self, name: str, item: str) -> None:
+        # Correct direction: manager lock, then queue lock.
+        with self._lock:
+            queue = self.queues[name]
+            queue.put(item)
+
+    def note_depth(self, name: str, depth: int) -> None:
+        with self._lock:
+            self.depths[name] = depth
+
+
+class Queue:
+    """One bounded queue that reports its depth back to the manager."""
+
+    def __init__(self, name: str, manager: Manager) -> None:
+        self.name = name
+        self.manager = manager
+        self._lock = threading.Lock()
+        self._items: deque[str] = deque()
+
+    def put(self, item: str) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def take(self) -> str:
+        # Inverted direction: queue lock held while calling back up
+        # into the manager, which takes the manager lock.
+        with self._lock:
+            item = self._items.popleft()
+            self.manager.note_depth(self.name, len(self._items))
+            return item

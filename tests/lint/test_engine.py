@@ -239,7 +239,7 @@ class TestCli:
 
     def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
         write_tree(tmp_path)
-        code = main(["--root", str(tmp_path), "--select", "R9", "src"])
+        code = main(["--root", str(tmp_path), "--select", "R42", "src"])
         assert code == 2
         assert "unknown rule" in capsys.readouterr().err
 

@@ -1,0 +1,162 @@
+"""R9 fork-safety: the PR 8 bug shape fails, registered classes pass."""
+
+import pathlib
+import textwrap
+
+from repro.lint import ModuleFile
+from repro.lint.rules.fork_safety import ForkSafetyRule
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def run_rule(source, module="repro.storage.fake"):
+    parsed = ModuleFile.parse(
+        "src/" + module.replace(".", "/") + ".py",
+        module,
+        textwrap.dedent(source),
+    )
+    rule = ForkSafetyRule({})
+    return list(rule.finalize([parsed]))
+
+
+def run_fixture(name):
+    path = FIXTURES / name
+    parsed = ModuleFile.parse(
+        f"tests/lint/fixtures/{name}",
+        f"tests.lint.fixtures.{name.removesuffix('.py')}",
+        path.read_text(),
+    )
+    rule = ForkSafetyRule({})
+    return list(rule.finalize([parsed]))
+
+
+class TestOwnershipInvariant:
+    def test_pr8_fixture_fails_both_checks(self):
+        findings = run_fixture("pr8_fork_lock_bug.py")
+        assert {f.rule for f in findings} == {"R9"}
+        messages = " ".join(f.message for f in findings)
+        # The ownership invariant names the class...
+        assert "PartitionCache" in messages
+        assert "register_fork_owner" in messages
+        # ...and the closure check catches the fan-out capture.
+        assert any("captures" in f.message for f in findings)
+        assert len(findings) == 2
+
+    def test_registered_class_passes(self):
+        findings = run_rule(
+            """
+            from repro.sanitize import make_lock, register_fork_owner
+
+            class Cache:
+                def __init__(self) -> None:
+                    self._lock = make_lock("storage.cache")
+                    register_fork_owner(self)
+
+                def _reset_locks_after_fork(self) -> None:
+                    self._lock = make_lock("storage.cache")
+            """
+        )
+        assert findings == []
+
+    def test_raw_threading_lock_without_registration_flagged(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+            """
+        )
+        assert len(findings) == 1
+        assert "Cache" in findings[0].message
+
+    def test_lockless_class_needs_no_registration(self):
+        findings = run_rule(
+            """
+            class Plain:
+                def __init__(self) -> None:
+                    self.items: list[str] = []
+            """
+        )
+        assert findings == []
+
+
+class TestClosureReachability:
+    def test_capture_of_registered_class_passes(self):
+        findings = run_rule(
+            """
+            from repro.sanitize import make_lock, register_fork_owner
+
+            class Cache:
+                def __init__(self) -> None:
+                    self._lock = make_lock("storage.cache")
+                    register_fork_owner(self)
+
+                def _reset_locks_after_fork(self) -> None:
+                    self._lock = make_lock("storage.cache")
+
+                def get(self, mask: int) -> object:
+                    return None
+
+            def sweep(pool, cache: Cache, masks):
+                def probe(mask):
+                    return cache.get(mask)
+                return pool.map(probe, masks)
+            """
+        )
+        assert findings == []
+
+    def test_capture_of_open_file_handle_flagged(self):
+        findings = run_rule(
+            """
+            def sweep(pool, path, masks):
+                handle = open(path)
+                def probe(mask):
+                    return handle.readline()
+                return pool.map(probe, masks)
+            """
+        )
+        assert len(findings) == 1
+        assert "file handle" in findings[0].message
+
+    def test_capture_of_live_generator_flagged(self):
+        findings = run_rule(
+            """
+            def sweep(pool, masks):
+                feed = (mask * 2 for mask in masks)
+                def probe(mask):
+                    return next(feed)
+                return pool.map(probe, masks)
+            """
+        )
+        assert len(findings) == 1
+        assert "generator" in findings[0].message
+
+    def test_capture_of_generator_function_call_flagged(self):
+        findings = run_rule(
+            """
+            def stream(masks):
+                for mask in masks:
+                    yield mask
+
+            def sweep(pool, masks):
+                feed = stream(masks)
+                def probe(mask):
+                    return next(feed)
+                return pool.map(probe, masks)
+            """
+        )
+        assert len(findings) == 1
+        assert "generator" in findings[0].message
+
+    def test_plain_value_captures_pass(self):
+        findings = run_rule(
+            """
+            def sweep(pool, masks, factor: int):
+                def scale(mask):
+                    return mask * factor
+                return pool.map(scale, masks)
+            """
+        )
+        assert findings == []

@@ -1,0 +1,166 @@
+"""R7 lock-order: cycles flagged, layered orders pass, aliases fold."""
+
+import pathlib
+import textwrap
+
+from repro.lint import ModuleFile
+from repro.lint.rules.lock_order import LockOrderRule
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def run_rule(source, module="repro.tenants.fake", options=None):
+    parsed = ModuleFile.parse(
+        "src/" + module.replace(".", "/") + ".py",
+        module,
+        textwrap.dedent(source),
+    )
+    rule = LockOrderRule(options or {})
+    return list(rule.finalize([parsed]))
+
+
+def run_fixture(name, options=None):
+    path = FIXTURES / name
+    parsed = ModuleFile.parse(
+        f"tests/lint/fixtures/{name}",
+        f"tests.lint.fixtures.{name.removesuffix('.py')}",
+        path.read_text(),
+    )
+    rule = LockOrderRule(options or {})
+    return list(rule.finalize([parsed]))
+
+
+LAYERED = """
+    import threading
+
+    class Manager:
+        def __init__(self) -> None:
+            self._lock = threading.RLock()
+            self.queues: dict[str, "Queue"] = {}
+
+        def submit(self, name: str, item: str) -> None:
+            with self._lock:
+                queue = self.queues[name]
+                queue.put(item)
+
+    class Queue:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._items: list[str] = []
+
+        def put(self, item: str) -> None:
+            with self._lock:
+                self._items.append(item)
+
+        def take(self) -> str:
+            with self._lock:
+                return self._items.pop(0)
+"""
+
+
+class TestLockOrder:
+    def test_consistent_layering_passes(self):
+        assert run_rule(LAYERED) == []
+
+    def test_seeded_inversion_fixture_flagged(self):
+        findings = run_fixture("r7_inverted_lock_order.py")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "R7"
+        assert "Manager._lock" in finding.message
+        assert "Queue._lock" in finding.message
+        assert "cycle" in finding.message
+
+    def test_lexical_nested_inversion_flagged(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Pair:
+                def __init__(self) -> None:
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self) -> None:
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self) -> None:
+                    with self._b:
+                        with self._a:
+                            pass
+            """
+        )
+        assert len(findings) == 1
+        assert "Pair._a" in findings[0].message
+        assert "Pair._b" in findings[0].message
+
+    def test_alias_folds_shared_lock_to_one_node(self):
+        # worker.lock IS tenant.lock at runtime: without the alias the
+        # two attribute names would hide a (reentrant, legal) pattern
+        # or manufacture a bogus two-node cycle.
+        source = """
+            import threading
+
+            class Tenant:
+                def __init__(self) -> None:
+                    self.lock = threading.RLock()
+                    self.worker = Worker(self.lock)
+
+                def pause(self) -> None:
+                    with self.lock:
+                        self.worker.drain()
+
+            class Worker:
+                def __init__(self, lock: threading.RLock) -> None:
+                    self.lock = lock
+
+                def drain(self) -> None:
+                    with self.lock:
+                        pass
+            """
+        aliased = run_rule(
+            source, options={"aliases": {"Worker.lock": "Tenant.lock"}}
+        )
+        assert aliased == []
+
+    def test_condition_acquisitions_count_as_their_lock(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Queue:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._not_empty = threading.Condition(self._lock)
+
+                class_level = None
+
+                def wait(self, other: "Other") -> None:
+                    with self._not_empty:
+                        other.touch()
+
+            class Other:
+                def __init__(self, queue: Queue) -> None:
+                    self._lock = threading.Lock()
+                    self.queue = queue
+
+                def touch(self) -> None:
+                    with self._lock:
+                        pass
+
+                def reach_back(self) -> None:
+                    with self._lock:
+                        self.queue.wait(self)
+            """
+        )
+        assert len(findings) == 1
+        assert "Queue._lock" in findings[0].message
+
+    def test_interprocedural_cycle_through_call_chain(self):
+        # Neither function nests two ``with`` blocks; the cycle only
+        # exists through the call graph.
+        findings = run_fixture("r7_inverted_lock_order.py")
+        (finding,) = findings
+        assert "->" in finding.message

@@ -25,9 +25,11 @@ def run_rule(rule_cls, source, module="repro.storage.pli", options=None):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         ids = {rule.id for rule in all_rules()}
-        assert ids == {"R1", "R2", "R3", "R4", "R5", "R6"}
+        assert ids == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        }
 
     def test_rules_carry_catalog_metadata(self):
         for rule in all_rules():

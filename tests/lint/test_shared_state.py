@@ -1,0 +1,152 @@
+"""R8 unsynchronized-shared-state: unguarded writes flagged, guarded pass."""
+
+import textwrap
+
+from repro.lint import ModuleFile
+from repro.lint.rules.shared_state import SharedStateRule
+
+
+def run_rule(source, shared=("Shared",), extra_options=None):
+    parsed = ModuleFile.parse(
+        "src/repro/tenants/fake.py",
+        "repro.tenants.fake",
+        textwrap.dedent(source),
+    )
+    options = {"shared_classes": list(shared), **(extra_options or {})}
+    rule = SharedStateRule(options)
+    return list(rule.finalize([parsed]))
+
+
+GUARDED = """
+    import threading
+
+    class Shared:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.items: list[str] = []
+            self.count = 0
+
+        def add(self, item: str) -> None:
+            with self._lock:
+                self.items.append(item)
+                self.count += 1
+"""
+
+UNGUARDED = """
+    import threading
+
+    class Shared:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self.items: list[str] = []
+            self.count = 0
+
+        def add(self, item: str) -> None:
+            self.items.append(item)
+            self.count += 1
+"""
+
+
+class TestSharedState:
+    def test_guarded_writes_pass(self):
+        assert run_rule(GUARDED) == []
+
+    def test_unguarded_writes_flagged(self):
+        findings = run_rule(UNGUARDED)
+        assert len(findings) == 2
+        assert {f.rule for f in findings} == {"R8"}
+        messages = " ".join(f.message for f in findings)
+        assert "self.items" in messages
+        assert "self.count" in messages
+
+    def test_non_shared_class_ignored(self):
+        assert run_rule(UNGUARDED, shared=("SomethingElse",)) == []
+
+    def test_init_and_reset_and_locked_suffix_exempt(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self.items: list[str] = []
+
+                def _reset_locks_after_fork(self) -> None:
+                    self._lock = threading.Lock()
+
+                def _drop_locked(self) -> None:
+                    self.items.clear()
+            """
+        )
+        assert findings == []
+
+    def test_helper_called_only_under_lock_passes(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self.items: list[str] = []
+
+                def add(self, item: str) -> None:
+                    with self._lock:
+                        self._push(item)
+
+                def _push(self, item: str) -> None:
+                    self.items.append(item)
+            """
+        )
+        assert findings == []
+
+    def test_helper_with_unlocked_call_site_flagged(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self.items: list[str] = []
+
+                def add(self, item: str) -> None:
+                    with self._lock:
+                        self._push(item)
+
+                def sneak(self, item: str) -> None:
+                    self._push(item)
+
+                def _push(self, item: str) -> None:
+                    self.items.append(item)
+            """
+        )
+        assert len(findings) == 1
+        assert "_push" in findings[0].symbol
+
+    def test_event_set_and_clear_are_not_writes(self):
+        findings = run_rule(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._stop = threading.Event()
+
+                def stop(self) -> None:
+                    self._stop.set()
+
+                def reset(self) -> None:
+                    self._stop.clear()
+            """
+        )
+        assert findings == []
+
+    def test_unguarded_attrs_option_exempts_with_rationale(self):
+        findings = run_rule(
+            UNGUARDED,
+            extra_options={"unguarded_attrs": ["Shared.items", "Shared.count"]},
+        )
+        assert findings == []

@@ -1,0 +1,116 @@
+"""The at-fork owner registry, and the project-wide fork regression.
+
+The regression test at the bottom is the satellite promised in this
+PR: before the registry covered every project lock, forking while a
+manager/queue lock was held handed the child a lock it could never
+acquire (the PR 8 PartitionCache deadlock, generalized). Now the child
+must be able to take every project lock immediately after fork.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.swan import SwanProfiler
+from repro.sanitize import register_fork_owner, registered_owners
+from repro.service.metrics import MetricsRegistry
+from repro.shard.merger import GlobalProfileMerger
+from repro.shard.router import ShardRouter
+from repro.storage.plicache import PartitionCache
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+from repro.tenants.queue import IngestQueue
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method",
+)
+
+
+def make_queue() -> IngestQueue:
+    return IngestQueue(
+        tenant_id="t0", max_pending_batches=4, max_pending_bytes=1 << 20
+    )
+
+
+def make_merger() -> GlobalProfileMerger:
+    schema = Schema(["a", "b"])
+    profilers = [
+        SwanProfiler.profile(Relation(schema)) for _ in range(2)
+    ]
+    return GlobalProfileMerger(ShardRouter(2), profilers, n_columns=2)
+
+
+class TestRegistry:
+    def test_owner_must_expose_reset_hook(self):
+        class NoHook:
+            pass
+
+        with pytest.raises(TypeError, match="_reset_locks_after_fork"):
+            register_fork_owner(NoHook())
+
+    def test_project_classes_register_on_construction(self):
+        before = len(registered_owners())
+        objects = [
+            PartitionCache(),
+            MetricsRegistry(),
+            make_queue(),
+        ]
+        owners = registered_owners()
+        assert len(owners) >= before + len(objects)
+        registered = {id(owner) for owner in owners}
+        for obj in objects:
+            assert id(obj) in registered
+
+    def test_dead_owners_are_pruned_from_snapshots(self):
+        cache = PartitionCache()
+        assert any(owner is cache for owner in registered_owners())
+        marker = id(cache)
+        del cache
+        assert all(id(owner) != marker for owner in registered_owners())
+
+
+@fork_only
+class TestForkMidHoldRegression:
+    def _assert_child_can_lock(self, obj, lock_attr):
+        lock = getattr(obj, lock_attr)
+        assert lock.acquire(blocking=False), "parent failed to take the lock"
+        try:
+            pid = os.fork()
+            if pid == 0:  # child: registry reset must have freed it
+                fresh = getattr(obj, lock_attr)
+                got = fresh.acquire(blocking=False)
+                os._exit(0 if got else 1)
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0, (
+                f"forked child inherited a held {type(obj).__name__}."
+                f"{lock_attr}"
+            )
+        finally:
+            lock.release()
+
+    def test_plicache_lock_reset_in_child(self):
+        self._assert_child_can_lock(PartitionCache(), "_lock")
+
+    def test_queue_lock_reset_in_child(self):
+        self._assert_child_can_lock(make_queue(), "_lock")
+
+    def test_metrics_lock_reset_in_child(self):
+        self._assert_child_can_lock(MetricsRegistry(), "_lock")
+
+    def test_merger_lock_reset_in_child(self):
+        self._assert_child_can_lock(make_merger(), "_lock")
+
+    def test_queue_condition_rebuilt_around_fresh_lock(self):
+        queue = make_queue()
+        with queue._lock:
+            pid = os.fork()
+            if pid == 0:
+                # The Condition must wrap the *reset* lock, or notify/
+                # wait in the child would synchronize against nothing.
+                same = queue._not_empty._lock is queue._lock
+                got = queue._lock.acquire(blocking=False)
+                os._exit(0 if (same and got) else 1)
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0

@@ -1,0 +1,200 @@
+"""Unit tests for the runtime lock-order sanitizer.
+
+These construct :class:`SanitizedLock`/:class:`SanitizedRLock`
+directly, so they exercise the instrumented path regardless of whether
+``REPRO_SANITIZE=locks`` is set for the surrounding run.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.sanitize import (
+    ForkHeldLockError,
+    LockOrderError,
+    SanitizedLock,
+    SanitizedRLock,
+    assert_no_reports,
+    locks_enabled,
+    make_lock,
+    make_rlock,
+    reports,
+    reset_order_state,
+    reset_reports,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_sanitizer_state():
+    reset_order_state()
+    reset_reports()
+    yield
+    reset_order_state()
+    reset_reports()
+
+
+class TestOrderGraph:
+    def test_consistent_order_passes(self):
+        a = SanitizedLock("test.a")
+        b = SanitizedLock("test.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+
+    def test_inverted_order_raises_before_deadlocking(self):
+        # The seeded bug shape: manager->queue on one path, queue->
+        # manager on the other. One thread is enough -- the sanitizer
+        # checks the *order graph*, not an actual blocked acquire.
+        manager = SanitizedLock("test.manager")
+        queue = SanitizedLock("test.queue")
+        with manager:
+            with queue:
+                pass
+        with pytest.raises(LockOrderError) as excinfo:
+            with queue:
+                with manager:
+                    pass
+        message = str(excinfo.value)
+        assert "test.manager" in message
+        assert "test.queue" in message
+
+    def test_three_lock_cycle_detected(self):
+        a, b, c = (SanitizedLock(f"test.{x}") for x in "abc")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with pytest.raises(LockOrderError):
+            with c:
+                with a:
+                    pass
+
+    def test_same_name_shares_one_graph_node(self):
+        # Two instances with the same site name (e.g. every
+        # ``tenants.queue`` lock) are one node: per-instance tracking
+        # would miss cross-tenant inversions.
+        q1 = SanitizedLock("test.queue")
+        q2 = SanitizedLock("test.queue")
+        m = SanitizedLock("test.manager")
+        with m:
+            with q1:
+                pass
+        with pytest.raises(LockOrderError):
+            with q2:
+                with m:
+                    pass
+
+
+class TestLockSemantics:
+    def test_rlock_reentrant(self):
+        lock = SanitizedRLock("test.rlock")
+        with lock:
+            with lock:
+                assert lock.locked()
+
+    def test_blocking_self_reacquire_raises_instead_of_hanging(self):
+        lock = SanitizedLock("test.plain")
+        with lock:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+
+    def test_nonblocking_reacquire_returns_false_like_raw_lock(self):
+        # threading.Condition._is_owned probes exactly this shape.
+        lock = SanitizedLock("test.plain")
+        with lock:
+            assert lock.acquire(blocking=False) is False
+
+    def test_condition_wait_notify_work_over_sanitized_lock(self):
+        lock = SanitizedLock("test.cond")
+        cond = threading.Condition(lock)  # type: ignore[arg-type]
+        ready = []
+
+        def producer():
+            with cond:
+                ready.append(1)
+                cond.notify()
+
+        thread = threading.Thread(target=producer)
+        with cond:
+            thread.start()
+            assert cond.wait_for(lambda: ready, timeout=5.0)
+        thread.join(timeout=5.0)
+
+    def test_cross_thread_holds_tracked_independently(self):
+        lock = SanitizedLock("test.cross")
+        taken = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                taken.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert taken.wait(timeout=5.0)
+        assert lock.acquire(blocking=False) is False
+        release.set()
+        thread.join(timeout=5.0)
+        assert lock.acquire(blocking=False) is True
+        lock.release()
+
+
+class TestForkReports:
+    def test_fork_while_other_thread_holds_lock_is_reported(self):
+        lock = SanitizedLock("test.forkheld")
+        taken = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                taken.set()
+                release.wait(timeout=10.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert taken.wait(timeout=5.0)
+        try:
+            pid = os.fork()
+            if pid == 0:  # child: must see a fresh, unlocked lock
+                ok = lock.acquire(blocking=False)
+                os._exit(0 if ok else 1)
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+        finally:
+            release.set()
+            thread.join(timeout=5.0)
+        assert any("test.forkheld" in entry for entry in reports())
+        with pytest.raises(ForkHeldLockError):
+            assert_no_reports()
+
+    def test_fork_by_the_holding_thread_is_legitimate(self):
+        # Process-mode fan-out forks while the *forking* thread holds
+        # the tenant lock; the child resets it via the owner registry.
+        # Only locks held by OTHER threads are undefined state.
+        lock = SanitizedLock("test.forkown")
+        with lock:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            os.waitpid(pid, 0)
+        assert reports() == []
+        assert_no_reports()
+
+
+class TestFactories:
+    def test_factories_return_raw_primitives_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not locks_enabled()
+        assert not isinstance(make_lock("test.site"), SanitizedLock)
+        assert not isinstance(make_rlock("test.site"), SanitizedRLock)
+
+    def test_factories_return_wrappers_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "locks")
+        assert locks_enabled()
+        assert isinstance(make_lock("test.site"), SanitizedLock)
+        assert isinstance(make_rlock("test.site"), SanitizedRLock)

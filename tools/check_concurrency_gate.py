@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fail CI if the concurrency gate stops catching its seeded bugs.
+
+The R7/R9 fixtures under ``tests/lint/fixtures`` preserve two real bug
+shapes -- the inverted queue-vs-manager lock order and the PR 8
+PartitionCache fork-lock deadlock. The gate is only trustworthy while
+it still *fails* on them: a refactor of :mod:`repro.lint.interproc`
+that silently stops resolving the call chains involved would leave the
+rules installed but blind. This script re-lints each fixture with its
+rule selected and demands findings with the matching rule id, exiting
+1 (and saying why) when a fixture no longer trips its rule.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/check_concurrency_gate.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import run_lint
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# fixture path -> rule id that must fire there
+SEEDED = {
+    "tests/lint/fixtures/r7_inverted_lock_order.py": "R7",
+    "tests/lint/fixtures/pr8_fork_lock_bug.py": "R9",
+}
+
+
+def main() -> int:
+    failures = 0
+    for fixture, rule_id in sorted(SEEDED.items()):
+        config = LintConfig(baseline=None, exclude=())
+        # Fixtures live outside the rules' ``repro.*`` default scope;
+        # widen the selected rule to every module for this check.
+        config.rule(rule_id).include = ("",)
+        result = run_lint(
+            [fixture], ROOT, config, baseline=None, select={rule_id}
+        )
+        fired = [f for f in result.findings if f.rule == rule_id]
+        if result.parse_errors:
+            print(
+                f"FAIL {fixture}: parse errors {result.parse_errors}",
+                file=sys.stderr,
+            )
+            failures += 1
+        elif not fired:
+            print(
+                f"FAIL {fixture}: rule {rule_id} no longer fires on the "
+                f"seeded bug -- the concurrency gate has rotted",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"ok   {fixture}: {rule_id} fired {len(fired)} finding(s)")
+    if failures:
+        return 1
+    print("concurrency gate intact: every seeded bug is still detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
